@@ -1,0 +1,75 @@
+//! PD-test overhead microbenchmarks: what one marked access costs (the
+//! paper's `T_d` contribution) and the post-execution analysis (`T_a`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wlp_pd::Shadow;
+use wlp_runtime::Pool;
+
+fn bench_marking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pd_marking");
+    let m = 10_000;
+    let accesses = 10_000u64;
+    g.throughput(Throughput::Elements(accesses));
+
+    g.bench_function("write_marks", |b| {
+        b.iter(|| {
+            let sh = Shadow::new(m);
+            for i in 0..accesses as usize {
+                sh.iteration(i).mark_write(i % m);
+            }
+            black_box(sh.total_accesses())
+        })
+    });
+
+    g.bench_function("read_write_pairs", |b| {
+        b.iter(|| {
+            let sh = Shadow::new(m);
+            for i in 0..accesses as usize {
+                let mut mk = sh.iteration(i);
+                mk.mark_read(i % m);
+                mk.mark_write(i % m);
+            }
+            black_box(sh.total_accesses())
+        })
+    });
+
+    // baseline: the raw loop without any shadow work, to expose the delta
+    g.bench_function("unmarked_baseline", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..accesses as usize {
+                acc = acc.wrapping_add(black_box(i % m));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pd_analysis");
+    for &m in &[1_000usize, 100_000] {
+        g.throughput(Throughput::Elements(m as u64));
+        let sh = Shadow::new(m);
+        for i in 0..m {
+            let mut mk = sh.iteration(i);
+            mk.mark_write(i);
+            mk.mark_read(i);
+        }
+        for &p in &[1usize, 4] {
+            let pool = Pool::new(p);
+            g.bench_with_input(BenchmarkId::new(format!("analyze_p{p}"), m), &m, |b, _| {
+                b.iter(|| black_box(sh.analyze(&pool, None, 16).doall))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_millis(900)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_marking, bench_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Parallel prefix (Section 3.2) microbenchmarks: the three-phase blocked
+//! scan against the sequential scan, plus affine-recurrence evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wlp_runtime::{linear_recurrence_terms, parallel_scan_inclusive, Pool};
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefix_scan");
+    for &n in &[1_000usize, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        let base: Vec<i64> = (0..n as i64).collect();
+
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| {
+                let mut xs = base.clone();
+                for i in 1..xs.len() {
+                    xs[i] += xs[i - 1];
+                }
+                black_box(xs.last().copied())
+            })
+        });
+
+        for &p in &[2usize, 4] {
+            let pool = Pool::new(p);
+            g.bench_with_input(BenchmarkId::new(format!("parallel_p{p}"), n), &n, |b, _| {
+                b.iter(|| {
+                    let mut xs = base.clone();
+                    parallel_scan_inclusive(&pool, &mut xs, |a, b| a + b);
+                    black_box(xs.last().copied())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_recurrence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("affine_recurrence");
+    let n = 100_000;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut x = 1.0f64;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                x = 1.0001 * x + 0.5;
+                sum += x;
+            }
+            black_box(sum)
+        })
+    });
+    let pool = Pool::new(4);
+    g.bench_function("parallel_prefix_p4", |b| {
+        b.iter(|| {
+            let terms = linear_recurrence_terms(&pool, 1.0, 1.0001, 0.5, n);
+            black_box(terms.last().copied())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_millis(900)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_scan, bench_recurrence
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Substrate microbenchmarks: sparse LU factorization/solve throughput and
+//! front-end parsing speed.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wlp_sparse::gen::stencil7;
+use wlp_sparse::factorize;
+
+fn bench_lu(c: &mut Criterion) {
+    let m = stencil7(12, 12, 4, 7); // n = 576
+    let mut g = c.benchmark_group("sparse_lu");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(m.nnz() as u64));
+
+    g.bench_function("factorize_markowitz", |b| {
+        b.iter(|| black_box(factorize(&m, 0.1).unwrap().l_nnz()))
+    });
+
+    let lu = factorize(&m, 0.1).unwrap();
+    let x_true: Vec<f64> = (0..m.n_rows()).map(|i| i as f64 * 0.1).collect();
+    let rhs = m.spmv(&x_true);
+    g.bench_function("solve", |b| b.iter(|| black_box(lu.solve(&rhs)[0])));
+    g.bench_function("spmv_baseline", |b| b.iter(|| black_box(m.spmv(&x_true)[0])));
+    g.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = "integer i = 0\n\
+               while (i < n) {\n\
+                   exit if (A[idx[i]] > limit)\n\
+                   A[idx[i]] = filter(A[idx[i]], meas[i]) + 2 * B[3*i + 1]\n\
+                   i = i + 1\n\
+               }";
+    let mut g = c.benchmark_group("frontend");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_function("parse_lower_plan", |b| {
+        b.iter(|| {
+            let ir = wlp_ir::parse_loop(black_box(src)).unwrap();
+            black_box(wlp_ir::plan(&ir).strategy)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_millis(900)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_lu, bench_frontend
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Checkpoint/time-stamp/undo microbenchmarks (the paper's `T_b` and `T_a`
+//! components in Section 4).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wlp_core::undo::VersionedArray;
+
+fn bench_undo(c: &mut Criterion) {
+    let n = 100_000usize;
+
+    let mut g = c.benchmark_group("versioned_array");
+    g.throughput(Throughput::Elements(n as u64));
+
+    g.bench_function("checkpoint_creation", |b| {
+        let init: Vec<u64> = (0..n as u64).collect();
+        b.iter(|| black_box(VersionedArray::new(init.clone()).len()))
+    });
+
+    g.bench_function("stamped_writes", |b| {
+        let arr = VersionedArray::new(vec![0u64; n]);
+        b.iter(|| {
+            for i in 0..n {
+                arr.write(i, i as u64, i);
+            }
+            black_box(arr.read(n - 1))
+        })
+    });
+
+    g.bench_function("unstamped_writes_baseline", |b| {
+        let arr = VersionedArray::new(vec![0u64; n]);
+        b.iter(|| {
+            for i in 0..n {
+                arr.write_direct(i, i as u64);
+            }
+            black_box(arr.read(n - 1))
+        })
+    });
+
+    g.bench_function("undo_half", |b| {
+        b.iter_with_setup(
+            || {
+                let arr = VersionedArray::new(vec![0u64; n]);
+                for i in 0..n {
+                    arr.write(i, 1, i);
+                }
+                arr
+            },
+            |arr| black_box(arr.undo_past(n / 2)),
+        )
+    });
+
+    g.bench_function("restore_all", |b| {
+        b.iter_with_setup(
+            || {
+                let arr = VersionedArray::new(vec![0u64; n]);
+                for i in 0..n {
+                    arr.write(i, 1, i);
+                }
+                arr
+            },
+            |arr| black_box(arr.restore_all()),
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_millis(900)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_undo
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Regenerates the paper's tables and figures on the deterministic
+//! multiprocessor simulator.
+//!
+//! ```text
+//! cargo run -p wlp-bench --release --bin figures            # everything
+//! cargo run -p wlp-bench --release --bin figures -- fig6    # one exhibit
+//! ```
+//!
+//! Exhibits: `table1 table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+//! fig14 costmodel ablation-strip ablation-window ablation-chunk
+//! ablation-hedge`.
+
+use wlp_bench::{
+    fig6, fig7, fig_ma28, fig_mcsparse, inputs, render_ablation_balance, render_ablation_chunk,
+    render_gantt_exhibit,
+    render_ablation_doacross,
+    render_ablation_hedge, render_ablation_strip, render_ablation_window, render_costmodel,
+    render_table1, render_table2,
+};
+
+fn by_input(make: &dyn Fn(&str, &wlp_sparse::Csr) -> wlp_bench::Figure, which: &str) -> String {
+    inputs()
+        .into_iter()
+        .find(|(n, _)| *n == which)
+        .map(|(n, m)| make(n, &m).render())
+        .expect("known input")
+}
+
+fn exhibit(name: &str) -> Option<String> {
+    Some(match name {
+        "table1" => render_table1(),
+        "table2" => render_table2(),
+        "fig6" => fig6().render(),
+        "fig7" => fig7().render(),
+        "fig8" => by_input(&fig_mcsparse, "gematt11"),
+        "fig9" => by_input(&fig_mcsparse, "gematt12"),
+        "fig10" => by_input(&fig_mcsparse, "orsreg1"),
+        "fig11" => by_input(&fig_mcsparse, "saylr4"),
+        "fig12" => by_input(&fig_ma28, "gematt11"),
+        "fig13" => by_input(&fig_ma28, "gematt12"),
+        "fig14" => by_input(&fig_ma28, "orsreg1"),
+        "costmodel" => render_costmodel(),
+        "ablation-strip" => render_ablation_strip(),
+        "ablation-window" => render_ablation_window(),
+        "ablation-chunk" => render_ablation_chunk(),
+        "ablation-hedge" => render_ablation_hedge(),
+        "ablation-doacross" => render_ablation_doacross(),
+        "ablation-balance" => render_ablation_balance(),
+        "gantt" => render_gantt_exhibit(),
+        _ => return None,
+    })
+}
+
+const ALL: [&str; 19] = [
+    "table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "costmodel", "ablation-strip", "ablation-window", "ablation-chunk",
+    "ablation-hedge", "ablation-doacross", "ablation-balance", "gantt",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() {
+        ALL.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for name in wanted {
+        match exhibit(name) {
+            Some(text) => println!("{text}"),
+            None => {
+                eprintln!("unknown exhibit `{name}`; available: {}", ALL.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Dispatcher abstractions.
+//!
+//! The dispatcher is the dominating recurrence of a WHILE loop (Figure 1 of
+//! the paper): a pointer traversing a list, a loop counter, an associative
+//! recurrence. Three concrete dispatchers cover the taxonomy's columns;
+//! all of them also implement [`Dispatcher`], the sequential-evaluation
+//! interface the Wu & Lewis distribution baseline consumes.
+
+use wlp_list::{ListArena, NodeId};
+
+/// Sequential dispatcher evaluation: the least common denominator every
+/// dispatcher supports (and the only interface a *general* recurrence
+/// offers).
+pub trait Dispatcher {
+    /// The dispatcher's value domain.
+    type Value: Clone + Send + Sync;
+
+    /// Value for iteration 0, or `None` if the loop runs zero iterations.
+    fn initial(&self) -> Option<Self::Value>;
+
+    /// Value for the iteration after the one holding `v`, or `None` when
+    /// the recurrence is exhausted (e.g. a null pointer).
+    fn next(&self, v: &Self::Value) -> Option<Self::Value>;
+}
+
+/// An induction `d(i) = c·i + b`: closed-form evaluable, the best case of
+/// the taxonomy (Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InductionDispatcher {
+    /// Stride.
+    pub c: i64,
+    /// Offset.
+    pub b: i64,
+}
+
+impl InductionDispatcher {
+    /// The closed form: the dispatcher value of iteration `i`, computable
+    /// by every processor independently.
+    #[inline]
+    pub fn closed_form(&self, i: usize) -> i64 {
+        self.c * i as i64 + self.b
+    }
+
+    /// Whether the value sequence is monotone (nonzero stride).
+    pub fn is_monotonic(&self) -> bool {
+        self.c != 0
+    }
+}
+
+impl Dispatcher for InductionDispatcher {
+    type Value = i64;
+
+    fn initial(&self) -> Option<i64> {
+        Some(self.b)
+    }
+
+    fn next(&self, v: &i64) -> Option<i64> {
+        Some(v + self.c)
+    }
+}
+
+/// An affine (associative) recurrence `x(i+1) = a·x(i) + b`: evaluable by
+/// parallel prefix (Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineRecurrence {
+    /// Multiplier.
+    pub a: f64,
+    /// Offset.
+    pub b: f64,
+    /// Seed `x(0)`.
+    pub x0: f64,
+}
+
+impl AffineRecurrence {
+    /// Evaluates terms `x(1..=n)` in parallel via prefix computation.
+    pub fn terms_parallel(&self, pool: &wlp_runtime::Pool, n: usize) -> Vec<f64> {
+        wlp_runtime::linear_recurrence_terms(pool, self.x0, self.a, self.b, n)
+    }
+
+    /// Evaluates terms `x(1..=n)` sequentially (the reference).
+    pub fn terms_sequential(&self, n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        let mut x = self.x0;
+        for _ in 0..n {
+            x = self.a * x + self.b;
+            out.push(x);
+        }
+        out
+    }
+}
+
+impl Dispatcher for AffineRecurrence {
+    type Value = f64;
+
+    fn initial(&self) -> Option<f64> {
+        Some(self.x0)
+    }
+
+    fn next(&self, v: &f64) -> Option<f64> {
+        Some(self.a * v + self.b)
+    }
+}
+
+/// A general recurrence: a pointer traversing a linked list. Evaluation is
+/// inherently sequential; General-1/2/3 (Section 3.3) overlap remainders
+/// instead.
+#[derive(Debug, Clone, Copy)]
+pub struct ListDispatcher<'a, T> {
+    list: &'a ListArena<T>,
+}
+
+impl<'a, T> ListDispatcher<'a, T> {
+    /// Wraps a list as a dispatcher.
+    pub fn new(list: &'a ListArena<T>) -> Self {
+        ListDispatcher { list }
+    }
+
+    /// The underlying list.
+    pub fn list(&self) -> &'a ListArena<T> {
+        self.list
+    }
+}
+
+impl<T: Sync> Dispatcher for ListDispatcher<'_, T> {
+    type Value = NodeId;
+
+    fn initial(&self) -> Option<NodeId> {
+        self.list.head()
+    }
+
+    fn next(&self, v: &NodeId) -> Option<NodeId> {
+        self.list.next(*v)
+    }
+}
+
+/// Evaluates any dispatcher sequentially into a vector of at most `max`
+/// terms — the first (sequential) loop of the Wu & Lewis distribution
+/// scheme, and the reference against which closed forms are validated.
+pub fn evaluate_sequential<D: Dispatcher>(d: &D, max: usize) -> Vec<D::Value> {
+    let mut out = Vec::new();
+    let mut cur = d.initial();
+    while let Some(v) = cur {
+        if out.len() >= max {
+            break;
+        }
+        cur = d.next(&v);
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induction_closed_form_matches_iteration() {
+        let d = InductionDispatcher { c: 3, b: -2 };
+        let seq = evaluate_sequential(&d, 10);
+        for (i, v) in seq.iter().enumerate() {
+            assert_eq!(*v, d.closed_form(i));
+        }
+        assert!(d.is_monotonic());
+        assert!(!InductionDispatcher { c: 0, b: 5 }.is_monotonic());
+    }
+
+    #[test]
+    fn affine_parallel_terms_match_sequential() {
+        let r = AffineRecurrence { a: 0.99, b: 2.0, x0 : 1.0 };
+        let pool = wlp_runtime::Pool::new(4);
+        let par = r.terms_parallel(&pool, 200);
+        let seq = r.terms_sequential(200);
+        for (i, (p, s)) in par.iter().zip(&seq).enumerate() {
+            assert!((p - s).abs() < 1e-9, "term {i}: {p} vs {s}");
+        }
+    }
+
+    #[test]
+    fn list_dispatcher_walks_the_list() {
+        let list = ListArena::from_values_shuffled(0..50, 9);
+        let d = ListDispatcher::new(&list);
+        let ids = evaluate_sequential(&d, usize::MAX);
+        assert_eq!(ids.len(), 50);
+        let vals: Vec<i32> = ids.iter().map(|&id| list[id]).collect();
+        assert_eq!(vals, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn evaluate_sequential_respects_max() {
+        let d = InductionDispatcher { c: 1, b: 0 };
+        assert_eq!(evaluate_sequential(&d, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_list_dispatcher() {
+        let list: ListArena<u8> = ListArena::new();
+        let d = ListDispatcher::new(&list);
+        assert!(d.initial().is_none());
+        assert!(evaluate_sequential(&d, 10).is_empty());
+    }
+}

@@ -1,0 +1,1202 @@
+//! Speculative parallel execution with run-time dependence testing
+//! (Section 5).
+//!
+//! When the access pattern of a shared array cannot be analyzed statically,
+//! the WHILE loop is *speculatively* executed as a DOALL; every access is
+//! routed through a [`SpeculativeArray`], which checkpoints the data
+//! (Section 4), time-stamps writes, and marks the PD-test shadow arrays.
+//! After the loop:
+//!
+//! 1. exceptions (panics) during the parallel run ⇒ restore and re-execute
+//!    sequentially — the paper's "treat them like an invalid parallel
+//!    execution";
+//! 2. the PD analysis (with marks of overshot iterations ignored via their
+//!    time-stamps) decides whether cross-iteration dependences occurred:
+//!    failure ⇒ restore and re-execute sequentially;
+//! 3. success ⇒ undo the writes of overshot iterations and keep the
+//!    parallel result.
+//!
+//! [`speculative_while_privatized`] additionally gives each processor a
+//! private (copy-in) view of the array, records a time-stamped write trail,
+//! and copies out last values on success — the mechanism for arrays whose
+//! memory-related dependences privatization removes.
+
+use crate::undo::VersionedArray;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use wlp_pd::{copy_out_last_values, IterMarker, PdVerdict, Shadow, TrailSet};
+use wlp_runtime::{doall_dynamic, Pool, Step};
+
+/// A shared array under speculation: checkpointed data, write stamps and
+/// PD shadow marks, all maintained per access.
+#[derive(Debug)]
+pub struct SpeculativeArray<T: Copy> {
+    versioned: VersionedArray<T>,
+    shadow: Shadow,
+}
+
+impl<T: Copy + Send + Sync> SpeculativeArray<T> {
+    /// Checkpoints `init` and sets up unmarked shadows.
+    pub fn new(init: Vec<T>) -> Self {
+        let shadow = Shadow::new(init.len());
+        SpeculativeArray {
+            versioned: VersionedArray::new(init),
+            shadow,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.versioned.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.versioned.is_empty()
+    }
+
+    /// The per-iteration access handle used inside speculative bodies.
+    fn access(&self, iter: usize) -> SpecAccess<'_, T> {
+        SpecAccess {
+            arr: self,
+            marker: Some(self.shadow.iteration(iter)),
+            iter,
+        }
+    }
+
+    /// A pass-through handle for sequential (re-)execution: no marking, no
+    /// stamps.
+    fn direct(&self) -> SpecAccess<'_, T> {
+        SpecAccess {
+            arr: self,
+            marker: None,
+            iter: 0,
+        }
+    }
+
+    /// Copies the live values out.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.versioned.snapshot()
+    }
+
+    /// Accepts the current values and clears speculation state, readying
+    /// the array for another loop.
+    pub fn commit(&mut self) {
+        self.versioned.commit();
+        self.shadow.reset();
+    }
+}
+
+/// Per-iteration view of a [`SpeculativeArray`]: reads and writes are
+/// recorded when speculating, and pass through untouched during sequential
+/// re-execution.
+#[derive(Debug)]
+pub struct SpecAccess<'a, T: Copy> {
+    arr: &'a SpeculativeArray<T>,
+    marker: Option<IterMarker<'a>>,
+    iter: usize,
+}
+
+impl<T: Copy + Send + Sync> SpecAccess<'_, T> {
+    /// Reads element `e`.
+    pub fn read(&mut self, e: usize) -> T {
+        if let Some(m) = &mut self.marker {
+            m.mark_read(e);
+        }
+        self.arr.versioned.read(e)
+    }
+
+    /// Writes `v` to element `e`.
+    pub fn write(&mut self, e: usize, v: T) {
+        match &mut self.marker {
+            Some(m) => {
+                m.mark_write(e);
+                self.arr.versioned.write(e, v, self.iter);
+            }
+            None => self.arr.versioned.write_direct(e, v),
+        }
+    }
+
+    /// The iteration this handle belongs to.
+    pub fn iteration(&self) -> usize {
+        self.iter
+    }
+}
+
+/// What a speculative execution did.
+#[derive(Debug, Clone)]
+pub struct SpecOutcome {
+    /// PD verdict of the parallel attempt (`None` if an exception aborted
+    /// it before analysis).
+    pub verdict: Option<PdVerdict>,
+    /// The parallel result was kept.
+    pub committed_parallel: bool,
+    /// The loop was re-executed sequentially (failed test or exception).
+    pub reexecuted_sequentially: bool,
+    /// A body panicked during the parallel attempt.
+    pub exception: bool,
+    /// The last valid iteration (the first satisfying the terminator).
+    pub last_valid: Option<usize>,
+    /// Bodies executed during the parallel attempt.
+    pub executed_parallel: u64,
+    /// Elements restored while undoing overshot iterations.
+    pub undone: usize,
+}
+
+/// Speculatively executes `while !term(i, A) { body(i, A) }` as a DOALL
+/// over `0..upper`, testing at run time that the iterations were
+/// independent. On test failure or exception, the array is restored and
+/// the loop re-executed sequentially — the paper's complete recipe.
+///
+/// A panic during sequential (re-)execution is a *real* exception and
+/// propagates.
+///
+/// ```
+/// use wlp_core::speculate::{speculative_while, SpeculativeArray};
+/// use wlp_runtime::Pool;
+///
+/// // A[idx[i]] *= 2 through a run-time subscript array: unanalyzable
+/// // statically, provably independent at run time (idx is a permutation)
+/// let idx = [3usize, 1, 4, 0, 2];
+/// let arr = SpeculativeArray::new(vec![1i64; 5]);
+/// let out = speculative_while(&Pool::new(2), 5, &arr,
+///     |_i, _a| false,
+///     |i, a| { let v = a.read(idx[i]); a.write(idx[i], v * 2); });
+/// assert!(out.committed_parallel);
+/// assert_eq!(arr.snapshot(), vec![2; 5]);
+/// ```
+pub fn speculative_while<T, TF, BF>(
+    pool: &Pool,
+    upper: usize,
+    arr: &SpeculativeArray<T>,
+    term: TF,
+    body: BF,
+) -> SpecOutcome
+where
+    T: Copy + Send + Sync,
+    TF: Fn(usize, &mut SpecAccess<'_, T>) -> bool + Sync,
+    BF: Fn(usize, &mut SpecAccess<'_, T>) + Sync,
+{
+    let exception = AtomicBool::new(false);
+    let executed = AtomicU64::new(0);
+
+    let out = doall_dynamic(pool, upper, |i, _vpn| {
+        let mut acc = arr.access(i);
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            if term(i, &mut acc) {
+                Step::Quit
+            } else {
+                body(i, &mut acc);
+                executed.fetch_add(1, Ordering::Relaxed);
+                Step::Continue
+            }
+        }));
+        match step {
+            Ok(s) => s,
+            Err(_) => {
+                exception.store(true, Ordering::Release);
+                Step::Quit
+            }
+        }
+    });
+
+    let had_exception = exception.load(Ordering::Acquire);
+    let last_valid = out.quit;
+
+    if had_exception {
+        arr.versioned.restore_all();
+        let lv = run_sequential(upper, arr, &term, &body);
+        return SpecOutcome {
+            verdict: None,
+            committed_parallel: false,
+            reexecuted_sequentially: true,
+            exception: true,
+            last_valid: lv,
+            executed_parallel: executed.load(Ordering::Relaxed),
+            undone: 0,
+        };
+    }
+
+    let verdict = arr.shadow.analyze(pool, last_valid, 16);
+    if !verdict.doall {
+        // cross-iteration dependences: the parallel result is invalid
+        arr.versioned.restore_all();
+        let lv = run_sequential(upper, arr, &term, &body);
+        return SpecOutcome {
+            verdict: Some(verdict),
+            committed_parallel: false,
+            reexecuted_sequentially: true,
+            exception: false,
+            last_valid: lv,
+            executed_parallel: executed.load(Ordering::Relaxed),
+            undone: 0,
+        };
+    }
+
+    // valid: undo only the overshot iterations
+    let undone = match last_valid {
+        Some(li) => arr.versioned.undo_past(li),
+        None => 0,
+    };
+    SpecOutcome {
+        verdict: Some(verdict),
+        committed_parallel: true,
+        reexecuted_sequentially: false,
+        exception: false,
+        last_valid,
+        executed_parallel: executed.load(Ordering::Relaxed),
+        undone,
+    }
+}
+
+/// [`speculative_while`] under the Section 8.2 sliding window: the span of
+/// in-flight iterations never exceeds `window`, so at most `window ×`
+/// (writes per iteration) time-stamps are live and RV overshoot is bounded
+/// by the window — the resource-controlled variant of speculation. Returns
+/// the outcome and the maximum span observed.
+pub fn speculative_while_windowed<T, TF, BF>(
+    pool: &Pool,
+    upper: usize,
+    window: usize,
+    arr: &SpeculativeArray<T>,
+    term: TF,
+    body: BF,
+) -> (SpecOutcome, usize)
+where
+    T: Copy + Send + Sync,
+    TF: Fn(usize, &mut SpecAccess<'_, T>) -> bool + Sync,
+    BF: Fn(usize, &mut SpecAccess<'_, T>) + Sync,
+{
+    let exception = AtomicBool::new(false);
+    let executed = AtomicU64::new(0);
+
+    let (out, span) = wlp_runtime::doall_windowed(pool, upper, window, |i, _vpn| {
+        let mut acc = arr.access(i);
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            if term(i, &mut acc) {
+                Step::Quit
+            } else {
+                body(i, &mut acc);
+                executed.fetch_add(1, Ordering::Relaxed);
+                Step::Continue
+            }
+        }));
+        match step {
+            Ok(s) => s,
+            Err(_) => {
+                exception.store(true, Ordering::Release);
+                Step::Quit
+            }
+        }
+    });
+
+    let had_exception = exception.load(Ordering::Acquire);
+    let last_valid = out.quit;
+
+    if had_exception {
+        arr.versioned.restore_all();
+        let lv = run_sequential(upper, arr, &term, &body);
+        return (
+            SpecOutcome {
+                verdict: None,
+                committed_parallel: false,
+                reexecuted_sequentially: true,
+                exception: true,
+                last_valid: lv,
+                executed_parallel: executed.load(Ordering::Relaxed),
+                undone: 0,
+            },
+            span,
+        );
+    }
+
+    let verdict = arr.shadow.analyze(pool, last_valid, 16);
+    if !verdict.doall {
+        arr.versioned.restore_all();
+        let lv = run_sequential(upper, arr, &term, &body);
+        return (
+            SpecOutcome {
+                verdict: Some(verdict),
+                committed_parallel: false,
+                reexecuted_sequentially: true,
+                exception: false,
+                last_valid: lv,
+                executed_parallel: executed.load(Ordering::Relaxed),
+                undone: 0,
+            },
+            span,
+        );
+    }
+
+    let undone = match last_valid {
+        Some(li) => arr.versioned.undo_past(li),
+        None => 0,
+    };
+    (
+        SpecOutcome {
+            verdict: Some(verdict),
+            committed_parallel: true,
+            reexecuted_sequentially: false,
+            exception: false,
+            last_valid,
+            executed_parallel: executed.load(Ordering::Relaxed),
+            undone,
+        },
+        span,
+    )
+}
+
+/// Per-iteration view of *several* arrays under test at once. Real loops
+/// usually reference more than one statically-unanalyzable array; the PD
+/// test "is applied to each shared variable referenced during the loop
+/// whose accesses cannot be analyzed at compile-time" — each array gets
+/// its own shadow, and the loop is valid only if every one passes.
+#[derive(Debug)]
+pub struct GroupAccess<'a, T: Copy> {
+    arrays: &'a [SpeculativeArray<T>],
+    markers: Vec<Option<IterMarker<'a>>>,
+    iter: usize,
+}
+
+impl<T: Copy + Send + Sync> GroupAccess<'_, T> {
+    /// Reads element `e` of array `a`.
+    pub fn read(&mut self, a: usize, e: usize) -> T {
+        if let Some(m) = &mut self.markers[a] {
+            m.mark_read(e);
+        }
+        self.arrays[a].versioned.read(e)
+    }
+
+    /// Writes `v` to element `e` of array `a`.
+    pub fn write(&mut self, a: usize, e: usize, v: T) {
+        match &mut self.markers[a] {
+            Some(m) => {
+                m.mark_write(e);
+                self.arrays[a].versioned.write(e, v, self.iter);
+            }
+            None => self.arrays[a].versioned.write_direct(e, v),
+        }
+    }
+
+    /// The iteration this handle belongs to.
+    pub fn iteration(&self) -> usize {
+        self.iter
+    }
+}
+
+/// Speculative execution over a *group* of arrays under test: like
+/// [`speculative_while`], but every array is shadowed independently and
+/// the parallel result is kept only when all of them validate.
+pub fn speculative_while_group<T, TF, BF>(
+    pool: &Pool,
+    upper: usize,
+    arrays: &[SpeculativeArray<T>],
+    term: TF,
+    body: BF,
+) -> SpecOutcome
+where
+    T: Copy + Send + Sync,
+    TF: Fn(usize, &mut GroupAccess<'_, T>) -> bool + Sync,
+    BF: Fn(usize, &mut GroupAccess<'_, T>) + Sync,
+{
+    let exception = AtomicBool::new(false);
+    let executed = AtomicU64::new(0);
+
+    let out = doall_dynamic(pool, upper, |i, _vpn| {
+        let mut acc = GroupAccess {
+            arrays,
+            markers: arrays.iter().map(|a| Some(a.shadow.iteration(i))).collect(),
+            iter: i,
+        };
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            if term(i, &mut acc) {
+                Step::Quit
+            } else {
+                body(i, &mut acc);
+                executed.fetch_add(1, Ordering::Relaxed);
+                Step::Continue
+            }
+        }));
+        match step {
+            Ok(s) => s,
+            Err(_) => {
+                exception.store(true, Ordering::Release);
+                Step::Quit
+            }
+        }
+    });
+
+    let had_exception = exception.load(Ordering::Acquire);
+    let last_valid = out.quit;
+
+    // every array must pass; merge the verdicts
+    let verdict = (!had_exception).then(|| {
+        let mut merged = PdVerdict {
+            doall: true,
+            privatized_doall: true,
+            conflicts: Vec::new(),
+        };
+        for a in arrays {
+            let v = a.shadow.analyze(pool, last_valid, 16);
+            merged.doall &= v.doall;
+            merged.privatized_doall &= v.privatized_doall;
+            merged.conflicts.extend(v.conflicts);
+        }
+        merged
+    });
+
+    let valid = verdict.as_ref().is_some_and(|v| v.doall);
+    if !valid {
+        for a in arrays {
+            a.versioned.restore_all();
+        }
+        let mut lv = None;
+        for i in 0..upper {
+            let mut acc = GroupAccess {
+                arrays,
+                markers: arrays.iter().map(|_| None).collect(),
+                iter: i,
+            };
+            if term(i, &mut acc) {
+                lv = Some(i);
+                break;
+            }
+            body(i, &mut acc);
+        }
+        return SpecOutcome {
+            verdict,
+            committed_parallel: false,
+            reexecuted_sequentially: true,
+            exception: had_exception,
+            last_valid: lv,
+            executed_parallel: executed.load(Ordering::Relaxed),
+            undone: 0,
+        };
+    }
+
+    let undone = match last_valid {
+        Some(li) => arrays.iter().map(|a| a.versioned.undo_past(li)).sum(),
+        None => 0,
+    };
+    SpecOutcome {
+        verdict,
+        committed_parallel: true,
+        reexecuted_sequentially: false,
+        exception: false,
+        last_valid,
+        executed_parallel: executed.load(Ordering::Relaxed),
+        undone,
+    }
+}
+
+/// The Section 5 two-pass scheme: "First, the loop is run in parallel to
+/// determine the number of iterations … and once the number of iterations
+/// is known the resulting DO loop can be speculatively parallelized using
+/// the PD test" — avoiding time-stamped shadow marks entirely, because a
+/// known-range DO loop cannot overshoot.
+///
+/// Pass 1 evaluates the terminator only (it must be cheap/independent —
+/// an RI condition); pass 2 speculates over the exact valid range with
+/// the ordinary PD test. Dependence failures still fall back to
+/// sequential re-execution.
+pub fn run_twice_speculative<T, TF, BF>(
+    pool: &Pool,
+    upper: usize,
+    arr: &SpeculativeArray<T>,
+    term: TF,
+    body: BF,
+) -> SpecOutcome
+where
+    T: Copy + Send + Sync,
+    TF: Fn(usize) -> bool + Sync,
+    BF: Fn(usize, &mut SpecAccess<'_, T>) + Sync,
+{
+    // pass 1: terminator-only DOALL with QUIT — finds the trip count
+    let pass1 = doall_dynamic(pool, upper, |i, _| {
+        if term(i) {
+            Step::Quit
+        } else {
+            Step::Continue
+        }
+    });
+    let end = pass1.quit.unwrap_or(upper);
+
+    // pass 2: a known-range speculative DOALL (no overshoot possible)
+    let mut out = speculative_while(pool, end, arr, |_, _| false, body);
+    out.last_valid = pass1.quit;
+    out
+}
+
+/// Outcome of a strip-mined speculative execution.
+#[derive(Debug, Clone)]
+pub struct StripSpecOutcome {
+    /// Per strip: `true` if the strip's parallel execution was kept,
+    /// `false` if it was re-executed sequentially.
+    pub strips_committed: Vec<bool>,
+    /// The first iteration satisfying the terminator, if reached.
+    pub last_valid: Option<usize>,
+    /// Bodies executed across all parallel attempts (including discarded
+    /// and overshot ones).
+    pub executed_parallel: u64,
+}
+
+/// Strip-mined speculation (Section 5's recommendation when the
+/// termination condition depends on variables with unknown dependences —
+/// guarding against mis-determined exits and runaway loops, and bounding
+/// the state a failed test discards):
+///
+/// each strip of `strip` iterations runs speculatively; after the strip,
+/// the PD test is applied *to that strip's accesses*. A failing strip is
+/// rolled back and re-executed sequentially; a passing strip is committed
+/// (becoming the checkpoint for the next). Execution stops after the
+/// strip containing the exit.
+///
+/// # Panics
+/// Panics if `strip == 0`.
+pub fn speculative_while_strips<T, TF, BF>(
+    pool: &Pool,
+    upper: usize,
+    strip: usize,
+    arr: &mut SpeculativeArray<T>,
+    term: TF,
+    body: BF,
+) -> StripSpecOutcome
+where
+    T: Copy + Send + Sync,
+    TF: Fn(usize, &mut SpecAccess<'_, T>) -> bool + Sync,
+    BF: Fn(usize, &mut SpecAccess<'_, T>) + Sync,
+{
+    assert!(strip > 0, "strip size must be positive");
+    let mut strips_committed = Vec::new();
+    let mut executed_parallel = 0u64;
+    let mut lo = 0usize;
+    while lo < upper {
+        let hi = (lo + strip).min(upper);
+        let out = speculative_while(
+            pool,
+            hi - lo,
+            &*arr, // strip-local iteration numbering keeps stamps small
+            |local, a| term(lo + local, a),
+            |local, a| body(lo + local, a),
+        );
+        executed_parallel += out.executed_parallel;
+        strips_committed.push(out.committed_parallel);
+        let strip_exit = out.last_valid;
+        // commit the strip (sequential re-execution already wrote direct)
+        arr.commit();
+        if let Some(local) = strip_exit {
+            return StripSpecOutcome {
+                strips_committed,
+                last_valid: Some(lo + local),
+                executed_parallel,
+            };
+        }
+        lo = hi;
+    }
+    StripSpecOutcome {
+        strips_committed,
+        last_valid: None,
+        executed_parallel,
+    }
+}
+
+fn run_sequential<T, TF, BF>(
+    upper: usize,
+    arr: &SpeculativeArray<T>,
+    term: &TF,
+    body: &BF,
+) -> Option<usize>
+where
+    T: Copy + Send + Sync,
+    TF: Fn(usize, &mut SpecAccess<'_, T>) -> bool + Sync,
+    BF: Fn(usize, &mut SpecAccess<'_, T>) + Sync,
+{
+    for i in 0..upper {
+        let mut acc = arr.direct();
+        if term(i, &mut acc) {
+            return Some(i);
+        }
+        body(i, &mut acc);
+    }
+    None
+}
+
+/// A per-iteration view of a *privatized* speculative array: writes go to
+/// a processor-private overlay (recorded in a time-stamped trail), reads
+/// prefer the overlay and fall back to the original values (copy-in).
+#[derive(Debug)]
+pub struct PrivAccess<'a, T: Copy> {
+    original: &'a VersionedArray<T>,
+    overlay: &'a mut HashMap<usize, T>,
+    marker: IterMarker<'a>,
+    trail: &'a TrailSet<T>,
+    vpn: usize,
+    iter: usize,
+}
+
+impl<T: Copy + Send + Sync> PrivAccess<'_, T> {
+    /// Reads element `e` (private value if this processor wrote one).
+    pub fn read(&mut self, e: usize) -> T {
+        self.marker.mark_read(e);
+        match self.overlay.get(&e) {
+            Some(&v) => v,
+            None => self.original.read(e),
+        }
+    }
+
+    /// Writes `v` to this processor's private copy of element `e`.
+    pub fn write(&mut self, e: usize, v: T) {
+        self.marker.mark_write(e);
+        self.overlay.insert(e, v);
+        self.trail.record(self.vpn, self.iter, e, v);
+    }
+}
+
+/// Speculative execution with **privatization**: each processor works on a
+/// private overlay of the array (copy-in from the original), a
+/// time-stamped write trail records every private write, and — if the PD
+/// test confirms the privatization was valid — the last value per element
+/// (with stamp ≤ the last valid iteration) is copied out to the shared
+/// array. On failure the shared array is untouched (the original version
+/// *is* the backup, as the paper notes) and the loop re-runs sequentially.
+///
+/// Soundness of the overshoot exemption (see `wlp_pd::shadow`): overlays
+/// persist per worker across iterations, but [`doall_dynamic`] hands each
+/// worker monotonically increasing iteration indices, so a *valid*
+/// iteration can never observe an *overshot* same-worker overlay write —
+/// overshot work always comes after all of a worker's valid work. Any
+/// valid-to-valid overlay leak is an exposed read of another iteration's
+/// write and fails the privatization criterion, forcing the sequential
+/// fallback.
+pub fn speculative_while_privatized<T, TF, BF>(
+    pool: &Pool,
+    upper: usize,
+    arr: &SpeculativeArray<T>,
+    term: TF,
+    body: BF,
+) -> SpecOutcome
+where
+    T: Copy + Send + Sync,
+    TF: Fn(usize, &mut PrivAccess<'_, T>) -> bool + Sync,
+    BF: Fn(usize, &mut PrivAccess<'_, T>) + Sync,
+{
+    let p = pool.size();
+    let overlays: Vec<parking_lot::Mutex<HashMap<usize, T>>> =
+        (0..p).map(|_| parking_lot::Mutex::new(HashMap::new())).collect();
+    let trail: TrailSet<T> = TrailSet::new(p);
+    let exception = AtomicBool::new(false);
+    let executed = AtomicU64::new(0);
+
+    let out = doall_dynamic(pool, upper, |i, vpn| {
+        let mut overlay = overlays[vpn].lock();
+        let mut acc = PrivAccess {
+            original: &arr.versioned,
+            overlay: &mut overlay,
+            marker: arr.shadow.iteration(i),
+            trail: &trail,
+            vpn,
+            iter: i,
+        };
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            if term(i, &mut acc) {
+                Step::Quit
+            } else {
+                body(i, &mut acc);
+                executed.fetch_add(1, Ordering::Relaxed);
+                Step::Continue
+            }
+        }));
+        match step {
+            Ok(s) => s,
+            Err(_) => {
+                exception.store(true, Ordering::Release);
+                Step::Quit
+            }
+        }
+    });
+
+    let last_valid = out.quit;
+    let had_exception = exception.load(Ordering::Acquire);
+    let verdict = (!had_exception).then(|| arr.shadow.analyze(pool, last_valid, 16));
+
+    let valid = verdict.as_ref().is_some_and(|v| v.privatized_doall);
+    if !valid {
+        // shared data was never touched — no restore needed, just re-run
+        let lv = run_sequential_privatized(upper, arr, &term, &body);
+        return SpecOutcome {
+            verdict,
+            committed_parallel: false,
+            reexecuted_sequentially: true,
+            exception: had_exception,
+            last_valid: lv,
+            executed_parallel: executed.load(Ordering::Relaxed),
+            undone: 0,
+        };
+    }
+
+    // copy-out: last value per element with stamp ≤ LI (or any stamp if the
+    // loop ran its full range)
+    let events = trail.into_events();
+    let mut values = arr.versioned.snapshot();
+    let li = last_valid.unwrap_or(usize::MAX - 1);
+    let copied = copy_out_last_values(&events, li, &mut values);
+    for (e, v) in values.into_iter().enumerate() {
+        arr.versioned.write_direct(e, v);
+    }
+    SpecOutcome {
+        verdict,
+        committed_parallel: true,
+        reexecuted_sequentially: false,
+        exception: false,
+        last_valid,
+        executed_parallel: executed.load(Ordering::Relaxed),
+        undone: copied, // elements whose value came from the trail
+    }
+}
+
+fn run_sequential_privatized<T, TF, BF>(
+    upper: usize,
+    arr: &SpeculativeArray<T>,
+    term: &TF,
+    body: &BF,
+) -> Option<usize>
+where
+    T: Copy + Send + Sync,
+    TF: Fn(usize, &mut PrivAccess<'_, T>) -> bool + Sync,
+    BF: Fn(usize, &mut PrivAccess<'_, T>) + Sync,
+{
+    // Sequential semantics: a single "processor" with a persistent overlay
+    // applied in iteration order; writes land directly in the shared array.
+    let trail: TrailSet<T> = TrailSet::new(1);
+    let shadow_sink = Shadow::new(arr.len()); // marks discarded
+    let mut overlay: HashMap<usize, T> = HashMap::new();
+    let mut last = None;
+    for i in 0..upper {
+        let mut acc = PrivAccess {
+            original: &arr.versioned,
+            overlay: &mut overlay,
+            marker: shadow_sink.iteration(i),
+            trail: &trail,
+            vpn: 0,
+            iter: i,
+        };
+        if term(i, &mut acc) {
+            last = Some(i);
+            break;
+        }
+        body(i, &mut acc);
+    }
+    for (e, v) in overlay {
+        arr.versioned.write_direct(e, v);
+    }
+    last
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // indexing by iteration number is the semantics under test
+mod tests {
+    use super::*;
+
+    fn pool() -> Pool {
+        Pool::new(4)
+    }
+
+    #[test]
+    fn independent_loop_commits_parallel() {
+        // A[i] = 2·A[i] with an exit — Figure 5(a) with a conditional exit
+        let arr = SpeculativeArray::new((0..100i64).collect());
+        let out = speculative_while(
+            &pool(),
+            1000,
+            &arr,
+            |i, _| i >= 100,
+            |i, a| {
+                let v = a.read(i);
+                a.write(i, 2 * v);
+            },
+        );
+        assert!(out.committed_parallel);
+        assert!(!out.reexecuted_sequentially);
+        assert_eq!(out.last_valid, Some(100));
+        assert_eq!(arr.snapshot(), (0..100).map(|x| 2 * x).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn flow_dependence_falls_back_to_sequential() {
+        // A[i] = A[i] + A[i-1] — Figure 5(c), a true recurrence
+        let n = 64usize;
+        let arr = SpeculativeArray::new(vec![1i64; n]);
+        let out = speculative_while(
+            &pool(),
+            n,
+            &arr,
+            |i, _| i >= n - 1,
+            |i, a| {
+                let prev = a.read(i); // reads own slot …
+                let left = a.read(i + 1); // … and the next (cross-iteration)
+                a.write(i + 1, prev + left);
+            },
+        );
+        assert!(!out.committed_parallel);
+        assert!(out.reexecuted_sequentially);
+        assert!(!out.verdict.unwrap().doall, "PD test must reject the recurrence");
+        // sequential semantics: A[i] = 1 + i (prefix sums of ones)
+        let snap = arr.snapshot();
+        for (i, v) in snap.iter().enumerate().take(n - 1) {
+            assert_eq!(*v, 1 + i as i64, "element {i}");
+        }
+    }
+
+    #[test]
+    fn overshot_writes_are_undone() {
+        // RV-style exit discovered at iteration 50; overshot iterations
+        // write to disjoint cells and must be rolled back
+        let arr = SpeculativeArray::new(vec![0i64; 1000]);
+        let out = speculative_while(
+            &pool(),
+            1000,
+            &arr,
+            |i, _| i == 50,
+            |i, a| a.write(i, 1),
+        );
+        assert!(out.committed_parallel);
+        assert_eq!(out.last_valid, Some(50));
+        let snap = arr.snapshot();
+        for i in 0..50 {
+            assert_eq!(snap[i], 1, "valid iteration {i}");
+        }
+        for i in 51..1000 {
+            assert_eq!(snap[i], 0, "overshot iteration {i} must be undone");
+        }
+    }
+
+    #[test]
+    fn exception_triggers_sequential_reexecution() {
+        let panic_in_parallel = AtomicBool::new(true);
+        let arr = SpeculativeArray::new(vec![0i64; 64]);
+        let out = speculative_while(
+            &pool(),
+            64,
+            &arr,
+            |_, _| false,
+            |i, a| {
+                if i == 31 && panic_in_parallel.swap(false, Ordering::SeqCst) {
+                    panic!("injected fault");
+                }
+                a.write(i, i as i64);
+            },
+        );
+        assert!(out.exception);
+        assert!(out.reexecuted_sequentially);
+        let snap = arr.snapshot();
+        for (i, v) in snap.iter().enumerate() {
+            assert_eq!(*v, i as i64, "sequential re-execution must be complete");
+        }
+    }
+
+    #[test]
+    fn privatized_tmp_array_commits() {
+        // Figure 5(b): every iteration writes tmp (element n) then reads it
+        // — output dependences removed by privatization
+        let n = 40usize;
+        let mut init = vec![0i64; 2 * n + 1];
+        for (i, v) in init.iter_mut().enumerate() {
+            *v = i as i64;
+        }
+        let tmp = 2 * n;
+        let arr = SpeculativeArray::new(init.clone());
+        let out = speculative_while_privatized(
+            &pool(),
+            n,
+            &arr,
+            |i, _| i >= n,
+            |i, a| {
+                // swap A[2i] and A[2i+1] through tmp
+                let x = a.read(2 * i);
+                a.write(tmp, x);
+                let y = a.read(2 * i + 1);
+                a.write(2 * i, y);
+                let t = a.read(tmp);
+                a.write(2 * i + 1, t);
+            },
+        );
+        assert!(out.committed_parallel, "verdict: {:?}", out.verdict);
+        let snap = arr.snapshot();
+        for i in 0..n {
+            assert_eq!(snap[2 * i], init[2 * i + 1], "pair {i} swapped");
+            assert_eq!(snap[2 * i + 1], init[2 * i], "pair {i} swapped");
+        }
+    }
+
+    #[test]
+    fn privatized_fallback_on_true_dependence() {
+        // a genuine flow dependence that privatization cannot remove
+        let n = 32usize;
+        let arr = SpeculativeArray::new(vec![1i64; n + 1]);
+        let out = speculative_while_privatized(
+            &pool(),
+            n,
+            &arr,
+            |i, _| i >= n,
+            |i, a| {
+                let left = a.read(i);
+                a.write(i + 1, left + 1);
+            },
+        );
+        assert!(!out.committed_parallel);
+        assert!(out.reexecuted_sequentially);
+        // sequential semantics: A[i] = i + 1
+        let snap = arr.snapshot();
+        for i in 0..=n {
+            assert_eq!(snap[i], i as i64 + 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn privatized_copy_out_respects_last_valid() {
+        // every iteration writes element 0 (privatized); exit at 10 ⇒ the
+        // copy-out must take iteration 9's value, not a later one
+        let arr = SpeculativeArray::new(vec![-1i64]);
+        let out = speculative_while_privatized(
+            &pool(),
+            1000,
+            &arr,
+            |i, _| i == 10,
+            |i, a| a.write(0, i as i64),
+        );
+        assert!(out.committed_parallel, "verdict: {:?}", out.verdict);
+        assert_eq!(out.last_valid, Some(10));
+        assert_eq!(arr.snapshot(), vec![9]);
+    }
+
+    #[test]
+    fn strips_commit_independent_work_and_find_the_exit() {
+        let mut arr = SpeculativeArray::new(vec![0i64; 1000]);
+        let out = speculative_while_strips(
+            &pool(),
+            1000,
+            64,
+            &mut arr,
+            |i, _| i == 400,
+            |i, a| a.write(i, i as i64),
+        );
+        assert_eq!(out.last_valid, Some(400));
+        assert!(out.strips_committed.iter().all(|&c| c), "all strips independent");
+        // strips 0..=6 ran (exit inside strip [384, 448)); nothing later
+        assert_eq!(out.strips_committed.len(), 7);
+        let snap = arr.snapshot();
+        for i in 0..400 {
+            assert_eq!(snap[i], i as i64);
+        }
+        for i in 401..1000 {
+            assert_eq!(snap[i], 0, "iteration {i} must not survive");
+        }
+    }
+
+    #[test]
+    fn only_the_poisoned_strip_reexecutes() {
+        // a flow dependence confined to iterations 70→71 (strip 1 of 64)
+        let n = 256usize;
+        let mut arr = SpeculativeArray::new(vec![1i64; n + 1]);
+        let out = speculative_while_strips(
+            &pool(),
+            n,
+            64,
+            &mut arr,
+            |_, _| false,
+            |i, a| {
+                if i == 70 {
+                    a.write(n, 5);
+                } else if i == 71 {
+                    let v = a.read(n);
+                    a.write(71, v);
+                } else {
+                    a.write(i, 2);
+                }
+            },
+        );
+        assert_eq!(out.last_valid, None);
+        assert_eq!(out.strips_committed.len(), 4);
+        assert!(!out.strips_committed[1], "strip with the dependence fails");
+        assert!(out.strips_committed[0] && out.strips_committed[2] && out.strips_committed[3]);
+        // sequential semantics inside the failed strip
+        assert_eq!(arr.snapshot()[71], 5);
+    }
+
+    #[test]
+    fn strips_match_unstripped_results() {
+        let make = || SpeculativeArray::new((0..500i64).collect());
+        let term = |i: usize, _: &mut SpecAccess<'_, i64>| i >= 333;
+        let body = |i: usize, a: &mut SpecAccess<'_, i64>| {
+            let v = a.read(i);
+            a.write(i, v + 100);
+        };
+        let whole = make();
+        speculative_while(&pool(), 500, &whole, term, body);
+        let mut strips = make();
+        speculative_while_strips(&pool(), 500, 50, &mut strips, term, body);
+        assert_eq!(whole.snapshot(), strips.snapshot());
+    }
+
+    #[test]
+    fn run_twice_speculative_avoids_overshoot_entirely() {
+        let arr = SpeculativeArray::new(vec![0i64; 1000]);
+        let out = run_twice_speculative(
+            &pool(),
+            1000,
+            &arr,
+            |i| i == 250,
+            |i, a| a.write(i, 1),
+        );
+        assert!(out.committed_parallel);
+        assert_eq!(out.last_valid, Some(250));
+        assert_eq!(out.undone, 0, "a known-range DOALL cannot overshoot");
+        let snap = arr.snapshot();
+        assert_eq!(snap.iter().filter(|&&v| v == 1).count(), 250);
+        assert_eq!(snap[250], 0);
+    }
+
+    #[test]
+    fn run_twice_speculative_still_catches_dependences() {
+        let n = 64usize;
+        let arr = SpeculativeArray::new(vec![1i64; n + 1]);
+        let out = run_twice_speculative(
+            &pool(),
+            n,
+            &arr,
+            |_| false,
+            |i, a| {
+                let left = a.read(i);
+                a.write(i + 1, left + 1);
+            },
+        );
+        assert!(!out.committed_parallel);
+        assert!(out.reexecuted_sequentially);
+        let snap = arr.snapshot();
+        for i in 0..=n {
+            assert_eq!(snap[i], i as i64 + 1);
+        }
+    }
+
+    #[test]
+    fn windowed_speculation_bounds_overshoot_and_span() {
+        let arr = SpeculativeArray::new(vec![0i64; 2000]);
+        let (out, span) = speculative_while_windowed(
+            &pool(),
+            2000,
+            8,
+            &arr,
+            |i, _| i == 300,
+            |i, a| a.write(i, 1),
+        );
+        assert!(out.committed_parallel, "{:?}", out.verdict);
+        assert_eq!(out.last_valid, Some(300));
+        assert!(span <= 8, "span {span}");
+        assert!(out.undone <= 8, "undo bounded by the window: {}", out.undone);
+        let snap = arr.snapshot();
+        assert_eq!(snap.iter().filter(|&&v| v == 1).count(), 300);
+    }
+
+    #[test]
+    fn windowed_speculation_matches_unwindowed_results() {
+        let term = |i: usize, _: &mut SpecAccess<'_, i64>| i >= 700;
+        let body = |i: usize, a: &mut SpecAccess<'_, i64>| {
+            let v = a.read(i);
+            a.write(i, v + 5);
+        };
+        let a1 = SpeculativeArray::new((0..1000i64).collect());
+        speculative_while(&pool(), 1000, &a1, term, body);
+        let a2 = SpeculativeArray::new((0..1000i64).collect());
+        let (out, _) = speculative_while_windowed(&pool(), 1000, 16, &a2, term, body);
+        assert!(out.committed_parallel);
+        assert_eq!(a1.snapshot(), a2.snapshot());
+    }
+
+    #[test]
+    fn group_speculation_validates_independent_arrays() {
+        // two arrays: a data array and a count array, disjoint per iteration
+        let arrays = [
+            SpeculativeArray::new(vec![0i64; 100]),
+            SpeculativeArray::new(vec![10i64; 100]),
+        ];
+        let out = speculative_while_group(
+            &pool(),
+            100,
+            &arrays,
+            |_, _| false,
+            |i, g| {
+                let v = g.read(1, i);
+                g.write(0, i, v + i as i64);
+                g.write(1, i, v + 1);
+            },
+        );
+        assert!(out.committed_parallel, "{:?}", out.verdict);
+        assert_eq!(arrays[0].snapshot()[7], 17);
+        assert_eq!(arrays[1].snapshot()[7], 11);
+    }
+
+    #[test]
+    fn group_speculation_fails_if_any_array_conflicts() {
+        // array 0 is independent; array 1 is a shared accumulator
+        let arrays = [
+            SpeculativeArray::new(vec![0i64; 50]),
+            SpeculativeArray::new(vec![0i64; 1]),
+        ];
+        let out = speculative_while_group(
+            &pool(),
+            50,
+            &arrays,
+            |_, _| false,
+            |i, g| {
+                g.write(0, i, 1);
+                let acc = g.read(1, 0);
+                g.write(1, 0, acc + 1);
+            },
+        );
+        assert!(!out.committed_parallel);
+        assert!(out.reexecuted_sequentially);
+        // sequential semantics hold for both arrays
+        assert_eq!(arrays[1].snapshot()[0], 50);
+        assert!(arrays[0].snapshot().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn group_speculation_undoes_overshoot_across_arrays() {
+        let arrays = [
+            SpeculativeArray::new(vec![0i64; 500]),
+            SpeculativeArray::new(vec![0i64; 500]),
+        ];
+        let out = speculative_while_group(
+            &pool(),
+            500,
+            &arrays,
+            |i, _| i == 60,
+            |i, g| {
+                g.write(0, i, 1);
+                g.write(1, i, 2);
+            },
+        );
+        assert!(out.committed_parallel);
+        assert_eq!(out.last_valid, Some(60));
+        for arr in &arrays {
+            let snap = arr.snapshot();
+            assert!(snap[..60].iter().all(|&v| v != 0));
+            assert!(snap[61..].iter().all(|&v| v == 0));
+        }
+    }
+
+    #[test]
+    fn spec_array_commit_enables_reuse() {
+        let mut arr = SpeculativeArray::new(vec![0i64; 10]);
+        let out1 = speculative_while(&pool(), 10, &arr, |_, _| false, |i, a| a.write(i, 1));
+        assert!(out1.committed_parallel);
+        arr.commit();
+        let out2 = speculative_while(&pool(), 10, &arr, |_, _| false, |i, a| {
+            let v = a.read(i);
+            a.write(i, v + 1);
+        });
+        assert!(out2.committed_parallel);
+        assert_eq!(arr.snapshot(), vec![2; 10]);
+    }
+}

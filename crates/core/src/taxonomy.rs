@@ -1,0 +1,154 @@
+//! The WHILE-loop taxonomy (Table 1 of the paper).
+//!
+//! The method to apply — and whether undo machinery is needed — depends
+//! only on the *class* of the dispatcher and of the terminator:
+//!
+//! ```text
+//!                         Dispatcher
+//! Terminator   Monotonic     Not-monotonic   Associative     General
+//!              induction     induction       recurrence      recurrence
+//!              Ov.  Par.     Ov.  Par.       Ov.  Par.       Ov.  Par.
+//!   RI         NO   YES      YES  YES        NO   YES-PP     NO   NO
+//!   RV         YES  YES      YES  YES        YES  YES-PP     YES  NO
+//! ```
+//!
+//! ("Par." refers to the *dispatcher's* potential for parallel evaluation;
+//! a general recurrence's remainder can still be overlapped with
+//! General-1/2/3, but the dispatcher itself is evaluated sequentially.)
+
+/// The class of a WHILE loop's dominating recurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatcherClass {
+    /// An induction (`d(i) = c·i + b`) whose value sequence is monotone and
+    /// whose RI terminator is a threshold on it (e.g. a DO loop bound), so
+    /// iterations past the exit can recognize themselves.
+    MonotonicInduction,
+    /// An induction with no monotonicity guarantee relative to the
+    /// terminator (e.g. the test is on `f(i)` for arbitrary `f`).
+    Induction,
+    /// An associative recurrence (`x(i) = a·x(i−k) + b` and friends),
+    /// evaluable by parallel prefix.
+    Associative,
+    /// A general recurrence (pointer chase, arbitrary update): inherently
+    /// sequential evaluation.
+    General,
+}
+
+/// The class of a WHILE loop's termination condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TerminatorClass {
+    /// Remainder-invariant: depends only on the dispatcher and values
+    /// computed before the loop.
+    RemainderInvariant,
+    /// Remainder-variant: depends on values the loop body computes.
+    RemainderVariant,
+}
+
+/// How the dispatcher itself can be evaluated in parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Parallelism {
+    /// Fully parallel via the closed form (all iterations start at once).
+    Full,
+    /// Parallel up to a prefix computation: `O(n/p + log p)`.
+    ParallelPrefix,
+    /// Sequential: the loop is sped up only by overlapping remainders
+    /// (General-1/2/3).
+    Sequential,
+}
+
+/// One cell of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaxonomyCell {
+    /// Can a parallel execution run iterations the sequential loop would
+    /// not have (requiring undo machinery)?
+    pub can_overshoot: bool,
+    /// Dispatcher evaluation parallelism.
+    pub parallelism: Parallelism,
+}
+
+/// Classifies a WHILE loop per Table 1.
+pub fn classify(d: DispatcherClass, t: TerminatorClass) -> TaxonomyCell {
+    use DispatcherClass::*;
+    use TerminatorClass::*;
+    let parallelism = match d {
+        MonotonicInduction | Induction => Parallelism::Full,
+        Associative => Parallelism::ParallelPrefix,
+        General => Parallelism::Sequential,
+    };
+    let can_overshoot = match (d, t) {
+        // a monotone dispatcher with a threshold RI terminator: iterations
+        // past the exit see the condition themselves
+        (MonotonicInduction, RemainderInvariant) => false,
+        (Induction, RemainderInvariant) => true,
+        // RI on an associative/general dispatcher: the exit is strongly
+        // connected to the recurrence, evaluated in order
+        (Associative, RemainderInvariant) => false,
+        (General, RemainderInvariant) => false,
+        // RV always overshoots under parallel execution
+        (_, RemainderVariant) => true,
+    };
+    TaxonomyCell {
+        can_overshoot,
+        parallelism,
+    }
+}
+
+/// All eight cells of Table 1, row-major (RI row then RV row), for the
+/// bench harness to print.
+pub fn table1() -> Vec<(DispatcherClass, TerminatorClass, TaxonomyCell)> {
+    use DispatcherClass::*;
+    use TerminatorClass::*;
+    let mut out = Vec::with_capacity(8);
+    for t in [RemainderInvariant, RemainderVariant] {
+        for d in [MonotonicInduction, Induction, Associative, General] {
+            out.push((d, t, classify(d, t)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DispatcherClass::*;
+    use TerminatorClass::*;
+
+    #[test]
+    fn matches_paper_table1_ri_row() {
+        assert_eq!(
+            classify(MonotonicInduction, RemainderInvariant),
+            TaxonomyCell { can_overshoot: false, parallelism: Parallelism::Full }
+        );
+        assert_eq!(
+            classify(Induction, RemainderInvariant),
+            TaxonomyCell { can_overshoot: true, parallelism: Parallelism::Full }
+        );
+        assert_eq!(
+            classify(Associative, RemainderInvariant),
+            TaxonomyCell { can_overshoot: false, parallelism: Parallelism::ParallelPrefix }
+        );
+        assert_eq!(
+            classify(General, RemainderInvariant),
+            TaxonomyCell { can_overshoot: false, parallelism: Parallelism::Sequential }
+        );
+    }
+
+    #[test]
+    fn matches_paper_table1_rv_row() {
+        for d in [MonotonicInduction, Induction, Associative, General] {
+            assert!(
+                classify(d, RemainderVariant).can_overshoot,
+                "every RV cell overshoots ({d:?})"
+            );
+        }
+        assert_eq!(classify(Associative, RemainderVariant).parallelism, Parallelism::ParallelPrefix);
+        assert_eq!(classify(General, RemainderVariant).parallelism, Parallelism::Sequential);
+    }
+
+    #[test]
+    fn table1_has_eight_cells() {
+        let t = table1();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.iter().filter(|(_, _, c)| c.can_overshoot).count(), 5);
+    }
+}

@@ -1,0 +1,209 @@
+//! Loop distribution and the bottom-up fusion of Section 6.
+//!
+//! Distribution splits a multi-statement WHILE loop along its dependence
+//! SCCs (recurrences stay whole); each distributed loop is *sequential*
+//! (contains a loop-carried cycle or an unanalyzable conflict) or
+//! *parallel*. Fusion then re-merges contiguous loops of equal nature —
+//! "if the first loop is sequential, we fuse it with all following
+//! contiguous sequential loops. When the first parallelizable loop is
+//! found, we generate a distinct, new loop to which all next contiguous
+//! parallel loops are fused" — maximizing granularity while keeping the
+//! parallel code parallel.
+
+use crate::dependence::{dep_graph, DepGraph};
+use crate::ir::{LoopIr, StmtKind, UpdateOp};
+use crate::scc::condense;
+
+/// Whether a distributed loop can run in parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopNature {
+    /// No loop-carried dependences inside: a DOALL candidate.
+    Parallel,
+    /// Contains a loop-carried cycle: runs sequentially (possibly
+    /// pipelined/DOACROSS against its successors).
+    Sequential,
+}
+
+/// One loop produced by distribution: a set of statements plus its nature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributedLoop {
+    /// Statement indices (ascending).
+    pub stmts: Vec<usize>,
+    /// Parallel or sequential.
+    pub nature: LoopNature,
+    /// The recurrence operator, when this loop is exactly one recurrence
+    /// update (a dispatcher candidate).
+    pub recurrence: Option<UpdateOp>,
+}
+
+/// Distributes `body` along its dependence SCCs, in topological order.
+pub fn distribute(body: &LoopIr) -> Vec<DistributedLoop> {
+    let g = dep_graph(body);
+    distribute_with(body, &g)
+}
+
+/// Distribution against a pre-computed dependence graph (Section 6 reuses
+/// the graph across the recursion).
+pub fn distribute_with(body: &LoopIr, g: &DepGraph) -> Vec<DistributedLoop> {
+    condense(g)
+        .into_iter()
+        .map(|stmts| {
+            let carried = g.has_carried_within(&stmts);
+            let recurrence = if stmts.len() == 1 {
+                match body.stmts[stmts[0]].kind {
+                    StmtKind::Update(op) => Some(op),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            DistributedLoop {
+                nature: if carried {
+                    LoopNature::Sequential
+                } else {
+                    LoopNature::Parallel
+                },
+                stmts,
+                recurrence,
+            }
+        })
+        .collect()
+}
+
+/// A fused block: contiguous distributed loops of the same nature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedBlock {
+    /// The member loops, in order.
+    pub loops: Vec<DistributedLoop>,
+    /// Nature of the whole block.
+    pub nature: LoopNature,
+}
+
+impl FusedBlock {
+    /// All statement indices of the block.
+    pub fn stmts(&self) -> Vec<usize> {
+        self.loops.iter().flat_map(|l| l.stmts.iter().copied()).collect()
+    }
+}
+
+/// Bottom-up fusion per Section 6: contiguous loops of equal nature merge.
+/// If `min_parallel_stmts > 0`, parallel blocks smaller than that are
+/// demoted and fused into the adjacent sequential block — the paper's
+/// "if the overhead of parallelization is not offset by the parallel
+/// execution, then sequential code should be generated and fused to the
+/// immediately preceding sequential block".
+pub fn fuse(loops: Vec<DistributedLoop>, min_parallel_stmts: usize) -> Vec<FusedBlock> {
+    let mut blocks: Vec<FusedBlock> = Vec::new();
+    for l in loops {
+        let mut nature = l.nature;
+        if nature == LoopNature::Parallel && l.stmts.len() < min_parallel_stmts {
+            nature = LoopNature::Sequential; // not worth parallelizing
+        }
+        match blocks.last_mut() {
+            Some(b) if b.nature == nature => b.loops.push(l),
+            _ => blocks.push(FusedBlock {
+                loops: vec![l],
+                nature,
+            }),
+        }
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::examples;
+    use crate::ir::{ArrayId, Stmt, Subscript, VarId, WRef};
+
+    #[test]
+    fn list_traversal_distributes_into_dispatcher_and_work() {
+        let loops = distribute(&examples::figure1b_list_traversal());
+        // the pointer update is its own sequential recurrence loop
+        let recs: Vec<_> = loops.iter().filter(|l| l.recurrence.is_some()).collect();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].recurrence, Some(UpdateOp::PointerChase));
+        assert_eq!(recs[0].nature, LoopNature::Sequential);
+        // the WORK(tmp) statement is conservatively sequential too (its
+        // array access is unanalyzable) — the case the PD test targets
+        let work = loops.iter().find(|l| l.stmts == vec![1]).unwrap();
+        assert_eq!(work.nature, LoopNature::Sequential);
+    }
+
+    #[test]
+    fn affine_loop_dispatcher_is_detected() {
+        let loops = distribute(&examples::figure1e_affine());
+        let rec: Vec<_> = loops.iter().filter_map(|l| l.recurrence).collect();
+        assert_eq!(rec, vec![UpdateOp::MulAddConst]);
+    }
+
+    #[test]
+    fn independent_loop_is_all_parallel() {
+        let loops = distribute(&examples::figure5a_independent());
+        assert!(loops.iter().all(|l| l.nature == LoopNature::Parallel));
+    }
+
+    #[test]
+    fn recurrence_body_is_sequential() {
+        let loops = distribute(&examples::figure5c_recurrence());
+        assert!(loops
+            .iter()
+            .any(|l| l.nature == LoopNature::Sequential && l.stmts.contains(&1)));
+    }
+
+    /// A loop with two recurrences and parallel work between them.
+    fn two_recurrences() -> LoopIr {
+        let x = VarId(0);
+        let y = VarId(1);
+        let a = ArrayId(0);
+        let i = Subscript::Affine { coeff: 1, offset: 0 };
+        let mut l = LoopIr::new();
+        l.push(Stmt::update(x, UpdateOp::AddConst, vec![]));
+        l.push(Stmt::assign(vec![WRef::Element(a, i)], vec![WRef::Scalar(x)]));
+        l.push(Stmt::update(y, UpdateOp::PointerChase, vec![]));
+        l.push(Stmt::assign(
+            vec![WRef::Element(ArrayId(1), i)],
+            vec![WRef::Scalar(y), WRef::Element(a, i)],
+        ));
+        l
+    }
+
+    #[test]
+    fn multiple_recurrences_extract_recursively() {
+        let loops = distribute(&two_recurrences());
+        let recs: Vec<_> = loops.iter().filter_map(|l| l.recurrence).collect();
+        assert_eq!(recs.len(), 2, "both dispatchers extracted: {loops:?}");
+        // distribution order respects dependences: each recurrence comes
+        // before the work consuming it
+        let pos = |stmt: usize| loops.iter().position(|l| l.stmts.contains(&stmt)).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(2) < pos(3));
+        assert!(pos(1) < pos(3), "work chain order");
+    }
+
+    #[test]
+    fn fusion_merges_contiguous_equal_nature() {
+        let loops = distribute(&two_recurrences());
+        let blocks = fuse(loops, 0);
+        // natures alternate seq/par at most; contiguous equals are merged
+        for w in blocks.windows(2) {
+            assert_ne!(w[0].nature, w[1].nature, "adjacent blocks must differ");
+        }
+        let total: usize = blocks.iter().map(|b| b.stmts().len()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn tiny_parallel_blocks_are_demoted() {
+        let loops = distribute(&two_recurrences());
+        let blocks = fuse(loops, 10); // nothing is big enough to parallelize
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].nature, LoopNature::Sequential);
+    }
+
+    #[test]
+    fn empty_body() {
+        assert!(distribute(&LoopIr::new()).is_empty());
+        assert!(fuse(vec![], 0).is_empty());
+    }
+}

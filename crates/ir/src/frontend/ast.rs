@@ -1,0 +1,91 @@
+//! Abstract syntax for the loop DSL.
+
+use super::lexer::CmpOp;
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// The `null` pointer constant.
+    Null,
+    /// Variable reference.
+    Var(String),
+    /// Array element: `name[subscript]`.
+    Index(String, Box<Expr>),
+    /// Call of an uninterpreted function: `name(args…)`.
+    Call(String, Vec<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Comparison (only valid in conditions).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A pre-loop declaration: `integer i = 1`, `pointer p = head(list)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decl {
+    /// Declared type keyword (`integer`, `real`, `pointer`).
+    pub ty: String,
+    /// Variable name.
+    pub name: String,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+}
+
+/// A loop-body statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `lhs = rhs` with a scalar left-hand side.
+    AssignVar(String, Expr),
+    /// `name[sub] = rhs`.
+    AssignElem(String, Expr, Expr),
+    /// `exit if (cond)`.
+    ExitIf(Expr),
+}
+
+/// A whole program: declarations, the WHILE condition, the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Pre-loop declarations.
+    pub decls: Vec<Decl>,
+    /// The `while (…)` continuation condition.
+    pub cond: Expr,
+    /// Body statements in program order.
+    pub body: Vec<Stmt>,
+}
+
+impl Expr {
+    /// Walks the expression tree, calling `f` on every node.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Int(_) | Expr::Null | Expr::Var(_) => {}
+            Expr::Index(_, sub) => sub.walk(f),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Neg(e) => e.walk(f),
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Tokenizer for the loop DSL.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `<`, `>`, `<=`, `>=`, `==`, `!=`.
+    Cmp(CmpOp),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// A tokenization failure at a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+/// Tokenizes `src`, skipping whitespace and `//`/`!` line comments (the
+/// latter being the Fortran comment flavor).
+pub fn lex(src: &str) -> Result<Vec<(usize, Token)>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            // `!=` must win over the Fortran-style `!` comment
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push((i, Token::Cmp(CmpOp::Ne)));
+                i += 2;
+            }
+            '!' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => { out.push((i, Token::LParen)); i += 1; }
+            ')' => { out.push((i, Token::RParen)); i += 1; }
+            '[' => { out.push((i, Token::LBracket)); i += 1; }
+            ']' => { out.push((i, Token::RBracket)); i += 1; }
+            '{' => { out.push((i, Token::LBrace)); i += 1; }
+            '}' => { out.push((i, Token::RBrace)); i += 1; }
+            '+' => { out.push((i, Token::Plus)); i += 1; }
+            '-' => { out.push((i, Token::Minus)); i += 1; }
+            '*' => { out.push((i, Token::Star)); i += 1; }
+            '/' => { out.push((i, Token::Slash)); i += 1; }
+            ',' => { out.push((i, Token::Comma)); i += 1; }
+            ';' => { out.push((i, Token::Semi)); i += 1; }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((i, Token::Cmp(CmpOp::Le)));
+                    i += 2;
+                } else {
+                    out.push((i, Token::Cmp(CmpOp::Lt)));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((i, Token::Cmp(CmpOp::Ge)));
+                    i += 2;
+                } else {
+                    out.push((i, Token::Cmp(CmpOp::Gt)));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((i, Token::Cmp(CmpOp::Eq)));
+                    i += 2;
+                } else {
+                    out.push((i, Token::Assign));
+                    i += 1;
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value = text.parse::<i64>().map_err(|_| LexError {
+                    pos: start,
+                    msg: format!("integer literal `{text}` out of range"),
+                })?;
+                out.push((start, Token::Int(value)));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((start, Token::Ident(src[start..i].to_string())));
+            }
+            _ => {
+                return Err(LexError {
+                    pos: i,
+                    msg: format!("unexpected character `{c}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|(_, t)| t).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("i = i + 1"),
+            vec![
+                Token::Ident("i".into()),
+                Token::Assign,
+                Token::Ident("i".into()),
+                Token::Plus,
+                Token::Int(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a < b <= c == d >= e > f"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Cmp(CmpOp::Lt),
+                Token::Ident("b".into()),
+                Token::Cmp(CmpOp::Le),
+                Token::Ident("c".into()),
+                Token::Cmp(CmpOp::Eq),
+                Token::Ident("d".into()),
+                Token::Cmp(CmpOp::Ge),
+                Token::Ident("e".into()),
+                Token::Cmp(CmpOp::Gt),
+                Token::Ident("f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("x // trailing\ny"), vec![Token::Ident("x".into()), Token::Ident("y".into())]);
+        assert_eq!(toks("x ! fortran\ny"), vec![Token::Ident("x".into()), Token::Ident("y".into())]);
+    }
+
+    #[test]
+    fn subscripts_and_calls() {
+        assert_eq!(
+            toks("A[i] = f(B[j], 3)"),
+            vec![
+                Token::Ident("A".into()),
+                Token::LBracket,
+                Token::Ident("i".into()),
+                Token::RBracket,
+                Token::Assign,
+                Token::Ident("f".into()),
+                Token::LParen,
+                Token::Ident("B".into()),
+                Token::LBracket,
+                Token::Ident("j".into()),
+                Token::RBracket,
+                Token::Comma,
+                Token::Int(3),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn not_equal_beats_comment() {
+        assert_eq!(
+            toks("a != b"),
+            vec![Token::Ident("a".into()), Token::Cmp(CmpOp::Ne), Token::Ident("b".into())]
+        );
+        // a bare `!` still comments to end of line
+        assert_eq!(toks("a !x != y
+b"), vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+    }
+
+    #[test]
+    fn bad_character_is_reported_with_position() {
+        let e = lex("abc $").unwrap_err();
+        assert_eq!(e.pos, 4);
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let lexed = lex("ab cd").unwrap();
+        assert_eq!(lexed[0].0, 0);
+        assert_eq!(lexed[1].0, 3);
+    }
+}

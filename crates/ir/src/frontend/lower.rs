@@ -1,0 +1,429 @@
+//! Lowering: AST → [`LoopIr`].
+//!
+//! The interesting work is recognition — recurrence updates (induction /
+//! associative / pointer chase) and affine subscripts — because that is
+//! what decides, downstream, which of the paper's methods applies.
+
+use super::ast::{BinOp, Decl, Expr, Program, Stmt};
+use crate::ir::{ArrayId, LoopIr, Stmt as IrStmt, Subscript, UpdateOp, VarId, WRef};
+use std::collections::HashMap;
+
+/// A lowering failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// A linear form `Σ coeff·var + konst` with integer coefficients, or
+/// nothing when the expression is not linear/foldable.
+fn linear_form(e: &Expr) -> Option<(HashMap<String, i64>, i64)> {
+    match e {
+        Expr::Int(v) => Some((HashMap::new(), *v)),
+        Expr::Var(v) => {
+            let mut m = HashMap::new();
+            m.insert(v.clone(), 1);
+            Some((m, 0))
+        }
+        Expr::Neg(inner) => {
+            let (mut m, k) = linear_form(inner)?;
+            for c in m.values_mut() {
+                *c = -*c;
+            }
+            Some((m, -k))
+        }
+        Expr::Bin(BinOp::Add, a, b) => {
+            let (mut ma, ka) = linear_form(a)?;
+            let (mb, kb) = linear_form(b)?;
+            for (v, c) in mb {
+                *ma.entry(v).or_insert(0) += c;
+            }
+            Some((ma, ka + kb))
+        }
+        Expr::Bin(BinOp::Sub, a, b) => {
+            let (mut ma, ka) = linear_form(a)?;
+            let (mb, kb) = linear_form(b)?;
+            for (v, c) in mb {
+                *ma.entry(v).or_insert(0) -= c;
+            }
+            Some((ma, ka - kb))
+        }
+        Expr::Bin(BinOp::Mul, a, b) => {
+            let (ma, ka) = linear_form(a)?;
+            let (mb, kb) = linear_form(b)?;
+            match (ma.values().all(|&c| c == 0), mb.values().all(|&c| c == 0)) {
+                (true, _) => {
+                    // constant × linear
+                    let mut m = mb;
+                    for c in m.values_mut() {
+                        *c *= ka;
+                    }
+                    Some((m, ka * kb))
+                }
+                (_, true) => {
+                    let mut m = ma;
+                    for c in m.values_mut() {
+                        *c *= kb;
+                    }
+                    Some((m, ka * kb))
+                }
+                _ => None, // var × var: nonlinear
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The recurrence shape of `name = rhs`, if `rhs` references `name`.
+fn recurrence_shape(name: &str, rhs: &Expr) -> Option<UpdateOp> {
+    // p = next(p)
+    if let Expr::Call(f, args) = rhs {
+        if f == "next" && args.len() == 1 {
+            if let Expr::Var(v) = &args[0] {
+                if v == name {
+                    return Some(UpdateOp::PointerChase);
+                }
+            }
+        }
+    }
+    // affine in itself?
+    if let Some((coeffs, _)) = linear_form(rhs) {
+        let self_coeff = coeffs.get(name).copied().unwrap_or(0);
+        let others = coeffs.iter().any(|(v, &c)| v != name && c != 0);
+        if self_coeff != 0 && !others {
+            return Some(if self_coeff == 1 {
+                UpdateOp::AddConst
+            } else {
+                UpdateOp::MulAddConst
+            });
+        }
+    }
+    // any other self-reference
+    let mut mentions = false;
+    rhs.walk(&mut |e| {
+        if let Expr::Var(v) = e {
+            if v == name {
+                mentions = true;
+            }
+        }
+    });
+    mentions.then_some(UpdateOp::Other)
+}
+
+struct Lowerer {
+    vars: HashMap<String, VarId>,
+    arrays: HashMap<String, ArrayId>,
+    /// Induction variables: name → (stride per iteration, initial value).
+    inductions: HashMap<String, (i64, Option<i64>)>,
+}
+
+impl Lowerer {
+    fn var(&mut self, name: &str) -> VarId {
+        let next = VarId(self.vars.len() as u32);
+        *self.vars.entry(name.to_string()).or_insert(next)
+    }
+
+    fn array(&mut self, name: &str) -> ArrayId {
+        let next = ArrayId(self.arrays.len() as u32);
+        *self.arrays.entry(name.to_string()).or_insert(next)
+    }
+
+    /// Lowers a subscript expression to the IR's subscript lattice.
+    fn subscript(&mut self, e: &Expr) -> Subscript {
+        let Some((coeffs, konst)) = linear_form(e) else {
+            return Subscript::Unknown;
+        };
+        let mut coeff = 0i64;
+        let mut offset = konst;
+        for (v, c) in &coeffs {
+            if *c == 0 {
+                continue;
+            }
+            match self.inductions.get(v) {
+                Some((stride, Some(init))) => {
+                    // v = init + stride·iteration (update at end of body)
+                    coeff += c * stride;
+                    offset += c * init;
+                }
+                _ => return Subscript::Unknown, // unknown base or non-induction
+            }
+        }
+        if coeff == 0 {
+            Subscript::Const(offset)
+        } else {
+            Subscript::Affine { coeff, offset }
+        }
+    }
+
+    /// Collects the memory references an expression reads.
+    fn reads_of(&mut self, e: &Expr, out: &mut Vec<WRef>) {
+        match e {
+            Expr::Int(_) | Expr::Null => {}
+            Expr::Var(v) => {
+                let r = WRef::Scalar(self.var(v));
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+            Expr::Index(arr, sub) => {
+                let s = self.subscript(sub);
+                let a = self.array(arr);
+                let r = WRef::Element(a, s);
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+                self.reads_of(sub, out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    self.reads_of(a, out);
+                }
+            }
+            Expr::Neg(inner) => self.reads_of(inner, out),
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                self.reads_of(a, out);
+                self.reads_of(b, out);
+            }
+        }
+    }
+}
+
+fn const_fold(e: &Expr) -> Option<i64> {
+    linear_form(e).and_then(|(coeffs, k)| coeffs.values().all(|&c| c == 0).then_some(k))
+}
+
+/// Lowers a parsed program to [`LoopIr`].
+pub fn lower(p: &Program) -> Result<LoopIr, LowerError> {
+    let mut lw = Lowerer {
+        vars: HashMap::new(),
+        arrays: HashMap::new(),
+        inductions: HashMap::new(),
+    };
+
+    // initial values from declarations
+    let inits: HashMap<&str, Option<i64>> = p
+        .decls
+        .iter()
+        .map(|Decl { name, init, .. }| (name.as_str(), init.as_ref().and_then(const_fold)))
+        .collect();
+
+    // first pass: find induction variables (x = x + c) so subscripts of
+    // *any* statement can use them
+    for st in &p.body {
+        if let Stmt::AssignVar(name, rhs) = st {
+            if recurrence_shape(name, rhs) == Some(UpdateOp::AddConst) {
+                if let Some((coeffs, k)) = linear_form(rhs) {
+                    debug_assert_eq!(coeffs.get(name.as_str()), Some(&1));
+                    let init = inits.get(name.as_str()).copied().flatten();
+                    lw.inductions.insert(name.clone(), (k, init));
+                }
+            }
+        }
+    }
+
+    let mut ir = LoopIr::new();
+
+    // the WHILE condition is the loop's first exit test
+    let mut cond_reads = Vec::new();
+    lw.reads_of(&p.cond, &mut cond_reads);
+    ir.push(IrStmt::exit_test(cond_reads));
+
+    for st in &p.body {
+        match st {
+            Stmt::ExitIf(c) => {
+                let mut reads = Vec::new();
+                lw.reads_of(c, &mut reads);
+                ir.push(IrStmt::exit_test(reads));
+            }
+            Stmt::AssignVar(name, rhs) => {
+                let mut reads = Vec::new();
+                lw.reads_of(rhs, &mut reads);
+                match recurrence_shape(name, rhs) {
+                    Some(op) => {
+                        let v = lw.var(name);
+                        let extra: Vec<WRef> =
+                            reads.into_iter().filter(|r| *r != WRef::Scalar(v)).collect();
+                        ir.push(IrStmt::update(v, op, extra));
+                    }
+                    None => {
+                        let v = lw.var(name);
+                        ir.push(IrStmt::assign(vec![WRef::Scalar(v)], reads));
+                    }
+                }
+            }
+            Stmt::AssignElem(arr, sub, rhs) => {
+                let mut reads = Vec::new();
+                lw.reads_of(sub, &mut reads);
+                lw.reads_of(rhs, &mut reads);
+                let s = lw.subscript(sub);
+                let a = lw.array(arr);
+                ir.push(IrStmt::assign(vec![WRef::Element(a, s)], reads));
+            }
+        }
+    }
+
+    if ir.is_empty() {
+        return Err(LowerError {
+            msg: "the loop lowers to no statements".into(),
+        });
+    }
+    Ok(ir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::parse_loop;
+    use crate::ir::StmtKind;
+    use crate::plan::{plan, StrategyKind};
+    use wlp_core::taxonomy::{DispatcherClass, TerminatorClass};
+
+    #[test]
+    fn figure1b_source_plans_like_the_builder() {
+        let ir = parse_loop(
+            "pointer tmp = head(list)\n\
+             while (tmp != null) {\n\
+                 work[tmp] = f(work[tmp])\n\
+                 tmp = next(tmp)\n\
+             }",
+        )
+        .unwrap();
+        let p = plan(&ir);
+        assert_eq!(p.dispatcher, DispatcherClass::General);
+        assert_eq!(p.terminator, TerminatorClass::RemainderInvariant);
+        assert_eq!(p.strategy, StrategyKind::General3);
+        assert!(!p.needs_undo);
+    }
+
+    #[test]
+    fn figure1e_source_plans_prefix() {
+        let ir = parse_loop(
+            "integer r = 1\n\
+             while (f(r) < 100) {\n\
+                 work[r] = work[r] + 1\n\
+                 r = 3 * r + 2\n\
+             }",
+        )
+        .unwrap();
+        let p = plan(&ir);
+        assert_eq!(p.dispatcher, DispatcherClass::Associative);
+        assert_eq!(p.strategy, StrategyKind::PrefixDoall);
+    }
+
+    #[test]
+    fn do_loop_source_gets_affine_subscripts() {
+        let ir = parse_loop(
+            "integer i = 0\n\
+             while (i < n) {\n\
+                 A[i] = 2 * A[i]\n\
+                 B[2*i + 3] = A[i]\n\
+                 i = i + 1\n\
+             }",
+        )
+        .unwrap();
+        // A[i] write: affine coeff 1, offset 0; B write: coeff 2, offset 3
+        let a_write = &ir.stmts[1].writes[0];
+        assert!(matches!(a_write, WRef::Element(_, Subscript::Affine { coeff: 1, offset: 0 })));
+        let b_write = &ir.stmts[2].writes[0];
+        assert!(matches!(b_write, WRef::Element(_, Subscript::Affine { coeff: 2, offset: 3 })));
+        let p = plan(&ir);
+        assert_eq!(p.strategy, StrategyKind::InductionDoall);
+        assert!(!p.needs_pd_test, "affine accesses are analyzable");
+    }
+
+    #[test]
+    fn subscripted_subscript_source_needs_pd() {
+        let ir = parse_loop(
+            "integer i = 0\n\
+             while (i < n) {\n\
+                 A[idx[i]] = A[idx[i]] + w[i]\n\
+                 i = i + 1\n\
+             }",
+        )
+        .unwrap();
+        let p = plan(&ir);
+        assert!(p.needs_pd_test, "A[idx[i]] is unanalyzable");
+        assert_eq!(p.strategy, StrategyKind::InductionDoall);
+    }
+
+    #[test]
+    fn rv_exit_is_detected_from_source() {
+        let ir = parse_loop(
+            "integer i = 0\n\
+             while (i < n) {\n\
+                 A[i] = g(A[i])\n\
+                 exit if (A[i] > limit)\n\
+                 i = i + 1\n\
+             }",
+        )
+        .unwrap();
+        let p = plan(&ir);
+        assert_eq!(p.terminator, TerminatorClass::RemainderVariant);
+        assert!(p.needs_undo);
+    }
+
+    #[test]
+    fn provable_recurrence_from_source_stays_sequential() {
+        let ir = parse_loop(
+            "integer i = 1\n\
+             while (i < n) {\n\
+                 A[i] = A[i] + A[i - 1]\n\
+                 i = i + 1\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(plan(&ir).strategy, StrategyKind::Sequential);
+    }
+
+    #[test]
+    fn unknown_induction_base_degrades_to_unknown_subscript() {
+        // i's initial value is not a compile-time constant
+        let ir = parse_loop(
+            "integer i = start()\n\
+             while (i < n) {\n\
+                 A[i] = 0\n\
+                 i = i + 1\n\
+             }",
+        )
+        .unwrap();
+        let w = &ir.stmts[1].writes[0];
+        assert!(matches!(w, WRef::Element(_, Subscript::Unknown)));
+    }
+
+    #[test]
+    fn constant_subscript_is_recognized() {
+        let ir = parse_loop("integer i = 0\nwhile (i < n) { A[7] = i; i = i + 1 }").unwrap();
+        let w = &ir.stmts[1].writes[0];
+        assert!(matches!(w, WRef::Element(_, Subscript::Const(7))));
+    }
+
+    #[test]
+    fn general_self_update_is_other() {
+        let ir = parse_loop("while (x < n) { x = f(x) }").unwrap();
+        assert!(matches!(ir.stmts[1].kind, StmtKind::Update(UpdateOp::Other)));
+    }
+
+    #[test]
+    fn linear_form_handles_nesting() {
+        use super::super::parser::parse_program;
+        let p = parse_program("while (q < 1) { y = 2 * (i + 3) - i }").unwrap();
+        let Stmt::AssignVar(_, rhs) = &p.body[0] else { panic!() };
+        let (coeffs, k) = linear_form(rhs).unwrap();
+        assert_eq!(coeffs.get("i"), Some(&1)); // 2i − i
+        assert_eq!(k, 6);
+    }
+
+    #[test]
+    fn nonlinear_forms_are_rejected() {
+        use super::super::parser::parse_program;
+        let p = parse_program("while (q < 1) { y = i * i }").unwrap();
+        let Stmt::AssignVar(_, rhs) = &p.body[0] else { panic!() };
+        assert!(linear_form(rhs).is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! A small Fortran-flavored front-end for WHILE loops.
+//!
+//! The paper's compiler consumes Fortran; this front-end accepts the same
+//! loop shapes in a compact textual form and lowers them to [`LoopIr`],
+//! completing the source → analysis → plan → execution pipeline. The
+//! paper's Figure 1(b), for example:
+//!
+//! ```text
+//! pointer tmp = head(list)
+//! while (tmp != null) {
+//!     work[tmp] = f(work[tmp])
+//!     tmp = next(tmp)
+//! }
+//! ```
+//!
+//! Recognized recurrence updates (the dispatcher candidates): `x = x + c`
+//! (induction), `x = a*x + b` in any arrangement (associative), and
+//! `p = next(p)` (pointer chase). Subscripts affine in a recognized
+//! induction variable with a known initial value lower to
+//! [`Subscript::Affine`]; anything else (subscripted subscripts, unknown
+//! bases, nonlinear forms) lowers to [`Subscript::Unknown`] — exactly the
+//! conservatism the run-time PD test exists to recover from.
+//!
+//! [`Subscript::Affine`]: crate::ir::Subscript::Affine
+//! [`Subscript::Unknown`]: crate::ir::Subscript::Unknown
+//! [`LoopIr`]: crate::ir::LoopIr
+
+mod ast;
+pub mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{BinOp, Decl, Expr, Program, Stmt};
+pub use lexer::{LexError, Token};
+pub use lower::{lower, LowerError};
+pub use parser::{parse_program, ParseError};
+
+use crate::ir::LoopIr;
+
+/// Parses and lowers one WHILE loop from source text.
+pub fn parse_loop(src: &str) -> Result<LoopIr, FrontendError> {
+    let program = parse_program(src)?;
+    Ok(lower(&program)?)
+}
+
+/// Any front-end failure, with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontendError {
+    /// Tokenization or syntax error.
+    Parse(ParseError),
+    /// The program is syntactically fine but cannot be lowered.
+    Lower(LowerError),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Parse(e) => write!(f, "parse error: {e}"),
+            FrontendError::Lower(e) => write!(f, "lowering error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+
+impl From<LowerError> for FrontendError {
+    fn from(e: LowerError) -> Self {
+        FrontendError::Lower(e)
+    }
+}

@@ -1,0 +1,355 @@
+//! Recursive-descent parser for the loop DSL.
+//!
+//! ```text
+//! program := decl* "while" "(" cond ")" "{" stmt* "}"
+//! decl    := ("integer" | "real" | "pointer") ident ("=" expr)? ";"?
+//! stmt    := "exit" "if" "(" cond ")" ";"?
+//!          | ident "=" expr ";"?
+//!          | ident "[" expr "]" "=" expr ";"?
+//! cond    := expr (cmpop expr)?
+//! expr    := term (("+" | "-") term)*
+//! term    := unary (("*" | "/") unary)*
+//! unary   := "-" unary | atom
+//! atom    := int | "null" | ident | ident "(" args ")" | ident "[" expr "]"
+//!          | "(" cond ")"
+//! ```
+
+use super::ast::{BinOp, Decl, Expr, Program, Stmt};
+use super::lexer::{lex, Token};
+
+/// A syntax error with the byte offset of the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset (or source length at end-of-input).
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Token)>,
+    at: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.at).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks.get(self.at).map_or(self.end, |(p, _)| *p)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.at).map(|(_, t)| t.clone());
+        self.at += 1;
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            pos: self.pos(),
+            msg: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.at += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.at += 1;
+                Ok(s)
+            }
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn eat_semi(&mut self) {
+        while self.peek() == Some(&Token::Semi) {
+            self.at += 1;
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut decls = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Ident(kw)) if matches!(kw.as_str(), "integer" | "real" | "pointer") => {
+                    let ty = self.eat_ident("type keyword")?;
+                    let name = self.eat_ident("variable name")?;
+                    let init = if self.peek() == Some(&Token::Assign) {
+                        self.at += 1;
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    self.eat_semi();
+                    decls.push(Decl { ty, name, init });
+                }
+                _ => break,
+            }
+        }
+        match self.peek() {
+            Some(Token::Ident(kw)) if kw == "while" => {
+                self.at += 1;
+            }
+            _ => return self.err("expected `while`"),
+        }
+        self.expect(&Token::LParen, "`(`")?;
+        let cond = self.cond()?;
+        self.expect(&Token::RParen, "`)`")?;
+        self.expect(&Token::LBrace, "`{`")?;
+        let mut body = Vec::new();
+        while self.peek() != Some(&Token::RBrace) {
+            if self.peek().is_none() {
+                return self.err("unterminated loop body (missing `}`)");
+            }
+            body.push(self.stmt()?);
+            self.eat_semi();
+        }
+        self.expect(&Token::RBrace, "`}`")?;
+        if let Some(t) = self.peek() {
+            return self.err(format!("trailing input after loop: {t:?}"));
+        }
+        Ok(Program { decls, cond, body })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        // `exit if (cond)`
+        if let Some(Token::Ident(kw)) = self.peek() {
+            if kw == "exit" {
+                self.at += 1;
+                let cont = self.eat_ident("`if`")?;
+                if cont != "if" {
+                    return self.err("expected `if` after `exit`");
+                }
+                self.expect(&Token::LParen, "`(`")?;
+                let c = self.cond()?;
+                self.expect(&Token::RParen, "`)`")?;
+                return Ok(Stmt::ExitIf(c));
+            }
+        }
+        let name = self.eat_ident("statement")?;
+        match self.peek() {
+            Some(Token::Assign) => {
+                self.at += 1;
+                Ok(Stmt::AssignVar(name, self.expr()?))
+            }
+            Some(Token::LBracket) => {
+                self.at += 1;
+                let sub = self.expr()?;
+                self.expect(&Token::RBracket, "`]`")?;
+                self.expect(&Token::Assign, "`=`")?;
+                Ok(Stmt::AssignElem(name, sub, self.expr()?))
+            }
+            other => self.err(format!("expected `=` or `[`, found {other:?}")),
+        }
+    }
+
+    fn cond(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.expr()?;
+        if let Some(Token::Cmp(op)) = self.peek().cloned() {
+            self.at += 1;
+            let rhs = self.expr()?;
+            Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.at += 1;
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.at += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Token::Minus) {
+            self.at += 1;
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(Expr::Int(v)),
+            Some(Token::LParen) => {
+                let e = self.cond()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if name == "null" {
+                    return Ok(Expr::Null);
+                }
+                match self.peek() {
+                    Some(Token::LParen) => {
+                        self.at += 1;
+                        let mut args = Vec::new();
+                        if self.peek() != Some(&Token::RParen) {
+                            loop {
+                                args.push(self.cond()?);
+                                if self.peek() == Some(&Token::Comma) {
+                                    self.at += 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Token::RParen, "`)`")?;
+                        Ok(Expr::Call(name, args))
+                    }
+                    Some(Token::LBracket) => {
+                        self.at += 1;
+                        let sub = self.expr()?;
+                        self.expect(&Token::RBracket, "`]`")?;
+                        Ok(Expr::Index(name, Box::new(sub)))
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            other => self.err(format!("expected an expression, found {other:?}")),
+        }
+    }
+}
+
+/// Parses a complete loop program.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src).map_err(|e| ParseError {
+        pos: e.pos,
+        msg: e.msg,
+    })?;
+    let mut p = Parser {
+        toks,
+        at: 0,
+        end: src.len(),
+    };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::lexer::CmpOp;
+
+    #[test]
+    fn parses_figure1b() {
+        let p = parse_program(
+            "pointer tmp = head(list)\n\
+             while (tmp != null) {\n\
+                 work[tmp] = f(work[tmp])\n\
+                 tmp = next(tmp)\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.decls.len(), 1);
+        assert_eq!(p.decls[0].name, "tmp");
+        assert_eq!(p.body.len(), 2);
+        assert!(matches!(p.cond, Expr::Cmp(CmpOp::Ne, _, _)));
+        assert!(matches!(&p.body[1], Stmt::AssignVar(v, _) if v == "tmp"));
+    }
+
+    #[test]
+    fn parses_do_loop_with_exit() {
+        let p = parse_program(
+            "integer i = 1\n\
+             while (i <= n) {\n\
+                 exit if (f(i) == 1)\n\
+                 A[i] = 2 * A[i];\n\
+                 i = i + 1\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.body.len(), 3);
+        assert!(matches!(&p.body[0], Stmt::ExitIf(_)));
+        assert!(matches!(&p.body[1], Stmt::AssignElem(a, _, _) if a == "A"));
+    }
+
+    #[test]
+    fn precedence_is_standard() {
+        let p = parse_program("while (x < 9) { x = 1 + 2 * 3 }").unwrap();
+        let Stmt::AssignVar(_, rhs) = &p.body[0] else { panic!() };
+        // 1 + (2 * 3)
+        assert_eq!(
+            *rhs,
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Int(1)),
+                Box::new(Expr::Bin(BinOp::Mul, Box::new(Expr::Int(2)), Box::new(Expr::Int(3)))),
+            )
+        );
+    }
+
+    #[test]
+    fn subscripted_subscripts_parse() {
+        let p = parse_program("while (i < n) { A[idx[i]] = A[idx[i]] + 1; i = i + 1 }").unwrap();
+        let Stmt::AssignElem(arr, sub, _) = &p.body[0] else { panic!() };
+        assert_eq!(arr, "A");
+        assert!(matches!(sub, Expr::Index(b, _) if b == "idx"));
+    }
+
+    #[test]
+    fn missing_while_is_an_error() {
+        let e = parse_program("integer i = 0\ni = i + 1").unwrap_err();
+        assert!(e.msg.contains("while"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_body_is_an_error() {
+        let e = parse_program("while (x < 1) { x = x + 1").unwrap_err();
+        assert!(e.msg.contains("unterminated") || e.msg.contains('}'), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let e = parse_program("while (x < 1) { x = x + 1 } garbage").unwrap_err();
+        assert!(e.msg.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn parenthesized_negation() {
+        let p = parse_program("while (x > -(3 + 4)) { x = x - 1 }").unwrap();
+        assert!(matches!(p.cond, Expr::Cmp(CmpOp::Gt, _, _)));
+    }
+}

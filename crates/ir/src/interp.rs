@@ -1,0 +1,617 @@
+//! An interpreter for parsed WHILE loops: the executable end of the
+//! pipeline.
+//!
+//! [`run_sequential`] gives the reference semantics of a [`Program`];
+//! [`run_parallel`] consults the [`plan`](crate::plan::plan) and — when the
+//! strategy allows — executes the loop as a speculative DOALL with every
+//! array routed through the PD test, falling back to sequential
+//! interpretation exactly like the paper's generated code would. The two
+//! entry points are guaranteed to produce identical final machines.
+//!
+//! Two canonicalizations keep the parallel semantics honest:
+//!
+//! * `exit if` conditions are evaluated at the **head** of each iteration
+//!   (test-then-work, the paper's canonical WHILE form);
+//! * only loops whose scalar updates are recurrences of a single known
+//!   induction variable run in parallel — anything else (pointer chases,
+//!   extra scalar state) is interpreted sequentially, mirroring the
+//!   planner's conservatism.
+
+use crate::frontend::{BinOp, Decl, Expr, Program, Stmt};
+use crate::ir::UpdateOp;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wlp_core::speculate::{speculative_while_group, GroupAccess, SpeculativeArray};
+use wlp_core::taxonomy::DispatcherClass;
+use wlp_runtime::Pool;
+
+/// A callable the loop may invoke (uninterpreted functions like `f(…)`).
+pub type HostFn = Arc<dyn Fn(&[i64]) -> i64 + Send + Sync>;
+
+/// The state a loop runs against: named arrays, named scalars, and host
+/// functions.
+#[derive(Clone, Default)]
+pub struct Machine {
+    /// Named integer arrays.
+    pub arrays: HashMap<String, Vec<i64>>,
+    /// Named scalars (loop-invariant inputs and declared variables).
+    pub scalars: HashMap<String, i64>,
+    /// Host functions callable from expressions.
+    pub funcs: HashMap<String, HostFn>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("arrays", &self.arrays.keys().collect::<Vec<_>>())
+            .field("scalars", &self.scalars)
+            .field("funcs", &self.funcs.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Registers a host function.
+    pub fn define_fn(&mut self, name: &str, f: impl Fn(&[i64]) -> i64 + Send + Sync + 'static) {
+        self.funcs.insert(name.to_string(), Arc::new(f));
+    }
+}
+
+/// An interpretation failure (unbound name, out-of-bounds access, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ExecError> {
+    Err(ExecError { msg: msg.into() })
+}
+
+/// How a loop finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Bodies executed.
+    pub iterations: usize,
+    /// `Some(i)` if an exit fired at iteration `i` (while-condition failing
+    /// or `exit if`); `None` if the `max_iters` bound stopped the run.
+    pub exited_at: Option<usize>,
+    /// Whether the parallel path was actually taken (and committed).
+    pub ran_parallel: bool,
+}
+
+/// Array view used by expression evaluation.
+trait ArrayView {
+    fn read(&mut self, name: &str, idx: i64) -> Result<i64, ExecError>;
+    fn write(&mut self, name: &str, idx: i64, v: i64) -> Result<(), ExecError>;
+}
+
+struct DirectView<'a> {
+    arrays: &'a mut HashMap<String, Vec<i64>>,
+}
+
+impl ArrayView for DirectView<'_> {
+    fn read(&mut self, name: &str, idx: i64) -> Result<i64, ExecError> {
+        let arr = self
+            .arrays
+            .get(name)
+            .ok_or_else(|| ExecError { msg: format!("unknown array `{name}`") })?;
+        usize::try_from(idx)
+            .ok()
+            .and_then(|i| arr.get(i).copied())
+            .ok_or_else(|| ExecError { msg: format!("`{name}[{idx}]` out of bounds") })
+    }
+
+    fn write(&mut self, name: &str, idx: i64, v: i64) -> Result<(), ExecError> {
+        let arr = self
+            .arrays
+            .get_mut(name)
+            .ok_or_else(|| ExecError { msg: format!("unknown array `{name}`") })?;
+        let i = usize::try_from(idx)
+            .ok()
+            .filter(|&i| i < arr.len())
+            .ok_or_else(|| ExecError { msg: format!("`{name}[{idx}]` out of bounds") })?;
+        arr[i] = v;
+        Ok(())
+    }
+}
+
+struct SpecView<'a, 'b> {
+    access: &'a mut GroupAccess<'b, i64>,
+    index_of: &'a HashMap<String, usize>,
+    lens: &'a HashMap<String, usize>,
+}
+
+impl ArrayView for SpecView<'_, '_> {
+    fn read(&mut self, name: &str, idx: i64) -> Result<i64, ExecError> {
+        let a = *self
+            .index_of
+            .get(name)
+            .ok_or_else(|| ExecError { msg: format!("unknown array `{name}`") })?;
+        let i = usize::try_from(idx)
+            .ok()
+            .filter(|&i| i < self.lens[name])
+            .ok_or_else(|| ExecError { msg: format!("`{name}[{idx}]` out of bounds") })?;
+        Ok(self.access.read(a, i))
+    }
+
+    fn write(&mut self, name: &str, idx: i64, v: i64) -> Result<(), ExecError> {
+        let a = *self
+            .index_of
+            .get(name)
+            .ok_or_else(|| ExecError { msg: format!("unknown array `{name}`") })?;
+        let i = usize::try_from(idx)
+            .ok()
+            .filter(|&i| i < self.lens[name])
+            .ok_or_else(|| ExecError { msg: format!("`{name}[{idx}]` out of bounds") })?;
+        self.access.write(a, i, v);
+        Ok(())
+    }
+}
+
+fn eval(
+    e: &Expr,
+    scalars: &HashMap<String, i64>,
+    funcs: &HashMap<String, HostFn>,
+    view: &mut dyn ArrayView,
+) -> Result<i64, ExecError> {
+    use crate::frontend::lexer::CmpOp;
+    Ok(match e {
+        Expr::Int(v) => *v,
+        Expr::Null => 0,
+        Expr::Var(v) => match scalars.get(v) {
+            Some(x) => *x,
+            None => return err(format!("unbound scalar `{v}`")),
+        },
+        Expr::Index(arr, sub) => {
+            let i = eval(sub, scalars, funcs, view)?;
+            view.read(arr, i)?
+        }
+        Expr::Call(f, args) => {
+            let func = funcs
+                .get(f)
+                .ok_or_else(|| ExecError { msg: format!("unknown function `{f}`") })?
+                .clone();
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, scalars, funcs, view)?);
+            }
+            func(&vals)
+        }
+        Expr::Neg(inner) => -eval(inner, scalars, funcs, view)?,
+        Expr::Bin(op, a, b) => {
+            let (x, y) = (eval(a, scalars, funcs, view)?, eval(b, scalars, funcs, view)?);
+            match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => {
+                    if y == 0 {
+                        return err("division by zero");
+                    }
+                    x.wrapping_div(y)
+                }
+            }
+        }
+        Expr::Cmp(op, a, b) => {
+            let (x, y) = (eval(a, scalars, funcs, view)?, eval(b, scalars, funcs, view)?);
+            i64::from(match op {
+                CmpOp::Lt => x < y,
+                CmpOp::Gt => x > y,
+                CmpOp::Le => x <= y,
+                CmpOp::Ge => x >= y,
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+            })
+        }
+    })
+}
+
+fn apply_decls(p: &Program, m: &mut Machine) -> Result<(), ExecError> {
+    for Decl { name, init, .. } in &p.decls {
+        let v = match init {
+            Some(e) => {
+                let mut view = DirectView { arrays: &mut m.arrays };
+                eval(e, &m.scalars, &m.funcs, &mut view)?
+            }
+            None => 0,
+        };
+        m.scalars.insert(name.clone(), v);
+    }
+    Ok(())
+}
+
+/// Interprets the loop sequentially against `machine` (which is updated in
+/// place). `max_iters` bounds runaway loops.
+pub fn run_sequential(
+    p: &Program,
+    machine: &mut Machine,
+    max_iters: usize,
+) -> Result<ExecOutcome, ExecError> {
+    apply_decls(p, machine)?;
+    let mut iterations = 0usize;
+    for i in 0..max_iters {
+        let cont = {
+            let mut view = DirectView { arrays: &mut machine.arrays };
+            eval(&p.cond, &machine.scalars, &machine.funcs, &mut view)?
+        };
+        if cont == 0 {
+            return Ok(ExecOutcome { iterations, exited_at: Some(i), ran_parallel: false });
+        }
+        // canonical test-then-work: all exit tests at the iteration head
+        for st in &p.body {
+            if let Stmt::ExitIf(c) = st {
+                let mut view = DirectView { arrays: &mut machine.arrays };
+                if eval(c, &machine.scalars, &machine.funcs, &mut view)? != 0 {
+                    return Ok(ExecOutcome { iterations, exited_at: Some(i), ran_parallel: false });
+                }
+            }
+        }
+        for st in &p.body {
+            match st {
+                Stmt::ExitIf(_) => {}
+                Stmt::AssignVar(name, rhs) => {
+                    let v = {
+                        let mut view = DirectView { arrays: &mut machine.arrays };
+                        eval(rhs, &machine.scalars, &machine.funcs, &mut view)?
+                    };
+                    machine.scalars.insert(name.clone(), v);
+                }
+                Stmt::AssignElem(arr, sub, rhs) => {
+                    let mut view = DirectView { arrays: &mut machine.arrays };
+                    let i = eval(sub, &machine.scalars, &machine.funcs, &mut view)?;
+                    let v = eval(rhs, &machine.scalars, &machine.funcs, &mut view)?;
+                    view.write(arr, i, v)?;
+                }
+            }
+        }
+        iterations += 1;
+    }
+    Ok(ExecOutcome { iterations, exited_at: None, ran_parallel: false })
+}
+
+/// The single induction variable a parallel interpretation needs:
+/// `(name, stride, init)`. `None` when the loop does not qualify.
+fn parallel_induction(p: &Program) -> Option<(String, i64, i64)> {
+    let ir = crate::frontend::lower(p).ok()?;
+    let plan = crate::plan::plan(&ir);
+    if plan.dispatcher != DispatcherClass::MonotonicInduction {
+        return None;
+    }
+    // every scalar assignment must be the induction update itself
+    let mut found: Option<(String, i64)> = None;
+    for st in &p.body {
+        if let Stmt::AssignVar(name, rhs) = st {
+            let shape = {
+                // reuse the recurrence matcher by lowering the single
+                // statement in isolation
+                let tmp = Program {
+                    decls: vec![],
+                    cond: Expr::Int(1),
+                    body: vec![Stmt::AssignVar(name.clone(), rhs.clone())],
+                };
+                let ir = crate::frontend::lower(&tmp).ok()?;
+                match ir.stmts.last()?.kind {
+                    crate::ir::StmtKind::Update(op) => Some(op),
+                    _ => None,
+                }
+            };
+            match shape {
+                Some(UpdateOp::AddConst) if found.is_none() => {
+                    // stride from the linear form: rhs = name + stride
+                    let stride = stride_of(name, rhs)?;
+                    found = Some((name.clone(), stride));
+                }
+                _ => return None, // extra scalar state: not a DOALL candidate
+            }
+        }
+    }
+    let (name, stride) = found?;
+    let init = p.decls.iter().find(|d| d.name == name)?.init.as_ref()?;
+    let init = const_eval(init)?;
+    Some((name, stride, init))
+}
+
+fn stride_of(name: &str, rhs: &Expr) -> Option<i64> {
+    // rhs is known AddConst: evaluate rhs with name := 0 and no other vars
+    fn go(e: &Expr, name: &str) -> Option<i64> {
+        match e {
+            Expr::Int(v) => Some(*v),
+            Expr::Var(v) if v == name => Some(0),
+            Expr::Neg(i) => Some(-go(i, name)?),
+            Expr::Bin(BinOp::Add, a, b) => Some(go(a, name)? + go(b, name)?),
+            Expr::Bin(BinOp::Sub, a, b) => Some(go(a, name)? - go(b, name)?),
+            Expr::Bin(BinOp::Mul, a, b) => Some(go(a, name)? * go(b, name)?),
+            _ => None,
+        }
+    }
+    go(rhs, name)
+}
+
+fn const_eval(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Int(v) => Some(*v),
+        Expr::Neg(i) => Some(-const_eval(i)?),
+        Expr::Bin(op, a, b) => {
+            let (x, y) = (const_eval(a)?, const_eval(b)?);
+            Some(match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x.checked_div(y)?,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Interprets the loop through the planned parallel strategy: a
+/// speculative DOALL with every array under the PD test. Loops the plan
+/// cannot parallelize (general dispatchers, provable recurrences, extra
+/// scalar state) fall back to [`run_sequential`] — either way, the final
+/// machine equals the sequential semantics.
+pub fn run_parallel(
+    p: &Program,
+    machine: &mut Machine,
+    pool: &Pool,
+    max_iters: usize,
+) -> Result<ExecOutcome, ExecError> {
+    let Some((ivar, stride, init)) = parallel_induction(p) else {
+        return run_sequential(p, machine, max_iters);
+    };
+    apply_decls(p, machine)?;
+
+    // order arrays and wrap them for speculation
+    let names: Vec<String> = {
+        let mut v: Vec<String> = machine.arrays.keys().cloned().collect();
+        v.sort();
+        v
+    };
+    let index_of: HashMap<String, usize> =
+        names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
+    let lens: HashMap<String, usize> =
+        names.iter().map(|n| (n.clone(), machine.arrays[n].len())).collect();
+    let spec: Vec<SpeculativeArray<i64>> = names
+        .iter()
+        .map(|n| SpeculativeArray::new(machine.arrays[n].clone()))
+        .collect();
+
+    let base_scalars = machine.scalars.clone();
+    let funcs = machine.funcs.clone();
+    let fail: parking_lot::Mutex<Option<ExecError>> = parking_lot::Mutex::new(None);
+
+    let bind = |i: usize| {
+        let mut s = base_scalars.clone();
+        s.insert(ivar.clone(), init + stride * i as i64);
+        s
+    };
+
+    let out = speculative_while_group(
+        pool,
+        max_iters,
+        &spec,
+        |i, g| {
+            let scalars = bind(i);
+            let mut view = SpecView { access: g, index_of: &index_of, lens: &lens };
+            // while-condition failing, or any (head-hoisted) exit-if firing
+            match eval(&p.cond, &scalars, &funcs, &mut view) {
+                Ok(0) => return true,
+                Ok(_) => {}
+                Err(e) => {
+                    fail.lock().get_or_insert(e);
+                    return true;
+                }
+            }
+            for st in &p.body {
+                if let Stmt::ExitIf(c) = st {
+                    match eval(c, &scalars, &funcs, &mut view) {
+                        Ok(v) if v != 0 => return true,
+                        Ok(_) => {}
+                        Err(e) => {
+                            fail.lock().get_or_insert(e);
+                            return true;
+                        }
+                    }
+                }
+            }
+            false
+        },
+        |i, g| {
+            let scalars = bind(i);
+            let mut view = SpecView { access: g, index_of: &index_of, lens: &lens };
+            for st in &p.body {
+                if let Stmt::AssignElem(arr, sub, rhs) = st {
+                    let r = eval(sub, &scalars, &funcs, &mut view)
+                        .and_then(|idx| {
+                            let v = eval(rhs, &scalars, &funcs, &mut view)?;
+                            view.write(arr, idx, v)
+                        });
+                    if let Err(e) = r {
+                        fail.lock().get_or_insert(e);
+                        return;
+                    }
+                }
+            }
+        },
+    );
+
+    if let Some(e) = fail.into_inner() {
+        return Err(e);
+    }
+
+    // copy arrays back and advance the induction variable to its final value
+    for (n, arr) in names.iter().zip(&spec) {
+        machine.arrays.insert(n.clone(), arr.snapshot());
+    }
+    let end = out.last_valid.unwrap_or(max_iters);
+    machine.scalars.insert(ivar, init + stride * end as i64);
+
+    Ok(ExecOutcome {
+        iterations: end,
+        exited_at: out.last_valid,
+        ran_parallel: out.committed_parallel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::parse_program;
+
+    fn pool() -> Pool {
+        Pool::new(4)
+    }
+
+    fn machine_with(arrays: &[(&str, Vec<i64>)]) -> Machine {
+        let mut m = Machine::default();
+        for (n, v) in arrays {
+            m.arrays.insert(n.to_string(), v.clone());
+        }
+        m
+    }
+
+    const DOUBLING: &str = "integer i = 0\n\
+                            while (i < 50) {\n\
+                                A[i] = 2 * A[i]\n\
+                                i = i + 1\n\
+                            }";
+
+    #[test]
+    fn sequential_interpretation_runs_the_loop() {
+        let p = parse_program(DOUBLING).unwrap();
+        let mut m = machine_with(&[("A", (0..100).collect())]);
+        let out = run_sequential(&p, &mut m, 1000).unwrap();
+        assert_eq!(out.iterations, 50);
+        assert_eq!(out.exited_at, Some(50));
+        assert_eq!(m.arrays["A"][10], 20);
+        assert_eq!(m.arrays["A"][60], 60, "untouched past the bound");
+        assert_eq!(m.scalars["i"], 50);
+    }
+
+    #[test]
+    fn parallel_interpretation_matches_sequential() {
+        let p = parse_program(DOUBLING).unwrap();
+        let mut seq = machine_with(&[("A", (0..100).collect())]);
+        run_sequential(&p, &mut seq, 1000).unwrap();
+        let mut par = machine_with(&[("A", (0..100).collect())]);
+        let out = run_parallel(&p, &mut par, &pool(), 1000).unwrap();
+        assert!(out.ran_parallel, "an independent DO loop must commit in parallel");
+        assert_eq!(par.arrays, seq.arrays);
+        assert_eq!(par.scalars["i"], seq.scalars["i"]);
+    }
+
+    #[test]
+    fn indirect_subscripts_speculate_and_match() {
+        let src = "integer i = 0\n\
+                   while (i < 64) {\n\
+                       A[idx[i]] = A[idx[i]] + 100\n\
+                       i = i + 1\n\
+                   }";
+        let p = parse_program(src).unwrap();
+        let idx: Vec<i64> = (0..64).map(|i| (i * 29) % 64).collect(); // permutation
+        let build = || machine_with(&[("A", (0..64).collect()), ("idx", idx.clone())]);
+        let mut seq = build();
+        run_sequential(&p, &mut seq, 1000).unwrap();
+        let mut par = build();
+        let out = run_parallel(&p, &mut par, &pool(), 64).unwrap();
+        assert!(out.ran_parallel, "a permutation subscript passes the PD test");
+        assert_eq!(par.arrays["A"], seq.arrays["A"]);
+    }
+
+    #[test]
+    fn colliding_subscripts_fall_back_and_still_match() {
+        let src = "integer i = 0\n\
+                   while (i < 32) {\n\
+                       A[idx[i]] = A[idx[i]] + 1\n\
+                       i = i + 1\n\
+                   }";
+        let p = parse_program(src).unwrap();
+        let idx = vec![0i64; 32]; // every iteration hits A[0]
+        let build = || machine_with(&[("A", vec![0; 4]), ("idx", idx.clone())]);
+        let mut seq = build();
+        run_sequential(&p, &mut seq, 1000).unwrap();
+        let mut par = build();
+        let out = run_parallel(&p, &mut par, &pool(), 32).unwrap();
+        assert!(!out.ran_parallel, "a shared cell must fail the PD test");
+        assert_eq!(par.arrays["A"], seq.arrays["A"]);
+        assert_eq!(par.arrays["A"][0], 32);
+    }
+
+    #[test]
+    fn exit_if_is_honoured_in_both_modes() {
+        let src = "integer i = 0\n\
+                   while (i < 1000) {\n\
+                       exit if (stop[i] == 1)\n\
+                       A[i] = 7\n\
+                       i = i + 1\n\
+                   }";
+        let p = parse_program(src).unwrap();
+        let mut stop = vec![0i64; 1000];
+        stop[123] = 1;
+        let build = || machine_with(&[("A", vec![0; 1000]), ("stop", stop.clone())]);
+        let mut seq = build();
+        let so = run_sequential(&p, &mut seq, 2000).unwrap();
+        assert_eq!(so.exited_at, Some(123));
+        let mut par = build();
+        let po = run_parallel(&p, &mut par, &pool(), 2000).unwrap();
+        assert_eq!(po.exited_at, Some(123));
+        assert_eq!(par.arrays["A"], seq.arrays["A"]);
+        assert_eq!(seq.arrays["A"].iter().filter(|&&v| v == 7).count(), 123);
+    }
+
+    #[test]
+    fn host_functions_are_callable() {
+        let src = "integer i = 0\n\
+                   while (i < 10) {\n\
+                       A[i] = square(i) + 1\n\
+                       i = i + 1\n\
+                   }";
+        let p = parse_program(src).unwrap();
+        let mut m = machine_with(&[("A", vec![0; 10])]);
+        m.define_fn("square", |args| args[0] * args[0]);
+        run_sequential(&p, &mut m, 100).unwrap();
+        assert_eq!(m.arrays["A"][3], 10);
+    }
+
+    #[test]
+    fn pointer_loops_fall_back_to_sequential() {
+        // interpret the list as next[] pointers: the planner says General,
+        // so the interpreter conservatively runs sequentially
+        let src = "integer p = 0\n\
+                   while (p != -1) {\n\
+                       A[p] = A[p] + 1\n\
+                       p = step(p)\n\
+                   }";
+        let prog = parse_program(src).unwrap();
+        let mut m = machine_with(&[("A", vec![0; 8])]);
+        m.define_fn("step", |args| if args[0] >= 7 { -1 } else { args[0] + 1 });
+        let out = run_parallel(&prog, &mut m, &pool(), 100).unwrap();
+        assert!(!out.ran_parallel);
+        assert!(m.arrays["A"].iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let src = "integer i = 0\nwhile (i < 10) { A[i] = 1; i = i + 1 }";
+        let p = parse_program(src).unwrap();
+        let mut m = machine_with(&[("A", vec![0; 3])]);
+        let e = run_sequential(&p, &mut m, 100).unwrap_err();
+        assert!(e.msg.contains("out of bounds"), "{e}");
+    }
+
+    #[test]
+    fn runaway_loops_hit_the_bound() {
+        let src = "while (1 == 1) { A[0] = A[0] + 1 }";
+        let p = parse_program(src).unwrap();
+        let mut m = machine_with(&[("A", vec![0; 1])]);
+        let out = run_sequential(&p, &mut m, 50).unwrap();
+        assert_eq!(out.exited_at, None);
+        assert_eq!(m.arrays["A"][0], 50);
+    }
+}

@@ -1,0 +1,165 @@
+//! Strongly-connected components of the dependence graph.
+//!
+//! SCCs are the unit of loop distribution: statements in one SCC are
+//! mutually dependent and must stay in one loop; the condensation's
+//! topological order is a legal distribution order (Wolfe \[27\]). An
+//! iterative Tarjan keeps deep graphs from overflowing the stack.
+
+use crate::dependence::DepGraph;
+
+/// Computes SCCs of `g`. Returns the components in **reverse topological
+/// order of discovery inverted to topological order**: component `k` only
+/// depends on components `< k`. Each component lists statement indices in
+/// ascending order.
+pub fn condense(g: &DepGraph) -> Vec<Vec<usize>> {
+    let n = g.n;
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &g.edges {
+        if e.from != e.to {
+            adj[e.from].push(e.to);
+        }
+    }
+
+    // iterative Tarjan
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+
+    #[derive(Clone, Copy)]
+    struct Frame {
+        v: usize,
+        child: usize,
+    }
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<Frame> = vec![Frame { v: start, child: 0 }];
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(frame) = call.last_mut() {
+            let v = frame.v;
+            if frame.child < adj[v].len() {
+                let w = adj[v][frame.child];
+                frame.child += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push(Frame { v: w, child: 0 });
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    comps.push(comp);
+                }
+                let done = *frame;
+                call.pop();
+                if let Some(parent) = call.last_mut() {
+                    low[parent.v] = low[parent.v].min(low[done.v]);
+                }
+            }
+        }
+    }
+
+    // Tarjan emits components in reverse topological order; flip it.
+    comps.reverse();
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dependence::{DepEdge, DepKind};
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> DepGraph {
+        DepGraph {
+            n,
+            edges: edges
+                .iter()
+                .map(|&(from, to)| DepEdge {
+                    from,
+                    to,
+                    kind: DepKind::Flow,
+                    loop_carried: true,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn chain_gives_singletons_in_order() {
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        assert_eq!(condense(&g), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn cycle_collapses() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let comps = condense(&g);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn topological_order_holds() {
+        let g = graph(6, &[(0, 1), (1, 2), (2, 1), (2, 3), (4, 5), (5, 4), (3, 4)]);
+        let comps = condense(&g);
+        // position of each statement's component
+        let mut pos = [0usize; 6];
+        for (k, comp) in comps.iter().enumerate() {
+            for &s in comp {
+                pos[s] = k;
+            }
+        }
+        for e in &g.edges {
+            assert!(pos[e.from] <= pos[e.to], "edge {} → {}", e.from, e.to);
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let g = graph(3, &[]);
+        assert_eq!(condense(&g).len(), 3);
+    }
+
+    #[test]
+    fn self_edges_do_not_break_tarjan() {
+        let g = graph(2, &[(0, 0), (0, 1)]);
+        assert_eq!(condense(&g), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph(0, &[]);
+        assert!(condense(&g).is_empty());
+    }
+
+    #[test]
+    fn large_chain_does_not_overflow_stack() {
+        let n = 50_000;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let comps = condense(&graph(n, &edges));
+        assert_eq!(comps.len(), n);
+    }
+}

@@ -1,0 +1,73 @@
+//! Front-end robustness: arbitrary input never panics, and valid programs
+//! round-trip through parse → lower → plan without surprises.
+
+use proptest::prelude::*;
+use wlp_ir::frontend::{parse_program, Program};
+use wlp_ir::{parse_loop, plan};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(src in "\\PC{0,200}") {
+        // any outcome is fine; panicking is not
+        let _ = parse_loop(&src);
+    }
+
+    #[test]
+    fn token_soup_never_panics(
+        toks in prop::collection::vec(
+            prop_oneof![
+                Just("while".to_string()),
+                Just("integer".to_string()),
+                Just("exit".to_string()),
+                Just("if".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just("=".to_string()),
+                Just("+".to_string()),
+                Just("<".to_string()),
+                Just("i".to_string()),
+                Just("A".to_string()),
+                Just("7".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = parse_loop(&src);
+    }
+
+    #[test]
+    fn well_formed_counting_loops_always_lower(
+        bound in 1i64..1000,
+        stride in 1i64..5,
+        coeff in 1i64..4,
+        offset in 0i64..10,
+    ) {
+        let src = format!(
+            "integer i = 0\nwhile (i < {bound}) {{ A[{coeff}*i + {offset}] = i; i = i + {stride} }}"
+        );
+        let ir = parse_loop(&src).unwrap();
+        let p = plan(&ir);
+        // an affine store over a known induction is always an induction DOALL
+        assert_eq!(p.strategy, wlp_ir::StrategyKind::InductionDoall);
+        assert!(!p.needs_pd_test, "affine subscripts are analyzable: {src}");
+    }
+
+    #[test]
+    fn parse_is_deterministic(seed in any::<u64>()) {
+        let src = format!(
+            "integer i = {}\nwhile (i < n) {{ A[i] = B[i] + {}; i = i + 1 }}",
+            seed % 100,
+            seed % 7
+        );
+        let a: Program = parse_program(&src).unwrap();
+        let b: Program = parse_program(&src).unwrap();
+        assert_eq!(a, b);
+    }
+}

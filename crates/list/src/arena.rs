@@ -1,0 +1,427 @@
+//! Index-based singly linked list stored in an arena.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Handle to a node inside a [`ListArena`].
+///
+/// A `NodeId` is only meaningful for the arena that produced it; using it
+/// with another arena yields unspecified (but memory-safe) results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Raw index of the node in the arena's backing storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: T,
+    next: Option<NodeId>,
+}
+
+/// A singly linked list whose nodes live in a single growable arena.
+///
+/// Logical order (the order `next` pointers visit nodes) is independent of
+/// storage order, so pointer-chasing workloads can be modelled faithfully by
+/// building the list with [`ListArena::from_values_shuffled`].
+///
+/// Traversal through `&self` is safe from any number of threads at once.
+#[derive(Debug, Clone, Default)]
+pub struct ListArena<T> {
+    nodes: Vec<Node<T>>,
+    head: Option<NodeId>,
+    tail: Option<NodeId>,
+    len: usize,
+}
+
+impl<T> ListArena<T> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        ListArena {
+            nodes: Vec::new(),
+            head: None,
+            tail: None,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty list with room for `cap` nodes.
+    pub fn with_capacity(cap: usize) -> Self {
+        ListArena {
+            nodes: Vec::with_capacity(cap),
+            head: None,
+            tail: None,
+            len: 0,
+        }
+    }
+
+    /// Builds a list whose storage order equals its logical order.
+    pub fn from_values<I: IntoIterator<Item = T>>(values: I) -> Self {
+        let iter = values.into_iter();
+        let mut list = ListArena::with_capacity(iter.size_hint().0);
+        for v in iter {
+            list.push_back(v);
+        }
+        list
+    }
+
+    /// Builds a list whose *storage* order is a seeded random permutation of
+    /// its logical order, emulating a heap-allocated list whose nodes are
+    /// scattered in memory. Logical order still follows `values`.
+    pub fn from_values_shuffled<I: IntoIterator<Item = T>>(values: I, seed: u64) -> Self {
+        let values: Vec<T> = values.into_iter().collect();
+        let n = values.len();
+        let mut slots: Vec<u32> = (0..n as u32).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        slots.shuffle(&mut rng);
+        // slots[logical position] = storage index
+        let mut nodes: Vec<Option<Node<T>>> = (0..n).map(|_| None).collect();
+        for (logical, v) in values.into_iter().enumerate() {
+            let next = if logical + 1 < n {
+                Some(NodeId(slots[logical + 1]))
+            } else {
+                None
+            };
+            nodes[slots[logical] as usize] = Some(Node { value: v, next });
+        }
+        let head = if n > 0 { Some(NodeId(slots[0])) } else { None };
+        let tail = if n > 0 { Some(NodeId(slots[n - 1])) } else { None };
+        ListArena {
+            nodes: nodes.into_iter().map(|n| n.expect("all slots filled")).collect(),
+            head,
+            tail,
+            len: n,
+        }
+    }
+
+    /// Appends a value at the logical end of the list.
+    pub fn push_back(&mut self, value: T) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("arena limited to u32 nodes"));
+        self.nodes.push(Node { value, next: None });
+        match self.tail {
+            Some(tail) => self.nodes[tail.index()].next = Some(id),
+            None => self.head = Some(id),
+        }
+        self.tail = Some(id);
+        self.len += 1;
+        id
+    }
+
+    /// Inserts a value immediately after `after`, returning the new node.
+    pub fn insert_after(&mut self, after: NodeId, value: T) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("arena limited to u32 nodes"));
+        let next = self.nodes[after.index()].next;
+        self.nodes.push(Node { value, next });
+        self.nodes[after.index()].next = Some(id);
+        if self.tail == Some(after) {
+            self.tail = Some(id);
+        }
+        self.len += 1;
+        id
+    }
+
+    /// Unlinks the node following `after` (its storage is retained but no
+    /// longer reachable). Returns the unlinked node's id, if any.
+    pub fn remove_after(&mut self, after: NodeId) -> Option<NodeId> {
+        let victim = self.nodes[after.index()].next?;
+        let vnext = self.nodes[victim.index()].next;
+        self.nodes[after.index()].next = vnext;
+        if self.tail == Some(victim) {
+            self.tail = Some(after);
+        }
+        self.len -= 1;
+        Some(victim)
+    }
+
+    /// First node of the list, or `None` when empty.
+    #[inline]
+    pub fn head(&self) -> Option<NodeId> {
+        self.head
+    }
+
+    /// Last node of the list, or `None` when empty.
+    #[inline]
+    pub fn tail(&self) -> Option<NodeId> {
+        self.tail
+    }
+
+    /// The dispatcher increment: `next(tmp)` in the paper's Figure 1(b).
+    #[inline]
+    pub fn next(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].next
+    }
+
+    /// Value stored at `id`.
+    #[inline]
+    pub fn value(&self, id: NodeId) -> &T {
+        &self.nodes[id.index()].value
+    }
+
+    /// Mutable value stored at `id`.
+    #[inline]
+    pub fn value_mut(&mut self, id: NodeId) -> &mut T {
+        &mut self.nodes[id.index()].value
+    }
+
+    /// Number of reachable nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Hops `k` links starting from `id`; `None` if the list ends first.
+    /// `nth_from(id, 0) == Some(id)`.
+    pub fn nth_from(&self, id: NodeId, k: usize) -> Option<NodeId> {
+        let mut cur = id;
+        for _ in 0..k {
+            cur = self.next(cur)?;
+        }
+        Some(cur)
+    }
+
+    /// Logical-order iterator over `(NodeId, &T)` pairs.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            arena: self,
+            cur: self.head,
+        }
+    }
+
+    /// A cursor positioned at the head, for explicit dispatcher loops.
+    pub fn cursor(&self) -> Cursor<'_, T> {
+        Cursor {
+            arena: self,
+            cur: self.head,
+            hops: 0,
+        }
+    }
+
+    /// Collects the logical order of node ids (mostly for tests and for the
+    /// run-twice execution scheme of Section 4).
+    pub fn logical_order(&self) -> Vec<NodeId> {
+        self.iter().map(|(id, _)| id).collect()
+    }
+}
+
+impl<T> std::ops::Index<NodeId> for ListArena<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, id: NodeId) -> &T {
+        self.value(id)
+    }
+}
+
+impl<T> std::ops::IndexMut<NodeId> for ListArena<T> {
+    #[inline]
+    fn index_mut(&mut self, id: NodeId) -> &mut T {
+        self.value_mut(id)
+    }
+}
+
+impl<T> FromIterator<T> for ListArena<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        ListArena::from_values(iter)
+    }
+}
+
+/// Logical-order iterator over a [`ListArena`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a, T> {
+    arena: &'a ListArena<T>,
+    cur: Option<NodeId>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (NodeId, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let id = self.cur?;
+        self.cur = self.arena.next(id);
+        Some((id, self.arena.value(id)))
+    }
+}
+
+/// An explicit traversal position, counting the hops it has performed.
+///
+/// The hop counter is what the simulator and the cost model charge for: each
+/// `advance` is one evaluation of the general recurrence.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a, T> {
+    arena: &'a ListArena<T>,
+    cur: Option<NodeId>,
+    hops: u64,
+}
+
+impl<'a, T> Cursor<'a, T> {
+    /// Current node, or `None` past the end.
+    #[inline]
+    pub fn get(&self) -> Option<NodeId> {
+        self.cur
+    }
+
+    /// Current value, or `None` past the end.
+    #[inline]
+    pub fn value(&self) -> Option<&'a T> {
+        self.cur.map(|id| self.arena.value(id))
+    }
+
+    /// Advances one link; returns the new position.
+    #[inline]
+    pub fn advance(&mut self) -> Option<NodeId> {
+        if let Some(id) = self.cur {
+            self.cur = self.arena.next(id);
+            self.hops += 1;
+        }
+        self.cur
+    }
+
+    /// Advances `k` links (stopping early at the end of the list).
+    pub fn advance_by(&mut self, k: usize) -> Option<NodeId> {
+        for _ in 0..k {
+            if self.cur.is_none() {
+                break;
+            }
+            self.advance();
+        }
+        self.cur
+    }
+
+    /// Total hops performed by this cursor since creation.
+    #[inline]
+    pub fn hops(&self) -> u64 {
+        self.hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_list() {
+        let l: ListArena<i32> = ListArena::new();
+        assert!(l.is_empty());
+        assert_eq!(l.len(), 0);
+        assert_eq!(l.head(), None);
+        assert_eq!(l.tail(), None);
+        assert_eq!(l.iter().count(), 0);
+    }
+
+    #[test]
+    fn push_back_preserves_order() {
+        let l = ListArena::from_values(0..10);
+        let vals: Vec<i32> = l.iter().map(|(_, &v)| v).collect();
+        assert_eq!(vals, (0..10).collect::<Vec<_>>());
+        assert_eq!(l.len(), 10);
+    }
+
+    #[test]
+    fn shuffled_layout_preserves_logical_order() {
+        let l = ListArena::from_values_shuffled(0..100, 42);
+        let vals: Vec<i32> = l.iter().map(|(_, &v)| v).collect();
+        assert_eq!(vals, (0..100).collect::<Vec<_>>());
+        // Layout should actually be permuted: at least one node out of place.
+        let ids: Vec<usize> = l.iter().map(|(id, _)| id.index()).collect();
+        assert!(ids.windows(2).any(|w| w[1] != w[0] + 1));
+    }
+
+    #[test]
+    fn shuffled_is_deterministic_per_seed() {
+        let a = ListArena::from_values_shuffled(0..50, 7);
+        let b = ListArena::from_values_shuffled(0..50, 7);
+        assert_eq!(a.logical_order(), b.logical_order());
+        let c = ListArena::from_values_shuffled(0..50, 8);
+        assert_ne!(
+            a.logical_order(),
+            c.logical_order(),
+            "different seeds should permute differently (w.h.p.)"
+        );
+    }
+
+    #[test]
+    fn nth_from_hops() {
+        let l = ListArena::from_values(0..5);
+        let h = l.head().unwrap();
+        assert_eq!(l.nth_from(h, 0), Some(h));
+        assert_eq!(l[l.nth_from(h, 3).unwrap()], 3);
+        assert_eq!(l.nth_from(h, 4).map(|id| l[id]), Some(4));
+        assert_eq!(l.nth_from(h, 5), None);
+    }
+
+    #[test]
+    fn insert_after_middle_and_tail() {
+        let mut l = ListArena::from_values(vec![1, 2, 4]);
+        let two = l.iter().find(|(_, &v)| v == 2).unwrap().0;
+        l.insert_after(two, 3);
+        let tail = l.tail().unwrap();
+        l.insert_after(tail, 5);
+        let vals: Vec<i32> = l.iter().map(|(_, &v)| v).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4, 5]);
+        assert_eq!(l[l.tail().unwrap()], 5);
+    }
+
+    #[test]
+    fn remove_after_unlinks() {
+        let mut l = ListArena::from_values(vec![1, 2, 3]);
+        let head = l.head().unwrap();
+        let removed = l.remove_after(head).unwrap();
+        assert_eq!(l[removed], 2);
+        let vals: Vec<i32> = l.iter().map(|(_, &v)| v).collect();
+        assert_eq!(vals, vec![1, 3]);
+        assert_eq!(l.len(), 2);
+        // removing past the tail yields None
+        let last = l.tail().unwrap();
+        assert_eq!(l.remove_after(last), None);
+        // removing the tail updates the tail pointer
+        l.remove_after(head);
+        assert_eq!(l.tail(), Some(head));
+    }
+
+    #[test]
+    fn cursor_counts_hops() {
+        let l = ListArena::from_values(0..10);
+        let mut c = l.cursor();
+        assert_eq!(c.value(), Some(&0));
+        c.advance_by(3);
+        assert_eq!(c.value(), Some(&3));
+        assert_eq!(c.hops(), 3);
+        c.advance_by(100);
+        assert_eq!(c.get(), None);
+        // ran off the end after 10 total hops; extra advances are free
+        assert_eq!(c.hops(), 10);
+    }
+
+    #[test]
+    fn value_mut_updates() {
+        let mut l = ListArena::from_values(vec![1, 2, 3]);
+        let h = l.head().unwrap();
+        *l.value_mut(h) = 99;
+        assert_eq!(l[h], 99);
+    }
+
+    #[test]
+    fn concurrent_traversal_is_safe() {
+        let l = std::sync::Arc::new(ListArena::from_values_shuffled(0..1000, 3));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = l.clone();
+            handles.push(std::thread::spawn(move || {
+                l.iter().map(|(_, &v)| v as u64).sum::<u64>()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 999 * 1000 / 2);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Harrison-style chunked lists (related work, Section 10 of the paper).
+//!
+//! In Harrison's memory allocator, lists consist of linked *chunks* of
+//! contiguously allocated elements; each chunk header stores the number of
+//! elements it holds. Traversal (the dispatcher) can then be optimized by a
+//! sequential prefix over the chunk headers, after which each chunk's
+//! elements can be dispatched to processors in parallel.
+//!
+//! The paper observes that when chunks degenerate to a single element (as in
+//! Fortran-style allocation), this scheme collapses into the naive loop
+//! distribution of Section 3.3, and when the entire list is one chunk it is
+//! equivalent to the associative-recurrence/parallel-prefix method of
+//! Section 3.2. The ablation benchmark sweeps the chunk size between those
+//! extremes.
+
+/// A list stored as a sequence of contiguous chunks.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkedList<T> {
+    chunks: Vec<Vec<T>>,
+    len: usize,
+}
+
+impl<T> ChunkedList<T> {
+    /// Creates an empty chunked list.
+    pub fn new() -> Self {
+        ChunkedList {
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Builds a chunked list from `values`, breaking it into chunks of at
+    /// most `chunk_size` elements.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size == 0`.
+    pub fn from_values<I: IntoIterator<Item = T>>(values: I, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let mut list = ChunkedList::new();
+        let mut cur: Vec<T> = Vec::with_capacity(chunk_size);
+        for v in values {
+            cur.push(v);
+            if cur.len() == chunk_size {
+                list.push_chunk(std::mem::replace(&mut cur, Vec::with_capacity(chunk_size)));
+            }
+        }
+        if !cur.is_empty() {
+            list.push_chunk(cur);
+        }
+        list
+    }
+
+    /// Appends a pre-built chunk (empty chunks are ignored).
+    pub fn push_chunk(&mut self, chunk: Vec<T>) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.len += chunk.len();
+        self.chunks.push(chunk);
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of chunks.
+    #[inline]
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Borrow of chunk `c`.
+    #[inline]
+    pub fn chunk(&self, c: usize) -> &[T] {
+        &self.chunks[c]
+    }
+
+    /// Harrison's dispatcher optimization: the *sequential prefix* over chunk
+    /// headers. Entry `c` is the global index of the first element of chunk
+    /// `c`; a trailing entry holds the total length. Cost is
+    /// `O(num_chunks)` — this is the sequential portion of the traversal.
+    pub fn chunk_prefix(&self) -> Vec<usize> {
+        let mut prefix = Vec::with_capacity(self.chunks.len() + 1);
+        let mut acc = 0usize;
+        for c in &self.chunks {
+            prefix.push(acc);
+            acc += c.len();
+        }
+        prefix.push(acc);
+        prefix
+    }
+
+    /// Element at global (logical) index `i`, located via binary search on
+    /// the chunk prefix. `O(log num_chunks)`.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len {
+            return None;
+        }
+        let prefix = self.chunk_prefix();
+        let c = match prefix.binary_search(&i) {
+            Ok(c) => {
+                // `i` is the first element of chunk c, unless c is the
+                // trailing total-length entry (impossible since i < len).
+                c
+            }
+            Err(c) => c - 1,
+        };
+        Some(&self.chunks[c][i - prefix[c]])
+    }
+
+    /// Logical-order iterator over all elements.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// The number of *sequential* dispatcher steps Harrison's scheme needs
+    /// before parallel work can start: one per chunk header.
+    #[inline]
+    pub fn sequential_dispatch_steps(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_partitions_exactly() {
+        let l = ChunkedList::from_values(0..10, 4);
+        assert_eq!(l.len(), 10);
+        assert_eq!(l.num_chunks(), 3);
+        assert_eq!(l.chunk(0), &[0, 1, 2, 3]);
+        assert_eq!(l.chunk(2), &[8, 9]);
+    }
+
+    #[test]
+    fn chunk_prefix_matches_layout() {
+        let l = ChunkedList::from_values(0..10, 4);
+        assert_eq!(l.chunk_prefix(), vec![0, 4, 8, 10]);
+    }
+
+    #[test]
+    fn get_spans_chunk_boundaries() {
+        let l = ChunkedList::from_values(0..10, 3);
+        for i in 0..10 {
+            assert_eq!(l.get(i), Some(&(i as i32)));
+        }
+        assert_eq!(l.get(10), None);
+    }
+
+    #[test]
+    fn iter_is_logical_order() {
+        let l = ChunkedList::from_values(0..25, 7);
+        let v: Vec<i32> = l.iter().copied().collect();
+        assert_eq!(v, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degenerate_chunk_sizes() {
+        // chunk size 1: one sequential step per element (Fortran case)
+        let l = ChunkedList::from_values(0..5, 1);
+        assert_eq!(l.sequential_dispatch_steps(), 5);
+        // single chunk: one sequential step total (array case)
+        let l = ChunkedList::from_values(0..5, 100);
+        assert_eq!(l.sequential_dispatch_steps(), 1);
+    }
+
+    #[test]
+    fn empty_list() {
+        let l: ChunkedList<i32> = ChunkedList::from_values(std::iter::empty(), 4);
+        assert!(l.is_empty());
+        assert_eq!(l.chunk_prefix(), vec![0]);
+        assert_eq!(l.get(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_size_panics() {
+        let _ = ChunkedList::from_values(0..5, 0);
+    }
+}

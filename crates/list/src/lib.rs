@@ -1,0 +1,28 @@
+//! Arena-based linked-list substrate for WHILE-loop parallelization.
+//!
+//! The paper's flagship "general recurrence" dispatcher is a pointer used to
+//! traverse a linked list (Figure 1(b)). In Rust, an idiomatic and
+//! concurrency-friendly representation is an *arena*: all nodes live in one
+//! `Vec`, links are indices, and any number of threads may traverse the list
+//! concurrently through a shared reference. This matches the paper's
+//! assumption that "the dispatching recurrence is fully determined before
+//! loop entry (no list elements may be inserted or deleted during loop
+//! execution)" — mutation requires `&mut`, so the type system enforces the
+//! assumption for the duration of a parallel traversal.
+//!
+//! Two list flavours are provided:
+//!
+//! * [`ListArena`] — a plain singly linked list whose memory layout can be
+//!   deliberately *shuffled* relative to its logical order, so traversal
+//!   costs behave like real pointer chasing rather than a sequential scan.
+//! * [`chunked::ChunkedList`] — Harrison's chunked representation (related
+//!   work, Section 10 of the paper): runs of contiguously allocated elements
+//!   with per-chunk headers, which permits a cheap sequential prefix over
+//!   chunk lengths followed by parallel intra-chunk dispatch. Used by the
+//!   ablation benchmark comparing Harrison's scheme against General-2/3.
+
+pub mod arena;
+pub mod chunked;
+
+pub use arena::{Cursor, ListArena, NodeId};
+pub use chunked::ChunkedList;

@@ -1,0 +1,106 @@
+//! Model-based property tests: an arena list driven by a random sequence
+//! of operations must behave exactly like `VecDeque`-backed reference
+//! semantics, regardless of the physical layout.
+
+use proptest::prelude::*;
+use wlp_list::{ChunkedList, ListArena};
+
+#[derive(Debug, Clone)]
+enum Op {
+    PushBack(i32),
+    InsertAfter(usize, i32), // position (mod len), value
+    RemoveAfter(usize),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            any::<i32>().prop_map(Op::PushBack),
+            (any::<usize>(), any::<i32>()).prop_map(|(p, v)| Op::InsertAfter(p, v)),
+            any::<usize>().prop_map(Op::RemoveAfter),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arena_matches_vec_model(ops in ops_strategy()) {
+        let mut arena: ListArena<i32> = ListArena::new();
+        let mut model: Vec<i32> = Vec::new();
+        for op in ops {
+            match op {
+                Op::PushBack(v) => {
+                    arena.push_back(v);
+                    model.push(v);
+                }
+                Op::InsertAfter(pos, v) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let pos = pos % model.len();
+                    let id = arena.nth_from(arena.head().unwrap(), pos).unwrap();
+                    arena.insert_after(id, v);
+                    model.insert(pos + 1, v);
+                }
+                Op::RemoveAfter(pos) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let pos = pos % model.len();
+                    let id = arena.nth_from(arena.head().unwrap(), pos).unwrap();
+                    let removed = arena.remove_after(id);
+                    if pos + 1 < model.len() {
+                        prop_assert!(removed.is_some());
+                        model.remove(pos + 1);
+                    } else {
+                        prop_assert!(removed.is_none());
+                    }
+                }
+            }
+            let got: Vec<i32> = arena.iter().map(|(_, &v)| v).collect();
+            prop_assert_eq!(&got, &model);
+            prop_assert_eq!(arena.len(), model.len());
+            prop_assert_eq!(arena.tail().map(|t| arena[t]), model.last().copied());
+        }
+    }
+
+    #[test]
+    fn shuffled_layout_never_changes_semantics(values in prop::collection::vec(any::<i32>(), 0..200), seed in any::<u64>()) {
+        let plain = ListArena::from_values(values.clone());
+        let shuffled = ListArena::from_values_shuffled(values.clone(), seed);
+        let a: Vec<i32> = plain.iter().map(|(_, &v)| v).collect();
+        let b: Vec<i32> = shuffled.iter().map(|(_, &v)| v).collect();
+        prop_assert_eq!(&a, &values);
+        prop_assert_eq!(&b, &values);
+    }
+
+    #[test]
+    fn chunked_list_agrees_with_flat(values in prop::collection::vec(any::<i16>(), 0..300), chunk in 1usize..50) {
+        let chunked = ChunkedList::from_values(values.iter().copied(), chunk);
+        prop_assert_eq!(chunked.len(), values.len());
+        let flat: Vec<i16> = chunked.iter().copied().collect();
+        prop_assert_eq!(&flat, &values);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(chunked.get(i), Some(&v));
+        }
+        // prefix structure is consistent
+        let prefix = chunked.chunk_prefix();
+        prop_assert_eq!(prefix.len(), chunked.num_chunks() + 1);
+        prop_assert_eq!(*prefix.last().unwrap(), values.len());
+        for (c, w) in prefix.windows(2).enumerate() {
+            prop_assert_eq!(w[1] - w[0], chunked.chunk(c).len());
+        }
+    }
+
+    #[test]
+    fn cursor_hops_equal_distance(n in 1usize..100, k in 0usize..120, seed in any::<u64>()) {
+        let list = ListArena::from_values_shuffled(0..n as u32, seed);
+        let mut c = list.cursor();
+        c.advance_by(k);
+        prop_assert_eq!(c.hops() as usize, k.min(n));
+        prop_assert_eq!(c.get().is_some(), k < n);
+    }
+}

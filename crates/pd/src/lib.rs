@@ -1,0 +1,45 @@
+//! The PD (Privatizing DOALL) run-time dependence test — Section 5 of the
+//! paper, after Rauchwerger & Padua's LRPD work \[20\].
+//!
+//! When the compiler cannot analyze the access pattern of a shared array, a
+//! WHILE loop can still be *speculatively* executed in parallel: shadow
+//! structures record the loop's reads and writes while it runs, and a fully
+//! parallel post-execution analysis decides whether any cross-iteration
+//! dependence actually occurred. If one did, the loop's side effects are
+//! rolled back and it is re-executed sequentially.
+//!
+//! Three pieces live here:
+//!
+//! * [`shadow::Shadow`] — the shadow arrays (`Aw`, `Ar` in the paper, with
+//!   the not-privatizable information folded into the exposed-read marks)
+//!   and their analysis. Marks carry *iteration time-stamps* so that, when
+//!   the WHILE loop **overshoots**, marks made by iterations beyond the last
+//!   valid iteration are ignored exactly as Section 5.1 prescribes. Each
+//!   mark keeps the two smallest distinct marking iterations, which makes
+//!   the filtered analysis *exact* (see `shadow` module docs), not merely
+//!   conservative.
+//! * [`oracle`] — a sequential, brute-force dependence checker over explicit
+//!   access logs. It defines the ground truth the shadow analysis is
+//!   property-tested against, and doubles as a reference implementation of
+//!   the paper's dependence definitions (flow/anti/output, privatization
+//!   criterion).
+//! * [`sparse_shadow`] — the Section 4 memory reduction: hash-table
+//!   shadows whose footprint follows the *touched* elements, for sparse
+//!   access patterns over huge arrays, with verdicts identical to the
+//!   dense shadow's (property-tested).
+//! * [`trail`] — time-stamped write trails for *live* privatized arrays:
+//!   the paper notes a privatized variable may be written in many
+//!   iterations of a valid parallel loop, so copying out the correct last
+//!   value requires a trail of `(iteration, element, value)` events from
+//!   which the value with the largest stamp `≤` the last valid iteration is
+//!   selected.
+
+pub mod oracle;
+pub mod shadow;
+pub mod sparse_shadow;
+pub mod trail;
+
+pub use oracle::{oracle_verdict, Access};
+pub use shadow::{Conflict, ConflictKind, IterMarker, PdVerdict, Shadow};
+pub use sparse_shadow::{SparseMarker, SparseShadow};
+pub use trail::{copy_out_last_values, TrailEvent, TrailSet};

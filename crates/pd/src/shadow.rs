@@ -1,0 +1,587 @@
+//! Shadow arrays and the PD-test analysis.
+//!
+//! # Marking scheme
+//!
+//! For a shared array `A` of `m` elements under test, the shadow keeps two
+//! marks per element:
+//!
+//! * a **write mark** (`Aw` in the paper): iterations that wrote the
+//!   element;
+//! * an **exposed-read mark** (`Ar`): iterations that read the element
+//!   *before writing it within the same iteration*. An exposed read is
+//!   simultaneously the "not privatizable in that iteration" information,
+//!   so no separate `Ap` array is needed in this formulation.
+//!
+//! Instead of a boolean, each mark stores the **two smallest distinct
+//! iteration numbers** that produced it, packed into one `AtomicU64`. This
+//! is the time-stamping Section 5.1 requires for overshooting loops — and
+//! keeping *two* stamps instead of the paper's one makes the filtered
+//! analysis exact:
+//!
+//! Let `LI` be the last valid iteration and, per element `e`, let
+//! `W(e)`/`ER(e)` be the sets of writing/exposed-reading iterations `≤ LI`.
+//! The loop (restricted to valid iterations) is
+//!
+//! * a **valid DOALL as-is** iff for every `e`: `W(e) = ∅`, or
+//!   `|W(e)| = 1 ∧ ER(e) ⊆ W(e)` (the only exposed read, if any, is in the
+//!   single writing iteration itself — a loop-independent dependence);
+//! * a **valid privatized DOALL** iff for every `e` there is no pair
+//!   `r ∈ ER(e)`, `w ∈ W(e)` with `r ≠ w` — i.e. every read of a written
+//!   element is covered by a write in its own iteration (the paper's
+//!   Privatization Criterion), except that an element touched by a *single*
+//!   iteration may freely read-then-write it.
+//!
+//! With the two smallest distinct stamps `(w₁, w₂)` and `(r₁, r₂)` these
+//! predicates are decidable exactly for *any* `LI`:
+//! `|W| ≥ 2 ⟺ w₂ ≤ LI`; `W = ∅ ⟺ w₁ > LI`; `ER ⊆ W ⟺ r₁ > LI ∨
+//! (r₁ = w₁ ∧ r₂ > LI)` (when `|W| ≤ 1`). No conservatism is introduced by
+//! the filtering.
+//!
+//! One further hazard exists only for **in-place** speculation (Section 4
+//! execution, writes applied directly with time-stamps): an *overshot*
+//! iteration's write to an element that a *valid* iteration also touched
+//! may have been observed by the valid read, or may have clobbered the
+//! valid write after its stamp was recorded — and the post-loop undo
+//! restores neither effect. The `doall` verdict therefore additionally
+//! fails any element with both valid-region activity and an overshot
+//! writer. The `privatized_doall` verdict is exempt: privatized execution
+//! confines overshot writes to per-processor overlays, and the
+//! time-stamped copy-out already filters them.
+//!
+//! Marking is contention-free in the common path: each worker marks through
+//! its own [`IterMarker`], whose covered-write set is thread-local; only the
+//! per-element atomics are shared, updated with a CAS loop.
+//!
+//! The post-execution analysis is **fully parallel** (a parallel fold over
+//! elements), matching the paper's `O(a/p + log p)` bound.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use wlp_runtime::{parallel_fold, Pool};
+
+const UNMARKED: u32 = u32::MAX;
+
+#[inline]
+fn pack(min: u32, second: u32) -> u64 {
+    ((min as u64) << 32) | second as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// Inserts iteration `t` into a packed (min, second-distinct-min) pair.
+#[inline]
+fn insert_stamp(cell: &AtomicU64, t: u32) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let (m, s) = unpack(cur);
+        let new = if t < m {
+            pack(t, m)
+        } else if t == m || t >= s {
+            return; // already represented, or not among two smallest
+        } else {
+            pack(m, t) // m < t < s
+        };
+        match cell.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Reads a packed stamp pair as `(min, second)` iteration numbers.
+#[inline]
+fn stamps(cell: &AtomicU64) -> (u32, u32) {
+    unpack(cell.load(Ordering::Acquire))
+}
+
+/// The kind of cross-iteration dependence a conflict represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// An element is written in one iteration and exposed-read in another
+    /// (flow or anti dependence, depending on direction).
+    FlowOrAnti,
+    /// An element is written in two or more different iterations (output
+    /// dependence). Removable by privatization when no exposed reads exist.
+    Output,
+}
+
+/// A dependence found by the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict {
+    /// Element index in the tested array.
+    pub element: usize,
+    /// Dependence class.
+    pub kind: ConflictKind,
+}
+
+/// Outcome of the PD-test analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PdVerdict {
+    /// The loop (valid iterations only) was a correct DOALL as executed.
+    pub doall: bool,
+    /// The loop is a correct DOALL if the tested array is privatized
+    /// (with last-value copy-out for live arrays).
+    pub privatized_doall: bool,
+    /// Conflicting elements (capped by the caller-supplied limit).
+    pub conflicts: Vec<Conflict>,
+}
+
+impl PdVerdict {
+    /// True when the speculative parallel execution must be discarded and
+    /// the loop re-executed sequentially, even allowing privatization.
+    #[inline]
+    pub fn failed(&self) -> bool {
+        !self.privatized_doall
+    }
+}
+
+/// Shadow arrays for one shared array of `m` elements.
+#[derive(Debug)]
+pub struct Shadow {
+    w: Vec<AtomicU64>,
+    r: Vec<AtomicU64>,
+    total_writes: AtomicU64,
+    total_reads: AtomicU64,
+}
+
+impl Shadow {
+    /// Creates unmarked shadows for an array of `m` elements.
+    pub fn new(m: usize) -> Self {
+        Shadow {
+            w: (0..m).map(|_| AtomicU64::new(pack(UNMARKED, UNMARKED))).collect(),
+            r: (0..m).map(|_| AtomicU64::new(pack(UNMARKED, UNMARKED))).collect(),
+            total_writes: AtomicU64::new(0),
+            total_reads: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shadowed elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Whether the shadow covers zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Total dynamic accesses marked so far (the paper's `a`, used by the
+    /// cost model to size `Td` and `Ta`).
+    pub fn total_accesses(&self) -> u64 {
+        self.total_writes.load(Ordering::Relaxed) + self.total_reads.load(Ordering::Relaxed)
+    }
+
+    /// Begins marking for iteration `iter`. The returned marker is meant to
+    /// live on the worker executing that iteration; it tracks which
+    /// elements the iteration has written so far, to classify reads as
+    /// exposed or covered.
+    ///
+    /// # Panics
+    /// Panics if `iter >= u32::MAX − 1` (stamp space).
+    pub fn iteration(&self, iter: usize) -> IterMarker<'_> {
+        let iter32 = u32::try_from(iter).expect("iteration fits in u32");
+        assert!(iter32 < UNMARKED, "iteration stamp space exhausted");
+        IterMarker {
+            shadow: self,
+            iter: iter32,
+            written: HashSet::new(),
+        }
+    }
+
+    /// Per-element filtered predicates for `LI = last_valid` (`None` = no
+    /// overshoot, all marks count). Returns `(has_valid_write,
+    /// multi_valid_write, exposed_outside_write, overshoot_hazard)`.
+    fn element_state(&self, e: usize, li: u32) -> (bool, bool, bool, bool) {
+        let (w1, w2) = stamps(&self.w[e]);
+        let (r1, r2) = stamps(&self.r[e]);
+        let has_write = w1 <= li;
+        let multi_write = w2 <= li;
+        // ∃ r ∈ ER_f, w ∈ W_f with r ≠ w: a write and an exposed read in
+        // different iterations (cross-iteration flow/anti dependence, and a
+        // violation of the privatization criterion).
+        let exposed_outside_write = if r1 > li || !has_write {
+            false // no exposed reads, or element never written → harmless
+        } else if multi_write {
+            true // ≥2 distinct writers, ≥1 exposed reader: some pair differs
+        } else {
+            // W_f = {w1}: conflict unless ER_f = {w1}
+            r1 != w1 || r2 <= li
+        };
+        // Overshoot hazard (in-place speculation only): an element written
+        // by an *overshot* iteration while also touched by a *valid* one.
+        // The valid read may have observed the doomed value, or the valid
+        // write may have been clobbered after its stamp was recorded — the
+        // undo pass restores neither. (With ≥3 writers straddling LI the
+        // two-stamp pair cannot see the overshot one, but then `w2 ≤ li`
+        // already fails the DOALL via the output dependence, so the
+        // verdict stays exact.)
+        let overshot_write = (w1 != UNMARKED && w1 > li) || (w2 != UNMARKED && w2 > li);
+        let valid_access = w1 <= li || r1 <= li;
+        let overshoot_hazard = overshot_write && valid_access;
+        (has_write, multi_write, exposed_outside_write, overshoot_hazard)
+    }
+
+    /// Runs the post-execution analysis in parallel on `pool`.
+    ///
+    /// `last_valid` is the last valid iteration (marks stamped later are
+    /// ignored); `None` means the loop did not overshoot. At most
+    /// `max_conflicts` conflicting elements are reported (the verdict
+    /// booleans always reflect *all* elements).
+    pub fn analyze(
+        &self,
+        pool: &Pool,
+        last_valid: Option<usize>,
+        max_conflicts: usize,
+    ) -> PdVerdict {
+        let li: u32 = match last_valid {
+            Some(v) => u32::try_from(v).expect("iteration fits in u32"),
+            None => UNMARKED - 1,
+        };
+
+        #[derive(Clone)]
+        struct Acc {
+            doall: bool,
+            privatized: bool,
+            conflicts: Vec<Conflict>,
+        }
+
+        let max_c = max_conflicts;
+        let acc = parallel_fold(
+            pool,
+            self.len(),
+            Acc {
+                doall: true,
+                privatized: true,
+                conflicts: Vec::new(),
+            },
+            |mut acc, e| {
+                let (has_write, multi_write, exposed_outside, overshoot_hazard) =
+                    self.element_state(e, li);
+                if overshoot_hazard {
+                    // unsound to keep the in-place parallel result; the
+                    // privatized execution is unaffected (overshot writes
+                    // landed in private overlays and are filtered at
+                    // copy-out)
+                    acc.doall = false;
+                    if acc.conflicts.len() < max_c {
+                        acc.conflicts.push(Conflict {
+                            element: e,
+                            kind: ConflictKind::FlowOrAnti,
+                        });
+                    }
+                }
+                if !has_write {
+                    return acc;
+                }
+                if multi_write {
+                    acc.doall = false;
+                    if acc.conflicts.len() < max_c {
+                        acc.conflicts.push(Conflict {
+                            element: e,
+                            kind: ConflictKind::Output,
+                        });
+                    }
+                }
+                if exposed_outside {
+                    acc.doall = false;
+                    acc.privatized = false;
+                    if acc.conflicts.len() < max_c {
+                        acc.conflicts.push(Conflict {
+                            element: e,
+                            kind: ConflictKind::FlowOrAnti,
+                        });
+                    }
+                }
+                acc
+            },
+            |mut a, b| {
+                a.doall &= b.doall;
+                a.privatized &= b.privatized;
+                for c in b.conflicts {
+                    if a.conflicts.len() >= max_c {
+                        break;
+                    }
+                    a.conflicts.push(c);
+                }
+                a
+            },
+        );
+
+        PdVerdict {
+            doall: acc.doall,
+            privatized_doall: acc.privatized,
+            conflicts: acc.conflicts,
+        }
+    }
+
+    /// Clears all marks for reuse across strips or loop invocations.
+    pub fn reset(&mut self) {
+        for cell in self.w.iter_mut().chain(self.r.iter_mut()) {
+            *cell.get_mut() = pack(UNMARKED, UNMARKED);
+        }
+        *self.total_writes.get_mut() = 0;
+        *self.total_reads.get_mut() = 0;
+    }
+}
+
+/// Marks accesses for one iteration. Create with [`Shadow::iteration`].
+///
+/// Call order matters within an iteration: a read is *exposed* unless this
+/// marker has already seen a write to the same element.
+#[derive(Debug)]
+pub struct IterMarker<'a> {
+    shadow: &'a Shadow,
+    iter: u32,
+    written: HashSet<usize>,
+}
+
+impl IterMarker<'_> {
+    /// Records a read of element `e`.
+    pub fn mark_read(&mut self, e: usize) {
+        self.shadow.total_reads.fetch_add(1, Ordering::Relaxed);
+        if !self.written.contains(&e) {
+            insert_stamp(&self.shadow.r[e], self.iter);
+        }
+    }
+
+    /// Records a write of element `e`.
+    pub fn mark_write(&mut self, e: usize) {
+        self.shadow.total_writes.fetch_add(1, Ordering::Relaxed);
+        if self.written.insert(e) {
+            insert_stamp(&self.shadow.w[e], self.iter);
+        }
+    }
+
+    /// The iteration this marker stamps with.
+    #[inline]
+    pub fn iter(&self) -> usize {
+        self.iter as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Pool {
+        Pool::new(4)
+    }
+
+    #[test]
+    fn disjoint_writes_are_a_doall() {
+        let sh = Shadow::new(16);
+        for i in 0..16 {
+            let mut m = sh.iteration(i);
+            m.mark_write(i);
+            m.mark_read(i); // covered read
+        }
+        let v = sh.analyze(&pool(), None, 8);
+        assert!(v.doall);
+        assert!(v.privatized_doall);
+        assert!(v.conflicts.is_empty());
+    }
+
+    #[test]
+    fn cross_iteration_flow_fails_both() {
+        let sh = Shadow::new(4);
+        sh.iteration(0).mark_write(2);
+        sh.iteration(1).mark_read(2); // exposed read of another iter's write
+        let v = sh.analyze(&pool(), None, 8);
+        assert!(!v.doall);
+        assert!(!v.privatized_doall);
+        assert_eq!(v.conflicts, vec![Conflict { element: 2, kind: ConflictKind::FlowOrAnti }]);
+    }
+
+    #[test]
+    fn output_dependence_is_rescued_by_privatization() {
+        let sh = Shadow::new(4);
+        // two iterations write element 1, neither exposed-reads it
+        {
+            let mut m = sh.iteration(0);
+            m.mark_write(1);
+            m.mark_read(1); // covered
+        }
+        sh.iteration(5).mark_write(1);
+        let v = sh.analyze(&pool(), None, 8);
+        assert!(!v.doall);
+        assert!(v.privatized_doall);
+        assert_eq!(v.conflicts[0].kind, ConflictKind::Output);
+    }
+
+    #[test]
+    fn read_before_write_same_single_iteration_is_fine() {
+        // Only iteration 3 touches element 0: reads it, then writes it.
+        // Loop-independent anti dependence — still a valid DOALL.
+        let sh = Shadow::new(1);
+        let mut m = sh.iteration(3);
+        m.mark_read(0);
+        m.mark_write(0);
+        let v = sh.analyze(&pool(), None, 8);
+        assert!(v.doall);
+        assert!(v.privatized_doall);
+    }
+
+    #[test]
+    fn read_before_write_plus_other_reader_fails() {
+        let sh = Shadow::new(1);
+        {
+            let mut m = sh.iteration(3);
+            m.mark_read(0);
+            m.mark_write(0);
+        }
+        sh.iteration(7).mark_read(0); // exposed read in another iteration
+        let v = sh.analyze(&pool(), None, 8);
+        assert!(!v.doall);
+        assert!(!v.privatized_doall);
+    }
+
+    #[test]
+    fn read_only_elements_never_conflict() {
+        let sh = Shadow::new(8);
+        for i in 0..20 {
+            sh.iteration(i).mark_read(i % 8);
+        }
+        let v = sh.analyze(&pool(), None, 8);
+        assert!(v.doall);
+    }
+
+    #[test]
+    fn overshoot_filtering_ignores_late_marks() {
+        let sh = Shadow::new(4);
+        sh.iteration(2).mark_write(0);
+        sh.iteration(9).mark_read(0); // conflicting, but iteration 9 overshot
+        let bad = sh.analyze(&pool(), None, 8);
+        assert!(!bad.doall);
+        let good = sh.analyze(&pool(), Some(5), 8);
+        assert!(good.doall, "marks past LI=5 must be ignored");
+    }
+
+    #[test]
+    fn overshoot_filtering_is_exact_with_two_stamps() {
+        // W = {3, 10}: with LI = 5 only iteration 3 remains a valid writer,
+        // but the overshot write by 10 may have clobbered 3's value after
+        // its stamp was recorded — unsound to keep in place (doall fails),
+        // yet perfectly privatizable (the overlay confines iteration 10).
+        let sh = Shadow::new(1);
+        sh.iteration(3).mark_write(0);
+        sh.iteration(10).mark_write(0);
+        assert!(!sh.analyze(&pool(), None, 8).doall);
+        let v = sh.analyze(&pool(), Some(5), 8);
+        assert!(!v.doall, "overshoot hazard must fail in-place speculation");
+        assert!(v.privatized_doall, "privatized execution is immune");
+        // W = {3, 4}: LI = 5 keeps both → output dependence.
+        let sh2 = Shadow::new(1);
+        sh2.iteration(3).mark_write(0);
+        sh2.iteration(4).mark_write(0);
+        let v = sh2.analyze(&pool(), Some(5), 8);
+        assert!(!v.doall);
+        assert!(v.privatized_doall);
+    }
+
+    #[test]
+    fn overshot_write_to_untouched_element_is_harmless() {
+        // only overshot iterations write e: the undo restores the
+        // checkpoint and nobody valid observed anything
+        let sh = Shadow::new(1);
+        sh.iteration(9).mark_write(0);
+        sh.iteration(11).mark_write(0);
+        let v = sh.analyze(&pool(), Some(5), 8);
+        assert!(v.doall);
+        assert!(v.privatized_doall);
+    }
+
+    #[test]
+    fn valid_read_with_overshot_writer_is_a_hazard() {
+        // iteration 2 (valid) reads e; iteration 9 (overshot) writes it —
+        // the read may have observed the doomed value
+        let sh = Shadow::new(1);
+        sh.iteration(2).mark_read(0);
+        sh.iteration(9).mark_write(0);
+        let v = sh.analyze(&pool(), Some(5), 8);
+        assert!(!v.doall);
+        assert!(v.privatized_doall, "the overlay shields the read");
+    }
+
+    #[test]
+    fn exposed_read_in_writing_iteration_plus_late_read_filters() {
+        // ER = {3, 9}, W = {3}. With LI = 5: ER_f = {3} ⊆ W_f → valid.
+        let sh = Shadow::new(1);
+        {
+            let mut m = sh.iteration(3);
+            m.mark_read(0);
+            m.mark_write(0);
+        }
+        sh.iteration(9).mark_read(0);
+        assert!(!sh.analyze(&pool(), None, 8).doall);
+        assert!(sh.analyze(&pool(), Some(5), 8).doall);
+    }
+
+    #[test]
+    fn covered_reads_do_not_mark_exposed() {
+        let sh = Shadow::new(2);
+        {
+            let mut m = sh.iteration(0);
+            m.mark_write(1);
+            m.mark_read(1); // covered: must not create an ER mark
+        }
+        sh.iteration(4).mark_write(1); // second writer
+        let v = sh.analyze(&pool(), None, 8);
+        assert!(!v.doall); // output dep
+        assert!(v.privatized_doall, "covered read must not block privatization");
+    }
+
+    #[test]
+    fn stamp_insertion_keeps_two_smallest_distinct() {
+        let cell = AtomicU64::new(pack(UNMARKED, UNMARKED));
+        for t in [7u32, 3, 7, 9, 5, 3, 1] {
+            insert_stamp(&cell, t);
+        }
+        assert_eq!(stamps(&cell), (1, 3));
+    }
+
+    #[test]
+    fn concurrent_marking_is_consistent() {
+        let sh = Shadow::new(64);
+        let p = Pool::new(8);
+        p.run(|vpn| {
+            // each worker is "iterations" vpn, vpn+8, ... writing disjoint cells
+            for k in 0..8 {
+                let iter = vpn + 8 * k;
+                let mut m = sh.iteration(iter);
+                m.mark_write(iter);
+                m.mark_read(iter);
+            }
+        });
+        let v = sh.analyze(&p, None, 8);
+        assert!(v.doall);
+        assert_eq!(sh.total_accesses(), 128);
+    }
+
+    #[test]
+    fn reset_clears_marks() {
+        let mut sh = Shadow::new(2);
+        sh.iteration(0).mark_write(0);
+        sh.iteration(1).mark_read(0);
+        assert!(!sh.analyze(&pool(), None, 8).doall);
+        sh.reset();
+        assert!(sh.analyze(&pool(), None, 8).doall);
+        assert_eq!(sh.total_accesses(), 0);
+    }
+
+    #[test]
+    fn conflict_cap_limits_report_not_verdict() {
+        let sh = Shadow::new(32);
+        for e in 0..32 {
+            sh.iteration(0).mark_write(e);
+            sh.iteration(1).mark_write(e);
+        }
+        let v = sh.analyze(&pool(), None, 4);
+        assert!(!v.doall);
+        assert_eq!(v.conflicts.len(), 4);
+    }
+}

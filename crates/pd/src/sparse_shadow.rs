@@ -1,0 +1,272 @@
+//! Hash-based shadow structures for sparse access patterns.
+//!
+//! "If the access pattern of any array in the loop is known to be sparse,
+//! then the memory requirements could be reduced by using hash tables …
+//! since only the elements of the array accessed in the loop would be
+//! inserted into the hash table." — Section 4.
+//!
+//! [`SparseShadow`] keeps the same mark semantics as [`Shadow`] (two
+//! smallest distinct iteration stamps per write/exposed-read mark) but
+//! allocates per *touched element*, sharded by hash for concurrency. Its
+//! analysis is verdict-identical to the dense shadow's — property-tested —
+//! while memory scales with accesses, not array size.
+//!
+//! [`Shadow`]: crate::shadow::Shadow
+
+use crate::shadow::{Conflict, ConflictKind, PdVerdict};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+const UNMARKED: u32 = u32::MAX;
+
+/// Two smallest distinct iteration stamps.
+#[derive(Debug, Clone, Copy)]
+struct Pair {
+    min: u32,
+    second: u32,
+}
+
+impl Pair {
+    const EMPTY: Pair = Pair {
+        min: UNMARKED,
+        second: UNMARKED,
+    };
+
+    fn insert(&mut self, t: u32) {
+        if t < self.min {
+            self.second = self.min;
+            self.min = t;
+        } else if t > self.min && t < self.second {
+            self.second = t;
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Marks {
+    w: Pair,
+    r: Pair,
+}
+
+/// A sharded hash shadow for one sparse array (element space may be huge;
+/// memory is proportional to the number of *distinct touched elements*).
+#[derive(Debug)]
+pub struct SparseShadow {
+    shards: Vec<Mutex<HashMap<u64, Marks>>>,
+}
+
+impl SparseShadow {
+    /// Creates a shadow with `shards` lock shards (rounded up to 1).
+    pub fn new(shards: usize) -> Self {
+        SparseShadow {
+            shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, e: u64) -> &Mutex<HashMap<u64, Marks>> {
+        // Fibonacci hashing spreads clustered indices across shards
+        let h = e.wrapping_mul(0x9E3779B97F4A7C15);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Number of distinct elements marked so far.
+    pub fn touched(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Begins marking for iteration `iter`.
+    ///
+    /// # Panics
+    /// Panics if the iteration number does not fit the stamp space.
+    pub fn iteration(&self, iter: usize) -> SparseMarker<'_> {
+        let iter32 = u32::try_from(iter).expect("iteration fits in u32");
+        assert!(iter32 < UNMARKED, "iteration stamp space exhausted");
+        SparseMarker {
+            shadow: self,
+            iter: iter32,
+            written: HashSet::new(),
+        }
+    }
+
+    /// Runs the PD analysis over the touched elements only (the dense
+    /// shadow's per-element predicates; see `wlp_pd::shadow` for their
+    /// derivation). `last_valid`/`max_conflicts` as in `Shadow::analyze`.
+    pub fn analyze(&self, last_valid: Option<usize>, max_conflicts: usize) -> PdVerdict {
+        let li: u32 = match last_valid {
+            Some(v) => u32::try_from(v).expect("iteration fits in u32"),
+            None => UNMARKED - 1,
+        };
+        let mut verdict = PdVerdict {
+            doall: true,
+            privatized_doall: true,
+            conflicts: Vec::new(),
+        };
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (&e, m) in shard.iter() {
+                let (w1, w2) = (m.w.min, m.w.second);
+                let (r1, r2) = (m.r.min, m.r.second);
+                let has_write = w1 <= li;
+                let multi_write = w2 <= li;
+                let exposed_outside = if r1 > li || !has_write {
+                    false
+                } else if multi_write {
+                    true
+                } else {
+                    r1 != w1 || r2 <= li
+                };
+                let overshot_write =
+                    (w1 != UNMARKED && w1 > li) || (w2 != UNMARKED && w2 > li);
+                let hazard = overshot_write && (w1 <= li || r1 <= li);
+                let push = |kind: ConflictKind, v: &mut PdVerdict| {
+                    if v.conflicts.len() < max_conflicts {
+                        v.conflicts.push(Conflict {
+                            element: e as usize,
+                            kind,
+                        });
+                    }
+                };
+                if hazard {
+                    verdict.doall = false;
+                    push(ConflictKind::FlowOrAnti, &mut verdict);
+                }
+                if has_write && multi_write {
+                    verdict.doall = false;
+                    push(ConflictKind::Output, &mut verdict);
+                }
+                if has_write && exposed_outside {
+                    verdict.doall = false;
+                    verdict.privatized_doall = false;
+                    push(ConflictKind::FlowOrAnti, &mut verdict);
+                }
+            }
+        }
+        verdict
+    }
+}
+
+/// Per-iteration marker for a [`SparseShadow`].
+#[derive(Debug)]
+pub struct SparseMarker<'a> {
+    shadow: &'a SparseShadow,
+    iter: u32,
+    written: HashSet<u64>,
+}
+
+impl SparseMarker<'_> {
+    /// Records a read of element `e`.
+    pub fn mark_read(&mut self, e: u64) {
+        if self.written.contains(&e) {
+            return; // covered
+        }
+        let mut shard = self.shadow.shard(e).lock().unwrap_or_else(|p| p.into_inner());
+        match shard.entry(e) {
+            Entry::Occupied(mut o) => o.get_mut().r.insert(self.iter),
+            Entry::Vacant(v) => {
+                let mut m = Marks { w: Pair::EMPTY, r: Pair::EMPTY };
+                m.r.insert(self.iter);
+                v.insert(m);
+            }
+        }
+    }
+
+    /// Records a write of element `e`.
+    pub fn mark_write(&mut self, e: u64) {
+        if !self.written.insert(e) {
+            return; // already recorded this iteration
+        }
+        let mut shard = self.shadow.shard(e).lock().unwrap_or_else(|p| p.into_inner());
+        match shard.entry(e) {
+            Entry::Occupied(mut o) => o.get_mut().w.insert(self.iter),
+            Entry::Vacant(v) => {
+                let mut m = Marks { w: Pair::EMPTY, r: Pair::EMPTY };
+                m.w.insert(self.iter);
+                v.insert(m);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_tracks_touched_elements_not_address_space() {
+        let sh = SparseShadow::new(8);
+        // a "billion-element" array of which only 3 cells are touched
+        sh.iteration(0).mark_write(900_000_000);
+        sh.iteration(1).mark_write(5);
+        sh.iteration(2).mark_read(123_456_789);
+        assert_eq!(sh.touched(), 3);
+        assert!(sh.analyze(None, 8).doall);
+    }
+
+    #[test]
+    fn detects_cross_iteration_flow() {
+        let sh = SparseShadow::new(4);
+        sh.iteration(0).mark_write(77);
+        sh.iteration(3).mark_read(77);
+        let v = sh.analyze(None, 8);
+        assert!(!v.doall);
+        assert!(!v.privatized_doall);
+        assert_eq!(v.conflicts[0].element, 77);
+    }
+
+    #[test]
+    fn output_dep_privatizes() {
+        let sh = SparseShadow::new(4);
+        sh.iteration(0).mark_write(9);
+        sh.iteration(5).mark_write(9);
+        let v = sh.analyze(None, 8);
+        assert!(!v.doall);
+        assert!(v.privatized_doall);
+    }
+
+    #[test]
+    fn covered_reads_stay_private() {
+        let sh = SparseShadow::new(4);
+        let mut m = sh.iteration(2);
+        m.mark_write(4);
+        m.mark_read(4); // covered: no exposed-read mark
+        drop(m);
+        sh.iteration(7).mark_write(4);
+        let v = sh.analyze(None, 8);
+        assert!(v.privatized_doall);
+    }
+
+    #[test]
+    fn overshoot_filtering_matches_dense_semantics() {
+        let sh = SparseShadow::new(4);
+        sh.iteration(2).mark_write(0);
+        sh.iteration(9).mark_read(0);
+        assert!(!sh.analyze(None, 8).doall);
+        assert!(sh.analyze(Some(5), 8).doall, "late reads are filtered");
+
+        let sh2 = SparseShadow::new(4);
+        sh2.iteration(2).mark_write(1);
+        sh2.iteration(9).mark_write(1);
+        let v = sh2.analyze(Some(5), 8);
+        assert!(!v.doall, "overshot writer over a valid one is a hazard");
+        assert!(v.privatized_doall);
+    }
+
+    #[test]
+    fn concurrent_marking() {
+        let sh = SparseShadow::new(16);
+        let pool = wlp_runtime::Pool::new(8);
+        pool.run(|vpn| {
+            for k in 0..64 {
+                let iter = vpn * 64 + k;
+                let mut m = sh.iteration(iter);
+                m.mark_write((iter * 1_000_003) as u64);
+            }
+        });
+        assert_eq!(sh.touched(), 512);
+        assert!(sh.analyze(None, 8).doall);
+    }
+}

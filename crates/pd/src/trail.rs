@@ -1,0 +1,177 @@
+//! Time-stamped write trails for live privatized arrays (Section 5.1).
+//!
+//! "If a privatized shared array under test is live after the loop, then the
+//! backup method for the privatized array must be more sophisticated … it is
+//! possible for a private variable to be written in more than one iteration
+//! of a valid parallel loop. … we can keep a time-stamped (by iteration
+//! number) trail of all write accesses to the privatized array. If the test
+//! passes, the live values need to be copied out: the appropriate value
+//! would be the value with the latest time-stamp that was not larger than
+//! the last valid iteration number."
+//!
+//! [`TrailSet`] shards the trail per worker so recording is contention-free;
+//! [`copy_out_last_values`] performs the quoted copy-out.
+
+/// One recorded write: iteration stamp, element index, value written.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrailEvent<T> {
+    /// Iteration that performed the write.
+    pub iter: usize,
+    /// Element index in the privatized array.
+    pub element: usize,
+    /// Value written.
+    pub value: T,
+}
+
+/// Per-worker write trails for one privatized array.
+///
+/// Each worker records into its own shard, so there is no cross-worker
+/// contention; a panicking worker aborts the speculative execution anyway,
+/// so lock poisoning is ignored.
+#[derive(Debug)]
+pub struct TrailSet<T> {
+    shards: Vec<std::sync::Mutex<Vec<TrailEvent<T>>>>,
+}
+
+impl<T: Copy> TrailSet<T> {
+    /// Creates trails for `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        TrailSet {
+            shards: (0..workers).map(|_| std::sync::Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Records that iteration `iter` (running on worker `vpn`) wrote
+    /// `value` to `element`.
+    pub fn record(&self, vpn: usize, iter: usize, element: usize, value: T) {
+        self.shards[vpn]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(TrailEvent { iter, element, value });
+    }
+
+    /// Total recorded events.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consumes the trail set into a flat event list (per-worker order
+    /// preserved, worker order concatenated).
+    pub fn into_events(self) -> Vec<TrailEvent<T>> {
+        self.shards
+            .into_iter()
+            .flat_map(|s| s.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect()
+    }
+}
+
+/// Last-value copy-out: for each element, writes into `dest` the value with
+/// the largest iteration stamp `≤ last_valid`; elements never validly
+/// written keep their existing `dest` value (the original array serves as
+/// backup, as the paper notes for privatized variables).
+///
+/// Within one iteration a later event to the same element supersedes an
+/// earlier one, so `events` must preserve per-worker program order per
+/// `(iter, element)` — which [`TrailSet::record`] does, because one
+/// iteration runs entirely on one worker. Returns how many elements were
+/// copied out.
+pub fn copy_out_last_values<T: Copy>(
+    events: &[TrailEvent<T>],
+    last_valid: usize,
+    dest: &mut [T],
+) -> usize {
+    // winner per element: (iter, sequence) — sequence is the event's
+    // position, which orders same-iteration writes correctly because a
+    // single iteration's events are contiguous and ordered in its shard.
+    let mut winner: Vec<Option<(usize, usize)>> = vec![None; dest.len()];
+    let mut copied = 0usize;
+    for (seq, ev) in events.iter().enumerate() {
+        if ev.iter > last_valid {
+            continue;
+        }
+        let better = match winner[ev.element] {
+            None => true,
+            Some((it, sq)) => ev.iter > it || (ev.iter == it && seq > sq),
+        };
+        if better {
+            if winner[ev.element].is_none() {
+                copied += 1;
+            }
+            winner[ev.element] = Some((ev.iter, seq));
+            dest[ev.element] = ev.value;
+        }
+    }
+    copied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_out_picks_latest_valid_stamp() {
+        let events = vec![
+            TrailEvent { iter: 0, element: 0, value: 10 },
+            TrailEvent { iter: 3, element: 0, value: 30 },
+            TrailEvent { iter: 7, element: 0, value: 70 }, // overshot
+            TrailEvent { iter: 2, element: 1, value: 21 },
+        ];
+        let mut dest = vec![-1; 3];
+        let copied = copy_out_last_values(&events, 5, &mut dest);
+        assert_eq!(dest, vec![30, 21, -1]);
+        assert_eq!(copied, 2);
+    }
+
+    #[test]
+    fn same_iteration_later_write_wins() {
+        let events = vec![
+            TrailEvent { iter: 4, element: 0, value: 1 },
+            TrailEvent { iter: 4, element: 0, value: 2 },
+        ];
+        let mut dest = vec![0];
+        copy_out_last_values(&events, 10, &mut dest);
+        assert_eq!(dest[0], 2);
+    }
+
+    #[test]
+    fn untouched_elements_keep_backup_value() {
+        let events: Vec<TrailEvent<i32>> = vec![TrailEvent { iter: 9, element: 1, value: 5 }];
+        let mut dest = vec![100, 200];
+        let copied = copy_out_last_values(&events, 3, &mut dest);
+        assert_eq!(dest, vec![100, 200], "all events overshot");
+        assert_eq!(copied, 0);
+    }
+
+    #[test]
+    fn trailset_shards_and_flattens() {
+        let t: TrailSet<u32> = TrailSet::new(3);
+        t.record(0, 0, 5, 50);
+        t.record(2, 1, 6, 60);
+        t.record(1, 2, 5, 55);
+        assert_eq!(t.len(), 3);
+        let mut events = t.into_events();
+        events.sort_by_key(|e| e.iter);
+        assert_eq!(events[0].value, 50);
+        assert_eq!(events[2].element, 5);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let t: TrailSet<usize> = TrailSet::new(4);
+        let pool = wlp_runtime::Pool::new(4);
+        pool.run(|vpn| {
+            for k in 0..100 {
+                t.record(vpn, vpn * 100 + k, vpn, k);
+            }
+        });
+        assert_eq!(t.len(), 400);
+    }
+}

@@ -1,0 +1,123 @@
+//! A reusable centralized barrier.
+//!
+//! Strip-mined execution (Sections 4 and 8.1) separates strips with "global
+//! synchronization points". This is a classic generation-counting barrier
+//! built on `parking_lot`; it is reusable any number of times by the same
+//! set of participants.
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct BarrierState {
+    waiting: usize,
+    generation: u64,
+}
+
+/// A reusable barrier for a fixed number of participants.
+#[derive(Debug)]
+pub struct CentralBarrier {
+    parties: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+impl CentralBarrier {
+    /// Creates a barrier for `parties` participants.
+    ///
+    /// # Panics
+    /// Panics if `parties == 0`.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one participant");
+        CentralBarrier {
+            parties,
+            state: Mutex::new(BarrierState {
+                waiting: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    #[inline]
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Blocks until all participants have called `wait` for the current
+    /// generation. Returns `true` on exactly one participant (the "leader"),
+    /// which may then perform a serial section before the next barrier.
+    pub fn wait(&self) -> bool {
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        st.waiting += 1;
+        if st.waiting == self.parties {
+            st.waiting = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            true
+        } else {
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::Pool;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_participants_pass_together() {
+        let pool = Pool::new(4);
+        let barrier = CentralBarrier::new(4);
+        let phase = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        pool.run(|_| {
+            for round in 0..10 {
+                // everyone must observe the same phase before the barrier
+                if phase.load(Ordering::SeqCst) != round {
+                    violations.fetch_add(1, Ordering::SeqCst);
+                }
+                if barrier.wait() {
+                    phase.fetch_add(1, Ordering::SeqCst);
+                }
+                barrier.wait(); // let the leader's update settle
+            }
+        });
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        let pool = Pool::new(8);
+        let barrier = CentralBarrier::new(8);
+        let leaders = AtomicUsize::new(0);
+        pool.run(|_| {
+            for _ in 0..25 {
+                if barrier.wait() {
+                    leaders.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 25);
+    }
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = CentralBarrier::new(1);
+        for _ in 0..5 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_parties_panics() {
+        let _ = CentralBarrier::new(0);
+    }
+}

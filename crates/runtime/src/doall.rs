@@ -1,0 +1,345 @@
+//! DOALL loops with a software `QUIT` protocol.
+//!
+//! The paper's Induction-2 method relies on the Alliant `QUIT` operation:
+//! "Once a QUIT command is issued by an iteration, all iterations with loop
+//! counters less than that of the issuing iteration will be initiated and
+//! completed, but no iterations with larger loop counters will be begun. If
+//! multiple QUIT operations are issued, then the iteration with the smallest
+//! loop counter executing a QUIT will control the exit of the loop."
+//!
+//! [`doall_dynamic`] reproduces those semantics in software: a shared atomic
+//! claim counter issues iterations *in order* (the Alliant's ordered-issue
+//! property), and a shared atomic minimum records the smallest quitting
+//! iteration. Iterations already past the claim check may still complete
+//! after a QUIT — that is precisely the *overshoot* the paper's undo
+//! machinery (Section 4) deals with, so it is deliberately not prevented.
+//!
+//! [`doall_static_cyclic`] issues iteration `i` on worker `i mod p`
+//! (the paper's General-2-style static assignment), and
+//! [`doall_static_blocked`] issues contiguous blocks. The paper notes that
+//! static assignment can have a much larger *span* of concurrently executing
+//! iterations, and therefore more iterations to undo under an RV terminator;
+//! the outcome's `max_started` field lets callers observe exactly that.
+
+use crate::pool::Pool;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// What the loop body tells the scheduler after an iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Keep issuing iterations.
+    Continue,
+    /// This iteration met the termination condition: stop issuing iterations
+    /// with larger loop counters (the Alliant `QUIT`).
+    Quit,
+}
+
+/// Result of a DOALL execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoallOutcome {
+    /// Smallest iteration that issued a `QUIT`, if any. Under the paper's
+    /// conventions this is the *last valid iteration* `LI` when the body
+    /// tests the WHILE terminator before doing work.
+    pub quit: Option<usize>,
+    /// Number of body invocations actually performed (includes overshot
+    /// iterations).
+    pub executed: u64,
+    /// One past the highest iteration index that was begun; `max_started -
+    /// quit` bounds the work the undo phase must inspect.
+    pub max_started: usize,
+}
+
+impl DoallOutcome {
+    fn from_parts(quit: usize, executed: u64, max_started: usize) -> Self {
+        DoallOutcome {
+            quit: (quit != usize::MAX).then_some(quit),
+            executed,
+            max_started,
+        }
+    }
+}
+
+/// Shared QUIT state: the minimum quitting iteration.
+#[derive(Debug)]
+struct QuitCell(AtomicUsize);
+
+impl QuitCell {
+    fn new() -> Self {
+        QuitCell(AtomicUsize::new(usize::MAX))
+    }
+    #[inline]
+    fn bound(&self) -> usize {
+        self.0.load(Ordering::Acquire)
+    }
+    #[inline]
+    fn quit_at(&self, i: usize) {
+        self.0.fetch_min(i, Ordering::AcqRel);
+    }
+}
+
+/// Dynamic self-scheduled DOALL over `0..upper` with ordered issue.
+///
+/// Workers claim iterations from a shared counter, so iteration *begin*
+/// order equals iteration index order (the Alliant ordered-issue property).
+/// `body(i, vpn)` returns [`Step::Quit`] to request loop exit.
+pub fn doall_dynamic<F>(pool: &Pool, upper: usize, body: F) -> DoallOutcome
+where
+    F: Fn(usize, usize) -> Step + Sync,
+{
+    let claim = AtomicUsize::new(0);
+    let quit = QuitCell::new();
+    let max_started = AtomicUsize::new(0);
+    let executed = AtomicU64::new(0);
+
+    pool.run(|vpn| {
+        let mut local_exec = 0u64;
+        let mut local_max = 0usize;
+        loop {
+            let i = claim.fetch_add(1, Ordering::Relaxed);
+            if i >= upper || i > quit.bound() {
+                break;
+            }
+            local_max = i + 1;
+            local_exec += 1;
+            if let Step::Quit = body(i, vpn) {
+                quit.quit_at(i);
+            }
+        }
+        executed.fetch_add(local_exec, Ordering::Relaxed);
+        max_started.fetch_max(local_max, Ordering::Relaxed);
+    });
+
+    DoallOutcome::from_parts(
+        quit.bound(),
+        executed.load(Ordering::Relaxed),
+        max_started.load(Ordering::Relaxed),
+    )
+}
+
+/// Static cyclic DOALL: worker `vpn` executes iterations `vpn, vpn+p, …`.
+///
+/// This is the issue pattern of the paper's General-2 method. The QUIT bound
+/// is still honoured (iterations larger than the smallest quitting iteration
+/// are not begun once the quit is visible), but because issue order is not
+/// global, the span of started iterations can exceed the dynamic scheduler's.
+pub fn doall_static_cyclic<F>(pool: &Pool, upper: usize, body: F) -> DoallOutcome
+where
+    F: Fn(usize, usize) -> Step + Sync,
+{
+    let quit = QuitCell::new();
+    let max_started = AtomicUsize::new(0);
+    let executed = AtomicU64::new(0);
+    let p = pool.size();
+
+    pool.run(|vpn| {
+        let mut local_exec = 0u64;
+        let mut local_max = 0usize;
+        let mut i = vpn;
+        while i < upper && i <= quit.bound() {
+            local_max = i + 1;
+            local_exec += 1;
+            if let Step::Quit = body(i, vpn) {
+                quit.quit_at(i);
+            }
+            i += p;
+        }
+        executed.fetch_add(local_exec, Ordering::Relaxed);
+        max_started.fetch_max(local_max, Ordering::Relaxed);
+    });
+
+    DoallOutcome::from_parts(
+        quit.bound(),
+        executed.load(Ordering::Relaxed),
+        max_started.load(Ordering::Relaxed),
+    )
+}
+
+/// Static blocked DOALL: worker `vpn` executes one contiguous block of
+/// `0..upper`, honouring the QUIT bound.
+pub fn doall_static_blocked<F>(pool: &Pool, upper: usize, body: F) -> DoallOutcome
+where
+    F: Fn(usize, usize) -> Step + Sync,
+{
+    let quit = QuitCell::new();
+    let max_started = AtomicUsize::new(0);
+    let executed = AtomicU64::new(0);
+
+    pool.run(|vpn| {
+        let (lo, hi) = pool.block(vpn, upper);
+        let mut local_exec = 0u64;
+        let mut local_max = 0usize;
+        for i in lo..hi {
+            if i > quit.bound() {
+                break;
+            }
+            local_max = i + 1;
+            local_exec += 1;
+            if let Step::Quit = body(i, vpn) {
+                quit.quit_at(i);
+            }
+        }
+        executed.fetch_add(local_exec, Ordering::Relaxed);
+        max_started.fetch_max(local_max, Ordering::Relaxed);
+    });
+
+    DoallOutcome::from_parts(
+        quit.bound(),
+        executed.load(Ordering::Relaxed),
+        max_started.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // indexing by iteration number is the semantics under test
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn mark_all(doall: impl Fn(&Pool, usize, &(dyn Fn(usize, usize) -> Step + Sync)) -> DoallOutcome) {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        let out = doall(&pool, 100, &|i, _| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            Step::Continue
+        });
+        assert_eq!(out.quit, None);
+        assert_eq!(out.executed, 100);
+        assert_eq!(out.max_started, 100);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn dynamic_covers_all_iterations_exactly_once() {
+        mark_all(|p, u, b| doall_dynamic(p, u, b));
+    }
+
+    #[test]
+    fn cyclic_covers_all_iterations_exactly_once() {
+        mark_all(|p, u, b| doall_static_cyclic(p, u, b));
+    }
+
+    #[test]
+    fn blocked_covers_all_iterations_exactly_once() {
+        mark_all(|p, u, b| doall_static_blocked(p, u, b));
+    }
+
+    #[test]
+    fn quit_reports_smallest_quitting_iteration() {
+        let pool = Pool::new(4);
+        let out = doall_dynamic(&pool, 10_000, |i, _| {
+            if i >= 50 {
+                Step::Quit
+            } else {
+                Step::Continue
+            }
+        });
+        assert_eq!(out.quit, Some(50));
+    }
+
+    #[test]
+    fn quit_executes_every_iteration_below_the_quit_point() {
+        // The QUIT contract: all iterations < quit must have run.
+        let pool = Pool::new(8);
+        let hits: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
+        let out = doall_dynamic(&pool, 1000, |i, _| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            if i == 200 {
+                Step::Quit
+            } else {
+                Step::Continue
+            }
+        });
+        assert_eq!(out.quit, Some(200));
+        for i in 0..=200 {
+            assert_eq!(hits[i].load(Ordering::Relaxed), 1, "iteration {i} must run");
+        }
+        // no iteration runs twice, overshoot is bounded by what was claimed
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) <= 1));
+        assert!(out.executed >= 201);
+    }
+
+    #[test]
+    fn cyclic_quit_bound_holds() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
+        let out = doall_static_cyclic(&pool, 1000, |i, _| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            if i >= 100 {
+                Step::Quit
+            } else {
+                Step::Continue
+            }
+        });
+        // smallest quitting iteration is in 100..104 (each worker quits at
+        // its first i >= 100); all iterations below it must have run
+        let q = out.quit.unwrap();
+        assert!((100..100 + 4).contains(&q));
+        for i in 0..=q {
+            assert_eq!(hits[i].load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn cyclic_assignment_is_mod_p() {
+        let pool = Pool::new(3);
+        let owner: Vec<AtomicUsize> = (0..30).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        doall_static_cyclic(&pool, 30, |i, vpn| {
+            owner[i].store(vpn, Ordering::Relaxed);
+            Step::Continue
+        });
+        for i in 0..30 {
+            assert_eq!(owner[i].load(Ordering::Relaxed), i % 3);
+        }
+    }
+
+    #[test]
+    fn blocked_assignment_is_contiguous() {
+        let pool = Pool::new(4);
+        let owner: Vec<AtomicUsize> = (0..40).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        doall_static_blocked(&pool, 40, |i, vpn| {
+            owner[i].store(vpn, Ordering::Relaxed);
+            Step::Continue
+        });
+        let owners: Vec<usize> = owner.iter().map(|o| o.load(Ordering::Relaxed)).collect();
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]), "{owners:?}");
+    }
+
+    #[test]
+    fn empty_range_runs_nothing() {
+        let pool = Pool::new(4);
+        let out = doall_dynamic(&pool, 0, |_, _| Step::Quit);
+        assert_eq!(out.executed, 0);
+        assert_eq!(out.quit, None);
+        assert_eq!(out.max_started, 0);
+    }
+
+    #[test]
+    fn multiple_quits_pick_minimum() {
+        let pool = Pool::new(8);
+        let out = doall_dynamic(&pool, 10_000, |i, _| {
+            // every iteration in 70.. quits; 70 must win
+            if i >= 70 {
+                Step::Quit
+            } else {
+                Step::Continue
+            }
+        });
+        assert_eq!(out.quit, Some(70));
+    }
+
+    #[test]
+    fn works_on_single_worker_pool() {
+        let pool = Pool::new(1);
+        let out = doall_dynamic(&pool, 100, |i, _| {
+            if i == 10 {
+                Step::Quit
+            } else {
+                Step::Continue
+            }
+        });
+        assert_eq!(out.quit, Some(10));
+        // sequential execution: exactly iterations 0..=10 ran
+        assert_eq!(out.executed, 11);
+        assert_eq!(out.max_started, 11);
+    }
+}

@@ -1,0 +1,44 @@
+//! Threaded parallel substrate for WHILE-loop parallelization.
+//!
+//! The paper targets an Alliant FX/80: an 8-processor machine whose compiler
+//! and hardware provide DOALL loops with *virtual processor numbers* (vpn),
+//! in-order iteration issue, and a `QUIT` operation that prevents iterations
+//! with larger loop counters from starting once some iteration requests
+//! termination. None of those primitives exist in off-the-shelf Rust task
+//! libraries (rayon has no vpn, no QUIT, no ordered issue, no sliding-window
+//! scheduling), so this crate builds them from scratch on `std::thread`,
+//! `crossbeam` utilities and `parking_lot` locks:
+//!
+//! * [`Pool`] — a fixed-width worker group exposing vpn to each worker.
+//! * [`doall`] — dynamic self-scheduled (ordered-issue), static-cyclic and
+//!   static-blocked DOALL loops with a software `QUIT` protocol.
+//! * [`scan`] — parallel prefix computations (the Section 3.2 method for
+//!   associative dispatchers), including affine linear recurrences.
+//! * [`reduce`] — parallel folds/reductions (used by the post-execution
+//!   minimum of Induction-1 and by the PD test's analysis phase).
+//! * [`window`] — the resource-controlled self-scheduler of Section 8.2: a
+//!   sliding iteration window bounding the span of in-flight iterations.
+//! * [`strip`] — strip-mined execution with inter-strip barriers
+//!   (Sections 4 and 8.1).
+//! * [`doacross`](mod@doacross) — pipelined execution of loops with cross-iteration
+//!   dependences (the Section 6 schedule for sequential distributed
+//!   loops, and the Wu & Lewis pipelining baseline).
+//! * [`barrier`] — a reusable centralized barrier.
+
+pub mod barrier;
+pub mod doacross;
+pub mod doall;
+pub mod pool;
+pub mod reduce;
+pub mod scan;
+pub mod strip;
+pub mod window;
+
+pub use barrier::CentralBarrier;
+pub use doacross::doacross;
+pub use doall::{doall_dynamic, doall_static_blocked, doall_static_cyclic, DoallOutcome, Step};
+pub use pool::Pool;
+pub use reduce::{parallel_fold, parallel_min, parallel_min_index};
+pub use scan::{geometric_recurrence_terms, linear_recurrence_terms, parallel_scan_inclusive};
+pub use strip::strip_mined;
+pub use window::{doall_windowed, WindowController, WindowScheduler};

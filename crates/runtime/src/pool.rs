@@ -1,0 +1,169 @@
+//! A fixed-width worker group exposing virtual processor numbers.
+
+/// A group of `p` cooperating workers.
+///
+/// The paper's codes are written in terms of `nproc` (processor count) and
+/// `vpn` (virtual processor number of the processor executing an iteration).
+/// `Pool::run(f)` executes `f(vpn)` once per worker, on `p` OS threads, and
+/// returns when all have finished — the body of every DOALL-style construct
+/// in this crate.
+///
+/// Workers are spawned per `run` call using scoped threads, so the closure
+/// may borrow from the caller's stack. A `Pool` is cheap to construct; it
+/// only records the width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// Creates a pool of `p` workers.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "a pool needs at least one worker");
+        Pool { workers: p }
+    }
+
+    /// Number of workers (the paper's `nproc`).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(vpn)` on every worker, vpn ∈ `0..p`, and waits for all.
+    ///
+    /// With `p == 1` the closure runs inline on the caller's thread, which
+    /// makes sequential baselines measurable without thread overhead.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.workers == 1 {
+            f(0);
+            return;
+        }
+        std::thread::scope(|s| {
+            let f = &f;
+            // vpn 0 runs on the caller's thread; 1..p on spawned threads.
+            let handles: Vec<_> = (1..self.workers)
+                .map(|vpn| s.spawn(move || f(vpn)))
+                .collect();
+            f(0);
+            for h in handles {
+                h.join().expect("worker panicked");
+            }
+        });
+    }
+
+    /// Runs `f(vpn)` on every worker and collects each worker's return value
+    /// in vpn order (the paper's `L[0:nproc-1]` per-processor arrays).
+    pub fn run_map<F, T>(&self, f: F) -> Vec<T>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        if self.workers == 1 {
+            return vec![f(0)];
+        }
+        let mut out: Vec<Option<T>> = (0..self.workers).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let f = &f;
+            let (first, rest) = out.split_first_mut().expect("p > 0");
+            let handles: Vec<_> = rest
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    s.spawn(move || {
+                        *slot = Some(f(i + 1));
+                    })
+                })
+                .collect();
+            *first = Some(f(0));
+            for h in handles {
+                h.join().expect("worker panicked");
+            }
+        });
+        out.into_iter().map(|v| v.expect("worker filled slot")).collect()
+    }
+
+    /// Splits `0..n` into `p` contiguous blocks, returning `(lo, hi)` for
+    /// worker `vpn` (empty blocks for trailing workers when `n < p`).
+    pub fn block(&self, vpn: usize, n: usize) -> (usize, usize) {
+        let p = self.workers;
+        let base = n / p;
+        let extra = n % p;
+        let lo = vpn * base + vpn.min(extra);
+        let size = base + usize::from(vpn < extra);
+        (lo, lo + size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_executes_every_vpn_once() {
+        let pool = Pool::new(4);
+        let hits = [(); 4].map(|_| AtomicUsize::new(0));
+        pool.run(|vpn| {
+            hits[vpn].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn run_map_preserves_vpn_order() {
+        let pool = Pool::new(5);
+        assert_eq!(pool.run_map(|vpn| vpn * 10), vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = Pool::new(1);
+        let tid = std::thread::current().id();
+        pool.run(|_| assert_eq!(std::thread::current().id(), tid));
+    }
+
+    #[test]
+    fn blocks_partition_range() {
+        for p in 1..=8 {
+            let pool = Pool::new(p);
+            for n in [0usize, 1, 7, 8, 100] {
+                let mut covered = 0;
+                let mut prev_hi = 0;
+                for vpn in 0..p {
+                    let (lo, hi) = pool.block(vpn, n);
+                    assert_eq!(lo, prev_hi, "blocks must be contiguous");
+                    assert!(hi >= lo);
+                    covered += hi - lo;
+                    prev_hi = hi;
+                }
+                assert_eq!(covered, n);
+                assert_eq!(prev_hi, n);
+            }
+        }
+    }
+
+    #[test]
+    fn block_sizes_differ_by_at_most_one() {
+        let pool = Pool::new(3);
+        let sizes: Vec<usize> = (0..3).map(|v| {
+            let (lo, hi) = pool.block(v, 10);
+            hi - lo
+        }).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = Pool::new(0);
+    }
+}

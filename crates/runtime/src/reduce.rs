@@ -1,0 +1,118 @@
+//! Parallel folds and reductions.
+//!
+//! Several of the paper's post-execution steps are reductions: Induction-1's
+//! `LI = min(L[1:nproc])`, the PD test's "count marked elements / any element
+//! marked in both Aw and Ar" analysis, and MA28's time-stamp-ordered minimum
+//! over privatized pivots. All are instances of a blocked parallel fold.
+
+use crate::pool::Pool;
+
+/// Folds `0..n` in parallel: each worker folds its contiguous block with
+/// `fold`, and the per-worker accumulators are combined left-to-right with
+/// `combine`. For a correct result, `fold`/`combine` must form the usual
+/// monoid-homomorphism pair (e.g. both associative with `identity`).
+pub fn parallel_fold<T, F, G>(pool: &Pool, n: usize, identity: T, fold: F, combine: G) -> T
+where
+    T: Clone + Send + Sync,
+    F: Fn(T, usize) -> T + Sync,
+    G: Fn(T, T) -> T,
+{
+    let parts = pool.run_map(|vpn| {
+        let (lo, hi) = pool.block(vpn, n);
+        let mut acc = identity.clone();
+        for i in lo..hi {
+            acc = fold(acc, i);
+        }
+        acc
+    });
+    parts.into_iter().fold(identity, combine)
+}
+
+/// Parallel minimum of a slice; `None` when empty.
+pub fn parallel_min<T: Ord + Copy + Send + Sync>(pool: &Pool, xs: &[T]) -> Option<T> {
+    parallel_fold(
+        pool,
+        xs.len(),
+        None,
+        |acc: Option<T>, i| Some(match acc {
+            Some(m) => m.min(xs[i]),
+            None => xs[i],
+        }),
+        |a, b| match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, None) => x,
+            (None, y) => y,
+        },
+    )
+}
+
+/// Index of the minimum element (first occurrence); `None` when empty.
+pub fn parallel_min_index<T: Ord + Send + Sync>(pool: &Pool, xs: &[T]) -> Option<usize> {
+    parallel_fold(
+        pool,
+        xs.len(),
+        None,
+        |acc: Option<usize>, i| match acc {
+            Some(m) if xs[m] <= xs[i] => Some(m),
+            _ => Some(i),
+        },
+        |a, b| match (a, b) {
+            (Some(x), Some(y)) => {
+                if xs[y] < xs[x] {
+                    Some(y)
+                } else {
+                    Some(x)
+                }
+            }
+            (x, None) => x,
+            (None, y) => y,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_sums_range() {
+        let pool = Pool::new(4);
+        let s = parallel_fold(&pool, 1000, 0u64, |acc, i| acc + i as u64, |a, b| a + b);
+        assert_eq!(s, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn fold_empty_range_is_identity() {
+        let pool = Pool::new(4);
+        let s = parallel_fold(&pool, 0, 7i32, |acc, _| acc + 1, |a, b| a + b - 7);
+        assert_eq!(s, 7);
+    }
+
+    #[test]
+    fn min_finds_global_minimum() {
+        let pool = Pool::new(4);
+        let xs: Vec<i64> = (0..500).map(|i| (i * 37 % 101) - 50).collect();
+        assert_eq!(parallel_min(&pool, &xs), xs.iter().copied().min());
+        assert_eq!(parallel_min::<i64>(&pool, &[]), None);
+    }
+
+    #[test]
+    fn min_index_is_first_occurrence() {
+        let pool = Pool::new(4);
+        let xs = vec![5, 1, 3, 1, 1, 9];
+        assert_eq!(parallel_min_index(&pool, &xs), Some(1));
+        assert_eq!(parallel_min_index::<i32>(&pool, &[]), None);
+    }
+
+    #[test]
+    fn min_index_matches_sequential_on_random_data() {
+        let pool = Pool::new(8);
+        let xs: Vec<u32> = (0..997).map(|i| (i * 2654435761u64 % 4096) as u32).collect();
+        let seq = xs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(&b.0)))
+            .map(|(i, _)| i);
+        assert_eq!(parallel_min_index(&pool, &xs), seq);
+    }
+}

@@ -1,0 +1,293 @@
+//! Parallel prefix computations (Section 3.2 of the paper).
+//!
+//! When the dispatcher is an *associative* recurrence, the paper distributes
+//! the loop and evaluates the dispatcher terms with a parallel prefix
+//! computation in `O(n/p + log p)` time, after which the remainder runs as a
+//! DOALL over the precomputed terms.
+//!
+//! [`parallel_scan_inclusive`] is the classic three-phase blocked scan:
+//! local scans, a sequential scan over `p` block sums, and a parallel
+//! re-offset pass. [`linear_recurrence_terms`] instantiates it for the
+//! paper's generic affine dispatcher `x(i) = a·x(i−k) + b` by scanning the
+//! monoid of affine-map composition.
+
+use crate::pool::Pool;
+
+/// In-place inclusive prefix scan of `xs` under the associative `op`.
+///
+/// After the call, `xs[i] = xs[0] ⊕ xs[1] ⊕ … ⊕ xs[i]` (original values).
+/// `op` must be associative; it need not be commutative.
+///
+/// ```
+/// use wlp_runtime::{parallel_scan_inclusive, Pool};
+///
+/// let mut xs = vec![1, 2, 3, 4, 5];
+/// parallel_scan_inclusive(&Pool::new(2), &mut xs, |a, b| a + b);
+/// assert_eq!(xs, vec![1, 3, 6, 10, 15]);
+/// ```
+pub fn parallel_scan_inclusive<T, F>(pool: &Pool, xs: &mut [T], op: F)
+where
+    T: Clone + Send,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    let n = xs.len();
+    let p = pool.size();
+    if n == 0 {
+        return;
+    }
+    if p == 1 || n < 2 * p {
+        // Sequential fallback: too little work to amortize the extra pass.
+        for i in 1..n {
+            xs[i] = op(&xs[i - 1], &xs[i]);
+        }
+        return;
+    }
+
+    // Split into p contiguous blocks matching Pool::block.
+    let mut blocks: Vec<&mut [T]> = Vec::with_capacity(p);
+    {
+        let mut rest = xs;
+        for vpn in 0..p {
+            let (lo, hi) = pool.block(vpn, n);
+            let (head, tail) = rest.split_at_mut(hi - lo);
+            blocks.push(head);
+            rest = tail;
+        }
+    }
+
+    // Phase 1: local inclusive scans, in parallel.
+    let op_ref = &op;
+    std::thread::scope(|s| {
+        for block in blocks.iter_mut() {
+            s.spawn(move || {
+                for i in 1..block.len() {
+                    block[i] = op_ref(&block[i - 1], &block[i]);
+                }
+            });
+        }
+    });
+
+    // Phase 2: sequential exclusive scan over the p block totals.
+    let mut offsets: Vec<Option<T>> = Vec::with_capacity(p);
+    let mut acc: Option<T> = None;
+    for block in blocks.iter() {
+        offsets.push(acc.clone());
+        if let Some(last) = block.last() {
+            acc = Some(match acc {
+                Some(a) => op(&a, last),
+                None => last.clone(),
+            });
+        }
+    }
+
+    // Phase 3: apply each block's left offset, in parallel.
+    std::thread::scope(|s| {
+        for (block, offset) in blocks.iter_mut().zip(offsets) {
+            if let Some(off) = offset {
+                s.spawn(move || {
+                    for x in block.iter_mut() {
+                        *x = op_ref(&off, x);
+                    }
+                });
+            }
+        }
+    });
+}
+
+/// An affine map `x ↦ a·x + b`; composition of such maps is associative,
+/// which is what lets the paper's generic recurrence `x(i) = a·x(i−k) + b`
+/// be evaluated by parallel prefix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine {
+    /// Multiplier.
+    pub a: f64,
+    /// Offset.
+    pub b: f64,
+}
+
+impl Affine {
+    /// `self ∘ g`: first apply `g`, then `self`.
+    #[inline]
+    pub fn after(&self, g: &Affine) -> Affine {
+        Affine {
+            a: self.a * g.a,
+            b: self.a * g.b + self.b,
+        }
+    }
+
+    /// Applies the map to `x`.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        self.a * x + self.b
+    }
+}
+
+/// Evaluates the `n` terms `x(1..=n)` of `x(i) = a·x(i−1) + b`, `x(0) = x0`,
+/// using a parallel prefix over affine-map composition.
+pub fn linear_recurrence_terms(pool: &Pool, x0: f64, a: f64, b: f64, n: usize) -> Vec<f64> {
+    let mut maps = vec![Affine { a, b }; n];
+    // Inclusive scan of composition: maps[i] = f^(i+1), so term i is
+    // maps[i](x0). Note composition order: later ∘ earlier.
+    parallel_scan_inclusive(pool, &mut maps, |f, g| g.after(f));
+    maps.into_iter().map(|m| m.apply(x0)).collect()
+}
+
+/// Evaluates the `n` terms `x(1..=n)` of the paper's *multiplicative*
+/// associative form `x(i) = a·x(i−1)^b` (`x0, a > 0`): taking logarithms
+/// turns it into the affine recurrence `ln x(i) = b·ln x(i−1) + ln a`,
+/// which the parallel prefix evaluates; the terms are exponentiated back.
+///
+/// # Panics
+/// Panics if `x0 <= 0` or `a <= 0` (the log transform needs positivity).
+pub fn geometric_recurrence_terms(pool: &Pool, x0: f64, a: f64, b: f64, n: usize) -> Vec<f64> {
+    assert!(x0 > 0.0 && a > 0.0, "log transform requires positive x0 and a");
+    linear_recurrence_terms(pool, x0.ln(), b, a.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
+}
+
+/// Evaluates the terms of the strided recurrence `x(i) = a·x(i−k) + b` for
+/// `i in k..k+n`, given seeds `x(0..k)`. The `k` interleaved chains are
+/// independent, each evaluated by [`linear_recurrence_terms`].
+///
+/// Returns the `n` terms in index order `x(k), x(k+1), …, x(k+n−1)`.
+///
+/// # Panics
+/// Panics if `seeds` is empty.
+pub fn strided_recurrence_terms(
+    pool: &Pool,
+    seeds: &[f64],
+    a: f64,
+    b: f64,
+    n: usize,
+) -> Vec<f64> {
+    let k = seeds.len();
+    assert!(k > 0, "stride k must be positive");
+    let mut out = vec![0.0; n];
+    for (c, &seed) in seeds.iter().enumerate() {
+        // chain c produces x(k+c), x(2k+c), ... → out positions c, c+k, ...
+        let chain_len = if n > c { (n - c).div_ceil(k) } else { 0 };
+        let terms = linear_recurrence_terms(pool, seed, a, b, chain_len);
+        for (j, t) in terms.into_iter().enumerate() {
+            out[c + j * k] = t;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_scan(xs: &[i64]) -> Vec<i64> {
+        let mut out = Vec::with_capacity(xs.len());
+        let mut acc = 0;
+        for &x in xs {
+            acc += x;
+            out.push(acc);
+        }
+        out
+    }
+
+    #[test]
+    fn scan_matches_sequential_sum() {
+        let pool = Pool::new(4);
+        for n in [0usize, 1, 2, 7, 8, 9, 100, 1001] {
+            let orig: Vec<i64> = (0..n as i64).map(|i| i * 3 - 5).collect();
+            let mut xs = orig.clone();
+            parallel_scan_inclusive(&pool, &mut xs, |a, b| a + b);
+            assert_eq!(xs, seq_scan(&orig), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn scan_handles_noncommutative_op() {
+        // String concatenation is associative but not commutative: order bugs
+        // in the blocked scan would scramble the result.
+        let pool = Pool::new(4);
+        let mut xs: Vec<String> = (0..40).map(|i| format!("{i},")).collect();
+        parallel_scan_inclusive(&pool, &mut xs, |a, b| format!("{a}{b}"));
+        let expected: String = (0..40).map(|i| format!("{i},")).collect();
+        assert_eq!(xs.last().unwrap(), &expected);
+        assert_eq!(xs[0], "0,");
+        assert_eq!(xs[1], "0,1,");
+    }
+
+    #[test]
+    fn linear_recurrence_matches_sequential_evaluation() {
+        let pool = Pool::new(4);
+        let (x0, a, b, n) = (1.0, 1.001, 0.5, 500);
+        let par = linear_recurrence_terms(&pool, x0, a, b, n);
+        let mut x = x0;
+        for (i, term) in par.iter().enumerate() {
+            x = a * x + b;
+            assert!(
+                (x - term).abs() <= 1e-9 * x.abs().max(1.0),
+                "term {i}: seq {x} vs par {term}"
+            );
+        }
+    }
+
+    #[test]
+    fn affine_composition_is_associative() {
+        let f = Affine { a: 2.0, b: 1.0 };
+        let g = Affine { a: -0.5, b: 3.0 };
+        let h = Affine { a: 4.0, b: -2.0 };
+        let left = f.after(&g).after(&h);
+        let right = f.after(&g.after(&h));
+        assert!((left.a - right.a).abs() < 1e-12);
+        assert!((left.b - right.b).abs() < 1e-12);
+        // and matches pointwise application
+        for x in [-3.0, 0.0, 7.5] {
+            assert!((left.apply(x) - f.apply(g.apply(h.apply(x)))).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn strided_recurrence_matches_sequential() {
+        let pool = Pool::new(3);
+        let seeds = [1.0, 2.0, 3.0]; // k = 3
+        let (a, b, n) = (0.9, 1.0, 20);
+        let par = strided_recurrence_terms(&pool, &seeds, a, b, n);
+        // sequential: x(i) = a*x(i-3)+b
+        let mut xs = seeds.to_vec();
+        for i in 3..3 + n {
+            let v = a * xs[i - 3] + b;
+            xs.push(v);
+        }
+        for i in 0..n {
+            assert!((par[i] - xs[3 + i]).abs() < 1e-9, "i = {i}");
+        }
+    }
+
+    #[test]
+    fn geometric_recurrence_matches_sequential() {
+        let pool = Pool::new(4);
+        let (x0, a, b, n) = (2.0f64, 1.5, 0.9, 60);
+        let par = geometric_recurrence_terms(&pool, x0, a, b, n);
+        let mut x = x0;
+        for (i, term) in par.iter().enumerate() {
+            x = a * x.powf(b);
+            assert!(
+                (x - term).abs() <= 1e-9 * x.abs().max(1.0),
+                "term {i}: seq {x} vs par {term}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_recurrence_rejects_nonpositive_seed() {
+        let pool = Pool::new(2);
+        let _ = geometric_recurrence_terms(&pool, -1.0, 2.0, 1.0, 5);
+    }
+
+    #[test]
+    fn scan_single_element() {
+        let pool = Pool::new(8);
+        let mut xs = vec![42i64];
+        parallel_scan_inclusive(&pool, &mut xs, |a, b| a + b);
+        assert_eq!(xs, vec![42]);
+    }
+}

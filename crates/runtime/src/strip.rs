@@ -1,0 +1,138 @@
+//! Strip-mined execution (Sections 3, 4 and 8.1 of the paper).
+//!
+//! Strip-mining bounds both the number of precomputed dispatcher terms and
+//! the time-stamp memory: execute iterations `0..s`, synchronize, then
+//! `s..2s`, and so on, stopping after the strip in which the termination
+//! condition fires. The paper warns that the inter-strip synchronization
+//! barriers can significantly reduce the obtainable parallelism — the
+//! `strips_run` count lets the cost model and the ablation benchmarks charge
+//! for exactly that.
+
+use crate::doall::{doall_dynamic, DoallOutcome, Step};
+use crate::pool::Pool;
+
+/// Result of a strip-mined loop execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripOutcome {
+    /// Combined outcome over all strips (global iteration indices).
+    pub outcome: DoallOutcome,
+    /// Number of strips executed (= number of barrier episodes).
+    pub strips_run: usize,
+}
+
+/// Executes `0..upper` in strips of `strip` iterations. Each strip is a
+/// dynamic DOALL; execution stops after the first strip that contains a
+/// QUIT. Iterations beyond the quitting one *within the same strip* may
+/// still run (intra-strip overshoot), but no later strip starts — this is
+/// the memory/overshoot bound the paper derives: at most `s × a` stamped
+/// writes, where `a` is writes per iteration.
+///
+/// # Panics
+/// Panics if `strip == 0`.
+pub fn strip_mined<F>(pool: &Pool, upper: usize, strip: usize, body: F) -> StripOutcome
+where
+    F: Fn(usize, usize) -> Step + Sync,
+{
+    assert!(strip > 0, "strip size must be positive");
+    let mut executed = 0u64;
+    let mut max_started = 0usize;
+    let mut quit: Option<usize> = None;
+    let mut strips_run = 0usize;
+
+    let mut lo = 0usize;
+    while lo < upper {
+        let hi = (lo + strip).min(upper);
+        let out = doall_dynamic(pool, hi - lo, |local, vpn| body(lo + local, vpn));
+        strips_run += 1;
+        executed += out.executed;
+        max_started = max_started.max(lo + out.max_started);
+        if let Some(q) = out.quit {
+            quit = Some(lo + q);
+            break;
+        }
+        lo = hi;
+    }
+
+    StripOutcome {
+        outcome: DoallOutcome {
+            quit,
+            executed,
+            max_started,
+        },
+        strips_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn strips_cover_everything_without_quit() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        let out = strip_mined(&pool, 100, 7, |i, _| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            Step::Continue
+        });
+        assert_eq!(out.outcome.executed, 100);
+        assert_eq!(out.strips_run, 100usize.div_ceil(7));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(out.outcome.quit, None);
+    }
+
+    #[test]
+    fn quit_stops_after_its_strip() {
+        let pool = Pool::new(4);
+        let out = strip_mined(&pool, 1000, 10, |i, _| {
+            if i == 25 {
+                Step::Quit
+            } else {
+                Step::Continue
+            }
+        });
+        assert_eq!(out.outcome.quit, Some(25));
+        // strips 0..10, 10..20, 20..30 ran; nothing from 30 onward
+        assert_eq!(out.strips_run, 3);
+        assert!(out.outcome.max_started <= 30);
+        // overshoot is bounded by the strip size
+        assert!(out.outcome.max_started - 25 <= 10);
+    }
+
+    #[test]
+    fn strip_larger_than_range_is_one_strip() {
+        let pool = Pool::new(2);
+        let out = strip_mined(&pool, 5, 100, |_, _| Step::Continue);
+        assert_eq!(out.strips_run, 1);
+        assert_eq!(out.outcome.executed, 5);
+    }
+
+    #[test]
+    fn global_indices_are_passed_to_body() {
+        let pool = Pool::new(3);
+        let seen: Vec<AtomicU32> = (0..30).map(|_| AtomicU32::new(0)).collect();
+        strip_mined(&pool, 30, 4, |i, _| {
+            seen[i].store(i as u32 + 1, Ordering::Relaxed);
+            Step::Continue
+        });
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::Relaxed), i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn empty_range_runs_zero_strips() {
+        let pool = Pool::new(2);
+        let out = strip_mined(&pool, 0, 10, |_, _| Step::Continue);
+        assert_eq!(out.strips_run, 0);
+        assert_eq!(out.outcome.executed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strip size must be positive")]
+    fn zero_strip_panics() {
+        let pool = Pool::new(2);
+        let _ = strip_mined(&pool, 10, 0, |_, _| Step::Continue);
+    }
+}

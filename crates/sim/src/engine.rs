@@ -1,0 +1,395 @@
+//! The event-ordered simulation engine.
+//!
+//! Each virtual processor carries a clock (in abstract cycles). Strategy
+//! simulations repeatedly pick the *runnable processor with the lowest
+//! clock* (ties → lowest id) and let it perform one atomic action: claim an
+//! iteration, hop dispatcher links, execute a body, acquire a lock, and so
+//! on. Because actions are processed in global time order, shared state
+//! observed at a claim (the claim counter, a registered QUIT, a lock's
+//! queue) is exactly the state a real machine would expose at that instant,
+//! provided each observation is guarded by its registration time — which
+//! the [`TimedMin`] helper enforces for QUITs.
+
+use serde::Serialize;
+
+/// A recorded busy interval on one processor (tracing only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Processor the work ran on.
+    pub proc: usize,
+    /// Start time (cycles).
+    pub start: u64,
+    /// End time (cycles).
+    pub end: u64,
+}
+
+/// Per-processor clocks and busy-time accounting.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    clocks: Vec<u64>,
+    busy: Vec<u64>,
+    trace: Option<Vec<Span>>,
+}
+
+impl Engine {
+    /// Creates an engine with `p` processors, all at time 0.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "need at least one processor");
+        Engine {
+            clocks: vec![0; p],
+            busy: vec![0; p],
+            trace: None,
+        }
+    }
+
+    /// Like [`Engine::new`], but records every busy span for
+    /// [`render_gantt`] — use only for small runs.
+    pub fn new_traced(p: usize) -> Self {
+        let mut e = Engine::new(p);
+        e.trace = Some(Vec::new());
+        e
+    }
+
+    /// Recorded busy spans (empty unless created with
+    /// [`Engine::new_traced`]).
+    pub fn spans(&self) -> &[Span] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Current clock of processor `proc`.
+    #[inline]
+    pub fn now(&self, proc: usize) -> u64 {
+        self.clocks[proc]
+    }
+
+    /// Advances `proc` by `cost` busy cycles.
+    #[inline]
+    pub fn work(&mut self, proc: usize, cost: u64) {
+        if cost > 0 {
+            if let Some(t) = &mut self.trace {
+                t.push(Span {
+                    proc,
+                    start: self.clocks[proc],
+                    end: self.clocks[proc] + cost,
+                });
+            }
+        }
+        self.clocks[proc] += cost;
+        self.busy[proc] += cost;
+    }
+
+    /// Stalls `proc` (idle) until absolute time `t` (no-op if already past).
+    #[inline]
+    pub fn wait_until(&mut self, proc: usize, t: u64) {
+        if t > self.clocks[proc] {
+            self.clocks[proc] = t;
+        }
+    }
+
+    /// The runnable processor with the lowest clock, ties broken by id.
+    pub fn next_proc(&self, runnable: &[bool]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, &r) in runnable.iter().enumerate() {
+            if r && best.is_none_or(|b| self.clocks[i] < self.clocks[b]) {
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    /// Synchronizes all processors at `max(clock) + cost` (a barrier); the
+    /// barrier cost is charged as busy time to every processor.
+    pub fn barrier(&mut self, cost: u64) {
+        let t = self.clocks.iter().copied().max().unwrap_or(0);
+        for i in 0..self.p() {
+            self.clocks[i] = t + cost;
+            self.busy[i] += cost;
+        }
+    }
+
+    /// Runs `f(proc)` cycles of perfectly parallel work: charges every
+    /// processor its share and synchronizes (used for checkpoint/restore
+    /// and PD post-analysis phases, which the paper treats as fully
+    /// parallel).
+    pub fn parallel_phase(&mut self, total_cost: u64) {
+        let p = self.p() as u64;
+        let share = total_cost.div_ceil(p);
+        self.barrier(0);
+        for i in 0..self.p() {
+            self.work(i, share);
+        }
+    }
+
+    /// Final makespan: the largest clock.
+    pub fn makespan(&self) -> u64 {
+        self.clocks.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-processor busy cycles.
+    pub fn busy(&self) -> &[u64] {
+        &self.busy
+    }
+}
+
+/// A FIFO-ish lock: acquisitions serialize in the order processors reach
+/// the lock (which, under lowest-clock-first dispatch, is request-time
+/// order).
+#[derive(Debug, Clone, Default)]
+pub struct Resource {
+    free_at: u64,
+}
+
+impl Resource {
+    /// Creates an uncontended resource.
+    pub fn new() -> Self {
+        Resource { free_at: 0 }
+    }
+
+    /// `proc` acquires the lock, holds it `hold` cycles, releases. Queueing
+    /// delay is idle time; the hold is busy time. Returns the release time.
+    pub fn acquire(&mut self, eng: &mut Engine, proc: usize, hold: u64) -> u64 {
+        eng.wait_until(proc, self.free_at);
+        eng.work(proc, hold);
+        self.free_at = eng.now(proc);
+        self.free_at
+    }
+
+    /// When the resource next becomes free.
+    #[inline]
+    pub fn free_at(&self) -> u64 {
+        self.free_at
+    }
+}
+
+/// A time-stamped minimum register: models the QUIT bound, whose updates
+/// become visible to other processors only from their registration time
+/// onward.
+#[derive(Debug, Clone, Default)]
+pub struct TimedMin {
+    events: Vec<(u64, usize)>, // (registration time, value)
+}
+
+impl TimedMin {
+    /// Creates an empty register.
+    pub fn new() -> Self {
+        TimedMin { events: Vec::new() }
+    }
+
+    /// Registers `value` at time `t`.
+    pub fn register(&mut self, t: u64, value: usize) {
+        self.events.push((t, value));
+    }
+
+    /// The minimum value among registrations visible at time `t`.
+    pub fn visible_min(&self, t: u64) -> Option<usize> {
+        self.events
+            .iter()
+            .filter(|&&(rt, _)| rt <= t)
+            .map(|&(_, v)| v)
+            .min()
+    }
+
+    /// The unconditional minimum over all registrations (end-of-loop view).
+    pub fn final_min(&self) -> Option<usize> {
+        self.events.iter().map(|&(_, v)| v).min()
+    }
+}
+
+/// Outcome of a simulated loop execution.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Processor count the simulation ran with.
+    pub p: usize,
+    /// Virtual cycles from loop entry to the last processor finishing
+    /// (including backup/undo/analysis phases).
+    pub makespan: u64,
+    /// Busy cycles per processor.
+    pub busy: Vec<u64>,
+    /// Iterations whose body was executed (including overshot ones).
+    pub executed: u64,
+    /// Last valid iteration (`None` when the loop ran its full range or
+    /// never terminated inside the range).
+    pub last_valid: Option<usize>,
+    /// Bodies executed beyond the last valid iteration.
+    pub overshoot: u64,
+    /// Dispatcher increments (`next()` hops) performed across processors.
+    pub hops: u64,
+}
+
+impl Report {
+    /// Speedup of this execution relative to `seq`.
+    pub fn speedup(&self, seq: &Report) -> f64 {
+        seq.makespan as f64 / self.makespan.max(1) as f64
+    }
+
+    /// Machine utilization in `[0, 1]`: busy cycles over `p × makespan`.
+    pub fn utilization(&self) -> f64 {
+        let denom = (self.p as u64).saturating_mul(self.makespan).max(1);
+        let busy: u64 = self.busy.iter().sum();
+        busy as f64 / denom as f64
+    }
+}
+
+/// Renders recorded spans as an ASCII Gantt chart: one row per processor,
+/// `#` for busy buckets, `.` for idle — the lock-serialization staircase
+/// of General-1 or the pipeline wavefront of DOACROSS, at a glance.
+pub fn render_gantt(eng: &Engine, width: usize) -> String {
+    let spans = eng.spans();
+    let makespan = eng.makespan().max(1);
+    let width = width.max(10);
+    let mut rows = vec![vec![b'.'; width]; eng.p()];
+    for s in spans {
+        let lo = (s.start * width as u64 / makespan) as usize;
+        let hi = ((s.end * width as u64).div_ceil(makespan) as usize).min(width);
+        for cell in &mut rows[s.proc][lo..hi.max(lo + 1).min(width)] {
+            *cell = b'#';
+        }
+    }
+    let mut out = String::new();
+    for (p, row) in rows.into_iter().enumerate() {
+        out.push_str(&format!("P{p:<2} |{}|\n", String::from_utf8(row).expect("ascii")));
+    }
+    out.push_str(&format!("     0 {:>width$}\n", makespan, width = width - 1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_advances_clock_and_busy() {
+        let mut e = Engine::new(2);
+        e.work(0, 10);
+        e.work(1, 4);
+        assert_eq!(e.now(0), 10);
+        assert_eq!(e.busy(), &[10, 4]);
+        assert_eq!(e.makespan(), 10);
+    }
+
+    #[test]
+    fn wait_until_is_idle_time() {
+        let mut e = Engine::new(1);
+        e.wait_until(0, 50);
+        assert_eq!(e.now(0), 50);
+        assert_eq!(e.busy()[0], 0);
+        e.wait_until(0, 10); // no going back
+        assert_eq!(e.now(0), 50);
+    }
+
+    #[test]
+    fn next_proc_prefers_lowest_clock_then_lowest_id() {
+        let mut e = Engine::new(3);
+        e.work(0, 5);
+        e.work(2, 5);
+        assert_eq!(e.next_proc(&[true, true, true]), Some(1));
+        e.work(1, 5);
+        // all tied at 5 → lowest id
+        assert_eq!(e.next_proc(&[true, true, true]), Some(0));
+        assert_eq!(e.next_proc(&[false, false, true]), Some(2));
+        assert_eq!(e.next_proc(&[false, false, false]), None);
+    }
+
+    #[test]
+    fn barrier_aligns_all_clocks() {
+        let mut e = Engine::new(3);
+        e.work(1, 7);
+        e.barrier(2);
+        for i in 0..3 {
+            assert_eq!(e.now(i), 9);
+        }
+    }
+
+    #[test]
+    fn resource_serializes_holders() {
+        let mut e = Engine::new(3);
+        let mut lock = Resource::new();
+        // all three arrive at t=0; holds of 5 serialize: 0-5, 5-10, 10-15
+        assert_eq!(lock.acquire(&mut e, 0, 5), 5);
+        assert_eq!(lock.acquire(&mut e, 1, 5), 10);
+        assert_eq!(lock.acquire(&mut e, 2, 5), 15);
+        // queueing delay was idle, not busy
+        assert_eq!(e.busy(), &[5, 5, 5]);
+        assert_eq!(e.makespan(), 15);
+    }
+
+    #[test]
+    fn timed_min_respects_visibility() {
+        let mut q = TimedMin::new();
+        q.register(100, 7);
+        q.register(50, 9);
+        assert_eq!(q.visible_min(49), None);
+        assert_eq!(q.visible_min(50), Some(9));
+        assert_eq!(q.visible_min(100), Some(7));
+        assert_eq!(q.final_min(), Some(7));
+    }
+
+    #[test]
+    fn parallel_phase_divides_evenly() {
+        let mut e = Engine::new(4);
+        e.parallel_phase(100);
+        assert_eq!(e.makespan(), 25);
+        assert_eq!(e.busy().iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn traced_engine_records_spans() {
+        let mut e = Engine::new_traced(2);
+        e.work(0, 10);
+        e.work(1, 4);
+        e.work(0, 3);
+        assert_eq!(e.spans().len(), 3);
+        assert_eq!(e.spans()[2], Span { proc: 0, start: 10, end: 13 });
+        // untraced engines record nothing
+        let mut u = Engine::new(2);
+        u.work(0, 5);
+        assert!(u.spans().is_empty());
+    }
+
+    #[test]
+    fn gantt_rows_reflect_busy_fraction() {
+        let mut e = Engine::new_traced(2);
+        e.work(0, 100); // P0 busy the whole run
+        e.work(1, 10); // P1 busy 10%
+        e.wait_until(1, 100);
+        let g = render_gantt(&e, 40);
+        let rows: Vec<&str> = g.lines().collect();
+        let p0_busy = rows[0].matches('#').count();
+        let p1_busy = rows[1].matches('#').count();
+        assert!(p0_busy >= 38, "P0 nearly all busy: {g}");
+        assert!(p1_busy <= 8, "P1 mostly idle: {g}");
+    }
+
+    #[test]
+    fn utilization_and_speedup() {
+        let seq = Report {
+            p: 1,
+            makespan: 100,
+            busy: vec![100],
+            executed: 10,
+            last_valid: None,
+            overshoot: 0,
+            hops: 0,
+        };
+        let par = Report {
+            p: 4,
+            makespan: 25,
+            busy: vec![25, 25, 25, 25],
+            executed: 10,
+            last_valid: None,
+            overshoot: 0,
+            hops: 0,
+        };
+        assert!((par.speedup(&seq) - 4.0).abs() < 1e-12);
+        assert!((par.utilization() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! Shared bookkeeping for strategy simulations.
+
+use crate::engine::{Engine, Report, TimedMin};
+use crate::spec::{ExecConfig, LoopSpec, Overheads, TerminatorKind};
+
+/// Running totals accumulated while replaying a schedule.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Stats {
+    pub executed: u64,
+    pub hops: u64,
+    pub overshoot: u64,
+    pub overshoot_writes: u64,
+    pub accesses: u64,
+}
+
+/// Per-iteration during-loop overhead (`T_d`): write time-stamps and shadow
+/// marks, as configured.
+pub(crate) fn td_cost(spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig, i: usize) -> u64 {
+    let w = (spec.writes)(i);
+    let r = (spec.reads)(i);
+    let mut c = 0;
+    if cfg.stamp_writes {
+        c += w * oh.t_stamp;
+    }
+    if cfg.pd_shadow {
+        c += (w + r) * oh.t_shadow;
+    }
+    c
+}
+
+/// The checkpointing phase before the DOALL (`T_b`), run fully parallel.
+pub(crate) fn prologue(eng: &mut Engine, oh: &Overheads, cfg: &ExecConfig) {
+    if cfg.backup_elems > 0 {
+        eng.parallel_phase(cfg.backup_elems * oh.t_backup);
+        eng.barrier(oh.t_barrier);
+    }
+}
+
+/// The post-execution phases (`T_a`): the closing barrier, the undo of
+/// overshot writes, and the PD analysis — all fully parallel per the paper.
+pub(crate) fn epilogue(eng: &mut Engine, oh: &Overheads, cfg: &ExecConfig, stats: &Stats) {
+    eng.barrier(oh.t_barrier);
+    if cfg.undo_overshoot && stats.overshoot_writes > 0 {
+        eng.parallel_phase(stats.overshoot_writes * oh.t_restore);
+    }
+    if cfg.pd_shadow {
+        eng.parallel_phase(stats.accesses * oh.t_analysis);
+    }
+}
+
+/// Executes the *body* of iteration `i` on `proc` at its current clock,
+/// handling the RI/RV terminator distinction:
+///
+/// * RI, `i ≥ exit_at`: the iteration evaluates its own exit test and stops
+///   — one `t_term`, no work, registers a QUIT.
+/// * otherwise: `t_term + work(i) + T_d(i)`; if `i == exit_at` (RV), the
+///   exit is discovered at the *end* of the body and a QUIT registered
+///   then; if `i > exit_at` (RV), the body is overshoot to be undone.
+#[allow(clippy::too_many_arguments)] // one call site shape per strategy; a context struct would obscure it
+pub(crate) fn run_body(
+    eng: &mut Engine,
+    quit: &mut TimedMin,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+    proc: usize,
+    i: usize,
+    stats: &mut Stats,
+) {
+    let exit = spec.exit_at.filter(|&e| e < spec.upper);
+    if spec.terminator == TerminatorKind::RemainderInvariant {
+        if let Some(e) = exit {
+            if i >= e {
+                eng.work(proc, oh.t_term);
+                quit.register(eng.now(proc), i);
+                return;
+            }
+        }
+    }
+    let cost = oh.t_term + (spec.work)(i) + td_cost(spec, oh, cfg, i);
+    eng.work(proc, cost);
+    stats.executed += 1;
+    stats.accesses += (spec.writes)(i) + (spec.reads)(i);
+    match exit {
+        Some(e) if i == e => {
+            // RV: the terminator fires from values this body computed.
+            quit.register(eng.now(proc), i);
+        }
+        Some(e) if i > e => {
+            stats.overshoot += 1;
+            stats.overshoot_writes += (spec.writes)(i);
+        }
+        _ => {}
+    }
+}
+
+/// Builds the final report from engine + stats.
+pub(crate) fn report(eng: &Engine, spec: &LoopSpec, quit: &TimedMin, stats: Stats) -> Report {
+    Report {
+        p: eng.p(),
+        makespan: eng.makespan(),
+        busy: eng.busy().to_vec(),
+        executed: stats.executed,
+        last_valid: quit.final_min().or(spec.exit_at.filter(|&e| e < spec.upper)),
+        overshoot: stats.overshoot,
+        hops: stats.hops,
+    }
+}

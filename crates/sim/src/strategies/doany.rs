@@ -1,0 +1,130 @@
+//! WHILE-DOANY simulation (Section 9, MCSPARSE).
+//!
+//! A DOANY loop searches for *any* iteration satisfying a predicate — the
+//! program is insensitive to which satisfying iterate is chosen (MCSPARSE's
+//! non-deterministic pivot search). Overshoot therefore needs no undo: no
+//! backups, no time-stamps, even though the terminator is RV.
+
+use super::common::{report, Stats};
+use crate::engine::{Engine, Report, TimedMin};
+use crate::spec::{LoopSpec, Overheads};
+
+/// Sequential DOANY baseline: iterate in order, work-then-test, stop at the
+/// first satisfying iteration. `successes` holds the satisfying iteration
+/// indices (any order).
+pub fn sim_doany_sequential(spec: &LoopSpec, oh: &Overheads, successes: &[usize]) -> Report {
+    let first = successes.iter().copied().min();
+    let mut eng = Engine::new(1);
+    let mut stats = Stats::default();
+    let mut quit = TimedMin::new();
+    let end = first.map_or(spec.upper, |f| (f + 1).min(spec.upper));
+    for i in 0..end {
+        eng.work(0, oh.t_next + (spec.work)(i) + oh.t_term);
+        stats.executed += 1;
+        stats.hops += 1;
+    }
+    if let Some(f) = first.filter(|&f| f < spec.upper) {
+        quit.register(eng.makespan(), f);
+    }
+    report(&eng, spec, &quit, stats)
+}
+
+/// Parallel WHILE-DOANY: dynamic self-scheduled claims, every claimed
+/// iteration executes its body (work-then-test); the first *completing*
+/// satisfying iteration registers the quit. Iterations claimed before the
+/// quit becomes visible run to completion and are simply kept or discarded
+/// by the application — never undone.
+pub fn sim_doany(p: usize, spec: &LoopSpec, oh: &Overheads, successes: &[usize]) -> Report {
+    let ok: std::collections::HashSet<usize> = successes.iter().copied().collect();
+    let mut eng = Engine::new(p);
+    let mut quit = TimedMin::new();
+    let mut stats = Stats::default();
+
+    let mut claim = 0usize;
+    let mut runnable = vec![true; p];
+    while let Some(proc) = eng.next_proc(&runnable) {
+        let t = eng.now(proc);
+        // DOANY: any visible success ends the loop — iteration order is
+        // irrelevant, so the bound is "a success exists", not "claim > q".
+        if claim >= spec.upper || quit.visible_min(t).is_some() {
+            runnable[proc] = false;
+            continue;
+        }
+        let i = claim;
+        claim += 1;
+        eng.work(proc, oh.t_dispatch + (spec.work)(i) + oh.t_term);
+        stats.executed += 1;
+        if ok.contains(&i) {
+            quit.register(eng.now(proc), i);
+        }
+    }
+
+    report(&eng, spec, &quit, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oh() -> Overheads {
+        Overheads::default()
+    }
+
+    #[test]
+    fn sequential_stops_at_first_success() {
+        let spec = LoopSpec::uniform(1000, 30);
+        let r = sim_doany_sequential(&spec, &oh(), &[700, 250, 400]);
+        assert_eq!(r.executed, 251);
+        assert_eq!(r.last_valid, Some(250));
+    }
+
+    #[test]
+    fn no_success_runs_whole_range() {
+        let spec = LoopSpec::uniform(100, 10);
+        let seq = sim_doany_sequential(&spec, &oh(), &[]);
+        assert_eq!(seq.executed, 100);
+        let par = sim_doany(4, &spec, &oh(), &[]);
+        assert_eq!(par.executed, 100);
+    }
+
+    #[test]
+    fn parallel_doany_speeds_up_the_search() {
+        // success deep into the space: p processors reach it ~p× sooner
+        let spec = LoopSpec::uniform(10_000, 50);
+        let successes = [4000usize];
+        let seq = sim_doany_sequential(&spec, &oh(), &successes);
+        let par = sim_doany(8, &spec, &oh(), &successes);
+        let s = par.speedup(&seq);
+        assert!(s > 5.0, "DOANY search should scale, got {s:.2}");
+        // parallel claims pay t_dispatch (2) vs the sequential t_next (3),
+        // so the ratio may nose slightly above p
+        assert!(s <= 8.0 * 1.05, "speedup {s:.2} implausible for p = 8");
+    }
+
+    #[test]
+    fn doany_may_pick_a_different_success() {
+        // sequential picks 500; parallel may finish any satisfying iterate
+        let spec = LoopSpec::uniform(10_000, 50);
+        let par = sim_doany(8, &spec, &oh(), &[500, 501, 502]);
+        assert!(par.last_valid.is_some());
+        assert!([500, 501, 502].contains(&par.last_valid.unwrap()));
+    }
+
+    #[test]
+    fn doany_never_undoes_anything() {
+        let spec = LoopSpec::uniform(1000, 20);
+        let par = sim_doany(8, &spec, &oh(), &[100]);
+        assert_eq!(par.overshoot, 0, "DOANY needs no undo by construction");
+    }
+
+    #[test]
+    fn early_success_limits_parallel_benefit() {
+        // success at iteration 0: the parallel search cannot beat the cost
+        // of executing that single body
+        let spec = LoopSpec::uniform(10_000, 50);
+        let seq = sim_doany_sequential(&spec, &oh(), &[0]);
+        let par = sim_doany(8, &spec, &oh(), &[0]);
+        let s = par.speedup(&seq);
+        assert!(s <= 1.5, "no parallelism available, yet speedup {s:.2}");
+    }
+}

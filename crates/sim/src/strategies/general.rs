@@ -1,0 +1,306 @@
+//! General-recurrence (linked-list) strategy simulations — Section 3.3.
+//!
+//! The dispatcher is an inherently sequential chain (`tmp = next(tmp)`), so
+//! none of these parallelize the dispatcher itself; they overlap the
+//! remainder work of different iterations:
+//!
+//! * **Distribution** (the Wu & Lewis baseline): one processor evaluates
+//!   the whole recurrence into an array, then a DOALL consumes it.
+//! * **General-1**: a critical section around `next()`; processors
+//!   cooperatively traverse the list once, paying lock serialization.
+//! * **General-2**: static assignment `i ≡ vpn (mod p)`; every processor
+//!   privately traverses the *entire* list.
+//! * **General-3**: dynamic self-scheduling; each processor catches up from
+//!   its previous position to its newly claimed iteration, so it also
+//!   privately traverses (at most) the entire list, but load balance is
+//!   dynamic and spans stay small.
+
+use super::common::{epilogue, prologue, report, run_body, Stats};
+use crate::engine::{Engine, Report, Resource, TimedMin};
+use crate::spec::{ExecConfig, LoopSpec, Overheads, TerminatorKind};
+
+/// Loop distribution (Section 3.3 naive scheme / Wu & Lewis \[29\]): the
+/// dispatcher loop runs sequentially on processor 0, storing its terms;
+/// after a barrier the remainder runs as a dynamic DOALL.
+///
+/// With an RI terminator the dispatcher loop stops at the exit; with an RV
+/// terminator the test lives in the remainder, so *all* `upper` terms are
+/// computed sequentially — the extra serial time the paper holds against
+/// this scheme.
+pub fn sim_distribution(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig) -> Report {
+    let mut eng = Engine::new(p);
+    let mut quit = TimedMin::new();
+    let mut stats = Stats::default();
+    prologue(&mut eng, oh, cfg);
+
+    let terms = match (spec.terminator, spec.exit_at) {
+        (TerminatorKind::RemainderInvariant, Some(e)) => (e + 1).min(spec.upper),
+        _ => spec.upper,
+    };
+    eng.work(0, terms as u64 * (oh.t_next + oh.t_term));
+    stats.hops += terms as u64;
+    eng.barrier(oh.t_barrier);
+
+    let mut claim = 0usize;
+    let mut runnable = vec![true; p];
+    while let Some(proc) = eng.next_proc(&runnable) {
+        let t = eng.now(proc);
+        let stop = claim >= spec.upper || quit.visible_min(t).is_some_and(|q| claim > q);
+        if stop {
+            runnable[proc] = false;
+            continue;
+        }
+        let i = claim;
+        claim += 1;
+        eng.work(proc, oh.t_dispatch);
+        run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
+    }
+
+    epilogue(&mut eng, oh, cfg, &stats);
+    report(&eng, spec, &quit, stats)
+}
+
+/// General-1: the `next()` operation sits in a critical section; the list
+/// is traversed once, cooperatively. Iterations issue in lock-acquisition
+/// order. The lock hold (`t_lock + t_next + t_term` for the null check)
+/// serializes dispatch, which caps the speedup at
+/// `(work + hold) / hold`-ish regardless of `p` — the reason the paper
+/// calls this scheme unattractive.
+pub fn sim_general1(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig) -> Report {
+    let mut eng = Engine::new(p);
+    let mut quit = TimedMin::new();
+    let mut stats = Stats::default();
+    let mut lock = Resource::new();
+    prologue(&mut eng, oh, cfg);
+
+    let hold = oh.t_lock + oh.t_next + oh.t_term;
+    let mut claim = 0usize;
+    let mut runnable = vec![true; p];
+    while let Some(proc) = eng.next_proc(&runnable) {
+        let t = eng.now(proc);
+        if quit.visible_min(t).is_some_and(|q| claim > q) {
+            runnable[proc] = false;
+            continue;
+        }
+        // must take the lock even to discover the end of the list
+        lock.acquire(&mut eng, proc, hold);
+        if claim >= spec.upper {
+            quit.register(eng.now(proc), claim.max(1) - 1);
+            runnable[proc] = false;
+            continue;
+        }
+        let i = claim;
+        claim += 1;
+        stats.hops += 1;
+        run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
+    }
+
+    epilogue(&mut eng, oh, cfg, &stats);
+    report(&eng, spec, &quit, stats)
+}
+
+/// General-2: processor `vpn` privately traverses the list and executes
+/// iterations `vpn, vpn+p, …`. No locks, no dispatch — but `p × n` total
+/// hops, and the static assignment can leave large spans executing under an
+/// RV terminator.
+pub fn sim_general2(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig) -> Report {
+    let mut eng = Engine::new(p);
+    let mut quit = TimedMin::new();
+    let mut stats = Stats::default();
+    prologue(&mut eng, oh, cfg);
+
+    // cursor position per processor (list index it currently points at)
+    let mut pos: Vec<usize> = vec![0; p];
+    let mut target: Vec<usize> = (0..p).collect();
+    let mut runnable = vec![true; p];
+    while let Some(proc) = eng.next_proc(&runnable) {
+        let i = target[proc];
+        if i >= spec.upper {
+            // the `do j = 1, nproc` hop loop bails at null: charge the hops
+            // up to the end of the list plus the null discovery itself
+            let hop_count = (spec.upper - pos[proc]) as u64 + 1;
+            eng.work(proc, hop_count * oh.t_next);
+            stats.hops += hop_count;
+            runnable[proc] = false;
+            continue;
+        }
+        let hop_count = (i - pos[proc]) as u64;
+        eng.work(proc, hop_count * oh.t_next);
+        stats.hops += hop_count;
+        pos[proc] = i;
+        let t = eng.now(proc);
+        if quit.visible_min(t).is_some_and(|q| i > q) {
+            runnable[proc] = false;
+            continue;
+        }
+        run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
+        target[proc] = i + p;
+    }
+
+    epilogue(&mut eng, oh, cfg, &stats);
+    report(&eng, spec, &quit, stats)
+}
+
+/// General-3: dynamic self-scheduling without locks. On claiming iteration
+/// `i`, a processor advances its private cursor `i − prev` hops from its
+/// previous iteration, then executes the body. Hops per processor are
+/// bounded by the list length (its cursor only moves forward), dispatch is
+/// load-balanced, and spans stay as small as the dynamic scheduler's.
+pub fn sim_general3(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig) -> Report {
+    let mut eng = Engine::new(p);
+    let mut quit = TimedMin::new();
+    let mut stats = Stats::default();
+    prologue(&mut eng, oh, cfg);
+
+    let mut prev: Vec<usize> = vec![0; p];
+    let mut claim = 0usize;
+    let mut runnable = vec![true; p];
+    while let Some(proc) = eng.next_proc(&runnable) {
+        let t = eng.now(proc);
+        let stop = claim >= spec.upper || quit.visible_min(t).is_some_and(|q| claim > q);
+        if stop {
+            runnable[proc] = false;
+            continue;
+        }
+        let i = claim;
+        claim += 1;
+        let hops = (i - prev[proc]) as u64;
+        eng.work(proc, oh.t_dispatch + hops * oh.t_next);
+        stats.hops += hops;
+        prev[proc] = i;
+        run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
+    }
+
+    epilogue(&mut eng, oh, cfg, &stats);
+    report(&eng, spec, &quit, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::sim_sequential;
+
+    fn oh() -> Overheads {
+        Overheads::default()
+    }
+
+    /// A SPICE-LOAD-like list loop: moderate bodies, RI (null) terminator.
+    fn list_spec() -> LoopSpec {
+        LoopSpec::uniform(4000, 60)
+    }
+
+    #[test]
+    fn general3_beats_general1_like_figure6() {
+        let spec = list_spec();
+        let seq = sim_sequential(&spec, &oh());
+        let g1 = sim_general1(8, &spec, &oh(), &ExecConfig::bare());
+        let g3 = sim_general3(8, &spec, &oh(), &ExecConfig::bare());
+        let s1 = g1.speedup(&seq);
+        let s3 = g3.speedup(&seq);
+        assert!(
+            s3 > s1,
+            "paper Fig. 6: General-3 ({s3:.2}) must outperform General-1 ({s1:.2})"
+        );
+        assert!(s3 > 3.0, "General-3 at p=8 should be substantial, got {s3:.2}");
+    }
+
+    #[test]
+    fn general1_saturates_under_lock_contention() {
+        // small bodies make the lock the bottleneck well before p = 4:
+        // hold = t_lock + t_next + t_term = 12, so throughput caps at
+        // (work + hold) / hold = (30 + 12) / 12 = 3.5 regardless of p
+        let spec = LoopSpec::uniform(4000, 30);
+        let seq = sim_sequential(&spec, &oh());
+        let s4 = sim_general1(4, &spec, &oh(), &ExecConfig::bare()).speedup(&seq);
+        let s8 = sim_general1(8, &spec, &oh(), &ExecConfig::bare()).speedup(&seq);
+        assert!(
+            s8 - s4 < 0.5,
+            "General-1 should saturate: p=4 → {s4:.2}, p=8 → {s8:.2}"
+        );
+        let bound = (30.0 + 12.0) / 12.0;
+        assert!(s8 <= bound + 0.5, "speedup {s8:.2} above lock bound {bound:.2}");
+    }
+
+    #[test]
+    fn general2_and_general3_traverse_entire_list_per_processor() {
+        let spec = LoopSpec::uniform(100, 10);
+        let g2 = sim_general2(4, &spec, &oh(), &ExecConfig::bare());
+        // every processor hops the whole list: ≈ p × n hops in total
+        assert!(
+            g2.hops >= 4 * 100 && g2.hops <= 4 * 101 + 4,
+            "General-2 hops = {}",
+            g2.hops
+        );
+        let g3 = sim_general3(4, &spec, &oh(), &ExecConfig::bare());
+        // General-3 cursors are monotone: at most n hops per processor,
+        // and at least n in total (someone reaches the tail)
+        assert!(g3.hops >= 100 && g3.hops <= 4 * 100, "General-3 hops = {}", g3.hops);
+    }
+
+    #[test]
+    fn general1_traverses_list_once_cooperatively() {
+        let spec = LoopSpec::uniform(100, 10);
+        let g1 = sim_general1(4, &spec, &oh(), &ExecConfig::bare());
+        assert_eq!(g1.hops, 100, "the list is traversed exactly once");
+    }
+
+    #[test]
+    fn all_general_methods_execute_every_iteration() {
+        let spec = LoopSpec::uniform(257, 13);
+        for (name, r) in [
+            ("g1", sim_general1(3, &spec, &oh(), &ExecConfig::bare())),
+            ("g2", sim_general2(3, &spec, &oh(), &ExecConfig::bare())),
+            ("g3", sim_general3(3, &spec, &oh(), &ExecConfig::bare())),
+            ("dist", sim_distribution(3, &spec, &oh(), &ExecConfig::bare())),
+        ] {
+            assert_eq!(r.executed, 257, "{name} executed {}", r.executed);
+            assert_eq!(r.overshoot, 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn distribution_pays_serial_dispatcher_for_rv() {
+        use crate::spec::TerminatorKind::RemainderVariant as RV;
+        // exit early, but RV: distribution computes ALL upper terms serially
+        let spec = LoopSpec::uniform(10_000, 40).with_exit(1000, RV);
+        let seq = sim_sequential(&spec, &oh());
+        let dist = sim_distribution(8, &spec, &oh(), &ExecConfig::bare());
+        let g3 = sim_general3(8, &spec, &oh(), &ExecConfig::bare());
+        assert_eq!(dist.hops, 10_000, "all superfluous terms computed");
+        assert!(
+            g3.speedup(&seq) > dist.speedup(&seq),
+            "paper: distribution inferior under RV (g3 {:.2} vs dist {:.2})",
+            g3.speedup(&seq),
+            dist.speedup(&seq)
+        );
+    }
+
+    #[test]
+    fn general_methods_never_exceed_p_speedup() {
+        let spec = list_spec();
+        let seq = sim_sequential(&spec, &oh());
+        for p in [1, 2, 4, 8] {
+            for r in [
+                sim_general1(p, &spec, &oh(), &ExecConfig::bare()),
+                sim_general2(p, &spec, &oh(), &ExecConfig::bare()),
+                sim_general3(p, &spec, &oh(), &ExecConfig::bare()),
+            ] {
+                assert!(r.speedup(&seq) <= p as f64 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rv_exit_makes_static_assignment_undo_more() {
+        use crate::spec::TerminatorKind::RemainderVariant as RV;
+        let spec = LoopSpec::uniform(4000, 60).with_exit(200, RV);
+        let g2 = sim_general2(8, &spec, &oh(), &ExecConfig::with_undo(100));
+        let g3 = sim_general3(8, &spec, &oh(), &ExecConfig::with_undo(100));
+        assert!(
+            g2.overshoot >= g3.overshoot,
+            "static spans should cost at least as much undo (g2 {} vs g3 {})",
+            g2.overshoot,
+            g3.overshoot
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Schedule replays for every parallelization strategy in the paper.
+//!
+//! Each function simulates one transformed-loop execution on a `p`-processor
+//! machine and returns a [`Report`](crate::engine::Report). The family:
+//!
+//! | function | paper section | dispatcher |
+//! |---|---|---|
+//! | [`sim_sequential`] | baseline | any |
+//! | [`sim_induction_doall`] | 3.1 (Induction-1/2) | induction (closed form) |
+//! | [`sim_prefix_doall`] | 3.2 | associative recurrence |
+//! | [`sim_distribution`] | 3.3 / Wu & Lewis \[29\] | general recurrence |
+//! | [`sim_general1`] | 3.3 (locks) | general recurrence |
+//! | [`sim_general2`] | 3.3 (static) | general recurrence |
+//! | [`sim_general3`] | 3.3 (dynamic) | general recurrence |
+//! | [`sim_strip_mined`] | 4 / 8.1 | any |
+//! | [`sim_windowed`] | 8.2 | any |
+//! | [`sim_doacross`] | 6 / Wu & Lewis | any (dependent remainder) |
+//! | [`sim_doany`] | 9 (WHILE-DOANY) | induction |
+
+mod common;
+mod doany;
+mod general;
+mod induction;
+mod pipeline;
+mod window;
+
+pub use doany::{sim_doany, sim_doany_sequential};
+pub use general::{sim_distribution, sim_general1, sim_general2, sim_general3};
+pub use induction::{sim_induction_doall, sim_prefix_doall, sim_sequential, sim_strip_mined, Schedule};
+pub use pipeline::sim_doacross;
+pub use window::sim_windowed;

@@ -1,0 +1,128 @@
+//! Sliding-window DOALL simulation (Section 8.2).
+
+use super::common::{epilogue, prologue, report, run_body, Stats};
+use crate::engine::{Engine, Report, TimedMin};
+use crate::spec::{ExecConfig, LoopSpec, Overheads};
+
+/// Dynamic DOALL whose in-flight iteration span never exceeds `window`
+/// (the resource-controlled self-scheduler). A processor whose claim would
+/// widen the span beyond the window idles until the low-watermark iteration
+/// completes. Smaller windows bound time-stamp memory and RV overshoot at
+/// the price of idle time; `window ≥ upper` degenerates to the plain
+/// dynamic DOALL.
+///
+/// # Panics
+/// Panics if `window == 0`.
+pub fn sim_windowed(
+    p: usize,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+    window: usize,
+) -> Report {
+    assert!(window > 0, "window must be positive");
+    let mut eng = Engine::new(p);
+    let mut quit = TimedMin::new();
+    let mut stats = Stats::default();
+    prologue(&mut eng, oh, cfg);
+
+    // Completion time of each claimed iteration; actions are processed in
+    // non-decreasing time order, so the low watermark only advances.
+    let mut end_time: Vec<u64> = Vec::with_capacity(spec.upper.min(1 << 20));
+    let mut low = 0usize;
+    let mut claim = 0usize;
+    let mut runnable = vec![true; p];
+    while let Some(proc) = eng.next_proc(&runnable) {
+        let t = eng.now(proc);
+        if claim >= spec.upper || quit.visible_min(t).is_some_and(|q| claim > q) {
+            runnable[proc] = false;
+            continue;
+        }
+        while low < claim && end_time[low] <= t {
+            low += 1;
+        }
+        if claim - low >= window {
+            // idle until the watermark iteration completes, then re-check
+            eng.wait_until(proc, end_time[low]);
+            continue;
+        }
+        let i = claim;
+        claim += 1;
+        eng.work(proc, oh.t_dispatch);
+        run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
+        end_time.push(eng.now(proc));
+        debug_assert_eq!(end_time.len(), claim);
+    }
+
+    epilogue(&mut eng, oh, cfg, &stats);
+    report(&eng, spec, &quit, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TerminatorKind::RemainderVariant as RV;
+    use crate::strategies::{sim_induction_doall, sim_sequential, Schedule};
+
+    fn oh() -> Overheads {
+        Overheads::default()
+    }
+
+    #[test]
+    fn huge_window_matches_plain_dynamic_doall() {
+        let spec = LoopSpec::uniform(500, 80);
+        let plain = sim_induction_doall(4, &spec, &oh(), &ExecConfig::bare(), Schedule::Dynamic);
+        let win = sim_windowed(4, &spec, &oh(), &ExecConfig::bare(), 10_000);
+        assert_eq!(plain.makespan, win.makespan);
+        assert_eq!(plain.executed, win.executed);
+    }
+
+    #[test]
+    fn window_bounds_rv_overshoot() {
+        let spec = LoopSpec::uniform(100_000, 50).with_exit(300, RV);
+        for w in [4usize, 16, 64] {
+            let r = sim_windowed(8, &spec, &oh(), &ExecConfig::with_undo(100), w);
+            assert!(
+                r.overshoot <= w as u64,
+                "window {w}: overshoot {} exceeds bound",
+                r.overshoot
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_window_costs_throughput() {
+        let spec = LoopSpec::uniform(2000, 50);
+        let seq = sim_sequential(&spec, &oh());
+        let wide = sim_windowed(8, &spec, &oh(), &ExecConfig::bare(), 1024).speedup(&seq);
+        let narrow = sim_windowed(8, &spec, &oh(), &ExecConfig::bare(), 8).speedup(&seq);
+        assert!(
+            wide >= narrow,
+            "narrower windows cannot be faster (wide {wide:.2} vs narrow {narrow:.2})"
+        );
+    }
+
+    #[test]
+    fn window_of_p_still_uses_all_processors() {
+        let spec = LoopSpec::uniform(4000, 100);
+        let seq = sim_sequential(&spec, &oh());
+        let r = sim_windowed(8, &spec, &oh(), &ExecConfig::bare(), 8);
+        assert!(r.speedup(&seq) > 4.0, "w = p keeps the machine busy");
+    }
+
+    #[test]
+    fn window_one_serializes() {
+        let spec = LoopSpec::uniform(100, 50);
+        let r = sim_windowed(8, &spec, &oh(), &ExecConfig::bare(), 1);
+        let seq = sim_sequential(&spec, &oh());
+        let s = r.speedup(&seq);
+        assert!(s <= 1.2, "window 1 admits no overlap, speedup {s:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let spec = LoopSpec::uniform(10, 1);
+        let _ = sim_windowed(2, &spec, &oh(), &ExecConfig::bare(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Triplet (coordinate) assembly format.
+
+use crate::csr::Csr;
+
+/// A matrix under assembly: an unordered list of `(row, col, value)`
+/// triplets. Duplicate coordinates are summed on conversion to CSR.
+#[derive(Debug, Clone, Default)]
+pub struct Coo {
+    n_rows: usize,
+    n_cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Coo {
+    /// Creates an empty `n_rows × n_cols` assembly.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        Coo {
+            n_rows,
+            n_cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds `value` at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n_rows && col < self.n_cols, "entry out of bounds");
+        self.entries
+            .push((row as u32, col as u32, value));
+    }
+
+    /// Number of raw triplets (before duplicate summing).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no triplets have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Row dimension.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Column dimension.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Converts to CSR, summing duplicates and dropping exact zeros that
+    /// result from cancellation.
+    pub fn to_csr(&self) -> Csr {
+        let mut entries = self.entries.clone();
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = Vec::with_capacity(self.n_rows + 1);
+        let mut col_idx: Vec<u32> = Vec::with_capacity(entries.len());
+        let mut values: Vec<f64> = Vec::with_capacity(entries.len());
+        row_ptr.push(0);
+
+        let mut cur_row = 0u32;
+        let mut i = 0usize;
+        while i < entries.len() {
+            let (r, c, _) = entries[i];
+            while cur_row < r {
+                row_ptr.push(col_idx.len());
+                cur_row += 1;
+            }
+            let mut v = 0.0;
+            while i < entries.len() && entries[i].0 == r && entries[i].1 == c {
+                v += entries[i].2;
+                i += 1;
+            }
+            if v != 0.0 {
+                col_idx.push(c);
+                values.push(v);
+            }
+        }
+        while row_ptr.len() < self.n_rows + 1 {
+            row_ptr.push(col_idx.len());
+        }
+        Csr::from_parts(self.n_rows, self.n_cols, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_converts() {
+        let coo = Coo::new(3, 3);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.n_rows(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 2.0);
+        coo.push(0, 1, 3.0);
+        coo.push(1, 0, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 1), Some(5.0));
+        assert_eq!(csr.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn cancelled_entries_are_dropped() {
+        let mut coo = Coo::new(1, 1);
+        coo.push(0, 0, 1.5);
+        coo.push(0, 0, -1.5);
+        assert_eq!(coo.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    fn unsorted_input_sorts() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(2, 2, 9.0);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 5.0);
+        coo.push(0, 2, 3.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.row_cols(0), &[0, 2]);
+        assert_eq!(csr.get(2, 2), Some(9.0));
+    }
+
+    #[test]
+    fn trailing_empty_rows_have_pointers() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 0, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.row_cols(3), &[] as &[u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+}

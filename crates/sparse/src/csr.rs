@@ -1,0 +1,204 @@
+//! Compressed sparse row storage.
+
+/// An immutable sparse matrix in CSR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Assembles a CSR from raw parts.
+    ///
+    /// # Panics
+    /// Panics if the parts are inconsistent (pointer length, monotonicity,
+    /// index bounds, or unsorted columns within a row).
+    pub fn from_parts(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), n_rows + 1, "row_ptr length");
+        assert_eq!(col_idx.len(), values.len(), "col/value length");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end");
+        for w in row_ptr.windows(2) {
+            assert!(w[0] <= w[1], "row_ptr must be monotone");
+            let row = &col_idx[w[0]..w[1]];
+            for pair in row.windows(2) {
+                assert!(pair[0] < pair[1], "columns must be strictly sorted");
+            }
+        }
+        assert!(
+            col_idx.iter().all(|&c| (c as usize) < n_cols),
+            "column index out of bounds"
+        );
+        Csr {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Row dimension.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Column dimension.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Column indices of row `i` (strictly increasing).
+    pub fn row_cols(&self, i: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Values of row `i`, parallel to [`Csr::row_cols`].
+    pub fn row_vals(&self, i: usize) -> &[f64] {
+        &self.values[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Number of stored entries in row `i`.
+    pub fn row_len(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Value at `(i, j)` if stored.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        let cols = self.row_cols(i);
+        cols.binary_search(&(j as u32))
+            .ok()
+            .map(|k| self.row_vals(i)[k])
+    }
+
+    /// Per-column stored-entry counts.
+    pub fn col_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n_cols];
+        for &c in &self.col_idx {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// `y = A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n_cols`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols, "dimension mismatch");
+        let mut y = vec![0.0; self.n_rows];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (&c, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                acc += v * x[c as usize];
+            }
+            *yi = acc;
+        }
+        y
+    }
+
+    /// The transpose (also usable as a CSC view of `self`).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.n_cols];
+        for &c in &self.col_idx {
+            counts[c as usize] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(self.n_cols + 1);
+        row_ptr.push(0usize);
+        for &c in &counts {
+            row_ptr.push(row_ptr.last().unwrap() + c);
+        }
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        for i in 0..self.n_rows {
+            for (&c, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                let dst = cursor[c as usize];
+                col_idx[dst] = i as u32;
+                values[dst] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        Csr::from_parts(self.n_cols, self.n_rows, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample() -> Csr {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        let mut c = Coo::new(3, 3);
+        for (i, j, v) in [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+            c.push(i, j, v);
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.row_len(0), 2);
+        assert_eq!(m.get(0, 2), Some(2.0));
+        assert_eq!(m.get(0, 1), None);
+        assert_eq!(m.col_counts(), vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample();
+        let y = m.spmv(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![1.0 + 6.0, 6.0, 4.0 + 15.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.get(2, 0), Some(2.0));
+        assert_eq!(t.get(0, 2), Some(4.0));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn transpose_of_rectangular() {
+        let mut c = Coo::new(2, 4);
+        c.push(0, 3, 7.0);
+        c.push(1, 0, 1.0);
+        let m = c.to_csr();
+        let t = m.transpose();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.get(3, 0), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn unsorted_columns_rejected() {
+        let _ = Csr::from_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn spmv_dimension_checked() {
+        let _ = sample().spmv(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Sparse-matrix substrate for the paper's evaluation loops.
+//!
+//! The paper's experiments run on loops from MA28 (a sparse unsymmetric
+//! solver), MCSPARSE (a parallel sparse solver) and sparse inputs from the
+//! Harwell–Boeing collection (gemat11/12, orsreg1, saylr4). This crate
+//! provides the pieces those loops need:
+//!
+//! * [`coo`]/[`csr`] — triplet assembly and compressed sparse row storage;
+//! * [`gen`] — deterministic, seeded generators producing matrices of the
+//!   same order, density and pattern class as the four Harwell–Boeing
+//!   inputs (the originals are not redistributable; see DESIGN.md for the
+//!   substitution argument);
+//! * [`work`] — a mutable elimination workspace (row lists + column
+//!   counts) supporting fill-in, as MA30AD maintains during factorization;
+//! * [`markowitz`] — threshold Markowitz pivot searching, both the
+//!   sequential reference and the iteration-decomposed form the paper's
+//!   loops 270/320/500 parallelize;
+//! * [`lu`] — a complete sparse LU factorization + solve built on the
+//!   workspace, with a pluggable pivot chooser so the parallel
+//!   (sequentially-consistent) search drops in.
+
+pub mod coo;
+pub mod csr;
+pub mod gen;
+pub mod lu;
+pub mod markowitz;
+pub mod work;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use gen::{gemat_like, orsreg_like, saylr_like};
+pub use lu::{factorize, factorize_with, LuFactors};
+pub use markowitz::{best_in_row, search_pivot, Pivot};
+pub use work::EliminationWork;

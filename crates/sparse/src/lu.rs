@@ -1,0 +1,236 @@
+//! Sparse LU factorization with threshold Markowitz pivoting — the solver
+//! the MA28 loops live inside.
+//!
+//! [`factorize`] drives [`EliminationWork`] to completion, choosing each
+//! pivot with the MA30AD discipline ([`search_pivot`] over
+//! count-ordered candidates) and recording the multipliers and pivot rows;
+//! [`LuFactors::solve`] then solves `A·x = b` by replaying the eliminations
+//! on `b` (forward) and back-substituting through the recorded pivot rows.
+//!
+//! The pivot search is the pluggable piece: [`factorize_with`] accepts any
+//! pivot chooser, which is how the parallel (sequentially-consistent)
+//! search of `wlp-workloads::ma28` slots into a full solve.
+
+use crate::csr::Csr;
+use crate::markowitz::{candidate_rows, search_pivot, Pivot};
+use crate::work::EliminationWork;
+
+/// A recorded LU factorization of a square matrix.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    /// Per step: pivot `(row, col, value)`.
+    pivots: Vec<(usize, usize, f64)>,
+    /// Per step: the multipliers applied to each target row.
+    multipliers: Vec<Vec<(usize, f64)>>,
+    /// Per step: the pivot row's active entries (excluding the pivot).
+    pivot_rows: Vec<Vec<(u32, f64)>>,
+}
+
+/// Why a factorization stopped early.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorizeError {
+    /// Steps completed before the failure.
+    pub completed: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for FactorizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} after {} steps", self.msg, self.completed)
+    }
+}
+
+/// Factorizes `m` with the default sequential Markowitz pivot search and
+/// relative threshold `u`.
+pub fn factorize(m: &Csr, u: f64) -> Result<LuFactors, FactorizeError> {
+    factorize_with(m, |work| search_pivot(work, candidate_rows(work), u))
+}
+
+/// Factorizes `m`, choosing each pivot with `choose` (e.g. the parallel
+/// pivot search). `choose` must return an active, stored pivot.
+pub fn factorize_with(
+    m: &Csr,
+    mut choose: impl FnMut(&EliminationWork) -> Option<Pivot>,
+) -> Result<LuFactors, FactorizeError> {
+    assert_eq!(m.n_rows(), m.n_cols(), "LU needs a square matrix");
+    let n = m.n_rows();
+    let mut work = EliminationWork::from_csr(m);
+    let mut lu = LuFactors {
+        n,
+        pivots: Vec::with_capacity(n),
+        multipliers: Vec::with_capacity(n),
+        pivot_rows: Vec::with_capacity(n),
+    };
+    for step in 0..n {
+        let Some(p) = choose(&work) else {
+            return Err(FactorizeError {
+                completed: step,
+                msg: "no admissible pivot (structurally singular or threshold too strict)".into(),
+            });
+        };
+        let rec = work.eliminate_recording(p.row, p.col);
+        lu.pivots.push((p.row, p.col, rec.pivot_value));
+        lu.multipliers.push(rec.multipliers);
+        lu.pivot_rows.push(rec.pivot_row);
+    }
+    Ok(lu)
+}
+
+impl LuFactors {
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total stored multiplier entries (the `L` factor's size).
+    pub fn l_nnz(&self) -> usize {
+        self.multipliers.iter().map(|m| m.len()).sum()
+    }
+
+    /// Total stored pivot-row entries plus pivots (the `U` factor's size).
+    pub fn u_nnz(&self) -> usize {
+        self.pivot_rows.iter().map(|r| r.len()).sum::<usize>() + self.pivots.len()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        // forward: replay the eliminations on b
+        let mut y = b.to_vec();
+        for (k, &(pi, _, _)) in self.pivots.iter().enumerate() {
+            let ypi = y[pi];
+            for &(t, f) in &self.multipliers[k] {
+                y[t] -= f * ypi;
+            }
+        }
+        // backward: in reverse pivot order, each pivot row only references
+        // columns eliminated later, whose x is already known
+        let mut x = vec![0.0; self.n];
+        for (k, &(pi, pj, pv)) in self.pivots.iter().enumerate().rev() {
+            let mut acc = y[pi];
+            for &(c, v) in &self.pivot_rows[k] {
+                acc -= v * x[c as usize];
+            }
+            x[pj] = acc / pv;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::gen::{gemat_like, stencil7};
+
+    fn residual(m: &Csr, x: &[f64], b: &[f64]) -> f64 {
+        m.spmv(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bb)| (ax - bb).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_a_small_dense_system() {
+        // [2 1 0; 1 3 1; 0 1 4] x = b
+        let mut c = Coo::new(3, 3);
+        for (i, j, v) in [
+            (0, 0, 2.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 3.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (2, 2, 4.0),
+        ] {
+            c.push(i, j, v);
+        }
+        let m = c.to_csr();
+        let lu = factorize(&m, 0.1).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = m.spmv(&x_true);
+        let x = lu.solve(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn solves_a_reservoir_stencil_system() {
+        let m = stencil7(6, 5, 3, 17);
+        let lu = factorize(&m, 0.1).unwrap();
+        let n = m.n_rows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let b = m.spmv(&x_true);
+        let x = lu.solve(&b);
+        assert!(residual(&m, &x, &b) < 1e-8);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn solves_a_gemat_class_system() {
+        let m = gemat_like(120, 800, 3);
+        let lu = factorize(&m, 0.01).expect("diag-dominant factorizes");
+        let x_true: Vec<f64> = (0..m.n_rows()).map(|i| (i % 11) as f64 * 0.5 - 2.0).collect();
+        let b = m.spmv(&x_true);
+        let x = lu.solve(&b);
+        assert!(residual(&m, &x, &b) < 1e-6, "residual {}", residual(&m, &x, &b));
+    }
+
+    #[test]
+    fn factor_sizes_reflect_fill() {
+        let m = stencil7(5, 5, 2, 1);
+        let lu = factorize(&m, 0.1).unwrap();
+        assert_eq!(lu.n(), 50);
+        assert!(lu.u_nnz() >= 50, "every pivot is stored");
+        assert!(lu.l_nnz() > 0, "elimination produced multipliers");
+    }
+
+    #[test]
+    fn custom_pivot_chooser_is_used() {
+        // diagonal pivoting in natural order (valid for dominant stencils)
+        let m = stencil7(4, 4, 2, 5);
+        let mut next = 0usize;
+        let lu = factorize_with(&m, |work| {
+            let p = next;
+            next += 1;
+            work.get(p, p).map(|value| Pivot {
+                row: p,
+                col: p,
+                cost: work.markowitz_cost(p, p),
+                value,
+            })
+        })
+        .unwrap();
+        let x_true: Vec<f64> = (0..m.n_rows()).map(|i| i as f64 * 0.25).collect();
+        let b = m.spmv(&x_true);
+        assert!(residual(&m, &lu.solve(&b), &b) < 1e-8);
+    }
+
+    #[test]
+    fn singular_matrix_reports_the_step() {
+        // rank-deficient: an empty row
+        let mut c = Coo::new(3, 3);
+        c.push(0, 0, 1.0);
+        c.push(2, 2, 1.0);
+        let e = factorize(&c.to_csr(), 0.1).unwrap_err();
+        assert!(e.completed < 3);
+        assert!(e.msg.contains("pivot"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn solve_checks_dimensions() {
+        let m = stencil7(3, 3, 1, 1);
+        let lu = factorize(&m, 0.1).unwrap();
+        let _ = lu.solve(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Threshold Markowitz pivot searching (the MA28/MA30AD discipline).
+//!
+//! MA30AD's loops 270 and 320 "cooperatively search for a pivot": among
+//! candidate rows, find the entry minimizing the Markowitz cost
+//! `(r_i − 1)(c_j − 1)` subject to the numerical threshold
+//! `|a_ij| ≥ u · max_k |a_ik|`. The search over candidate rows is the WHILE
+//! loop the paper parallelizes with Induction-1/General-3, using a
+//! time-stamp-ordered minimum reduction to preserve sequential consistency
+//! (the sequential code takes the *first* minimal-cost pivot in row order).
+
+use crate::work::EliminationWork;
+
+/// A selected pivot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pivot {
+    /// Pivot row.
+    pub row: usize,
+    /// Pivot column.
+    pub col: usize,
+    /// Markowitz cost `(r−1)(c−1)`.
+    pub cost: u64,
+    /// Pivot value.
+    pub value: f64,
+}
+
+/// Best admissible entry of row `i` under relative threshold `u ∈ (0, 1]`:
+/// minimal Markowitz cost among entries with `|a_ij| ≥ u · row_abs_max(i)`,
+/// ties broken toward the smallest column. `None` for empty/inactive rows.
+pub fn best_in_row(work: &EliminationWork, i: usize, u: f64) -> Option<Pivot> {
+    if !work.is_row_active(i) {
+        return None;
+    }
+    let max = work.row_abs_max(i);
+    if max == 0.0 {
+        return None;
+    }
+    let mut best: Option<Pivot> = None;
+    for &(c, v) in work.row(i) {
+        let j = c as usize;
+        if !work.is_col_active(j) || v.abs() < u * max {
+            continue;
+        }
+        let cost = work.markowitz_cost(i, j);
+        let better = match best {
+            None => true,
+            Some(b) => cost < b.cost,
+        };
+        if better {
+            best = Some(Pivot {
+                row: i,
+                col: j,
+                cost,
+                value: v,
+            });
+        }
+    }
+    best
+}
+
+/// Sequential pivot search over `candidate_rows`, in order, with the MA28
+/// early-exit: the scan stops as soon as a pivot of cost 0 (a singleton
+/// row/column) is found — this conditional exit is what makes the loop a
+/// WHILE loop rather than a DO loop. Returns the first pivot achieving the
+/// minimal cost seen.
+pub fn search_pivot(
+    work: &EliminationWork,
+    candidate_rows: impl IntoIterator<Item = usize>,
+    u: f64,
+) -> Option<Pivot> {
+    let mut best: Option<Pivot> = None;
+    for i in candidate_rows {
+        if let Some(p) = best_in_row(work, i, u) {
+            let better = match best {
+                None => true,
+                Some(b) => p.cost < b.cost,
+            };
+            if better {
+                best = Some(p);
+                if p.cost == 0 {
+                    break; // cannot do better: conditional exit
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Candidate rows in MA28 order: active rows sorted by ascending active-row
+/// count (fewest-entries first), ties by index. MA30AD searches rows of
+/// count 1, then 2, … — this is the iteration space of loops 270/320.
+pub fn candidate_rows(work: &EliminationWork) -> Vec<usize> {
+    let mut rows: Vec<usize> = work.active_rows().collect();
+    rows.sort_by_key(|&i| (work.row_count(i), i));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::gen::stencil7;
+
+    fn work_from(entries: &[(usize, usize, f64)], n: usize) -> EliminationWork {
+        let mut c = Coo::new(n, n);
+        for &(i, j, v) in entries {
+            c.push(i, j, v);
+        }
+        EliminationWork::from_csr(&c.to_csr())
+    }
+
+    #[test]
+    fn best_in_row_respects_threshold() {
+        // row 0: 10 at col 0 (dense col), 1 at col 1 (sparse col)
+        let w = work_from(
+            &[(0, 0, 10.0), (0, 1, 1.0), (1, 0, 1.0), (2, 0, 1.0), (1, 1, 0.0)],
+            3,
+        );
+        // u = 1.0: only the 10.0 entry is admissible despite worse cost
+        let p = best_in_row(&w, 0, 1.0).unwrap();
+        assert_eq!(p.col, 0);
+        // u = 0.01: the sparse column wins on Markowitz cost
+        let p = best_in_row(&w, 0, 0.01).unwrap();
+        assert_eq!(p.col, 1);
+        assert_eq!(p.cost, 0); // (2-1)(1-1)
+    }
+
+    #[test]
+    fn best_in_row_skips_inactive() {
+        let mut w = work_from(&[(0, 0, 1.0), (1, 1, 1.0)], 2);
+        w.eliminate(1, 1);
+        assert_eq!(best_in_row(&w, 1, 0.1), None);
+        assert!(best_in_row(&w, 0, 0.1).is_some());
+    }
+
+    #[test]
+    fn search_finds_minimum_cost_pivot() {
+        let w = work_from(
+            &[
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (0, 2, 1.0), // row 0: count 3
+                (1, 1, 5.0), // row 1: singleton → cost 0 possible
+                (2, 0, 1.0),
+                (2, 2, 1.0),
+            ],
+            3,
+        );
+        let p = search_pivot(&w, candidate_rows(&w), 0.1).unwrap();
+        // row 1's (1,1): row count 1, col 1 count 2 → cost 0·1 = 0
+        assert_eq!((p.row, p.col, p.cost), (1, 1, 0));
+    }
+
+    #[test]
+    fn candidate_rows_sorted_by_count() {
+        let w = work_from(
+            &[(0, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 1, 1.0), (2, 2, 1.0)],
+            3,
+        );
+        assert_eq!(candidate_rows(&w), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn full_markowitz_factorization_runs() {
+        let m = stencil7(5, 4, 2, 3);
+        let mut w = EliminationWork::from_csr(&m);
+        let mut total_fill = 0usize;
+        for step in 0..w.n() {
+            let p = search_pivot(&w, candidate_rows(&w), 0.1)
+                .unwrap_or_else(|| panic!("no pivot at step {step}"));
+            total_fill += w.eliminate(p.row, p.col);
+        }
+        assert_eq!(w.eliminated(), 40);
+        // Markowitz ordering keeps fill modest on a stencil
+        assert!(total_fill < m.nnz() * 3, "fill {total_fill}");
+    }
+
+    #[test]
+    fn zero_cost_exit_fires() {
+        // A singleton row early in candidate order must stop the scan.
+        let w = work_from(&[(0, 0, 3.0), (1, 0, 1.0), (1, 1, 1.0)], 2);
+        let order = candidate_rows(&w);
+        assert_eq!(order[0], 0);
+        let p = search_pivot(&w, order, 0.1).unwrap();
+        assert_eq!(p.cost, 0);
+        assert_eq!(p.row, 0);
+    }
+
+    #[test]
+    fn empty_workspace_has_no_pivot() {
+        let mut w = work_from(&[(0, 0, 1.0)], 1);
+        w.eliminate(0, 0);
+        assert_eq!(search_pivot(&w, candidate_rows(&w), 0.5), None);
+    }
+}

@@ -1,0 +1,384 @@
+//! Mutable elimination workspace with fill-in (the state MA30AD maintains).
+
+use crate::csr::Csr;
+
+/// The active submatrix during Gaussian elimination: per-row sorted entry
+/// lists, per-column counts, and activity flags. Supports Markowitz-style
+/// pivoting with fill-in.
+#[derive(Debug, Clone)]
+pub struct EliminationWork {
+    n: usize,
+    rows: Vec<Vec<(u32, f64)>>,
+    col_count: Vec<u32>,
+    row_active: Vec<bool>,
+    col_active: Vec<bool>,
+    eliminated: usize,
+}
+
+/// Entries with magnitude below this are dropped after an update.
+const DROP_TOL: f64 = 1e-12;
+
+/// What one elimination step did — the information an LU factorization
+/// records (see [`crate::lu`]).
+#[derive(Debug, Clone)]
+pub struct EliminationRecord {
+    /// Fill-in entries created.
+    pub fill: usize,
+    /// The pivot's numerical value.
+    pub pivot_value: f64,
+    /// `(target_row, a_tj / pivot)` for every row the step updated.
+    pub multipliers: Vec<(usize, f64)>,
+    /// The pivot row's active entries at elimination time, excluding the
+    /// pivot column itself (`(col, value)` pairs, sorted by column).
+    pub pivot_row: Vec<(u32, f64)>,
+}
+
+impl EliminationWork {
+    /// Builds the workspace from a square CSR matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn from_csr(m: &Csr) -> Self {
+        assert_eq!(m.n_rows(), m.n_cols(), "elimination needs a square matrix");
+        let n = m.n_rows();
+        let rows: Vec<Vec<(u32, f64)>> = (0..n)
+            .map(|i| m.row_cols(i).iter().copied().zip(m.row_vals(i).iter().copied()).collect())
+            .collect();
+        let mut col_count = vec![0u32; n];
+        for row in &rows {
+            for &(c, _) in row {
+                col_count[c as usize] += 1;
+            }
+        }
+        EliminationWork {
+            n,
+            rows,
+            col_count,
+            row_active: vec![true; n],
+            col_active: vec![true; n],
+            eliminated: 0,
+        }
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Pivots applied so far.
+    pub fn eliminated(&self) -> usize {
+        self.eliminated
+    }
+
+    /// Whether row `i` is still in the active submatrix.
+    pub fn is_row_active(&self, i: usize) -> bool {
+        self.row_active[i]
+    }
+
+    /// Whether column `j` is still in the active submatrix.
+    pub fn is_col_active(&self, j: usize) -> bool {
+        self.col_active[j]
+    }
+
+    /// Entries of row `i` (including entries in eliminated columns; filter
+    /// with [`EliminationWork::is_col_active`]).
+    pub fn row(&self, i: usize) -> &[(u32, f64)] {
+        &self.rows[i]
+    }
+
+    /// Count of *active* entries in row `i`.
+    pub fn row_count(&self, i: usize) -> u32 {
+        self.rows[i]
+            .iter()
+            .filter(|&&(c, _)| self.col_active[c as usize])
+            .count() as u32
+    }
+
+    /// Count of entries in active rows of column `j`.
+    pub fn col_count(&self, j: usize) -> u32 {
+        self.col_count[j]
+    }
+
+    /// Markowitz cost `(r_i − 1)(c_j − 1)` of pivoting at `(i, j)`.
+    pub fn markowitz_cost(&self, i: usize, j: usize) -> u64 {
+        let r = self.row_count(i).saturating_sub(1) as u64;
+        let c = self.col_count(j).saturating_sub(1) as u64;
+        r * c
+    }
+
+    /// Largest magnitude among active entries of row `i` (0.0 if none).
+    pub fn row_abs_max(&self, i: usize) -> f64 {
+        self.rows[i]
+            .iter()
+            .filter(|&&(c, _)| self.col_active[c as usize])
+            .map(|&(_, v)| v.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Value at `(i, j)` if stored and the column is active.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        if !self.col_active[j] {
+            return None;
+        }
+        self.rows[i]
+            .binary_search_by_key(&(j as u32), |&(c, _)| c)
+            .ok()
+            .map(|k| self.rows[i][k].1)
+    }
+
+    /// Rows of the active submatrix (ascending index).
+    pub fn active_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(|&i| self.row_active[i])
+    }
+
+    /// Applies the pivot at `(pi, pj)`: eliminates column `pj` from every
+    /// other active row containing it (creating fill-in), then retires row
+    /// `pi` and column `pj`. Returns the number of fill-in entries created.
+    ///
+    /// # Panics
+    /// Panics if the pivot is inactive or not stored.
+    pub fn eliminate(&mut self, pi: usize, pj: usize) -> usize {
+        self.eliminate_recording(pi, pj).fill
+    }
+
+    /// Like [`EliminationWork::eliminate`], but returns everything an LU
+    /// factorization needs to record about the step: the multipliers
+    /// applied to each target row and the pivot row's active entries at
+    /// elimination time.
+    ///
+    /// # Panics
+    /// Panics if the pivot is inactive or not stored.
+    pub fn eliminate_recording(&mut self, pi: usize, pj: usize) -> EliminationRecord {
+        assert!(self.row_active[pi] && self.col_active[pj], "pivot inactive");
+        let pval = self.get(pi, pj).expect("pivot entry must be stored");
+
+        // rows that hold an entry in the pivot column (gathered before the
+        // column is retired)
+        let targets: Vec<(usize, f64)> = (0..self.n)
+            .filter(|&k| k != pi && self.row_active[k])
+            .filter_map(|k| self.get(k, pj).map(|akj| (k, akj)))
+            .collect();
+
+        // retire the pivot row/column so updates see the new counts
+        self.row_active[pi] = false;
+        self.col_active[pj] = false;
+        for &(c, _) in &self.rows[pi] {
+            let c = c as usize;
+            if self.col_active[c] || c == pj {
+                self.col_count[c] -= 1;
+            }
+        }
+
+        let pivot_row: Vec<(u32, f64)> = self.rows[pi]
+            .iter()
+            .copied()
+            .filter(|&(c, _)| self.col_active[c as usize])
+            .collect();
+
+        let mut fill = 0usize;
+        let mut multipliers = Vec::with_capacity(targets.len());
+        for (k, akj) in targets {
+            let factor = akj / pval;
+            multipliers.push((k, factor));
+            // merge row_k ← row_k − factor · pivot_row (sorted lists)
+            let old = std::mem::take(&mut self.rows[k]);
+            let mut merged: Vec<(u32, f64)> = Vec::with_capacity(old.len() + pivot_row.len());
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < old.len() || b < pivot_row.len() {
+                match (old.get(a), pivot_row.get(b)) {
+                    (Some(&(ca, va)), Some(&(cb, vb))) if ca == cb => {
+                        // pivot_row holds only active columns, so ca is active
+                        let v = va - factor * vb;
+                        if v.abs() > DROP_TOL {
+                            merged.push((ca, v));
+                        } else {
+                            self.col_count[ca as usize] -= 1;
+                        }
+                        a += 1;
+                        b += 1;
+                    }
+                    (Some(&(ca, va)), Some(&(cb, _))) if ca < cb => {
+                        merged.push((ca, va));
+                        a += 1;
+                    }
+                    (Some(_), Some(&(cb, vb))) => {
+                        let v = -factor * vb;
+                        if v.abs() > DROP_TOL {
+                            merged.push((cb, v));
+                            self.col_count[cb as usize] += 1;
+                            fill += 1;
+                        }
+                        b += 1;
+                    }
+                    (Some(&(ca, va)), None) => {
+                        merged.push((ca, va));
+                        a += 1;
+                    }
+                    (None, Some(&(cb, vb))) => {
+                        let v = -factor * vb;
+                        if v.abs() > DROP_TOL {
+                            merged.push((cb, v));
+                            self.col_count[cb as usize] += 1;
+                            fill += 1;
+                        }
+                        b += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            // drop the (now inactive) pivot-column entry from the row; keep
+            // other inactive-column entries (they are L/U factors)
+            self.rows[k] = merged;
+        }
+
+        self.eliminated += 1;
+        EliminationRecord {
+            fill,
+            pivot_value: pval,
+            multipliers,
+            pivot_row,
+        }
+    }
+
+    /// Recomputes column counts from scratch (test/debug invariant check).
+    pub fn recount_cols(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n];
+        for i in 0..self.n {
+            if !self.row_active[i] {
+                continue;
+            }
+            for &(c, _) in &self.rows[i] {
+                if self.col_active[c as usize] {
+                    counts[c as usize] += 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // column indices are the semantics under test
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn small() -> EliminationWork {
+        // [2 1 0]
+        // [1 3 1]
+        // [0 1 4]
+        let mut c = Coo::new(3, 3);
+        for (i, j, v) in [
+            (0, 0, 2.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 3.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (2, 2, 4.0),
+        ] {
+            c.push(i, j, v);
+        }
+        EliminationWork::from_csr(&c.to_csr())
+    }
+
+    #[test]
+    fn initial_counts() {
+        let w = small();
+        assert_eq!(w.row_count(0), 2);
+        assert_eq!(w.row_count(1), 3);
+        assert_eq!(w.col_count(1), 3);
+        assert_eq!(w.markowitz_cost(0, 0), 1); // (2-1)(2-1)
+        assert_eq!(w.markowitz_cost(1, 1), 2 * 2);
+    }
+
+    #[test]
+    fn eliminate_updates_values_and_counts() {
+        let mut w = small();
+        let fill = w.eliminate(0, 0);
+        assert_eq!(fill, 0, "no new pattern entries here");
+        assert!(!w.is_row_active(0));
+        assert!(!w.is_col_active(0));
+        // row 1: a11 ← 3 − (1/2)·1 = 2.5
+        assert_eq!(w.get(1, 1), Some(2.5));
+        assert_eq!(w.recount_cols(), {
+            let mut v = vec![0, 0, 0];
+            v[1] = w.col_count(1);
+            v[2] = w.col_count(2);
+            v
+        });
+    }
+
+    #[test]
+    fn fill_in_is_created() {
+        // [1 1 0]
+        // [1 0 1]   pivot (0,0) ⇒ row1 gains a (1,1) fill entry
+        // [0 0 1]
+        let mut c = Coo::new(3, 3);
+        for (i, j, v) in [(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 2, 1.0)] {
+            c.push(i, j, v);
+        }
+        let mut w = EliminationWork::from_csr(&c.to_csr());
+        let fill = w.eliminate(0, 0);
+        assert_eq!(fill, 1);
+        assert_eq!(w.get(1, 1), Some(-1.0));
+    }
+
+    #[test]
+    fn counts_stay_consistent_across_eliminations() {
+        let m = crate::gen::stencil7(4, 4, 2, 5);
+        let mut w = EliminationWork::from_csr(&m);
+        for _ in 0..10 {
+            // pick the first active row's first active entry as pivot
+            let pi = w.active_rows().next().unwrap();
+            let pj = w.row(pi)
+                .iter()
+                .find(|&&(c, _)| w.is_col_active(c as usize))
+                .map(|&(c, _)| c as usize)
+                .unwrap();
+            w.eliminate(pi, pj);
+            let recount = w.recount_cols();
+            for j in 0..w.n() {
+                if w.is_col_active(j) {
+                    assert_eq!(w.col_count(j), recount[j], "col {j}");
+                }
+            }
+        }
+        assert_eq!(w.eliminated(), 10);
+    }
+
+    #[test]
+    fn full_elimination_terminates() {
+        let m = crate::gen::stencil7(3, 3, 1, 2);
+        let mut w = EliminationWork::from_csr(&m);
+        for _ in 0..w.n() {
+            let pi = w.active_rows().next().unwrap();
+            // diagonal pivoting works for this dominant stencil
+            w.eliminate(pi, pi);
+        }
+        assert_eq!(w.eliminated(), 9);
+        assert_eq!(w.active_rows().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pivot inactive")]
+    fn double_elimination_panics() {
+        let mut w = small();
+        w.eliminate(0, 0);
+        w.eliminate(0, 0);
+    }
+
+    #[test]
+    fn row_abs_max_ignores_inactive_columns() {
+        let mut w = small();
+        assert_eq!(w.row_abs_max(1), 3.0);
+        // pivot (2,2): row 1 holds a12 = 1, so a11 ← 3 − (1/4)·1 = 2.75,
+        // and column 2 drops out of row 1's active view
+        w.eliminate(2, 2);
+        assert_eq!(w.row_abs_max(1), 2.75);
+        // pivot (1,1): a00 ← 2 − (1/2.75)·1
+        w.eliminate(1, 1);
+        let expect = 2.0 - 1.0 / 2.75;
+        assert!((w.row_abs_max(0) - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests on the sparse substrate: COO assembly vs a dense model,
+//! transpose involution, and elimination-workspace invariants under random
+//! pivot sequences.
+
+#![allow(clippy::needless_range_loop)] // dense-model comparisons index by coordinate
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wlp_sparse::{Coo, EliminationWork};
+
+fn triplets_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec((0..n, 0..n, -10.0f64..10.0), 0..80)
+}
+
+fn build(n: usize, trips: &[(usize, usize, f64)]) -> Coo {
+    let mut coo = Coo::new(n, n);
+    for &(i, j, v) in trips {
+        coo.push(i, j, v);
+    }
+    coo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn coo_to_csr_matches_dense_accumulation(trips in triplets_strategy(8)) {
+        let csr = build(8, &trips).to_csr();
+        let mut dense: HashMap<(usize, usize), f64> = HashMap::new();
+        for &(i, j, v) in &trips {
+            *dense.entry((i, j)).or_insert(0.0) += v;
+        }
+        for i in 0..8 {
+            for j in 0..8 {
+                let want = dense.get(&(i, j)).copied().filter(|v| *v != 0.0);
+                let got = csr.get(i, j);
+                // summation order differs between CSR assembly and the
+                // model: compare with last-ulp tolerance, treating values
+                // within it of zero as absent (cancellation may land on
+                // exact 0.0 on one side and an ulp on the other)
+                let g = got.unwrap_or(0.0);
+                let w = want.unwrap_or(0.0);
+                prop_assert!(
+                    (g - w).abs() <= 1e-12 * w.abs().max(1.0),
+                    "({}, {}): {:?} vs {:?}",
+                    i,
+                    j,
+                    got,
+                    want
+                );
+            }
+        }
+        // nnz is exact up to cancellation landing on 0.0 in one summation
+        // order and an ulp in the other
+        let definite = dense.values().filter(|v| v.abs() > 1e-9).count();
+        prop_assert!(csr.nnz() >= definite && csr.nnz() <= dense.len());
+    }
+
+    #[test]
+    fn transpose_is_an_involution(trips in triplets_strategy(10)) {
+        let csr = build(10, &trips).to_csr();
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn spmv_agrees_with_dense(trips in triplets_strategy(6), x in prop::collection::vec(-5.0f64..5.0, 6)) {
+        let csr = build(6, &trips).to_csr();
+        let y = csr.spmv(&x);
+        for i in 0..6 {
+            let mut want = 0.0;
+            for j in 0..6 {
+                want += csr.get(i, j).unwrap_or(0.0) * x[j];
+            }
+            prop_assert!((y[i] - want).abs() < 1e-9, "row {}: {} vs {}", i, y[i], want);
+        }
+    }
+
+    #[test]
+    fn elimination_keeps_column_counts_consistent(
+        trips in triplets_strategy(7),
+        pivots in prop::collection::vec((0usize..7, 0usize..7), 0..7),
+    ) {
+        // put a strong diagonal in so pivots exist
+        let mut all = trips.clone();
+        for d in 0..7 {
+            all.push((d, d, 50.0 + d as f64));
+        }
+        let mut work = EliminationWork::from_csr(&build(7, &all).to_csr());
+        for (pi, pj) in pivots {
+            if !work.is_row_active(pi) || !work.is_col_active(pj) || work.get(pi, pj).is_none() {
+                continue;
+            }
+            work.eliminate(pi, pj);
+            // column counts must equal a from-scratch recount
+            let recount = work.recount_cols();
+            for j in 0..7 {
+                if work.is_col_active(j) {
+                    prop_assert_eq!(work.col_count(j), recount[j], "col {}", j);
+                }
+            }
+            // Markowitz costs stay within structural bounds
+            for i in (0..7).filter(|&i| work.is_row_active(i)) {
+                let rc = work.row_count(i) as u64;
+                for &(c, _) in work.row(i) {
+                    let j = c as usize;
+                    if work.is_col_active(j) {
+                        let cost = work.markowitz_cost(i, j);
+                        prop_assert!(cost <= (rc.max(1) - 1) * 6, "cost bound at ({}, {})", i, j);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eliminated_rows_and_cols_never_return(
+        trips in triplets_strategy(6),
+        pivots in prop::collection::vec((0usize..6, 0usize..6), 1..6),
+    ) {
+        let mut all = trips.clone();
+        for d in 0..6 {
+            all.push((d, d, 100.0));
+        }
+        let mut work = EliminationWork::from_csr(&build(6, &all).to_csr());
+        let mut gone_rows = Vec::new();
+        for (pi, pj) in pivots {
+            if work.is_row_active(pi) && work.is_col_active(pj) && work.get(pi, pj).is_some() {
+                work.eliminate(pi, pj);
+                gone_rows.push(pi);
+            }
+            for &r in &gone_rows {
+                prop_assert!(!work.is_row_active(r));
+            }
+        }
+        prop_assert_eq!(work.eliminated(), gone_rows.len());
+    }
+}

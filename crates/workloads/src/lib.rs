@@ -1,0 +1,19 @@
+//! The five loops of the paper's evaluation (Section 9, Table 2).
+//!
+//! | module | paper loop | dispatcher | terminator | machinery |
+//! |---|---|---|---|---|
+//! | [`spice`] | SPICE `LOAD` loop 40 | linked list | RI (null) | none |
+//! | [`track`] | TRACK `FPTRAK` loop 300 | induction | RV (error exit) | backups + stamps |
+//! | [`mcsparse`] | MCSPARSE `DFACT` loop 500 | induction | RV (pivot found) | none (DOANY) |
+//! | [`ma28`] | MA28 `MA30AD` loop 270 | induction | RV (cost-0 exit) | backups + stamps |
+//! | [`ma28`] | MA28 `MA30AD` loop 320 | induction | RV (cost-0 exit) | backups + stamps |
+//!
+//! Each module provides the sequential reference, the parallel (threaded)
+//! transformation built from `wlp-core`, and a [`wlp_sim::LoopSpec`]
+//! builder so the bench harness can regenerate the corresponding figure on
+//! the deterministic multiprocessor simulator.
+
+pub mod ma28;
+pub mod mcsparse;
+pub mod spice;
+pub mod track;

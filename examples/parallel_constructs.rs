@@ -1,0 +1,77 @@
+//! The paper's proposed parallel-language constructs in action:
+//! WHILE-DOALL, WHILE-DOACROSS, WHILE-DOANY — and the run-twice scheme
+//! that trades a second pass for zero time-stamping.
+//!
+//! ```text
+//! cargo run --release --example parallel_constructs
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use wlp::core::constructs::{run_twice_while, while_doacross, while_doall, while_doany};
+use wlp::core::strategy::{hedged_execute, HedgeWinner};
+use wlp::runtime::Pool;
+
+fn main() {
+    let pool = Pool::new(8);
+
+    // WHILE-DOALL: independent iterations, exit when a condition fires.
+    let out = while_doall(&pool, 1_000_000, |i| i * i > 5_000_000, |_i, _vpn| {
+        std::hint::black_box(17u64.wrapping_pow(3));
+    });
+    println!(
+        "WHILE-DOALL: exit at {:?} after {} bodies (√5e6 ≈ 2236)",
+        out.last_valid, out.executed
+    );
+
+    // WHILE-DOACROSS: a genuine recurrence pipelined over two stages.
+    let n = 10_000;
+    let chain: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let exit = while_doacross(
+        &pool,
+        n,
+        1,
+        |i| i > 0 && chain[i - 1].load(Ordering::Acquire).is_multiple_of(9973),
+        |i, _stage| {
+            let prev = if i == 0 { 7 } else { chain[i - 1].load(Ordering::Acquire) };
+            chain[i].store(prev.wrapping_mul(31).wrapping_add(17), Ordering::Release);
+        },
+    );
+    println!("WHILE-DOACROSS: recurrence chain exited at {exit:?}");
+
+    // WHILE-DOANY: any satisfying iterate wins; no undo despite overshoot.
+    let hit = while_doany(&pool, 10_000_000, |i| {
+        let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40;
+        (h == 12345).then_some(i)
+    });
+    println!("WHILE-DOANY: found satisfying iterate {hit:?}");
+
+    // Run-twice: find the trip count first (terminator-only pass), then a
+    // plain DOALL — zero checkpoint/stamp/undo state.
+    let counted = AtomicU64::new(0);
+    let out = run_twice_while(&pool, 1_000_000, |i| i >= 250_000, |_i, _vpn| {
+        counted.fetch_add(1, Ordering::Relaxed);
+    });
+    println!(
+        "run-twice: {} bodies in pass 2, exit at {:?}, no time-stamps anywhere",
+        counted.load(Ordering::Relaxed),
+        out.last_valid
+    );
+
+    // The 1-processor/(p−1)-processor hedge: race sequential vs parallel.
+    let winner = hedged_execute(
+        |token| {
+            for _ in 0..1000 {
+                if token.is_cancelled() {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        },
+        |_token| {
+            let inner = Pool::new(7);
+            while_doall(&inner, 100_000, |_| false, |_, _| {});
+        },
+    );
+    assert_eq!(winner, HedgeWinner::Parallel);
+    println!("hedge: the (p−1)-processor parallel copy won the race");
+}

@@ -1,0 +1,69 @@
+//! Speculative parallelization of a loop the compiler cannot analyze.
+//!
+//! A measurement-assimilation sweep updates track points through a
+//! run-time-computed subscript array and exits on a data-dependent error
+//! condition (RV terminator) — the TRACK FPTRAK shape. The accesses are
+//! statically unanalyzable, so the loop runs *speculatively*: shadow
+//! arrays record every access, overshoot is rolled back with write
+//! time-stamps, and a poisoned subscript array (a real cross-iteration
+//! dependence) demotes the loop to sequential re-execution — with the
+//! final state provably identical either way.
+//!
+//! ```text
+//! cargo run --release --example speculative_convergence
+//! ```
+
+use wlp::runtime::Pool;
+use wlp::workloads::track::TrackInstance;
+
+fn main() {
+    let pool = Pool::new(8);
+
+    // Healthy instance: subscripts form a permutation; the PD test passes.
+    let inst = TrackInstance::new(50_000, 42_000, 3);
+    let (seq_state, seq_exit) = inst.run_sequential();
+    let t0 = std::time::Instant::now();
+    let (par_state, out) = inst.run_parallel(&pool);
+    println!(
+        "healthy run: committed_parallel = {}, exit at {:?} (sequential: {:?}), \
+         undone {} overshot writes, {:?}",
+        out.committed_parallel,
+        out.last_valid,
+        seq_exit,
+        out.undone,
+        t0.elapsed()
+    );
+    assert!(out.committed_parallel);
+    assert_eq!(out.last_valid, seq_exit);
+    let max_err = par_state
+        .iter()
+        .zip(&seq_state)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("max |parallel − sequential| = {max_err:.3e}");
+    assert!(max_err < 1e-9);
+
+    // Poisoned instance: two iterations collide on one track point, and
+    // the later one reads what the earlier wrote — a flow dependence the
+    // PD test must catch.
+    let mut bad = TrackInstance::new(20_000, usize::MAX, 5);
+    bad.idx[101] = bad.idx[100];
+    let (seq_state, _) = bad.run_sequential();
+    let (par_state, out) = bad.run_parallel(&pool);
+    println!(
+        "\npoisoned run: committed_parallel = {}, re-executed sequentially = {}, \
+         verdict = {:?}",
+        out.committed_parallel,
+        out.reexecuted_sequentially,
+        out.verdict.as_ref().map(|v| (v.doall, v.privatized_doall))
+    );
+    assert!(!out.committed_parallel);
+    assert!(out.reexecuted_sequentially);
+    let max_err = par_state
+        .iter()
+        .zip(&seq_state)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("final state still exact: max |err| = {max_err:.3e}");
+    assert_eq!(max_err, 0.0, "sequential re-execution is bit-exact");
+}

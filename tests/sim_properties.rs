@@ -1,0 +1,140 @@
+//! Simulator invariants, as properties over random loop specs: physical
+//! conservation laws, speedup bounds, determinism, and cross-strategy
+//! coverage guarantees.
+
+use proptest::prelude::*;
+use wlp::sim::spec::TerminatorKind;
+use wlp::sim::{
+    sim_distribution, sim_doacross, sim_general1, sim_general2, sim_general3,
+    sim_induction_doall, sim_prefix_doall, sim_sequential, sim_strip_mined, sim_windowed,
+    ExecConfig, LoopSpec, Overheads, Schedule,
+};
+
+#[derive(Debug, Clone)]
+struct SpecParams {
+    upper: usize,
+    work: u64,
+    exit: Option<(usize, bool)>, // (iteration, is_rv)
+}
+
+fn spec_strategy() -> impl Strategy<Value = SpecParams> {
+    (
+        1usize..800,
+        1u64..200,
+        prop::option::of((0usize..1000, any::<bool>())),
+    )
+        .prop_map(|(upper, work, exit)| SpecParams { upper, work, exit })
+}
+
+fn build(p: &SpecParams) -> LoopSpec {
+    let mut s = LoopSpec::uniform(p.upper, p.work);
+    if let Some((e, rv)) = p.exit {
+        let kind = if rv {
+            TerminatorKind::RemainderVariant
+        } else {
+            TerminatorKind::RemainderInvariant
+        };
+        s = s.with_exit(e, kind);
+    }
+    s
+}
+
+fn all_strategies(
+    p: usize,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+) -> Vec<(&'static str, wlp::sim::Report)> {
+    vec![
+        ("induction", sim_induction_doall(p, spec, oh, cfg, Schedule::Dynamic)),
+        ("static", sim_induction_doall(p, spec, oh, cfg, Schedule::StaticCyclic)),
+        ("general1", sim_general1(p, spec, oh, cfg)),
+        ("general2", sim_general2(p, spec, oh, cfg)),
+        ("general3", sim_general3(p, spec, oh, cfg)),
+        ("distribution", sim_distribution(p, spec, oh, cfg)),
+        ("prefix", sim_prefix_doall(p, spec, oh, cfg)),
+        ("strips", sim_strip_mined(p, spec, oh, cfg, 64)),
+        ("window", sim_windowed(p, spec, oh, cfg, 32)),
+        ("doacross", sim_doacross(p, spec, oh, 4)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn conservation_and_bounds(params in spec_strategy(), p in 1usize..9) {
+        let spec = build(&params);
+        let oh = Overheads::default();
+        let cfg = ExecConfig::with_undo(64);
+        let seq = sim_sequential(&spec, &oh);
+        for (name, r) in all_strategies(p, &spec, &oh, &cfg) {
+            // busy time cannot exceed p × makespan
+            let busy: u64 = r.busy.iter().sum();
+            prop_assert!(busy <= p as u64 * r.makespan, "{}: conservation", name);
+            prop_assert!(r.utilization() <= 1.0 + 1e-12, "{}: utilization", name);
+            // speedup bounded by p plus the per-iteration cost asymmetry:
+            // the sequential loop pays t_next + t_term + work (≥ 5 cycles),
+            // while a static closed-form schedule pays as little as
+            // t_term + work + t_stamp (≥ 4) — a ratio of up to 1.25 for
+            // unit-work bodies
+            let s = r.speedup(&seq);
+            prop_assert!(s <= p as f64 * 1.27 + 1e-9, "{}: speedup {} at p={}", name, s, p);
+            prop_assert_eq!(r.p, p, "{}", name);
+        }
+    }
+
+    #[test]
+    fn every_valid_iteration_is_executed(params in spec_strategy(), p in 1usize..9) {
+        let spec = build(&params);
+        let oh = Overheads::default();
+        let cfg = ExecConfig::bare();
+        let valid = spec.work_end() as u64;
+        for (name, r) in all_strategies(p, &spec, &oh, &cfg) {
+            prop_assert!(r.executed >= valid, "{}: executed {} < valid {}", name, r.executed, valid);
+            // RI exits never produce undo work
+            if let Some((_, false)) = params.exit {
+                prop_assert_eq!(r.overshoot, 0, "{}: RI loops cannot overshoot bodies", name);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(params in spec_strategy(), p in 1usize..9) {
+        let oh = Overheads::default();
+        let cfg = ExecConfig::with_pd(32);
+        let a = sim_general3(p, &build(&params), &oh, &cfg);
+        let b = sim_general3(p, &build(&params), &oh, &cfg);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.busy, b.busy);
+        prop_assert_eq!(a.executed, b.executed);
+        prop_assert_eq!(a.hops, b.hops);
+    }
+
+    #[test]
+    fn more_machinery_never_runs_faster(params in spec_strategy(), p in 2usize..9) {
+        let spec = build(&params);
+        let oh = Overheads::default();
+        let bare = sim_induction_doall(p, &spec, &oh, &ExecConfig::bare(), Schedule::Dynamic);
+        let undo = sim_induction_doall(p, &spec, &oh, &ExecConfig::with_undo(128), Schedule::Dynamic);
+        let pd = sim_induction_doall(p, &spec, &oh, &ExecConfig::with_pd(128), Schedule::Dynamic);
+        prop_assert!(bare.makespan <= undo.makespan, "undo adds cost");
+        prop_assert!(undo.makespan <= pd.makespan, "the PD test adds more");
+    }
+
+    #[test]
+    fn overshoot_never_exceeds_the_window_or_strip(
+        upper in 100usize..2000,
+        exit in 0usize..1500,
+        w in 1usize..64,
+    ) {
+        let spec = LoopSpec::uniform(upper, 50)
+            .with_exit(exit, TerminatorKind::RemainderVariant);
+        let oh = Overheads::default();
+        let cfg = ExecConfig::with_undo(32);
+        let win = sim_windowed(8, &spec, &oh, &cfg, w);
+        prop_assert!(win.overshoot <= w as u64, "window {}: overshoot {}", w, win.overshoot);
+        let strips = sim_strip_mined(8, &spec, &oh, &cfg, w);
+        prop_assert!(strips.overshoot <= w as u64, "strip {}: overshoot {}", w, strips.overshoot);
+    }
+}
