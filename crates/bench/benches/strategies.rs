@@ -14,7 +14,9 @@ use wlp_runtime::Pool;
 fn work(v: u64) -> u64 {
     let mut acc = v;
     for _ in 0..16 {
-        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
     }
     acc
 }

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
-use wlp_sparse::gen::stencil7;
 use wlp_sparse::factorize;
+use wlp_sparse::gen::stencil7;
 
 fn bench_lu(c: &mut Criterion) {
     let m = stencil7(12, 12, 4, 7); // n = 576
@@ -20,7 +20,9 @@ fn bench_lu(c: &mut Criterion) {
     let x_true: Vec<f64> = (0..m.n_rows()).map(|i| i as f64 * 0.1).collect();
     let rhs = m.spmv(&x_true);
     g.bench_function("solve", |b| b.iter(|| black_box(lu.solve(&rhs)[0])));
-    g.bench_function("spmv_baseline", |b| b.iter(|| black_box(m.spmv(&x_true)[0])));
+    g.bench_function("spmv_baseline", |b| {
+        b.iter(|| black_box(m.spmv(&x_true)[0]))
+    });
     g.finish();
 }
 

@@ -12,10 +12,8 @@
 
 use wlp_bench::{
     fig6, fig7, fig_ma28, fig_mcsparse, inputs, render_ablation_balance, render_ablation_chunk,
-    render_gantt_exhibit,
-    render_ablation_doacross,
-    render_ablation_hedge, render_ablation_strip, render_ablation_window, render_costmodel,
-    render_table1, render_table2,
+    render_ablation_doacross, render_ablation_hedge, render_ablation_strip, render_ablation_window,
+    render_costmodel, render_gantt_exhibit, render_profile, render_table1, render_table2,
 };
 
 fn by_input(make: &dyn Fn(&str, &wlp_sparse::Csr) -> wlp_bench::Figure, which: &str) -> String {
@@ -47,14 +45,32 @@ fn exhibit(name: &str) -> Option<String> {
         "ablation-doacross" => render_ablation_doacross(),
         "ablation-balance" => render_ablation_balance(),
         "gantt" => render_gantt_exhibit(),
+        "profile" => render_profile(),
         _ => return None,
     })
 }
 
-const ALL: [&str; 19] = [
-    "table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "costmodel", "ablation-strip", "ablation-window", "ablation-chunk",
-    "ablation-hedge", "ablation-doacross", "ablation-balance", "gantt",
+const ALL: [&str; 20] = [
+    "table1",
+    "table2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "costmodel",
+    "ablation-strip",
+    "ablation-window",
+    "ablation-chunk",
+    "ablation-hedge",
+    "ablation-doacross",
+    "ablation-balance",
+    "gantt",
+    "profile",
 ];
 
 fn main() {

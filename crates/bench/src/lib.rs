@@ -286,24 +286,58 @@ pub fn render_table2() -> String {
         "## Table 2 — summary of experimental results (p = 8)\n\n\
          benchmark/loop            technique            input      paper  measured  machinery\n",
     );
-    let mut row = |loop_name: &str, tech: &str, input: &str, paper: f64, measured: f64, mach: &str| {
-        out.push_str(&format!(
-            "{loop_name:<25} {tech:<20} {input:<10} {paper:>5.1} {measured:>9.2}  {mach}\n"
-        ));
-    };
+    let mut row =
+        |loop_name: &str, tech: &str, input: &str, paper: f64, measured: f64, mach: &str| {
+            out.push_str(&format!(
+                "{loop_name:<25} {tech:<20} {input:<10} {paper:>5.1} {measured:>9.2}  {mach}\n"
+            ));
+        };
 
     let f6 = fig6();
-    row("SPICE LOAD 40", "General-1 (locks)", "-", 2.9, f6.series[0].at_max_p(), "none");
-    row("SPICE LOAD 40", "General-3 (no locks)", "-", 4.9, f6.series[2].at_max_p(), "none");
+    row(
+        "SPICE LOAD 40",
+        "General-1 (locks)",
+        "-",
+        2.9,
+        f6.series[0].at_max_p(),
+        "none",
+    );
+    row(
+        "SPICE LOAD 40",
+        "General-3 (no locks)",
+        "-",
+        4.9,
+        f6.series[2].at_max_p(),
+        "none",
+    );
 
     let f7 = fig7();
-    row("TRACK FPTRAK 300", "Induction-1", "-", 5.8, f7.series[0].at_max_p(), "backups+stamps");
+    row(
+        "TRACK FPTRAK 300",
+        "Induction-1",
+        "-",
+        5.8,
+        f7.series[0].at_max_p(),
+        "backups+stamps",
+    );
 
-    let paper_dfact = [("gematt11", 7.0), ("gematt12", 6.8), ("orsreg1", 4.8), ("saylr4", 5.7)];
+    let paper_dfact = [
+        ("gematt11", 7.0),
+        ("gematt12", 6.8),
+        ("orsreg1", 4.8),
+        ("saylr4", 5.7),
+    ];
     for (name, m) in inputs() {
         let f = fig_mcsparse(name, &m);
         let paper = paper_dfact.iter().find(|(n, _)| *n == name).unwrap().1;
-        row("MCSPARSE DFACT 500", "WHILE-DOANY", name, paper, f.series[0].at_max_p(), "none");
+        row(
+            "MCSPARSE DFACT 500",
+            "WHILE-DOANY",
+            name,
+            paper,
+            f.series[0].at_max_p(),
+            "none",
+        );
     }
 
     let paper_ma28 = [
@@ -314,8 +348,22 @@ pub fn render_table2() -> String {
     for (name, m) in inputs().into_iter().take(3) {
         let f = fig_ma28(name, &m);
         let (_, p270, p320) = paper_ma28.iter().find(|(n, _, _)| *n == name).unwrap();
-        row("MA28 MA30AD 270", "Induction-1", name, *p270, f.series[0].at_max_p(), "backups+stamps");
-        row("MA28 MA30AD 320", "Induction-1", name, *p320, f.series[1].at_max_p(), "backups+stamps");
+        row(
+            "MA28 MA30AD 270",
+            "Induction-1",
+            name,
+            *p270,
+            f.series[0].at_max_p(),
+            "backups+stamps",
+        );
+        row(
+            "MA28 MA30AD 320",
+            "Induction-1",
+            name,
+            *p320,
+            f.series[1].at_max_p(),
+            "backups+stamps",
+        );
     }
     out
 }
@@ -357,7 +405,10 @@ pub fn render_costmodel() -> String {
             accesses: 1e6,
             uses_pd: true,
         };
-        out.push_str(&format!("{p:>3} {:>12.3}\n", m.failure_penalty() / m.t_seq()));
+        out.push_str(&format!(
+            "{p:>3} {:>12.3}\n",
+            m.failure_penalty() / m.t_seq()
+        ));
     }
     out
 }
@@ -374,16 +425,25 @@ pub fn render_ablation_strip() -> String {
     );
     for strip in [25usize, 50, 100, 250, 500, 1000, 2500, 5000] {
         let r = sim_strip_mined(8, &spec, &oh, &cfg, strip);
-        out.push_str(&format!("{strip:>5} {:>9.2} {:>10}\n", r.speedup(&seq), r.overshoot));
+        out.push_str(&format!(
+            "{strip:>5} {:>9.2} {:>10}\n",
+            r.speedup(&seq),
+            r.overshoot
+        ));
     }
-    out.push_str("\nstatistics-enhanced stamping: fraction of writes stamped vs confidence (n̂ = 4500)\n");
+    out.push_str(
+        "\nstatistics-enhanced stamping: fraction of writes stamped vs confidence (n̂ = 4500)\n",
+    );
     out.push_str("confidence  stamped-fraction\n");
     for conf in [0.0, 0.5, 0.8, 0.9, 0.95, 0.99] {
         let s = wlp_core::strategy::StatsStamping {
             estimated_iterations: 4500.0,
             confidence: conf,
         };
-        out.push_str(&format!("{conf:>10.2} {:>17.3}\n", s.stamped_fraction(4500)));
+        out.push_str(&format!(
+            "{conf:>10.2} {:>17.3}\n",
+            s.stamped_fraction(4500)
+        ));
     }
     out
 }
@@ -398,7 +458,11 @@ pub fn render_ablation_window() -> String {
     );
     for w in [2usize, 4, 8, 16, 32, 64, 256, 1024] {
         let r = sim_windowed(8, &spec, &oh, &cfg, w);
-        out.push_str(&format!("{w:>6} {:>8.2} {:>10}\n", r.speedup(&seq), r.overshoot));
+        out.push_str(&format!(
+            "{w:>6} {:>8.2} {:>10}\n",
+            r.speedup(&seq),
+            r.overshoot
+        ));
     }
     out
 }
@@ -454,9 +518,7 @@ pub fn render_ablation_chunk() -> String {
 /// penalty), the hedge tracks the better of the two worlds.
 pub fn render_ablation_hedge() -> String {
     let oh = Overheads::default();
-    let mut out = String::from(
-        "## Ablation D — the 1/(p−1) hedge (Section 8.3), p = 8\n\n",
-    );
+    let mut out = String::from("## Ablation D — the 1/(p−1) hedge (Section 8.3), p = 8\n\n");
     out.push_str("scenario                  seq-time  par-time(p-1)   hedge  winner\n");
     let scenarios: [(&str, LoopSpec, ExecConfig, bool); 4] = [
         (
@@ -500,7 +562,11 @@ pub fn render_ablation_hedge() -> String {
             seq.makespan,
             par_time,
             hedge,
-            if par_time < seq.makespan { "parallel" } else { "sequential" }
+            if par_time < seq.makespan {
+                "parallel"
+            } else {
+                "sequential"
+            }
         ));
     }
     out.push_str(
@@ -556,6 +622,51 @@ pub fn render_ablation_balance() -> String {
     out
 }
 
+/// The `profile` exhibit: aggregated [`wlp_obs::ProfileReport`]s, one JSON
+/// object per representative strategy run, computed from the simulator's
+/// recorded traces (all quantities in virtual cycles). Every report is
+/// checked against the conservation laws (per-processor
+/// busy + wait + idle = makespan; committed + undone = executed) before it
+/// is printed, so the exhibit doubles as an end-to-end audit of the
+/// observability layer.
+pub fn render_profile() -> String {
+    use wlp_obs::{ProfileReport, Trace};
+    use wlp_sim::{
+        sim_general1_traced, sim_general3_traced, sim_induction_doall_traced, sim_windowed_traced,
+    };
+
+    let p = 8;
+    let mut out =
+        String::from("## Profile — ProfileReport per strategy (JSON, simulator cycles, p = 8)\n\n");
+    let mut add = |label: &str, trace: Trace| {
+        let r = ProfileReport::from_trace(&trace);
+        r.check_conservation().expect("conservation laws must hold");
+        out.push_str(&format!("{label}: {}\n", r.to_json()));
+    };
+
+    let (spec, oh) = spice::sim_spec(10_000);
+    let bare = ExecConfig::bare();
+    add(
+        "spice-general1",
+        sim_general1_traced(p, &spec, &oh, &bare).1,
+    );
+    add(
+        "spice-general3",
+        sim_general3_traced(p, &spec, &oh, &bare).1,
+    );
+
+    let (tspec, toh, tcfg) = track::sim_spec(5000, 4500);
+    add(
+        "track-induction1",
+        sim_induction_doall_traced(p, &tspec, &toh, &tcfg, Schedule::Dynamic).1,
+    );
+    add(
+        "track-windowed32",
+        sim_windowed_traced(p, &tspec, &toh, &tcfg, 32).1,
+    );
+    out
+}
+
 /// Schedule visualization: ASCII Gantt charts of General-1 (lock-bound
 /// staircase) vs General-3 (dense dynamic schedule) on a small list loop —
 /// the mechanics behind Figure 6, made visible. Mirrors the strategy
@@ -596,12 +707,17 @@ pub fn render_gantt_exhibit() -> String {
         g3.work(proc, work);
     }
 
-    let mut out = String::from(
-        "## Schedule traces — General-1 vs General-3 (`#` busy, `.` idle)\n\n",
-    );
-    out.push_str(&format!("General-1 (lock on next(), makespan {}):\n", g1.makespan()));
+    let mut out =
+        String::from("## Schedule traces — General-1 vs General-3 (`#` busy, `.` idle)\n\n");
+    out.push_str(&format!(
+        "General-1 (lock on next(), makespan {}):\n",
+        g1.makespan()
+    ));
     out.push_str(&render_gantt(&g1, 72));
-    out.push_str(&format!("\nGeneral-3 (dynamic, no locks, makespan {}):\n", g3.makespan()));
+    out.push_str(&format!(
+        "\nGeneral-3 (dynamic, no locks, makespan {}):\n",
+        g3.makespan()
+    ));
     out.push_str(&render_gantt(&g3, 72));
     out
 }
@@ -670,11 +786,18 @@ mod tests {
             .lines()
             .filter(|l| l.contains("makespan"))
             .filter_map(|l| {
-                l.split("makespan ").nth(1)?.trim_end_matches("):").parse().ok()
+                l.split("makespan ")
+                    .nth(1)?
+                    .trim_end_matches("):")
+                    .parse()
+                    .ok()
             })
             .collect();
         assert_eq!(makespans.len(), 2, "{g}");
-        assert!(makespans[1] < makespans[0], "G3 must beat G1: {makespans:?}");
+        assert!(
+            makespans[1] < makespans[0],
+            "G3 must beat G1: {makespans:?}"
+        );
     }
 
     #[test]
@@ -711,7 +834,10 @@ mod tests {
         let lines: Vec<&str> = r.lines().collect();
         let rich = lines.iter().find(|l| l.starts_with("work-rich")).unwrap();
         assert!(rich.ends_with("parallel"), "{rich}");
-        let fails = lines.iter().find(|l| l.starts_with("PD test fails")).unwrap();
+        let fails = lines
+            .iter()
+            .find(|l| l.starts_with("PD test fails"))
+            .unwrap();
         assert!(fails.ends_with("sequential"), "{fails}");
     }
 

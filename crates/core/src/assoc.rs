@@ -83,7 +83,11 @@ mod tests {
 
     fn rec() -> AffineRecurrence {
         // slowly growing: x(i+1) = 1.01·x(i) + 0.5, x0 = 1
-        AffineRecurrence { a: 1.01, b: 0.5, x0: 1.0 }
+        AffineRecurrence {
+            a: 1.01,
+            b: 0.5,
+            x0: 1.0,
+        }
     }
 
     #[test]
@@ -110,7 +114,11 @@ mod tests {
         };
         for i in 0..n {
             let g = got[i].load();
-            assert!((g - seq[i]).abs() < 1e-9 * seq[i].abs().max(1.0), "iter {i}: {g} vs {}", seq[i]);
+            assert!(
+                (g - seq[i]).abs() < 1e-9 * seq[i].abs().max(1.0),
+                "iter {i}: {g} vs {}",
+                seq[i]
+            );
         }
     }
 

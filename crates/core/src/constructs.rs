@@ -170,7 +170,11 @@ mod tests {
             1,
             |i| i == 50,
             |i, _| {
-                let prev = if i == 0 { 0 } else { xs[i - 1].load(Ordering::Acquire) };
+                let prev = if i == 0 {
+                    0
+                } else {
+                    xs[i - 1].load(Ordering::Acquire)
+                };
                 xs[i].store(prev + 1, Ordering::Release);
             },
         );
@@ -179,7 +183,11 @@ mod tests {
             assert_eq!(xs[i].load(Ordering::Relaxed), i as u32 + 1, "iteration {i}");
         }
         for i in 51..n {
-            assert_eq!(xs[i].load(Ordering::Relaxed), 0, "iteration {i} must not run");
+            assert_eq!(
+                xs[i].load(Ordering::Relaxed),
+                0,
+                "iteration {i} must not run"
+            );
         }
     }
 
@@ -187,9 +195,15 @@ mod tests {
     fn while_doacross_without_exit_runs_everything() {
         let n = 64usize;
         let count = AtomicU32::new(0);
-        let exit = while_doacross(&pool(), n, 2, |_| false, |_, _| {
-            count.fetch_add(1, Ordering::Relaxed);
-        });
+        let exit = while_doacross(
+            &pool(),
+            n,
+            2,
+            |_| false,
+            |_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            },
+        );
         assert_eq!(exit, None);
         assert_eq!(count.load(Ordering::Relaxed), (n * 2) as u32);
     }
@@ -197,9 +211,14 @@ mod tests {
     #[test]
     fn run_twice_executes_exactly_the_valid_bodies() {
         let hits: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
-        let out = run_twice_while(&pool(), 1000, |i| i >= 314, |i, _| {
-            hits[i].fetch_add(1, Ordering::Relaxed);
-        });
+        let out = run_twice_while(
+            &pool(),
+            1000,
+            |i| i >= 314,
+            |i, _| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            },
+        );
         assert_eq!(out.last_valid, Some(314));
         assert_eq!(out.executed, 314);
         for (i, h) in hits.iter().enumerate() {

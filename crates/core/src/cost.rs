@@ -259,7 +259,9 @@ mod tests {
             accesses: 0.0,
             uses_pd: false,
         };
-        assert!(mk(Parallelism::ParallelPrefix).ideal_speedup() < mk(Parallelism::Full).ideal_speedup());
+        assert!(
+            mk(Parallelism::ParallelPrefix).ideal_speedup() < mk(Parallelism::Full).ideal_speedup()
+        );
     }
 
     #[test]

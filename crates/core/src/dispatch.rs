@@ -166,7 +166,11 @@ mod tests {
 
     #[test]
     fn affine_parallel_terms_match_sequential() {
-        let r = AffineRecurrence { a: 0.99, b: 2.0, x0 : 1.0 };
+        let r = AffineRecurrence {
+            a: 0.99,
+            b: 2.0,
+            x0: 1.0,
+        };
         let pool = wlp_runtime::Pool::new(4);
         let par = r.terms_parallel(&pool, 200);
         let seq = r.terms_sequential(200);

@@ -22,8 +22,10 @@
 
 use crate::dispatch::Dispatcher;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use wlp_runtime::{doall_dynamic, Pool, Step};
+use std::time::Instant;
 use wlp_list::{ListArena, NodeId};
+use wlp_obs::{Event, NoopRecorder, Recorder};
+use wlp_runtime::{doall_dynamic, Pool, Step};
 
 /// Options for the General methods.
 #[derive(Debug, Clone, Copy, Default)]
@@ -58,17 +60,39 @@ where
     T: Sync,
     B: Fn(usize, NodeId) -> Step + Sync,
 {
+    general1_until_rec(pool, list, cfg, &NoopRecorder, body)
+}
+
+/// [`general1_until`] with observability: the time blocked on the
+/// dispatcher lock, the critical-section hold, the single `next()` hop per
+/// claim, each body execution, QUIT broadcast and end-of-loop join are
+/// reported to `rec`. With [`NoopRecorder`] — which is what
+/// [`general1_until`] passes — every probe compiles away.
+pub fn general1_until_rec<T, B, R>(
+    pool: &Pool,
+    list: &ListArena<T>,
+    cfg: GeneralConfig,
+    rec: &R,
+    body: B,
+) -> GeneralOutcome
+where
+    T: Sync,
+    B: Fn(usize, NodeId) -> Step + Sync,
+    R: Recorder,
+{
     let upper = cfg.upper.unwrap_or(usize::MAX);
     let cursor = parking_lot::Mutex::new((list.head(), 0usize));
     let quit = AtomicUsize::new(NO_QUIT);
     let iterations = AtomicU64::new(0);
     let hops = AtomicU64::new(0);
 
-    pool.run(|_vpn| loop {
-        // lock(list); pt = tmp; tmp = next(tmp); unlock(list)
-        let claimed = {
+    pool.run(|vpn| {
+        loop {
+            // lock(list); pt = tmp; tmp = next(tmp); unlock(list)
+            let t0 = R::ENABLED.then(Instant::now);
             let mut c = cursor.lock();
-            match c.0 {
+            let t1 = R::ENABLED.then(Instant::now);
+            let claimed = match c.0 {
                 None => None,
                 Some(node) => {
                     let i = c.1;
@@ -81,12 +105,51 @@ where
                         Some((i, node))
                     }
                 }
+            };
+            drop(c);
+            if R::ENABLED {
+                let wait = match (t0, t1) {
+                    (Some(a), Some(b)) => b.duration_since(a).as_nanos() as u64,
+                    _ => 0,
+                };
+                let hold = t1.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                rec.record(vpn, Event::LockWait { dur: wait });
+                rec.record(vpn, Event::LockAcquire { hold });
+                if let Some((i, _)) = claimed {
+                    // the hop happened inside the hold, so it costs 0 extra
+                    rec.record(vpn, Event::NextHop { hops: 1, cost: 0 });
+                    rec.record(
+                        vpn,
+                        Event::IterClaimed {
+                            iter: i as u64,
+                            cost: 0,
+                        },
+                    );
+                }
             }
-        };
-        let Some((i, node)) = claimed else { break };
-        iterations.fetch_add(1, Ordering::Relaxed);
-        if let Step::Quit = body(i, node) {
-            quit.fetch_min(i, Ordering::AcqRel);
+            let Some((i, node)) = claimed else { break };
+            iterations.fetch_add(1, Ordering::Relaxed);
+            let b0 = R::ENABLED.then(Instant::now);
+            let step = body(i, node);
+            if R::ENABLED {
+                let cost = b0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                rec.record(
+                    vpn,
+                    Event::IterExecuted {
+                        iter: i as u64,
+                        cost,
+                    },
+                );
+            }
+            if let Step::Quit = step {
+                quit.fetch_min(i, Ordering::AcqRel);
+                if R::ENABLED {
+                    rec.record(vpn, Event::Quit { iter: i as u64 });
+                }
+            }
+        }
+        if R::ENABLED {
+            rec.record(vpn, Event::Barrier { cost: 0 });
         }
     });
 
@@ -100,7 +163,12 @@ where
 
 /// General-1: serialize accesses to `next()` with a lock; the remainder
 /// runs outside the critical section. Iterations issue in lock order.
-pub fn general1<T, B>(pool: &Pool, list: &ListArena<T>, cfg: GeneralConfig, body: B) -> GeneralOutcome
+pub fn general1<T, B>(
+    pool: &Pool,
+    list: &ListArena<T>,
+    cfg: GeneralConfig,
+    body: B,
+) -> GeneralOutcome
 where
     T: Sync,
     B: Fn(usize, NodeId) + Sync,
@@ -161,7 +229,12 @@ where
 /// General-2: static cyclic assignment — processor `vpn` privately
 /// traverses the entire list and executes iterations `vpn, vpn+p, …`. No
 /// locks, no shared dispatch; `p × n` total hops.
-pub fn general2<T, B>(pool: &Pool, list: &ListArena<T>, cfg: GeneralConfig, body: B) -> GeneralOutcome
+pub fn general2<T, B>(
+    pool: &Pool,
+    list: &ListArena<T>,
+    cfg: GeneralConfig,
+    body: B,
+) -> GeneralOutcome
 where
     T: Sync,
     B: Fn(usize, NodeId) + Sync,
@@ -183,13 +256,33 @@ where
     T: Sync,
     B: Fn(usize, NodeId) -> Step + Sync,
 {
+    general3_until_rec(pool, list, cfg, &NoopRecorder, body)
+}
+
+/// [`general3_until`] with observability: each lock-free claim, private
+/// cursor catch-up (the `next()` hops with their measured cost), body
+/// execution, QUIT broadcast and end-of-loop join are reported to `rec`.
+/// With [`NoopRecorder`] — which is what [`general3_until`] passes — every
+/// probe compiles away.
+pub fn general3_until_rec<T, B, R>(
+    pool: &Pool,
+    list: &ListArena<T>,
+    cfg: GeneralConfig,
+    rec: &R,
+    body: B,
+) -> GeneralOutcome
+where
+    T: Sync,
+    B: Fn(usize, NodeId) -> Step + Sync,
+    R: Recorder,
+{
     let upper = cfg.upper.unwrap_or(usize::MAX);
     let claim = AtomicUsize::new(0);
     let quit = AtomicUsize::new(NO_QUIT);
     let iterations = AtomicU64::new(0);
     let hops = AtomicU64::new(0);
 
-    pool.run(|_vpn| {
+    pool.run(|vpn| {
         let mut cur = list.cursor();
         let mut prev = 0usize; // the iteration the cursor points at
         loop {
@@ -197,16 +290,54 @@ where
             if i >= upper || i > quit.load(Ordering::Acquire) {
                 break;
             }
+            if R::ENABLED {
+                rec.record(
+                    vpn,
+                    Event::IterClaimed {
+                        iter: i as u64,
+                        cost: 0,
+                    },
+                );
+            }
             // `do j = 1, i − prev: pt = next(pt)` — private catch-up
+            let h0 = R::ENABLED.then(Instant::now);
             cur.advance_by(i - prev);
+            if R::ENABLED && i > prev {
+                let cost = h0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                rec.record(
+                    vpn,
+                    Event::NextHop {
+                        hops: (i - prev) as u64,
+                        cost,
+                    },
+                );
+            }
             prev = i;
             let Some(node) = cur.get() else { break };
             iterations.fetch_add(1, Ordering::Relaxed);
-            if let Step::Quit = body(i, node) {
+            let b0 = R::ENABLED.then(Instant::now);
+            let step = body(i, node);
+            if R::ENABLED {
+                let cost = b0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                rec.record(
+                    vpn,
+                    Event::IterExecuted {
+                        iter: i as u64,
+                        cost,
+                    },
+                );
+            }
+            if let Step::Quit = step {
                 quit.fetch_min(i, Ordering::AcqRel);
+                if R::ENABLED {
+                    rec.record(vpn, Event::Quit { iter: i as u64 });
+                }
             }
         }
         hops.fetch_add(cur.hops(), Ordering::Relaxed);
+        if R::ENABLED {
+            rec.record(vpn, Event::Barrier { cost: 0 });
+        }
     });
 
     let q = quit.load(Ordering::Acquire);
@@ -220,7 +351,12 @@ where
 /// General-3: dynamic self-scheduling without locks — the paper's best
 /// general-recurrence method (Table 2's SPICE row: 4.9× vs General-1's
 /// 2.9× at p = 8).
-pub fn general3<T, B>(pool: &Pool, list: &ListArena<T>, cfg: GeneralConfig, body: B) -> GeneralOutcome
+pub fn general3<T, B>(
+    pool: &Pool,
+    list: &ListArena<T>,
+    cfg: GeneralConfig,
+    body: B,
+) -> GeneralOutcome
 where
     T: Sync,
     B: Fn(usize, NodeId) + Sync,
@@ -275,12 +411,16 @@ mod tests {
         let out = f(&pool(), &list, &|_i, node| {
             hits[list[node]].fetch_add(1, Ordering::Relaxed);
         });
-        (hits.iter().map(|h| h.load(Ordering::Relaxed)).collect(), out)
+        (
+            hits.iter().map(|h| h.load(Ordering::Relaxed)).collect(),
+            out,
+        )
     }
 
     #[test]
     fn general1_visits_every_node_once() {
-        let (hits, out) = run_and_collect(500, |p, l, b| general1(p, l, GeneralConfig::default(), b));
+        let (hits, out) =
+            run_and_collect(500, |p, l, b| general1(p, l, GeneralConfig::default(), b));
         assert!(hits.iter().all(|&h| h == 1));
         assert_eq!(out.iterations, 500);
         assert_eq!(out.hops, 500, "cooperative traversal: list walked once");
@@ -288,7 +428,8 @@ mod tests {
 
     #[test]
     fn general2_visits_every_node_once() {
-        let (hits, out) = run_and_collect(500, |p, l, b| general2(p, l, GeneralConfig::default(), b));
+        let (hits, out) =
+            run_and_collect(500, |p, l, b| general2(p, l, GeneralConfig::default(), b));
         assert!(hits.iter().all(|&h| h == 1));
         assert_eq!(out.iterations, 500);
         // every processor traverses (almost) the whole list privately
@@ -297,10 +438,15 @@ mod tests {
 
     #[test]
     fn general3_visits_every_node_once() {
-        let (hits, out) = run_and_collect(500, |p, l, b| general3(p, l, GeneralConfig::default(), b));
+        let (hits, out) =
+            run_and_collect(500, |p, l, b| general3(p, l, GeneralConfig::default(), b));
         assert!(hits.iter().all(|&h| h == 1));
         assert_eq!(out.iterations, 500);
-        assert!(out.hops >= 500 && out.hops <= 4 * 500, "hops = {}", out.hops);
+        assert!(
+            out.hops >= 500 && out.hops <= 4 * 500,
+            "hops = {}",
+            out.hops
+        );
     }
 
     #[test]
@@ -335,13 +481,25 @@ mod tests {
         let list = ListArena::from_values(0..10_000usize);
         for out in [
             general1_until(&pool(), &list, GeneralConfig::default(), |i, _| {
-                if i >= 100 { Step::Quit } else { Step::Continue }
+                if i >= 100 {
+                    Step::Quit
+                } else {
+                    Step::Continue
+                }
             }),
             general2_until(&pool(), &list, GeneralConfig::default(), |i, _| {
-                if i >= 100 { Step::Quit } else { Step::Continue }
+                if i >= 100 {
+                    Step::Quit
+                } else {
+                    Step::Continue
+                }
             }),
             general3_until(&pool(), &list, GeneralConfig::default(), |i, _| {
-                if i >= 100 { Step::Quit } else { Step::Continue }
+                if i >= 100 {
+                    Step::Quit
+                } else {
+                    Step::Continue
+                }
             }),
         ] {
             let q = out.quit.expect("must quit");
@@ -374,6 +532,40 @@ mod tests {
         assert_eq!(out.iterations, 200);
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
         assert_eq!(out.hops, 200);
+    }
+
+    #[test]
+    fn recorded_general_runs_report_dispatcher_traffic() {
+        use wlp_obs::{BufferRecorder, ProfileReport};
+        let list = ListArena::from_values(0..200usize);
+
+        let rec = BufferRecorder::new(4);
+        let out = general3_until_rec(&pool(), &list, GeneralConfig::default(), &rec, |_, _| {
+            Step::Continue
+        });
+        let report = ProfileReport::from_trace(&rec.finish());
+        assert_eq!(report.executed, 200);
+        assert_eq!(out.iterations, 200);
+        assert!(report.claimed >= 200, "every body was claimed first");
+        assert!(
+            report.hops >= 199,
+            "catch-up hops recorded: {}",
+            report.hops
+        );
+        assert_eq!(report.barriers, 4, "one join event per worker");
+        report.check_conservation().expect("laws hold");
+
+        let rec = BufferRecorder::new(4);
+        general1_until_rec(&pool(), &list, GeneralConfig::default(), &rec, |_, _| {
+            Step::Continue
+        });
+        let report = ProfileReport::from_trace(&rec.finish());
+        assert_eq!(report.executed, 200);
+        assert_eq!(
+            report.hops, 200,
+            "cooperative traversal walks the list once"
+        );
+        report.check_conservation().expect("laws hold");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   the quitting iteration stops issue of larger iterations outright.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+use wlp_obs::{Event, NoopRecorder, Recorder};
 use wlp_runtime::{doall_dynamic, doall_static_cyclic, parallel_min, Pool, Step};
 
 /// Result of an induction-method execution.
@@ -39,19 +41,77 @@ where
     TF: Fn(usize) -> bool + Sync,
     BF: Fn(usize, usize) + Sync,
 {
-    let l: Vec<AtomicUsize> = (0..pool.size()).map(|_| AtomicUsize::new(usize::MAX)).collect();
+    induction1_rec(pool, upper, &NoopRecorder, term, body)
+}
+
+/// [`induction1`] with observability: each claim, terminator-only
+/// evaluation (`TermTest`), executed body and the closing join are
+/// reported to `rec`. Terminator evaluations fused with a body are folded
+/// into the body's `IterExecuted` cost, mirroring the simulator's
+/// convention. With [`NoopRecorder`] — which is what [`induction1`]
+/// passes — every probe compiles away.
+pub fn induction1_rec<TF, BF, R>(
+    pool: &Pool,
+    upper: usize,
+    rec: &R,
+    term: TF,
+    body: BF,
+) -> InductionOutcome
+where
+    TF: Fn(usize) -> bool + Sync,
+    BF: Fn(usize, usize) + Sync,
+    R: Recorder,
+{
+    let l: Vec<AtomicUsize> = (0..pool.size())
+        .map(|_| AtomicUsize::new(usize::MAX))
+        .collect();
     let executed = AtomicU64::new(0);
     let out = doall_dynamic(pool, upper, |i, vpn| {
+        if R::ENABLED {
+            rec.record(
+                vpn,
+                Event::IterClaimed {
+                    iter: i as u64,
+                    cost: 0,
+                },
+            );
+        }
         if l[vpn].load(Ordering::Relaxed) > i {
+            let t0 = R::ENABLED.then(Instant::now);
             if term(i) {
                 l[vpn].store(i, Ordering::Relaxed);
+                if R::ENABLED {
+                    let cost = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    rec.record(
+                        vpn,
+                        Event::TermTest {
+                            iter: i as u64,
+                            cost,
+                        },
+                    );
+                }
             } else {
                 body(i, vpn);
                 executed.fetch_add(1, Ordering::Relaxed);
+                if R::ENABLED {
+                    let cost = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    rec.record(
+                        vpn,
+                        Event::IterExecuted {
+                            iter: i as u64,
+                            cost,
+                        },
+                    );
+                }
             }
         }
         Step::Continue
     });
+    if R::ENABLED {
+        for proc in 0..pool.size() {
+            rec.record(proc, Event::Barrier { cost: 0 });
+        }
+    }
     let minima: Vec<usize> = l.iter().map(|a| a.load(Ordering::Relaxed)).collect();
     let li = parallel_min(pool, &minima).filter(|&m| m != usize::MAX);
     InductionOutcome {
@@ -81,16 +141,71 @@ where
     TF: Fn(usize) -> bool + Sync,
     BF: Fn(usize, usize) + Sync,
 {
+    induction2_rec(pool, upper, &NoopRecorder, term, body)
+}
+
+/// [`induction2`] with observability: each claim, terminator-only
+/// evaluation, executed body, QUIT broadcast and the closing join are
+/// reported to `rec`. With [`NoopRecorder`] — which is what
+/// [`induction2`] passes — every probe compiles away.
+pub fn induction2_rec<TF, BF, R>(
+    pool: &Pool,
+    upper: usize,
+    rec: &R,
+    term: TF,
+    body: BF,
+) -> InductionOutcome
+where
+    TF: Fn(usize) -> bool + Sync,
+    BF: Fn(usize, usize) + Sync,
+    R: Recorder,
+{
     let executed = AtomicU64::new(0);
     let out = doall_dynamic(pool, upper, |i, vpn| {
+        if R::ENABLED {
+            rec.record(
+                vpn,
+                Event::IterClaimed {
+                    iter: i as u64,
+                    cost: 0,
+                },
+            );
+        }
+        let t0 = R::ENABLED.then(Instant::now);
         if term(i) {
+            if R::ENABLED {
+                let cost = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                rec.record(
+                    vpn,
+                    Event::TermTest {
+                        iter: i as u64,
+                        cost,
+                    },
+                );
+                rec.record(vpn, Event::Quit { iter: i as u64 });
+            }
             Step::Quit
         } else {
             body(i, vpn);
             executed.fetch_add(1, Ordering::Relaxed);
+            if R::ENABLED {
+                let cost = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                rec.record(
+                    vpn,
+                    Event::IterExecuted {
+                        iter: i as u64,
+                        cost,
+                    },
+                );
+            }
             Step::Continue
         }
     });
+    if R::ENABLED {
+        for proc in 0..pool.size() {
+            rec.record(proc, Event::Barrier { cost: 0 });
+        }
+    }
     InductionOutcome {
         last_valid: out.quit,
         executed: executed.load(Ordering::Relaxed),
@@ -142,9 +257,14 @@ mod tests {
     #[test]
     fn induction1_executes_every_valid_iteration() {
         let hits: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
-        let out = induction1(&pool(), 1000, |i| i >= 600, |i, _| {
-            hits[i].fetch_add(1, Ordering::Relaxed);
-        });
+        let out = induction1(
+            &pool(),
+            1000,
+            |i| i >= 600,
+            |i, _| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            },
+        );
         assert_eq!(out.last_valid, Some(600));
         for i in 0..600 {
             assert_eq!(hits[i].load(Ordering::Relaxed), 1, "iteration {i}");
@@ -174,9 +294,14 @@ mod tests {
     #[test]
     fn induction2_static_matches_semantics() {
         let hits: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
-        let out = induction2_static(&pool(), 1000, |i| i >= 300, |i, _| {
-            hits[i].fetch_add(1, Ordering::Relaxed);
-        });
+        let out = induction2_static(
+            &pool(),
+            1000,
+            |i| i >= 300,
+            |i, _| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            },
+        );
         let li = out.last_valid.unwrap();
         assert!((300..304).contains(&li));
         for i in 0..300 {

@@ -44,12 +44,15 @@ pub mod undo;
 pub use constructs::{run_twice_while, while_doacross, while_doall, while_doany};
 pub use cost::{CostModel, Decision};
 pub use dispatch::{AffineRecurrence, InductionDispatcher, ListDispatcher};
-pub use general::{general1, general2, general3, wu_lewis_distribution, GeneralConfig, GeneralOutcome};
-pub use induction::{induction1, induction2, InductionOutcome};
+pub use general::{
+    general1, general1_until_rec, general2, general3, general3_until_rec, wu_lewis_distribution,
+    GeneralConfig, GeneralOutcome,
+};
+pub use induction::{induction1, induction1_rec, induction2, induction2_rec, InductionOutcome};
 pub use speculate::{
     run_twice_speculative, speculative_while, speculative_while_group,
-    speculative_while_privatized, speculative_while_strips, speculative_while_windowed,
-    GroupAccess, SpecOutcome, SpeculativeArray, StripSpecOutcome,
+    speculative_while_privatized, speculative_while_rec, speculative_while_strips,
+    speculative_while_windowed, GroupAccess, SpecOutcome, SpeculativeArray, StripSpecOutcome,
 };
 pub use taxonomy::{classify, DispatcherClass, Parallelism, TaxonomyCell, TerminatorClass};
 pub use undo::VersionedArray;

@@ -25,6 +25,8 @@ use crate::undo::VersionedArray;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+use wlp_obs::{AbortReason, Event, NoopRecorder, Recorder};
 use wlp_pd::{copy_out_last_values, IterMarker, PdVerdict, Shadow, TrailSet};
 use wlp_runtime::{doall_dynamic, Pool, Step};
 
@@ -178,11 +180,59 @@ where
     TF: Fn(usize, &mut SpecAccess<'_, T>) -> bool + Sync,
     BF: Fn(usize, &mut SpecAccess<'_, T>) + Sync,
 {
+    speculative_while_rec(pool, upper, arr, &NoopRecorder, term, body)
+}
+
+/// [`speculative_while`] with observability: the checkpoint volume
+/// (`Backup`), each claim, terminator-only evaluation, executed body and
+/// QUIT, the PD analysis (`PdAnalyze`, via
+/// [`Shadow::analyze_rec`](wlp_pd::Shadow::analyze_rec)), every restore
+/// (`UndoRestore`) and the final `SpecCommit`/`SpecAbort` verdict are
+/// reported to `rec`. Sequential re-execution after an abort is *not*
+/// recorded as busy time: it happens on the calling thread and shows up
+/// as idle in the profile, exactly like the paper's serial fallback.
+/// With [`NoopRecorder`] — which is what [`speculative_while`] passes —
+/// every probe compiles away.
+pub fn speculative_while_rec<T, TF, BF, R>(
+    pool: &Pool,
+    upper: usize,
+    arr: &SpeculativeArray<T>,
+    rec: &R,
+    term: TF,
+    body: BF,
+) -> SpecOutcome
+where
+    T: Copy + Send + Sync,
+    TF: Fn(usize, &mut SpecAccess<'_, T>) -> bool + Sync,
+    BF: Fn(usize, &mut SpecAccess<'_, T>) + Sync,
+    R: Recorder,
+{
+    if R::ENABLED {
+        // the checkpoint copy happened when the array was built; charge
+        // its volume here so the report sees the backup side of Tb
+        rec.record(
+            0,
+            Event::Backup {
+                elems: arr.len() as u64,
+                cost: 0,
+            },
+        );
+    }
     let exception = AtomicBool::new(false);
     let executed = AtomicU64::new(0);
 
-    let out = doall_dynamic(pool, upper, |i, _vpn| {
+    let out = doall_dynamic(pool, upper, |i, vpn| {
+        if R::ENABLED {
+            rec.record(
+                vpn,
+                Event::IterClaimed {
+                    iter: i as u64,
+                    cost: 0,
+                },
+            );
+        }
         let mut acc = arr.access(i);
+        let t0 = R::ENABLED.then(Instant::now);
         let step = catch_unwind(AssertUnwindSafe(|| {
             if term(i, &mut acc) {
                 Step::Quit
@@ -193,9 +243,38 @@ where
             }
         }));
         match step {
-            Ok(s) => s,
+            Ok(Step::Quit) => {
+                if R::ENABLED {
+                    let cost = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    rec.record(
+                        vpn,
+                        Event::TermTest {
+                            iter: i as u64,
+                            cost,
+                        },
+                    );
+                    rec.record(vpn, Event::Quit { iter: i as u64 });
+                }
+                Step::Quit
+            }
+            Ok(s) => {
+                if R::ENABLED {
+                    let cost = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    rec.record(
+                        vpn,
+                        Event::IterExecuted {
+                            iter: i as u64,
+                            cost,
+                        },
+                    );
+                }
+                s
+            }
             Err(_) => {
                 exception.store(true, Ordering::Release);
+                if R::ENABLED {
+                    rec.record(vpn, Event::Quit { iter: i as u64 });
+                }
                 Step::Quit
             }
         }
@@ -205,7 +284,25 @@ where
     let last_valid = out.quit;
 
     if had_exception {
+        let u0 = R::ENABLED.then(Instant::now);
         arr.versioned.restore_all();
+        if R::ENABLED {
+            let cost = u0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            rec.record(
+                0,
+                Event::UndoRestore {
+                    elems: arr.len() as u64,
+                    cost,
+                },
+            );
+            rec.record(
+                0,
+                Event::SpecAbort {
+                    reason: AbortReason::Exception,
+                    discarded: executed.load(Ordering::Relaxed),
+                },
+            );
+        }
         let lv = run_sequential(upper, arr, &term, &body);
         return SpecOutcome {
             verdict: None,
@@ -218,10 +315,28 @@ where
         };
     }
 
-    let verdict = arr.shadow.analyze(pool, last_valid, 16);
+    let verdict = arr.shadow.analyze_rec(pool, last_valid, 16, rec);
     if !verdict.doall {
         // cross-iteration dependences: the parallel result is invalid
+        let u0 = R::ENABLED.then(Instant::now);
         arr.versioned.restore_all();
+        if R::ENABLED {
+            let cost = u0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            rec.record(
+                0,
+                Event::UndoRestore {
+                    elems: arr.len() as u64,
+                    cost,
+                },
+            );
+            rec.record(
+                0,
+                Event::SpecAbort {
+                    reason: AbortReason::Dependence,
+                    discarded: executed.load(Ordering::Relaxed),
+                },
+            );
+        }
         let lv = run_sequential(upper, arr, &term, &body);
         return SpecOutcome {
             verdict: Some(verdict),
@@ -235,10 +350,34 @@ where
     }
 
     // valid: undo only the overshot iterations
+    let u0 = R::ENABLED.then(Instant::now);
     let undone = match last_valid {
         Some(li) => arr.versioned.undo_past(li),
         None => 0,
     };
+    if R::ENABLED {
+        let cost = u0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        if undone > 0 {
+            rec.record(
+                0,
+                Event::UndoRestore {
+                    elems: undone as u64,
+                    cost,
+                },
+            );
+        }
+        // every iteration below the exit executed a body, so the kept
+        // share is exactly `last_valid` (or everything, with no exit)
+        let exec = executed.load(Ordering::Relaxed);
+        let committed = last_valid.map_or(exec, |li| (li as u64).min(exec));
+        rec.record(
+            0,
+            Event::SpecCommit {
+                committed,
+                undone: exec - committed,
+            },
+        );
+    }
     SpecOutcome {
         verdict: Some(verdict),
         committed_parallel: true,
@@ -682,8 +821,9 @@ where
     BF: Fn(usize, &mut PrivAccess<'_, T>) + Sync,
 {
     let p = pool.size();
-    let overlays: Vec<parking_lot::Mutex<HashMap<usize, T>>> =
-        (0..p).map(|_| parking_lot::Mutex::new(HashMap::new())).collect();
+    let overlays: Vec<parking_lot::Mutex<HashMap<usize, T>>> = (0..p)
+        .map(|_| parking_lot::Mutex::new(HashMap::new()))
+        .collect();
     let trail: TrailSet<T> = TrailSet::new(p);
     let exception = AtomicBool::new(false);
     let executed = AtomicU64::new(0);
@@ -819,7 +959,10 @@ mod tests {
         assert!(out.committed_parallel);
         assert!(!out.reexecuted_sequentially);
         assert_eq!(out.last_valid, Some(100));
-        assert_eq!(arr.snapshot(), (0..100).map(|x| 2 * x).collect::<Vec<i64>>());
+        assert_eq!(
+            arr.snapshot(),
+            (0..100).map(|x| 2 * x).collect::<Vec<i64>>()
+        );
     }
 
     #[test]
@@ -840,7 +983,10 @@ mod tests {
         );
         assert!(!out.committed_parallel);
         assert!(out.reexecuted_sequentially);
-        assert!(!out.verdict.unwrap().doall, "PD test must reject the recurrence");
+        assert!(
+            !out.verdict.unwrap().doall,
+            "PD test must reject the recurrence"
+        );
         // sequential semantics: A[i] = 1 + i (prefix sums of ones)
         let snap = arr.snapshot();
         for (i, v) in snap.iter().enumerate().take(n - 1) {
@@ -853,13 +999,7 @@ mod tests {
         // RV-style exit discovered at iteration 50; overshot iterations
         // write to disjoint cells and must be rolled back
         let arr = SpeculativeArray::new(vec![0i64; 1000]);
-        let out = speculative_while(
-            &pool(),
-            1000,
-            &arr,
-            |i, _| i == 50,
-            |i, a| a.write(i, 1),
-        );
+        let out = speculative_while(&pool(), 1000, &arr, |i, _| i == 50, |i, a| a.write(i, 1));
         assert!(out.committed_parallel);
         assert_eq!(out.last_valid, Some(50));
         let snap = arr.snapshot();
@@ -982,7 +1122,10 @@ mod tests {
             |i, a| a.write(i, i as i64),
         );
         assert_eq!(out.last_valid, Some(400));
-        assert!(out.strips_committed.iter().all(|&c| c), "all strips independent");
+        assert!(
+            out.strips_committed.iter().all(|&c| c),
+            "all strips independent"
+        );
         // strips 0..=6 ran (exit inside strip [384, 448)); nothing later
         assert_eq!(out.strips_committed.len(), 7);
         let snap = arr.snapshot();
@@ -1042,13 +1185,7 @@ mod tests {
     #[test]
     fn run_twice_speculative_avoids_overshoot_entirely() {
         let arr = SpeculativeArray::new(vec![0i64; 1000]);
-        let out = run_twice_speculative(
-            &pool(),
-            1000,
-            &arr,
-            |i| i == 250,
-            |i, a| a.write(i, 1),
-        );
+        let out = run_twice_speculative(&pool(), 1000, &arr, |i| i == 250, |i, a| a.write(i, 1));
         assert!(out.committed_parallel);
         assert_eq!(out.last_valid, Some(250));
         assert_eq!(out.undone, 0, "a known-range DOALL cannot overshoot");
@@ -1093,7 +1230,11 @@ mod tests {
         assert!(out.committed_parallel, "{:?}", out.verdict);
         assert_eq!(out.last_valid, Some(300));
         assert!(span <= 8, "span {span}");
-        assert!(out.undone <= 8, "undo bounded by the window: {}", out.undone);
+        assert!(
+            out.undone <= 8,
+            "undo bounded by the window: {}",
+            out.undone
+        );
         let snap = arr.snapshot();
         assert_eq!(snap.iter().filter(|&&v| v == 1).count(), 300);
     }
@@ -1187,15 +1328,71 @@ mod tests {
     }
 
     #[test]
+    fn recorded_speculation_reports_commit_and_abort() {
+        use wlp_obs::{BufferRecorder, ProfileReport};
+
+        // committing run with overshoot past the exit at 50
+        let arr = SpeculativeArray::new(vec![0i64; 500]);
+        let rec = BufferRecorder::new(4);
+        let out = speculative_while_rec(
+            &pool(),
+            500,
+            &arr,
+            &rec,
+            |i, _| i == 50,
+            |i, a| a.write(i, 1),
+        );
+        assert!(out.committed_parallel);
+        let report = ProfileReport::from_trace(&rec.finish());
+        assert_eq!(report.spec_commits, 1);
+        assert_eq!(report.spec_aborts, 0);
+        assert_eq!(report.committed, 50);
+        assert_eq!(report.backup_elems, 500);
+        assert_eq!(report.undo_elems, out.undone as u64);
+        assert!(report.pd_analyzed > 0, "analysis volume recorded");
+        assert_eq!(report.spec_success_rate(), Some(1.0));
+        report.check_conservation().expect("laws hold");
+
+        // dependence failure aborts and discards everything
+        let n = 64usize;
+        let arr = SpeculativeArray::new(vec![1i64; n + 1]);
+        let rec = BufferRecorder::new(4);
+        let out = speculative_while_rec(
+            &pool(),
+            n,
+            &arr,
+            &rec,
+            |i, _| i >= n,
+            |i, a| {
+                let left = a.read(i);
+                a.write(i + 1, left + 1);
+            },
+        );
+        assert!(out.reexecuted_sequentially);
+        let report = ProfileReport::from_trace(&rec.finish());
+        assert_eq!(report.spec_aborts, 1);
+        assert_eq!(report.committed, 0);
+        assert_eq!(report.undone, report.executed, "abort discards all bodies");
+        assert_eq!(report.undo_elems, (n + 1) as u64, "full restore volume");
+        report.check_conservation().expect("laws hold");
+    }
+
+    #[test]
     fn spec_array_commit_enables_reuse() {
         let mut arr = SpeculativeArray::new(vec![0i64; 10]);
         let out1 = speculative_while(&pool(), 10, &arr, |_, _| false, |i, a| a.write(i, 1));
         assert!(out1.committed_parallel);
         arr.commit();
-        let out2 = speculative_while(&pool(), 10, &arr, |_, _| false, |i, a| {
-            let v = a.read(i);
-            a.write(i, v + 1);
-        });
+        let out2 = speculative_while(
+            &pool(),
+            10,
+            &arr,
+            |_, _| false,
+            |i, a| {
+                let v = a.read(i);
+                a.write(i, v + 1);
+            },
+        );
         assert!(out2.committed_parallel);
         assert_eq!(arr.snapshot(), vec![2; 10]);
     }

@@ -33,7 +33,9 @@ impl StatsStamping {
             (0.0..=1.0).contains(&self.confidence),
             "confidence must be in [0, 1]"
         );
-        (self.confidence * self.estimated_iterations).floor().max(0.0) as usize
+        (self.confidence * self.estimated_iterations)
+            .floor()
+            .max(0.0) as usize
     }
 
     /// Whether iteration `i`'s writes need a time-stamp.
@@ -100,7 +102,9 @@ where
         let pt = &par_token;
         s.spawn(move || {
             par(pt);
-            if w.compare_exchange(NONE, PAR, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            if w.compare_exchange(NONE, PAR, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
                 st.cancel();
             }
         });

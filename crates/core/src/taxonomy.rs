@@ -117,19 +117,31 @@ mod tests {
     fn matches_paper_table1_ri_row() {
         assert_eq!(
             classify(MonotonicInduction, RemainderInvariant),
-            TaxonomyCell { can_overshoot: false, parallelism: Parallelism::Full }
+            TaxonomyCell {
+                can_overshoot: false,
+                parallelism: Parallelism::Full
+            }
         );
         assert_eq!(
             classify(Induction, RemainderInvariant),
-            TaxonomyCell { can_overshoot: true, parallelism: Parallelism::Full }
+            TaxonomyCell {
+                can_overshoot: true,
+                parallelism: Parallelism::Full
+            }
         );
         assert_eq!(
             classify(Associative, RemainderInvariant),
-            TaxonomyCell { can_overshoot: false, parallelism: Parallelism::ParallelPrefix }
+            TaxonomyCell {
+                can_overshoot: false,
+                parallelism: Parallelism::ParallelPrefix
+            }
         );
         assert_eq!(
             classify(General, RemainderInvariant),
-            TaxonomyCell { can_overshoot: false, parallelism: Parallelism::Sequential }
+            TaxonomyCell {
+                can_overshoot: false,
+                parallelism: Parallelism::Sequential
+            }
         );
     }
 
@@ -141,8 +153,14 @@ mod tests {
                 "every RV cell overshoots ({d:?})"
             );
         }
-        assert_eq!(classify(Associative, RemainderVariant).parallelism, Parallelism::ParallelPrefix);
-        assert_eq!(classify(General, RemainderVariant).parallelism, Parallelism::Sequential);
+        assert_eq!(
+            classify(Associative, RemainderVariant).parallelism,
+            Parallelism::ParallelPrefix
+        );
+        assert_eq!(
+            classify(General, RemainderVariant).parallelism,
+            Parallelism::Sequential
+        );
     }
 
     #[test]

@@ -86,10 +86,23 @@ fn subscript_overlap(s1: Subscript, s2: Subscript) -> Overlap {
                 Overlap::Never
             }
         }
-        (Affine { coeff: c1, offset: o1 }, Affine { coeff: c2, offset: o2 }) => {
+        (
+            Affine {
+                coeff: c1,
+                offset: o1,
+            },
+            Affine {
+                coeff: c2,
+                offset: o2,
+            },
+        ) => {
             // solve c1·i − c2·j = o2 − o1
             if c1 == 0 && c2 == 0 {
-                return if o1 == o2 { Overlap::CrossIteration } else { Overlap::Never };
+                return if o1 == o2 {
+                    Overlap::CrossIteration
+                } else {
+                    Overlap::Never
+                };
             }
             let g = gcd(c1, c2);
             if g == 0 || (o2 - o1) % g != 0 {
@@ -120,9 +133,7 @@ fn subscript_overlap(s1: Subscript, s2: Subscript) -> Overlap {
 
 fn refs_overlap(r1: &WRef, r2: &WRef) -> Option<Overlap> {
     match (r1, r2) {
-        (WRef::Scalar(a), WRef::Scalar(b)) => {
-            (a == b).then_some(Overlap::CrossIteration)
-        }
+        (WRef::Scalar(a), WRef::Scalar(b)) => (a == b).then_some(Overlap::CrossIteration),
         (WRef::Element(a1, s1), WRef::Element(a2, s2)) => {
             (a1 == a2).then(|| subscript_overlap(*s1, *s2))
         }
@@ -193,9 +204,9 @@ pub fn dep_graph(body: &LoopIr) -> DepGraph {
 impl DepGraph {
     /// Whether any loop-carried dependence exists among `stmts`.
     pub fn has_carried_within(&self, stmts: &[usize]) -> bool {
-        self.edges.iter().any(|e| {
-            e.loop_carried && stmts.contains(&e.from) && stmts.contains(&e.to)
-        })
+        self.edges
+            .iter()
+            .any(|e| e.loop_carried && stmts.contains(&e.from) && stmts.contains(&e.to))
     }
 
     /// Adjacency (both directions recorded as `from → to`) for SCC
@@ -212,12 +223,16 @@ impl DepGraph {
     /// loop-independent dashed; flow/anti/output colored) for inspection
     /// with `dot -Tsvg`.
     pub fn to_dot(&self) -> String {
-        let mut out = String::from("digraph deps {
+        let mut out = String::from(
+            "digraph deps {
   rankdir=TB;
-");
+",
+        );
         for s in 0..self.n {
-            out.push_str(&format!("  s{s} [label=\"S{s}\" shape=box];
-"));
+            out.push_str(&format!(
+                "  s{s} [label=\"S{s}\" shape=box];
+"
+            ));
         }
         for e in &self.edges {
             let color = match e.kind {
@@ -235,8 +250,10 @@ impl DepGraph {
                 if e.loop_carried { "*" } else { "" }
             ));
         }
-        out.push_str("}
-");
+        out.push_str(
+            "}
+",
+        );
         out
     }
 }
@@ -257,28 +274,52 @@ mod tests {
 
     #[test]
     fn identical_affine_subscripts_are_same_iteration_only() {
-        let s = Affine { coeff: 1, offset: 0 };
+        let s = Affine {
+            coeff: 1,
+            offset: 0,
+        };
         assert_eq!(subscript_overlap(s, s), Overlap::SameIterationOnly);
     }
 
     #[test]
     fn shifted_affine_subscripts_are_cross_iteration() {
-        let a = Affine { coeff: 1, offset: 0 };
-        let b = Affine { coeff: 1, offset: -1 };
+        let a = Affine {
+            coeff: 1,
+            offset: 0,
+        };
+        let b = Affine {
+            coeff: 1,
+            offset: -1,
+        };
         assert_eq!(subscript_overlap(a, b), Overlap::CrossIteration);
     }
 
     #[test]
     fn disjoint_strided_subscripts_never_overlap() {
         // 2i vs 2j+1: even vs odd cells
-        let even = Affine { coeff: 2, offset: 0 };
-        let odd = Affine { coeff: 2, offset: 1 };
+        let even = Affine {
+            coeff: 2,
+            offset: 0,
+        };
+        let odd = Affine {
+            coeff: 2,
+            offset: 1,
+        };
         assert_eq!(subscript_overlap(even, odd), Overlap::Never);
     }
 
     #[test]
     fn unknown_subscripts_conflict_conservatively() {
-        assert_eq!(subscript_overlap(Unknown, Affine { coeff: 1, offset: 0 }), Overlap::CrossIteration);
+        assert_eq!(
+            subscript_overlap(
+                Unknown,
+                Affine {
+                    coeff: 1,
+                    offset: 0
+                }
+            ),
+            Overlap::CrossIteration
+        );
     }
 
     #[test]
@@ -318,7 +359,10 @@ mod tests {
         l.push(Stmt::assign(vec![WRef::Scalar(x)], vec![]));
         l.push(Stmt::assign(vec![], vec![WRef::Scalar(x)]));
         let g = dep_graph(&l);
-        assert!(g.edges.iter().any(|e| e.from == 0 && e.to == 1 && e.kind == DepKind::Flow));
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 0 && e.to == 1 && e.kind == DepKind::Flow));
     }
 
     #[test]

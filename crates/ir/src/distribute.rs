@@ -82,7 +82,10 @@ pub struct FusedBlock {
 impl FusedBlock {
     /// All statement indices of the block.
     pub fn stmts(&self) -> Vec<usize> {
-        self.loops.iter().flat_map(|l| l.stmts.iter().copied()).collect()
+        self.loops
+            .iter()
+            .flat_map(|l| l.stmts.iter().copied())
+            .collect()
     }
 }
 
@@ -156,10 +159,16 @@ mod tests {
         let x = VarId(0);
         let y = VarId(1);
         let a = ArrayId(0);
-        let i = Subscript::Affine { coeff: 1, offset: 0 };
+        let i = Subscript::Affine {
+            coeff: 1,
+            offset: 0,
+        };
         let mut l = LoopIr::new();
         l.push(Stmt::update(x, UpdateOp::AddConst, vec![]));
-        l.push(Stmt::assign(vec![WRef::Element(a, i)], vec![WRef::Scalar(x)]));
+        l.push(Stmt::assign(
+            vec![WRef::Element(a, i)],
+            vec![WRef::Scalar(x)],
+        ));
         l.push(Stmt::update(y, UpdateOp::PointerChase, vec![]));
         l.push(Stmt::assign(
             vec![WRef::Element(ArrayId(1), i)],

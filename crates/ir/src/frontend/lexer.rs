@@ -94,18 +94,54 @@ pub fn lex(src: &str) -> Result<Vec<(usize, Token)>, LexError> {
                     i += 1;
                 }
             }
-            '(' => { out.push((i, Token::LParen)); i += 1; }
-            ')' => { out.push((i, Token::RParen)); i += 1; }
-            '[' => { out.push((i, Token::LBracket)); i += 1; }
-            ']' => { out.push((i, Token::RBracket)); i += 1; }
-            '{' => { out.push((i, Token::LBrace)); i += 1; }
-            '}' => { out.push((i, Token::RBrace)); i += 1; }
-            '+' => { out.push((i, Token::Plus)); i += 1; }
-            '-' => { out.push((i, Token::Minus)); i += 1; }
-            '*' => { out.push((i, Token::Star)); i += 1; }
-            '/' => { out.push((i, Token::Slash)); i += 1; }
-            ',' => { out.push((i, Token::Comma)); i += 1; }
-            ';' => { out.push((i, Token::Semi)); i += 1; }
+            '(' => {
+                out.push((i, Token::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Token::RParen));
+                i += 1;
+            }
+            '[' => {
+                out.push((i, Token::LBracket));
+                i += 1;
+            }
+            ']' => {
+                out.push((i, Token::RBracket));
+                i += 1;
+            }
+            '{' => {
+                out.push((i, Token::LBrace));
+                i += 1;
+            }
+            '}' => {
+                out.push((i, Token::RBrace));
+                i += 1;
+            }
+            '+' => {
+                out.push((i, Token::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push((i, Token::Minus));
+                i += 1;
+            }
+            '*' => {
+                out.push((i, Token::Star));
+                i += 1;
+            }
+            '/' => {
+                out.push((i, Token::Slash));
+                i += 1;
+            }
+            ',' => {
+                out.push((i, Token::Comma));
+                i += 1;
+            }
+            ';' => {
+                out.push((i, Token::Semi));
+                i += 1;
+            }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push((i, Token::Cmp(CmpOp::Le)));
@@ -209,8 +245,14 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("x // trailing\ny"), vec![Token::Ident("x".into()), Token::Ident("y".into())]);
-        assert_eq!(toks("x ! fortran\ny"), vec![Token::Ident("x".into()), Token::Ident("y".into())]);
+        assert_eq!(
+            toks("x // trailing\ny"),
+            vec![Token::Ident("x".into()), Token::Ident("y".into())]
+        );
+        assert_eq!(
+            toks("x ! fortran\ny"),
+            vec![Token::Ident("x".into()), Token::Ident("y".into())]
+        );
     }
 
     #[test]
@@ -240,11 +282,20 @@ mod tests {
     fn not_equal_beats_comment() {
         assert_eq!(
             toks("a != b"),
-            vec![Token::Ident("a".into()), Token::Cmp(CmpOp::Ne), Token::Ident("b".into())]
+            vec![
+                Token::Ident("a".into()),
+                Token::Cmp(CmpOp::Ne),
+                Token::Ident("b".into())
+            ]
         );
         // a bare `!` still comments to end of line
-        assert_eq!(toks("a !x != y
-b"), vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+        assert_eq!(
+            toks(
+                "a !x != y
+b"
+            ),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
     }
 
     #[test]

@@ -247,8 +247,10 @@ pub fn lower(p: &Program) -> Result<LoopIr, LowerError> {
                 match recurrence_shape(name, rhs) {
                     Some(op) => {
                         let v = lw.var(name);
-                        let extra: Vec<WRef> =
-                            reads.into_iter().filter(|r| *r != WRef::Scalar(v)).collect();
+                        let extra: Vec<WRef> = reads
+                            .into_iter()
+                            .filter(|r| *r != WRef::Scalar(v))
+                            .collect();
                         ir.push(IrStmt::update(v, op, extra));
                     }
                     None => {
@@ -329,9 +331,27 @@ mod tests {
         .unwrap();
         // A[i] write: affine coeff 1, offset 0; B write: coeff 2, offset 3
         let a_write = &ir.stmts[1].writes[0];
-        assert!(matches!(a_write, WRef::Element(_, Subscript::Affine { coeff: 1, offset: 0 })));
+        assert!(matches!(
+            a_write,
+            WRef::Element(
+                _,
+                Subscript::Affine {
+                    coeff: 1,
+                    offset: 0
+                }
+            )
+        ));
         let b_write = &ir.stmts[2].writes[0];
-        assert!(matches!(b_write, WRef::Element(_, Subscript::Affine { coeff: 2, offset: 3 })));
+        assert!(matches!(
+            b_write,
+            WRef::Element(
+                _,
+                Subscript::Affine {
+                    coeff: 2,
+                    offset: 3
+                }
+            )
+        ));
         let p = plan(&ir);
         assert_eq!(p.strategy, StrategyKind::InductionDoall);
         assert!(!p.needs_pd_test, "affine accesses are analyzable");
@@ -406,14 +426,19 @@ mod tests {
     #[test]
     fn general_self_update_is_other() {
         let ir = parse_loop("while (x < n) { x = f(x) }").unwrap();
-        assert!(matches!(ir.stmts[1].kind, StmtKind::Update(UpdateOp::Other)));
+        assert!(matches!(
+            ir.stmts[1].kind,
+            StmtKind::Update(UpdateOp::Other)
+        ));
     }
 
     #[test]
     fn linear_form_handles_nesting() {
         use super::super::parser::parse_program;
         let p = parse_program("while (q < 1) { y = 2 * (i + 3) - i }").unwrap();
-        let Stmt::AssignVar(_, rhs) = &p.body[0] else { panic!() };
+        let Stmt::AssignVar(_, rhs) = &p.body[0] else {
+            panic!()
+        };
         let (coeffs, k) = linear_form(rhs).unwrap();
         assert_eq!(coeffs.get("i"), Some(&1)); // 2i − i
         assert_eq!(k, 6);
@@ -423,7 +448,9 @@ mod tests {
     fn nonlinear_forms_are_rejected() {
         use super::super::parser::parse_program;
         let p = parse_program("while (q < 1) { y = i * i }").unwrap();
-        let Stmt::AssignVar(_, rhs) = &p.body[0] else { panic!() };
+        let Stmt::AssignVar(_, rhs) = &p.body[0] else {
+            panic!()
+        };
         assert!(linear_form(rhs).is_none());
     }
 }

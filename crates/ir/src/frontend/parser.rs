@@ -309,14 +309,20 @@ mod tests {
     #[test]
     fn precedence_is_standard() {
         let p = parse_program("while (x < 9) { x = 1 + 2 * 3 }").unwrap();
-        let Stmt::AssignVar(_, rhs) = &p.body[0] else { panic!() };
+        let Stmt::AssignVar(_, rhs) = &p.body[0] else {
+            panic!()
+        };
         // 1 + (2 * 3)
         assert_eq!(
             *rhs,
             Expr::Bin(
                 BinOp::Add,
                 Box::new(Expr::Int(1)),
-                Box::new(Expr::Bin(BinOp::Mul, Box::new(Expr::Int(2)), Box::new(Expr::Int(3)))),
+                Box::new(Expr::Bin(
+                    BinOp::Mul,
+                    Box::new(Expr::Int(2)),
+                    Box::new(Expr::Int(3))
+                )),
             )
         );
     }
@@ -324,7 +330,9 @@ mod tests {
     #[test]
     fn subscripted_subscripts_parse() {
         let p = parse_program("while (i < n) { A[idx[i]] = A[idx[i]] + 1; i = i + 1 }").unwrap();
-        let Stmt::AssignElem(arr, sub, _) = &p.body[0] else { panic!() };
+        let Stmt::AssignElem(arr, sub, _) = &p.body[0] else {
+            panic!()
+        };
         assert_eq!(arr, "A");
         assert!(matches!(sub, Expr::Index(b, _) if b == "idx"));
     }

@@ -98,25 +98,27 @@ struct DirectView<'a> {
 
 impl ArrayView for DirectView<'_> {
     fn read(&mut self, name: &str, idx: i64) -> Result<i64, ExecError> {
-        let arr = self
-            .arrays
-            .get(name)
-            .ok_or_else(|| ExecError { msg: format!("unknown array `{name}`") })?;
+        let arr = self.arrays.get(name).ok_or_else(|| ExecError {
+            msg: format!("unknown array `{name}`"),
+        })?;
         usize::try_from(idx)
             .ok()
             .and_then(|i| arr.get(i).copied())
-            .ok_or_else(|| ExecError { msg: format!("`{name}[{idx}]` out of bounds") })
+            .ok_or_else(|| ExecError {
+                msg: format!("`{name}[{idx}]` out of bounds"),
+            })
     }
 
     fn write(&mut self, name: &str, idx: i64, v: i64) -> Result<(), ExecError> {
-        let arr = self
-            .arrays
-            .get_mut(name)
-            .ok_or_else(|| ExecError { msg: format!("unknown array `{name}`") })?;
+        let arr = self.arrays.get_mut(name).ok_or_else(|| ExecError {
+            msg: format!("unknown array `{name}`"),
+        })?;
         let i = usize::try_from(idx)
             .ok()
             .filter(|&i| i < arr.len())
-            .ok_or_else(|| ExecError { msg: format!("`{name}[{idx}]` out of bounds") })?;
+            .ok_or_else(|| ExecError {
+                msg: format!("`{name}[{idx}]` out of bounds"),
+            })?;
         arr[i] = v;
         Ok(())
     }
@@ -130,26 +132,28 @@ struct SpecView<'a, 'b> {
 
 impl ArrayView for SpecView<'_, '_> {
     fn read(&mut self, name: &str, idx: i64) -> Result<i64, ExecError> {
-        let a = *self
-            .index_of
-            .get(name)
-            .ok_or_else(|| ExecError { msg: format!("unknown array `{name}`") })?;
+        let a = *self.index_of.get(name).ok_or_else(|| ExecError {
+            msg: format!("unknown array `{name}`"),
+        })?;
         let i = usize::try_from(idx)
             .ok()
             .filter(|&i| i < self.lens[name])
-            .ok_or_else(|| ExecError { msg: format!("`{name}[{idx}]` out of bounds") })?;
+            .ok_or_else(|| ExecError {
+                msg: format!("`{name}[{idx}]` out of bounds"),
+            })?;
         Ok(self.access.read(a, i))
     }
 
     fn write(&mut self, name: &str, idx: i64, v: i64) -> Result<(), ExecError> {
-        let a = *self
-            .index_of
-            .get(name)
-            .ok_or_else(|| ExecError { msg: format!("unknown array `{name}`") })?;
+        let a = *self.index_of.get(name).ok_or_else(|| ExecError {
+            msg: format!("unknown array `{name}`"),
+        })?;
         let i = usize::try_from(idx)
             .ok()
             .filter(|&i| i < self.lens[name])
-            .ok_or_else(|| ExecError { msg: format!("`{name}[{idx}]` out of bounds") })?;
+            .ok_or_else(|| ExecError {
+                msg: format!("`{name}[{idx}]` out of bounds"),
+            })?;
         self.access.write(a, i, v);
         Ok(())
     }
@@ -176,7 +180,9 @@ fn eval(
         Expr::Call(f, args) => {
             let func = funcs
                 .get(f)
-                .ok_or_else(|| ExecError { msg: format!("unknown function `{f}`") })?
+                .ok_or_else(|| ExecError {
+                    msg: format!("unknown function `{f}`"),
+                })?
                 .clone();
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
@@ -186,7 +192,10 @@ fn eval(
         }
         Expr::Neg(inner) => -eval(inner, scalars, funcs, view)?,
         Expr::Bin(op, a, b) => {
-            let (x, y) = (eval(a, scalars, funcs, view)?, eval(b, scalars, funcs, view)?);
+            let (x, y) = (
+                eval(a, scalars, funcs, view)?,
+                eval(b, scalars, funcs, view)?,
+            );
             match op {
                 BinOp::Add => x.wrapping_add(y),
                 BinOp::Sub => x.wrapping_sub(y),
@@ -200,7 +209,10 @@ fn eval(
             }
         }
         Expr::Cmp(op, a, b) => {
-            let (x, y) = (eval(a, scalars, funcs, view)?, eval(b, scalars, funcs, view)?);
+            let (x, y) = (
+                eval(a, scalars, funcs, view)?,
+                eval(b, scalars, funcs, view)?,
+            );
             i64::from(match op {
                 CmpOp::Lt => x < y,
                 CmpOp::Gt => x > y,
@@ -217,7 +229,9 @@ fn apply_decls(p: &Program, m: &mut Machine) -> Result<(), ExecError> {
     for Decl { name, init, .. } in &p.decls {
         let v = match init {
             Some(e) => {
-                let mut view = DirectView { arrays: &mut m.arrays };
+                let mut view = DirectView {
+                    arrays: &mut m.arrays,
+                };
                 eval(e, &m.scalars, &m.funcs, &mut view)?
             }
             None => 0,
@@ -238,18 +252,30 @@ pub fn run_sequential(
     let mut iterations = 0usize;
     for i in 0..max_iters {
         let cont = {
-            let mut view = DirectView { arrays: &mut machine.arrays };
+            let mut view = DirectView {
+                arrays: &mut machine.arrays,
+            };
             eval(&p.cond, &machine.scalars, &machine.funcs, &mut view)?
         };
         if cont == 0 {
-            return Ok(ExecOutcome { iterations, exited_at: Some(i), ran_parallel: false });
+            return Ok(ExecOutcome {
+                iterations,
+                exited_at: Some(i),
+                ran_parallel: false,
+            });
         }
         // canonical test-then-work: all exit tests at the iteration head
         for st in &p.body {
             if let Stmt::ExitIf(c) = st {
-                let mut view = DirectView { arrays: &mut machine.arrays };
+                let mut view = DirectView {
+                    arrays: &mut machine.arrays,
+                };
                 if eval(c, &machine.scalars, &machine.funcs, &mut view)? != 0 {
-                    return Ok(ExecOutcome { iterations, exited_at: Some(i), ran_parallel: false });
+                    return Ok(ExecOutcome {
+                        iterations,
+                        exited_at: Some(i),
+                        ran_parallel: false,
+                    });
                 }
             }
         }
@@ -258,13 +284,17 @@ pub fn run_sequential(
                 Stmt::ExitIf(_) => {}
                 Stmt::AssignVar(name, rhs) => {
                     let v = {
-                        let mut view = DirectView { arrays: &mut machine.arrays };
+                        let mut view = DirectView {
+                            arrays: &mut machine.arrays,
+                        };
                         eval(rhs, &machine.scalars, &machine.funcs, &mut view)?
                     };
                     machine.scalars.insert(name.clone(), v);
                 }
                 Stmt::AssignElem(arr, sub, rhs) => {
-                    let mut view = DirectView { arrays: &mut machine.arrays };
+                    let mut view = DirectView {
+                        arrays: &mut machine.arrays,
+                    };
                     let i = eval(sub, &machine.scalars, &machine.funcs, &mut view)?;
                     let v = eval(rhs, &machine.scalars, &machine.funcs, &mut view)?;
                     view.write(arr, i, v)?;
@@ -273,7 +303,11 @@ pub fn run_sequential(
         }
         iterations += 1;
     }
-    Ok(ExecOutcome { iterations, exited_at: None, ran_parallel: false })
+    Ok(ExecOutcome {
+        iterations,
+        exited_at: None,
+        ran_parallel: false,
+    })
 }
 
 /// The single induction variable a parallel interpretation needs:
@@ -373,10 +407,15 @@ pub fn run_parallel(
         v.sort();
         v
     };
-    let index_of: HashMap<String, usize> =
-        names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
-    let lens: HashMap<String, usize> =
-        names.iter().map(|n| (n.clone(), machine.arrays[n].len())).collect();
+    let index_of: HashMap<String, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i))
+        .collect();
+    let lens: HashMap<String, usize> = names
+        .iter()
+        .map(|n| (n.clone(), machine.arrays[n].len()))
+        .collect();
     let spec: Vec<SpeculativeArray<i64>> = names
         .iter()
         .map(|n| SpeculativeArray::new(machine.arrays[n].clone()))
@@ -398,7 +437,11 @@ pub fn run_parallel(
         &spec,
         |i, g| {
             let scalars = bind(i);
-            let mut view = SpecView { access: g, index_of: &index_of, lens: &lens };
+            let mut view = SpecView {
+                access: g,
+                index_of: &index_of,
+                lens: &lens,
+            };
             // while-condition failing, or any (head-hoisted) exit-if firing
             match eval(&p.cond, &scalars, &funcs, &mut view) {
                 Ok(0) => return true,
@@ -424,14 +467,17 @@ pub fn run_parallel(
         },
         |i, g| {
             let scalars = bind(i);
-            let mut view = SpecView { access: g, index_of: &index_of, lens: &lens };
+            let mut view = SpecView {
+                access: g,
+                index_of: &index_of,
+                lens: &lens,
+            };
             for st in &p.body {
                 if let Stmt::AssignElem(arr, sub, rhs) = st {
-                    let r = eval(sub, &scalars, &funcs, &mut view)
-                        .and_then(|idx| {
-                            let v = eval(rhs, &scalars, &funcs, &mut view)?;
-                            view.write(arr, idx, v)
-                        });
+                    let r = eval(sub, &scalars, &funcs, &mut view).and_then(|idx| {
+                        let v = eval(rhs, &scalars, &funcs, &mut view)?;
+                        view.write(arr, idx, v)
+                    });
                     if let Err(e) = r {
                         fail.lock().get_or_insert(e);
                         return;
@@ -501,7 +547,10 @@ mod tests {
         run_sequential(&p, &mut seq, 1000).unwrap();
         let mut par = machine_with(&[("A", (0..100).collect())]);
         let out = run_parallel(&p, &mut par, &pool(), 1000).unwrap();
-        assert!(out.ran_parallel, "an independent DO loop must commit in parallel");
+        assert!(
+            out.ran_parallel,
+            "an independent DO loop must commit in parallel"
+        );
         assert_eq!(par.arrays, seq.arrays);
         assert_eq!(par.scalars["i"], seq.scalars["i"]);
     }
@@ -520,7 +569,10 @@ mod tests {
         run_sequential(&p, &mut seq, 1000).unwrap();
         let mut par = build();
         let out = run_parallel(&p, &mut par, &pool(), 64).unwrap();
-        assert!(out.ran_parallel, "a permutation subscript passes the PD test");
+        assert!(
+            out.ran_parallel,
+            "a permutation subscript passes the PD test"
+        );
         assert_eq!(par.arrays["A"], seq.arrays["A"]);
     }
 

@@ -192,7 +192,10 @@ pub mod examples {
     /// Figure 5(a): `do i: if f(i) exit; A[i] = 2·A[i]` — independent.
     pub fn figure5a_independent() -> LoopIr {
         let a = ArrayId(0);
-        let i_affine = Subscript::Affine { coeff: 1, offset: 0 };
+        let i_affine = Subscript::Affine {
+            coeff: 1,
+            offset: 0,
+        };
         let mut l = LoopIr::new();
         l.push(Stmt::exit_test(vec![WRef::Element(a, i_affine)]));
         l.push(Stmt::assign(
@@ -208,10 +211,28 @@ pub mod examples {
         let mut l = LoopIr::new();
         l.push(Stmt::exit_test(vec![]));
         l.push(Stmt::assign(
-            vec![WRef::Element(a, Subscript::Affine { coeff: 1, offset: 0 })],
+            vec![WRef::Element(
+                a,
+                Subscript::Affine {
+                    coeff: 1,
+                    offset: 0,
+                },
+            )],
             vec![
-                WRef::Element(a, Subscript::Affine { coeff: 1, offset: 0 }),
-                WRef::Element(a, Subscript::Affine { coeff: 1, offset: -1 }),
+                WRef::Element(
+                    a,
+                    Subscript::Affine {
+                        coeff: 1,
+                        offset: 0,
+                    },
+                ),
+                WRef::Element(
+                    a,
+                    Subscript::Affine {
+                        coeff: 1,
+                        offset: -1,
+                    },
+                ),
             ],
         ));
         l
@@ -222,12 +243,18 @@ pub mod examples {
     pub fn track_style_unknown() -> LoopIr {
         let a = ArrayId(0);
         let idx = ArrayId(1);
-        let i_affine = Subscript::Affine { coeff: 1, offset: 0 };
+        let i_affine = Subscript::Affine {
+            coeff: 1,
+            offset: 0,
+        };
         let mut l = LoopIr::new();
         l.push(Stmt::exit_test(vec![WRef::Element(a, Subscript::Unknown)]));
         l.push(Stmt::assign(
             vec![WRef::Element(a, Subscript::Unknown)],
-            vec![WRef::Element(idx, i_affine), WRef::Element(a, Subscript::Unknown)],
+            vec![
+                WRef::Element(idx, i_affine),
+                WRef::Element(a, Subscript::Unknown),
+            ],
         ));
         l
     }

@@ -26,17 +26,17 @@
 //!   source → analysis → plan → parallel-execution pipeline.
 
 pub mod dependence;
+pub mod distribute;
 pub mod frontend;
 pub mod interp;
-pub mod distribute;
 pub mod ir;
 pub mod plan;
 pub mod scc;
 
 pub use dependence::{DepEdge, DepGraph, DepKind};
+pub use distribute::{distribute, fuse, DistributedLoop, FusedBlock, LoopNature};
 pub use frontend::parse_loop;
 pub use interp::{run_parallel, run_sequential, ExecOutcome, Machine};
-pub use distribute::{distribute, fuse, DistributedLoop, FusedBlock, LoopNature};
 pub use ir::{ArrayId, LoopIr, Stmt, StmtKind, Subscript, UpdateOp, VarId, WRef};
 pub use plan::{plan, Plan, StrategyKind};
 pub use scc::condense;

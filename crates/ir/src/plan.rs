@@ -156,7 +156,10 @@ mod tests {
         assert_eq!(p.dispatcher, DispatcherClass::General);
         assert_eq!(p.terminator, TerminatorClass::RemainderInvariant);
         assert_eq!(p.strategy, StrategyKind::General3);
-        assert!(!p.needs_undo, "RI null terminator: no backups (Table 2 SPICE row)");
+        assert!(
+            !p.needs_undo,
+            "RI null terminator: no backups (Table 2 SPICE row)"
+        );
         assert!(p.needs_pd_test, "the worked array is unanalyzable");
     }
 
@@ -190,7 +193,10 @@ mod tests {
         assert_eq!(p.strategy, StrategyKind::InductionDoall);
         assert!(p.needs_pd_test, "subscripted subscripts need the PD test");
         assert_eq!(p.terminator, TerminatorClass::RemainderVariant);
-        assert!(p.needs_undo, "RV: backups and time-stamps (Table 2 TRACK row)");
+        assert!(
+            p.needs_undo,
+            "RV: backups and time-stamps (Table 2 TRACK row)"
+        );
     }
 
     #[test]
@@ -201,7 +207,10 @@ mod tests {
             "dispatcher block + work block ⇒ DOACROSS schedulable"
         );
         let q = plan(&examples::figure5a_independent());
-        assert!(!q.doacross_opportunity, "a single parallel block has nothing to pipeline");
+        assert!(
+            !q.doacross_opportunity,
+            "a single parallel block has nothing to pipeline"
+        );
     }
 
     #[test]

@@ -90,9 +90,16 @@ impl<T> ListArena<T> {
             nodes[slots[logical] as usize] = Some(Node { value: v, next });
         }
         let head = if n > 0 { Some(NodeId(slots[0])) } else { None };
-        let tail = if n > 0 { Some(NodeId(slots[n - 1])) } else { None };
+        let tail = if n > 0 {
+            Some(NodeId(slots[n - 1]))
+        } else {
+            None
+        };
         ListArena {
-            nodes: nodes.into_iter().map(|n| n.expect("all slots filled")).collect(),
+            nodes: nodes
+                .into_iter()
+                .map(|n| n.expect("all slots filled"))
+                .collect(),
             head,
             tail,
             len: n,

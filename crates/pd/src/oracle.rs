@@ -33,10 +33,7 @@ pub enum Access {
 /// `iterations[i]` is iteration `i`'s access sequence in program order.
 /// `last_valid` restricts the analysis to iterations `0..=last_valid`
 /// (`None` = all iterations). Returns `(doall, privatized_doall)`.
-pub fn oracle_verdict(
-    iterations: &[Vec<Access>],
-    last_valid: Option<usize>,
-) -> (bool, bool) {
+pub fn oracle_verdict(iterations: &[Vec<Access>], last_valid: Option<usize>) -> (bool, bool) {
     let cut = last_valid.map_or(iterations.len(), |li| (li + 1).min(iterations.len()));
 
     // Per element: writing iterations and exposed-reading iterations.
@@ -139,11 +136,11 @@ mod tests {
             .map(|i| {
                 vec![
                     Read(2 * i),
-                    Write(100),        // tmp = A[2i]
+                    Write(100), // tmp = A[2i]
                     Read(2 * i - 1),
-                    Write(2 * i),      // A[2i] = A[2i-1]
+                    Write(2 * i), // A[2i] = A[2i-1]
                     Read(100),
-                    Write(2 * i - 1),  // A[2i-1] = tmp
+                    Write(2 * i - 1), // A[2i-1] = tmp
                 ]
             })
             .collect();

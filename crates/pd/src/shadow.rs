@@ -151,8 +151,12 @@ impl Shadow {
     /// Creates unmarked shadows for an array of `m` elements.
     pub fn new(m: usize) -> Self {
         Shadow {
-            w: (0..m).map(|_| AtomicU64::new(pack(UNMARKED, UNMARKED))).collect(),
-            r: (0..m).map(|_| AtomicU64::new(pack(UNMARKED, UNMARKED))).collect(),
+            w: (0..m)
+                .map(|_| AtomicU64::new(pack(UNMARKED, UNMARKED)))
+                .collect(),
+            r: (0..m)
+                .map(|_| AtomicU64::new(pack(UNMARKED, UNMARKED)))
+                .collect(),
             total_writes: AtomicU64::new(0),
             total_reads: AtomicU64::new(0),
         }
@@ -223,7 +227,12 @@ impl Shadow {
         let overshot_write = (w1 != UNMARKED && w1 > li) || (w2 != UNMARKED && w2 > li);
         let valid_access = w1 <= li || r1 <= li;
         let overshoot_hazard = overshot_write && valid_access;
-        (has_write, multi_write, exposed_outside_write, overshoot_hazard)
+        (
+            has_write,
+            multi_write,
+            exposed_outside_write,
+            overshoot_hazard,
+        )
     }
 
     /// Runs the post-execution analysis in parallel on `pool`.
@@ -233,6 +242,41 @@ impl Shadow {
     /// `max_conflicts` conflicting elements are reported (the verdict
     /// booleans always reflect *all* elements).
     pub fn analyze(
+        &self,
+        pool: &Pool,
+        last_valid: Option<usize>,
+        max_conflicts: usize,
+    ) -> PdVerdict {
+        self.analyze_rec(pool, last_valid, max_conflicts, &wlp_obs::NoopRecorder)
+    }
+
+    /// [`Shadow::analyze`] with observability: the analysis is reported to
+    /// `rec` as one `PdAnalyze` event carrying the marked access count and
+    /// the measured analysis time (`Ta`). With [`wlp_obs::NoopRecorder`] —
+    /// which is what [`Shadow::analyze`] passes — the probe compiles away.
+    pub fn analyze_rec<R: wlp_obs::Recorder>(
+        &self,
+        pool: &Pool,
+        last_valid: Option<usize>,
+        max_conflicts: usize,
+        rec: &R,
+    ) -> PdVerdict {
+        let t0 = R::ENABLED.then(std::time::Instant::now);
+        let verdict = self.analyze_inner(pool, last_valid, max_conflicts);
+        if R::ENABLED {
+            let cost = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            rec.record(
+                0,
+                wlp_obs::Event::PdAnalyze {
+                    accesses: self.total_accesses(),
+                    cost,
+                },
+            );
+        }
+        verdict
+    }
+
+    fn analyze_inner(
         &self,
         pool: &Pool,
         last_valid: Option<usize>,
@@ -394,7 +438,13 @@ mod tests {
         let v = sh.analyze(&pool(), None, 8);
         assert!(!v.doall);
         assert!(!v.privatized_doall);
-        assert_eq!(v.conflicts, vec![Conflict { element: 2, kind: ConflictKind::FlowOrAnti }]);
+        assert_eq!(
+            v.conflicts,
+            vec![Conflict {
+                element: 2,
+                kind: ConflictKind::FlowOrAnti
+            }]
+        );
     }
 
     #[test]
@@ -532,7 +582,10 @@ mod tests {
         sh.iteration(4).mark_write(1); // second writer
         let v = sh.analyze(&pool(), None, 8);
         assert!(!v.doall); // output dep
-        assert!(v.privatized_doall, "covered read must not block privatization");
+        assert!(
+            v.privatized_doall,
+            "covered read must not block privatization"
+        );
     }
 
     #[test]

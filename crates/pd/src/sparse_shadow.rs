@@ -60,7 +60,9 @@ impl SparseShadow {
     /// Creates a shadow with `shards` lock shards (rounded up to 1).
     pub fn new(shards: usize) -> Self {
         SparseShadow {
-            shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -119,8 +121,7 @@ impl SparseShadow {
                 } else {
                     r1 != w1 || r2 <= li
                 };
-                let overshot_write =
-                    (w1 != UNMARKED && w1 > li) || (w2 != UNMARKED && w2 > li);
+                let overshot_write = (w1 != UNMARKED && w1 > li) || (w2 != UNMARKED && w2 > li);
                 let hazard = overshot_write && (w1 <= li || r1 <= li);
                 let push = |kind: ConflictKind, v: &mut PdVerdict| {
                     if v.conflicts.len() < max_conflicts {
@@ -163,11 +164,18 @@ impl SparseMarker<'_> {
         if self.written.contains(&e) {
             return; // covered
         }
-        let mut shard = self.shadow.shard(e).lock().unwrap_or_else(|p| p.into_inner());
+        let mut shard = self
+            .shadow
+            .shard(e)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         match shard.entry(e) {
             Entry::Occupied(mut o) => o.get_mut().r.insert(self.iter),
             Entry::Vacant(v) => {
-                let mut m = Marks { w: Pair::EMPTY, r: Pair::EMPTY };
+                let mut m = Marks {
+                    w: Pair::EMPTY,
+                    r: Pair::EMPTY,
+                };
                 m.r.insert(self.iter);
                 v.insert(m);
             }
@@ -179,11 +187,18 @@ impl SparseMarker<'_> {
         if !self.written.insert(e) {
             return; // already recorded this iteration
         }
-        let mut shard = self.shadow.shard(e).lock().unwrap_or_else(|p| p.into_inner());
+        let mut shard = self
+            .shadow
+            .shard(e)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         match shard.entry(e) {
             Entry::Occupied(mut o) => o.get_mut().w.insert(self.iter),
             Entry::Vacant(v) => {
-                let mut m = Marks { w: Pair::EMPTY, r: Pair::EMPTY };
+                let mut m = Marks {
+                    w: Pair::EMPTY,
+                    r: Pair::EMPTY,
+                };
                 m.w.insert(self.iter);
                 v.insert(m);
             }

@@ -37,7 +37,9 @@ impl<T: Copy> TrailSet<T> {
     /// Creates trails for `workers` workers.
     pub fn new(workers: usize) -> Self {
         TrailSet {
-            shards: (0..workers).map(|_| std::sync::Mutex::new(Vec::new())).collect(),
+            shards: (0..workers)
+                .map(|_| std::sync::Mutex::new(Vec::new()))
+                .collect(),
         }
     }
 
@@ -47,7 +49,11 @@ impl<T: Copy> TrailSet<T> {
         self.shards[vpn]
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push(TrailEvent { iter, element, value });
+            .push(TrailEvent {
+                iter,
+                element,
+                value,
+            });
     }
 
     /// Total recorded events.
@@ -119,10 +125,26 @@ mod tests {
     #[test]
     fn copy_out_picks_latest_valid_stamp() {
         let events = vec![
-            TrailEvent { iter: 0, element: 0, value: 10 },
-            TrailEvent { iter: 3, element: 0, value: 30 },
-            TrailEvent { iter: 7, element: 0, value: 70 }, // overshot
-            TrailEvent { iter: 2, element: 1, value: 21 },
+            TrailEvent {
+                iter: 0,
+                element: 0,
+                value: 10,
+            },
+            TrailEvent {
+                iter: 3,
+                element: 0,
+                value: 30,
+            },
+            TrailEvent {
+                iter: 7,
+                element: 0,
+                value: 70,
+            }, // overshot
+            TrailEvent {
+                iter: 2,
+                element: 1,
+                value: 21,
+            },
         ];
         let mut dest = vec![-1; 3];
         let copied = copy_out_last_values(&events, 5, &mut dest);
@@ -133,8 +155,16 @@ mod tests {
     #[test]
     fn same_iteration_later_write_wins() {
         let events = vec![
-            TrailEvent { iter: 4, element: 0, value: 1 },
-            TrailEvent { iter: 4, element: 0, value: 2 },
+            TrailEvent {
+                iter: 4,
+                element: 0,
+                value: 1,
+            },
+            TrailEvent {
+                iter: 4,
+                element: 0,
+                value: 2,
+            },
         ];
         let mut dest = vec![0];
         copy_out_last_values(&events, 10, &mut dest);
@@ -143,7 +173,11 @@ mod tests {
 
     #[test]
     fn untouched_elements_keep_backup_value() {
-        let events: Vec<TrailEvent<i32>> = vec![TrailEvent { iter: 9, element: 1, value: 5 }];
+        let events: Vec<TrailEvent<i32>> = vec![TrailEvent {
+            iter: 9,
+            element: 1,
+            value: 5,
+        }];
         let mut dest = vec![100, 200];
         let copied = copy_out_last_values(&events, 3, &mut dest);
         assert_eq!(dest, vec![100, 200], "all events overshot");

@@ -16,11 +16,7 @@ fn iterations_strategy(m: usize) -> impl Strategy<Value = Vec<Vec<Access>>> {
     prop::collection::vec(prop::collection::vec(access_strategy(m), 0..6), 0..12)
 }
 
-fn shadow_verdict(
-    iterations: &[Vec<Access>],
-    last_valid: Option<usize>,
-    m: usize,
-) -> (bool, bool) {
+fn shadow_verdict(iterations: &[Vec<Access>], last_valid: Option<usize>, m: usize) -> (bool, bool) {
     let sh = Shadow::new(m);
     for (i, accs) in iterations.iter().enumerate() {
         let mut marker = sh.iteration(i);
@@ -90,10 +86,7 @@ proptest! {
 
 /// The sparse shadow must agree with the dense shadow (and hence the
 /// oracle) on every pattern and cut.
-fn sparse_verdict(
-    iterations: &[Vec<Access>],
-    last_valid: Option<usize>,
-) -> (bool, bool) {
+fn sparse_verdict(iterations: &[Vec<Access>], last_valid: Option<usize>) -> (bool, bool) {
     let sh = wlp_pd::SparseShadow::new(4);
     for (i, accs) in iterations.iter().enumerate() {
         let mut marker = sh.iteration(i);

@@ -70,6 +70,24 @@ pub fn doacross<F>(pool: &Pool, upper: usize, stages: usize, body: F)
 where
     F: Fn(usize, usize) + Sync,
 {
+    doacross_rec(pool, upper, stages, &wlp_obs::NoopRecorder, body)
+}
+
+/// [`doacross`] with observability: each claim, wavefront stall (recorded
+/// as a `LockWait`) and completed iteration is reported to `rec`. With
+/// [`wlp_obs::NoopRecorder`] — which is what [`doacross`] passes — every
+/// probe compiles away.
+///
+/// # Panics
+/// Panics if `stages == 0`.
+pub fn doacross_rec<R, F>(pool: &Pool, upper: usize, stages: usize, rec: &R, body: F)
+where
+    R: wlp_obs::Recorder,
+    F: Fn(usize, usize) + Sync,
+{
+    use std::time::Instant;
+    use wlp_obs::Event;
+
     assert!(stages > 0, "need at least one stage");
     if upper == 0 {
         return;
@@ -77,17 +95,50 @@ where
     let wave = Wavefront::new(upper);
     let claim = AtomicUsize::new(0);
 
-    pool.run(|_vpn| loop {
-        let i = claim.fetch_add(1, Ordering::Relaxed);
-        if i >= upper {
-            break;
-        }
-        for s in 0..stages {
-            if i > 0 {
-                wave.wait_for(i - 1, s);
+    pool.run(|vpn| {
+        loop {
+            let i = claim.fetch_add(1, Ordering::Relaxed);
+            if i >= upper {
+                break;
             }
-            body(i, s);
-            wave.post(i, s);
+            if R::ENABLED {
+                rec.record(
+                    vpn,
+                    Event::IterClaimed {
+                        iter: i as u64,
+                        cost: 0,
+                    },
+                );
+            }
+            let t0 = R::ENABLED.then(Instant::now);
+            let mut waited = 0u64;
+            for s in 0..stages {
+                if i > 0 {
+                    let w0 = R::ENABLED.then(Instant::now);
+                    wave.wait_for(i - 1, s);
+                    if let Some(w) = w0 {
+                        waited += w.elapsed().as_nanos() as u64;
+                    }
+                }
+                body(i, s);
+                wave.post(i, s);
+            }
+            if R::ENABLED {
+                let total = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                if waited > 0 {
+                    rec.record(vpn, Event::LockWait { dur: waited });
+                }
+                rec.record(
+                    vpn,
+                    Event::IterExecuted {
+                        iter: i as u64,
+                        cost: total.saturating_sub(waited),
+                    },
+                );
+            }
+        }
+        if R::ENABLED {
+            rec.record(vpn, Event::Barrier { cost: 0 });
         }
     });
 }
@@ -105,7 +156,11 @@ mod tests {
         let xs: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         let pool = Pool::new(4);
         doacross(&pool, n, 1, |i, _| {
-            let prev = if i == 0 { 0 } else { xs[i - 1].load(Ordering::Acquire) };
+            let prev = if i == 0 {
+                0
+            } else {
+                xs[i - 1].load(Ordering::Acquire)
+            };
             xs[i].store(prev + i as u64, Ordering::Release);
         });
         let mut expect = 0u64;
@@ -125,7 +180,11 @@ mod tests {
         let pool = Pool::new(4);
         doacross(&pool, n, 2, |i, s| match s {
             0 => {
-                let prev = if i == 0 { 1 } else { a[i - 1].load(Ordering::Acquire) };
+                let prev = if i == 0 {
+                    1
+                } else {
+                    a[i - 1].load(Ordering::Acquire)
+                };
                 a[i].store(prev.wrapping_mul(3) % 1_000_003, Ordering::Release);
             }
             _ => {

@@ -23,6 +23,8 @@
 
 use crate::pool::Pool;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+use wlp_obs::{Event, NoopRecorder, Recorder};
 
 /// What the loop body tells the scheduler after an iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +88,21 @@ pub fn doall_dynamic<F>(pool: &Pool, upper: usize, body: F) -> DoallOutcome
 where
     F: Fn(usize, usize) -> Step + Sync,
 {
+    doall_dynamic_rec(pool, upper, &NoopRecorder, body)
+}
+
+/// [`doall_dynamic`] with observability: each claim, body execution, QUIT
+/// broadcast and end-of-loop join is reported to `rec`.
+///
+/// Probes are guarded by `R::ENABLED`, an associated constant, so calling
+/// this with [`NoopRecorder`] — which is exactly what [`doall_dynamic`]
+/// does — monomorphizes to the uninstrumented loop: no clock reads, no
+/// branches, no recording.
+pub fn doall_dynamic_rec<R, F>(pool: &Pool, upper: usize, rec: &R, body: F) -> DoallOutcome
+where
+    R: Recorder,
+    F: Fn(usize, usize) -> Step + Sync,
+{
     let claim = AtomicUsize::new(0);
     let quit = QuitCell::new();
     let max_started = AtomicUsize::new(0);
@@ -99,11 +116,39 @@ where
             if i >= upper || i > quit.bound() {
                 break;
             }
+            if R::ENABLED {
+                rec.record(
+                    vpn,
+                    Event::IterClaimed {
+                        iter: i as u64,
+                        cost: 0,
+                    },
+                );
+            }
             local_max = i + 1;
             local_exec += 1;
-            if let Step::Quit = body(i, vpn) {
-                quit.quit_at(i);
+            let t0 = R::ENABLED.then(Instant::now);
+            let step = body(i, vpn);
+            if R::ENABLED {
+                let cost = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                rec.record(
+                    vpn,
+                    Event::IterExecuted {
+                        iter: i as u64,
+                        cost,
+                    },
+                );
             }
+            if let Step::Quit = step {
+                quit.quit_at(i);
+                if R::ENABLED {
+                    rec.record(vpn, Event::Quit { iter: i as u64 });
+                }
+            }
+        }
+        if R::ENABLED {
+            // each worker leaves the loop through the closing join
+            rec.record(vpn, Event::Barrier { cost: 0 });
         }
         executed.fetch_add(local_exec, Ordering::Relaxed);
         max_started.fetch_max(local_max, Ordering::Relaxed);
@@ -195,7 +240,9 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;
 
-    fn mark_all(doall: impl Fn(&Pool, usize, &(dyn Fn(usize, usize) -> Step + Sync)) -> DoallOutcome) {
+    fn mark_all(
+        doall: impl Fn(&Pool, usize, &(dyn Fn(usize, usize) -> Step + Sync)) -> DoallOutcome,
+    ) {
         let pool = Pool::new(4);
         let hits: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
         let out = doall(&pool, 100, &|i, _| {
@@ -325,6 +372,34 @@ mod tests {
             }
         });
         assert_eq!(out.quit, Some(70));
+    }
+
+    #[test]
+    fn recorded_doall_reports_claims_bodies_and_quit() {
+        let pool = Pool::new(4);
+        let rec = wlp_obs::BufferRecorder::new(4);
+        let out = doall_dynamic_rec(&pool, 1000, &rec, |i, _| {
+            if i == 100 {
+                Step::Quit
+            } else {
+                Step::Continue
+            }
+        });
+        let trace = rec.finish();
+        let count = |f: &dyn Fn(&Event) -> bool| {
+            trace.samples.iter().filter(|s| f(&s.event)).count() as u64
+        };
+        assert_eq!(
+            count(&|e| matches!(e, Event::IterClaimed { .. })),
+            out.executed
+        );
+        assert_eq!(
+            count(&|e| matches!(e, Event::IterExecuted { .. })),
+            out.executed
+        );
+        assert_eq!(count(&|e| matches!(e, Event::Quit { iter: 100 })), 1);
+        assert_eq!(count(&|e| matches!(e, Event::Barrier { .. })), 4);
+        assert!(trace.makespan > 0);
     }
 
     #[test]

@@ -35,10 +35,12 @@ pub mod strip;
 pub mod window;
 
 pub use barrier::CentralBarrier;
-pub use doacross::doacross;
-pub use doall::{doall_dynamic, doall_static_blocked, doall_static_cyclic, DoallOutcome, Step};
+pub use doacross::{doacross, doacross_rec};
+pub use doall::{
+    doall_dynamic, doall_dynamic_rec, doall_static_blocked, doall_static_cyclic, DoallOutcome, Step,
+};
 pub use pool::Pool;
 pub use reduce::{parallel_fold, parallel_min, parallel_min_index};
 pub use scan::{geometric_recurrence_terms, linear_recurrence_terms, parallel_scan_inclusive};
-pub use strip::strip_mined;
-pub use window::{doall_windowed, WindowController, WindowScheduler};
+pub use strip::{strip_mined, strip_mined_rec};
+pub use window::{doall_windowed, doall_windowed_rec, WindowController, WindowScheduler};

@@ -85,7 +85,9 @@ impl Pool {
                 h.join().expect("worker panicked");
             }
         });
-        out.into_iter().map(|v| v.expect("worker filled slot")).collect()
+        out.into_iter()
+            .map(|v| v.expect("worker filled slot"))
+            .collect()
     }
 
     /// Splits `0..n` into `p` contiguous blocks, returning `(lo, hi)` for
@@ -153,10 +155,12 @@ mod tests {
     #[test]
     fn block_sizes_differ_by_at_most_one() {
         let pool = Pool::new(3);
-        let sizes: Vec<usize> = (0..3).map(|v| {
-            let (lo, hi) = pool.block(v, 10);
-            hi - lo
-        }).collect();
+        let sizes: Vec<usize> = (0..3)
+            .map(|v| {
+                let (lo, hi) = pool.block(v, 10);
+                hi - lo
+            })
+            .collect();
         assert_eq!(sizes.iter().sum::<usize>(), 10);
         assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
     }

@@ -34,10 +34,12 @@ pub fn parallel_min<T: Ord + Copy + Send + Sync>(pool: &Pool, xs: &[T]) -> Optio
         pool,
         xs.len(),
         None,
-        |acc: Option<T>, i| Some(match acc {
-            Some(m) => m.min(xs[i]),
-            None => xs[i],
-        }),
+        |acc: Option<T>, i| {
+            Some(match acc {
+                Some(m) => m.min(xs[i]),
+                None => xs[i],
+            })
+        },
         |a, b| match (a, b) {
             (Some(x), Some(y)) => Some(x.min(y)),
             (x, None) => x,
@@ -107,7 +109,9 @@ mod tests {
     #[test]
     fn min_index_matches_sequential_on_random_data() {
         let pool = Pool::new(8);
-        let xs: Vec<u32> = (0..997).map(|i| (i * 2654435761u64 % 4096) as u32).collect();
+        let xs: Vec<u32> = (0..997)
+            .map(|i| (i * 2654435761u64 % 4096) as u32)
+            .collect();
         let seq = xs
             .iter()
             .enumerate()

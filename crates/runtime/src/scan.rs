@@ -140,7 +140,10 @@ pub fn linear_recurrence_terms(pool: &Pool, x0: f64, a: f64, b: f64, n: usize) -
 /// # Panics
 /// Panics if `x0 <= 0` or `a <= 0` (the log transform needs positivity).
 pub fn geometric_recurrence_terms(pool: &Pool, x0: f64, a: f64, b: f64, n: usize) -> Vec<f64> {
-    assert!(x0 > 0.0 && a > 0.0, "log transform requires positive x0 and a");
+    assert!(
+        x0 > 0.0 && a > 0.0,
+        "log transform requires positive x0 and a"
+    );
     linear_recurrence_terms(pool, x0.ln(), b, a.ln(), n)
         .into_iter()
         .map(f64::exp)
@@ -155,13 +158,7 @@ pub fn geometric_recurrence_terms(pool: &Pool, x0: f64, a: f64, b: f64, n: usize
 ///
 /// # Panics
 /// Panics if `seeds` is empty.
-pub fn strided_recurrence_terms(
-    pool: &Pool,
-    seeds: &[f64],
-    a: f64,
-    b: f64,
-    n: usize,
-) -> Vec<f64> {
+pub fn strided_recurrence_terms(pool: &Pool, seeds: &[f64], a: f64, b: f64, n: usize) -> Vec<f64> {
     let k = seeds.len();
     assert!(k > 0, "stride k must be positive");
     let mut out = vec![0.0; n];

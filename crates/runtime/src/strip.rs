@@ -8,8 +8,9 @@
 //! `strips_run` count lets the cost model and the ablation benchmarks charge
 //! for exactly that.
 
-use crate::doall::{doall_dynamic, DoallOutcome, Step};
+use crate::doall::{doall_dynamic_rec, DoallOutcome, Step};
 use crate::pool::Pool;
+use wlp_obs::{NoopRecorder, Recorder};
 
 /// Result of a strip-mined loop execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +19,43 @@ pub struct StripOutcome {
     pub outcome: DoallOutcome,
     /// Number of strips executed (= number of barrier episodes).
     pub strips_run: usize,
+}
+
+/// Re-bases the per-strip iteration indices a nested DOALL records onto
+/// the global iteration space of the strip-mined loop.
+struct ShiftedRecorder<'a, R> {
+    rec: &'a R,
+    offset: u64,
+}
+
+impl<R: Recorder> Recorder for ShiftedRecorder<'_, R> {
+    const ENABLED: bool = R::ENABLED;
+
+    fn record(&self, proc: usize, event: wlp_obs::Event) {
+        use wlp_obs::Event::*;
+        let event = match event {
+            IterClaimed { iter, cost } => IterClaimed {
+                iter: iter + self.offset,
+                cost,
+            },
+            IterExecuted { iter, cost } => IterExecuted {
+                iter: iter + self.offset,
+                cost,
+            },
+            TermTest { iter, cost } => TermTest {
+                iter: iter + self.offset,
+                cost,
+            },
+            IterUndone { iter } => IterUndone {
+                iter: iter + self.offset,
+            },
+            Quit { iter } => Quit {
+                iter: iter + self.offset,
+            },
+            other => other,
+        };
+        self.rec.record(proc, event);
+    }
 }
 
 /// Executes `0..upper` in strips of `strip` iterations. Each strip is a
@@ -33,6 +71,30 @@ pub fn strip_mined<F>(pool: &Pool, upper: usize, strip: usize, body: F) -> Strip
 where
     F: Fn(usize, usize) -> Step + Sync,
 {
+    strip_mined_rec(pool, upper, strip, &NoopRecorder, body)
+}
+
+/// [`strip_mined`] with observability: each strip is a recorded DOALL
+/// (claims, bodies, QUITs, the closing barrier of every strip — one
+/// barrier event per worker per strip, mirroring the barrier count in
+/// `strips_run`). With [`NoopRecorder`] every probe compiles away.
+///
+/// Iteration indices in recorded events are *global* (the strip offset is
+/// applied before recording), so traces line up with the simulator's.
+///
+/// # Panics
+/// Panics if `strip == 0`.
+pub fn strip_mined_rec<R, F>(
+    pool: &Pool,
+    upper: usize,
+    strip: usize,
+    rec: &R,
+    body: F,
+) -> StripOutcome
+where
+    R: Recorder,
+    F: Fn(usize, usize) -> Step + Sync,
+{
     assert!(strip > 0, "strip size must be positive");
     let mut executed = 0u64;
     let mut max_started = 0usize;
@@ -42,7 +104,11 @@ where
     let mut lo = 0usize;
     while lo < upper {
         let hi = (lo + strip).min(upper);
-        let out = doall_dynamic(pool, hi - lo, |local, vpn| body(lo + local, vpn));
+        let shifted = ShiftedRecorder {
+            rec,
+            offset: lo as u64,
+        };
+        let out = doall_dynamic_rec(pool, hi - lo, &shifted, |local, vpn| body(lo + local, vpn));
         strips_run += 1;
         executed += out.executed;
         max_started = max_started.max(lo + out.max_started);

@@ -191,28 +191,87 @@ impl WindowController {
 /// [`doall_dynamic`](crate::doall::doall_dynamic) but the span of in-flight
 /// iterations never exceeds `window`. Returns the outcome plus the maximum
 /// span actually observed.
-pub fn doall_windowed<F>(
-    pool: &Pool,
-    upper: usize,
-    window: usize,
-    body: F,
-) -> (DoallOutcome, usize)
+pub fn doall_windowed<F>(pool: &Pool, upper: usize, window: usize, body: F) -> (DoallOutcome, usize)
 where
     F: Fn(usize, usize) -> Step + Sync,
 {
+    doall_windowed_rec(pool, upper, window, &wlp_obs::NoopRecorder, body)
+}
+
+/// [`doall_windowed`] with observability: reports the initial window size,
+/// each claim (time blocked on window admission becomes a `LockWait`),
+/// body execution, QUIT broadcast and end-of-loop join to `rec`. With
+/// [`wlp_obs::NoopRecorder`] — which is what [`doall_windowed`] passes —
+/// every probe compiles away.
+pub fn doall_windowed_rec<R, F>(
+    pool: &Pool,
+    upper: usize,
+    window: usize,
+    rec: &R,
+    body: F,
+) -> (DoallOutcome, usize)
+where
+    R: wlp_obs::Recorder,
+    F: Fn(usize, usize) -> Step + Sync,
+{
+    use std::time::Instant;
+    use wlp_obs::Event;
+
     let sched = WindowScheduler::new(upper, window);
     let executed = std::sync::atomic::AtomicU64::new(0);
     let max_started = std::sync::atomic::AtomicUsize::new(0);
+    if R::ENABLED {
+        rec.record(
+            0,
+            Event::WindowResize {
+                window: window as u64,
+            },
+        );
+    }
     pool.run(|vpn| {
         let mut local_exec = 0u64;
         let mut local_max = 0usize;
-        while let Some(i) = sched.claim() {
+        loop {
+            let t0 = R::ENABLED.then(Instant::now);
+            let claimed = sched.claim();
+            if R::ENABLED {
+                let dur = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                rec.record(vpn, Event::LockWait { dur });
+                if let Some(i) = claimed {
+                    rec.record(
+                        vpn,
+                        Event::IterClaimed {
+                            iter: i as u64,
+                            cost: 0,
+                        },
+                    );
+                }
+            }
+            let Some(i) = claimed else { break };
             local_max = local_max.max(i + 1);
             local_exec += 1;
-            if let Step::Quit = body(i, vpn) {
+            let t1 = R::ENABLED.then(Instant::now);
+            let step = body(i, vpn);
+            if R::ENABLED {
+                let cost = t1.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                rec.record(
+                    vpn,
+                    Event::IterExecuted {
+                        iter: i as u64,
+                        cost,
+                    },
+                );
+            }
+            if let Step::Quit = step {
                 sched.quit_at(i);
+                if R::ENABLED {
+                    rec.record(vpn, Event::Quit { iter: i as u64 });
+                }
             }
             sched.complete(i);
+        }
+        if R::ENABLED {
+            rec.record(vpn, Event::Barrier { cost: 0 });
         }
         executed.fetch_add(local_exec, std::sync::atomic::Ordering::Relaxed);
         max_started.fetch_max(local_max, std::sync::atomic::Ordering::Relaxed);

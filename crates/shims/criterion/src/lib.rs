@@ -1,0 +1,305 @@
+//! Workspace-local stand-in for the slice of `criterion` this repository
+//! uses: benchmark groups, throughput annotation, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build environment has no network access, so external dependencies
+//! are replaced by path crates with the same names. Measurement here is a
+//! plain mean over `sample_size` timed runs bounded by `measurement_time`
+//! — no bootstrap statistics, no HTML reports — printed one line per
+//! benchmark. Good enough to compare hot paths before/after a change on
+//! the same machine.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(900),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed runs per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Parses CLI arguments (accepted and ignored by this shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let (ss, mt, wt) = (self.sample_size, self.measurement_time, self.warm_up_time);
+        run_one(&id.into(), None, ss, mt, wt, |b| f(b));
+    }
+}
+
+/// A group of related benchmarks sharing throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Times `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(
+            &full,
+            self.throughput,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            |b| f(b),
+        );
+    }
+
+    /// Times `f(bencher, input)` under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(
+            &full,
+            self.throughput,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            |b| f(b, input),
+        );
+    }
+
+    /// Ends the group (prints nothing extra in this shim).
+    pub fn finish(self) {}
+}
+
+/// Work-per-iteration annotation used to report element throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// `n` logical elements are processed per iteration.
+    Elements(u64),
+    /// `n` bytes are processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: either a bare name or `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark id (strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    warmed: bool,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call, until the sample
+    /// target or the measurement budget is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.warmed {
+            black_box(routine());
+            self.warmed = true;
+        }
+        let start = Instant::now();
+        while self.samples.len() < self.target_samples && start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+        if self.samples.is_empty() {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    _warm_up_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        budget: measurement_time,
+        warmed: false,
+        target_samples: sample_size,
+    };
+    f(&mut b);
+    let n = b.samples.len().max(1);
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / n as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(e)) if mean.as_nanos() > 0 => {
+            format!("  ({:.1} Melem/s)", e as f64 / mean.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(by)) if mean.as_nanos() > 0 => {
+            format!("  ({:.1} MiB/s)", by as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<50} time: {mean:>12.3?}  samples: {n}{rate}");
+}
+
+/// Declares a group of benchmark functions, optionally with a shared
+/// configuration, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Expands to `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(50));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runs_without_panicking() {
+        benches();
+    }
+}

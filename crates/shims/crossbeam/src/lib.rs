@@ -1,0 +1,123 @@
+//! Workspace-local stand-in for the subset of `crossbeam` this repository
+//! uses: [`atomic::AtomicCell`].
+//!
+//! The build environment has no network access, so external dependencies
+//! are replaced by path crates with the same names. This `AtomicCell` is a
+//! spinlock-per-cell implementation: correct for any `T: Copy`, slightly
+//! slower than crossbeam's lock-free fast path for word-sized types.
+
+/// Atomic types.
+pub mod atomic {
+    use std::cell::UnsafeCell;
+    use std::fmt;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// A thread-safe mutable memory location, API-compatible with
+    /// `crossbeam::atomic::AtomicCell` for `Copy` payloads.
+    pub struct AtomicCell<T> {
+        locked: AtomicBool,
+        value: UnsafeCell<T>,
+    }
+
+    // Safety: all access to `value` is serialized through the `locked`
+    // spinlock, so the cell is Sync whenever the payload can be sent.
+    unsafe impl<T: Send> Sync for AtomicCell<T> {}
+    unsafe impl<T: Send> Send for AtomicCell<T> {}
+
+    impl<T> AtomicCell<T> {
+        /// Creates a cell initialized to `value`.
+        pub const fn new(value: T) -> Self {
+            AtomicCell {
+                locked: AtomicBool::new(false),
+                value: UnsafeCell::new(value),
+            }
+        }
+
+        /// Consumes the cell and returns the contained value.
+        pub fn into_inner(self) -> T {
+            self.value.into_inner()
+        }
+
+        #[inline]
+        fn with_lock<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            while self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                std::hint::spin_loop();
+            }
+            let r = f(self.value.get());
+            self.locked.store(false, Ordering::Release);
+            r
+        }
+
+        /// Stores `value` into the cell.
+        pub fn store(&self, value: T) {
+            self.with_lock(|p| unsafe { *p = value });
+        }
+
+        /// Replaces the contained value, returning the previous one.
+        pub fn swap(&self, value: T) -> T {
+            self.with_lock(|p| unsafe { std::ptr::replace(p, value) })
+        }
+    }
+
+    impl<T: Copy> AtomicCell<T> {
+        /// Loads a copy of the contained value.
+        pub fn load(&self) -> T {
+            self.with_lock(|p| unsafe { *p })
+        }
+    }
+
+    impl<T: Copy + fmt::Debug> fmt::Debug for AtomicCell<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("AtomicCell").field("value", &self.load()).finish()
+        }
+    }
+
+    impl<T: Default> Default for AtomicCell<T> {
+        fn default() -> Self {
+            AtomicCell::new(T::default())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::atomic::AtomicCell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn load_store_roundtrip() {
+        let c = AtomicCell::new(1.5f64);
+        assert_eq!(c.load(), 1.5);
+        c.store(2.5);
+        assert_eq!(c.load(), 2.5);
+        assert_eq!(c.swap(3.5), 2.5);
+        assert_eq!(c.into_inner(), 3.5);
+    }
+
+    #[test]
+    fn concurrent_stores_land_intact() {
+        // u128 is wider than any native atomic: tearing would corrupt it.
+        let cell = AtomicCell::new(0u128);
+        let sum = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u128 {
+                let cell = &cell;
+                let sum = &sum;
+                s.spawn(move || {
+                    let pat = u128::from_be_bytes([t as u8 + 1; 16]);
+                    for _ in 0..1000 {
+                        cell.store(pat);
+                        let v = cell.load().to_be_bytes();
+                        assert!(v.iter().all(|&b| b == v[0]), "torn read: {v:?}");
+                        sum.fetch_add(v[0] as u64, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert!(sum.load(Ordering::Relaxed) > 0);
+    }
+}

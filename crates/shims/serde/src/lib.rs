@@ -1,0 +1,203 @@
+//! Workspace-local stand-in for the slice of `serde` this repository uses:
+//! `#[derive(Serialize)]` plus JSON emission.
+//!
+//! The build environment has no network access, so external dependencies
+//! are replaced by path crates with the same names. Real serde serializes
+//! through a visitor; this shim serializes into an owned [`Value`] tree
+//! and renders it as JSON via [`json::to_string`] — ample for the profile
+//! reports and simulator outputs this workspace emits.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A JSON value tree — the intermediate representation every
+/// [`Serialize`] implementation produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating-point number (non-finite values render as `null`).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    fn render(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => out.push_str(&n.to_string()),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Float(x) if x.is_finite() => out.push_str(&format!("{x}")),
+            Value::Float(_) => out.push_str("null"),
+            Value::Str(s) => escape_into(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (k, v) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    v.render(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (k, (name, v)) in fields.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, name);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Types convertible to a JSON [`Value`]. Derivable for structs with named
+/// fields via `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn serialize(&self) -> Value;
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => { $(impl Serialize for $t {
+        fn serialize(&self) -> Value { Value::UInt(*self as u64) }
+    })* };
+}
+macro_rules! ser_int {
+    ($($t:ty),*) => { $(impl Serialize for $t {
+        fn serialize(&self) -> Value { Value::Int(*self as i64) }
+    })* };
+}
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// JSON rendering of [`Serialize`] values (the `serde_json` role).
+pub mod json {
+    use super::Serialize;
+
+    /// Renders `value` as a compact JSON string.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        value.serialize().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_json() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("a\"b".into())),
+            ("xs".into(), Value::Array(vec![Value::UInt(1), Value::Null])),
+            ("ok".into(), Value::Bool(true)),
+        ]);
+        assert_eq!(v.to_string(), r#"{"name":"a\"b","xs":[1,null],"ok":true}"#);
+    }
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(json::to_string(&3usize), "3");
+        assert_eq!(json::to_string(&-2i64), "-2");
+        assert_eq!(json::to_string(&vec![1u64, 2]), "[1,2]");
+        assert_eq!(json::to_string(&Option::<u64>::None), "null");
+        assert_eq!(json::to_string("hi"), "\"hi\"");
+    }
+}

@@ -1,0 +1,166 @@
+//! `#[derive(Serialize)]` for the workspace-local serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports the shapes this workspace
+//! derives on: structs with named fields, and enums whose variants are
+//! units or carry named fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by mapping named fields into a
+/// `serde::Value::Object` (structs) or an externally-tagged object
+/// (enums).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (kind, name, body) = parse_item(&tokens);
+    let impl_body = match kind {
+        Kind::Struct => {
+            let fields = named_fields(&body);
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::serialize(&self.{f})),"))
+                .collect();
+            format!("serde::Value::Object(vec![{entries}])")
+        }
+        Kind::Enum => {
+            let arms: String = enum_variants(&body)
+                .into_iter()
+                .map(|(variant, fields)| match fields {
+                    None => format!(
+                        "Self::{variant} => serde::Value::Str(\"{variant}\".to_string()),"
+                    ),
+                    Some(fields) => {
+                        let pat = fields.join(", ");
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), serde::Serialize::serialize({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "Self::{variant} {{ {pat} }} => serde::Value::Object(vec![\
+                             (\"{variant}\".to_string(), serde::Value::Object(vec![{entries}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> serde::Value {{ {impl_body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+enum Kind {
+    Struct,
+    Enum,
+}
+
+/// Locates the item keyword, its name, and the `{ ... }` body tokens.
+fn parse_item(tokens: &[TokenTree]) -> (Kind, String, Vec<TokenTree>) {
+    let mut i = 0;
+    let kind = loop {
+        match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break Kind::Struct,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break Kind::Enum,
+            Some(_) => i += 1,
+            None => panic!("derive(Serialize): expected struct or enum"),
+        }
+    };
+    let name = match &tokens[i + 1] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize): expected item name, got {other}"),
+    };
+    let body = tokens[i + 2..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Some(g.stream().into_iter().collect::<Vec<_>>())
+            }
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("derive(Serialize): {name} has no braced body (named fields required)"));
+    (kind, name, body)
+}
+
+/// Splits a braced body at top-level commas (tracking `<...>` depth) and
+/// returns each segment's field name: the identifier right before the
+/// first top-level `:`, skipping attributes and visibility.
+fn named_fields(body: &[TokenTree]) -> Vec<String> {
+    split_top_level(body)
+        .into_iter()
+        .filter_map(|seg| field_name(&seg))
+        .collect()
+}
+
+fn enum_variants(body: &[TokenTree]) -> Vec<(String, Option<Vec<String>>)> {
+    split_top_level(body)
+        .into_iter()
+        .filter_map(|seg| {
+            let mut name = None;
+            let mut fields = None;
+            for t in &seg {
+                match t {
+                    TokenTree::Ident(id) if name.is_none() => name = Some(id.to_string()),
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        fields = Some(named_fields(&inner));
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!("derive(Serialize): tuple variants are not supported by the shim")
+                    }
+                    _ => {}
+                }
+            }
+            name.map(|n| (n, fields))
+        })
+        .collect()
+}
+
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn field_name(seg: &[TokenTree]) -> Option<String> {
+    let mut last_ident: Option<String> = None;
+    for t in seg {
+        match t {
+            // `#[...]` attributes arrive as a '#' punct then a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => continue,
+            TokenTree::Group(_) => continue, // attribute body or pub(crate)
+            TokenTree::Ident(id) if id.to_string() == "pub" => continue,
+            TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+            TokenTree::Punct(p) if p.as_char() == ':' => return last_ident,
+            _ => {}
+        }
+    }
+    None
+}

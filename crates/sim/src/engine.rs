@@ -11,6 +11,7 @@
 //! the [`TimedMin`] helper enforces for QUITs.
 
 use serde::Serialize;
+use wlp_obs::{Event, Sample, Trace};
 
 /// A recorded busy interval on one processor (tracing only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +30,7 @@ pub struct Engine {
     clocks: Vec<u64>,
     busy: Vec<u64>,
     trace: Option<Vec<Span>>,
+    events: Option<Vec<Sample>>,
 }
 
 impl Engine {
@@ -42,6 +44,7 @@ impl Engine {
             clocks: vec![0; p],
             busy: vec![0; p],
             trace: None,
+            events: None,
         }
     }
 
@@ -51,6 +54,60 @@ impl Engine {
         let mut e = Engine::new(p);
         e.trace = Some(Vec::new());
         e
+    }
+
+    /// Like [`Engine::new`], but collects [`wlp_obs::Event`] samples —
+    /// the same schema the threaded runtime records — retrievable with
+    /// [`Engine::finish_obs_trace`].
+    pub fn new_observed(p: usize) -> Self {
+        let mut e = Engine::new(p);
+        e.events = Some(Vec::new());
+        e
+    }
+
+    /// Whether this engine collects observability events.
+    #[inline]
+    pub fn observed(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// Records `event` on `proc`, stamped with the processor's current
+    /// clock. No-op unless the engine was created with
+    /// [`Engine::new_observed`].
+    #[inline]
+    pub fn emit(&mut self, proc: usize, event: Event) {
+        if let Some(ev) = &mut self.events {
+            ev.push(Sample {
+                t: self.clocks[proc],
+                proc: proc as u32,
+                event,
+            });
+        }
+    }
+
+    /// Charges `cost` busy cycles to `proc` and records the event built
+    /// from that cost (stamped at completion). The builder only runs when
+    /// the engine is observed.
+    #[inline]
+    pub fn charge(&mut self, proc: usize, cost: u64, make: impl FnOnce(u64) -> Event) {
+        self.work(proc, cost);
+        if self.events.is_some() {
+            let event = make(cost);
+            self.emit(proc, event);
+        }
+    }
+
+    /// Closes the observed region: drains collected samples into a
+    /// [`Trace`] whose makespan is the current largest clock. Returns an
+    /// empty trace when the engine is not observed.
+    pub fn finish_obs_trace(&mut self) -> Trace {
+        let mut samples = self.events.take().unwrap_or_default();
+        samples.sort_by_key(|s| s.t);
+        Trace {
+            p: self.p(),
+            makespan: self.makespan(),
+            samples,
+        }
     }
 
     /// Recorded busy spans (empty unless created with
@@ -107,12 +164,28 @@ impl Engine {
     }
 
     /// Synchronizes all processors at `max(clock) + cost` (a barrier); the
-    /// barrier cost is charged as busy time to every processor.
+    /// barrier cost is charged as busy time to every processor. Observed
+    /// engines record one [`Event::Barrier`] per processor.
     pub fn barrier(&mut self, cost: u64) {
         let t = self.clocks.iter().copied().max().unwrap_or(0);
         for i in 0..self.p() {
             self.clocks[i] = t + cost;
             self.busy[i] += cost;
+        }
+        if self.events.is_some() {
+            for i in 0..self.p() {
+                self.emit(i, Event::Barrier { cost });
+            }
+        }
+    }
+
+    /// Aligns all clocks at `max(clock)` without charging anything or
+    /// recording a barrier event (the implicit join before a parallel
+    /// phase).
+    fn align(&mut self) {
+        let t = self.clocks.iter().copied().max().unwrap_or(0);
+        for c in &mut self.clocks {
+            *c = t;
         }
     }
 
@@ -123,9 +196,29 @@ impl Engine {
     pub fn parallel_phase(&mut self, total_cost: u64) {
         let p = self.p() as u64;
         let share = total_cost.div_ceil(p);
-        self.barrier(0);
+        self.align();
         for i in 0..self.p() {
             self.work(i, share);
+        }
+    }
+
+    /// Like [`Engine::parallel_phase`], but records the event built by
+    /// `make(proc, share)` on every processor, so observed phases (backup,
+    /// undo, PD analysis) stay attributable in the trace.
+    pub fn parallel_phase_with(
+        &mut self,
+        total_cost: u64,
+        mut make: impl FnMut(usize, u64) -> Event,
+    ) {
+        let p = self.p() as u64;
+        let share = total_cost.div_ceil(p);
+        self.align();
+        for i in 0..self.p() {
+            self.work(i, share);
+            if self.events.is_some() {
+                let event = make(i, share);
+                self.emit(i, event);
+            }
         }
     }
 
@@ -156,9 +249,16 @@ impl Resource {
 
     /// `proc` acquires the lock, holds it `hold` cycles, releases. Queueing
     /// delay is idle time; the hold is busy time. Returns the release time.
+    /// Observed engines record the queueing delay as [`Event::LockWait`]
+    /// and the hold as [`Event::LockAcquire`].
     pub fn acquire(&mut self, eng: &mut Engine, proc: usize, hold: u64) -> u64 {
+        let wait = self.free_at.saturating_sub(eng.now(proc));
         eng.wait_until(proc, self.free_at);
+        if wait > 0 {
+            eng.emit(proc, Event::LockWait { dur: wait });
+        }
         eng.work(proc, hold);
+        eng.emit(proc, Event::LockAcquire { hold });
         self.free_at = eng.now(proc);
         self.free_at
     }
@@ -256,7 +356,10 @@ pub fn render_gantt(eng: &Engine, width: usize) -> String {
     }
     let mut out = String::new();
     for (p, row) in rows.into_iter().enumerate() {
-        out.push_str(&format!("P{p:<2} |{}|\n", String::from_utf8(row).expect("ascii")));
+        out.push_str(&format!(
+            "P{p:<2} |{}|\n",
+            String::from_utf8(row).expect("ascii")
+        ));
     }
     out.push_str(&format!("     0 {:>width$}\n", makespan, width = width - 1));
     out
@@ -348,11 +451,72 @@ mod tests {
         e.work(1, 4);
         e.work(0, 3);
         assert_eq!(e.spans().len(), 3);
-        assert_eq!(e.spans()[2], Span { proc: 0, start: 10, end: 13 });
+        assert_eq!(
+            e.spans()[2],
+            Span {
+                proc: 0,
+                start: 10,
+                end: 13
+            }
+        );
         // untraced engines record nothing
         let mut u = Engine::new(2);
         u.work(0, 5);
         assert!(u.spans().is_empty());
+    }
+
+    #[test]
+    fn observed_engine_mirrors_busy_in_events() {
+        let mut e = Engine::new_observed(2);
+        e.charge(0, 10, |c| Event::IterExecuted { iter: 0, cost: c });
+        e.charge(1, 4, |c| Event::IterClaimed { iter: 1, cost: c });
+        e.barrier(2);
+        e.parallel_phase_with(8, |_, share| Event::UndoRestore {
+            elems: 1,
+            cost: share,
+        });
+        let trace = e.finish_obs_trace();
+        assert_eq!(trace.p, 2);
+        assert_eq!(trace.makespan, e.makespan());
+        // every busy cycle the engine charged appears in exactly one event
+        for proc in 0..2 {
+            let evented: u64 = trace
+                .samples
+                .iter()
+                .filter(|s| s.proc as usize == proc)
+                .map(|s| s.event.busy_cost())
+                .sum();
+            assert_eq!(evented, e.busy()[proc], "proc {proc}");
+        }
+        // unobserved engines emit nothing and finish with an empty trace
+        let mut u = Engine::new(2);
+        u.emit(0, Event::Quit { iter: 3 });
+        assert!(!u.observed());
+        assert!(u.finish_obs_trace().samples.is_empty());
+    }
+
+    #[test]
+    fn observed_resource_records_wait_and_hold() {
+        let mut e = Engine::new_observed(2);
+        let mut lock = Resource::new();
+        lock.acquire(&mut e, 0, 5);
+        lock.acquire(&mut e, 1, 5);
+        let trace = e.finish_obs_trace();
+        let waits: Vec<u64> = trace
+            .samples
+            .iter()
+            .filter_map(|s| match s.event {
+                Event::LockWait { dur } => Some(dur),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(waits, vec![5], "only the second arrival queues");
+        let holds = trace
+            .samples
+            .iter()
+            .filter(|s| matches!(s.event, Event::LockAcquire { hold: 5 }))
+            .count();
+        assert_eq!(holds, 2);
     }
 
     #[test]

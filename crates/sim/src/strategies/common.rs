@@ -2,6 +2,7 @@
 
 use crate::engine::{Engine, Report, TimedMin};
 use crate::spec::{ExecConfig, LoopSpec, Overheads, TerminatorKind};
+use wlp_obs::Event;
 
 /// Running totals accumulated while replaying a schedule.
 #[derive(Debug, Default, Clone)]
@@ -31,7 +32,14 @@ pub(crate) fn td_cost(spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig, i: usiz
 /// The checkpointing phase before the DOALL (`T_b`), run fully parallel.
 pub(crate) fn prologue(eng: &mut Engine, oh: &Overheads, cfg: &ExecConfig) {
     if cfg.backup_elems > 0 {
-        eng.parallel_phase(cfg.backup_elems * oh.t_backup);
+        // Attribute the checkpointed volume once (on proc 0); every
+        // processor still gets its share of the copy cost.
+        eng.parallel_phase_with(cfg.backup_elems * oh.t_backup, |proc, share| {
+            Event::Backup {
+                elems: if proc == 0 { cfg.backup_elems } else { 0 },
+                cost: share,
+            }
+        });
         eng.barrier(oh.t_barrier);
     }
 }
@@ -41,10 +49,28 @@ pub(crate) fn prologue(eng: &mut Engine, oh: &Overheads, cfg: &ExecConfig) {
 pub(crate) fn epilogue(eng: &mut Engine, oh: &Overheads, cfg: &ExecConfig, stats: &Stats) {
     eng.barrier(oh.t_barrier);
     if cfg.undo_overshoot && stats.overshoot_writes > 0 {
-        eng.parallel_phase(stats.overshoot_writes * oh.t_restore);
+        let elems = stats.overshoot_writes;
+        eng.parallel_phase_with(elems * oh.t_restore, |proc, share| Event::UndoRestore {
+            elems: if proc == 0 { elems } else { 0 },
+            cost: share,
+        });
     }
     if cfg.pd_shadow {
-        eng.parallel_phase(stats.accesses * oh.t_analysis);
+        let accesses = stats.accesses;
+        eng.parallel_phase_with(accesses * oh.t_analysis, |proc, share| Event::PdAnalyze {
+            accesses: if proc == 0 { accesses } else { 0 },
+            cost: share,
+        });
+        // The shadow test passed (these simulations model independent
+        // iterations), so the speculative run commits: everything up to
+        // the exit is kept, the overshoot is undone.
+        eng.emit(
+            0,
+            Event::SpecCommit {
+                committed: stats.executed - stats.overshoot,
+                undone: stats.overshoot,
+            },
+        );
     }
 }
 
@@ -71,24 +97,33 @@ pub(crate) fn run_body(
     if spec.terminator == TerminatorKind::RemainderInvariant {
         if let Some(e) = exit {
             if i >= e {
-                eng.work(proc, oh.t_term);
+                eng.charge(proc, oh.t_term, |c| Event::TermTest {
+                    iter: i as u64,
+                    cost: c,
+                });
                 quit.register(eng.now(proc), i);
+                eng.emit(proc, Event::Quit { iter: i as u64 });
                 return;
             }
         }
     }
     let cost = oh.t_term + (spec.work)(i) + td_cost(spec, oh, cfg, i);
-    eng.work(proc, cost);
+    eng.charge(proc, cost, |c| Event::IterExecuted {
+        iter: i as u64,
+        cost: c,
+    });
     stats.executed += 1;
     stats.accesses += (spec.writes)(i) + (spec.reads)(i);
     match exit {
         Some(e) if i == e => {
             // RV: the terminator fires from values this body computed.
             quit.register(eng.now(proc), i);
+            eng.emit(proc, Event::Quit { iter: i as u64 });
         }
         Some(e) if i > e => {
             stats.overshoot += 1;
             stats.overshoot_writes += (spec.writes)(i);
+            eng.emit(proc, Event::IterUndone { iter: i as u64 });
         }
         _ => {}
     }
@@ -101,7 +136,9 @@ pub(crate) fn report(eng: &Engine, spec: &LoopSpec, quit: &TimedMin, stats: Stat
         makespan: eng.makespan(),
         busy: eng.busy().to_vec(),
         executed: stats.executed,
-        last_valid: quit.final_min().or(spec.exit_at.filter(|&e| e < spec.upper)),
+        last_valid: quit
+            .final_min()
+            .or(spec.exit_at.filter(|&e| e < spec.upper)),
         overshoot: stats.overshoot,
         hops: stats.hops,
     }

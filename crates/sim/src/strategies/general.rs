@@ -18,6 +18,7 @@
 use super::common::{epilogue, prologue, report, run_body, Stats};
 use crate::engine::{Engine, Report, Resource, TimedMin};
 use crate::spec::{ExecConfig, LoopSpec, Overheads, TerminatorKind};
+use wlp_obs::{Event, Trace};
 
 /// Loop distribution (Section 3.3 naive scheme / Wu & Lewis \[29\]): the
 /// dispatcher loop runs sequentially on processor 0, storing its terms;
@@ -37,7 +38,12 @@ pub fn sim_distribution(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecCon
         (TerminatorKind::RemainderInvariant, Some(e)) => (e + 1).min(spec.upper),
         _ => spec.upper,
     };
-    eng.work(0, terms as u64 * (oh.t_next + oh.t_term));
+    eng.charge(0, terms as u64 * (oh.t_next + oh.t_term), |c| {
+        Event::NextHop {
+            hops: terms as u64,
+            cost: c,
+        }
+    });
     stats.hops += terms as u64;
     eng.barrier(oh.t_barrier);
 
@@ -52,7 +58,10 @@ pub fn sim_distribution(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecCon
         }
         let i = claim;
         claim += 1;
-        eng.work(proc, oh.t_dispatch);
+        eng.charge(proc, oh.t_dispatch, |c| Event::IterClaimed {
+            iter: i as u64,
+            cost: c,
+        });
         run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
     }
 
@@ -67,11 +76,29 @@ pub fn sim_distribution(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecCon
 /// `(work + hold) / hold`-ish regardless of `p` — the reason the paper
 /// calls this scheme unattractive.
 pub fn sim_general1(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig) -> Report {
-    let mut eng = Engine::new(p);
+    run_general1(&mut Engine::new(p), spec, oh, cfg)
+}
+
+/// Like [`sim_general1`], additionally returning the recorded [`Trace`]
+/// (lock waits and holds become `LockWait`/`LockAcquire` events).
+pub fn sim_general1_traced(
+    p: usize,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+) -> (Report, Trace) {
+    let mut eng = Engine::new_observed(p);
+    let r = run_general1(&mut eng, spec, oh, cfg);
+    let trace = eng.finish_obs_trace();
+    (r, trace)
+}
+
+fn run_general1(eng: &mut Engine, spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig) -> Report {
+    let p = eng.p();
     let mut quit = TimedMin::new();
     let mut stats = Stats::default();
     let mut lock = Resource::new();
-    prologue(&mut eng, oh, cfg);
+    prologue(eng, oh, cfg);
 
     let hold = oh.t_lock + oh.t_next + oh.t_term;
     let mut claim = 0usize;
@@ -83,20 +110,35 @@ pub fn sim_general1(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig)
             continue;
         }
         // must take the lock even to discover the end of the list
-        lock.acquire(&mut eng, proc, hold);
+        lock.acquire(eng, proc, hold);
         if claim >= spec.upper {
             quit.register(eng.now(proc), claim.max(1) - 1);
+            eng.emit(
+                proc,
+                Event::Quit {
+                    iter: claim.max(1) as u64 - 1,
+                },
+            );
             runnable[proc] = false;
             continue;
         }
         let i = claim;
         claim += 1;
         stats.hops += 1;
-        run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
+        // the hop itself ran inside the lock hold, so it costs 0 extra here
+        eng.emit(proc, Event::NextHop { hops: 1, cost: 0 });
+        eng.emit(
+            proc,
+            Event::IterClaimed {
+                iter: i as u64,
+                cost: 0,
+            },
+        );
+        run_body(eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
     }
 
-    epilogue(&mut eng, oh, cfg, &stats);
-    report(&eng, spec, &quit, stats)
+    epilogue(eng, oh, cfg, &stats);
+    report(eng, spec, &quit, stats)
 }
 
 /// General-2: processor `vpn` privately traverses the list and executes
@@ -119,13 +161,21 @@ pub fn sim_general2(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig)
             // the `do j = 1, nproc` hop loop bails at null: charge the hops
             // up to the end of the list plus the null discovery itself
             let hop_count = (spec.upper - pos[proc]) as u64 + 1;
-            eng.work(proc, hop_count * oh.t_next);
+            eng.charge(proc, hop_count * oh.t_next, |c| Event::NextHop {
+                hops: hop_count,
+                cost: c,
+            });
             stats.hops += hop_count;
             runnable[proc] = false;
             continue;
         }
         let hop_count = (i - pos[proc]) as u64;
-        eng.work(proc, hop_count * oh.t_next);
+        if hop_count > 0 {
+            eng.charge(proc, hop_count * oh.t_next, |c| Event::NextHop {
+                hops: hop_count,
+                cost: c,
+            });
+        }
         stats.hops += hop_count;
         pos[proc] = i;
         let t = eng.now(proc);
@@ -133,6 +183,13 @@ pub fn sim_general2(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig)
             runnable[proc] = false;
             continue;
         }
+        eng.emit(
+            proc,
+            Event::IterClaimed {
+                iter: i as u64,
+                cost: 0,
+            },
+        );
         run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
         target[proc] = i + p;
     }
@@ -147,10 +204,29 @@ pub fn sim_general2(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig)
 /// bounded by the list length (its cursor only moves forward), dispatch is
 /// load-balanced, and spans stay as small as the dynamic scheduler's.
 pub fn sim_general3(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig) -> Report {
-    let mut eng = Engine::new(p);
+    run_general3(&mut Engine::new(p), spec, oh, cfg)
+}
+
+/// Like [`sim_general3`], additionally returning the recorded [`Trace`]
+/// (claims and cursor catch-up hops become `IterClaimed`/`NextHop`
+/// events).
+pub fn sim_general3_traced(
+    p: usize,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+) -> (Report, Trace) {
+    let mut eng = Engine::new_observed(p);
+    let r = run_general3(&mut eng, spec, oh, cfg);
+    let trace = eng.finish_obs_trace();
+    (r, trace)
+}
+
+fn run_general3(eng: &mut Engine, spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig) -> Report {
+    let p = eng.p();
     let mut quit = TimedMin::new();
     let mut stats = Stats::default();
-    prologue(&mut eng, oh, cfg);
+    prologue(eng, oh, cfg);
 
     let mut prev: Vec<usize> = vec![0; p];
     let mut claim = 0usize;
@@ -165,14 +241,20 @@ pub fn sim_general3(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig)
         let i = claim;
         claim += 1;
         let hops = (i - prev[proc]) as u64;
-        eng.work(proc, oh.t_dispatch + hops * oh.t_next);
+        eng.charge(proc, oh.t_dispatch, |c| Event::IterClaimed {
+            iter: i as u64,
+            cost: c,
+        });
+        if hops > 0 {
+            eng.charge(proc, hops * oh.t_next, |c| Event::NextHop { hops, cost: c });
+        }
         stats.hops += hops;
         prev[proc] = i;
-        run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
+        run_body(eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
     }
 
-    epilogue(&mut eng, oh, cfg, &stats);
-    report(&eng, spec, &quit, stats)
+    epilogue(eng, oh, cfg, &stats);
+    report(eng, spec, &quit, stats)
 }
 
 #[cfg(test)]
@@ -201,7 +283,10 @@ mod tests {
             s3 > s1,
             "paper Fig. 6: General-3 ({s3:.2}) must outperform General-1 ({s1:.2})"
         );
-        assert!(s3 > 3.0, "General-3 at p=8 should be substantial, got {s3:.2}");
+        assert!(
+            s3 > 3.0,
+            "General-3 at p=8 should be substantial, got {s3:.2}"
+        );
     }
 
     #[test]
@@ -218,7 +303,10 @@ mod tests {
             "General-1 should saturate: p=4 → {s4:.2}, p=8 → {s8:.2}"
         );
         let bound = (30.0 + 12.0) / 12.0;
-        assert!(s8 <= bound + 0.5, "speedup {s8:.2} above lock bound {bound:.2}");
+        assert!(
+            s8 <= bound + 0.5,
+            "speedup {s8:.2} above lock bound {bound:.2}"
+        );
     }
 
     #[test]
@@ -234,7 +322,11 @@ mod tests {
         let g3 = sim_general3(4, &spec, &oh(), &ExecConfig::bare());
         // General-3 cursors are monotone: at most n hops per processor,
         // and at least n in total (someone reaches the tail)
-        assert!(g3.hops >= 100 && g3.hops <= 4 * 100, "General-3 hops = {}", g3.hops);
+        assert!(
+            g3.hops >= 100 && g3.hops <= 4 * 100,
+            "General-3 hops = {}",
+            g3.hops
+        );
     }
 
     #[test]
@@ -251,7 +343,10 @@ mod tests {
             ("g1", sim_general1(3, &spec, &oh(), &ExecConfig::bare())),
             ("g2", sim_general2(3, &spec, &oh(), &ExecConfig::bare())),
             ("g3", sim_general3(3, &spec, &oh(), &ExecConfig::bare())),
-            ("dist", sim_distribution(3, &spec, &oh(), &ExecConfig::bare())),
+            (
+                "dist",
+                sim_distribution(3, &spec, &oh(), &ExecConfig::bare()),
+            ),
         ] {
             assert_eq!(r.executed, 257, "{name} executed {}", r.executed);
             assert_eq!(r.overshoot, 0, "{name}");
@@ -288,6 +383,31 @@ mod tests {
                 assert!(r.speedup(&seq) <= p as f64 + 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn traced_general_runs_event_every_busy_cycle() {
+        let spec = LoopSpec::uniform(257, 13);
+        let (r1, t1) = sim_general1_traced(3, &spec, &oh(), &ExecConfig::bare());
+        let (r3, t3) = sim_general3_traced(3, &spec, &oh(), &ExecConfig::bare());
+        for (r, trace) in [(&r1, &t1), (&r3, &t3)] {
+            for proc in 0..3 {
+                let evented: u64 = trace
+                    .samples
+                    .iter()
+                    .filter(|s| s.proc as usize == proc)
+                    .map(|s| s.event.busy_cost())
+                    .sum();
+                assert_eq!(evented, r.busy[proc], "proc {proc}");
+            }
+        }
+        // General-1 serializes on the dispatcher lock: waits must show up
+        let lock_wait: u64 = t1.samples.iter().map(|s| s.event.wait_time()).sum();
+        assert!(lock_wait > 0, "General-1 at p=3 must record lock waits");
+        assert_eq!(
+            t3.samples.iter().map(|s| s.event.wait_time()).sum::<u64>(),
+            0
+        );
     }
 
     #[test]

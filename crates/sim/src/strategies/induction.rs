@@ -3,6 +3,7 @@
 use super::common::{epilogue, prologue, report, run_body, Stats};
 use crate::engine::{Engine, Report, TimedMin};
 use crate::spec::{ExecConfig, LoopSpec, Overheads, TerminatorKind};
+use wlp_obs::{Event, Trace};
 
 /// Iteration-to-processor assignment policy for DOALL simulations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,10 +49,36 @@ pub fn sim_induction_doall(
     cfg: &ExecConfig,
     schedule: Schedule,
 ) -> Report {
-    let mut eng = Engine::new(p);
+    run_induction_doall(&mut Engine::new(p), spec, oh, cfg, schedule)
+}
+
+/// Like [`sim_induction_doall`], additionally returning the recorded
+/// [`Trace`] (the same event schema the threaded runtime's recorders
+/// produce).
+pub fn sim_induction_doall_traced(
+    p: usize,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+    schedule: Schedule,
+) -> (Report, Trace) {
+    let mut eng = Engine::new_observed(p);
+    let r = run_induction_doall(&mut eng, spec, oh, cfg, schedule);
+    let trace = eng.finish_obs_trace();
+    (r, trace)
+}
+
+fn run_induction_doall(
+    eng: &mut Engine,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+    schedule: Schedule,
+) -> Report {
+    let p = eng.p();
     let mut quit = TimedMin::new();
     let mut stats = Stats::default();
-    prologue(&mut eng, oh, cfg);
+    prologue(eng, oh, cfg);
 
     match schedule {
         Schedule::Dynamic => {
@@ -59,16 +86,18 @@ pub fn sim_induction_doall(
             let mut runnable = vec![true; p];
             while let Some(proc) = eng.next_proc(&runnable) {
                 let t = eng.now(proc);
-                let stop = claim >= spec.upper
-                    || quit.visible_min(t).is_some_and(|q| claim > q);
+                let stop = claim >= spec.upper || quit.visible_min(t).is_some_and(|q| claim > q);
                 if stop {
                     runnable[proc] = false;
                     continue;
                 }
                 let i = claim;
                 claim += 1;
-                eng.work(proc, oh.t_dispatch);
-                run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
+                eng.charge(proc, oh.t_dispatch, |c| Event::IterClaimed {
+                    iter: i as u64,
+                    cost: c,
+                });
+                run_body(eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
             }
         }
         Schedule::StaticCyclic => {
@@ -83,13 +112,21 @@ pub fn sim_induction_doall(
                     continue;
                 }
                 next_iter[proc] = i + p;
-                run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
+                // static assignment: the "claim" is free — no shared counter
+                eng.emit(
+                    proc,
+                    Event::IterClaimed {
+                        iter: i as u64,
+                        cost: 0,
+                    },
+                );
+                run_body(eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
             }
         }
     }
 
-    epilogue(&mut eng, oh, cfg, &stats);
-    report(&eng, spec, &quit, stats)
+    epilogue(eng, oh, cfg, &stats);
+    report(eng, spec, &quit, stats)
 }
 
 /// Associative dispatcher (Section 3.2): loop distribution, a three-phase
@@ -120,7 +157,10 @@ pub fn sim_prefix_doall(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecCon
     }
     eng.barrier(oh.t_barrier);
     // serial tree combine over p partials, charged to processor 0
-    eng.work(0, (p as u64).next_power_of_two().trailing_zeros() as u64 * oh.t_prefix_op);
+    eng.work(
+        0,
+        (p as u64).next_power_of_two().trailing_zeros() as u64 * oh.t_prefix_op,
+    );
     eng.barrier(oh.t_barrier);
     for proc in 0..p {
         eng.work(proc, block * oh.t_prefix_op);
@@ -140,7 +180,10 @@ pub fn sim_prefix_doall(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecCon
         }
         let i = claim;
         claim += 1;
-        eng.work(proc, oh.t_dispatch);
+        eng.charge(proc, oh.t_dispatch, |c| Event::IterClaimed {
+            iter: i as u64,
+            cost: c,
+        });
         run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
     }
 
@@ -158,11 +201,35 @@ pub fn sim_strip_mined(
     cfg: &ExecConfig,
     strip: usize,
 ) -> Report {
+    run_strip_mined(&mut Engine::new(p), spec, oh, cfg, strip)
+}
+
+/// Like [`sim_strip_mined`], additionally returning the recorded [`Trace`].
+pub fn sim_strip_mined_traced(
+    p: usize,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+    strip: usize,
+) -> (Report, Trace) {
+    let mut eng = Engine::new_observed(p);
+    let r = run_strip_mined(&mut eng, spec, oh, cfg, strip);
+    let trace = eng.finish_obs_trace();
+    (r, trace)
+}
+
+fn run_strip_mined(
+    eng: &mut Engine,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+    strip: usize,
+) -> Report {
     assert!(strip > 0, "strip size must be positive");
-    let mut eng = Engine::new(p);
+    let p = eng.p();
     let mut quit = TimedMin::new();
     let mut stats = Stats::default();
-    prologue(&mut eng, oh, cfg);
+    prologue(eng, oh, cfg);
 
     let mut lo = 0usize;
     'strips: while lo < spec.upper {
@@ -178,8 +245,11 @@ pub fn sim_strip_mined(
             }
             let i = claim;
             claim += 1;
-            eng.work(proc, oh.t_dispatch);
-            run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
+            eng.charge(proc, oh.t_dispatch, |c| Event::IterClaimed {
+                iter: i as u64,
+                cost: c,
+            });
+            run_body(eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
         }
         eng.barrier(oh.t_barrier);
         if quit.final_min().is_some() {
@@ -188,8 +258,8 @@ pub fn sim_strip_mined(
         lo = hi;
     }
 
-    epilogue(&mut eng, oh, cfg, &stats);
-    report(&eng, spec, &quit, stats)
+    epilogue(eng, oh, cfg, &stats);
+    report(eng, spec, &quit, stats)
 }
 
 #[cfg(test)]
@@ -249,18 +319,32 @@ mod tests {
     #[test]
     fn rv_exit_overshoots_and_counts_it() {
         let spec = LoopSpec::uniform(100_000, 100).with_exit(500, RV);
-        let r = sim_induction_doall(8, &spec, &oh(), &ExecConfig::with_undo(1000), Schedule::Dynamic);
+        let r = sim_induction_doall(
+            8,
+            &spec,
+            &oh(),
+            &ExecConfig::with_undo(1000),
+            Schedule::Dynamic,
+        );
         assert_eq!(r.last_valid, Some(500));
-        assert!(r.overshoot > 0, "RV must overshoot under parallel execution");
+        assert!(
+            r.overshoot > 0,
+            "RV must overshoot under parallel execution"
+        );
         // dynamic issue bounds overshoot to roughly the in-flight window
-        assert!(r.overshoot < 64, "overshoot {} too large for ordered issue", r.overshoot);
+        assert!(
+            r.overshoot < 64,
+            "overshoot {} too large for ordered issue",
+            r.overshoot
+        );
     }
 
     #[test]
     fn static_cyclic_overshoots_more_than_dynamic_under_rv() {
         let spec = LoopSpec::uniform(10_000, 100).with_exit(100, RV);
         let dyn_r = sim_induction_doall(8, &spec, &oh(), &ExecConfig::bare(), Schedule::Dynamic);
-        let sta_r = sim_induction_doall(8, &spec, &oh(), &ExecConfig::bare(), Schedule::StaticCyclic);
+        let sta_r =
+            sim_induction_doall(8, &spec, &oh(), &ExecConfig::bare(), Schedule::StaticCyclic);
         assert!(
             sta_r.overshoot >= dyn_r.overshoot,
             "paper: static spans ≥ dynamic spans (static {} vs dynamic {})",
@@ -273,8 +357,17 @@ mod tests {
     fn undo_machinery_costs_show_up() {
         let spec = LoopSpec::uniform(1000, 100).with_exit(900, RV);
         let bare = sim_induction_doall(4, &spec, &oh(), &ExecConfig::bare(), Schedule::Dynamic);
-        let undo = sim_induction_doall(4, &spec, &oh(), &ExecConfig::with_undo(5000), Schedule::Dynamic);
-        assert!(undo.makespan > bare.makespan, "T_b/T_d/T_a must cost cycles");
+        let undo = sim_induction_doall(
+            4,
+            &spec,
+            &oh(),
+            &ExecConfig::with_undo(5000),
+            Schedule::Dynamic,
+        );
+        assert!(
+            undo.makespan > bare.makespan,
+            "T_b/T_d/T_a must cost cycles"
+        );
     }
 
     #[test]
@@ -291,7 +384,11 @@ mod tests {
     fn strip_mining_bounds_overshoot_by_strip() {
         let spec = LoopSpec::uniform(100_000, 100).with_exit(450, RV);
         let r = sim_strip_mined(8, &spec, &oh(), &ExecConfig::bare(), 100);
-        assert!(r.overshoot <= 100, "overshoot {} exceeds strip bound", r.overshoot);
+        assert!(
+            r.overshoot <= 100,
+            "overshoot {} exceeds strip bound",
+            r.overshoot
+        );
         // exit at 450 is inside strip [400,500): 5 strips ran, none after
         assert!(r.executed <= 500);
     }
@@ -317,10 +414,52 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_events_account_for_every_busy_cycle() {
+        let spec = LoopSpec::uniform(300, 40).with_exit(200, RV);
+        let (r, trace) = sim_induction_doall_traced(
+            4,
+            &spec,
+            &oh(),
+            &ExecConfig::with_undo(100),
+            Schedule::Dynamic,
+        );
+        assert_eq!(trace.p, 4);
+        assert_eq!(trace.makespan, r.makespan);
+        for proc in 0..4 {
+            let evented: u64 = trace
+                .samples
+                .iter()
+                .filter(|s| s.proc as usize == proc)
+                .map(|s| s.event.busy_cost())
+                .sum();
+            assert_eq!(
+                evented, r.busy[proc],
+                "proc {proc}: every busy cycle evented"
+            );
+        }
+        // the untraced run is bit-identical in outcome
+        let plain = sim_induction_doall(
+            4,
+            &spec,
+            &oh(),
+            &ExecConfig::with_undo(100),
+            Schedule::Dynamic,
+        );
+        assert_eq!(plain.makespan, r.makespan);
+        assert_eq!(plain.busy, r.busy);
+    }
+
+    #[test]
     fn conservation_busy_le_p_times_makespan() {
         let spec = LoopSpec::uniform(777, 91).with_exit(600, RV);
         for p in [1, 3, 8] {
-            let r = sim_induction_doall(p, &spec, &oh(), &ExecConfig::with_undo(100), Schedule::Dynamic);
+            let r = sim_induction_doall(
+                p,
+                &spec,
+                &oh(),
+                &ExecConfig::with_undo(100),
+                Schedule::Dynamic,
+            );
             let busy: u64 = r.busy.iter().sum();
             assert!(busy <= p as u64 * r.makespan);
             assert!(r.utilization() <= 1.0 + 1e-12);

@@ -25,7 +25,13 @@ mod pipeline;
 mod window;
 
 pub use doany::{sim_doany, sim_doany_sequential};
-pub use general::{sim_distribution, sim_general1, sim_general2, sim_general3};
-pub use induction::{sim_induction_doall, sim_prefix_doall, sim_sequential, sim_strip_mined, Schedule};
+pub use general::{
+    sim_distribution, sim_general1, sim_general1_traced, sim_general2, sim_general3,
+    sim_general3_traced,
+};
+pub use induction::{
+    sim_induction_doall, sim_induction_doall_traced, sim_prefix_doall, sim_sequential,
+    sim_strip_mined, sim_strip_mined_traced, Schedule,
+};
 pub use pipeline::sim_doacross;
-pub use window::sim_windowed;
+pub use window::{sim_windowed, sim_windowed_traced};

@@ -3,6 +3,7 @@
 use super::common::{epilogue, prologue, report, run_body, Stats};
 use crate::engine::{Engine, Report, TimedMin};
 use crate::spec::{ExecConfig, LoopSpec, Overheads};
+use wlp_obs::{Event, Trace};
 
 /// Dynamic DOALL whose in-flight iteration span never exceeds `window`
 /// (the resource-controlled self-scheduler). A processor whose claim would
@@ -20,11 +21,42 @@ pub fn sim_windowed(
     cfg: &ExecConfig,
     window: usize,
 ) -> Report {
+    run_windowed(&mut Engine::new(p), spec, oh, cfg, window)
+}
+
+/// Like [`sim_windowed`], additionally returning the recorded [`Trace`]
+/// (window-admission stalls become `LockWait` events).
+pub fn sim_windowed_traced(
+    p: usize,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+    window: usize,
+) -> (Report, Trace) {
+    let mut eng = Engine::new_observed(p);
+    let r = run_windowed(&mut eng, spec, oh, cfg, window);
+    let trace = eng.finish_obs_trace();
+    (r, trace)
+}
+
+fn run_windowed(
+    eng: &mut Engine,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+    window: usize,
+) -> Report {
     assert!(window > 0, "window must be positive");
-    let mut eng = Engine::new(p);
+    let p = eng.p();
     let mut quit = TimedMin::new();
     let mut stats = Stats::default();
-    prologue(&mut eng, oh, cfg);
+    prologue(eng, oh, cfg);
+    eng.emit(
+        0,
+        Event::WindowResize {
+            window: window as u64,
+        },
+    );
 
     // Completion time of each claimed iteration; actions are processed in
     // non-decreasing time order, so the low watermark only advances.
@@ -43,19 +75,26 @@ pub fn sim_windowed(
         }
         if claim - low >= window {
             // idle until the watermark iteration completes, then re-check
+            let stall = end_time[low].saturating_sub(t);
             eng.wait_until(proc, end_time[low]);
+            if stall > 0 {
+                eng.emit(proc, Event::LockWait { dur: stall });
+            }
             continue;
         }
         let i = claim;
         claim += 1;
-        eng.work(proc, oh.t_dispatch);
-        run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
+        eng.charge(proc, oh.t_dispatch, |c| Event::IterClaimed {
+            iter: i as u64,
+            cost: c,
+        });
+        run_body(eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
         end_time.push(eng.now(proc));
         debug_assert_eq!(end_time.len(), claim);
     }
 
-    epilogue(&mut eng, oh, cfg, &stats);
-    report(&eng, spec, &quit, stats)
+    epilogue(eng, oh, cfg, &stats);
+    report(eng, spec, &quit, stats)
 }
 
 #[cfg(test)]

@@ -26,9 +26,11 @@ impl Coo {
     /// # Panics
     /// Panics if the coordinate is out of bounds.
     pub fn push(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n_rows && col < self.n_cols, "entry out of bounds");
-        self.entries
-            .push((row as u32, col as u32, value));
+        assert!(
+            row < self.n_rows && col < self.n_cols,
+            "entry out of bounds"
+        );
+        self.entries.push((row as u32, col as u32, value));
     }
 
     /// Number of raw triplets (before duplicate summing).

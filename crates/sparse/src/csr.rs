@@ -146,7 +146,13 @@ mod tests {
         // [0 3 0]
         // [4 0 5]
         let mut c = Coo::new(3, 3);
-        for (i, j, v) in [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+        for (i, j, v) in [
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
             c.push(i, j, v);
         }
         c.to_csr()

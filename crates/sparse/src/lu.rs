@@ -179,10 +179,16 @@ mod tests {
     fn solves_a_gemat_class_system() {
         let m = gemat_like(120, 800, 3);
         let lu = factorize(&m, 0.01).expect("diag-dominant factorizes");
-        let x_true: Vec<f64> = (0..m.n_rows()).map(|i| (i % 11) as f64 * 0.5 - 2.0).collect();
+        let x_true: Vec<f64> = (0..m.n_rows())
+            .map(|i| (i % 11) as f64 * 0.5 - 2.0)
+            .collect();
         let b = m.spmv(&x_true);
         let x = lu.solve(&b);
-        assert!(residual(&m, &x, &b) < 1e-6, "residual {}", residual(&m, &x, &b));
+        assert!(
+            residual(&m, &x, &b) < 1e-6,
+            "residual {}",
+            residual(&m, &x, &b)
+        );
     }
 
     #[test]

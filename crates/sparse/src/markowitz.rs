@@ -112,7 +112,13 @@ mod tests {
     fn best_in_row_respects_threshold() {
         // row 0: 10 at col 0 (dense col), 1 at col 1 (sparse col)
         let w = work_from(
-            &[(0, 0, 10.0), (0, 1, 1.0), (1, 0, 1.0), (2, 0, 1.0), (1, 1, 0.0)],
+            &[
+                (0, 0, 10.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (2, 0, 1.0),
+                (1, 1, 0.0),
+            ],
             3,
         );
         // u = 1.0: only the 10.0 entry is admissible despite worse cost
@@ -153,7 +159,14 @@ mod tests {
     #[test]
     fn candidate_rows_sorted_by_count() {
         let w = work_from(
-            &[(0, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 1, 1.0), (2, 2, 1.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (1, 1, 1.0),
+                (2, 0, 1.0),
+                (2, 1, 1.0),
+                (2, 2, 1.0),
+            ],
             3,
         );
         assert_eq!(candidate_rows(&w), vec![1, 0, 2]);

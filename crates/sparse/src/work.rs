@@ -42,7 +42,13 @@ impl EliminationWork {
         assert_eq!(m.n_rows(), m.n_cols(), "elimination needs a square matrix");
         let n = m.n_rows();
         let rows: Vec<Vec<(u32, f64)>> = (0..n)
-            .map(|i| m.row_cols(i).iter().copied().zip(m.row_vals(i).iter().copied()).collect())
+            .map(|i| {
+                m.row_cols(i)
+                    .iter()
+                    .copied()
+                    .zip(m.row_vals(i).iter().copied())
+                    .collect()
+            })
             .collect();
         let mut col_count = vec![0u32; n];
         for row in &rows {
@@ -315,7 +321,13 @@ mod tests {
         // [1 0 1]   pivot (0,0) ⇒ row1 gains a (1,1) fill entry
         // [0 0 1]
         let mut c = Coo::new(3, 3);
-        for (i, j, v) in [(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 2, 1.0)] {
+        for (i, j, v) in [
+            (0, 0, 1.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 2, 1.0),
+            (2, 2, 1.0),
+        ] {
             c.push(i, j, v);
         }
         let mut w = EliminationWork::from_csr(&c.to_csr());
@@ -331,7 +343,8 @@ mod tests {
         for _ in 0..10 {
             // pick the first active row's first active entry as pivot
             let pi = w.active_rows().next().unwrap();
-            let pj = w.row(pi)
+            let pj = w
+                .row(pi)
                 .iter()
                 .find(|&&(c, _)| w.is_col_active(c as usize))
                 .map(|&(c, _)| c as usize)

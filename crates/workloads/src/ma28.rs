@@ -88,7 +88,10 @@ pub fn search_parallel(
     let out = doall_dynamic(pool, candidates.len(), |k, vpn| {
         executed.fetch_add(1, Ordering::Relaxed);
         if let Some(piv) = eval(candidates[k]) {
-            let sp = StampedPivot { stamp: k, pivot: piv };
+            let sp = StampedPivot {
+                stamp: k,
+                pivot: piv,
+            };
             let mut local = locals[vpn].lock();
             if local.as_ref().is_none_or(|b| better(&sp, b)) {
                 *local = Some(sp);
@@ -101,13 +104,13 @@ pub fn search_parallel(
     });
 
     // time-stamp-ordered minimum reduction over the privatized pivots
-    let best = locals
-        .into_iter()
-        .filter_map(|m| m.into_inner())
-        .fold(None, |acc: Option<StampedPivot>, sp| match acc {
+    let best = locals.into_iter().filter_map(|m| m.into_inner()).fold(
+        None,
+        |acc: Option<StampedPivot>, sp| match acc {
             Some(b) if better(&b, &sp) => Some(b),
             _ => Some(sp),
-        });
+        },
+    );
 
     (
         best,

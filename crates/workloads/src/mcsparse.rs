@@ -97,11 +97,7 @@ pub fn acceptable(p: &Pivot, cost_bound: u64) -> bool {
 
 /// Sequential DFACT search: scan the fused candidates in order, return the
 /// first acceptable pivot (and how many candidates were examined).
-pub fn dfact_sequential(
-    work: &EliminationWork,
-    u: f64,
-    cost_bound: u64,
-) -> (Option<Pivot>, usize) {
+pub fn dfact_sequential(work: &EliminationWork, u: f64, cost_bound: u64) -> (Option<Pivot>, usize) {
     let colmap = column_rows(work);
     for (k, cand) in candidates(work.n()).enumerate() {
         if let Some(p) = evaluate_candidate(work, &colmap, cand, u) {
@@ -195,7 +191,10 @@ mod tests {
         let pool = Pool::new(4);
         let (p, _) = dfact_doany(&pool, &w, 0.1, 16);
         let p = p.expect("parallel search must find a pivot too");
-        assert!(acceptable(&p, 16), "any acceptable pivot is a correct answer");
+        assert!(
+            acceptable(&p, 16),
+            "any acceptable pivot is a correct answer"
+        );
         // the found pivot must be a real admissible entry
         assert!(w.get(p.row, p.col).is_some());
         assert_eq!(w.markowitz_cost(p.row, p.col), p.cost);

@@ -301,9 +301,9 @@ pub fn load_netlist_parallel(
 pub fn sim_spec_mixed(n: usize) -> (LoopSpec, Overheads) {
     let spec = LoopSpec::uniform(n, 0)
         .with_work(|i| match i % 4 {
-            0 | 1 => 35,  // capacitor
-            2 => 140,     // BJT: exponentials + N-R limiting
-            _ => 70,      // MOSFET
+            0 | 1 => 35, // capacitor
+            2 => 140,    // BJT: exponentials + N-R limiting
+            _ => 70,     // MOSFET
         })
         .with_accesses(|_| 2, |_| 4);
     let oh = Overheads {
@@ -331,14 +331,22 @@ mod tests {
             assert_eq!(outcome.iterations, 500, "{method:?}");
             assert_eq!(outcome.quit, None, "RI terminator never quits early");
             for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
-                assert!(close(s.geq, p.geq) && close(s.ieq, p.ieq), "{method:?} device {i}");
+                assert!(
+                    close(s.geq, p.geq) && close(s.ieq, p.ieq),
+                    "{method:?} device {i}"
+                );
             }
         }
     }
 
     #[test]
     fn evaluation_is_deterministic() {
-        let dev = Capacitor { id: 0, capacitance: 1e-10, v_prev: 2.0, q_prev: 1e-10 };
+        let dev = Capacitor {
+            id: 0,
+            capacitance: 1e-10,
+            v_prev: 2.0,
+            q_prev: 1e-10,
+        };
         assert_eq!(evaluate(&dev, 1e-6), evaluate(&dev, 1e-6));
     }
 
@@ -371,7 +379,10 @@ mod tests {
             let (par, outcome) = load_netlist_parallel(&pool, &list, 1e-6, method);
             assert_eq!(outcome.iterations, 600, "{method:?}");
             for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
-                assert!(close(s.geq, p.geq) && close(s.ieq, p.ieq), "{method:?} device {i}");
+                assert!(
+                    close(s.geq, p.geq) && close(s.ieq, p.ieq),
+                    "{method:?} device {i}"
+                );
             }
         }
     }
@@ -392,7 +403,12 @@ mod tests {
 
     #[test]
     fn bjt_limiting_converges_to_finite_stamp() {
-        let d = Bjt { id: 0, is_sat: 1e-15, beta_f: 100.0, v_be: 0.7 };
+        let d = Bjt {
+            id: 0,
+            is_sat: 1e-15,
+            beta_f: 100.0,
+            v_be: 0.7,
+        };
         let s = evaluate_bjt(&d);
         assert!(s.geq.is_finite() && s.geq > 0.0);
         assert!(s.ieq.is_finite());
@@ -401,13 +417,31 @@ mod tests {
     #[test]
     fn mosfet_regions_are_covered() {
         // cutoff
-        let s = evaluate_mosfet(&Mosfet { id: 0, vt0: 1.0, kp: 1e-4, v_gs: 0.5, v_ds: 1.0 });
+        let s = evaluate_mosfet(&Mosfet {
+            id: 0,
+            vt0: 1.0,
+            kp: 1e-4,
+            v_gs: 0.5,
+            v_ds: 1.0,
+        });
         assert_eq!(s.ieq, 0.0);
         // triode: v_ds < v_ov
-        let s = evaluate_mosfet(&Mosfet { id: 0, vt0: 0.5, kp: 1e-4, v_gs: 2.0, v_ds: 0.5 });
+        let s = evaluate_mosfet(&Mosfet {
+            id: 0,
+            vt0: 0.5,
+            kp: 1e-4,
+            v_gs: 2.0,
+            v_ds: 0.5,
+        });
         assert!(s.geq > 0.0);
         // saturation: v_ds ≥ v_ov
-        let s = evaluate_mosfet(&Mosfet { id: 0, vt0: 0.5, kp: 1e-4, v_gs: 1.0, v_ds: 2.0 });
+        let s = evaluate_mosfet(&Mosfet {
+            id: 0,
+            vt0: 0.5,
+            kp: 1e-4,
+            v_gs: 1.0,
+            v_ds: 2.0,
+        });
         assert!(s.geq > 0.0);
     }
 

@@ -109,8 +109,11 @@ impl TrackInstance {
     /// valid because a human has proven independence. Returns the outcome
     /// only (state handling identical to the speculative path).
     pub fn run_hand_parallel(&self, pool: &Pool) -> InductionOutcome {
-        let state: Vec<crossbeam::atomic::AtomicCell<f64>> =
-            self.state.iter().map(|&v| crossbeam::atomic::AtomicCell::new(v)).collect();
+        let state: Vec<crossbeam::atomic::AtomicCell<f64>> = self
+            .state
+            .iter()
+            .map(|&v| crossbeam::atomic::AtomicCell::new(v))
+            .collect();
         wlp_core::induction::induction2(
             pool,
             self.meas.len(),
@@ -161,7 +164,11 @@ mod tests {
         let (par_state, out) = inst.run_parallel(&pool);
         assert_eq!(out.last_valid, seq_exit);
         assert_eq!(seq_exit, Some(1500));
-        assert!(out.committed_parallel, "speculation must pass: {:?}", out.verdict);
+        assert!(
+            out.committed_parallel,
+            "speculation must pass: {:?}",
+            out.verdict
+        );
         close_vec(&seq_state, &par_state);
     }
 

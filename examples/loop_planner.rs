@@ -30,11 +30,26 @@ fn main() {
     );
 
     let loops = [
-        ("Figure 1(b): linked-list traversal", examples::figure1b_list_traversal()),
-        ("Figure 1(e): affine recurrence loop", examples::figure1e_affine()),
-        ("Figure 5(a): independent DO + exit", examples::figure5a_independent()),
-        ("Figure 5(c): true recurrence", examples::figure5c_recurrence()),
-        ("TRACK-style subscripted subscripts", examples::track_style_unknown()),
+        (
+            "Figure 1(b): linked-list traversal",
+            examples::figure1b_list_traversal(),
+        ),
+        (
+            "Figure 1(e): affine recurrence loop",
+            examples::figure1e_affine(),
+        ),
+        (
+            "Figure 5(a): independent DO + exit",
+            examples::figure5a_independent(),
+        ),
+        (
+            "Figure 5(c): true recurrence",
+            examples::figure5c_recurrence(),
+        ),
+        (
+            "TRACK-style subscripted subscripts",
+            examples::track_style_unknown(),
+        ),
     ];
 
     for (name, body) in loops {
@@ -54,7 +69,10 @@ fn main() {
         println!(
             "  distributed: {} block(s): {:?}",
             p.blocks.len(),
-            p.blocks.iter().map(|b| (b.nature, b.stmts().len())).collect::<Vec<_>>()
+            p.blocks
+                .iter()
+                .map(|b| (b.nature, b.stmts().len()))
+                .collect::<Vec<_>>()
         );
 
         // Section 7: is it worth it on an 8-processor machine, assuming

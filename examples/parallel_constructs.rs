@@ -15,9 +15,14 @@ fn main() {
     let pool = Pool::new(8);
 
     // WHILE-DOALL: independent iterations, exit when a condition fires.
-    let out = while_doall(&pool, 1_000_000, |i| i * i > 5_000_000, |_i, _vpn| {
-        std::hint::black_box(17u64.wrapping_pow(3));
-    });
+    let out = while_doall(
+        &pool,
+        1_000_000,
+        |i| i * i > 5_000_000,
+        |_i, _vpn| {
+            std::hint::black_box(17u64.wrapping_pow(3));
+        },
+    );
     println!(
         "WHILE-DOALL: exit at {:?} after {} bodies (√5e6 ≈ 2236)",
         out.last_valid, out.executed
@@ -32,7 +37,11 @@ fn main() {
         1,
         |i| i > 0 && chain[i - 1].load(Ordering::Acquire).is_multiple_of(9973),
         |i, _stage| {
-            let prev = if i == 0 { 7 } else { chain[i - 1].load(Ordering::Acquire) };
+            let prev = if i == 0 {
+                7
+            } else {
+                chain[i - 1].load(Ordering::Acquire)
+            };
             chain[i].store(prev.wrapping_mul(31).wrapping_add(17), Ordering::Release);
         },
     );
@@ -48,9 +57,14 @@ fn main() {
     // Run-twice: find the trip count first (terminator-only pass), then a
     // plain DOALL — zero checkpoint/stamp/undo state.
     let counted = AtomicU64::new(0);
-    let out = run_twice_while(&pool, 1_000_000, |i| i >= 250_000, |_i, _vpn| {
-        counted.fetch_add(1, Ordering::Relaxed);
-    });
+    let out = run_twice_while(
+        &pool,
+        1_000_000,
+        |i| i >= 250_000,
+        |_i, _vpn| {
+            counted.fetch_add(1, Ordering::Relaxed);
+        },
+    );
     println!(
         "run-twice: {} bodies in pass 2, exit at {:?}, no time-stamps anywhere",
         counted.load(Ordering::Relaxed),

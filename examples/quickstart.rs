@@ -26,7 +26,9 @@ fn main() {
         let v = list[node];
         let mut acc = v;
         for _ in 0..32 {
-            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            acc = acc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
         }
         out[v as usize].store(acc, Ordering::Relaxed);
     };
@@ -41,12 +43,21 @@ fn main() {
     let g1 = general1(&pool, &list, GeneralConfig::default(), body);
     let t_g1 = t0.elapsed();
 
-    println!("General-3 (dynamic, no locks): {} iterations, {} hops, {t_g3:?}", g3.iterations, g3.hops);
-    println!("General-1 (lock around next): {} iterations, {} hops, {t_g1:?}", g1.iterations, g1.hops);
+    println!(
+        "General-3 (dynamic, no locks): {} iterations, {} hops, {t_g3:?}",
+        g3.iterations, g3.hops
+    );
+    println!(
+        "General-1 (lock around next): {} iterations, {} hops, {t_g1:?}",
+        g1.iterations, g1.hops
+    );
     assert_eq!(g3.iterations as u64, n);
     assert_eq!(g1.hops, n, "General-1 traverses the list exactly once");
 
     // Every node was processed exactly once, wherever it lived in memory.
-    let processed = out.iter().filter(|c| c.load(Ordering::Relaxed) != 0).count();
+    let processed = out
+        .iter()
+        .filter(|c| c.load(Ordering::Relaxed) != 0)
+        .count();
     println!("processed {processed}/{n} nodes");
 }

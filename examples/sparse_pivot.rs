@@ -43,7 +43,9 @@ fn main() {
     );
 
     // solve against a known solution and check the residual
-    let x_true: Vec<f64> = (0..m.n_rows()).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+    let x_true: Vec<f64> = (0..m.n_rows())
+        .map(|i| ((i * 7) % 13) as f64 - 6.0)
+        .collect();
     let b = m.spmv(&x_true);
     let x = lu.solve(&b);
     let max_err = x

@@ -5,8 +5,8 @@
 //! cargo run --release --example spice_netlist
 //! ```
 
-use wlp::workloads::spice::{build_device_list, load_parallel, load_sequential, Method};
 use wlp::runtime::Pool;
+use wlp::workloads::spice::{build_device_list, load_parallel, load_sequential, Method};
 
 fn main() {
     let n = 50_000;
@@ -32,7 +32,10 @@ fn main() {
             "{method:?}: {elapsed:?}, {} iterations, {} dispatcher hops, max |err| = {max_err:.3e}",
             outcome.iterations, outcome.hops
         );
-        assert!(max_err < 1e-9, "parallel LOAD must match the sequential model");
+        assert!(
+            max_err < 1e-9,
+            "parallel LOAD must match the sequential model"
+        );
     }
 
     println!(

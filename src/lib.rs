@@ -21,6 +21,8 @@
 //! * [`core`] — the paper's parallelization strategies and machinery.
 //! * [`ir`] — loop IR, dependence analysis, distribution/fusion.
 //! * [`workloads`] — the five loops of the paper's evaluation.
+//! * [`obs`] — structured tracing/profiling: one event schema shared by
+//!   the runtime and the simulator, profile aggregation, Chrome traces.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
@@ -47,9 +49,16 @@
 //! assert_eq!(out[7].load(Ordering::Relaxed), 14);
 //! ```
 
+// Compile and run the README's code blocks as doctests so the quickstart
+// can never drift from the actual API.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
+
 pub use wlp_core as core;
 pub use wlp_ir as ir;
 pub use wlp_list as list;
+pub use wlp_obs as obs;
 pub use wlp_pd as pd;
 pub use wlp_runtime as runtime;
 pub use wlp_sim as sim;

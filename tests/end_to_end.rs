@@ -59,7 +59,10 @@ fn planned_speculation_executes_track_loop_correctly() {
     assert_eq!(out.last_valid, Some(2500));
     let snap = arr.snapshot();
     let doubled = snap.iter().filter(|&&v| v == 2.0).count();
-    assert_eq!(doubled, 2500, "exactly the valid iterations' writes survive");
+    assert_eq!(
+        doubled, 2500,
+        "exactly the valid iterations' writes survive"
+    );
 }
 
 #[test]

@@ -5,9 +5,9 @@
 use proptest::prelude::*;
 use wlp::sim::spec::TerminatorKind;
 use wlp::sim::{
-    sim_distribution, sim_doacross, sim_general1, sim_general2, sim_general3,
-    sim_induction_doall, sim_prefix_doall, sim_sequential, sim_strip_mined, sim_windowed,
-    ExecConfig, LoopSpec, Overheads, Schedule,
+    sim_distribution, sim_doacross, sim_general1, sim_general2, sim_general3, sim_induction_doall,
+    sim_prefix_doall, sim_sequential, sim_strip_mined, sim_windowed, ExecConfig, LoopSpec,
+    Overheads, Schedule,
 };
 
 #[derive(Debug, Clone)]
@@ -46,8 +46,14 @@ fn all_strategies(
     cfg: &ExecConfig,
 ) -> Vec<(&'static str, wlp::sim::Report)> {
     vec![
-        ("induction", sim_induction_doall(p, spec, oh, cfg, Schedule::Dynamic)),
-        ("static", sim_induction_doall(p, spec, oh, cfg, Schedule::StaticCyclic)),
+        (
+            "induction",
+            sim_induction_doall(p, spec, oh, cfg, Schedule::Dynamic),
+        ),
+        (
+            "static",
+            sim_induction_doall(p, spec, oh, cfg, Schedule::StaticCyclic),
+        ),
         ("general1", sim_general1(p, spec, oh, cfg)),
         ("general2", sim_general2(p, spec, oh, cfg)),
         ("general3", sim_general3(p, spec, oh, cfg)),
