@@ -13,7 +13,8 @@
 use wlp_bench::{
     fig6, fig7, fig_ma28, fig_mcsparse, inputs, render_ablation_balance, render_ablation_chunk,
     render_ablation_doacross, render_ablation_hedge, render_ablation_strip, render_ablation_window,
-    render_costmodel, render_gantt_exhibit, render_profile, render_table1, render_table2,
+    render_costmodel, render_faults, render_gantt_exhibit, render_profile, render_table1,
+    render_table2,
 };
 
 fn by_input(make: &dyn Fn(&str, &wlp_sparse::Csr) -> wlp_bench::Figure, which: &str) -> String {
@@ -46,11 +47,12 @@ fn exhibit(name: &str) -> Option<String> {
         "ablation-balance" => render_ablation_balance(),
         "gantt" => render_gantt_exhibit(),
         "profile" => render_profile(),
+        "faults" => render_faults(),
         _ => return None,
     })
 }
 
-const ALL: [&str; 20] = [
+const ALL: [&str; 21] = [
     "table1",
     "table2",
     "fig6",
@@ -71,6 +73,7 @@ const ALL: [&str; 20] = [
     "ablation-balance",
     "gantt",
     "profile",
+    "faults",
 ];
 
 fn main() {

@@ -622,6 +622,70 @@ pub fn render_ablation_balance() -> String {
     out
 }
 
+/// The `faults` exhibit: the Section 5 exception rule exercised on the
+/// **threaded** runtime. SPICE LOAD (General-3 wrapped in the recovery
+/// combinator) runs clean, then with a deterministic mid-loop panic
+/// injected by `wlp-fault`; both must produce the sequential answer, and
+/// the faulted run must additionally show one exception abort in its
+/// recorded trace. A third run corrupts the device list into a cycle and
+/// shows the runaway-dispatcher guard returning a structured error. Wall
+/// times make the price of recovery (roughly one extra sequential pass)
+/// visible next to the clean makespan.
+pub fn render_faults() -> String {
+    use std::time::Instant;
+    use wlp_fault::FaultPlan;
+    use wlp_obs::{BufferRecorder, NoopRecorder, ProfileReport};
+    use wlp_runtime::Pool;
+    use wlp_workloads::spice::{build_device_list, load_parallel_recovering, load_sequential};
+
+    let (n, p) = (20_000usize, 8usize);
+    let pool = Pool::new(p);
+    let list = build_device_list(n, 7);
+    let reference = load_sequential(&list, 1e-6);
+    let mut out = String::from(
+        "## Faults — panic recovery on the threaded runtime (SPICE LOAD, General-3, p = 8)\n\n",
+    );
+    out.push_str("run          wall_us  recovered  aborts(exc)  correct\n");
+
+    // The injected panics are caught by the pool; keep the default hook's
+    // backtraces out of the exhibit.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    for (label, plan) in [
+        ("clean", FaultPlan::none()),
+        ("panic@n/2", FaultPlan::panic_at(n / 2)),
+        ("panic@0", FaultPlan::panic_at(0)),
+    ] {
+        let rec = BufferRecorder::new(p);
+        let t0 = Instant::now();
+        let (stamps, outcome) = load_parallel_recovering(&pool, &list, 1e-6, &plan, &rec);
+        let wall = t0.elapsed().as_micros();
+        let report = ProfileReport::from_trace(&rec.finish());
+        let correct = stamps
+            .iter()
+            .zip(&reference)
+            .all(|(a, b)| (a.geq - b.geq).abs() <= 1e-12 && (a.ieq - b.ieq).abs() <= 1e-9);
+        out.push_str(&format!(
+            "{label:<12} {wall:>7} {:>10} {:>12} {correct:>8}\n",
+            outcome.recovered, report.aborts_exception
+        ));
+    }
+
+    let mut bad = build_device_list(2_000, 3);
+    wlp_fault::corrupt_list_cycle(&mut bad, 5).expect("list long enough");
+    let t0 = Instant::now();
+    let (_, outcome) =
+        load_parallel_recovering(&pool, &bad, 1e-6, &FaultPlan::none(), &NoopRecorder);
+    let wall = t0.elapsed().as_micros();
+    std::panic::set_hook(default_hook);
+    match outcome.diverged {
+        Some(d) => out.push_str(&format!("cyclic-list  {wall:>7}  {d}\n")),
+        None => out.push_str("cyclic-list  GUARD FAILED: corruption went undetected\n"),
+    }
+    out
+}
+
 /// The `profile` exhibit: aggregated [`wlp_obs::ProfileReport`]s, one JSON
 /// object per representative strategy run, computed from the simulator's
 /// recorded traces (all quantities in virtual cycles). Every report is

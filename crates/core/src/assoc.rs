@@ -50,6 +50,7 @@ where
         last_valid: out.quit,
         executed: executed.load(Ordering::Relaxed),
         max_started: out.max_started,
+        panic: out.panic,
     }
 }
 

@@ -40,7 +40,7 @@ where
     BF: Fn(usize, usize) + Sync,
 {
     let quit = AtomicUsize::new(usize::MAX);
-    doacross(pool, upper, stages + 1, |i, s| {
+    let out = doacross(pool, upper, stages + 1, |i, s| {
         // Stage 0 (the terminator) runs in strict iteration order along the
         // wavefront, so by the time iteration i tests, every earlier exit
         // is already registered — the quit bound below is exact, and
@@ -53,6 +53,11 @@ where
             body(i, s - 1);
         }
     });
+    // this construct's return type cannot carry a contained fault, so a
+    // worker panic resumes on the caller — not silently swallowed
+    if let Some(wp) = out.panic {
+        wp.resume();
+    }
     let q = quit.load(Ordering::Acquire);
     (q != usize::MAX).then_some(q)
 }
@@ -77,7 +82,7 @@ where
     F: Fn(usize) -> Option<T> + Sync,
 {
     let found: parking_lot::Mutex<Option<(usize, T)>> = parking_lot::Mutex::new(None);
-    doall_dynamic(pool, upper, |i, _| match body(i) {
+    let out = doall_dynamic(pool, upper, |i, _| match body(i) {
         Some(v) => {
             let mut f = found.lock();
             if f.is_none() {
@@ -87,6 +92,9 @@ where
         }
         None => Step::Continue,
     });
+    if let Some(wp) = out.panic {
+        wp.resume();
+    }
     found.into_inner()
 }
 
@@ -126,6 +134,7 @@ where
         last_valid: pass1.quit,
         executed: executed.load(Ordering::Relaxed),
         max_started: pass2.max_started,
+        panic: pass1.panic.or(pass2.panic),
     }
 }
 

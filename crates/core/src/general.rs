@@ -21,11 +21,13 @@
 //! semantics.
 
 use crate::dispatch::Dispatcher;
+use crate::recover::FirstFault;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
-use wlp_list::{ListArena, NodeId};
-use wlp_obs::{Event, NoopRecorder, Recorder};
-use wlp_runtime::{doall_dynamic, Pool, Step};
+use wlp_list::{DispatcherDiverged, ListArena, NodeId};
+use wlp_obs::{AbortReason, Event, NoopRecorder, Recorder};
+use wlp_runtime::{doall_dynamic, CancelFlag, Pool, Step, WorkerPanic};
 
 /// Options for the General methods.
 #[derive(Debug, Clone, Copy, Default)]
@@ -36,7 +38,7 @@ pub struct GeneralConfig {
 }
 
 /// Result of a General-method execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GeneralOutcome {
     /// Bodies executed.
     pub iterations: usize,
@@ -45,6 +47,48 @@ pub struct GeneralOutcome {
     /// Total dispatcher increments across all processors (the traversal
     /// cost the three methods trade differently).
     pub hops: u64,
+    /// First body panic contained during the run, if any.
+    pub panic: Option<WorkerPanic>,
+    /// The dispatcher guard tripped: the list is corrupted (cyclic) and
+    /// the traversal was stopped within the step budget instead of
+    /// hanging.
+    pub diverged: Option<DispatcherDiverged>,
+    /// Whether a sequential fallback re-execution produced this result
+    /// (only set by [`general3_recovering_rec`]).
+    pub recovered: bool,
+}
+
+impl GeneralOutcome {
+    fn new(iterations: usize, quit: usize, hops: u64) -> Self {
+        GeneralOutcome {
+            iterations,
+            quit: (quit != NO_QUIT).then_some(quit),
+            hops,
+            panic: None,
+            diverged: None,
+            recovered: false,
+        }
+    }
+}
+
+/// Shared first-divergence slot (smallest report wins is irrelevant — any
+/// one proves corruption).
+#[derive(Debug, Default)]
+struct DivergedCell(parking_lot::Mutex<Option<DispatcherDiverged>>);
+
+impl DivergedCell {
+    fn new() -> Self {
+        Self::default()
+    }
+    fn record(&self, d: DispatcherDiverged) {
+        let mut slot = self.0.lock();
+        if slot.is_none() {
+            *slot = Some(d);
+        }
+    }
+    fn take(&self) -> Option<DispatcherDiverged> {
+        self.0.lock().take()
+    }
 }
 
 const NO_QUIT: usize = usize::MAX;
@@ -81,13 +125,20 @@ where
     R: Recorder,
 {
     let upper = cfg.upper.unwrap_or(usize::MAX);
+    let len = list.len();
     let cursor = parking_lot::Mutex::new((list.head(), 0usize));
     let quit = AtomicUsize::new(NO_QUIT);
     let iterations = AtomicU64::new(0);
     let hops = AtomicU64::new(0);
+    let cancel = CancelFlag::new();
+    let fault = FirstFault::new();
+    let diverged = DivergedCell::new();
 
-    pool.run(|vpn| {
+    let pool_out = pool.run_with(&cancel, |vpn| {
         loop {
+            if cancel.is_cancelled() {
+                break;
+            }
             // lock(list); pt = tmp; tmp = next(tmp); unlock(list)
             let t0 = R::ENABLED.then(Instant::now);
             let mut c = cursor.lock();
@@ -97,6 +148,17 @@ where
                 Some(node) => {
                     let i = c.1;
                     if i >= upper || i > quit.load(Ordering::Acquire) {
+                        None
+                    } else if i >= len {
+                        // an acyclic list yields at most `len` live nodes;
+                        // a live one at index `len` is a revisit — the
+                        // chain is corrupted, stop every claimer
+                        diverged.record(DispatcherDiverged {
+                            steps: i as u64,
+                            budget: len as u64,
+                            cycle: true,
+                        });
+                        c.0 = None;
                         None
                     } else {
                         c.0 = list.next(node);
@@ -128,9 +190,16 @@ where
                 }
             }
             let Some((i, node)) = claimed else { break };
-            iterations.fetch_add(1, Ordering::Relaxed);
             let b0 = R::ENABLED.then(Instant::now);
-            let step = body(i, node);
+            let step = match catch_unwind(AssertUnwindSafe(|| body(i, node))) {
+                Ok(s) => s,
+                Err(p) => {
+                    fault.record(vpn, i, p.as_ref());
+                    cancel.cancel();
+                    break;
+                }
+            };
+            iterations.fetch_add(1, Ordering::Relaxed);
             if R::ENABLED {
                 let cost = b0.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 rec.record(
@@ -153,12 +222,14 @@ where
         }
     });
 
-    let q = quit.load(Ordering::Acquire);
-    GeneralOutcome {
-        iterations: iterations.load(Ordering::Relaxed) as usize,
-        quit: (q != NO_QUIT).then_some(q),
-        hops: hops.load(Ordering::Relaxed),
-    }
+    let mut out = GeneralOutcome::new(
+        iterations.load(Ordering::Relaxed) as usize,
+        quit.load(Ordering::Acquire),
+        hops.load(Ordering::Relaxed),
+    );
+    out.panic = fault.take().or_else(|| pool_out.into_first_panic());
+    out.diverged = diverged.take();
+    out
 }
 
 /// General-1: serialize accesses to `next()` with a lock; the remainder
@@ -195,35 +266,59 @@ where
     let quit = AtomicUsize::new(NO_QUIT);
     let iterations = AtomicU64::new(0);
     let hops = AtomicU64::new(0);
+    let cancel = CancelFlag::new();
+    let fault = FirstFault::new();
+    let diverged = DivergedCell::new();
 
-    pool.run(|vpn| {
-        let mut cur = list.cursor();
+    let pool_out = pool.run_with(&cancel, |vpn| {
+        // a private traversal of an acyclic list takes at most `len` hops,
+        // so the guarded cursor's default budget has no false positives
+        let mut cur = list.guarded_cursor();
         // `do j = 1, vpn: pt = next(pt)` — private catch-up to iteration vpn
         if vpn > 0 {
-            cur.advance_by(vpn);
+            if let Err(d) = cur.advance_by(vpn) {
+                diverged.record(d);
+                cancel.cancel();
+                return;
+            }
         }
         let mut i = vpn;
         while let Some(node) = cur.get() {
-            if i >= upper || i > quit.load(Ordering::Acquire) {
+            if i >= upper || i > quit.load(Ordering::Acquire) || cancel.is_cancelled() {
                 break;
             }
-            iterations.fetch_add(1, Ordering::Relaxed);
-            if let Step::Quit = body(i, node) {
-                quit.fetch_min(i, Ordering::AcqRel);
+            match catch_unwind(AssertUnwindSafe(|| body(i, node))) {
+                Ok(step) => {
+                    iterations.fetch_add(1, Ordering::Relaxed);
+                    if let Step::Quit = step {
+                        quit.fetch_min(i, Ordering::AcqRel);
+                    }
+                }
+                Err(pl) => {
+                    fault.record(vpn, i, pl.as_ref());
+                    cancel.cancel();
+                    break;
+                }
             }
             // `do j = 1, nproc: pt = next(pt)` — stride to the next assigned
-            cur.advance_by(p);
+            if let Err(d) = cur.advance_by(p) {
+                diverged.record(d);
+                cancel.cancel();
+                break;
+            }
             i += p;
         }
         hops.fetch_add(cur.hops(), Ordering::Relaxed);
     });
 
-    let q = quit.load(Ordering::Acquire);
-    GeneralOutcome {
-        iterations: iterations.load(Ordering::Relaxed) as usize,
-        quit: (q != NO_QUIT).then_some(q),
-        hops: hops.load(Ordering::Relaxed),
-    }
+    let mut out = GeneralOutcome::new(
+        iterations.load(Ordering::Relaxed) as usize,
+        quit.load(Ordering::Acquire),
+        hops.load(Ordering::Relaxed),
+    );
+    out.panic = fault.take().or_else(|| pool_out.into_first_panic());
+    out.diverged = diverged.take();
+    out
 }
 
 /// General-2: static cyclic assignment — processor `vpn` privately
@@ -277,15 +372,22 @@ where
     R: Recorder,
 {
     let upper = cfg.upper.unwrap_or(usize::MAX);
+    let len = list.len();
     let claim = AtomicUsize::new(0);
     let quit = AtomicUsize::new(NO_QUIT);
     let iterations = AtomicU64::new(0);
     let hops = AtomicU64::new(0);
+    let cancel = CancelFlag::new();
+    let fault = FirstFault::new();
+    let diverged = DivergedCell::new();
 
-    pool.run(|vpn| {
-        let mut cur = list.cursor();
+    let pool_out = pool.run_with(&cancel, |vpn| {
+        let mut cur = list.guarded_cursor();
         let mut prev = 0usize; // the iteration the cursor points at
         loop {
+            if cancel.is_cancelled() {
+                break;
+            }
             let i = claim.fetch_add(1, Ordering::Relaxed);
             if i >= upper || i > quit.load(Ordering::Acquire) {
                 break;
@@ -301,7 +403,11 @@ where
             }
             // `do j = 1, i − prev: pt = next(pt)` — private catch-up
             let h0 = R::ENABLED.then(Instant::now);
-            cur.advance_by(i - prev);
+            if let Err(d) = cur.advance_by(i - prev) {
+                diverged.record(d);
+                cancel.cancel();
+                break;
+            }
             if R::ENABLED && i > prev {
                 let cost = h0.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 rec.record(
@@ -314,9 +420,27 @@ where
             }
             prev = i;
             let Some(node) = cur.get() else { break };
-            iterations.fetch_add(1, Ordering::Relaxed);
+            if i >= len {
+                // a live node at logical position ≥ len is a revisit: the
+                // chain is corrupted even if Brent has not looped yet
+                diverged.record(DispatcherDiverged {
+                    steps: cur.hops(),
+                    budget: len as u64 + 1,
+                    cycle: true,
+                });
+                cancel.cancel();
+                break;
+            }
             let b0 = R::ENABLED.then(Instant::now);
-            let step = body(i, node);
+            let step = match catch_unwind(AssertUnwindSafe(|| body(i, node))) {
+                Ok(s) => s,
+                Err(pl) => {
+                    fault.record(vpn, i, pl.as_ref());
+                    cancel.cancel();
+                    break;
+                }
+            };
+            iterations.fetch_add(1, Ordering::Relaxed);
             if R::ENABLED {
                 let cost = b0.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 rec.record(
@@ -340,12 +464,14 @@ where
         }
     });
 
-    let q = quit.load(Ordering::Acquire);
-    GeneralOutcome {
-        iterations: iterations.load(Ordering::Relaxed) as usize,
-        quit: (q != NO_QUIT).then_some(q),
-        hops: hops.load(Ordering::Relaxed),
-    }
+    let mut out = GeneralOutcome::new(
+        iterations.load(Ordering::Relaxed) as usize,
+        quit.load(Ordering::Acquire),
+        hops.load(Ordering::Relaxed),
+    );
+    out.panic = fault.take().or_else(|| pool_out.into_first_panic());
+    out.diverged = diverged.take();
+    out
 }
 
 /// General-3: dynamic self-scheduling without locks — the paper's best
@@ -379,7 +505,7 @@ where
     let values = crate::dispatch::evaluate_sequential(d, max);
     let n = values.len();
     let iterations = AtomicU64::new(0);
-    doall_dynamic(pool, n, |i, _| {
+    let out = doall_dynamic(pool, n, |i, _| {
         body(i, &values[i]);
         iterations.fetch_add(1, Ordering::Relaxed);
         Step::Continue
@@ -388,7 +514,92 @@ where
         iterations: iterations.load(Ordering::Relaxed) as usize,
         quit: None,
         hops: n as u64,
+        panic: out.panic,
+        diverged: None,
+        recovered: false,
     }
+}
+
+/// Fault-tolerant General-3 (the Section 5 exception rule applied to the
+/// list strategies): runs [`general3_until_rec`]; on a contained worker
+/// panic, emits [`Event::SpecAbort`] with [`AbortReason::Exception`] and
+/// re-executes the surviving loop *sequentially* on the caller's thread
+/// over a guarded cursor. List bodies write each node's private output
+/// slot, so re-running every iteration is idempotent — the "no backups or
+/// time-stamps" rows of Table 2 need no checkpoint to restore.
+///
+/// A corrupted (cyclic) list is **not** recoverable by re-execution: the
+/// divergence is reported as-is and the sequential pass is skipped.
+pub fn general3_recovering_rec<T, B, R>(
+    pool: &Pool,
+    list: &ListArena<T>,
+    cfg: GeneralConfig,
+    rec: &R,
+    body: B,
+) -> GeneralOutcome
+where
+    T: Sync,
+    B: Fn(usize, NodeId) -> Step + Sync,
+    R: Recorder,
+{
+    let out = general3_until_rec(pool, list, cfg, rec, &body);
+    let Some(panic) = out.panic else {
+        return out;
+    };
+    if R::ENABLED {
+        rec.record(
+            panic.vpn,
+            Event::SpecAbort {
+                reason: AbortReason::Exception,
+                discarded: out.iterations as u64,
+            },
+        );
+    }
+    // sequential fallback — guarded, so a concurrently observed corruption
+    // still surfaces as `diverged` rather than a hang
+    let upper = cfg.upper.unwrap_or(usize::MAX);
+    let mut cur = list.guarded_cursor();
+    let mut iterations = 0usize;
+    let mut quit = None;
+    let mut diverged = None;
+    let mut i = 0usize;
+    while let Some(node) = cur.get() {
+        if i >= upper {
+            break;
+        }
+        iterations += 1;
+        if let Step::Quit = body(i, node) {
+            quit = Some(i);
+            break;
+        }
+        if let Err(d) = cur.advance() {
+            diverged = Some(d);
+            break;
+        }
+        i += 1;
+    }
+    GeneralOutcome {
+        iterations,
+        quit,
+        hops: cur.hops(),
+        panic: Some(panic),
+        diverged,
+        recovered: true,
+    }
+}
+
+/// [`general3_recovering_rec`] without observability.
+pub fn general3_recovering<T, B>(
+    pool: &Pool,
+    list: &ListArena<T>,
+    cfg: GeneralConfig,
+    body: B,
+) -> GeneralOutcome
+where
+    T: Sync,
+    B: Fn(usize, NodeId) -> Step + Sync,
+{
+    general3_recovering_rec(pool, list, cfg, &NoopRecorder, body)
 }
 
 #[cfg(test)]
@@ -566,6 +777,99 @@ mod tests {
             "cooperative traversal walks the list once"
         );
         report.check_conservation().expect("laws hold");
+    }
+
+    #[test]
+    fn body_panic_is_contained_in_every_method() {
+        let list = ListArena::from_values(0..500usize);
+        let faulty = |i: usize, _n: NodeId| -> Step {
+            if i == 123 {
+                panic!("injected list fault");
+            }
+            Step::Continue
+        };
+        for out in [
+            general1_until(&pool(), &list, GeneralConfig::default(), faulty),
+            general2_until(&pool(), &list, GeneralConfig::default(), faulty),
+            general3_until(&pool(), &list, GeneralConfig::default(), faulty),
+        ] {
+            let wp = out.panic.as_ref().expect("panic must be reported");
+            assert_eq!(wp.iter, Some(123));
+            assert_eq!(wp.message, "injected list fault");
+            assert!(out.iterations < 500, "cancellation curbs execution");
+            assert!(out.diverged.is_none());
+        }
+    }
+
+    #[test]
+    fn cyclic_list_diverges_instead_of_hanging() {
+        let mut list = ListArena::from_values(0..200usize);
+        let tail = list.tail().unwrap();
+        let target = list.nth_from(list.head().unwrap(), 50).unwrap();
+        list.corrupt_link(tail, target);
+        for out in [
+            general1(&pool(), &list, GeneralConfig::default(), |_, _| {}),
+            general2(&pool(), &list, GeneralConfig::default(), |_, _| {}),
+            general3(&pool(), &list, GeneralConfig::default(), |_, _| {}),
+        ] {
+            let d = out.diverged.expect("corruption must be detected");
+            assert!(d.steps <= 4 * 201, "bounded traversal: {} hops", d.steps);
+            assert!(out.panic.is_none());
+        }
+    }
+
+    #[test]
+    fn upper_bound_masks_a_cycle_beyond_it() {
+        // the guard must not fire when the iteration cap stops the loop
+        // before the corrupted region is ever reached
+        let mut list = ListArena::from_values(0..200usize);
+        let tail = list.tail().unwrap();
+        list.corrupt_link(tail, list.head().unwrap());
+        let cfg = GeneralConfig { upper: Some(100) };
+        for out in [
+            general1(&pool(), &list, cfg, |_, _| {}),
+            general3(&pool(), &list, cfg, |_, _| {}),
+        ] {
+            assert_eq!(out.iterations, 100);
+            assert!(out.diverged.is_none(), "cap reached first");
+        }
+    }
+
+    #[test]
+    fn general3_recovers_by_sequential_reexecution() {
+        use std::sync::atomic::AtomicBool;
+        use wlp_obs::{BufferRecorder, ProfileReport};
+        let n = 300usize;
+        let list = ListArena::from_values_shuffled(0..n, 11);
+        let slots: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        let armed = AtomicBool::new(true);
+        let rec = BufferRecorder::new(4);
+        let out =
+            general3_recovering_rec(&pool(), &list, GeneralConfig::default(), &rec, |i, node| {
+                if i == 150 && armed.swap(false, Ordering::SeqCst) {
+                    panic!("transient fault");
+                }
+                slots[i].store(list[node], Ordering::Relaxed);
+                Step::Continue
+            });
+        assert!(out.recovered);
+        assert_eq!(out.panic.as_ref().unwrap().message, "transient fault");
+        assert_eq!(out.iterations, n, "fallback covers the whole list");
+        for i in 0..n {
+            assert_eq!(slots[i].load(Ordering::Relaxed), i, "iteration {i}");
+        }
+        let report = ProfileReport::from_trace(&rec.finish());
+        assert_eq!(report.spec_aborts, 1, "the recovery shows in the trace");
+    }
+
+    #[test]
+    fn general3_recovering_passes_clean_runs_through() {
+        let list = ListArena::from_values(0..100usize);
+        let out = general3_recovering(&pool(), &list, GeneralConfig::default(), |_, _| {
+            Step::Continue
+        });
+        assert!(!out.recovered);
+        assert_eq!(out.iterations, 100);
     }
 
     #[test]

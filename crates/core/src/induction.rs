@@ -14,10 +14,10 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 use wlp_obs::{Event, NoopRecorder, Recorder};
-use wlp_runtime::{doall_dynamic, doall_static_cyclic, parallel_min, Pool, Step};
+use wlp_runtime::{doall_dynamic, doall_static_cyclic, parallel_min, Pool, Step, WorkerPanic};
 
 /// Result of an induction-method execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InductionOutcome {
     /// The first iteration at which the terminator held (the paper's `LI`);
     /// `None` if the loop ran its full range.
@@ -26,6 +26,11 @@ pub struct InductionOutcome {
     pub executed: u64,
     /// One past the highest iteration begun.
     pub max_started: usize,
+    /// First contained worker panic, if any — the underlying DOALL caught
+    /// it at an iteration boundary and cancelled the run; `last_valid` is
+    /// then unreliable and the caller must recover (see
+    /// [`crate::recover::run_with_recovery`]).
+    pub panic: Option<WorkerPanic>,
 }
 
 /// Induction-1: full-range DOALL with per-processor termination minima.
@@ -118,6 +123,7 @@ where
         last_valid: li,
         executed: executed.load(Ordering::Relaxed),
         max_started: out.max_started,
+        panic: out.panic,
     }
 }
 
@@ -210,6 +216,7 @@ where
         last_valid: out.quit,
         executed: executed.load(Ordering::Relaxed),
         max_started: out.max_started,
+        panic: out.panic,
     }
 }
 
@@ -235,6 +242,7 @@ where
         last_valid: out.quit,
         executed: executed.load(Ordering::Relaxed),
         max_started: out.max_started,
+        panic: out.panic,
     }
 }
 
@@ -307,6 +315,36 @@ mod tests {
         for i in 0..300 {
             assert_eq!(hits[i].load(Ordering::Relaxed), 1);
         }
+    }
+
+    #[test]
+    fn induction_body_panic_is_contained_and_reported() {
+        let out = induction2(
+            &pool(),
+            1000,
+            |_| false,
+            |i, _| {
+                if i == 77 {
+                    panic!("induction fault");
+                }
+            },
+        );
+        let wp = out.panic.expect("panic must surface in the outcome");
+        assert_eq!(wp.iter, Some(77));
+        assert_eq!(wp.message, "induction fault");
+        assert!(out.executed < 1000, "cancellation curbs execution");
+
+        let out = induction1(
+            &pool(),
+            1000,
+            |_| false,
+            |i, _| {
+                if i == 77 {
+                    panic!("induction fault");
+                }
+            },
+        );
+        assert!(out.panic.is_some(), "Induction-1 reports faults too");
     }
 
     #[test]

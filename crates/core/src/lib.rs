@@ -21,6 +21,9 @@
 //!   restoration of iterations that overshot the termination condition.
 //! * [`speculate`] — Section 5: speculative parallel execution with the PD
 //!   test, exception capture, and automatic sequential re-execution.
+//! * [`recover`] — the Section 5 exception rule as a reusable combinator:
+//!   on a contained worker panic, restore the [`VersionedArray`]
+//!   checkpoint, emit the abort events, re-execute sequentially.
 //! * [`cost`] — Section 7: the `Sp_id`/`Sp_at` model, worst-case bounds and
 //!   the should-we-parallelize decision procedure.
 //! * [`strategy`] — Section 8: statistics-enhanced stamping thresholds and
@@ -36,6 +39,7 @@ pub mod cost;
 pub mod dispatch;
 pub mod general;
 pub mod induction;
+pub mod recover;
 pub mod speculate;
 pub mod strategy;
 pub mod taxonomy;
@@ -45,10 +49,11 @@ pub use constructs::{run_twice_while, while_doacross, while_doall, while_doany};
 pub use cost::{CostModel, Decision};
 pub use dispatch::{AffineRecurrence, InductionDispatcher, ListDispatcher};
 pub use general::{
-    general1, general1_until_rec, general2, general3, general3_until_rec, wu_lewis_distribution,
-    GeneralConfig, GeneralOutcome,
+    general1, general1_until_rec, general2, general3, general3_recovering, general3_recovering_rec,
+    general3_until_rec, wu_lewis_distribution, GeneralConfig, GeneralOutcome,
 };
 pub use induction::{induction1, induction1_rec, induction2, induction2_rec, InductionOutcome};
+pub use recover::{run_with_recovery, ParallelAttempt, RecoveryOutcome};
 pub use speculate::{
     run_twice_speculative, speculative_while, speculative_while_group,
     speculative_while_privatized, speculative_while_rec, speculative_while_strips,

@@ -280,7 +280,9 @@ where
         }
     });
 
-    let had_exception = exception.load(Ordering::Acquire);
+    // the runtime-level catch is the backstop: a panic that escapes the
+    // per-body catch (e.g. inside a probe) still aborts the speculation
+    let had_exception = exception.load(Ordering::Acquire) || out.panic.is_some();
     let last_valid = out.quit;
 
     if had_exception {
@@ -430,7 +432,7 @@ where
         }
     });
 
-    let had_exception = exception.load(Ordering::Acquire);
+    let had_exception = exception.load(Ordering::Acquire) || out.panic.is_some();
     let last_valid = out.quit;
 
     if had_exception {
@@ -566,7 +568,7 @@ where
         }
     });
 
-    let had_exception = exception.load(Ordering::Acquire);
+    let had_exception = exception.load(Ordering::Acquire) || out.panic.is_some();
     let last_valid = out.quit;
 
     // every array must pass; merge the verdicts
@@ -659,6 +661,11 @@ where
             Step::Continue
         }
     });
+    // a panic in the terminator-only pass happens outside speculation (no
+    // writes to protect) — it is a real exception and resumes
+    if let Some(wp) = pass1.panic {
+        wp.resume();
+    }
     let end = pass1.quit.unwrap_or(upper);
 
     // pass 2: a known-range speculative DOALL (no overshoot possible)
@@ -857,7 +864,7 @@ where
     });
 
     let last_valid = out.quit;
-    let had_exception = exception.load(Ordering::Acquire);
+    let had_exception = exception.load(Ordering::Acquire) || out.panic.is_some();
     let verdict = (!had_exception).then(|| arr.shadow.analyze(pool, last_valid, 16));
 
     let valid = verdict.as_ref().is_some_and(|v| v.privatized_doall);

@@ -1,0 +1,206 @@
+//! Deterministic fault injection for the WHILE-loop runtime.
+//!
+//! The paper's Section 5 exception rule — "if an exception occurs while
+//! speculating, restore the checkpoint and re-execute sequentially" — is
+//! only trustworthy if the recovery paths are exercised. This crate
+//! provides the harness: a seedable, one-shot [`FaultPlan`] that workloads
+//! thread through their loop bodies to provoke a panic (optionally after a
+//! delay) at a chosen iteration on a chosen virtual processor, and a
+//! [`corrupt_list_cycle`] helper that mutates a linked-list workload into a
+//! cyclic one so the runaway-dispatcher guards fire.
+//!
+//! Everything is deterministic given the seed: the same plan injects the
+//! same fault at the same place every run, so recovery tests are
+//! reproducible.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use wlp_list::{ListArena, NodeId};
+
+/// Prefix of every panic message this crate injects, so tests (and humans
+/// reading a trace) can tell an injected fault from a genuine bug.
+pub const PANIC_MESSAGE_PREFIX: &str = "wlp-fault: injected panic";
+
+/// A deterministic fault to inject into a parallel loop.
+///
+/// A plan matches on `(iteration, vpn)`: `panic_iter` selects the
+/// iteration (`None` never fires), `panic_vpn` optionally restricts the
+/// virtual processor. The plan is **one-shot** — the first matching
+/// [`FaultPlan::inject`] call arms it and panics; re-executions (the
+/// sequential recovery pass, or a second parallel attempt) run clean.
+/// That is exactly the shape recovery needs: fail once, succeed on retry.
+#[derive(Debug)]
+pub struct FaultPlan {
+    panic_iter: Option<usize>,
+    panic_vpn: Option<usize>,
+    delay_spins: u64,
+    fired: AtomicBool,
+}
+
+impl FaultPlan {
+    /// A plan that never fires.
+    pub fn none() -> Self {
+        FaultPlan {
+            panic_iter: None,
+            panic_vpn: None,
+            delay_spins: 0,
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// Panic when iteration `k` runs (on any processor).
+    pub fn panic_at(k: usize) -> Self {
+        FaultPlan {
+            panic_iter: Some(k),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Restricts the fault to virtual processor `vpn`.
+    pub fn on_vpn(mut self, vpn: usize) -> Self {
+        self.panic_vpn = Some(vpn);
+        self
+    }
+
+    /// Spins `spins` times before panicking, so the fault lands while
+    /// other workers are mid-iteration (widens the window the cancel flag
+    /// has to cover).
+    pub fn with_delay(mut self, spins: u64) -> Self {
+        self.delay_spins = spins;
+        self
+    }
+
+    /// Derives a plan from `seed`: a panic at a pseudo-random iteration in
+    /// `0..upper` (on any processor). Deterministic — the same seed always
+    /// yields the same fault site. `upper == 0` yields a plan that never
+    /// fires.
+    pub fn from_seed(seed: u64, upper: usize) -> Self {
+        if upper == 0 {
+            return FaultPlan::none();
+        }
+        FaultPlan::panic_at((splitmix64(seed) % upper as u64) as usize)
+    }
+
+    /// Whether the plan would fire at `(iter, vpn)` — the pure predicate,
+    /// with no arming side effect. Useful for tests sizing expectations.
+    pub fn matches(&self, iter: usize, vpn: usize) -> bool {
+        self.panic_iter == Some(iter) && self.panic_vpn.is_none_or(|v| v == vpn)
+    }
+
+    /// Whether the fault has already fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+
+    /// Re-arms a fired plan so the next matching `inject` fires again.
+    pub fn rearm(&self) {
+        self.fired.store(false, Ordering::Release);
+    }
+
+    /// Injection point: call at the top of a loop body. Panics (with
+    /// [`PANIC_MESSAGE_PREFIX`] in the message) the first time the plan
+    /// matches `(iter, vpn)`; a no-op on every other call.
+    pub fn inject(&self, iter: usize, vpn: usize) {
+        if !self.matches(iter, vpn) {
+            return;
+        }
+        if self.fired.swap(true, Ordering::AcqRel) {
+            return; // one-shot: already fired
+        }
+        for _ in 0..self.delay_spins {
+            std::hint::spin_loop();
+        }
+        panic!("{PANIC_MESSAGE_PREFIX} at iter {iter} on vpn {vpn}");
+    }
+}
+
+/// The splitmix64 mixer — the standard seed expander, inlined here so the
+/// crate needs no RNG dependency.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Corrupts `list` into a cyclic one: the tail's `next` link is pointed at
+/// a seed-chosen interior node, the fault the runaway-dispatcher guards
+/// must catch. Returns `(from, to)` of the corrupted link, or `None` when
+/// the list is too short to form a cycle (fewer than 2 nodes).
+pub fn corrupt_list_cycle<T>(list: &mut ListArena<T>, seed: u64) -> Option<(NodeId, NodeId)> {
+    if list.len() < 2 {
+        return None;
+    }
+    let tail = list.tail()?;
+    let target_pos = (splitmix64(seed) % (list.len() - 1) as u64) as usize;
+    let target = list.nth_from(list.head()?, target_pos)?;
+    list.corrupt_link(tail, target);
+    Some((tail, target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fires() {
+        let plan = FaultPlan::none();
+        for i in 0..100 {
+            plan.inject(i, i % 4); // must not panic
+        }
+        assert!(!plan.fired());
+    }
+
+    #[test]
+    fn fires_exactly_once_at_the_planned_site() {
+        let plan = FaultPlan::panic_at(7).on_vpn(2);
+        assert!(plan.matches(7, 2));
+        assert!(!plan.matches(7, 1));
+        assert!(!plan.matches(6, 2));
+        plan.inject(7, 1); // wrong vpn: no-op
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.inject(7, 2)))
+            .expect_err("the planned site must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(msg.contains(PANIC_MESSAGE_PREFIX), "{msg}");
+        assert!(plan.fired());
+        plan.inject(7, 2); // one-shot: the re-execution runs clean
+        plan.rearm();
+        assert!(!plan.fired());
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.inject(7, 2)))
+            .expect_err("re-armed plan fires again");
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::from_seed(seed, 1000);
+            let b = FaultPlan::from_seed(seed, 1000);
+            assert_eq!(a.panic_iter, b.panic_iter, "seed {seed}");
+            let k = a.panic_iter.expect("non-empty range plans a fault");
+            assert!(k < 1000);
+        }
+        // distinct seeds spread over the range rather than colliding
+        let sites: std::collections::HashSet<usize> = (0..50u64)
+            .map(|s| FaultPlan::from_seed(s, 1000).panic_iter.unwrap())
+            .collect();
+        assert!(sites.len() > 30, "only {} distinct sites", sites.len());
+        assert!(FaultPlan::from_seed(1, 0).panic_iter.is_none());
+    }
+
+    #[test]
+    fn corrupting_a_list_makes_it_cyclic() {
+        let mut list = ListArena::from_values(0..100u32);
+        assert!(list.check_acyclic().is_ok());
+        let (from, to) = corrupt_list_cycle(&mut list, 42).expect("long enough");
+        assert_eq!(list.next(from), Some(to));
+        let d = list.check_acyclic().expect_err("must now be cyclic");
+        assert!(d.cycle || d.steps >= d.budget, "{d:?}");
+        // deterministic: the same seed corrupts the same link
+        let mut again = ListArena::from_values(0..100u32);
+        assert_eq!(corrupt_list_cycle(&mut again, 42), Some((from, to)));
+        // too short to close a cycle
+        let mut tiny = ListArena::from_values(0..1u32);
+        assert!(corrupt_list_cycle(&mut tiny, 1).is_none());
+    }
+}

@@ -119,6 +119,12 @@ impl<T> ListArena<T> {
         id
     }
 
+    /// Overwrites `from`'s `next` pointer without any bookkeeping. Only
+    /// for the guard module's deliberate corruption API.
+    pub(crate) fn set_next(&mut self, from: NodeId, to: Option<NodeId>) {
+        self.nodes[from.index()].next = to;
+    }
+
     /// Inserts a value immediately after `after`, returning the new node.
     pub fn insert_after(&mut self, after: NodeId, value: T) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("arena limited to u32 nodes"));

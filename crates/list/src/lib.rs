@@ -21,8 +21,17 @@
 //!   chunk lengths followed by parallel intra-chunk dispatch. Used by the
 //!   ablation benchmark comparing Harrison's scheme against General-2/3.
 
+//!
+//! A third concern cuts across both: a *corrupted* list (a `next` pointer
+//! bent back onto an earlier node) turns every dispatcher into an infinite
+//! loop. The [`guard`] module provides budget-bounded traversal with
+//! Brent cycle detection, yielding a structured [`DispatcherDiverged`]
+//! error instead of a hang.
+
 pub mod arena;
 pub mod chunked;
+pub mod guard;
 
 pub use arena::{Cursor, ListArena, NodeId};
 pub use chunked::ChunkedList;
+pub use guard::{traverse_guarded, DispatcherDiverged, GuardedCursor};

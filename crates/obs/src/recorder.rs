@@ -119,8 +119,8 @@ mod tests {
 
     #[test]
     fn noop_recorder_is_disabled() {
-        assert!(!NoopRecorder::ENABLED);
-        assert!(BufferRecorder::ENABLED);
+        const { assert!(!NoopRecorder::ENABLED) };
+        const { assert!(BufferRecorder::ENABLED) };
         NoopRecorder.record(0, Event::Quit { iter: 1 }); // must not panic
     }
 }

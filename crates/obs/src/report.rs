@@ -58,6 +58,11 @@ pub struct ProfileReport {
     pub spec_commits: u64,
     /// Speculative executions that aborted.
     pub spec_aborts: u64,
+    /// Aborts caused by a detected cross-iteration dependence.
+    pub aborts_dependence: u64,
+    /// Aborts caused by an exception / contained worker fault (the paper's
+    /// Section 5 rule: restore the checkpoint, re-execute sequentially).
+    pub aborts_exception: u64,
     /// QUIT broadcasts observed.
     pub quits: u64,
     /// Barrier episodes observed (summed over processors).
@@ -96,6 +101,8 @@ impl ProfileReport {
             pd_analyzed: 0,
             spec_commits: 0,
             spec_aborts: 0,
+            aborts_dependence: 0,
+            aborts_exception: 0,
             quits: 0,
             barriers: 0,
             window_resizes: 0,
@@ -122,8 +129,12 @@ impl ProfileReport {
                     spec_committed += committed;
                     spec_undone += undone;
                 }
-                Event::SpecAbort { discarded, .. } => {
+                Event::SpecAbort { reason, discarded } => {
                     r.spec_aborts += 1;
+                    match reason {
+                        crate::event::AbortReason::Dependence => r.aborts_dependence += 1,
+                        crate::event::AbortReason::Exception => r.aborts_exception += 1,
+                    }
                     spec_undone += discarded;
                 }
                 Event::Quit { .. } => r.quits += 1,
@@ -257,6 +268,46 @@ mod tests {
         assert_eq!(r.undo_elems, 4);
         assert_eq!(r.spec_success_rate(), Some(1.0));
         r.check_conservation().expect("laws hold");
+    }
+
+    #[test]
+    fn abort_reasons_are_split_out() {
+        use crate::event::AbortReason;
+        let trace = Trace {
+            p: 1,
+            makespan: 30,
+            samples: vec![
+                sample(
+                    10,
+                    0,
+                    Event::SpecAbort {
+                        reason: AbortReason::Dependence,
+                        discarded: 3,
+                    },
+                ),
+                sample(
+                    20,
+                    0,
+                    Event::SpecAbort {
+                        reason: AbortReason::Exception,
+                        discarded: 2,
+                    },
+                ),
+                sample(
+                    25,
+                    0,
+                    Event::SpecAbort {
+                        reason: AbortReason::Exception,
+                        discarded: 0,
+                    },
+                ),
+            ],
+        };
+        let r = ProfileReport::from_trace(&trace);
+        assert_eq!(r.spec_aborts, 3);
+        assert_eq!(r.aborts_dependence, 1);
+        assert_eq!(r.aborts_exception, 2);
+        assert_eq!(r.spec_success_rate(), Some(0.0));
     }
 
     #[test]

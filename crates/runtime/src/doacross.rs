@@ -11,10 +11,33 @@
 //!
 //! [`doacross`] dynamically assigns whole iterations to workers and
 //! enforces the wavefront with per-iteration posted-stage counters.
+//!
+//! Fault containment: a panicking stage body is caught, raises the shared
+//! [`CancelFlag`], and is reported through [`DoacrossOutcome::panic`]. The
+//! hard part is the wavefront itself — a panicked iteration never posts,
+//! so successors waiting on it would deadlock. Waiters therefore use a
+//! short timed wait and re-check the cancel flag on every wakeup: the
+//! clean path is still woken promptly by `post`'s `notify_all`, and the
+//! fault path drains within one timeout tick.
 
-use crate::pool::Pool;
+use crate::doall::FaultCell;
+use crate::pool::{CancelFlag, Pool, WorkerPanic};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Result of a DOACROSS execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoacrossOutcome {
+    /// Iterations whose every stage ran to completion.
+    pub executed: u64,
+    /// First stage-body panic contained during the pipeline, if any. When
+    /// set, iterations past the faulting one may be missing stages;
+    /// callers holding a checkpoint should restore it and re-execute
+    /// sequentially.
+    pub panic: Option<WorkerPanic>,
+}
 
 /// Cross-iteration synchronization state for a DOACROSS pipeline.
 ///
@@ -28,29 +51,75 @@ struct Wavefront {
     /// `posted[i]` = number of stages iteration `i` has completed.
     posted: Mutex<Vec<usize>>,
     cv: Condvar,
+    /// Smallest iteration whose body panicked (`usize::MAX` = none). Set
+    /// *before* the cancel flag, so any waiter that observes the flag also
+    /// observes the bound. Iterations `< fault_at` keep running to
+    /// completion — the fault-path analogue of the QUIT contract —
+    /// because they only ever wait on predecessors that are themselves
+    /// below the bound.
+    fault_at: AtomicUsize,
 }
+
+/// How long a wavefront waiter sleeps between cancel-flag re-checks. The
+/// clean path never waits this long — `post` signals the condvar — so the
+/// tick only bounds fault-drain latency.
+const WAVEFRONT_TICK: Duration = Duration::from_millis(2);
 
 impl Wavefront {
     fn new(n: usize) -> Self {
         Wavefront {
             posted: Mutex::new(vec![0; n]),
             cv: Condvar::new(),
+            fault_at: AtomicUsize::new(usize::MAX),
         }
     }
 
-    /// Blocks until iteration `i` has posted at least `stage + 1` stages.
-    fn wait_for(&self, i: usize, stage: usize) {
+    #[inline]
+    fn fault_bound(&self) -> usize {
+        self.fault_at.load(Ordering::Acquire)
+    }
+
+    fn record_fault(&self, i: usize) {
+        self.fault_at.fetch_min(i, Ordering::AcqRel);
+    }
+
+    /// Blocks until iteration `own − 1` has posted at least `stage + 1`
+    /// stages. Returns `false` (give up) if `own` is at or past a fault
+    /// bound — its predecessor may never post — or if the run was
+    /// cancelled by a non-body fault. Out-of-range indices count as
+    /// give-up rather than panicking while holding the lock.
+    fn wait_for(&self, own: usize, stage: usize, cancel: &CancelFlag) -> bool {
+        debug_assert!(own > 0);
         let mut posted = self.posted.lock();
-        while posted[i] <= stage {
-            self.cv.wait(&mut posted);
+        loop {
+            match posted.get(own - 1) {
+                Some(&done) if done > stage => return true,
+                Some(_) => {}
+                None => return false,
+            }
+            if own >= self.fault_bound() {
+                return false;
+            }
+            if cancel.is_cancelled() && self.fault_bound() == usize::MAX {
+                // cancelled without a body fault (external cancellation or
+                // a panic outside the body): no completion guarantee holds
+                return false;
+            }
+            // Timed wait: a panicked predecessor never posts, so a plain
+            // wait could sleep forever. Re-check the exit conditions each
+            // tick.
+            self.cv.wait_for(&mut posted, WAVEFRONT_TICK);
         }
     }
 
-    /// Marks iteration `i`'s `stage` complete.
+    /// Marks iteration `i`'s `stage` complete. Tolerates (ignores) an
+    /// out-of-range index instead of panicking while holding the lock.
     fn post(&self, i: usize, stage: usize) {
         let mut posted = self.posted.lock();
-        debug_assert_eq!(posted[i], stage, "stages post in order");
-        posted[i] = stage + 1;
+        if let Some(slot) = posted.get_mut(i) {
+            debug_assert_eq!(*slot, stage, "stages post in order");
+            *slot = stage + 1;
+        }
         drop(posted);
         self.cv.notify_all();
     }
@@ -64,9 +133,12 @@ impl Wavefront {
 /// The ordering guarantees make cross-iteration flow dependences safe as
 /// long as each dependence source is in a stage `≤` its sink's stage.
 ///
+/// A panicking stage body is contained and reported through the outcome;
+/// the wavefront drains instead of deadlocking.
+///
 /// # Panics
 /// Panics if `stages == 0`.
-pub fn doacross<F>(pool: &Pool, upper: usize, stages: usize, body: F)
+pub fn doacross<F>(pool: &Pool, upper: usize, stages: usize, body: F) -> DoacrossOutcome
 where
     F: Fn(usize, usize) + Sync,
 {
@@ -80,7 +152,13 @@ where
 ///
 /// # Panics
 /// Panics if `stages == 0`.
-pub fn doacross_rec<R, F>(pool: &Pool, upper: usize, stages: usize, rec: &R, body: F)
+pub fn doacross_rec<R, F>(
+    pool: &Pool,
+    upper: usize,
+    stages: usize,
+    rec: &R,
+    body: F,
+) -> DoacrossOutcome
 where
     R: wlp_obs::Recorder,
     F: Fn(usize, usize) + Sync,
@@ -90,15 +168,25 @@ where
 
     assert!(stages > 0, "need at least one stage");
     if upper == 0 {
-        return;
+        return DoacrossOutcome {
+            executed: 0,
+            panic: None,
+        };
     }
     let wave = Wavefront::new(upper);
     let claim = AtomicUsize::new(0);
+    let executed = AtomicU64::new(0);
+    let cancel = CancelFlag::new();
+    let fault = FaultCell::new();
 
-    pool.run(|vpn| {
+    let pool_out = pool.run_with(&cancel, |vpn| {
+        let mut local_exec = 0u64;
         loop {
+            if cancel.is_cancelled() && wave.fault_bound() == usize::MAX {
+                break;
+            }
             let i = claim.fetch_add(1, Ordering::Relaxed);
-            if i >= upper {
+            if i >= upper || i >= wave.fault_bound() {
                 break;
             }
             if R::ENABLED {
@@ -112,17 +200,34 @@ where
             }
             let t0 = R::ENABLED.then(Instant::now);
             let mut waited = 0u64;
+            let mut completed = true;
             for s in 0..stages {
                 if i > 0 {
                     let w0 = R::ENABLED.then(Instant::now);
-                    wave.wait_for(i - 1, s);
+                    let ok = wave.wait_for(i, s, &cancel);
                     if let Some(w) = w0 {
                         waited += w.elapsed().as_nanos() as u64;
                     }
+                    if !ok {
+                        completed = false;
+                        break;
+                    }
                 }
-                body(i, s);
-                wave.post(i, s);
+                match catch_unwind(AssertUnwindSafe(|| body(i, s))) {
+                    Ok(()) => wave.post(i, s),
+                    Err(p) => {
+                        fault.record(vpn, i, p.as_ref());
+                        wave.record_fault(i);
+                        cancel.cancel();
+                        completed = false;
+                        break;
+                    }
+                }
             }
+            if !completed {
+                break;
+            }
+            local_exec += 1;
             if R::ENABLED {
                 let total = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 if waited > 0 {
@@ -140,7 +245,13 @@ where
         if R::ENABLED {
             rec.record(vpn, Event::Barrier { cost: 0 });
         }
+        executed.fetch_add(local_exec, Ordering::Relaxed);
     });
+
+    DoacrossOutcome {
+        executed: executed.load(Ordering::Relaxed),
+        panic: fault.take().or_else(|| pool_out.into_first_panic()),
+    }
 }
 
 #[cfg(test)]
@@ -155,7 +266,7 @@ mod tests {
         let n = 2000usize;
         let xs: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         let pool = Pool::new(4);
-        doacross(&pool, n, 1, |i, _| {
+        let out = doacross(&pool, n, 1, |i, _| {
             let prev = if i == 0 {
                 0
             } else {
@@ -163,6 +274,8 @@ mod tests {
             };
             xs[i].store(prev + i as u64, Ordering::Release);
         });
+        assert_eq!(out.executed, n as u64);
+        assert_eq!(out.panic, None);
         let mut expect = 0u64;
         for (i, x) in xs.iter().enumerate() {
             expect += i as u64;
@@ -217,7 +330,9 @@ mod tests {
     #[test]
     fn empty_range_is_a_noop() {
         let pool = Pool::new(4);
-        doacross(&pool, 0, 3, |_, _| panic!("no iterations"));
+        let out = doacross(&pool, 0, 3, |_, _| panic!("no iterations"));
+        assert_eq!(out.executed, 0);
+        assert_eq!(out.panic, None);
     }
 
     #[test]
@@ -225,5 +340,50 @@ mod tests {
     fn zero_stages_panics() {
         let pool = Pool::new(2);
         doacross(&pool, 5, 0, |_, _| {});
+    }
+
+    #[test]
+    fn stage_panic_does_not_deadlock_the_wavefront() {
+        // Iteration 50 panics in stage 0 and never posts; iterations 51..
+        // wait on it. Without cancellation-aware waits this hangs forever.
+        let n = 500usize;
+        let pool = Pool::new(4);
+        let ran = AtomicU64::new(0);
+        let out = doacross(&pool, n, 2, |i, s| {
+            if i == 50 && s == 0 {
+                panic!("injected stage fault");
+            }
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        let wp = out.panic.expect("fault must be reported");
+        assert_eq!(wp.iter, Some(50));
+        assert_eq!(wp.message, "injected stage fault");
+        // the wavefront prefix below the fault is intact
+        assert!(out.executed >= 50, "iterations 0..50 all complete");
+        assert!(out.executed < n as u64, "issue stops after the fault");
+    }
+
+    #[test]
+    fn pipeline_prefix_below_a_fault_is_complete() {
+        // Everything ordered before the faulting iteration must have run:
+        // the DOACROSS analogue of the QUIT contract.
+        let n = 200usize;
+        let xs: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let pool = Pool::new(4);
+        let out = doacross(&pool, n, 1, |i, _| {
+            if i == 120 {
+                panic!("fault at 120");
+            }
+            let prev = if i == 0 {
+                0
+            } else {
+                xs[i - 1].load(Ordering::Acquire)
+            };
+            xs[i].store(prev + 1, Ordering::Release);
+        });
+        assert!(out.panic.is_some());
+        for (i, x) in xs.iter().take(120).enumerate() {
+            assert_eq!(x.load(Ordering::Relaxed), i as u64 + 1, "iteration {i}");
+        }
     }
 }

@@ -20,8 +20,16 @@
 //! static assignment can have a much larger *span* of concurrently executing
 //! iterations, and therefore more iterations to undo under an RV terminator;
 //! the outcome's `max_started` field lets callers observe exactly that.
+//!
+//! Fault containment: a panicking body is caught at its own iteration
+//! boundary, raises the shared [`CancelFlag`] (the fault-path analogue of
+//! `QUIT` — peers stop claiming at their next boundary), and is reported
+//! through [`DoallOutcome::panic`] so the strategies above can restore
+//! their checkpoint and fall back to sequential re-execution.
 
-use crate::pool::Pool;
+use crate::pool::{payload_message, CancelFlag, Pool, WorkerPanic};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 use wlp_obs::{Event, NoopRecorder, Recorder};
@@ -37,26 +45,37 @@ pub enum Step {
 }
 
 /// Result of a DOALL execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DoallOutcome {
     /// Smallest iteration that issued a `QUIT`, if any. Under the paper's
     /// conventions this is the *last valid iteration* `LI` when the body
     /// tests the WHILE terminator before doing work.
     pub quit: Option<usize>,
-    /// Number of body invocations actually performed (includes overshot
-    /// iterations).
+    /// Number of body invocations that ran to completion (includes
+    /// overshot iterations; excludes a body that panicked mid-flight).
     pub executed: u64,
     /// One past the highest iteration index that was begun; `max_started -
     /// quit` bounds the work the undo phase must inspect.
     pub max_started: usize,
+    /// First body panic contained during the loop, if any. When set, the
+    /// executed prefix is not trustworthy: callers holding a checkpoint
+    /// should restore it and re-execute sequentially (the paper's
+    /// Section 5 exception rule).
+    pub panic: Option<WorkerPanic>,
 }
 
 impl DoallOutcome {
-    fn from_parts(quit: usize, executed: u64, max_started: usize) -> Self {
+    fn from_parts(
+        quit: usize,
+        executed: u64,
+        max_started: usize,
+        panic: Option<WorkerPanic>,
+    ) -> Self {
         DoallOutcome {
             quit: (quit != usize::MAX).then_some(quit),
             executed,
             max_started,
+            panic,
         }
     }
 }
@@ -76,6 +95,32 @@ impl QuitCell {
     #[inline]
     fn quit_at(&self, i: usize) {
         self.0.fetch_min(i, Ordering::AcqRel);
+    }
+}
+
+/// Shared first-fault slot: the first contained body panic wins; later
+/// ones (peers that panic before observing the cancel flag) are dropped.
+#[derive(Debug, Default)]
+pub(crate) struct FaultCell(Mutex<Option<WorkerPanic>>);
+
+impl FaultCell {
+    pub(crate) fn new() -> Self {
+        FaultCell(Mutex::new(None))
+    }
+
+    pub(crate) fn record(&self, vpn: usize, iter: usize, payload: &(dyn std::any::Any + Send)) {
+        let mut slot = self.0.lock();
+        if slot.is_none() {
+            *slot = Some(WorkerPanic {
+                vpn,
+                iter: Some(iter),
+                message: payload_message(payload),
+            });
+        }
+    }
+
+    pub(crate) fn take(&self) -> Option<WorkerPanic> {
+        self.0.lock().take()
     }
 }
 
@@ -107,11 +152,16 @@ where
     let quit = QuitCell::new();
     let max_started = AtomicUsize::new(0);
     let executed = AtomicU64::new(0);
+    let cancel = CancelFlag::new();
+    let fault = FaultCell::new();
 
-    pool.run(|vpn| {
+    let pool_out = pool.run_with(&cancel, |vpn| {
         let mut local_exec = 0u64;
         let mut local_max = 0usize;
         loop {
+            if cancel.is_cancelled() {
+                break;
+            }
             let i = claim.fetch_add(1, Ordering::Relaxed);
             if i >= upper || i > quit.bound() {
                 break;
@@ -126,9 +176,16 @@ where
                 );
             }
             local_max = i + 1;
-            local_exec += 1;
             let t0 = R::ENABLED.then(Instant::now);
-            let step = body(i, vpn);
+            let step = match catch_unwind(AssertUnwindSafe(|| body(i, vpn))) {
+                Ok(step) => step,
+                Err(p) => {
+                    cancel.cancel();
+                    fault.record(vpn, i, p.as_ref());
+                    break;
+                }
+            };
+            local_exec += 1;
             if R::ENABLED {
                 let cost = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 rec.record(
@@ -158,6 +215,7 @@ where
         quit.bound(),
         executed.load(Ordering::Relaxed),
         max_started.load(Ordering::Relaxed),
+        fault.take().or_else(|| pool_out.into_first_panic()),
     )
 }
 
@@ -174,17 +232,27 @@ where
     let quit = QuitCell::new();
     let max_started = AtomicUsize::new(0);
     let executed = AtomicU64::new(0);
+    let cancel = CancelFlag::new();
+    let fault = FaultCell::new();
     let p = pool.size();
 
-    pool.run(|vpn| {
+    let pool_out = pool.run_with(&cancel, |vpn| {
         let mut local_exec = 0u64;
         let mut local_max = 0usize;
         let mut i = vpn;
-        while i < upper && i <= quit.bound() {
+        while i < upper && i <= quit.bound() && !cancel.is_cancelled() {
             local_max = i + 1;
-            local_exec += 1;
-            if let Step::Quit = body(i, vpn) {
-                quit.quit_at(i);
+            match catch_unwind(AssertUnwindSafe(|| body(i, vpn))) {
+                Ok(Step::Quit) => {
+                    local_exec += 1;
+                    quit.quit_at(i);
+                }
+                Ok(Step::Continue) => local_exec += 1,
+                Err(p) => {
+                    cancel.cancel();
+                    fault.record(vpn, i, p.as_ref());
+                    break;
+                }
             }
             i += p;
         }
@@ -196,6 +264,7 @@ where
         quit.bound(),
         executed.load(Ordering::Relaxed),
         max_started.load(Ordering::Relaxed),
+        fault.take().or_else(|| pool_out.into_first_panic()),
     )
 }
 
@@ -208,19 +277,29 @@ where
     let quit = QuitCell::new();
     let max_started = AtomicUsize::new(0);
     let executed = AtomicU64::new(0);
+    let cancel = CancelFlag::new();
+    let fault = FaultCell::new();
 
-    pool.run(|vpn| {
+    let pool_out = pool.run_with(&cancel, |vpn| {
         let (lo, hi) = pool.block(vpn, upper);
         let mut local_exec = 0u64;
         let mut local_max = 0usize;
         for i in lo..hi {
-            if i > quit.bound() {
+            if i > quit.bound() || cancel.is_cancelled() {
                 break;
             }
             local_max = i + 1;
-            local_exec += 1;
-            if let Step::Quit = body(i, vpn) {
-                quit.quit_at(i);
+            match catch_unwind(AssertUnwindSafe(|| body(i, vpn))) {
+                Ok(Step::Quit) => {
+                    local_exec += 1;
+                    quit.quit_at(i);
+                }
+                Ok(Step::Continue) => local_exec += 1,
+                Err(p) => {
+                    cancel.cancel();
+                    fault.record(vpn, i, p.as_ref());
+                    break;
+                }
             }
         }
         executed.fetch_add(local_exec, Ordering::Relaxed);
@@ -231,6 +310,7 @@ where
         quit.bound(),
         executed.load(Ordering::Relaxed),
         max_started.load(Ordering::Relaxed),
+        fault.take().or_else(|| pool_out.into_first_panic()),
     )
 }
 
@@ -252,6 +332,7 @@ mod tests {
         assert_eq!(out.quit, None);
         assert_eq!(out.executed, 100);
         assert_eq!(out.max_started, 100);
+        assert_eq!(out.panic, None);
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
@@ -416,5 +497,57 @@ mod tests {
         // sequential execution: exactly iterations 0..=10 ran
         assert_eq!(out.executed, 11);
         assert_eq!(out.max_started, 11);
+    }
+
+    fn assert_panic_contained(
+        doall: impl Fn(&Pool, usize, &(dyn Fn(usize, usize) -> Step + Sync)) -> DoallOutcome,
+    ) {
+        let pool = Pool::new(4);
+        let out = doall(&pool, 1000, &|i, _| {
+            if i == 37 {
+                panic!("injected at 37");
+            }
+            Step::Continue
+        });
+        let wp = out.panic.expect("panic must be reported");
+        assert_eq!(wp.iter, Some(37));
+        assert_eq!(wp.message, "injected at 37");
+        // the faulting body is not counted as executed
+        assert!(out.executed < 1000);
+    }
+
+    #[test]
+    fn dynamic_contains_body_panic() {
+        assert_panic_contained(|p, u, b| doall_dynamic(p, u, b));
+    }
+
+    #[test]
+    fn cyclic_contains_body_panic() {
+        assert_panic_contained(|p, u, b| doall_static_cyclic(p, u, b));
+    }
+
+    #[test]
+    fn blocked_contains_body_panic() {
+        assert_panic_contained(|p, u, b| doall_static_blocked(p, u, b));
+    }
+
+    #[test]
+    fn panic_cancels_in_flight_issue() {
+        // After a panic, peers stop claiming at the next boundary: far
+        // fewer than `upper` iterations run.
+        let pool = Pool::new(4);
+        let ran = AtomicU64::new(0);
+        let out = doall_dynamic(&pool, 1_000_000, |i, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if i == 10 {
+                panic!("stop the presses");
+            }
+            Step::Continue
+        });
+        assert!(out.panic.is_some());
+        assert!(
+            ran.load(Ordering::Relaxed) < 1_000_000,
+            "cancellation must stop issue well before the range is exhausted"
+        );
     }
 }

@@ -24,6 +24,13 @@
 //!   dependences (the Section 6 schedule for sequential distributed
 //!   loops, and the Wu & Lewis pipelining baseline).
 //! * [`barrier`] — a reusable centralized barrier.
+//!
+//! Fault containment (the paper's Section 5 exception rule): every
+//! construct catches body panics at iteration boundaries, broadcasts a
+//! [`CancelFlag`] so in-flight peers drain, and reports the first panic
+//! through its outcome (`DoallOutcome::panic`, `DoacrossOutcome::panic`)
+//! instead of aborting the process — the strategies above restore their
+//! checkpoint and re-execute sequentially.
 
 pub mod barrier;
 pub mod doacross;
@@ -35,12 +42,12 @@ pub mod strip;
 pub mod window;
 
 pub use barrier::CentralBarrier;
-pub use doacross::{doacross, doacross_rec};
+pub use doacross::{doacross, doacross_rec, DoacrossOutcome};
 pub use doall::{
     doall_dynamic, doall_dynamic_rec, doall_static_blocked, doall_static_cyclic, DoallOutcome, Step,
 };
-pub use pool::Pool;
+pub use pool::{payload_message, CancelFlag, Pool, PoolOutcome, WorkerPanic};
 pub use reduce::{parallel_fold, parallel_min, parallel_min_index};
 pub use scan::{geometric_recurrence_terms, linear_recurrence_terms, parallel_scan_inclusive};
-pub use strip::{strip_mined, strip_mined_rec};
+pub use strip::{strip_mined, strip_mined_rec, StripOutcome};
 pub use window::{doall_windowed, doall_windowed_rec, WindowController, WindowScheduler};

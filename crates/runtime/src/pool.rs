@@ -1,4 +1,147 @@
 //! A fixed-width worker group exposing virtual processor numbers.
+//!
+//! Fault containment: the paper's speculative scheme (Section 5) requires
+//! that an exception raised by a speculatively executed iteration be
+//! survivable — the runtime must be able to abandon the parallel attempt,
+//! restore the checkpoint and re-execute sequentially. A worker panic must
+//! therefore never kill the process. [`Pool::run_with`] runs every worker
+//! (including the caller's thread, which doubles as vpn 0) under
+//! `catch_unwind`, aggregates the panic payloads, and reports them through
+//! a [`PoolOutcome`] so callers can distinguish clean, cancelled and
+//! panicked executions. A shared [`CancelFlag`] plays the role of the
+//! Alliant `QUIT` broadcast for faults: the first panicking worker raises
+//! it, and in-flight peers poll it at iteration boundaries.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A shared cooperative-cancellation flag — the fault-path analogue of the
+/// software `QUIT` protocol. Raised by the first panicking worker (or by
+/// any caller that wants to stop a run early); polled by the scheduling
+/// loops of every construct (DOALL, DOACROSS, strip-mining, window) at
+/// iteration boundaries.
+#[derive(Debug, Default)]
+pub struct CancelFlag(AtomicBool);
+
+impl CancelFlag {
+    /// A fresh, un-raised flag.
+    pub const fn new() -> Self {
+        CancelFlag(AtomicBool::new(false))
+    }
+
+    /// Raises the flag. Idempotent.
+    #[inline]
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been raised.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A contained worker panic: which worker, (optionally) which iteration,
+/// and the stringified payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Virtual processor number of the panicking worker.
+    pub vpn: usize,
+    /// Iteration the worker was executing, when the containing construct
+    /// knows it (`None` for panics caught at the pool boundary).
+    pub iter: Option<usize>,
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.iter {
+            Some(i) => write!(
+                f,
+                "worker {} panicked at iteration {}: {}",
+                self.vpn, i, self.message
+            ),
+            None => write!(f, "worker {} panicked: {}", self.vpn, self.message),
+        }
+    }
+}
+
+impl WorkerPanic {
+    /// Re-raises this panic on the caller's thread — for constructs whose
+    /// return type cannot carry the fault to the caller.
+    pub fn resume(self) -> ! {
+        panic!("{self}");
+    }
+}
+
+/// Stringifies a `catch_unwind` payload.
+pub fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// How a [`Pool::run_with`] execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolOutcome {
+    /// Every worker returned normally and the cancel flag stayed down.
+    Clean,
+    /// The cancel flag was raised but no worker panicked (cooperative
+    /// early exit).
+    Cancelled,
+    /// At least one worker panicked; payloads in vpn order.
+    Panicked(Vec<WorkerPanic>),
+}
+
+impl PoolOutcome {
+    /// Whether the run completed with no panic and no cancellation.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, PoolOutcome::Clean)
+    }
+
+    /// The contained panics (empty unless [`PoolOutcome::Panicked`]).
+    pub fn panics(&self) -> &[WorkerPanic] {
+        match self {
+            PoolOutcome::Panicked(ps) => ps,
+            _ => &[],
+        }
+    }
+
+    /// Consumes the outcome, yielding the first contained panic if any.
+    pub fn into_first_panic(self) -> Option<WorkerPanic> {
+        match self {
+            PoolOutcome::Panicked(mut ps) if !ps.is_empty() => Some(ps.remove(0)),
+            _ => None,
+        }
+    }
+
+    /// Re-raises the contained panics as **exactly one** panic on the
+    /// caller's thread (payloads aggregated into one message), after the
+    /// thread scope has fully exited — never a double-panic abort. A
+    /// no-op for clean or cancelled runs.
+    pub fn resume(self) {
+        if let PoolOutcome::Panicked(ps) = self {
+            let msg = ps
+                .iter()
+                .map(|w| match w.iter {
+                    Some(i) => format!(
+                        "worker {} panicked at iteration {}: {}",
+                        w.vpn, i, w.message
+                    ),
+                    None => format!("worker {} panicked: {}", w.vpn, w.message),
+                })
+                .collect::<Vec<_>>()
+                .join("; ");
+            panic!("{msg}");
+        }
+    }
+}
 
 /// A group of `p` cooperating workers.
 ///
@@ -32,61 +175,131 @@ impl Pool {
         self.workers
     }
 
+    /// Runs `f(vpn)` on every worker, vpn ∈ `0..p`, containing panics.
+    ///
+    /// Every worker — including vpn 0, which runs on the caller's thread —
+    /// executes under `catch_unwind`, so a panicking iteration body can
+    /// never abort the process (concurrent panics on the caller thread and
+    /// a spawned thread used to be a double-panic abort). The first panic
+    /// raises `cancel`; constructs poll it at iteration boundaries so
+    /// peers drain quickly. Join errors are aggregated, and the outcome is
+    /// reported exactly once, after the scope has exited.
+    pub fn run_with<F>(&self, cancel: &CancelFlag, f: F) -> PoolOutcome
+    where
+        F: Fn(usize) + Sync,
+    {
+        let mut panics: Vec<WorkerPanic> = Vec::new();
+        if self.workers == 1 {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(0))) {
+                cancel.cancel();
+                panics.push(WorkerPanic {
+                    vpn: 0,
+                    iter: None,
+                    message: payload_message(p.as_ref()),
+                });
+            }
+        } else {
+            std::thread::scope(|s| {
+                let f = &f;
+                // vpn 0 runs on the caller's thread; 1..p on spawned threads.
+                let handles: Vec<_> = (1..self.workers)
+                    .map(|vpn| {
+                        s.spawn(move || match catch_unwind(AssertUnwindSafe(|| f(vpn))) {
+                            Ok(()) => None,
+                            Err(p) => {
+                                cancel.cancel();
+                                Some(WorkerPanic {
+                                    vpn,
+                                    iter: None,
+                                    message: payload_message(p.as_ref()),
+                                })
+                            }
+                        })
+                    })
+                    .collect();
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(0))) {
+                    cancel.cancel();
+                    panics.push(WorkerPanic {
+                        vpn: 0,
+                        iter: None,
+                        message: payload_message(p.as_ref()),
+                    });
+                }
+                for (idx, h) in handles.into_iter().enumerate() {
+                    match h.join() {
+                        Ok(None) => {}
+                        Ok(Some(wp)) => panics.push(wp),
+                        // The closure cannot unwind past its catch_unwind,
+                        // but stay defensive about the join channel itself.
+                        Err(p) => panics.push(WorkerPanic {
+                            vpn: idx + 1,
+                            iter: None,
+                            message: payload_message(p.as_ref()),
+                        }),
+                    }
+                }
+            });
+            panics.sort_by_key(|w| w.vpn);
+        }
+        if !panics.is_empty() {
+            PoolOutcome::Panicked(panics)
+        } else if cancel.is_cancelled() {
+            PoolOutcome::Cancelled
+        } else {
+            PoolOutcome::Clean
+        }
+    }
+
     /// Runs `f(vpn)` on every worker, vpn ∈ `0..p`, and waits for all.
     ///
     /// With `p == 1` the closure runs inline on the caller's thread, which
     /// makes sequential baselines measurable without thread overhead.
+    ///
+    /// # Panics
+    /// If any worker panics, re-raises exactly one panic (aggregated
+    /// payload) on the caller's thread after all workers have joined.
     pub fn run<F>(&self, f: F)
     where
         F: Fn(usize) + Sync,
     {
-        if self.workers == 1 {
-            f(0);
-            return;
-        }
-        std::thread::scope(|s| {
-            let f = &f;
-            // vpn 0 runs on the caller's thread; 1..p on spawned threads.
-            let handles: Vec<_> = (1..self.workers)
-                .map(|vpn| s.spawn(move || f(vpn)))
-                .collect();
-            f(0);
-            for h in handles {
-                h.join().expect("worker panicked");
-            }
-        });
+        self.run_with(&CancelFlag::new(), f).resume();
+    }
+
+    /// Fault-containing [`Pool::run_map`]: collects each worker's return
+    /// value in vpn order, with `None` in the slot of any worker that
+    /// panicked (or never ran). The outcome reports the contained panics.
+    pub fn run_map_with<F, T>(&self, cancel: &CancelFlag, f: F) -> (Vec<Option<T>>, PoolOutcome)
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        let mut out: Vec<Option<T>> = (0..self.workers).map(|_| None).collect();
+        let outcome = {
+            let slots: Vec<parking_lot::Mutex<&mut Option<T>>> =
+                out.iter_mut().map(parking_lot::Mutex::new).collect();
+            self.run_with(cancel, |vpn| {
+                let v = f(vpn);
+                **slots[vpn].lock() = Some(v);
+            })
+        };
+        (out, outcome)
     }
 
     /// Runs `f(vpn)` on every worker and collects each worker's return value
     /// in vpn order (the paper's `L[0:nproc-1]` per-processor arrays).
+    ///
+    /// # Panics
+    /// If any worker panics, re-raises exactly one panic (aggregated
+    /// payload) on the caller's thread after all workers have joined.
     pub fn run_map<F, T>(&self, f: F) -> Vec<T>
     where
         F: Fn(usize) -> T + Sync,
         T: Send,
     {
-        if self.workers == 1 {
-            return vec![f(0)];
-        }
-        let mut out: Vec<Option<T>> = (0..self.workers).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let f = &f;
-            let (first, rest) = out.split_first_mut().expect("p > 0");
-            let handles: Vec<_> = rest
-                .iter_mut()
-                .enumerate()
-                .map(|(i, slot)| {
-                    s.spawn(move || {
-                        *slot = Some(f(i + 1));
-                    })
-                })
-                .collect();
-            *first = Some(f(0));
-            for h in handles {
-                h.join().expect("worker panicked");
-            }
-        });
+        let (out, outcome) = self.run_map_with(&CancelFlag::new(), f);
+        outcome.resume();
         out.into_iter()
-            .map(|v| v.expect("worker filled slot"))
+            .map(|v| v.expect("clean run fills every slot"))
             .collect()
     }
 
@@ -169,5 +382,84 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_reported() {
+        let pool = Pool::new(4);
+        let cancel = CancelFlag::new();
+        let out = pool.run_with(&cancel, |vpn| {
+            if vpn == 2 {
+                panic!("boom on {vpn}");
+            }
+        });
+        let panics = out.panics();
+        assert_eq!(panics.len(), 1);
+        assert_eq!(panics[0].vpn, 2);
+        assert_eq!(panics[0].message, "boom on 2");
+        assert!(cancel.is_cancelled(), "panic raises the cancel flag");
+    }
+
+    #[test]
+    fn caller_thread_panic_does_not_abort_even_with_concurrent_panics() {
+        // Regression for the double-panic abort: vpn 0 (caller thread) and
+        // a spawned worker panic concurrently; both must be contained.
+        let pool = Pool::new(4);
+        let cancel = CancelFlag::new();
+        let out = pool.run_with(&cancel, |vpn| {
+            if vpn == 0 || vpn == 3 {
+                panic!("boom {vpn}");
+            }
+        });
+        let vpns: Vec<usize> = out.panics().iter().map(|w| w.vpn).collect();
+        assert_eq!(vpns, vec![0, 3], "payloads aggregated in vpn order");
+    }
+
+    #[test]
+    fn resume_reraises_exactly_one_panic_with_payload() {
+        let pool = Pool::new(3);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|vpn| {
+                if vpn == 1 {
+                    panic!("injected");
+                }
+            });
+        }))
+        .unwrap_err();
+        let msg = payload_message(err.as_ref());
+        assert!(msg.contains("worker 1 panicked"), "{msg}");
+        assert!(msg.contains("injected"), "{msg}");
+    }
+
+    #[test]
+    fn single_worker_panic_is_contained() {
+        let pool = Pool::new(1);
+        let out = pool.run_with(&CancelFlag::new(), |_| panic!("solo"));
+        assert_eq!(out.panics().len(), 1);
+        assert_eq!(out.panics()[0].message, "solo");
+    }
+
+    #[test]
+    fn cancelled_outcome_without_panic() {
+        let pool = Pool::new(2);
+        let cancel = CancelFlag::new();
+        let out = pool.run_with(&cancel, |_| cancel.cancel());
+        assert_eq!(out, PoolOutcome::Cancelled);
+        assert!(!out.is_clean());
+    }
+
+    #[test]
+    fn run_map_with_leaves_panicked_slot_empty() {
+        let pool = Pool::new(3);
+        let (slots, out) = pool.run_map_with(&CancelFlag::new(), |vpn| {
+            if vpn == 1 {
+                panic!("no value");
+            }
+            vpn * 2
+        });
+        assert_eq!(slots[0], Some(0));
+        assert_eq!(slots[1], None);
+        assert_eq!(slots[2], Some(4));
+        assert_eq!(out.panics().len(), 1);
     }
 }

@@ -13,7 +13,7 @@ use crate::pool::Pool;
 use wlp_obs::{NoopRecorder, Recorder};
 
 /// Result of a strip-mined loop execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StripOutcome {
     /// Combined outcome over all strips (global iteration indices).
     pub outcome: DoallOutcome,
@@ -100,6 +100,7 @@ where
     let mut max_started = 0usize;
     let mut quit: Option<usize> = None;
     let mut strips_run = 0usize;
+    let mut panic = None;
 
     let mut lo = 0usize;
     while lo < upper {
@@ -112,6 +113,12 @@ where
         strips_run += 1;
         executed += out.executed;
         max_started = max_started.max(lo + out.max_started);
+        if let Some(mut wp) = out.panic {
+            // re-base the per-strip iteration index, like ShiftedRecorder
+            wp.iter = wp.iter.map(|i| lo + i);
+            panic = Some(wp);
+            break;
+        }
         if let Some(q) = out.quit {
             quit = Some(lo + q);
             break;
@@ -124,6 +131,7 @@ where
             quit,
             executed,
             max_started,
+            panic,
         },
         strips_run,
     }
@@ -200,5 +208,26 @@ mod tests {
     fn zero_strip_panics() {
         let pool = Pool::new(2);
         let _ = strip_mined(&pool, 10, 0, |_, _| Step::Continue);
+    }
+
+    #[test]
+    fn panic_stops_after_its_strip_and_is_rebased() {
+        let pool = Pool::new(4);
+        let out = strip_mined(&pool, 1000, 10, |i, _| {
+            if i == 25 {
+                panic!("strip fault");
+            }
+            Step::Continue
+        });
+        let wp = out.outcome.panic.expect("fault must be reported");
+        assert_eq!(
+            wp.iter,
+            Some(25),
+            "iteration index is global, not per-strip"
+        );
+        assert_eq!(wp.message, "strip fault");
+        // strips 0..10, 10..20, 20..30 ran; nothing from 30 onward
+        assert_eq!(out.strips_run, 3);
+        assert!(out.outcome.max_started <= 30);
     }
 }

@@ -13,10 +13,11 @@
 //! implements that policy: it maps a measured memory usage to a new window
 //! size under a budget.
 
-use crate::doall::{DoallOutcome, Step};
-use crate::pool::Pool;
+use crate::doall::{DoallOutcome, FaultCell, Step};
+use crate::pool::{CancelFlag, Pool};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 #[derive(Debug)]
 struct WinState {
@@ -32,6 +33,11 @@ struct WinState {
     window: usize,
     /// Largest span `h − l` ever observed (for tests / reporting).
     max_span: usize,
+    /// Raised when the run is abandoned (worker panic): claims return
+    /// `None` immediately instead of blocking on the window. Lives under
+    /// the state mutex so the cancel/notify pair is race-free — a claimer
+    /// cannot check the flag and then sleep across the cancellation.
+    cancelled: bool,
 }
 
 /// A sliding-window iteration scheduler.
@@ -62,6 +68,7 @@ impl WindowScheduler {
                 quit: usize::MAX,
                 window,
                 max_span: 0,
+                cancelled: false,
             }),
             cv: Condvar::new(),
         }
@@ -73,7 +80,7 @@ impl WindowScheduler {
     pub fn claim(&self) -> Option<usize> {
         let mut st = self.state.lock();
         loop {
-            if st.next >= self.upper || st.next > st.quit {
+            if st.cancelled || st.next >= self.upper || st.next > st.quit {
                 // Wake any peers blocked on the window so they can also see
                 // the end condition.
                 self.cv.notify_all();
@@ -92,11 +99,18 @@ impl WindowScheduler {
     }
 
     /// Marks iteration `i` complete, advancing the low watermark past any
-    /// prefix of completed iterations.
+    /// prefix of completed iterations. Tolerates (ignores) an iteration
+    /// the scheduler does not consider in flight — a stale completion
+    /// after cancellation must not panic while holding the lock.
     pub fn complete(&self, i: usize) {
         let mut st = self.state.lock();
-        let idx = i - st.low;
-        st.done[idx] = true;
+        let Some(idx) = i.checked_sub(st.low) else {
+            return;
+        };
+        let Some(slot) = st.done.get_mut(idx) else {
+            return;
+        };
+        *slot = true;
         let mut advanced = false;
         while st.done.front() == Some(&true) {
             st.done.pop_front();
@@ -147,6 +161,21 @@ impl WindowScheduler {
     pub fn quit(&self) -> Option<usize> {
         let q = self.state.lock().quit;
         (q != usize::MAX).then_some(q)
+    }
+
+    /// Abandons the run: all current and future claims return `None`,
+    /// and every worker blocked on window admission is woken. Used on the
+    /// fault path — a panicked worker never completes its iteration, so
+    /// the low watermark would otherwise stall peers forever.
+    pub fn cancel(&self) {
+        let mut st = self.state.lock();
+        st.cancelled = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether the run was abandoned.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.lock().cancelled
     }
 }
 
@@ -220,6 +249,8 @@ where
     let sched = WindowScheduler::new(upper, window);
     let executed = std::sync::atomic::AtomicU64::new(0);
     let max_started = std::sync::atomic::AtomicUsize::new(0);
+    let cancel = CancelFlag::new();
+    let fault = FaultCell::new();
     if R::ENABLED {
         rec.record(
             0,
@@ -228,7 +259,7 @@ where
             },
         );
     }
-    pool.run(|vpn| {
+    let pool_out = pool.run_with(&cancel, |vpn| {
         let mut local_exec = 0u64;
         let mut local_max = 0usize;
         loop {
@@ -249,9 +280,20 @@ where
             }
             let Some(i) = claimed else { break };
             local_max = local_max.max(i + 1);
-            local_exec += 1;
             let t1 = R::ENABLED.then(Instant::now);
-            let step = body(i, vpn);
+            let step = match catch_unwind(AssertUnwindSafe(|| body(i, vpn))) {
+                Ok(step) => step,
+                Err(p) => {
+                    fault.record(vpn, i, p.as_ref());
+                    // wake peers blocked on window admission: the faulted
+                    // iteration will never complete, so the low watermark
+                    // cannot advance past it
+                    sched.cancel();
+                    cancel.cancel();
+                    break;
+                }
+            };
+            local_exec += 1;
             if R::ENABLED {
                 let cost = t1.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 rec.record(
@@ -281,6 +323,7 @@ where
             quit: sched.quit(),
             executed: executed.load(std::sync::atomic::Ordering::Relaxed),
             max_started: max_started.load(std::sync::atomic::Ordering::Relaxed),
+            panic: fault.take().or_else(|| pool_out.into_first_panic()),
         },
         sched.max_span(),
     )
@@ -392,5 +435,34 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_panics() {
         let _ = WindowScheduler::new(10, 0);
+    }
+
+    #[test]
+    fn panic_inside_a_full_window_does_not_deadlock() {
+        // The faulted iteration never completes, so the low watermark
+        // stalls; blocked claimers must be woken by the cancellation.
+        let pool = Pool::new(4);
+        let (out, _) = doall_windowed(&pool, 100_000, 2, |i, _| {
+            if i == 50 {
+                panic!("window fault");
+            }
+            Step::Continue
+        });
+        let wp = out.panic.expect("fault must be reported");
+        assert_eq!(wp.iter, Some(50));
+        assert_eq!(wp.message, "window fault");
+        assert!(out.executed < 100_000);
+    }
+
+    #[test]
+    fn cancelled_scheduler_rejects_claims_and_reports() {
+        let sched = WindowScheduler::new(10, 4);
+        assert_eq!(sched.claim(), Some(0));
+        sched.cancel();
+        assert!(sched.is_cancelled());
+        assert_eq!(sched.claim(), None);
+        // stale completion after cancellation must not panic
+        sched.complete(7);
+        sched.complete(0);
     }
 }

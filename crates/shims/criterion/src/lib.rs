@@ -217,6 +217,32 @@ impl Bencher {
             self.samples.push(t0.elapsed());
         }
     }
+
+    /// Times `routine` only, rebuilding its input with `setup` before each
+    /// sample (setup time is excluded from the measurement).
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if !self.warmed {
+            black_box(routine(setup()));
+            self.warmed = true;
+        }
+        let start = Instant::now();
+        while self.samples.len() < self.target_samples && start.elapsed() < self.budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+        if self.samples.is_empty() {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
 }
 
 fn run_one(

@@ -11,6 +11,7 @@
 //! the [`TimedMin`] helper enforces for QUITs.
 
 use serde::Serialize;
+use std::cell::Cell;
 use wlp_obs::{Event, Sample, Trace};
 
 /// A recorded busy interval on one processor (tracing only).
@@ -31,6 +32,14 @@ pub struct Engine {
     busy: Vec<u64>,
     trace: Option<Vec<Span>>,
     events: Option<Vec<Sample>>,
+    // Dispatch-event budget: the simulator's analogue of the runtime's
+    // runaway-dispatcher guard. Every successful `next_proc` dispatch
+    // consumes one step; once the budget is spent, dispatch returns `None`
+    // so a mis-specified (e.g. cyclic-list) schedule terminates instead of
+    // hanging. A Cell keeps `next_proc` borrowable by `&self` — the engine
+    // is single-threaded — while the struct stays `Clone`.
+    steps: Cell<u64>,
+    step_budget: u64,
 }
 
 impl Engine {
@@ -45,7 +54,31 @@ impl Engine {
             busy: vec![0; p],
             trace: None,
             events: None,
+            steps: Cell::new(0),
+            step_budget: u64::MAX,
         }
+    }
+
+    /// Caps the number of dispatch events [`Engine::next_proc`] will grant
+    /// (`None` lifts the cap). After the budget is spent `next_proc`
+    /// returns `None` and [`Engine::budget_exhausted`] reports `true`, so
+    /// strategy loops driven by dispatch terminate rather than spin on a
+    /// divergent schedule.
+    pub fn set_step_budget(&mut self, budget: Option<u64>) {
+        self.step_budget = budget.unwrap_or(u64::MAX);
+    }
+
+    /// Dispatch events granted so far.
+    #[inline]
+    pub fn steps(&self) -> u64 {
+        self.steps.get()
+    }
+
+    /// Whether dispatch stopped because the step budget ran out (a
+    /// divergent schedule), as opposed to running to completion.
+    #[inline]
+    pub fn budget_exhausted(&self) -> bool {
+        self.steps.get() >= self.step_budget
     }
 
     /// Like [`Engine::new`], but records every busy span for
@@ -153,12 +186,20 @@ impl Engine {
     }
 
     /// The runnable processor with the lowest clock, ties broken by id.
+    /// Each grant consumes one step of the budget set by
+    /// [`Engine::set_step_budget`]; an exhausted budget yields `None`.
     pub fn next_proc(&self, runnable: &[bool]) -> Option<usize> {
+        if self.steps.get() >= self.step_budget {
+            return None;
+        }
         let mut best: Option<usize> = None;
         for (i, &r) in runnable.iter().enumerate() {
             if r && best.is_none_or(|b| self.clocks[i] < self.clocks[b]) {
                 best = Some(i);
             }
+        }
+        if best.is_some() {
+            self.steps.set(self.steps.get() + 1);
         }
         best
     }
@@ -323,6 +364,9 @@ pub struct Report {
     pub overshoot: u64,
     /// Dispatcher increments (`next()` hops) performed across processors.
     pub hops: u64,
+    /// Whether the run was cut short by the engine's dispatch-step budget
+    /// (a divergent schedule) instead of finishing normally.
+    pub diverged: bool,
 }
 
 impl Report {
@@ -543,6 +587,7 @@ mod tests {
             last_valid: None,
             overshoot: 0,
             hops: 0,
+            diverged: false,
         };
         let par = Report {
             p: 4,
@@ -552,8 +597,38 @@ mod tests {
             last_valid: None,
             overshoot: 0,
             hops: 0,
+            diverged: false,
         };
         assert!((par.speedup(&seq) - 4.0).abs() < 1e-12);
         assert!((par.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_budget_halts_a_divergent_dispatch_loop() {
+        let mut e = Engine::new(2);
+        e.set_step_budget(Some(10));
+        // a "schedule" that would never terminate on its own
+        let mut grants = 0;
+        while let Some(proc) = e.next_proc(&[true, true]) {
+            e.work(proc, 1);
+            grants += 1;
+            assert!(grants <= 10, "budget must stop the loop");
+        }
+        assert_eq!(grants, 10);
+        assert_eq!(e.steps(), 10);
+        assert!(e.budget_exhausted());
+
+        // an unbudgeted engine never reports divergence
+        let u = Engine::new(1);
+        assert!(!u.budget_exhausted());
+        assert_eq!(u.next_proc(&[true]), Some(0));
+        assert_eq!(u.steps(), 1);
+
+        // a no-runnable-procs dispatch does not consume budget
+        let mut f = Engine::new(1);
+        f.set_step_budget(Some(5));
+        assert_eq!(f.next_proc(&[false]), None);
+        assert_eq!(f.steps(), 0);
+        assert!(!f.budget_exhausted());
     }
 }

@@ -158,6 +158,10 @@ pub struct ExecConfig {
     /// Restore overwritten values of overshot iterations after the loop
     /// (`T_a`). Requires `stamp_writes`.
     pub undo_overshoot: bool,
+    /// Cap on engine dispatch events (`None` = unlimited): the simulator's
+    /// runaway-dispatcher guard. A run that hits the cap reports
+    /// `diverged = true` instead of spinning forever.
+    pub max_engine_steps: Option<u64>,
 }
 
 impl ExecConfig {
@@ -174,6 +178,7 @@ impl ExecConfig {
             stamp_writes: true,
             pd_shadow: false,
             undo_overshoot: true,
+            max_engine_steps: None,
         }
     }
 
@@ -184,7 +189,14 @@ impl ExecConfig {
             stamp_writes: true,
             pd_shadow: true,
             undo_overshoot: true,
+            max_engine_steps: None,
         }
+    }
+
+    /// Caps the engine's dispatch-event budget (the runaway guard).
+    pub fn with_step_budget(mut self, steps: u64) -> Self {
+        self.max_engine_steps = Some(steps);
+        self
     }
 }
 
@@ -225,5 +237,10 @@ mod tests {
         assert!(u.stamp_writes && u.undo_overshoot && !u.pd_shadow);
         let pd = ExecConfig::with_pd(100);
         assert!(pd.pd_shadow && pd.stamp_writes);
+        assert_eq!(ExecConfig::bare().max_engine_steps, None);
+        assert_eq!(
+            ExecConfig::bare().with_step_budget(7).max_engine_steps,
+            Some(7)
+        );
     }
 }

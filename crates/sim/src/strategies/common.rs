@@ -30,7 +30,10 @@ pub(crate) fn td_cost(spec: &LoopSpec, oh: &Overheads, cfg: &ExecConfig, i: usiz
 }
 
 /// The checkpointing phase before the DOALL (`T_b`), run fully parallel.
+/// Also arms the engine's dispatch-step budget (the runaway guard) from
+/// `cfg`, so every strategy that runs the standard prologue is covered.
 pub(crate) fn prologue(eng: &mut Engine, oh: &Overheads, cfg: &ExecConfig) {
+    eng.set_step_budget(cfg.max_engine_steps);
     if cfg.backup_elems > 0 {
         // Attribute the checkpointed volume once (on proc 0); every
         // processor still gets its share of the copy cost.
@@ -141,5 +144,6 @@ pub(crate) fn report(eng: &Engine, spec: &LoopSpec, quit: &TimedMin, stats: Stat
             .or(spec.exit_at.filter(|&e| e < spec.upper)),
         overshoot: stats.overshoot,
         hops: stats.hops,
+        diverged: eng.budget_exhausted(),
     }
 }

@@ -450,6 +450,25 @@ mod tests {
     }
 
     #[test]
+    fn step_budget_cuts_a_run_short_and_flags_divergence() {
+        let spec = LoopSpec::uniform(10_000, 10);
+        let cfg = ExecConfig::bare().with_step_budget(50);
+        let r = sim_induction_doall(4, &spec, &oh(), &cfg, Schedule::Dynamic);
+        assert!(r.diverged, "budget exhaustion must be reported");
+        assert!(r.executed < 10_000, "the cap must actually bite");
+
+        let full = sim_induction_doall(4, &spec, &oh(), &ExecConfig::bare(), Schedule::Dynamic);
+        assert!(!full.diverged, "an unbudgeted run never diverges");
+        assert_eq!(full.executed, 10_000);
+
+        // a generous budget does not perturb the result
+        let roomy = ExecConfig::bare().with_step_budget(1_000_000);
+        let same = sim_induction_doall(4, &spec, &oh(), &roomy, Schedule::Dynamic);
+        assert!(!same.diverged);
+        assert_eq!(same.makespan, full.makespan);
+    }
+
+    #[test]
     fn conservation_busy_le_p_times_makespan() {
         let spec = LoopSpec::uniform(777, 91).with_exit(600, RV);
         for p in [1, 3, 8] {

@@ -118,6 +118,7 @@ pub fn search_parallel(
             last_valid: out.quit,
             executed: executed.load(Ordering::Relaxed),
             max_started: out.max_started,
+            panic: out.panic,
         },
     )
 }

@@ -12,9 +12,13 @@
 use crossbeam::atomic::AtomicCell;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wlp_core::general::{general1, general2, general3, GeneralConfig, GeneralOutcome};
+use wlp_core::general::{
+    general1, general2, general3, general3_recovering_rec, GeneralConfig, GeneralOutcome,
+};
+use wlp_fault::FaultPlan;
 use wlp_list::ListArena;
-use wlp_runtime::Pool;
+use wlp_obs::Recorder;
+use wlp_runtime::{Pool, Step};
 use wlp_sim::{LoopSpec, Overheads};
 
 /// A capacitor device model (a slice of what SPICE keeps per device).
@@ -110,6 +114,33 @@ pub fn load_parallel(
         Method::General2 => general2(pool, list, cfg, body),
         Method::General3 => general3(pool, list, cfg, body),
     };
+    (out.into_iter().map(|c| c.load()).collect(), outcome)
+}
+
+/// Parallel LOAD under fault injection: General-3 wrapped in the paper's
+/// Section 5 exception rule. `plan` injects its fault into the loop body
+/// (the injection point reports vpn 0, so use vpn-unconstrained plans); a
+/// contained worker panic triggers a guarded sequential re-execution —
+/// sound here because each body writes only its own device's output slot —
+/// and the abort is recorded on `rec` as an exception [`wlp_obs::Event::SpecAbort`].
+/// The returned stamps therefore match the sequential reference even when
+/// the fault fires.
+pub fn load_parallel_recovering<R: Recorder>(
+    pool: &Pool,
+    list: &ListArena<Capacitor>,
+    dt: f64,
+    plan: &FaultPlan,
+    rec: &R,
+) -> (Vec<Stamp>, GeneralOutcome) {
+    let out: Vec<AtomicCell<Stamp>> = (0..list.len())
+        .map(|_| AtomicCell::new(Stamp { geq: 0.0, ieq: 0.0 }))
+        .collect();
+    let outcome = general3_recovering_rec(pool, list, GeneralConfig::default(), rec, |i, node| {
+        plan.inject(i, 0);
+        let dev = &list[node];
+        out[dev.id].store(evaluate(dev, dt));
+        Step::Continue
+    });
     (out.into_iter().map(|c| c.load()).collect(), outcome)
 }
 
@@ -443,6 +474,56 @@ mod tests {
             v_ds: 2.0,
         });
         assert!(s.geq > 0.0);
+    }
+
+    #[test]
+    fn injected_panic_recovers_to_the_sequential_answer() {
+        use wlp_obs::{BufferRecorder, ProfileReport};
+        let list = build_device_list(400, 11);
+        let seq = load_sequential(&list, 1e-6);
+        let pool = Pool::new(4);
+        let plan = FaultPlan::panic_at(200);
+        let rec = BufferRecorder::new(4);
+        let (par, outcome) = load_parallel_recovering(&pool, &list, 1e-6, &plan, &rec);
+        assert!(plan.fired(), "the fault must actually fire");
+        assert!(outcome.recovered, "recovery path must run");
+        assert!(outcome.panic.is_some());
+        assert_eq!(outcome.iterations, 400, "recovery re-executes everything");
+        for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+            assert!(close(s.geq, p.geq) && close(s.ieq, p.ieq), "device {i}");
+        }
+        let report = ProfileReport::from_trace(&rec.finish());
+        assert_eq!(report.spec_aborts, 1);
+        assert_eq!(report.aborts_exception, 1);
+        assert_eq!(report.aborts_dependence, 0);
+    }
+
+    #[test]
+    fn clean_runs_pass_through_the_recovery_wrapper() {
+        let list = build_device_list(300, 5);
+        let seq = load_sequential(&list, 1e-6);
+        let pool = Pool::new(4);
+        let plan = FaultPlan::none();
+        let (par, outcome) =
+            load_parallel_recovering(&pool, &list, 1e-6, &plan, &wlp_obs::NoopRecorder);
+        assert!(!outcome.recovered);
+        assert!(outcome.panic.is_none());
+        assert_eq!(outcome.iterations, 300);
+        for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+            assert!(close(s.geq, p.geq) && close(s.ieq, p.ieq), "device {i}");
+        }
+    }
+
+    #[test]
+    fn corrupted_device_list_reports_divergence_not_a_hang() {
+        let mut list = build_device_list(200, 8);
+        wlp_fault::corrupt_list_cycle(&mut list, 99).expect("list long enough");
+        let pool = Pool::new(4);
+        let plan = FaultPlan::none();
+        let (_, outcome) =
+            load_parallel_recovering(&pool, &list, 1e-6, &plan, &wlp_obs::NoopRecorder);
+        let d = outcome.diverged.expect("cycle must be detected");
+        assert!(d.cycle || d.steps >= d.budget, "{d:?}");
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! * [`workloads`] — the five loops of the paper's evaluation.
 //! * [`obs`] — structured tracing/profiling: one event schema shared by
 //!   the runtime and the simulator, profile aggregation, Chrome traces.
+//! * [`fault`] — deterministic fault injection exercising the recovery
+//!   paths: seeded panic plans and linked-list corruption.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
@@ -56,6 +58,7 @@
 pub struct ReadmeDoctests;
 
 pub use wlp_core as core;
+pub use wlp_fault as fault;
 pub use wlp_ir as ir;
 pub use wlp_list as list;
 pub use wlp_obs as obs;
