@@ -1,0 +1,448 @@
+//! Wall-clock benchmark harness for the *threaded* runtime.
+//!
+//! Unlike `figures` (which replays the paper's exhibits on the
+//! deterministic simulator), this binary times real executions of the
+//! runtime constructs and workloads on the host machine, across pool
+//! sizes, scheduling policies and pool modes, and writes the results to
+//! `BENCH_runtime.json` for CI to archive and gate on.
+//!
+//! ```text
+//! cargo run -p wlp-bench --release --bin wlp-bench                 # full run
+//! cargo run -p wlp-bench --release --bin wlp-bench -- --smoke     # CI-sized
+//! cargo run -p wlp-bench --release --bin wlp-bench -- --smoke --gate
+//! cargo run -p wlp-bench --release --bin wlp-bench -- --out /tmp/b.json
+//! ```
+//!
+//! Exhibit families:
+//!
+//! * `compute` — a uniform-body DOALL over a synthetic flop kernel, per
+//!   pool size and [`ChunkPolicy`], against the sequential loop.
+//! * `spice` — the SPICE LOAD workload (linked-list dispatcher,
+//!   General-3), against its sequential reference; reported but not
+//!   gated — its bodies are tiny ("the body in Loop 40 does little
+//!   work"), so the exhibit measures dispatcher overhead, which machine
+//!   size swings by an order of magnitude.
+//! * `track` — the TRACK speculative workload (checkpoint + PD test +
+//!   undo), against its sequential reference; reported but not gated,
+//!   since the speculation machinery's overhead is the quantity under
+//!   study, not a regression.
+//! * `dispatch` — many small regions back to back, resident pool vs
+//!   spawn-per-region: the dispatch-overhead exhibit. The resident pool
+//!   must win at small iteration counts; `--gate` enforces it.
+//!
+//! With `--gate`, the run fails (exit 1) if any gated parallel exhibit at
+//! the largest pool size is more than 1.5× slower than its sequential
+//! baseline, or if the resident pool loses to spawn-per-region.
+
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+use wlp_runtime::{doall_dynamic_chunked, ChunkPolicy, Pool, Step};
+use wlp_workloads::{spice, track};
+
+/// Slowdown bound for `--gate`: a parallel construct at the largest pool
+/// size may be at most this much slower than its sequential baseline.
+const GATE_SLOWDOWN: f64 = 1.5;
+
+#[derive(Serialize)]
+struct Machine {
+    os: String,
+    arch: String,
+    cpus: usize,
+}
+
+#[derive(Serialize)]
+struct RunConfig {
+    smoke: bool,
+    repeats: usize,
+    warmup: usize,
+}
+
+#[derive(Serialize)]
+struct Exhibit {
+    /// Unique id: `family/mode/policy/p{p}`.
+    name: String,
+    family: String,
+    /// `seq`, `resident` or `spawn`.
+    mode: String,
+    /// Chunk policy label (`-` where not applicable).
+    policy: String,
+    p: usize,
+    /// Problem size (iterations; for `dispatch`, iterations per region).
+    n: usize,
+    repeats: usize,
+    median_ns: u64,
+    q1_ns: u64,
+    q3_ns: u64,
+    iqr_ns: u64,
+    /// Name of the exhibit this one is measured against, if any.
+    baseline: Option<String>,
+    /// `baseline_median / median` (> 1 means faster than the baseline).
+    speedup_vs_baseline: Option<f64>,
+    /// Whether `--gate` applies its slowdown bound to this exhibit.
+    gated: bool,
+}
+
+#[derive(Serialize)]
+struct BenchFile {
+    schema: String,
+    machine: Machine,
+    config: RunConfig,
+    exhibits: Vec<Exhibit>,
+}
+
+struct Stats {
+    median_ns: u64,
+    q1_ns: u64,
+    q3_ns: u64,
+}
+
+/// Times `f` `warmup + repeats` times; returns nearest-rank quartiles
+/// over the timed repeats.
+fn measure(warmup: usize, repeats: usize, mut f: impl FnMut()) -> Stats {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut ns: Vec<u64> = (0..repeats)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    ns.sort_unstable();
+    let at = |q: f64| ns[((ns.len() as f64 * q) as usize).min(ns.len() - 1)];
+    let median = if ns.len() % 2 == 1 {
+        ns[ns.len() / 2]
+    } else {
+        (ns[ns.len() / 2 - 1] + ns[ns.len() / 2]) / 2
+    };
+    Stats {
+        median_ns: median,
+        q1_ns: at(0.25),
+        q3_ns: at(0.75),
+    }
+}
+
+/// The synthetic compute kernel: enough flops that a claim is cheap
+/// relative to the body, little enough that dispatch is still visible.
+fn flops(i: usize) -> f64 {
+    let mut v = i as f64 + 1.0;
+    for _ in 0..40 {
+        v = v * 1.000001 + 0.3;
+    }
+    v
+}
+
+struct Sizes {
+    compute_n: usize,
+    spice_n: usize,
+    track_n: usize,
+    track_exit: usize,
+    dispatch_n: usize,
+    dispatch_regions: usize,
+}
+
+impl Sizes {
+    fn full() -> Self {
+        Sizes {
+            compute_n: 200_000,
+            spice_n: 50_000,
+            track_n: 20_000,
+            track_exit: 15_000,
+            dispatch_n: 256,
+            dispatch_regions: 200,
+        }
+    }
+
+    fn smoke() -> Self {
+        Sizes {
+            compute_n: 40_000,
+            spice_n: 10_000,
+            track_n: 4_000,
+            track_exit: 3_000,
+            dispatch_n: 256,
+            dispatch_regions: 50,
+        }
+    }
+}
+
+struct Harness {
+    warmup: usize,
+    repeats: usize,
+    exhibits: Vec<Exhibit>,
+}
+
+impl Harness {
+    #[allow(clippy::too_many_arguments)] // flat exhibit descriptor, mirrors the JSON row
+    fn run(
+        &mut self,
+        family: &str,
+        mode: &str,
+        policy: &str,
+        p: usize,
+        n: usize,
+        baseline: Option<&str>,
+        gated: bool,
+        f: impl FnMut(),
+    ) {
+        let name = format!("{family}/{mode}/{policy}/p{p}");
+        let s = measure(self.warmup, self.repeats, f);
+        let speedup = baseline
+            .and_then(|b| self.exhibits.iter().find(|e| e.name == b))
+            .map(|b| b.median_ns as f64 / s.median_ns.max(1) as f64);
+        println!(
+            "  {name:<40} median {:>12} ns  iqr {:>10} ns{}",
+            s.median_ns,
+            s.q3_ns - s.q1_ns,
+            speedup.map_or(String::new(), |x| format!("  speedup {x:.2}x")),
+        );
+        self.exhibits.push(Exhibit {
+            name,
+            family: family.to_string(),
+            mode: mode.to_string(),
+            policy: policy.to_string(),
+            p,
+            n,
+            repeats: self.repeats,
+            median_ns: s.median_ns,
+            q1_ns: s.q1_ns,
+            q3_ns: s.q3_ns,
+            iqr_ns: s.q3_ns - s.q1_ns,
+            baseline: baseline.map(str::to_string),
+            speedup_vs_baseline: speedup,
+            gated,
+        });
+    }
+}
+
+fn pool_sizes() -> Vec<usize> {
+    vec![1, 2, 4]
+}
+
+fn policies() -> Vec<ChunkPolicy> {
+    vec![
+        ChunkPolicy::One,
+        ChunkPolicy::Fixed(32),
+        ChunkPolicy::Guided { min: 4 },
+    ]
+}
+
+fn run_all(h: &mut Harness, sizes: &Sizes) {
+    // -- compute: sequential baseline, then every (p, policy) cell --------
+    println!("compute (n = {}):", sizes.compute_n);
+    let n = sizes.compute_n;
+    h.run("compute", "seq", "-", 1, n, None, false, || {
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += flops(i);
+        }
+        black_box(acc);
+    });
+    for &p in &pool_sizes() {
+        let pool = Pool::new(p);
+        for policy in policies() {
+            h.run(
+                "compute",
+                "resident",
+                &policy.label(),
+                p,
+                n,
+                Some("compute/seq/-/p1"),
+                p > 1,
+                || {
+                    doall_dynamic_chunked(&pool, n, policy, |i, _| {
+                        black_box(flops(i));
+                        Step::Continue
+                    });
+                },
+            );
+        }
+    }
+
+    // -- spice: linked-list LOAD via General-3 ----------------------------
+    println!("spice (n = {}):", sizes.spice_n);
+    let list = spice::build_device_list(sizes.spice_n, 42);
+    let dt = 1e-3;
+    h.run("spice", "seq", "-", 1, sizes.spice_n, None, false, || {
+        black_box(spice::load_sequential(&list, dt));
+    });
+    for &p in &pool_sizes() {
+        let pool = Pool::new(p);
+        h.run(
+            "spice",
+            "resident",
+            "-",
+            p,
+            sizes.spice_n,
+            Some("spice/seq/-/p1"),
+            false, // overhead exhibit: tiny bodies measure the dispatcher
+            || {
+                black_box(spice::load_parallel(
+                    &pool,
+                    &list,
+                    dt,
+                    spice::Method::General3,
+                ));
+            },
+        );
+    }
+
+    // -- track: speculative DOALL with checkpoint + PD test + undo --------
+    println!(
+        "track (n = {}, exit at {}):",
+        sizes.track_n, sizes.track_exit
+    );
+    let inst = track::TrackInstance::new(sizes.track_n, sizes.track_exit, 7);
+    h.run("track", "seq", "-", 1, sizes.track_n, None, false, || {
+        black_box(inst.run_sequential());
+    });
+    for &p in &pool_sizes() {
+        let pool = Pool::new(p);
+        h.run(
+            "track",
+            "resident",
+            "-",
+            p,
+            sizes.track_n,
+            Some("track/seq/-/p1"),
+            false, // speculation overhead is the quantity under study
+            || {
+                black_box(inst.run_parallel(&pool));
+            },
+        );
+    }
+
+    // -- dispatch: many tiny regions, resident vs spawn-per-region --------
+    println!(
+        "dispatch ({} regions of {} iterations):",
+        sizes.dispatch_regions, sizes.dispatch_n
+    );
+    let (n, regions) = (sizes.dispatch_n, sizes.dispatch_regions);
+    for &p in &pool_sizes() {
+        if p == 1 {
+            continue; // both modes run inline at p = 1
+        }
+        let spawning = Pool::new_spawning(p);
+        h.run("dispatch", "spawn", "-", p, n, None, false, || {
+            for _ in 0..regions {
+                doall_dynamic_chunked(&spawning, n, ChunkPolicy::One, |i, _| {
+                    black_box(i);
+                    Step::Continue
+                });
+            }
+        });
+        let resident = Pool::new(p);
+        h.run(
+            "dispatch",
+            "resident",
+            "-",
+            p,
+            n,
+            Some(&format!("dispatch/spawn/-/p{p}")),
+            false, // gated separately: resident must beat spawn
+            || {
+                for _ in 0..regions {
+                    doall_dynamic_chunked(&resident, n, ChunkPolicy::One, |i, _| {
+                        black_box(i);
+                        Step::Continue
+                    });
+                }
+            },
+        );
+    }
+}
+
+/// `--gate`: every gated exhibit at the largest pool size must be within
+/// [`GATE_SLOWDOWN`] of its baseline, and every resident dispatch exhibit
+/// must beat its spawn counterpart. Gated cells wider than the machine
+/// (`p > cpus`) are skipped: oversubscription contention is not a
+/// regression in the construct.
+fn gate(exhibits: &[Exhibit], cpus: usize) -> Vec<String> {
+    let max_p = pool_sizes().into_iter().max().unwrap_or(1);
+    let mut failures = Vec::new();
+    for e in exhibits {
+        if e.gated && e.p == max_p && e.p <= cpus {
+            if let Some(s) = e.speedup_vs_baseline {
+                if s < 1.0 / GATE_SLOWDOWN {
+                    failures.push(format!(
+                        "{}: {:.2}x vs {} (allowed: no worse than {:.2}x slower)",
+                        e.name,
+                        s,
+                        e.baseline.as_deref().unwrap_or("?"),
+                        GATE_SLOWDOWN
+                    ));
+                }
+            }
+        }
+        if e.family == "dispatch" && e.mode == "resident" {
+            if let Some(s) = e.speedup_vs_baseline {
+                if s <= 1.0 {
+                    failures.push(format!(
+                        "{}: resident pool must beat spawn-per-region, got {s:.2}x",
+                        e.name
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut apply_gate = false;
+    let mut out = String::from("BENCH_runtime.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--gate" => apply_gate = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: wlp-bench [--smoke] [--gate] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sizes = if smoke { Sizes::smoke() } else { Sizes::full() };
+    let (warmup, repeats) = if smoke { (1, 5) } else { (2, 9) };
+    let mut h = Harness {
+        warmup,
+        repeats,
+        exhibits: Vec::new(),
+    };
+    run_all(&mut h, &sizes);
+
+    let file = BenchFile {
+        schema: "wlp-bench-runtime/v1".to_string(),
+        machine: Machine {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism().map_or(1, |c| c.get()),
+        },
+        config: RunConfig {
+            smoke,
+            repeats,
+            warmup,
+        },
+        exhibits: h.exhibits,
+    };
+    std::fs::write(&out, serde::json::to_string(&file)).expect("write bench file");
+    println!("wrote {out}");
+
+    if apply_gate {
+        let failures = gate(&file.exhibits, file.machine.cpus);
+        if failures.is_empty() {
+            println!("gate: every parallel construct within {GATE_SLOWDOWN}x of sequential; resident pool beats spawn");
+        } else {
+            eprintln!("gate FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

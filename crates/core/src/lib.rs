@@ -55,9 +55,10 @@ pub use general::{
 pub use induction::{induction1, induction1_rec, induction2, induction2_rec, InductionOutcome};
 pub use recover::{run_with_recovery, ParallelAttempt, RecoveryOutcome};
 pub use speculate::{
-    run_twice_speculative, speculative_while, speculative_while_group,
-    speculative_while_privatized, speculative_while_rec, speculative_while_strips,
-    speculative_while_windowed, GroupAccess, SpecOutcome, SpeculativeArray, StripSpecOutcome,
+    run_twice_speculative, speculative_while, speculative_while_chunked,
+    speculative_while_chunked_rec, speculative_while_group, speculative_while_privatized,
+    speculative_while_rec, speculative_while_strips, speculative_while_windowed, GroupAccess,
+    SpecOutcome, SpeculativeArray, StripSpecOutcome,
 };
 pub use taxonomy::{classify, DispatcherClass, Parallelism, TaxonomyCell, TerminatorClass};
 pub use undo::VersionedArray;

@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 use wlp_obs::{AbortReason, Event, NoopRecorder, Recorder};
 use wlp_pd::{copy_out_last_values, IterMarker, PdVerdict, Shadow, TrailSet};
-use wlp_runtime::{doall_dynamic, Pool, Step};
+use wlp_runtime::{doall_dynamic, doall_dynamic_chunked, ChunkPolicy, Pool, Step};
 
 /// A shared array under speculation: checkpointed data, write stamps and
 /// PD shadow marks, all maintained per access.
@@ -183,6 +183,27 @@ where
     speculative_while_rec(pool, upper, arr, &NoopRecorder, term, body)
 }
 
+/// [`speculative_while`] with a self-scheduling [`ChunkPolicy`]: the
+/// underlying DOALL claims chunks of iterations instead of one at a time,
+/// trading shared-counter traffic for a wider in-flight span. Under an RV
+/// terminator the extra span means more overshoot to undo on commit —
+/// the chunk size is the knob the paper's `T_a` analysis prices.
+pub fn speculative_while_chunked<T, TF, BF>(
+    pool: &Pool,
+    upper: usize,
+    policy: ChunkPolicy,
+    arr: &SpeculativeArray<T>,
+    term: TF,
+    body: BF,
+) -> SpecOutcome
+where
+    T: Copy + Send + Sync,
+    TF: Fn(usize, &mut SpecAccess<'_, T>) -> bool + Sync,
+    BF: Fn(usize, &mut SpecAccess<'_, T>) + Sync,
+{
+    speculative_while_chunked_rec(pool, upper, policy, arr, &NoopRecorder, term, body)
+}
+
 /// [`speculative_while`] with observability: the checkpoint volume
 /// (`Backup`), each claim, terminator-only evaluation, executed body and
 /// QUIT, the PD analysis (`PdAnalyze`, via
@@ -196,6 +217,27 @@ where
 pub fn speculative_while_rec<T, TF, BF, R>(
     pool: &Pool,
     upper: usize,
+    arr: &SpeculativeArray<T>,
+    rec: &R,
+    term: TF,
+    body: BF,
+) -> SpecOutcome
+where
+    T: Copy + Send + Sync,
+    TF: Fn(usize, &mut SpecAccess<'_, T>) -> bool + Sync,
+    BF: Fn(usize, &mut SpecAccess<'_, T>) + Sync,
+    R: Recorder,
+{
+    speculative_while_chunked_rec(pool, upper, ChunkPolicy::One, arr, rec, term, body)
+}
+
+/// [`speculative_while_chunked`] with observability — the fully general
+/// driver the other `speculative_while*` entry points delegate to.
+#[allow(clippy::too_many_arguments)] // the superset driver: pool, range, policy, data, probe, loop
+pub fn speculative_while_chunked_rec<T, TF, BF, R>(
+    pool: &Pool,
+    upper: usize,
+    policy: ChunkPolicy,
     arr: &SpeculativeArray<T>,
     rec: &R,
     term: TF,
@@ -221,7 +263,7 @@ where
     let exception = AtomicBool::new(false);
     let executed = AtomicU64::new(0);
 
-    let out = doall_dynamic(pool, upper, |i, vpn| {
+    let out = doall_dynamic_chunked(pool, upper, policy, |i, vpn| {
         if R::ENABLED {
             rec.record(
                 vpn,
@@ -1382,6 +1424,48 @@ mod tests {
         assert_eq!(report.undone, report.executed, "abort discards all bodies");
         assert_eq!(report.undo_elems, (n + 1) as u64, "full restore volume");
         report.check_conservation().expect("laws hold");
+    }
+
+    #[test]
+    fn chunked_speculation_matches_one_at_a_time() {
+        let term = |i: usize, _: &mut SpecAccess<'_, i64>| i >= 333;
+        let body = |i: usize, a: &mut SpecAccess<'_, i64>| {
+            let v = a.read(i);
+            a.write(i, v + 100);
+        };
+        let base = SpeculativeArray::new((0..500i64).collect());
+        let b = speculative_while(&pool(), 500, &base, term, body);
+        assert!(b.committed_parallel);
+        for policy in [ChunkPolicy::Fixed(16), ChunkPolicy::Guided { min: 2 }] {
+            let arr = SpeculativeArray::new((0..500i64).collect());
+            let out = speculative_while_chunked(&pool(), 500, policy, &arr, term, body);
+            assert!(out.committed_parallel, "{policy:?}");
+            assert_eq!(out.last_valid, Some(333), "{policy:?}");
+            assert_eq!(arr.snapshot(), base.snapshot(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_speculation_still_catches_dependences() {
+        let n = 64usize;
+        let arr = SpeculativeArray::new(vec![1i64; n + 1]);
+        let out = speculative_while_chunked(
+            &pool(),
+            n,
+            ChunkPolicy::Fixed(8),
+            &arr,
+            |_, _| false,
+            |i, a| {
+                let left = a.read(i);
+                a.write(i + 1, left + 1);
+            },
+        );
+        assert!(!out.committed_parallel);
+        assert!(out.reexecuted_sequentially);
+        let snap = arr.snapshot();
+        for i in 0..=n {
+            assert_eq!(snap[i], i as i64 + 1);
+        }
     }
 
     #[test]

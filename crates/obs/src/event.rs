@@ -36,6 +36,17 @@ pub enum Event {
         /// Busy time spent claiming.
         cost: u64,
     },
+    /// A chunk of consecutive iterations was granted by the dispatcher in
+    /// one claim (chunked/guided self-scheduling); grants of one iteration
+    /// are reported as plain [`Event::IterClaimed`].
+    ChunkClaimed {
+        /// First iteration of the grant.
+        lo: u64,
+        /// Number of consecutive iterations granted (≥ 2).
+        len: u64,
+        /// Busy time spent claiming the chunk.
+        cost: u64,
+    },
     /// An iteration body finished; `cost` is the body's busy time.
     IterExecuted {
         /// Iteration index.
@@ -145,6 +156,7 @@ impl Event {
     pub fn kind(&self) -> &'static str {
         match self {
             Event::IterClaimed { .. } => "iter_claimed",
+            Event::ChunkClaimed { .. } => "chunk_claimed",
             Event::IterExecuted { .. } => "iter_executed",
             Event::TermTest { .. } => "term_test",
             Event::IterUndone { .. } => "iter_undone",
@@ -168,6 +180,7 @@ impl Event {
     pub fn busy_cost(&self) -> u64 {
         match *self {
             Event::IterClaimed { cost, .. }
+            | Event::ChunkClaimed { cost, .. }
             | Event::IterExecuted { cost, .. }
             | Event::TermTest { cost, .. }
             | Event::NextHop { cost, .. }

@@ -32,6 +32,10 @@ pub struct ProfileReport {
     pub procs: Vec<ProcProfile>,
     /// Iterations claimed from the dispatcher.
     pub claimed: u64,
+    /// Multi-iteration chunk grants issued by a chunked/guided
+    /// self-scheduler (each grant covers ≥ 2 of the `claimed`
+    /// iterations; 0 for one-at-a-time scheduling).
+    pub chunk_grants: u64,
     /// Iteration bodies executed (valid + overshoot).
     pub executed: u64,
     /// Executed iterations whose effects were kept.
@@ -89,6 +93,7 @@ impl ProfileReport {
             makespan: trace.makespan,
             procs: Vec::new(),
             claimed: 0,
+            chunk_grants: 0,
             executed: 0,
             committed: 0,
             undone: 0,
@@ -117,6 +122,7 @@ impl ProfileReport {
             wait[p] += s.event.wait_time();
             match s.event {
                 Event::IterClaimed { .. } => r.claimed += 1,
+                Event::ChunkClaimed { .. } => r.chunk_grants += 1,
                 Event::IterExecuted { .. } => r.executed += 1,
                 Event::IterUndone { .. } => iter_undone += 1,
                 Event::NextHop { hops, .. } => r.hops += hops,

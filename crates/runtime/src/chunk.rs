@@ -1,0 +1,137 @@
+//! Chunked and guided self-scheduling policies.
+//!
+//! The paper's cost model (Section 7) charges one dispatch (`t_dispatch`)
+//! per claimed iteration, which is exactly what a one-at-a-time
+//! `fetch_add` self-scheduler pays. When bodies are short, that
+//! per-iteration dispatch dominates and makes the Wu & Lewis-style
+//! precomputed `Distribution` baseline look artificially competitive.
+//! A [`ChunkPolicy`] amortizes the claim: each `fetch_add` grants a run
+//! of consecutive iterations.
+//!
+//! * [`ChunkPolicy::One`] — the classical ordered-issue self-scheduler
+//!   (the Alliant behaviour the paper assumes). Smallest span of
+//!   concurrently executing iterations, highest dispatch traffic.
+//! * [`ChunkPolicy::Fixed`] — fixed-size chunks: dispatch traffic drops
+//!   by the chunk factor, but the span (and therefore RV-terminator
+//!   overshoot to undo, Section 4) grows by up to `p × chunk`.
+//! * [`ChunkPolicy::Guided`] — guided self-scheduling (shrinking
+//!   chunks, `⌈remaining / p⌉` clamped below by `min`): large grants
+//!   while the iteration space is long, small grants near the end, so
+//!   load imbalance at the tail stays bounded while claim traffic stays
+//!   `O(p log(n/p))`.
+//!
+//! Every policy preserves the QUIT contract: iterations inside a granted
+//! chunk still test the shared quit bound *before each body*, so no
+//! iteration larger than the smallest quitting iteration begins once the
+//! quit is visible. Only the *claim* is batched — overshoot accounting
+//! (`max_started`) is unchanged in meaning, merely larger in magnitude
+//! for larger chunks.
+
+/// How a dynamic self-scheduler grants iterations to a claiming worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkPolicy {
+    /// One iteration per claim (ordered issue, the paper's default).
+    #[default]
+    One,
+    /// `k ≥ 1` iterations per claim.
+    Fixed(usize),
+    /// Guided self-scheduling: `max(min, ⌈remaining / p⌉)` iterations per
+    /// claim — chunks shrink as the loop drains.
+    Guided {
+        /// Smallest chunk ever granted (clamped to ≥ 1).
+        min: usize,
+    },
+}
+
+impl ChunkPolicy {
+    /// Size of the next grant when `remaining` iterations are unclaimed on
+    /// a `p`-worker pool. Always ≥ 1 (a degenerate `Fixed(0)` or
+    /// `Guided { min: 0 }` is treated as 1), and never larger than
+    /// `remaining` when `remaining > 0`.
+    #[inline]
+    pub fn grant(&self, remaining: usize, p: usize) -> usize {
+        let want = match *self {
+            ChunkPolicy::One => 1,
+            ChunkPolicy::Fixed(k) => k.max(1),
+            ChunkPolicy::Guided { min } => remaining.div_ceil(p.max(1)).max(min.max(1)),
+        };
+        if remaining == 0 {
+            want
+        } else {
+            want.min(remaining)
+        }
+    }
+
+    /// Short stable label, used by the bench harness and trace tooling.
+    pub fn label(&self) -> String {
+        match *self {
+            ChunkPolicy::One => "one".to_string(),
+            ChunkPolicy::Fixed(k) => format!("fixed{k}"),
+            ChunkPolicy::Guided { min } => format!("guided{min}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_always_grants_one() {
+        for rem in [0usize, 1, 10, 1000] {
+            assert_eq!(ChunkPolicy::One.grant(rem, 4), 1);
+        }
+    }
+
+    #[test]
+    fn fixed_clamps_to_remaining_and_to_one() {
+        assert_eq!(ChunkPolicy::Fixed(16).grant(1000, 4), 16);
+        assert_eq!(ChunkPolicy::Fixed(16).grant(5, 4), 5);
+        assert_eq!(ChunkPolicy::Fixed(0).grant(5, 4), 1, "degenerate k=0");
+    }
+
+    #[test]
+    fn guided_shrinks_as_the_loop_drains() {
+        let g = ChunkPolicy::Guided { min: 2 };
+        let mut remaining = 1000usize;
+        let mut last = usize::MAX;
+        while remaining > 0 {
+            let c = g.grant(remaining, 4);
+            assert!(c >= 1 && c <= remaining);
+            assert!(c <= last, "grants must not grow: {c} after {last}");
+            last = c.max(2); // min clamp makes the tail flat, not growing
+            remaining -= c;
+        }
+    }
+
+    #[test]
+    fn guided_respects_min_chunk() {
+        let g = ChunkPolicy::Guided { min: 8 };
+        assert_eq!(g.grant(4, 4), 4, "clamped by remaining");
+        assert_eq!(g.grant(100, 4), 25);
+        assert_eq!(g.grant(9, 4), 8, "min wins over remaining/p");
+    }
+
+    #[test]
+    fn grants_cover_the_space_exactly() {
+        for policy in [
+            ChunkPolicy::One,
+            ChunkPolicy::Fixed(7),
+            ChunkPolicy::Guided { min: 3 },
+        ] {
+            let mut claimed = 0usize;
+            let upper = 1234usize;
+            while claimed < upper {
+                claimed += policy.grant(upper - claimed, 4);
+            }
+            assert_eq!(claimed, upper, "{policy:?} must tile exactly");
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ChunkPolicy::One.label(), "one");
+        assert_eq!(ChunkPolicy::Fixed(16).label(), "fixed16");
+        assert_eq!(ChunkPolicy::Guided { min: 4 }.label(), "guided4");
+    }
+}

@@ -21,12 +21,22 @@
 //! iterations, and therefore more iterations to undo under an RV terminator;
 //! the outcome's `max_started` field lets callers observe exactly that.
 //!
+//! [`doall_dynamic_chunked`] generalizes the dynamic scheduler with a
+//! [`ChunkPolicy`]: one `fetch_add` grants a run of consecutive iterations
+//! (fixed-size or guided/shrinking chunks), amortizing the claim overhead
+//! the cost model charges per dispatch. Every granted iteration still
+//! tests the QUIT bound before its body, so termination semantics are
+//! unchanged — only the span (and thus `max_started`) can grow with the
+//! chunk size, exactly the static-vs-dynamic trade-off above on a
+//! continuous dial.
+//!
 //! Fault containment: a panicking body is caught at its own iteration
 //! boundary, raises the shared [`CancelFlag`] (the fault-path analogue of
 //! `QUIT` — peers stop claiming at their next boundary), and is reported
 //! through [`DoallOutcome::panic`] so the strategies above can restore
 //! their checkpoint and fall back to sequential re-execution.
 
+use crate::chunk::ChunkPolicy;
 use crate::pool::{payload_message, CancelFlag, Pool, WorkerPanic};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -148,58 +158,120 @@ where
     R: Recorder,
     F: Fn(usize, usize) -> Step + Sync,
 {
+    doall_dynamic_chunked_rec(pool, upper, ChunkPolicy::One, rec, body)
+}
+
+/// Dynamic self-scheduled DOALL with a [`ChunkPolicy`]: each `fetch_add`
+/// on the shared claim counter grants a run of consecutive iterations
+/// instead of one. Chunks are granted in index order; within a chunk,
+/// iterations run in order and each one re-tests the QUIT bound before
+/// its body, so the Alliant contract — no iteration with a counter larger
+/// than the smallest quitting iteration begins once the quit is visible —
+/// is preserved for every policy. What changes is the *span*: a worker
+/// deep in a large chunk can be executing an iteration far above a
+/// sibling's, so `max_started` (and RV-terminator overshoot to undo)
+/// grows with the chunk size. [`ChunkPolicy::One`] is byte-for-byte the
+/// classical scheduler.
+pub fn doall_dynamic_chunked<F>(
+    pool: &Pool,
+    upper: usize,
+    policy: ChunkPolicy,
+    body: F,
+) -> DoallOutcome
+where
+    F: Fn(usize, usize) -> Step + Sync,
+{
+    doall_dynamic_chunked_rec(pool, upper, policy, &NoopRecorder, body)
+}
+
+/// [`doall_dynamic_chunked`] with observability: chunk grants of more
+/// than one iteration are reported as [`Event::ChunkClaimed`]; each
+/// iteration still reports `IterClaimed`/`IterExecuted`/`Quit` as in
+/// [`doall_dynamic_rec`], so per-iteration accounting is unchanged.
+pub fn doall_dynamic_chunked_rec<R, F>(
+    pool: &Pool,
+    upper: usize,
+    policy: ChunkPolicy,
+    rec: &R,
+    body: F,
+) -> DoallOutcome
+where
+    R: Recorder,
+    F: Fn(usize, usize) -> Step + Sync,
+{
     let claim = AtomicUsize::new(0);
     let quit = QuitCell::new();
     let max_started = AtomicUsize::new(0);
     let executed = AtomicU64::new(0);
     let cancel = CancelFlag::new();
     let fault = FaultCell::new();
+    let p = pool.size();
 
     let pool_out = pool.run_with(&cancel, |vpn| {
         let mut local_exec = 0u64;
         let mut local_max = 0usize;
-        loop {
+        'claiming: loop {
             if cancel.is_cancelled() {
                 break;
             }
-            let i = claim.fetch_add(1, Ordering::Relaxed);
-            if i >= upper || i > quit.bound() {
+            // Advisory read of the unclaimed remainder — only the grant
+            // *size* depends on it, so a stale value is harmless.
+            let seen = claim.load(Ordering::Relaxed).min(upper);
+            let want = policy.grant(upper - seen, p);
+            let lo = claim.fetch_add(want, Ordering::Relaxed);
+            if lo >= upper || lo > quit.bound() {
                 break;
             }
-            if R::ENABLED {
+            let hi = (lo + want).min(upper);
+            if R::ENABLED && hi - lo > 1 {
                 rec.record(
                     vpn,
-                    Event::IterClaimed {
-                        iter: i as u64,
+                    Event::ChunkClaimed {
+                        lo: lo as u64,
+                        len: (hi - lo) as u64,
                         cost: 0,
                     },
                 );
             }
-            local_max = i + 1;
-            let t0 = R::ENABLED.then(Instant::now);
-            let step = match catch_unwind(AssertUnwindSafe(|| body(i, vpn))) {
-                Ok(step) => step,
-                Err(p) => {
-                    cancel.cancel();
-                    fault.record(vpn, i, p.as_ref());
-                    break;
+            for i in lo..hi {
+                if cancel.is_cancelled() || i > quit.bound() {
+                    break 'claiming;
                 }
-            };
-            local_exec += 1;
-            if R::ENABLED {
-                let cost = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                rec.record(
-                    vpn,
-                    Event::IterExecuted {
-                        iter: i as u64,
-                        cost,
-                    },
-                );
-            }
-            if let Step::Quit = step {
-                quit.quit_at(i);
                 if R::ENABLED {
-                    rec.record(vpn, Event::Quit { iter: i as u64 });
+                    rec.record(
+                        vpn,
+                        Event::IterClaimed {
+                            iter: i as u64,
+                            cost: 0,
+                        },
+                    );
+                }
+                local_max = i + 1;
+                let t0 = R::ENABLED.then(Instant::now);
+                let step = match catch_unwind(AssertUnwindSafe(|| body(i, vpn))) {
+                    Ok(step) => step,
+                    Err(p) => {
+                        cancel.cancel();
+                        fault.record(vpn, i, p.as_ref());
+                        break 'claiming;
+                    }
+                };
+                local_exec += 1;
+                if R::ENABLED {
+                    let cost = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    rec.record(
+                        vpn,
+                        Event::IterExecuted {
+                            iter: i as u64,
+                            cost,
+                        },
+                    );
+                }
+                if let Step::Quit = step {
+                    quit.quit_at(i);
+                    if R::ENABLED {
+                        rec.record(vpn, Event::Quit { iter: i as u64 });
+                    }
                 }
             }
         }
@@ -529,6 +601,103 @@ mod tests {
     #[test]
     fn blocked_contains_body_panic() {
         assert_panic_contained(|p, u, b| doall_static_blocked(p, u, b));
+    }
+
+    #[test]
+    fn chunked_covers_all_iterations_exactly_once() {
+        for policy in [
+            ChunkPolicy::One,
+            ChunkPolicy::Fixed(16),
+            ChunkPolicy::Guided { min: 4 },
+        ] {
+            mark_all(|p, u, b| doall_dynamic_chunked(p, u, policy, b));
+        }
+    }
+
+    #[test]
+    fn chunked_quit_contract_holds_for_every_policy() {
+        for policy in [
+            ChunkPolicy::Fixed(32),
+            ChunkPolicy::Guided { min: 2 },
+            ChunkPolicy::Fixed(1),
+        ] {
+            let pool = Pool::new(4);
+            let hits: Vec<AtomicU32> = (0..2000).map(|_| AtomicU32::new(0)).collect();
+            let out = doall_dynamic_chunked(&pool, 2000, policy, |i, _| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                if i >= 300 {
+                    Step::Quit
+                } else {
+                    Step::Continue
+                }
+            });
+            let q = out.quit.expect("loop must quit");
+            assert!(q >= 300, "{policy:?}: quit below the terminator");
+            for i in 0..=q {
+                assert_eq!(
+                    hits[i].load(Ordering::Relaxed),
+                    1,
+                    "{policy:?}: iteration {i} below the quit must run exactly once"
+                );
+            }
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) <= 1));
+            assert!(out.max_started > q);
+        }
+    }
+
+    #[test]
+    fn chunked_contains_body_panic() {
+        assert_panic_contained(|p, u, b| doall_dynamic_chunked(p, u, ChunkPolicy::Fixed(8), b));
+    }
+
+    #[test]
+    fn chunked_recorded_run_reports_chunk_grants() {
+        let pool = Pool::new(4);
+        let rec = wlp_obs::BufferRecorder::new(4);
+        let out = doall_dynamic_chunked_rec(&pool, 1000, ChunkPolicy::Fixed(50), &rec, |_, _| {
+            Step::Continue
+        });
+        assert_eq!(out.executed, 1000);
+        let trace = rec.finish();
+        let grants: Vec<(u64, u64)> = trace
+            .samples
+            .iter()
+            .filter_map(|s| match s.event {
+                Event::ChunkClaimed { lo, len, .. } => Some((lo, len)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(grants.len(), 20, "1000 iterations in 50-wide grants");
+        let mut seen: Vec<(u64, u64)> = grants.clone();
+        seen.sort_unstable();
+        assert!(
+            seen.iter()
+                .zip(seen.iter().skip(1))
+                .all(|(a, b)| a.0 + a.1 == b.0),
+            "grants tile the space: {seen:?}"
+        );
+        // per-iteration accounting is unchanged by chunking
+        let claims = trace
+            .samples
+            .iter()
+            .filter(|s| matches!(s.event, Event::IterClaimed { .. }))
+            .count() as u64;
+        assert_eq!(claims, out.executed);
+    }
+
+    #[test]
+    fn one_policy_emits_no_chunk_events() {
+        let pool = Pool::new(2);
+        let rec = wlp_obs::BufferRecorder::new(2);
+        doall_dynamic_chunked_rec(&pool, 100, ChunkPolicy::One, &rec, |_, _| Step::Continue);
+        let trace = rec.finish();
+        assert!(
+            !trace
+                .samples
+                .iter()
+                .any(|s| matches!(s.event, Event::ChunkClaimed { .. })),
+            "single-iteration grants are plain claims"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! checkpoint and re-execute sequentially.
 
 pub mod barrier;
+pub mod chunk;
 pub mod doacross;
 pub mod doall;
 pub mod pool;
@@ -42,12 +43,16 @@ pub mod strip;
 pub mod window;
 
 pub use barrier::CentralBarrier;
+pub use chunk::ChunkPolicy;
 pub use doacross::{doacross, doacross_rec, DoacrossOutcome};
 pub use doall::{
-    doall_dynamic, doall_dynamic_rec, doall_static_blocked, doall_static_cyclic, DoallOutcome, Step,
+    doall_dynamic, doall_dynamic_chunked, doall_dynamic_chunked_rec, doall_dynamic_rec,
+    doall_static_blocked, doall_static_cyclic, DoallOutcome, Step,
 };
 pub use pool::{payload_message, CancelFlag, Pool, PoolOutcome, WorkerPanic};
 pub use reduce::{parallel_fold, parallel_min, parallel_min_index};
 pub use scan::{geometric_recurrence_terms, linear_recurrence_terms, parallel_scan_inclusive};
-pub use strip::{strip_mined, strip_mined_rec, StripOutcome};
+pub use strip::{
+    strip_mined, strip_mined_chunked, strip_mined_chunked_rec, strip_mined_rec, StripOutcome,
+};
 pub use window::{doall_windowed, doall_windowed_rec, WindowController, WindowScheduler};

@@ -1,19 +1,43 @@
 //! A fixed-width worker group exposing virtual processor numbers.
 //!
-//! Fault containment: the paper's speculative scheme (Section 5) requires
-//! that an exception raised by a speculatively executed iteration be
-//! survivable — the runtime must be able to abandon the parallel attempt,
-//! restore the checkpoint and re-execute sequentially. A worker panic must
-//! therefore never kill the process. [`Pool::run_with`] runs every worker
-//! (including the caller's thread, which doubles as vpn 0) under
-//! `catch_unwind`, aggregates the panic payloads, and reports them through
-//! a [`PoolOutcome`] so callers can distinguish clean, cancelled and
-//! panicked executions. A shared [`CancelFlag`] plays the role of the
+//! # Resident workers
+//!
+//! The paper's constructs assume cheap dispatch on *resident* processors:
+//! an Alliant FX/80 does not spawn an OS thread per DOALL. [`Pool::new`]
+//! therefore parks `p − 1` persistent worker threads on a condition
+//! variable and hands each parallel region to them through an epoch
+//! counter: the leader (the caller's thread, which doubles as vpn 0)
+//! publishes a type-erased job, bumps the epoch and wakes the workers;
+//! each worker runs the closure for its vpn, then decrements a latch the
+//! leader blocks on. The leader never returns before every worker has
+//! finished the region, which is what makes it sound for the job closure
+//! to borrow from the leader's stack. [`Pool::new_spawning`] keeps the
+//! old spawn-per-region behaviour (scoped threads) — the bench harness
+//! uses it to measure exactly how much dispatch overhead residency
+//! removes.
+//!
+//! # Fault containment
+//!
+//! The paper's speculative scheme (Section 5) requires that an exception
+//! raised by a speculatively executed iteration be survivable — the
+//! runtime must be able to abandon the parallel attempt, restore the
+//! checkpoint and re-execute sequentially. A worker panic must therefore
+//! never kill the process *and never kill a resident worker*:
+//! [`Pool::run_with`] runs every worker (including vpn 0) under
+//! `catch_unwind`, aggregates the panic payloads, and reports them
+//! through a [`PoolOutcome`] so callers can distinguish clean, cancelled
+//! and panicked executions. A resident worker that catches a body panic
+//! parks again and serves the next region — the pool stays reusable, so
+//! recovery retry loops (`run_with_recovery`) stop paying thread spawn
+//! costs twice per fault. A shared [`CancelFlag`] plays the role of the
 //! Alliant `QUIT` broadcast for faults: the first panicking worker raises
 //! it, and in-flight peers poll it at iteration boundaries.
 
+use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// A shared cooperative-cancellation flag — the fault-path analogue of the
 /// software `QUIT` protocol. Raised by the first panicking worker (or by
@@ -122,8 +146,8 @@ impl PoolOutcome {
     }
 
     /// Re-raises the contained panics as **exactly one** panic on the
-    /// caller's thread (payloads aggregated into one message), after the
-    /// thread scope has fully exited — never a double-panic abort. A
+    /// caller's thread (payloads aggregated into one message), after every
+    /// worker has finished the region — never a double-panic abort. A
     /// no-op for clean or cancelled runs.
     pub fn resume(self) {
         if let PoolOutcome::Panicked(ps) = self {
@@ -143,6 +167,141 @@ impl PoolOutcome {
     }
 }
 
+/// The job a leader hands to the resident workers for one region.
+///
+/// Both references are lifetime-erased to `'static` by the leader. This
+/// is sound because the leader blocks until every worker has decremented
+/// the region latch (`remaining == 0`) before returning, so no worker
+/// can observe either reference after the real borrow ends.
+#[derive(Clone, Copy)]
+struct Job {
+    f: &'static (dyn Fn(usize) + Sync),
+    cancel: &'static CancelFlag,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Job { .. }")
+    }
+}
+
+/// Region handoff state, guarded by one mutex.
+#[derive(Debug)]
+struct RegionState {
+    /// Bumped once per region; a worker runs a job iff the epoch moved
+    /// past the last one it served.
+    epoch: u64,
+    /// The current region's job (present exactly while a region runs).
+    job: Option<Job>,
+    /// Workers that have not yet finished the current region.
+    remaining: usize,
+    /// Set once, on pool drop: workers exit their loop.
+    shutdown: bool,
+    /// Panics contained by workers during the current region.
+    panics: Vec<WorkerPanic>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<RegionState>,
+    /// Workers park here between regions.
+    work: Condvar,
+    /// The leader parks here until `remaining == 0`.
+    done: Condvar,
+}
+
+/// The persistent half of a resident pool: parked worker threads plus the
+/// handoff state. Dropping it shuts the workers down and joins them.
+#[derive(Debug)]
+struct Resident {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Raised while a region is in flight; a nested or concurrent
+    /// `run_with` on the same pool falls back to spawn-per-region instead
+    /// of corrupting the epoch handoff.
+    in_region: AtomicBool,
+}
+
+impl Resident {
+    fn start(p: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(RegionState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+                panics: Vec::new(),
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..p)
+            .map(|vpn| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("wlp-worker-{vpn}"))
+                    .spawn(move || worker_loop(&shared, vpn))
+                    .expect("spawn resident worker")
+            })
+            .collect();
+        Resident {
+            shared,
+            handles,
+            in_region: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Drop for Resident {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Body of a resident worker thread: park → serve epoch → report → park.
+/// A panicking job is contained here, so the thread survives to serve the
+/// next region.
+fn worker_loop(shared: &Shared, vpn: usize) {
+    let mut served = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            while !st.shutdown && st.epoch == served {
+                shared.work.wait(&mut st);
+            }
+            if st.shutdown {
+                return;
+            }
+            served = st.epoch;
+            st.job.expect("a published epoch carries a job")
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| (job.f)(vpn)));
+        if result.is_err() {
+            // raise QUIT before taking the lock so peers drain promptly
+            job.cancel.cancel();
+        }
+        let mut st = shared.state.lock();
+        if let Err(p) = result {
+            st.panics.push(WorkerPanic {
+                vpn,
+                iter: None,
+                message: payload_message(p.as_ref()),
+            });
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
 /// A group of `p` cooperating workers.
 ///
 /// The paper's codes are written in terms of `nproc` (processor count) and
@@ -151,22 +310,47 @@ impl PoolOutcome {
 /// returns when all have finished — the body of every DOALL-style construct
 /// in this crate.
 ///
-/// Workers are spawned per `run` call using scoped threads, so the closure
-/// may borrow from the caller's stack. A `Pool` is cheap to construct; it
-/// only records the width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// [`Pool::new`] builds a *resident* pool: `p − 1` workers are spawned once
+/// and parked between regions, so consecutive `run`/`run_with` calls reuse
+/// the same OS threads (cheap dispatch, as on the Alliant). The closure may
+/// still borrow from the caller's stack: the leader does not return until
+/// every worker has finished the region. [`Pool::new_spawning`] reproduces
+/// the old spawn-per-region behaviour for comparison benchmarks.
+///
+/// Cloning a `Pool` shares the same resident workers. A `run_with` that is
+/// re-entered (a body launching a nested region on the same pool) or raced
+/// from two threads falls back to spawn-per-region for the inner/loser
+/// region, so nesting is safe — just not resident-accelerated.
+#[derive(Debug, Clone)]
 pub struct Pool {
     workers: usize,
+    resident: Option<Arc<Resident>>,
 }
 
 impl Pool {
-    /// Creates a pool of `p` workers.
+    /// Creates a resident pool of `p` workers (`p − 1` parked threads plus
+    /// the caller's thread as vpn 0).
     ///
     /// # Panics
     /// Panics if `p == 0`.
     pub fn new(p: usize) -> Self {
         assert!(p > 0, "a pool needs at least one worker");
-        Pool { workers: p }
+        let resident = (p > 1).then(|| Arc::new(Resident::start(p)));
+        Pool {
+            workers: p,
+            resident,
+        }
+    }
+
+    /// Creates a pool that spawns fresh scoped threads for every region —
+    /// the pre-resident behaviour, kept so the bench harness can measure
+    /// the dispatch overhead residency removes.
+    pub fn new_spawning(p: usize) -> Self {
+        assert!(p > 0, "a pool needs at least one worker");
+        Pool {
+            workers: p,
+            resident: None,
+        }
     }
 
     /// Number of workers (the paper's `nproc`).
@@ -175,21 +359,30 @@ impl Pool {
         self.workers
     }
 
+    /// Whether regions run on persistent parked workers (`true`) or on
+    /// freshly spawned scoped threads (`false`; also the case for `p = 1`,
+    /// which always runs inline).
+    #[inline]
+    pub fn is_resident(&self) -> bool {
+        self.resident.is_some()
+    }
+
     /// Runs `f(vpn)` on every worker, vpn ∈ `0..p`, containing panics.
     ///
     /// Every worker — including vpn 0, which runs on the caller's thread —
     /// executes under `catch_unwind`, so a panicking iteration body can
     /// never abort the process (concurrent panics on the caller thread and
-    /// a spawned thread used to be a double-panic abort). The first panic
-    /// raises `cancel`; constructs poll it at iteration boundaries so
-    /// peers drain quickly. Join errors are aggregated, and the outcome is
-    /// reported exactly once, after the scope has exited.
+    /// a spawned thread used to be a double-panic abort) and never kills a
+    /// resident worker thread. The first panic raises `cancel`; constructs
+    /// poll it at iteration boundaries so peers drain quickly. The outcome
+    /// is reported exactly once, after every worker has finished the
+    /// region.
     pub fn run_with<F>(&self, cancel: &CancelFlag, f: F) -> PoolOutcome
     where
         F: Fn(usize) + Sync,
     {
-        let mut panics: Vec<WorkerPanic> = Vec::new();
-        if self.workers == 1 {
+        let panics = if self.workers == 1 {
+            let mut panics = Vec::new();
             if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(0))) {
                 cancel.cancel();
                 panics.push(WorkerPanic {
@@ -198,49 +391,20 @@ impl Pool {
                     message: payload_message(p.as_ref()),
                 });
             }
+            panics
+        } else if let Some(res) = self.resident.as_deref().filter(|r| {
+            r.in_region
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        }) {
+            let panics = self.run_resident(res, cancel, &f);
+            res.in_region.store(false, Ordering::Release);
+            panics
         } else {
-            std::thread::scope(|s| {
-                let f = &f;
-                // vpn 0 runs on the caller's thread; 1..p on spawned threads.
-                let handles: Vec<_> = (1..self.workers)
-                    .map(|vpn| {
-                        s.spawn(move || match catch_unwind(AssertUnwindSafe(|| f(vpn))) {
-                            Ok(()) => None,
-                            Err(p) => {
-                                cancel.cancel();
-                                Some(WorkerPanic {
-                                    vpn,
-                                    iter: None,
-                                    message: payload_message(p.as_ref()),
-                                })
-                            }
-                        })
-                    })
-                    .collect();
-                if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(0))) {
-                    cancel.cancel();
-                    panics.push(WorkerPanic {
-                        vpn: 0,
-                        iter: None,
-                        message: payload_message(p.as_ref()),
-                    });
-                }
-                for (idx, h) in handles.into_iter().enumerate() {
-                    match h.join() {
-                        Ok(None) => {}
-                        Ok(Some(wp)) => panics.push(wp),
-                        // The closure cannot unwind past its catch_unwind,
-                        // but stay defensive about the join channel itself.
-                        Err(p) => panics.push(WorkerPanic {
-                            vpn: idx + 1,
-                            iter: None,
-                            message: payload_message(p.as_ref()),
-                        }),
-                    }
-                }
-            });
-            panics.sort_by_key(|w| w.vpn);
-        }
+            // spawn-per-region: explicit mode, nested region, or a racing
+            // leader on the same resident pool
+            self.run_spawned(cancel, &f)
+        };
         if !panics.is_empty() {
             PoolOutcome::Panicked(panics)
         } else if cancel.is_cancelled() {
@@ -248,6 +412,108 @@ impl Pool {
         } else {
             PoolOutcome::Clean
         }
+    }
+
+    /// One region on the resident workers. Publishes the job under the
+    /// state lock, runs vpn 0 inline, then blocks until the worker latch
+    /// drains; returns the contained panics in vpn order.
+    fn run_resident(
+        &self,
+        res: &Resident,
+        cancel: &CancelFlag,
+        f: &(dyn Fn(usize) + Sync),
+    ) -> Vec<WorkerPanic> {
+        let shared = &res.shared;
+        // SAFETY: the borrows are only lifetime-erased. Workers use them
+        // strictly between the epoch publish below and their latch
+        // decrement, and this function does not return before the latch
+        // reaches zero — the wait loop cannot be skipped because vpn 0
+        // runs under catch_unwind and nothing between publish and wait
+        // unwinds.
+        let job = Job {
+            f: unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+            },
+            cancel: unsafe { std::mem::transmute::<&CancelFlag, &'static CancelFlag>(cancel) },
+        };
+        {
+            let mut st = shared.state.lock();
+            debug_assert_eq!(st.remaining, 0, "previous region fully drained");
+            debug_assert!(st.panics.is_empty(), "previous region's panics taken");
+            st.job = Some(job);
+            st.remaining = self.workers - 1;
+            st.epoch = st.epoch.wrapping_add(1);
+            shared.work.notify_all();
+        }
+        let mut panics = Vec::new();
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(0))) {
+            cancel.cancel();
+            panics.push(WorkerPanic {
+                vpn: 0,
+                iter: None,
+                message: payload_message(p.as_ref()),
+            });
+        }
+        {
+            let mut st = shared.state.lock();
+            while st.remaining != 0 {
+                shared.done.wait(&mut st);
+            }
+            st.job = None;
+            panics.append(&mut st.panics);
+        }
+        panics.sort_by_key(|w| w.vpn);
+        panics
+    }
+
+    /// One region on freshly spawned scoped threads (the pre-resident
+    /// code path); returns the contained panics in vpn order.
+    fn run_spawned<F>(&self, cancel: &CancelFlag, f: &F) -> Vec<WorkerPanic>
+    where
+        F: Fn(usize) + Sync + ?Sized,
+    {
+        let mut panics: Vec<WorkerPanic> = Vec::new();
+        std::thread::scope(|s| {
+            // vpn 0 runs on the caller's thread; 1..p on spawned threads.
+            let handles: Vec<_> = (1..self.workers)
+                .map(|vpn| {
+                    s.spawn(move || match catch_unwind(AssertUnwindSafe(|| f(vpn))) {
+                        Ok(()) => None,
+                        Err(p) => {
+                            cancel.cancel();
+                            Some(WorkerPanic {
+                                vpn,
+                                iter: None,
+                                message: payload_message(p.as_ref()),
+                            })
+                        }
+                    })
+                })
+                .collect();
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(0))) {
+                cancel.cancel();
+                panics.push(WorkerPanic {
+                    vpn: 0,
+                    iter: None,
+                    message: payload_message(p.as_ref()),
+                });
+            }
+            for (idx, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(None) => {}
+                    Ok(Some(wp)) => panics.push(wp),
+                    // The closure cannot unwind past its catch_unwind,
+                    // but stay defensive about the join channel itself.
+                    Err(p) => panics.push(WorkerPanic {
+                        vpn: idx + 1,
+                        iter: None,
+                        message: payload_message(p.as_ref()),
+                    }),
+                }
+            }
+        });
+        panics.sort_by_key(|w| w.vpn);
+        panics
     }
 
     /// Runs `f(vpn)` on every worker, vpn ∈ `0..p`, and waits for all.
@@ -267,7 +533,10 @@ impl Pool {
 
     /// Fault-containing [`Pool::run_map`]: collects each worker's return
     /// value in vpn order, with `None` in the slot of any worker that
-    /// panicked (or never ran). The outcome reports the contained panics.
+    /// panicked (or never ran). The outcome reports the contained panics;
+    /// values produced by clean workers are **always preserved** alongside
+    /// a [`PoolOutcome::Panicked`] — a sibling's panic never discards
+    /// them.
     pub fn run_map_with<F, T>(&self, cancel: &CancelFlag, f: F) -> (Vec<Option<T>>, PoolOutcome)
     where
         F: Fn(usize) -> T + Sync,
@@ -275,8 +544,7 @@ impl Pool {
     {
         let mut out: Vec<Option<T>> = (0..self.workers).map(|_| None).collect();
         let outcome = {
-            let slots: Vec<parking_lot::Mutex<&mut Option<T>>> =
-                out.iter_mut().map(parking_lot::Mutex::new).collect();
+            let slots: Vec<Mutex<&mut Option<T>>> = out.iter_mut().map(Mutex::new).collect();
             self.run_with(cancel, |vpn| {
                 let v = f(vpn);
                 **slots[vpn].lock() = Some(v);
@@ -318,11 +586,26 @@ impl Pool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread::ThreadId;
 
     #[test]
     fn run_executes_every_vpn_once() {
         let pool = Pool::new(4);
+        let hits = [(); 4].map(|_| AtomicUsize::new(0));
+        pool.run(|vpn| {
+            hits[vpn].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn spawning_pool_executes_every_vpn_once() {
+        let pool = Pool::new_spawning(4);
+        assert!(!pool.is_resident());
         let hits = [(); 4].map(|_| AtomicUsize::new(0));
         pool.run(|vpn| {
             hits[vpn].fetch_add(1, Ordering::Relaxed);
@@ -341,14 +624,64 @@ mod tests {
     #[test]
     fn single_worker_runs_inline() {
         let pool = Pool::new(1);
+        assert!(!pool.is_resident(), "p = 1 never needs worker threads");
         let tid = std::thread::current().id();
         pool.run(|_| assert_eq!(std::thread::current().id(), tid));
     }
 
     #[test]
+    fn resident_pool_reuses_worker_threads_across_regions() {
+        let pool = Pool::new(4);
+        assert!(pool.is_resident());
+        let ids = |pool: &Pool| -> Vec<ThreadId> { pool.run_map(|_| std::thread::current().id()) };
+        let first = ids(&pool);
+        let second = ids(&pool);
+        let third = ids(&pool);
+        assert_eq!(first, second, "same thread serves the same vpn");
+        assert_eq!(second, third);
+        assert_eq!(
+            first.iter().collect::<HashSet<_>>().len(),
+            4,
+            "four distinct threads"
+        );
+        assert_eq!(first[0], std::thread::current().id(), "vpn 0 is the leader");
+    }
+
+    #[test]
+    fn spawning_pool_uses_fresh_threads_each_region() {
+        let pool = Pool::new_spawning(3);
+        let first = pool.run_map(|_| std::thread::current().id());
+        let second = pool.run_map(|_| std::thread::current().id());
+        // vpn 0 is always the caller; spawned vpns get fresh threads
+        assert_eq!(first[0], second[0]);
+        assert_ne!(first[1..], second[1..], "scoped threads are not reused");
+    }
+
+    #[test]
+    fn nested_region_on_the_same_pool_falls_back_and_completes() {
+        let pool = Pool::new(3);
+        let outer_hits = AtomicUsize::new(0);
+        let inner_hits = AtomicUsize::new(0);
+        let out = pool.run_with(&CancelFlag::new(), |vpn| {
+            outer_hits.fetch_add(1, Ordering::Relaxed);
+            if vpn == 0 {
+                // re-entrant region: must run via the spawn fallback, not
+                // corrupt the in-flight epoch handoff
+                let inner = pool.run_with(&CancelFlag::new(), |_| {
+                    inner_hits.fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(inner.is_clean());
+            }
+        });
+        assert!(out.is_clean());
+        assert_eq!(outer_hits.load(Ordering::Relaxed), 3);
+        assert_eq!(inner_hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
     fn blocks_partition_range() {
         for p in 1..=8 {
-            let pool = Pool::new(p);
+            let pool = Pool::new_spawning(p);
             for n in [0usize, 1, 7, 8, 100] {
                 let mut covered = 0;
                 let mut prev_hi = 0;
@@ -367,7 +700,7 @@ mod tests {
 
     #[test]
     fn block_sizes_differ_by_at_most_one() {
-        let pool = Pool::new(3);
+        let pool = Pool::new_spawning(3);
         let sizes: Vec<usize> = (0..3)
             .map(|v| {
                 let (lo, hi) = pool.block(v, 10);
@@ -398,6 +731,23 @@ mod tests {
         assert_eq!(panics[0].vpn, 2);
         assert_eq!(panics[0].message, "boom on 2");
         assert!(cancel.is_cancelled(), "panic raises the cancel flag");
+    }
+
+    #[test]
+    fn resident_pool_survives_a_worker_panic_and_serves_the_next_region() {
+        let pool = Pool::new(4);
+        let before = pool.run_map(|_| std::thread::current().id());
+        let out = pool.run_with(&CancelFlag::new(), |vpn| {
+            if vpn != 0 {
+                panic!("fault on {vpn}");
+            }
+        });
+        assert_eq!(out.panics().len(), 3, "every non-leader panic contained");
+        // the pool is immediately reusable, on the *same* worker threads
+        let after = pool.run_map(|_| std::thread::current().id());
+        assert_eq!(before, after, "panicked workers parked, not died");
+        let clean = pool.run_with(&CancelFlag::new(), |_| {});
+        assert_eq!(clean, PoolOutcome::Clean);
     }
 
     #[test]
@@ -461,5 +811,28 @@ mod tests {
         assert_eq!(slots[1], None);
         assert_eq!(slots[2], Some(4));
         assert_eq!(out.panics().len(), 1);
+    }
+
+    #[test]
+    fn run_map_with_keeps_clean_results_alongside_panics() {
+        // Regression: a sibling's panic must not lose values produced by
+        // clean workers, in either pool mode, even when the panic raises
+        // the cancel flag mid-region.
+        for pool in [Pool::new(4), Pool::new_spawning(4)] {
+            let cancel = CancelFlag::new();
+            let (slots, out) = pool.run_map_with(&cancel, |vpn| {
+                if vpn == 2 {
+                    panic!("sibling fault");
+                }
+                vpn + 100
+            });
+            assert!(matches!(out, PoolOutcome::Panicked(_)));
+            assert_eq!(out.panics().len(), 1);
+            assert_eq!(slots[0], Some(100));
+            assert_eq!(slots[1], Some(101));
+            assert_eq!(slots[2], None, "the faulting worker has no value");
+            assert_eq!(slots[3], Some(103));
+            assert!(cancel.is_cancelled());
+        }
     }
 }

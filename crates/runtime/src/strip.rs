@@ -8,7 +8,8 @@
 //! `strips_run` count lets the cost model and the ablation benchmarks charge
 //! for exactly that.
 
-use crate::doall::{doall_dynamic_rec, DoallOutcome, Step};
+use crate::chunk::ChunkPolicy;
+use crate::doall::{doall_dynamic_chunked_rec, DoallOutcome, Step};
 use crate::pool::Pool;
 use wlp_obs::{NoopRecorder, Recorder};
 
@@ -36,6 +37,11 @@ impl<R: Recorder> Recorder for ShiftedRecorder<'_, R> {
         let event = match event {
             IterClaimed { iter, cost } => IterClaimed {
                 iter: iter + self.offset,
+                cost,
+            },
+            ChunkClaimed { lo, len, cost } => ChunkClaimed {
+                lo: lo + self.offset,
+                len,
                 cost,
             },
             IterExecuted { iter, cost } => IterExecuted {
@@ -74,6 +80,27 @@ where
     strip_mined_rec(pool, upper, strip, &NoopRecorder, body)
 }
 
+/// [`strip_mined`] with a self-scheduling [`ChunkPolicy`] applied inside
+/// each strip: workers claim chunks of iterations instead of one at a
+/// time, amortizing the shared-counter traffic. The strip boundary (and
+/// with it the memory/overshoot bound) is unchanged — a chunk never
+/// crosses a strip.
+///
+/// # Panics
+/// Panics if `strip == 0`.
+pub fn strip_mined_chunked<F>(
+    pool: &Pool,
+    upper: usize,
+    strip: usize,
+    policy: ChunkPolicy,
+    body: F,
+) -> StripOutcome
+where
+    F: Fn(usize, usize) -> Step + Sync,
+{
+    strip_mined_chunked_rec(pool, upper, strip, policy, &NoopRecorder, body)
+}
+
 /// [`strip_mined`] with observability: each strip is a recorded DOALL
 /// (claims, bodies, QUITs, the closing barrier of every strip — one
 /// barrier event per worker per strip, mirroring the barrier count in
@@ -95,6 +122,27 @@ where
     R: Recorder,
     F: Fn(usize, usize) -> Step + Sync,
 {
+    strip_mined_chunked_rec(pool, upper, strip, ChunkPolicy::One, rec, body)
+}
+
+/// [`strip_mined_chunked`] with observability; chunk grants appear as
+/// `ChunkClaimed` events with *global* `lo` indices, like every other
+/// recorded iteration index.
+///
+/// # Panics
+/// Panics if `strip == 0`.
+pub fn strip_mined_chunked_rec<R, F>(
+    pool: &Pool,
+    upper: usize,
+    strip: usize,
+    policy: ChunkPolicy,
+    rec: &R,
+    body: F,
+) -> StripOutcome
+where
+    R: Recorder,
+    F: Fn(usize, usize) -> Step + Sync,
+{
     assert!(strip > 0, "strip size must be positive");
     let mut executed = 0u64;
     let mut max_started = 0usize;
@@ -109,7 +157,9 @@ where
             rec,
             offset: lo as u64,
         };
-        let out = doall_dynamic_rec(pool, hi - lo, &shifted, |local, vpn| body(lo + local, vpn));
+        let out = doall_dynamic_chunked_rec(pool, hi - lo, policy, &shifted, |local, vpn| {
+            body(lo + local, vpn)
+        });
         strips_run += 1;
         executed += out.executed;
         max_started = max_started.max(lo + out.max_started);
@@ -208,6 +258,37 @@ mod tests {
     fn zero_strip_panics() {
         let pool = Pool::new(2);
         let _ = strip_mined(&pool, 10, 0, |_, _| Step::Continue);
+    }
+
+    #[test]
+    fn chunked_strips_match_one_at_a_time_and_keep_the_strip_bound() {
+        let pool = Pool::new(4);
+        for policy in [ChunkPolicy::Fixed(4), ChunkPolicy::Guided { min: 2 }] {
+            let hits: Vec<AtomicU32> = (0..200).map(|_| AtomicU32::new(0)).collect();
+            let out = strip_mined_chunked(&pool, 200, 25, policy, |i, _| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                if i == 60 {
+                    Step::Quit
+                } else {
+                    Step::Continue
+                }
+            });
+            assert_eq!(out.outcome.quit, Some(60), "{policy:?}");
+            assert_eq!(
+                out.strips_run, 3,
+                "{policy:?}: strips 0..25, 25..50, 50..75"
+            );
+            assert!(
+                out.outcome.max_started <= 75,
+                "{policy:?}: a chunk must not cross its strip"
+            );
+            for (i, h) in hits.iter().enumerate().take(50) {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "{policy:?}: iteration {i}");
+            }
+            for (i, h) in hits.iter().enumerate().skip(75) {
+                assert_eq!(h.load(Ordering::Relaxed), 0, "{policy:?}: iteration {i}");
+            }
+        }
     }
 
     #[test]

@@ -302,8 +302,15 @@ pub mod test_runner {
     }
 
     impl Default for ProptestConfig {
+        /// 64 cases, overridable via the `PROPTEST_CASES` environment
+        /// variable — the same knob real proptest reads, so CI can pin
+        /// the case count explicitly.
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
         }
     }
 

@@ -27,7 +27,7 @@ pub mod spec;
 pub mod strategies;
 
 pub use engine::{Engine, Report, Resource};
-pub use spec::{ExecConfig, LoopSpec, Overheads};
+pub use spec::{ChunkPolicy, ExecConfig, LoopSpec, Overheads};
 pub use strategies::{
     sim_distribution, sim_doacross, sim_doany, sim_general1, sim_general1_traced, sim_general2,
     sim_general3, sim_general3_traced, sim_induction_doall, sim_induction_doall_traced,

@@ -143,6 +143,51 @@ impl Default for Overheads {
     }
 }
 
+/// How many iterations a self-scheduling claim grants at once — the
+/// simulator's mirror of the threaded runtime's `ChunkPolicy` (the two
+/// enums are kept structurally identical so an `ExecConfig` can be read
+/// off a real run's configuration).
+///
+/// Chunking amortizes the `t_dispatch` charge over `len` iterations at
+/// the price of a larger in-flight span: under an RV terminator a chunk
+/// that straddles the exit executes (and must undo) every iteration it
+/// already started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkPolicy {
+    /// One iteration per claim: the Alliant's ordered-issue
+    /// self-scheduler. The historical default; traces and makespans are
+    /// bit-identical to the pre-chunking simulator.
+    #[default]
+    One,
+    /// Fixed chunks of `k` iterations (k ≥ 1).
+    Fixed(usize),
+    /// Guided self-scheduling: each claim takes
+    /// `max(min, ceil(remaining / p))` iterations, so chunks shrink as
+    /// the loop drains.
+    Guided {
+        /// Smallest chunk a claim may shrink to (≥ 1).
+        min: usize,
+    },
+}
+
+impl ChunkPolicy {
+    /// Iterations the next claim should take, given `remaining`
+    /// unclaimed iterations and `p` processors. Never exceeds
+    /// `remaining` (when `remaining > 0`) and never returns 0.
+    pub fn grant(&self, remaining: usize, p: usize) -> usize {
+        let want = match *self {
+            ChunkPolicy::One => 1,
+            ChunkPolicy::Fixed(k) => k.max(1),
+            ChunkPolicy::Guided { min } => remaining.div_ceil(p.max(1)).max(min.max(1)),
+        };
+        if remaining == 0 {
+            want
+        } else {
+            want.min(remaining)
+        }
+    }
+}
+
 /// Which run-time support machinery the transformed loop carries — the
 /// sources of the paper's `T_b` (before), `T_d` (during) and `T_a` (after)
 /// overheads.
@@ -162,6 +207,8 @@ pub struct ExecConfig {
     /// runaway-dispatcher guard. A run that hits the cap reports
     /// `diverged = true` instead of spinning forever.
     pub max_engine_steps: Option<u64>,
+    /// Self-scheduling grant size for dynamic DOALL loops.
+    pub chunk: ChunkPolicy,
 }
 
 impl ExecConfig {
@@ -179,6 +226,7 @@ impl ExecConfig {
             pd_shadow: false,
             undo_overshoot: true,
             max_engine_steps: None,
+            chunk: ChunkPolicy::One,
         }
     }
 
@@ -190,12 +238,19 @@ impl ExecConfig {
             pd_shadow: true,
             undo_overshoot: true,
             max_engine_steps: None,
+            chunk: ChunkPolicy::One,
         }
     }
 
     /// Caps the engine's dispatch-event budget (the runaway guard).
     pub fn with_step_budget(mut self, steps: u64) -> Self {
         self.max_engine_steps = Some(steps);
+        self
+    }
+
+    /// Selects the self-scheduling grant size for dynamic DOALLs.
+    pub fn with_chunk(mut self, chunk: ChunkPolicy) -> Self {
+        self.chunk = chunk;
         self
     }
 }
@@ -242,5 +297,34 @@ mod tests {
             ExecConfig::bare().with_step_budget(7).max_engine_steps,
             Some(7)
         );
+        assert_eq!(ExecConfig::bare().chunk, ChunkPolicy::One);
+        assert_eq!(
+            ExecConfig::bare().with_chunk(ChunkPolicy::Fixed(8)).chunk,
+            ChunkPolicy::Fixed(8)
+        );
+    }
+
+    #[test]
+    fn chunk_grants_never_overrun_or_stall() {
+        for policy in [
+            ChunkPolicy::One,
+            ChunkPolicy::Fixed(16),
+            ChunkPolicy::Guided { min: 2 },
+        ] {
+            let mut remaining = 1000usize;
+            while remaining > 0 {
+                let g = policy.grant(remaining, 4);
+                assert!(g >= 1 && g <= remaining, "{policy:?}: grant {g}");
+                remaining -= g;
+            }
+        }
+    }
+
+    #[test]
+    fn guided_grants_shrink_as_the_loop_drains() {
+        let g = ChunkPolicy::Guided { min: 1 };
+        assert_eq!(g.grant(1000, 4), 250);
+        assert_eq!(g.grant(100, 4), 25);
+        assert_eq!(g.grant(3, 4), 1);
     }
 }

@@ -68,6 +68,70 @@ pub fn sim_induction_doall_traced(
     (r, trace)
 }
 
+/// The shared dynamic self-scheduling loop over iterations `[lo, hi)`,
+/// honouring the config's [`ChunkPolicy`](crate::spec::ChunkPolicy). A
+/// grant of one iteration is charged exactly as the historical
+/// one-at-a-time scheduler (`IterClaimed` carrying `t_dispatch`), so
+/// `ChunkPolicy::One` runs are bit-identical to the pre-chunking
+/// simulator; a wider grant pays `t_dispatch` once as a `ChunkClaimed`
+/// event and issues its iterations back to back, re-testing the visible
+/// QUIT bound before each body (the overshoot a chunk can add is bounded
+/// by its own length).
+#[allow(clippy::too_many_arguments)]
+fn run_dynamic_range(
+    eng: &mut Engine,
+    quit: &mut TimedMin,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+    lo: usize,
+    hi: usize,
+    stats: &mut Stats,
+) {
+    let p = eng.p();
+    let mut claim = lo;
+    let mut runnable = vec![true; p];
+    while let Some(proc) = eng.next_proc(&runnable) {
+        let t = eng.now(proc);
+        let stop = claim >= hi || quit.visible_min(t).is_some_and(|q| claim > q);
+        if stop {
+            runnable[proc] = false;
+            continue;
+        }
+        let want = cfg.chunk.grant(hi - claim, p);
+        let c_lo = claim;
+        let c_hi = (c_lo + want).min(hi);
+        claim = c_hi;
+        if c_hi - c_lo == 1 {
+            eng.charge(proc, oh.t_dispatch, |c| Event::IterClaimed {
+                iter: c_lo as u64,
+                cost: c,
+            });
+            run_body(eng, quit, spec, oh, cfg, proc, c_lo, stats);
+        } else {
+            eng.charge(proc, oh.t_dispatch, |c| Event::ChunkClaimed {
+                lo: c_lo as u64,
+                len: (c_hi - c_lo) as u64,
+                cost: c,
+            });
+            for i in c_lo..c_hi {
+                let t = eng.now(proc);
+                if quit.visible_min(t).is_some_and(|q| i > q) {
+                    break;
+                }
+                eng.emit(
+                    proc,
+                    Event::IterClaimed {
+                        iter: i as u64,
+                        cost: 0,
+                    },
+                );
+                run_body(eng, quit, spec, oh, cfg, proc, i, stats);
+            }
+        }
+    }
+}
+
 fn run_induction_doall(
     eng: &mut Engine,
     spec: &LoopSpec,
@@ -82,23 +146,7 @@ fn run_induction_doall(
 
     match schedule {
         Schedule::Dynamic => {
-            let mut claim = 0usize;
-            let mut runnable = vec![true; p];
-            while let Some(proc) = eng.next_proc(&runnable) {
-                let t = eng.now(proc);
-                let stop = claim >= spec.upper || quit.visible_min(t).is_some_and(|q| claim > q);
-                if stop {
-                    runnable[proc] = false;
-                    continue;
-                }
-                let i = claim;
-                claim += 1;
-                eng.charge(proc, oh.t_dispatch, |c| Event::IterClaimed {
-                    iter: i as u64,
-                    cost: c,
-                });
-                run_body(eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
-            }
+            run_dynamic_range(eng, &mut quit, spec, oh, cfg, 0, spec.upper, &mut stats);
         }
         Schedule::StaticCyclic => {
             let mut next_iter: Vec<usize> = (0..p).collect();
@@ -169,23 +217,9 @@ pub fn sim_prefix_doall(p: usize, spec: &LoopSpec, oh: &Overheads, cfg: &ExecCon
     stats.hops += terms as u64;
 
     // Remainder loop: dynamic DOALL over the precomputed terms.
-    let mut claim = 0usize;
-    let mut runnable = vec![true; p];
-    while let Some(proc) = eng.next_proc(&runnable) {
-        let t = eng.now(proc);
-        let stop = claim >= spec.upper || quit.visible_min(t).is_some_and(|q| claim > q);
-        if stop {
-            runnable[proc] = false;
-            continue;
-        }
-        let i = claim;
-        claim += 1;
-        eng.charge(proc, oh.t_dispatch, |c| Event::IterClaimed {
-            iter: i as u64,
-            cost: c,
-        });
-        run_body(&mut eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
-    }
+    run_dynamic_range(
+        &mut eng, &mut quit, spec, oh, cfg, 0, spec.upper, &mut stats,
+    );
 
     epilogue(&mut eng, oh, cfg, &stats);
     report(&eng, spec, &quit, stats)
@@ -226,7 +260,6 @@ fn run_strip_mined(
     strip: usize,
 ) -> Report {
     assert!(strip > 0, "strip size must be positive");
-    let p = eng.p();
     let mut quit = TimedMin::new();
     let mut stats = Stats::default();
     prologue(eng, oh, cfg);
@@ -234,23 +267,7 @@ fn run_strip_mined(
     let mut lo = 0usize;
     'strips: while lo < spec.upper {
         let hi = (lo + strip).min(spec.upper);
-        let mut claim = lo;
-        let mut runnable = vec![true; p];
-        while let Some(proc) = eng.next_proc(&runnable) {
-            let t = eng.now(proc);
-            let stop = claim >= hi || quit.visible_min(t).is_some_and(|q| claim > q);
-            if stop {
-                runnable[proc] = false;
-                continue;
-            }
-            let i = claim;
-            claim += 1;
-            eng.charge(proc, oh.t_dispatch, |c| Event::IterClaimed {
-                iter: i as u64,
-                cost: c,
-            });
-            run_body(eng, &mut quit, spec, oh, cfg, proc, i, &mut stats);
-        }
+        run_dynamic_range(eng, &mut quit, spec, oh, cfg, lo, hi, &mut stats);
         eng.barrier(oh.t_barrier);
         if quit.final_min().is_some() {
             break 'strips;
@@ -466,6 +483,68 @@ mod tests {
         let same = sim_induction_doall(4, &spec, &oh(), &roomy, Schedule::Dynamic);
         assert!(!same.diverged);
         assert_eq!(same.makespan, full.makespan);
+    }
+
+    #[test]
+    fn chunking_amortizes_dispatch_without_changing_coverage() {
+        use crate::spec::ChunkPolicy;
+        let spec = LoopSpec::uniform(2000, 10);
+        let one = sim_induction_doall(4, &spec, &oh(), &ExecConfig::bare(), Schedule::Dynamic);
+        for policy in [ChunkPolicy::Fixed(32), ChunkPolicy::Guided { min: 4 }] {
+            let cfg = ExecConfig::bare().with_chunk(policy);
+            let r = sim_induction_doall(4, &spec, &oh(), &cfg, Schedule::Dynamic);
+            assert_eq!(r.executed, one.executed, "{policy:?} must cover the loop");
+            assert!(
+                r.makespan < one.makespan,
+                "{policy:?}: chunking must amortize t_dispatch ({} !< {})",
+                r.makespan,
+                one.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_trace_reports_grants_and_default_reports_none() {
+        use crate::spec::ChunkPolicy;
+        let spec = LoopSpec::uniform(400, 20);
+        let cfg = ExecConfig::bare().with_chunk(ChunkPolicy::Fixed(50));
+        let (_, trace) = sim_induction_doall_traced(4, &spec, &oh(), &cfg, Schedule::Dynamic);
+        let grants = trace
+            .samples
+            .iter()
+            .filter(|s| matches!(s.event, Event::ChunkClaimed { .. }))
+            .count();
+        assert_eq!(grants, 400 / 50, "every 50-wide grant evented");
+        let r = wlp_obs::ProfileReport::from_trace(&trace);
+        assert_eq!(r.chunk_grants, 8);
+        assert_eq!(r.claimed, 400, "per-iteration claims still reported");
+
+        let (_, plain) =
+            sim_induction_doall_traced(4, &spec, &oh(), &ExecConfig::bare(), Schedule::Dynamic);
+        assert!(
+            plain
+                .samples
+                .iter()
+                .all(|s| !matches!(s.event, Event::ChunkClaimed { .. })),
+            "one-at-a-time scheduling emits no chunk events"
+        );
+    }
+
+    #[test]
+    fn chunk_overshoot_is_bounded_by_the_grant_under_rv() {
+        use crate::spec::ChunkPolicy;
+        // The exit must land mid-stream (past the first round of chunks)
+        // for concurrent chunks to be in flight when the QUIT fires.
+        let spec = LoopSpec::uniform(100_000, 100).with_exit(5000, RV);
+        let cfg = ExecConfig::with_undo(1000).with_chunk(ChunkPolicy::Fixed(64));
+        let r = sim_induction_doall(8, &spec, &oh(), &cfg, Schedule::Dynamic);
+        assert_eq!(r.last_valid, Some(5000));
+        assert!(r.overshoot > 0, "RV must overshoot");
+        assert!(
+            r.overshoot < 64 * 8 + 64,
+            "overshoot {} exceeds the chunk-bounded span",
+            r.overshoot
+        );
     }
 
     #[test]
