@@ -29,20 +29,37 @@
 //! * `dispatch` — many small regions back to back, resident pool vs
 //!   spawn-per-region: the dispatch-overhead exhibit. The resident pool
 //!   must win at small iteration counts; `--gate` enforces it.
+//! * `watchdog` — the same DOALL on a deadline-armed pool vs the plain
+//!   resident pool: the cost of the per-region watchdog monitor. The
+//!   deadline is generous (never trips), so the delta is pure
+//!   monitoring overhead; `--gate` bounds it at 5%.
 //!
 //! With `--gate`, the run fails (exit 1) if any gated parallel exhibit at
 //! the largest pool size is more than 1.5× slower than its sequential
-//! baseline, or if the resident pool loses to spawn-per-region.
+//! baseline, if the resident pool loses to spawn-per-region, or if the
+//! deadline-armed pool is more than 5% slower than the ungoverned one.
+//!
+//! The artifact also carries a `governor` block: counters from a
+//! deterministic budget-storm ladder walk (demotions, re-promotion
+//! probes, per-reason failures, terminal rung), so CI archives the
+//! governor's behaviour alongside the wall-clock rows.
 
 use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
-use wlp_runtime::{doall_dynamic_chunked, ChunkPolicy, Pool, Step};
+use wlp_core::governed_while;
+use wlp_runtime::{
+    doall_dynamic_chunked, ChunkPolicy, Deadline, Governor, GovernorPolicy, Pool, Step,
+};
 use wlp_workloads::{spice, track};
 
 /// Slowdown bound for `--gate`: a parallel construct at the largest pool
 /// size may be at most this much slower than its sequential baseline.
 const GATE_SLOWDOWN: f64 = 1.5;
+
+/// Watchdog bound for `--gate`: a deadline-armed pool may be at most
+/// this much slower than the ungoverned resident pool on the same work.
+const WATCHDOG_GATE: f64 = 1.05;
 
 #[derive(Serialize)]
 struct Machine {
@@ -83,11 +100,32 @@ struct Exhibit {
     gated: bool,
 }
 
+/// Counters from a deterministic governed ladder walk, archived with
+/// the wall-clock rows so CI can track governor behaviour over time.
+#[derive(Serialize)]
+struct GovernorCounters {
+    /// Governed rounds executed.
+    rounds: usize,
+    /// Rung the governor settled on.
+    final_rung: &'static str,
+    /// Whether re-promotion probing had stopped (backoff exhausted).
+    terminal: bool,
+    demotions: u64,
+    repromotions: u64,
+    failures_dependence: u64,
+    failures_exception: u64,
+    failures_timeout: u64,
+    failures_budget: u64,
+    /// Every round's result matched the sequential truth.
+    consistent: bool,
+}
+
 #[derive(Serialize)]
 struct BenchFile {
     schema: String,
     machine: Machine,
     config: RunConfig,
+    governor: GovernorCounters,
     exhibits: Vec<Exhibit>,
 }
 
@@ -351,6 +389,87 @@ fn run_all(h: &mut Harness, sizes: &Sizes) {
             },
         );
     }
+
+    // -- watchdog: deadline-armed pool vs ungoverned resident pool --------
+    println!("watchdog (n = {}):", sizes.compute_n);
+    let n = sizes.compute_n;
+    for &p in &pool_sizes() {
+        if p == 1 {
+            continue; // inline regions have no lanes to watch
+        }
+        let plain = Pool::new(p);
+        h.run("watchdog", "resident", "-", p, n, None, false, || {
+            doall_dynamic_chunked(&plain, n, ChunkPolicy::Guided { min: 4 }, |i, _| {
+                black_box(flops(i));
+                Step::Continue
+            });
+        });
+        // A deadline far beyond the region's runtime: the watchdog arms,
+        // waits and disarms every region without ever firing, so the
+        // delta against the plain pool is pure monitoring overhead.
+        let armed = plain.with_deadline(Deadline::from_millis(60_000));
+        h.run(
+            "watchdog",
+            "deadline",
+            "-",
+            p,
+            n,
+            Some(&format!("watchdog/resident/-/p{p}")),
+            false, // gated separately: within WATCHDOG_GATE of the baseline
+            || {
+                doall_dynamic_chunked(&armed, n, ChunkPolicy::Guided { min: 4 }, |i, _| {
+                    black_box(flops(i));
+                    Step::Continue
+                });
+            },
+        );
+    }
+}
+
+/// Runs a deterministic budget-storm ladder walk: a tiny write budget
+/// fails every parallel rung, so the governor demotes speculative →
+/// windowed → distribution → sequential with doubling backoff between
+/// re-promotion probes, and the counters land in the artifact.
+fn governed_storm() -> GovernorCounters {
+    let pool = Pool::new(4);
+    let policy = GovernorPolicy {
+        demote_threshold: 2,
+        initial_backoff: 2,
+        max_backoff: 8,
+        budget_writes: Some(4),
+        ..GovernorPolicy::default()
+    };
+    let mut gov = Governor::new(policy);
+    let (upper, exit) = (64usize, 40usize);
+    let truth: Vec<i64> = (0..upper)
+        .map(|i| if i < exit { i as i64 + 1 } else { 0 })
+        .collect();
+    let rounds = 120;
+    let mut consistent = true;
+    for _ in 0..rounds {
+        let (_, data) = governed_while(
+            &pool,
+            upper,
+            vec![0i64; upper],
+            &mut gov,
+            |i| i >= exit,
+            |i, a| a.write(i, i as i64 + 1),
+        );
+        consistent &= data == truth;
+    }
+    let f = gov.failures();
+    GovernorCounters {
+        rounds,
+        final_rung: gov.current().name(),
+        terminal: gov.is_terminal(),
+        demotions: gov.demotions(),
+        repromotions: gov.repromotions(),
+        failures_dependence: f.dependence,
+        failures_exception: f.exception,
+        failures_timeout: f.timeout,
+        failures_budget: f.budget,
+        consistent,
+    }
 }
 
 /// `--gate`: every gated exhibit at the largest pool size must be within
@@ -381,6 +500,19 @@ fn gate(exhibits: &[Exhibit], cpus: usize) -> Vec<String> {
                     failures.push(format!(
                         "{}: resident pool must beat spawn-per-region, got {s:.2}x",
                         e.name
+                    ));
+                }
+            }
+        }
+        if e.family == "watchdog" && e.mode == "deadline" && e.p == max_p && e.p <= cpus {
+            if let Some(s) = e.speedup_vs_baseline {
+                if s < 1.0 / WATCHDOG_GATE {
+                    failures.push(format!(
+                        "{}: watchdog overhead {:.1}% over {} (allowed: {:.0}%)",
+                        e.name,
+                        (1.0 / s - 1.0) * 100.0,
+                        e.baseline.as_deref().unwrap_or("?"),
+                        (WATCHDOG_GATE - 1.0) * 100.0,
                     ));
                 }
             }
@@ -416,8 +548,20 @@ fn main() {
     };
     run_all(&mut h, &sizes);
 
+    let governor = governed_storm();
+    println!(
+        "governor storm: final rung {} (terminal: {}), {} demotions / {} repromotions, \
+         {} budget trips, consistent: {}",
+        governor.final_rung,
+        governor.terminal,
+        governor.demotions,
+        governor.repromotions,
+        governor.failures_budget,
+        governor.consistent,
+    );
+
     let file = BenchFile {
-        schema: "wlp-bench-runtime/v1".to_string(),
+        schema: "wlp-bench-runtime/v2".to_string(),
         machine: Machine {
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
@@ -428,6 +572,7 @@ fn main() {
             repeats,
             warmup,
         },
+        governor,
         exhibits: h.exhibits,
     };
     std::fs::write(&out, serde::json::to_string(&file)).expect("write bench file");

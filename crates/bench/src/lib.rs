@@ -683,7 +683,139 @@ pub fn render_faults() -> String {
         Some(d) => out.push_str(&format!("cyclic-list  {wall:>7}  {d}\n")),
         None => out.push_str("cyclic-list  GUARD FAILED: corruption went undetected\n"),
     }
+
+    // The governor's other two failure modes, end to end on the threaded
+    // speculative driver: a stalled lane reaped by the watchdog and a
+    // write hog reaped by the undo-log budget.
+    out.push_str("\nmode/seed      wall_us  abort       correct  pool-reusable\n");
+    for (mode, seed) in [
+        (wlp_fault::FaultMode::Stall, 1),
+        (wlp_fault::FaultMode::Hog, 2),
+    ] {
+        match run_fault_mode(mode, seed) {
+            Ok(row) => out.push_str(&row),
+            Err(e) => out.push_str(&format!("{}/{seed}  FAILED: {e}\n", mode.name())),
+        }
+    }
     out
+}
+
+/// One cell of the CI fault matrix: runs the speculative WHILE pipeline
+/// (or, for `cycle`, the General-3 dispatcher guard) under the seeded
+/// fault and verifies the robustness contract end to end — the final
+/// state equals the pure-sequential result, the trace attributes the
+/// abort to the right cause, the conservation laws hold, and the
+/// resident pool survives for a follow-up region. Returns the printable
+/// row, or `Err` describing the violated guarantee (the `fault-matrix`
+/// binary turns that into a non-zero exit).
+pub fn run_fault_mode(mode: wlp_fault::FaultMode, seed: u64) -> Result<String, String> {
+    use std::time::Instant;
+    use wlp_core::{speculative_while_rec, SpeculativeArray};
+    use wlp_fault::{FaultAction, FaultMode, FaultPlan};
+    use wlp_obs::{AbortReason, BufferRecorder, NoopRecorder, ProfileReport};
+    use wlp_runtime::{Deadline, Pool};
+    use wlp_workloads::spice::{build_device_list, load_parallel_recovering};
+
+    let label = format!("{}/{seed}", mode.name());
+    if mode == FaultMode::Cycle {
+        let mut bad = build_device_list(2_000, 3);
+        wlp_fault::corrupt_list_cycle(&mut bad, seed).ok_or("list too short to corrupt")?;
+        let pool = Pool::new(4);
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let t0 = Instant::now();
+        let (_, outcome) =
+            load_parallel_recovering(&pool, &bad, 1e-6, &FaultPlan::none(), &NoopRecorder);
+        let wall = t0.elapsed().as_micros();
+        std::panic::set_hook(default_hook);
+        return match outcome.diverged {
+            Some(_) => Ok(format!(
+                "{label:<13} {wall:>7}  {:<11} {:>7}  {:>13}\n",
+                "diverged", true, true
+            )),
+            None => Err(format!("{label}: cycle went undetected by the guard")),
+        };
+    }
+
+    let (n, p, exit) = (256usize, 4usize, 200usize);
+    let truth: Vec<i64> = (0..n as i64)
+        .map(|i| if (i as usize) < exit { i + 1 } else { 0 })
+        .collect();
+    // fault site inside the live prefix, so the injection always runs
+    let plan = FaultPlan::seeded(mode, seed, exit);
+    let pool = Pool::new(p).with_deadline(Deadline::from_millis(10));
+    // headroom for the loop's own writes (incl. overshoot); only the hog
+    // blows through it
+    let arr = SpeculativeArray::new(vec![0i64; n]).with_budget(2 * n as u64);
+    let rec = BufferRecorder::new(p);
+
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let t0 = Instant::now();
+    let out = speculative_while_rec(
+        &pool,
+        n,
+        &arr,
+        &rec,
+        |i, _| i == exit,
+        |i, a| {
+            if let FaultAction::HogWrites(k) = plan.inject(i, 0) {
+                for _ in 0..k {
+                    a.write(i, -1);
+                }
+            }
+            a.write(i, i as i64 + 1);
+        },
+    );
+    let wall = t0.elapsed().as_micros();
+    std::panic::set_hook(default_hook);
+
+    let report = ProfileReport::from_trace(&rec.finish());
+    report
+        .check_conservation()
+        .map_err(|e| format!("{label}: conservation violated: {e}"))?;
+    if arr.snapshot() != truth {
+        return Err(format!("{label}: final state diverges from sequential"));
+    }
+    let expected = match mode {
+        FaultMode::Panic => (Some(AbortReason::Exception), report.aborts_exception == 1),
+        FaultMode::Stall => (
+            Some(AbortReason::Timeout),
+            report.timeouts >= 1 && report.aborts_timeout == 1,
+        ),
+        FaultMode::Hog => (Some(AbortReason::Budget), report.aborts_budget == 1),
+        FaultMode::Cycle => unreachable!("handled above"),
+    };
+    if out.abort != expected.0 {
+        return Err(format!(
+            "{label}: abort attributed to {:?}, expected {:?}",
+            out.abort, expected.0
+        ));
+    }
+    if !expected.1 {
+        return Err(format!("{label}: trace counters miss the abort cause"));
+    }
+
+    // the faulted region must leave the resident pool reusable
+    let probe = SpeculativeArray::new(vec![0i64; 64]);
+    let ok = speculative_while_rec(
+        &pool,
+        64,
+        &probe,
+        &NoopRecorder,
+        |i, _| i == 32,
+        |i, a| a.write(i, 1),
+    );
+    let reusable = ok.committed_parallel && ok.abort.is_none();
+    if !reusable {
+        return Err(format!("{label}: pool not reusable after the fault"));
+    }
+
+    Ok(format!(
+        "{label:<13} {wall:>7}  {:<11} {:>7}  {reusable:>13}\n",
+        format!("{:?}", out.abort.expect("faulted run must abort")),
+        true
+    ))
 }
 
 /// The `profile` exhibit: aggregated [`wlp_obs::ProfileReport`]s, one JSON

@@ -60,5 +60,9 @@ pub use speculate::{
     speculative_while_rec, speculative_while_strips, speculative_while_windowed, GroupAccess,
     SpecOutcome, SpeculativeArray, StripSpecOutcome,
 };
+pub use strategy::{
+    governed_while, governed_while_rec, hedged_execute, CancelToken, GovernedOutcome, HedgeWinner,
+    StatsStamping,
+};
 pub use taxonomy::{classify, DispatcherClass, Parallelism, TaxonomyCell, TerminatorClass};
 pub use undo::VersionedArray;

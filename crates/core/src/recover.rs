@@ -9,13 +9,19 @@
 //! `wlp-runtime` constructs and broadcast via their `CancelFlag`), the
 //! "altered variables" live in a [`VersionedArray`] checkpoint, and the
 //! recovery is observable: a restore emits [`Event::UndoRestore`] and
-//! [`Event::SpecAbort`] with [`AbortReason::Exception`], so profile
-//! reports show fault recoveries next to dependence aborts.
+//! [`Event::SpecAbort`] carrying the *actual cause* — a contained panic
+//! ([`AbortReason::Exception`]), a watchdog deadline expiry
+//! ([`AbortReason::Timeout`], additionally announced by
+//! [`Event::TimeoutAbort`]), or a caller-supplied reason such as an
+//! exhausted undo-log budget — so profile reports attribute fallbacks
+//! correctly instead of lumping everything under "exception".
 
 use crate::undo::VersionedArray;
 use std::time::Instant;
 use wlp_obs::{AbortReason, Event, Recorder};
-use wlp_runtime::{payload_message, DoacrossOutcome, DoallOutcome, StripOutcome, WorkerPanic};
+use wlp_runtime::{
+    payload_message, DoacrossOutcome, DoallOutcome, StripOutcome, WorkerPanic, WorkerTimeout,
+};
 
 /// Shared first-panic slot for constructs that catch per-iteration (the
 /// pool-level catch only sees panics that escape iteration bodies, which
@@ -51,6 +57,13 @@ impl FirstFault {
 pub struct ParallelAttempt {
     /// First contained worker panic, if any.
     pub panic: Option<WorkerPanic>,
+    /// Watchdog verdict, if the attempt overran a region deadline.
+    pub timeout: Option<WorkerTimeout>,
+    /// Caller-attributed abort cause, when the layer above already knows
+    /// *why* the attempt is invalid (e.g. [`AbortReason::Budget`] from an
+    /// exhausted undo-log budget). Takes precedence over the inference
+    /// from `timeout`/`panic`.
+    pub abort: Option<AbortReason>,
     /// Bodies executed during the attempt.
     pub executed: u64,
     /// The attempt's QUIT bound, if one was set.
@@ -61,6 +74,8 @@ impl From<DoallOutcome> for ParallelAttempt {
     fn from(out: DoallOutcome) -> Self {
         ParallelAttempt {
             panic: out.panic,
+            timeout: out.timeout,
+            abort: None,
             executed: out.executed,
             quit: out.quit,
         }
@@ -71,6 +86,8 @@ impl From<DoacrossOutcome> for ParallelAttempt {
     fn from(out: DoacrossOutcome) -> Self {
         ParallelAttempt {
             panic: out.panic,
+            timeout: out.timeout,
+            abort: None,
             executed: out.executed,
             quit: None,
         }
@@ -83,18 +100,41 @@ impl From<StripOutcome> for ParallelAttempt {
             executed: out.outcome.executed,
             quit: out.outcome.quit,
             panic: out.outcome.panic,
+            timeout: out.outcome.timeout,
+            abort: None,
         }
+    }
+}
+
+impl ParallelAttempt {
+    /// Why this attempt must be thrown away, if it must: the explicit
+    /// caller attribution first, then a watchdog expiry, then a contained
+    /// panic. `None` means the attempt is keepable.
+    pub fn failure_reason(&self) -> Option<AbortReason> {
+        self.abort.or(if self.timeout.is_some() {
+            Some(AbortReason::Timeout)
+        } else if self.panic.is_some() {
+            Some(AbortReason::Exception)
+        } else {
+            None
+        })
     }
 }
 
 /// How a recoverable execution ended.
 #[derive(Debug, Clone)]
 pub struct RecoveryOutcome {
-    /// A worker panicked, the checkpoint was restored and the sequential
-    /// fallback produced the final state.
+    /// The parallel attempt was invalid, the checkpoint was restored and
+    /// the sequential fallback produced the final state.
     pub recovered: bool,
+    /// *Why* the sequential fallback ran (`None` when it didn't): panic,
+    /// watchdog timeout, budget trip, or dependence — whatever the
+    /// attempt reported.
+    pub reason: Option<AbortReason>,
     /// The contained panic that triggered recovery, if any.
     pub panic: Option<WorkerPanic>,
+    /// The watchdog verdict that triggered recovery, if any.
+    pub timeout: Option<WorkerTimeout>,
     /// Elements restored from the checkpoint before re-execution.
     pub restored_elems: usize,
     /// The attempt's QUIT bound (parallel if clean, else whatever the
@@ -104,11 +144,13 @@ pub struct RecoveryOutcome {
     pub executed: u64,
 }
 
-/// Runs `parallel` against the checkpointed array; on a contained worker
-/// panic, restores the checkpoint, emits the `UndoRestore` +
-/// `SpecAbort(Exception)` event pair, and runs `sequential` — the
-/// Section 5 exception rule. Clean (or merely cancelled) attempts are
-/// kept as-is.
+/// Runs `parallel` against the checkpointed array; if the attempt is
+/// invalid — contained worker panic, watchdog deadline expiry, or an
+/// explicit caller-attributed cause such as a budget trip — restores the
+/// checkpoint, emits the `UndoRestore` + `SpecAbort` event pair carrying
+/// the *actual* [`AbortReason`] (plus [`Event::TimeoutAbort`] for
+/// expiries), and runs `sequential` — the Section 5 exception rule.
+/// Clean (or merely cancelled) attempts are kept as-is.
 ///
 /// `sequential` re-executes the loop from the restored checkpoint on the
 /// caller's thread and returns the number of bodies it ran. A panic
@@ -126,31 +168,51 @@ where
     S: FnOnce() -> u64,
 {
     let attempt = parallel();
-    let Some(panic) = attempt.panic else {
+    let Some(reason) = attempt.failure_reason() else {
         return RecoveryOutcome {
             recovered: false,
+            reason: None,
             panic: None,
+            timeout: None,
             restored_elems: 0,
             quit: attempt.quit,
             executed: attempt.executed,
         };
     };
 
+    // attribute events to the lane that caused the fallback
+    let vpn = attempt
+        .timeout
+        .as_ref()
+        .map(|t| t.vpn)
+        .or(attempt.panic.as_ref().map(|p| p.vpn))
+        .unwrap_or(0);
+    if R::ENABLED {
+        if let Some(to) = &attempt.timeout {
+            rec.record(
+                vpn,
+                Event::TimeoutAbort {
+                    vpn: to.vpn as u64,
+                    elapsed: to.elapsed.as_nanos() as u64,
+                },
+            );
+        }
+    }
     let u0 = R::ENABLED.then(Instant::now);
     let restored = arr.restore_all();
     if R::ENABLED {
         let cost = u0.map_or(0, |t| t.elapsed().as_nanos() as u64);
         rec.record(
-            panic.vpn,
+            vpn,
             Event::UndoRestore {
                 elems: restored as u64,
                 cost,
             },
         );
         rec.record(
-            panic.vpn,
+            vpn,
             Event::SpecAbort {
-                reason: AbortReason::Exception,
+                reason,
                 discarded: attempt.executed,
             },
         );
@@ -158,7 +220,9 @@ where
     let executed = sequential();
     RecoveryOutcome {
         recovered: true,
-        panic: Some(panic),
+        reason: Some(reason),
+        panic: attempt.panic,
+        timeout: attempt.timeout,
         restored_elems: restored,
         quit: None,
         executed,

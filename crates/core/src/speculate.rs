@@ -30,12 +30,36 @@ use wlp_obs::{AbortReason, Event, NoopRecorder, Recorder};
 use wlp_pd::{copy_out_last_values, IterMarker, PdVerdict, Shadow, TrailSet};
 use wlp_runtime::{doall_dynamic, doall_dynamic_chunked, ChunkPolicy, Pool, Step};
 
+/// An undo-log budget for one speculative attempt: a cap on the number of
+/// stamped (restorable) writes. Exceeding it aborts the speculation with
+/// [`AbortReason::Budget`] — the bounded-resources answer to a runaway
+/// writer that would otherwise grow trails and overlays without limit
+/// (the memory-budget concern of Section 8.2, applied to the undo log).
+#[derive(Debug)]
+struct SpecBudget {
+    limit: u64,
+    stamped: AtomicU64,
+}
+
+impl SpecBudget {
+    #[inline]
+    fn charge(&self) {
+        self.stamped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn exceeded(&self) -> bool {
+        self.stamped.load(Ordering::Relaxed) > self.limit
+    }
+}
+
 /// A shared array under speculation: checkpointed data, write stamps and
 /// PD shadow marks, all maintained per access.
 #[derive(Debug)]
 pub struct SpeculativeArray<T: Copy> {
     versioned: VersionedArray<T>,
     shadow: Shadow,
+    budget: Option<SpecBudget>,
 }
 
 impl<T: Copy + Send + Sync> SpeculativeArray<T> {
@@ -45,6 +69,39 @@ impl<T: Copy + Send + Sync> SpeculativeArray<T> {
         SpeculativeArray {
             versioned: VersionedArray::new(init),
             shadow,
+            budget: None,
+        }
+    }
+
+    /// Caps the stamped (restorable) writes any one speculative attempt
+    /// may make on this array. When the cap is exceeded the attempt
+    /// aborts with [`AbortReason::Budget`] and falls back to sequential
+    /// execution instead of growing speculation state without bound.
+    pub fn with_budget(mut self, writes: u64) -> Self {
+        self.budget = Some(SpecBudget {
+            limit: writes,
+            stamped: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Whether the undo-log budget (if any) has been exceeded.
+    #[inline]
+    pub fn budget_exceeded(&self) -> bool {
+        self.budget.as_ref().is_some_and(|b| b.exceeded())
+    }
+
+    /// Stamped writes charged against the budget so far (0 without one).
+    pub fn stamped_writes(&self) -> u64 {
+        self.budget
+            .as_ref()
+            .map_or(0, |b| b.stamped.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn charge_write(&self) {
+        if let Some(b) = &self.budget {
+            b.charge();
         }
     }
 
@@ -69,7 +126,7 @@ impl<T: Copy + Send + Sync> SpeculativeArray<T> {
 
     /// A pass-through handle for sequential (re-)execution: no marking, no
     /// stamps.
-    fn direct(&self) -> SpecAccess<'_, T> {
+    pub(crate) fn direct(&self) -> SpecAccess<'_, T> {
         SpecAccess {
             arr: self,
             marker: None,
@@ -82,11 +139,14 @@ impl<T: Copy + Send + Sync> SpeculativeArray<T> {
         self.versioned.snapshot()
     }
 
-    /// Accepts the current values and clears speculation state, readying
-    /// the array for another loop.
+    /// Accepts the current values and clears speculation state (including
+    /// the budget's charge counter), readying the array for another loop.
     pub fn commit(&mut self) {
         self.versioned.commit();
         self.shadow.reset();
+        if let Some(b) = &self.budget {
+            b.stamped.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -114,6 +174,7 @@ impl<T: Copy + Send + Sync> SpecAccess<'_, T> {
         match &mut self.marker {
             Some(m) => {
                 m.mark_write(e);
+                self.arr.charge_write();
                 self.arr.versioned.write(e, v, self.iter);
             }
             None => self.arr.versioned.write_direct(e, v),
@@ -138,6 +199,11 @@ pub struct SpecOutcome {
     pub reexecuted_sequentially: bool,
     /// A body panicked during the parallel attempt.
     pub exception: bool,
+    /// *Why* the parallel attempt was thrown away, when it was:
+    /// a cross-iteration dependence, a contained panic, a watchdog
+    /// deadline expiry, or an exhausted undo-log budget. `None` when the
+    /// parallel result was kept.
+    pub abort: Option<AbortReason>,
     /// The last valid iteration (the first satisfying the terminator).
     pub last_valid: Option<usize>,
     /// Bodies executed during the parallel attempt.
@@ -264,6 +330,11 @@ where
     let executed = AtomicU64::new(0);
 
     let out = doall_dynamic_chunked(pool, upper, policy, |i, vpn| {
+        if arr.budget_exceeded() {
+            // Stop issuing; the budget-abort path below rolls everything
+            // back. No events: this is not a terminator hit.
+            return Step::Quit;
+        }
         if R::ENABLED {
             rec.record(
                 vpn,
@@ -327,7 +398,30 @@ where
     let had_exception = exception.load(Ordering::Acquire) || out.panic.is_some();
     let last_valid = out.quit;
 
-    if had_exception {
+    // A watchdog expiry, a contained panic, or an exhausted budget all
+    // invalidate the parallel attempt the same way — restore the
+    // checkpoint, re-execute sequentially — but are *attributed*
+    // differently, in that precedence order (a timed-out region may also
+    // carry panics from its drain; the timeout caused them to surface).
+    let invalid = if let Some(to) = &out.timeout {
+        if R::ENABLED {
+            rec.record(
+                to.vpn,
+                Event::TimeoutAbort {
+                    vpn: to.vpn as u64,
+                    elapsed: to.elapsed.as_nanos() as u64,
+                },
+            );
+        }
+        Some(AbortReason::Timeout)
+    } else if had_exception {
+        Some(AbortReason::Exception)
+    } else if arr.budget_exceeded() {
+        Some(AbortReason::Budget)
+    } else {
+        None
+    };
+    if let Some(reason) = invalid {
         let u0 = R::ENABLED.then(Instant::now);
         arr.versioned.restore_all();
         if R::ENABLED {
@@ -342,7 +436,7 @@ where
             rec.record(
                 0,
                 Event::SpecAbort {
-                    reason: AbortReason::Exception,
+                    reason,
                     discarded: executed.load(Ordering::Relaxed),
                 },
             );
@@ -352,7 +446,8 @@ where
             verdict: None,
             committed_parallel: false,
             reexecuted_sequentially: true,
-            exception: true,
+            exception: had_exception,
+            abort: Some(reason),
             last_valid: lv,
             executed_parallel: executed.load(Ordering::Relaxed),
             undone: 0,
@@ -387,6 +482,7 @@ where
             committed_parallel: false,
             reexecuted_sequentially: true,
             exception: false,
+            abort: Some(AbortReason::Dependence),
             last_valid: lv,
             executed_parallel: executed.load(Ordering::Relaxed),
             undone: 0,
@@ -427,6 +523,7 @@ where
         committed_parallel: true,
         reexecuted_sequentially: false,
         exception: false,
+        abort: None,
         last_valid,
         executed_parallel: executed.load(Ordering::Relaxed),
         undone,
@@ -455,6 +552,9 @@ where
     let executed = AtomicU64::new(0);
 
     let (out, span) = wlp_runtime::doall_windowed(pool, upper, window, |i, _vpn| {
+        if arr.budget_exceeded() {
+            return Step::Quit;
+        }
         let mut acc = arr.access(i);
         let step = catch_unwind(AssertUnwindSafe(|| {
             if term(i, &mut acc) {
@@ -477,7 +577,16 @@ where
     let had_exception = exception.load(Ordering::Acquire) || out.panic.is_some();
     let last_valid = out.quit;
 
-    if had_exception {
+    let invalid = if out.timeout.is_some() {
+        Some(AbortReason::Timeout)
+    } else if had_exception {
+        Some(AbortReason::Exception)
+    } else if arr.budget_exceeded() {
+        Some(AbortReason::Budget)
+    } else {
+        None
+    };
+    if let Some(reason) = invalid {
         arr.versioned.restore_all();
         let lv = run_sequential(upper, arr, &term, &body);
         return (
@@ -485,7 +594,8 @@ where
                 verdict: None,
                 committed_parallel: false,
                 reexecuted_sequentially: true,
-                exception: true,
+                exception: had_exception,
+                abort: Some(reason),
                 last_valid: lv,
                 executed_parallel: executed.load(Ordering::Relaxed),
                 undone: 0,
@@ -504,6 +614,7 @@ where
                 committed_parallel: false,
                 reexecuted_sequentially: true,
                 exception: false,
+                abort: Some(AbortReason::Dependence),
                 last_valid: lv,
                 executed_parallel: executed.load(Ordering::Relaxed),
                 undone: 0,
@@ -522,6 +633,7 @@ where
             committed_parallel: true,
             reexecuted_sequentially: false,
             exception: false,
+            abort: None,
             last_valid,
             executed_parallel: executed.load(Ordering::Relaxed),
             undone,
@@ -556,6 +668,7 @@ impl<T: Copy + Send + Sync> GroupAccess<'_, T> {
         match &mut self.markers[a] {
             Some(m) => {
                 m.mark_write(e);
+                self.arrays[a].charge_write();
                 self.arrays[a].versioned.write(e, v, self.iter);
             }
             None => self.arrays[a].versioned.write_direct(e, v),
@@ -587,6 +700,9 @@ where
     let executed = AtomicU64::new(0);
 
     let out = doall_dynamic(pool, upper, |i, _vpn| {
+        if arrays.iter().any(|a| a.budget_exceeded()) {
+            return Step::Quit;
+        }
         let mut acc = GroupAccess {
             arrays,
             markers: arrays.iter().map(|a| Some(a.shadow.iteration(i))).collect(),
@@ -612,9 +728,18 @@ where
 
     let had_exception = exception.load(Ordering::Acquire) || out.panic.is_some();
     let last_valid = out.quit;
+    let early_abort = if out.timeout.is_some() {
+        Some(AbortReason::Timeout)
+    } else if had_exception {
+        Some(AbortReason::Exception)
+    } else if arrays.iter().any(|a| a.budget_exceeded()) {
+        Some(AbortReason::Budget)
+    } else {
+        None
+    };
 
     // every array must pass; merge the verdicts
-    let verdict = (!had_exception).then(|| {
+    let verdict = early_abort.is_none().then(|| {
         let mut merged = PdVerdict {
             doall: true,
             privatized_doall: true,
@@ -652,6 +777,7 @@ where
             committed_parallel: false,
             reexecuted_sequentially: true,
             exception: had_exception,
+            abort: early_abort.or(Some(AbortReason::Dependence)),
             last_valid: lv,
             executed_parallel: executed.load(Ordering::Relaxed),
             undone: 0,
@@ -667,6 +793,7 @@ where
         committed_parallel: true,
         reexecuted_sequentially: false,
         exception: false,
+        abort: None,
         last_valid,
         executed_parallel: executed.load(Ordering::Relaxed),
         undone,
@@ -707,6 +834,29 @@ where
     // writes to protect) — it is a real exception and resumes
     if let Some(wp) = pass1.panic {
         wp.resume();
+    }
+    if pass1.timeout.is_some() {
+        // the trip count was never determined: nothing speculative to
+        // salvage, run the whole loop sequentially
+        let mut lv = None;
+        for i in 0..upper {
+            if term(i) {
+                lv = Some(i);
+                break;
+            }
+            let mut acc = arr.direct();
+            body(i, &mut acc);
+        }
+        return SpecOutcome {
+            verdict: None,
+            committed_parallel: false,
+            reexecuted_sequentially: true,
+            exception: false,
+            abort: Some(AbortReason::Timeout),
+            last_valid: lv,
+            executed_parallel: 0,
+            undone: 0,
+        };
     }
     let end = pass1.quit.unwrap_or(upper);
 
@@ -819,6 +969,7 @@ pub struct PrivAccess<'a, T: Copy> {
     overlay: &'a mut HashMap<usize, T>,
     marker: IterMarker<'a>,
     trail: &'a TrailSet<T>,
+    budget: Option<&'a SpecBudget>,
     vpn: usize,
     iter: usize,
 }
@@ -836,6 +987,11 @@ impl<T: Copy + Send + Sync> PrivAccess<'_, T> {
     /// Writes `v` to this processor's private copy of element `e`.
     pub fn write(&mut self, e: usize, v: T) {
         self.marker.mark_write(e);
+        if let Some(b) = self.budget {
+            // overlays and trails grow per write — exactly the state the
+            // undo-log budget is meant to bound
+            b.charge();
+        }
         self.overlay.insert(e, v);
         self.trail.record(self.vpn, self.iter, e, v);
     }
@@ -878,12 +1034,16 @@ where
     let executed = AtomicU64::new(0);
 
     let out = doall_dynamic(pool, upper, |i, vpn| {
+        if arr.budget_exceeded() {
+            return Step::Quit;
+        }
         let mut overlay = overlays[vpn].lock();
         let mut acc = PrivAccess {
             original: &arr.versioned,
             overlay: &mut overlay,
             marker: arr.shadow.iteration(i),
             trail: &trail,
+            budget: arr.budget.as_ref(),
             vpn,
             iter: i,
         };
@@ -907,7 +1067,18 @@ where
 
     let last_valid = out.quit;
     let had_exception = exception.load(Ordering::Acquire) || out.panic.is_some();
-    let verdict = (!had_exception).then(|| arr.shadow.analyze(pool, last_valid, 16));
+    let early_abort = if out.timeout.is_some() {
+        Some(AbortReason::Timeout)
+    } else if had_exception {
+        Some(AbortReason::Exception)
+    } else if arr.budget_exceeded() {
+        Some(AbortReason::Budget)
+    } else {
+        None
+    };
+    let verdict = early_abort
+        .is_none()
+        .then(|| arr.shadow.analyze(pool, last_valid, 16));
 
     let valid = verdict.as_ref().is_some_and(|v| v.privatized_doall);
     if !valid {
@@ -918,6 +1089,7 @@ where
             committed_parallel: false,
             reexecuted_sequentially: true,
             exception: had_exception,
+            abort: early_abort.or(Some(AbortReason::Dependence)),
             last_valid: lv,
             executed_parallel: executed.load(Ordering::Relaxed),
             undone: 0,
@@ -938,6 +1110,7 @@ where
         committed_parallel: true,
         reexecuted_sequentially: false,
         exception: false,
+        abort: None,
         last_valid,
         executed_parallel: executed.load(Ordering::Relaxed),
         undone: copied, // elements whose value came from the trail
@@ -967,6 +1140,7 @@ where
             overlay: &mut overlay,
             marker: shadow_sink.iteration(i),
             trail: &trail,
+            budget: None, // sequential truth is never budget-limited
             vpn: 0,
             iter: i,
         };
@@ -1466,6 +1640,110 @@ mod tests {
         for i in 0..=n {
             assert_eq!(snap[i], i as i64 + 1);
         }
+    }
+
+    #[test]
+    fn budget_trip_degrades_to_sequential_with_correct_result() {
+        // every iteration writes: a budget of 20 stamped writes trips long
+        // before the 500-iteration range is exhausted
+        let arr = SpeculativeArray::new(vec![0i64; 500]).with_budget(20);
+        let out = speculative_while(
+            &pool(),
+            500,
+            &arr,
+            |i, _| i >= 500,
+            |i, a| {
+                let v = a.read(i);
+                a.write(i, v + 1 + i as i64);
+            },
+        );
+        assert_eq!(out.abort, Some(AbortReason::Budget));
+        assert!(out.reexecuted_sequentially);
+        assert!(!out.committed_parallel);
+        let snap = arr.snapshot();
+        for (i, v) in snap.iter().enumerate() {
+            assert_eq!(*v, 1 + i as i64, "element {i}: sequential semantics");
+        }
+    }
+
+    #[test]
+    fn generous_budget_still_commits_parallel() {
+        let arr = SpeculativeArray::new(vec![0i64; 100]).with_budget(1_000);
+        let out = speculative_while(&pool(), 100, &arr, |_, _| false, |i, a| a.write(i, 1));
+        assert!(out.committed_parallel);
+        assert_eq!(out.abort, None);
+        assert_eq!(arr.stamped_writes(), 100);
+    }
+
+    #[test]
+    fn abort_reason_attributes_dependence_and_exception() {
+        let n = 32usize;
+        let arr = SpeculativeArray::new(vec![1i64; n + 1]);
+        let out = speculative_while(
+            &pool(),
+            n,
+            &arr,
+            |_, _| false,
+            |i, a| {
+                let left = a.read(i);
+                a.write(i + 1, left + 1);
+            },
+        );
+        assert_eq!(out.abort, Some(AbortReason::Dependence));
+
+        let first = AtomicBool::new(true);
+        let arr = SpeculativeArray::new(vec![0i64; 32]);
+        let out = speculative_while(
+            &pool(),
+            32,
+            &arr,
+            |_, _| false,
+            |i, a| {
+                if i == 7 && first.swap(false, Ordering::SeqCst) {
+                    panic!("boom");
+                }
+                a.write(i, 1);
+            },
+        );
+        assert_eq!(out.abort, Some(AbortReason::Exception));
+    }
+
+    #[test]
+    fn deadline_expiry_aborts_with_timeout_and_correct_result() {
+        use wlp_obs::{BufferRecorder, ProfileReport};
+        use wlp_runtime::Deadline;
+
+        let pool = Pool::new(4).with_deadline(Deadline::from_millis(25));
+        let arr = SpeculativeArray::new(vec![0i64; 10_000]);
+        let rec = BufferRecorder::new(4);
+        let out = speculative_while_rec(
+            &pool,
+            10_000,
+            &arr,
+            &rec,
+            |i, _| i >= 10_000,
+            |i, a| {
+                if i == 3 {
+                    // a stalled writer: holds its lane far past the deadline
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                }
+                a.write(i, 7);
+            },
+        );
+        assert_eq!(out.abort, Some(AbortReason::Timeout));
+        assert!(out.reexecuted_sequentially);
+        assert!(arr.snapshot().iter().all(|&v| v == 7), "sequential truth");
+
+        let report = ProfileReport::from_trace(&rec.finish());
+        assert_eq!(report.timeouts, 1, "TimeoutAbort recorded");
+        assert_eq!(report.aborts_timeout, 1, "SpecAbort attributed to timeout");
+        report.check_conservation().expect("laws hold");
+
+        // the same (resident) pool stays reusable after the timeout
+        let arr2 = SpeculativeArray::new(vec![0i64; 64]);
+        let out2 = speculative_while(&pool, 64, &arr2, |_, _| false, |i, a| a.write(i, 1));
+        assert!(out2.committed_parallel);
+        assert_eq!(out2.abort, None);
     }
 
     #[test]

@@ -4,28 +4,113 @@
 //! speculating, restore the checkpoint and re-execute sequentially" — is
 //! only trustworthy if the recovery paths are exercised. This crate
 //! provides the harness: a seedable, one-shot [`FaultPlan`] that workloads
-//! thread through their loop bodies to provoke a panic (optionally after a
-//! delay) at a chosen iteration on a chosen virtual processor, and a
-//! [`corrupt_list_cycle`] helper that mutates a linked-list workload into a
-//! cyclic one so the runaway-dispatcher guards fire.
+//! thread through their loop bodies to provoke a fault at a chosen
+//! iteration on a chosen virtual processor, and a [`corrupt_list_cycle`]
+//! helper that mutates a linked-list workload into a cyclic one so the
+//! runaway-dispatcher guards fire.
+//!
+//! Three in-body fault kinds cover the governor's failure modes:
+//!
+//! * [`FaultKind::Panic`] — a contained exception (the Section 5 rule);
+//! * [`FaultKind::Stall`] — the lane wedges for a duration, exercising
+//!   watchdog deadlines ([`FaultPlan::inject_poll`] sleeps in short
+//!   slices and polls a caller-supplied cancellation predicate, so a
+//!   cancelled stall drains early — the crate stays leaf-only and does
+//!   not depend on the runtime's `CancelFlag` type);
+//! * [`FaultKind::HogWrites`] — the body is asked to issue extra junk
+//!   writes, exercising undo-log budgets (the *workload* performs the
+//!   writes, since only it owns the array).
 //!
 //! Everything is deterministic given the seed: the same plan injects the
 //! same fault at the same place every run, so recovery tests are
 //! reproducible.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 use wlp_list::{ListArena, NodeId};
 
 /// Prefix of every panic message this crate injects, so tests (and humans
 /// reading a trace) can tell an injected fault from a genuine bug.
 pub const PANIC_MESSAGE_PREFIX: &str = "wlp-fault: injected panic";
 
+/// Stall duration used by [`FaultPlan::seeded`] plans.
+pub const SEEDED_STALL: Duration = Duration::from_millis(40);
+
+/// Junk-write count used by [`FaultPlan::seeded`] plans — sized to blow
+/// through any reasonable undo-log budget.
+pub const SEEDED_HOG_WRITES: usize = 4096;
+
+/// What a firing [`FaultPlan`] does to the lane it lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic with [`PANIC_MESSAGE_PREFIX`] in the message — a contained
+    /// exception.
+    Panic,
+    /// Wedge the lane for the duration (cancellable via
+    /// [`FaultPlan::inject_poll`]) — a watchdog-deadline fault.
+    Stall(Duration),
+    /// Ask the body to issue this many extra junk writes — a budget
+    /// fault.
+    HogWrites(usize),
+}
+
+/// The named fault modes the exhibits and the CI fault matrix iterate
+/// over. `Cycle` is structural (apply [`corrupt_list_cycle`] to the
+/// workload's list) rather than an in-body injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// In-body contained panic.
+    Panic,
+    /// In-body lane stall.
+    Stall,
+    /// In-body write hogging.
+    Hog,
+    /// Corrupt the dispatcher list into a cycle.
+    Cycle,
+}
+
+impl FaultMode {
+    /// Parses a mode name as used on exhibit command lines and in CI
+    /// matrix entries.
+    pub fn parse(s: &str) -> Option<FaultMode> {
+        match s {
+            "panic" => Some(FaultMode::Panic),
+            "stall" => Some(FaultMode::Stall),
+            "hog" => Some(FaultMode::Hog),
+            "cycle" => Some(FaultMode::Cycle),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (inverse of [`parse`](FaultMode::parse)).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultMode::Panic => "panic",
+            FaultMode::Stall => "stall",
+            FaultMode::Hog => "hog",
+            FaultMode::Cycle => "cycle",
+        }
+    }
+}
+
+/// What a firing injection asks the calling body to do, beyond what the
+/// injection already did itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a HogWrites action requires the body to issue the junk writes"]
+pub enum FaultAction {
+    /// Nothing fired (or the stall completed/drained inside the call).
+    None,
+    /// The body should issue this many extra junk writes against its
+    /// speculative array.
+    HogWrites(usize),
+}
+
 /// A deterministic fault to inject into a parallel loop.
 ///
 /// A plan matches on `(iteration, vpn)`: `panic_iter` selects the
 /// iteration (`None` never fires), `panic_vpn` optionally restricts the
 /// virtual processor. The plan is **one-shot** — the first matching
-/// [`FaultPlan::inject`] call arms it and panics; re-executions (the
+/// [`FaultPlan::inject`] call arms it and fires; re-executions (the
 /// sequential recovery pass, or a second parallel attempt) run clean.
 /// That is exactly the shape recovery needs: fail once, succeed on retry.
 #[derive(Debug)]
@@ -33,6 +118,7 @@ pub struct FaultPlan {
     panic_iter: Option<usize>,
     panic_vpn: Option<usize>,
     delay_spins: u64,
+    kind: FaultKind,
     fired: AtomicBool,
 }
 
@@ -43,6 +129,7 @@ impl FaultPlan {
             panic_iter: None,
             panic_vpn: None,
             delay_spins: 0,
+            kind: FaultKind::Panic,
             fired: AtomicBool::new(false),
         }
     }
@@ -55,13 +142,32 @@ impl FaultPlan {
         }
     }
 
+    /// Stall for `d` when iteration `k` runs (on any processor).
+    pub fn stall_at(k: usize, d: Duration) -> Self {
+        FaultPlan {
+            panic_iter: Some(k),
+            kind: FaultKind::Stall(d),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Ask for `writes` junk writes when iteration `k` runs (on any
+    /// processor).
+    pub fn hog_at(k: usize, writes: usize) -> Self {
+        FaultPlan {
+            panic_iter: Some(k),
+            kind: FaultKind::HogWrites(writes),
+            ..FaultPlan::none()
+        }
+    }
+
     /// Restricts the fault to virtual processor `vpn`.
     pub fn on_vpn(mut self, vpn: usize) -> Self {
         self.panic_vpn = Some(vpn);
         self
     }
 
-    /// Spins `spins` times before panicking, so the fault lands while
+    /// Spins `spins` times before firing, so the fault lands while
     /// other workers are mid-iteration (widens the window the cancel flag
     /// has to cover).
     pub fn with_delay(mut self, spins: u64) -> Self {
@@ -69,15 +175,35 @@ impl FaultPlan {
         self
     }
 
-    /// Derives a plan from `seed`: a panic at a pseudo-random iteration in
-    /// `0..upper` (on any processor). Deterministic — the same seed always
-    /// yields the same fault site. `upper == 0` yields a plan that never
-    /// fires.
+    /// Derives a panic plan from `seed`: a panic at a pseudo-random
+    /// iteration in `0..upper` (on any processor). Deterministic — the
+    /// same seed always yields the same fault site. `upper == 0` yields a
+    /// plan that never fires.
     pub fn from_seed(seed: u64, upper: usize) -> Self {
-        if upper == 0 {
+        FaultPlan::seeded(FaultMode::Panic, seed, upper)
+    }
+
+    /// Derives a plan of the given `mode` from `seed`, at a
+    /// pseudo-random iteration in `0..upper`. Stalls last
+    /// [`SEEDED_STALL`], hogs issue [`SEEDED_HOG_WRITES`] writes.
+    /// [`FaultMode::Cycle`] has no in-body injection and yields a plan
+    /// that never fires (apply [`corrupt_list_cycle`] instead).
+    pub fn seeded(mode: FaultMode, seed: u64, upper: usize) -> Self {
+        if upper == 0 || mode == FaultMode::Cycle {
             return FaultPlan::none();
         }
-        FaultPlan::panic_at((splitmix64(seed) % upper as u64) as usize)
+        let site = (splitmix64(seed) % upper as u64) as usize;
+        match mode {
+            FaultMode::Panic => FaultPlan::panic_at(site),
+            FaultMode::Stall => FaultPlan::stall_at(site, SEEDED_STALL),
+            FaultMode::Hog => FaultPlan::hog_at(site, SEEDED_HOG_WRITES),
+            FaultMode::Cycle => unreachable!("handled above"),
+        }
+    }
+
+    /// The fault this plan injects when it fires.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
     }
 
     /// Whether the plan would fire at `(iter, vpn)` — the pure predicate,
@@ -96,20 +222,53 @@ impl FaultPlan {
         self.fired.store(false, Ordering::Release);
     }
 
-    /// Injection point: call at the top of a loop body. Panics (with
-    /// [`PANIC_MESSAGE_PREFIX`] in the message) the first time the plan
-    /// matches `(iter, vpn)`; a no-op on every other call.
-    pub fn inject(&self, iter: usize, vpn: usize) {
+    /// Injection point: call at the top of a loop body. Fires the first
+    /// time the plan matches `(iter, vpn)`; a no-op (returning
+    /// [`FaultAction::None`]) on every other call. A [`FaultKind::Stall`]
+    /// sleeps the full duration — use [`inject_poll`] inside cancellable
+    /// regions so a watchdog cancel drains the stall early.
+    ///
+    /// [`inject_poll`]: FaultPlan::inject_poll
+    pub fn inject(&self, iter: usize, vpn: usize) -> FaultAction {
+        self.inject_poll(iter, vpn, &|| false)
+    }
+
+    /// Like [`inject`](FaultPlan::inject), but a [`FaultKind::Stall`]
+    /// sleeps in short slices and returns early once `cancelled` reports
+    /// `true` — the cooperative shape a watchdog-cancelled lane needs.
+    pub fn inject_poll(
+        &self,
+        iter: usize,
+        vpn: usize,
+        cancelled: &dyn Fn() -> bool,
+    ) -> FaultAction {
         if !self.matches(iter, vpn) {
-            return;
+            return FaultAction::None;
         }
         if self.fired.swap(true, Ordering::AcqRel) {
-            return; // one-shot: already fired
+            return FaultAction::None; // one-shot: already fired
         }
         for _ in 0..self.delay_spins {
             std::hint::spin_loop();
         }
-        panic!("{PANIC_MESSAGE_PREFIX} at iter {iter} on vpn {vpn}");
+        match self.kind {
+            FaultKind::Panic => {
+                panic!("{PANIC_MESSAGE_PREFIX} at iter {iter} on vpn {vpn}");
+            }
+            FaultKind::Stall(d) => {
+                const SLICE: Duration = Duration::from_millis(1);
+                let start = Instant::now();
+                loop {
+                    let elapsed = start.elapsed();
+                    if elapsed >= d || cancelled() {
+                        break;
+                    }
+                    std::thread::sleep(SLICE.min(d - elapsed));
+                }
+                FaultAction::None
+            }
+            FaultKind::HogWrites(n) => FaultAction::HogWrites(n),
+        }
     }
 }
 
@@ -145,7 +304,7 @@ mod tests {
     fn none_never_fires() {
         let plan = FaultPlan::none();
         for i in 0..100 {
-            plan.inject(i, i % 4); // must not panic
+            assert_eq!(plan.inject(i, i % 4), FaultAction::None); // must not panic
         }
         assert!(!plan.fired());
     }
@@ -156,7 +315,7 @@ mod tests {
         assert!(plan.matches(7, 2));
         assert!(!plan.matches(7, 1));
         assert!(!plan.matches(6, 2));
-        plan.inject(7, 1); // wrong vpn: no-op
+        let _ = plan.inject(7, 1); // wrong vpn: no-op
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.inject(7, 2)))
             .expect_err("the planned site must panic");
         let msg = err
@@ -164,7 +323,7 @@ mod tests {
             .expect("panic carries a String");
         assert!(msg.contains(PANIC_MESSAGE_PREFIX), "{msg}");
         assert!(plan.fired());
-        plan.inject(7, 2); // one-shot: the re-execution runs clean
+        let _ = plan.inject(7, 2); // one-shot: the re-execution runs clean
         plan.rearm();
         assert!(!plan.fired());
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.inject(7, 2)))
@@ -186,6 +345,67 @@ mod tests {
             .collect();
         assert!(sites.len() > 30, "only {} distinct sites", sites.len());
         assert!(FaultPlan::from_seed(1, 0).panic_iter.is_none());
+    }
+
+    #[test]
+    fn stall_sleeps_the_full_duration_when_uncancelled() {
+        let plan = FaultPlan::stall_at(3, Duration::from_millis(20));
+        let t0 = Instant::now();
+        assert_eq!(plan.inject(3, 0), FaultAction::None);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert!(plan.fired());
+        // one-shot: the retry does not stall again
+        let t1 = Instant::now();
+        let _ = plan.inject(3, 0);
+        assert!(t1.elapsed() < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn cancelled_stall_drains_early() {
+        let plan = FaultPlan::stall_at(0, Duration::from_secs(30));
+        let t0 = Instant::now();
+        // cancel after ~5ms of stalling
+        let deadline = t0 + Duration::from_millis(5);
+        assert_eq!(
+            plan.inject_poll(0, 0, &|| Instant::now() >= deadline),
+            FaultAction::None
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "a cancelled stall must not sleep its full duration"
+        );
+    }
+
+    #[test]
+    fn hog_asks_the_body_for_junk_writes_once() {
+        let plan = FaultPlan::hog_at(5, 128);
+        assert_eq!(plan.inject(4, 0), FaultAction::None);
+        assert_eq!(plan.inject(5, 1), FaultAction::HogWrites(128));
+        assert_eq!(plan.inject(5, 1), FaultAction::None, "one-shot");
+        assert_eq!(plan.kind(), FaultKind::HogWrites(128));
+    }
+
+    #[test]
+    fn seeded_modes_pick_the_same_site_and_their_kind() {
+        let seed = 9u64;
+        let site = match FaultPlan::seeded(FaultMode::Panic, seed, 500).kind() {
+            FaultKind::Panic => FaultPlan::seeded(FaultMode::Panic, seed, 500)
+                .panic_iter
+                .unwrap(),
+            k => panic!("panic mode must plan a panic, got {k:?}"),
+        };
+        let stall = FaultPlan::seeded(FaultMode::Stall, seed, 500);
+        assert_eq!(stall.panic_iter, Some(site));
+        assert_eq!(stall.kind(), FaultKind::Stall(SEEDED_STALL));
+        let hog = FaultPlan::seeded(FaultMode::Hog, seed, 500);
+        assert_eq!(hog.panic_iter, Some(site));
+        assert_eq!(hog.kind(), FaultKind::HogWrites(SEEDED_HOG_WRITES));
+        assert!(FaultPlan::seeded(FaultMode::Cycle, seed, 500)
+            .panic_iter
+            .is_none());
+        assert_eq!(FaultMode::parse("stall"), Some(FaultMode::Stall));
+        assert_eq!(FaultMode::parse("bogus"), None);
+        assert_eq!(FaultMode::Hog.name(), "hog");
     }
 
     #[test]

@@ -22,6 +22,64 @@ pub enum AbortReason {
     Dependence,
     /// An iteration body signalled an exception under speculation.
     Exception,
+    /// A watchdog deadline expired before the region finished.
+    Timeout,
+    /// The speculation's undo-log budget was exhausted.
+    Budget,
+}
+
+/// One rung of the adaptive governor's strategy ladder, shared between
+/// the static cost model (`wlp-core`), the runtime governor
+/// (`wlp-runtime`), and the simulator mirror — demotion decisions and
+/// cost-model decisions speak the same vocabulary.
+///
+/// The ladder is ordered from most to least speculative; [`demoted`]
+/// steps one rung down and [`Sequential`](StrategyChoice::Sequential)
+/// is terminal.
+///
+/// [`demoted`]: StrategyChoice::demoted
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum StrategyChoice {
+    /// Full speculative parallel execution (backups, stamps, PD test).
+    Speculative,
+    /// Windowed/strip speculation: the in-flight span (and with it the
+    /// undo memory and overshoot) is bounded by a window.
+    Windowed,
+    /// Loop distribution: the dispatcher is evaluated sequentially, the
+    /// remainder runs as a DOALL — no speculation to abort.
+    Distribution,
+    /// Plain sequential execution; never fails, terminal.
+    Sequential,
+}
+
+impl StrategyChoice {
+    /// The next rung down the ladder (`Sequential` demotes to itself).
+    pub fn demoted(self) -> StrategyChoice {
+        match self {
+            StrategyChoice::Speculative => StrategyChoice::Windowed,
+            StrategyChoice::Windowed => StrategyChoice::Distribution,
+            StrategyChoice::Distribution | StrategyChoice::Sequential => StrategyChoice::Sequential,
+        }
+    }
+
+    /// The next rung up the ladder (`Speculative` promotes to itself).
+    pub fn promoted(self) -> StrategyChoice {
+        match self {
+            StrategyChoice::Speculative | StrategyChoice::Windowed => StrategyChoice::Speculative,
+            StrategyChoice::Distribution => StrategyChoice::Windowed,
+            StrategyChoice::Sequential => StrategyChoice::Distribution,
+        }
+    }
+
+    /// Short stable name (trace labels, JSON artifacts).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyChoice::Speculative => "speculative",
+            StrategyChoice::Windowed => "windowed",
+            StrategyChoice::Distribution => "distribution",
+            StrategyChoice::Sequential => "sequential",
+        }
+    }
 }
 
 /// One observable action, shared between the threaded runtime and the
@@ -132,6 +190,29 @@ pub enum Event {
         /// Executed iterations whose effects were discarded.
         discarded: u64,
     },
+    /// A watchdog deadline expired: the region was cancelled because the
+    /// lane on `vpn` had not finished after `elapsed` time units.
+    TimeoutAbort {
+        /// Virtual processor of the overdue lane.
+        vpn: u64,
+        /// Time the lane had been running when the watchdog fired, in
+        /// the trace's unit.
+        elapsed: u64,
+    },
+    /// The governor demoted the strategy ladder after a failure storm.
+    Demote {
+        /// Rung the loop was running on.
+        from: StrategyChoice,
+        /// Rung it runs on from now.
+        to: StrategyChoice,
+    },
+    /// The governor re-promoted after a successful probe period.
+    Repromote {
+        /// Rung the loop was running on.
+        from: StrategyChoice,
+        /// Rung it runs on from now.
+        to: StrategyChoice,
+    },
     /// A QUIT was broadcast: iteration `iter` requested termination.
     Quit {
         /// The quitting iteration.
@@ -169,6 +250,9 @@ impl Event {
             Event::UndoRestore { .. } => "undo_restore",
             Event::SpecCommit { .. } => "spec_commit",
             Event::SpecAbort { .. } => "spec_abort",
+            Event::TimeoutAbort { .. } => "timeout_abort",
+            Event::Demote { .. } => "demote",
+            Event::Repromote { .. } => "repromote",
             Event::Quit { .. } => "quit",
             Event::WindowResize { .. } => "window_resize",
             Event::Barrier { .. } => "barrier",

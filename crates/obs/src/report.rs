@@ -67,6 +67,19 @@ pub struct ProfileReport {
     /// Aborts caused by an exception / contained worker fault (the paper's
     /// Section 5 rule: restore the checkpoint, re-execute sequentially).
     pub aborts_exception: u64,
+    /// Aborts caused by a watchdog deadline expiry.
+    pub aborts_timeout: u64,
+    /// Aborts caused by an exhausted speculation (undo-log) budget.
+    pub aborts_budget: u64,
+    /// Watchdog expiries observed (`TimeoutAbort` events). Every expiry
+    /// that interrupts a speculation also produces one
+    /// `SpecAbort{Timeout}`, so usually `timeouts == aborts_timeout`; a
+    /// bare governed DOALL can time out without a speculative abort.
+    pub timeouts: u64,
+    /// Governor demotions observed.
+    pub demotions: u64,
+    /// Governor re-promotions observed.
+    pub repromotions: u64,
     /// QUIT broadcasts observed.
     pub quits: u64,
     /// Barrier episodes observed (summed over processors).
@@ -108,6 +121,11 @@ impl ProfileReport {
             spec_aborts: 0,
             aborts_dependence: 0,
             aborts_exception: 0,
+            aborts_timeout: 0,
+            aborts_budget: 0,
+            timeouts: 0,
+            demotions: 0,
+            repromotions: 0,
             quits: 0,
             barriers: 0,
             window_resizes: 0,
@@ -140,9 +158,14 @@ impl ProfileReport {
                     match reason {
                         crate::event::AbortReason::Dependence => r.aborts_dependence += 1,
                         crate::event::AbortReason::Exception => r.aborts_exception += 1,
+                        crate::event::AbortReason::Timeout => r.aborts_timeout += 1,
+                        crate::event::AbortReason::Budget => r.aborts_budget += 1,
                     }
                     spec_undone += discarded;
                 }
+                Event::TimeoutAbort { .. } => r.timeouts += 1,
+                Event::Demote { .. } => r.demotions += 1,
+                Event::Repromote { .. } => r.repromotions += 1,
                 Event::Quit { .. } => r.quits += 1,
                 Event::Barrier { .. } => r.barriers += 1,
                 Event::WindowResize { .. } => r.window_resizes += 1,
@@ -185,7 +208,10 @@ impl ProfileReport {
     /// Verifies the report's conservation laws:
     ///
     /// * per processor, `busy + lock_wait + idle == makespan`;
-    /// * `committed + undone == executed`.
+    /// * `committed + undone == executed`;
+    /// * the per-reason abort counters partition `spec_aborts`;
+    /// * every timeout-driven speculative abort has its watchdog expiry
+    ///   (`aborts_timeout ≤ timeouts`).
     ///
     /// Returns a description of the first violated law.
     pub fn check_conservation(&self) -> Result<(), String> {
@@ -202,6 +228,27 @@ impl ProfileReport {
             return Err(format!(
                 "committed {} + undone {} != executed {}",
                 self.committed, self.undone, self.executed
+            ));
+        }
+        let by_reason = self.aborts_dependence
+            + self.aborts_exception
+            + self.aborts_timeout
+            + self.aborts_budget;
+        if by_reason != self.spec_aborts {
+            return Err(format!(
+                "abort reasons {} (dep {} + exc {} + timeout {} + budget {}) != spec_aborts {}",
+                by_reason,
+                self.aborts_dependence,
+                self.aborts_exception,
+                self.aborts_timeout,
+                self.aborts_budget,
+                self.spec_aborts
+            ));
+        }
+        if self.aborts_timeout > self.timeouts {
+            return Err(format!(
+                "aborts_timeout {} exceeds observed watchdog expiries {}",
+                self.aborts_timeout, self.timeouts
             ));
         }
         Ok(())
@@ -314,6 +361,89 @@ mod tests {
         assert_eq!(r.aborts_dependence, 1);
         assert_eq!(r.aborts_exception, 2);
         assert_eq!(r.spec_success_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn governor_counters_aggregate_and_conserve() {
+        use crate::event::{AbortReason, StrategyChoice};
+        let trace = Trace {
+            p: 1,
+            makespan: 40,
+            samples: vec![
+                sample(5, 0, Event::TimeoutAbort { vpn: 2, elapsed: 5 }),
+                sample(
+                    6,
+                    0,
+                    Event::SpecAbort {
+                        reason: AbortReason::Timeout,
+                        discarded: 0,
+                    },
+                ),
+                sample(
+                    7,
+                    0,
+                    Event::Demote {
+                        from: StrategyChoice::Speculative,
+                        to: StrategyChoice::Windowed,
+                    },
+                ),
+                sample(10, 0, Event::IterExecuted { iter: 0, cost: 3 }),
+                sample(13, 0, Event::IterExecuted { iter: 1, cost: 3 }),
+                sample(16, 0, Event::IterExecuted { iter: 2, cost: 3 }),
+                sample(19, 0, Event::IterExecuted { iter: 3, cost: 3 }),
+                sample(
+                    20,
+                    0,
+                    Event::SpecAbort {
+                        reason: AbortReason::Budget,
+                        discarded: 4,
+                    },
+                ),
+                sample(
+                    30,
+                    0,
+                    Event::Repromote {
+                        from: StrategyChoice::Windowed,
+                        to: StrategyChoice::Speculative,
+                    },
+                ),
+            ],
+        };
+        let r = ProfileReport::from_trace(&trace);
+        assert_eq!(r.timeouts, 1);
+        assert_eq!(r.aborts_timeout, 1);
+        assert_eq!(r.aborts_budget, 1);
+        assert_eq!(r.demotions, 1);
+        assert_eq!(r.repromotions, 1);
+        assert_eq!(r.spec_aborts, 2);
+        r.check_conservation().expect("laws hold");
+        let json = r.to_json();
+        assert!(json.contains("\"timeouts\":1"), "{json}");
+        assert!(json.contains("\"demotions\":1"), "{json}");
+    }
+
+    #[test]
+    fn conservation_rejects_unattributed_aborts() {
+        use crate::event::AbortReason;
+        let mut r = ProfileReport::from_trace(&Trace {
+            p: 1,
+            makespan: 10,
+            samples: vec![sample(
+                5,
+                0,
+                Event::SpecAbort {
+                    reason: AbortReason::Timeout,
+                    discarded: 0,
+                },
+            )],
+        });
+        // a timeout abort with no watchdog expiry violates the law
+        assert!(r.check_conservation().is_err());
+        r.timeouts = 1;
+        r.check_conservation().expect("now consistent");
+        // an abort not attributed to any reason violates the partition
+        r.spec_aborts += 1;
+        assert!(r.check_conservation().is_err());
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub struct DoacrossOutcome {
     /// callers holding a checkpoint should restore it and re-execute
     /// sequentially.
     pub panic: Option<WorkerPanic>,
+    /// Watchdog verdict, if the region overran its deadline (see
+    /// [`Pool::with_deadline`](crate::pool::Pool::with_deadline)); like a
+    /// panic, it invalidates the executed prefix.
+    pub timeout: Option<crate::pool::WorkerTimeout>,
 }
 
 /// Cross-iteration synchronization state for a DOACROSS pipeline.
@@ -171,6 +175,7 @@ where
         return DoacrossOutcome {
             executed: 0,
             panic: None,
+            timeout: None,
         };
     }
     let wave = Wavefront::new(upper);
@@ -248,9 +253,11 @@ where
         executed.fetch_add(local_exec, Ordering::Relaxed);
     });
 
+    let timeout = pool_out.timeout().cloned();
     DoacrossOutcome {
         executed: executed.load(Ordering::Relaxed),
         panic: fault.take().or_else(|| pool_out.into_first_panic()),
+        timeout,
     }
 }
 

@@ -37,7 +37,7 @@
 //! their checkpoint and fall back to sequential re-execution.
 
 use crate::chunk::ChunkPolicy;
-use crate::pool::{payload_message, CancelFlag, Pool, WorkerPanic};
+use crate::pool::{payload_message, CancelFlag, Pool, PoolOutcome, WorkerPanic, WorkerTimeout};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -72,6 +72,15 @@ pub struct DoallOutcome {
     /// should restore it and re-execute sequentially (the paper's
     /// Section 5 exception rule).
     pub panic: Option<WorkerPanic>,
+    /// Watchdog verdict, if the region overran its [`Deadline`]
+    /// (see [`Pool::with_deadline`]). Like a panic, a timeout means the
+    /// executed prefix is not trustworthy — the overdue lane was cancelled
+    /// mid-iteration — so checkpoint holders should restore and fall back
+    /// to sequential re-execution.
+    ///
+    /// [`Deadline`]: crate::pool::Deadline
+    /// [`Pool::with_deadline`]: crate::pool::Pool::with_deadline
+    pub timeout: Option<WorkerTimeout>,
 }
 
 impl DoallOutcome {
@@ -80,14 +89,37 @@ impl DoallOutcome {
         executed: u64,
         max_started: usize,
         panic: Option<WorkerPanic>,
+        timeout: Option<WorkerTimeout>,
     ) -> Self {
         DoallOutcome {
             quit: (quit != usize::MAX).then_some(quit),
             executed,
             max_started,
             panic,
+            timeout,
         }
     }
+}
+
+/// Splits a drained pool outcome into the watchdog verdict and the first
+/// contained panic. The pool-level [`WorkerTimeout`] cannot know loop
+/// counters, so the overdue lane's last *started* iteration — tracked in
+/// `cursor` by the drivers below — is patched in here.
+fn split_outcome(
+    pool_out: PoolOutcome,
+    fault: &FaultCell,
+    cursor: &[AtomicUsize],
+) -> (Option<WorkerPanic>, Option<WorkerTimeout>) {
+    let timeout = pool_out.timeout().cloned().map(|mut t| {
+        if let Some(i) = cursor.get(t.vpn).map(|c| c.load(Ordering::Relaxed)) {
+            if i != usize::MAX {
+                t.iter = Some(i);
+            }
+        }
+        t
+    });
+    let panic = fault.take().or_else(|| pool_out.into_first_panic());
+    (panic, timeout)
 }
 
 /// Shared QUIT state: the minimum quitting iteration.
@@ -206,6 +238,7 @@ where
     let cancel = CancelFlag::new();
     let fault = FaultCell::new();
     let p = pool.size();
+    let cursor: Vec<AtomicUsize> = (0..p).map(|_| AtomicUsize::new(usize::MAX)).collect();
 
     let pool_out = pool.run_with(&cancel, |vpn| {
         let mut local_exec = 0u64;
@@ -247,6 +280,7 @@ where
                     );
                 }
                 local_max = i + 1;
+                cursor[vpn].store(i, Ordering::Relaxed);
                 let t0 = R::ENABLED.then(Instant::now);
                 let step = match catch_unwind(AssertUnwindSafe(|| body(i, vpn))) {
                     Ok(step) => step,
@@ -283,11 +317,13 @@ where
         max_started.fetch_max(local_max, Ordering::Relaxed);
     });
 
+    let (panic, timeout) = split_outcome(pool_out, &fault, &cursor);
     DoallOutcome::from_parts(
         quit.bound(),
         executed.load(Ordering::Relaxed),
         max_started.load(Ordering::Relaxed),
-        fault.take().or_else(|| pool_out.into_first_panic()),
+        panic,
+        timeout,
     )
 }
 
@@ -307,6 +343,7 @@ where
     let cancel = CancelFlag::new();
     let fault = FaultCell::new();
     let p = pool.size();
+    let cursor: Vec<AtomicUsize> = (0..p).map(|_| AtomicUsize::new(usize::MAX)).collect();
 
     let pool_out = pool.run_with(&cancel, |vpn| {
         let mut local_exec = 0u64;
@@ -314,6 +351,7 @@ where
         let mut i = vpn;
         while i < upper && i <= quit.bound() && !cancel.is_cancelled() {
             local_max = i + 1;
+            cursor[vpn].store(i, Ordering::Relaxed);
             match catch_unwind(AssertUnwindSafe(|| body(i, vpn))) {
                 Ok(Step::Quit) => {
                     local_exec += 1;
@@ -332,11 +370,13 @@ where
         max_started.fetch_max(local_max, Ordering::Relaxed);
     });
 
+    let (panic, timeout) = split_outcome(pool_out, &fault, &cursor);
     DoallOutcome::from_parts(
         quit.bound(),
         executed.load(Ordering::Relaxed),
         max_started.load(Ordering::Relaxed),
-        fault.take().or_else(|| pool_out.into_first_panic()),
+        panic,
+        timeout,
     )
 }
 
@@ -351,6 +391,9 @@ where
     let executed = AtomicU64::new(0);
     let cancel = CancelFlag::new();
     let fault = FaultCell::new();
+    let cursor: Vec<AtomicUsize> = (0..pool.size())
+        .map(|_| AtomicUsize::new(usize::MAX))
+        .collect();
 
     let pool_out = pool.run_with(&cancel, |vpn| {
         let (lo, hi) = pool.block(vpn, upper);
@@ -361,6 +404,7 @@ where
                 break;
             }
             local_max = i + 1;
+            cursor[vpn].store(i, Ordering::Relaxed);
             match catch_unwind(AssertUnwindSafe(|| body(i, vpn))) {
                 Ok(Step::Quit) => {
                     local_exec += 1;
@@ -378,11 +422,13 @@ where
         max_started.fetch_max(local_max, Ordering::Relaxed);
     });
 
+    let (panic, timeout) = split_outcome(pool_out, &fault, &cursor);
     DoallOutcome::from_parts(
         quit.bound(),
         executed.load(Ordering::Relaxed),
         max_started.load(Ordering::Relaxed),
-        fault.take().or_else(|| pool_out.into_first_panic()),
+        panic,
+        timeout,
     )
 }
 
@@ -698,6 +744,37 @@ mod tests {
                 .any(|s| matches!(s.event, Event::ChunkClaimed { .. })),
             "single-iteration grants are plain claims"
         );
+    }
+
+    #[test]
+    fn deadline_overrun_surfaces_timeout_with_the_overdue_iteration() {
+        use crate::pool::Deadline;
+        let pool = Pool::new(4).with_deadline(Deadline::from_millis(25));
+        let out = doall_dynamic(&pool, 1_000_000, |i, _| {
+            if i == 5 {
+                // A stall that never polls anything loop-visible: the
+                // watchdog must cancel issue and blame this iteration.
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            Step::Continue
+        });
+        let to = out.timeout.expect("watchdog verdict must be surfaced");
+        assert_eq!(to.iter, Some(5), "overdue lane's loop counter patched in");
+        assert!(to.elapsed >= std::time::Duration::from_millis(25));
+        assert_eq!(out.panic, None);
+        assert!(
+            out.executed < 1_000_000,
+            "cancellation must stop issue well before the range is exhausted"
+        );
+    }
+
+    #[test]
+    fn deadline_kept_leaves_outcome_clean() {
+        use crate::pool::Deadline;
+        let pool = Pool::new(4).with_deadline(Deadline::from_millis(5_000));
+        let out = doall_dynamic(&pool, 1_000, |_, _| Step::Continue);
+        assert_eq!(out.timeout, None);
+        assert_eq!(out.executed, 1_000);
     }
 
     #[test]

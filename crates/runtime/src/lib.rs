@@ -31,11 +31,17 @@
 //! through its outcome (`DoallOutcome::panic`, `DoacrossOutcome::panic`)
 //! instead of aborting the process — the strategies above restore their
 //! checkpoint and re-execute sequentially.
+//!
+//! Robustness governance: [`pool::Deadline`] arms a per-region watchdog
+//! (timeouts surface as [`pool::WorkerTimeout`] instead of hangs), and
+//! [`governor`] turns the stream of per-attempt outcomes into strategy
+//! demotions and backoff-gated re-promotions.
 
 pub mod barrier;
 pub mod chunk;
 pub mod doacross;
 pub mod doall;
+pub mod governor;
 pub mod pool;
 pub mod reduce;
 pub mod scan;
@@ -49,7 +55,10 @@ pub use doall::{
     doall_dynamic, doall_dynamic_chunked, doall_dynamic_chunked_rec, doall_dynamic_rec,
     doall_static_blocked, doall_static_cyclic, DoallOutcome, Step,
 };
-pub use pool::{payload_message, CancelFlag, Pool, PoolOutcome, WorkerPanic};
+pub use governor::{FailureCounts, Governor, GovernorPolicy, Transition};
+pub use pool::{
+    payload_message, CancelFlag, Deadline, Pool, PoolOutcome, WorkerPanic, WorkerTimeout,
+};
 pub use reduce::{parallel_fold, parallel_min, parallel_min_index};
 pub use scan::{geometric_recurrence_terms, linear_recurrence_terms, parallel_scan_inclusive};
 pub use strip::{

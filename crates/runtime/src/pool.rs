@@ -38,6 +38,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A shared cooperative-cancellation flag — the fault-path analogue of the
 /// software `QUIT` protocol. Raised by the first panicking worker (or by
@@ -63,6 +64,68 @@ impl CancelFlag {
     #[inline]
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A wall-clock budget for one pool region, enforced by a watchdog (see
+/// [`Pool::with_deadline`]). When a region is still running after the
+/// deadline, the watchdog raises the region's [`CancelFlag`] — the
+/// software-QUIT analogue — and the region ends with
+/// [`PoolOutcome::TimedOut`] naming the slowest lane instead of hanging
+/// the caller forever.
+///
+/// Cancellation is cooperative: a lane that never polls the cancel flag
+/// (a truly wedged body) cannot be reaped, only reported. Every
+/// scheduling loop in this crate polls at iteration boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline(Duration);
+
+impl Deadline {
+    /// A deadline of `d` per pool region.
+    pub const fn new(d: Duration) -> Self {
+        Deadline(d)
+    }
+
+    /// Convenience: a deadline of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Deadline(Duration::from_millis(ms))
+    }
+
+    /// The region budget.
+    pub const fn duration(&self) -> Duration {
+        self.0
+    }
+}
+
+/// A watchdog-observed deadline expiry: which lane was still running,
+/// (optionally) which iteration it was on, and for how long the region
+/// had been running when the watchdog fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerTimeout {
+    /// Virtual processor number of the overdue lane (the lowest-numbered
+    /// lane that had not finished when the deadline expired).
+    pub vpn: usize,
+    /// Iteration the lane was executing, when the containing construct
+    /// knows it (`None` for timeouts observed at the pool boundary).
+    pub iter: Option<usize>,
+    /// How long the region had been running when the watchdog fired.
+    pub elapsed: Duration,
+}
+
+impl std::fmt::Display for WorkerTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.iter {
+            Some(i) => write!(
+                f,
+                "worker {} exceeded the region deadline at iteration {} ({:?} elapsed)",
+                self.vpn, i, self.elapsed
+            ),
+            None => write!(
+                f,
+                "worker {} exceeded the region deadline ({:?} elapsed)",
+                self.vpn, self.elapsed
+            ),
+        }
     }
 }
 
@@ -121,26 +184,50 @@ pub enum PoolOutcome {
     Cancelled,
     /// At least one worker panicked; payloads in vpn order.
     Panicked(Vec<WorkerPanic>),
+    /// The region's [`Deadline`] expired before every lane finished. The
+    /// watchdog raised the cancel flag and the region drained; panics
+    /// contained on the way out ride along in vpn order.
+    TimedOut {
+        /// The overdue lane the watchdog observed.
+        timeout: WorkerTimeout,
+        /// Panics contained while the region drained (usually empty).
+        panics: Vec<WorkerPanic>,
+    },
 }
 
 impl PoolOutcome {
-    /// Whether the run completed with no panic and no cancellation.
+    /// Whether the run completed with no panic, no cancellation and no
+    /// deadline expiry.
     pub fn is_clean(&self) -> bool {
         matches!(self, PoolOutcome::Clean)
     }
 
-    /// The contained panics (empty unless [`PoolOutcome::Panicked`]).
+    /// The contained panics (empty unless [`PoolOutcome::Panicked`] or a
+    /// [`PoolOutcome::TimedOut`] that also contained panics).
     pub fn panics(&self) -> &[WorkerPanic] {
         match self {
             PoolOutcome::Panicked(ps) => ps,
+            PoolOutcome::TimedOut { panics, .. } => panics,
             _ => &[],
+        }
+    }
+
+    /// The watchdog expiry, when the region timed out.
+    pub fn timeout(&self) -> Option<&WorkerTimeout> {
+        match self {
+            PoolOutcome::TimedOut { timeout, .. } => Some(timeout),
+            _ => None,
         }
     }
 
     /// Consumes the outcome, yielding the first contained panic if any.
     pub fn into_first_panic(self) -> Option<WorkerPanic> {
         match self {
-            PoolOutcome::Panicked(mut ps) if !ps.is_empty() => Some(ps.remove(0)),
+            PoolOutcome::Panicked(mut ps) | PoolOutcome::TimedOut { panics: mut ps, .. }
+                if !ps.is_empty() =>
+            {
+                Some(ps.remove(0))
+            }
             _ => None,
         }
     }
@@ -325,6 +412,7 @@ fn worker_loop(shared: &Shared, vpn: usize) {
 pub struct Pool {
     workers: usize,
     resident: Option<Arc<Resident>>,
+    deadline: Option<Deadline>,
 }
 
 impl Pool {
@@ -339,6 +427,7 @@ impl Pool {
         Pool {
             workers: p,
             resident,
+            deadline: None,
         }
     }
 
@@ -350,7 +439,27 @@ impl Pool {
         Pool {
             workers: p,
             resident: None,
+            deadline: None,
         }
+    }
+
+    /// A handle to the same pool (same resident workers) whose regions
+    /// are guarded by a watchdog: any region still running after `d`
+    /// gets its cancel flag raised and ends with
+    /// [`PoolOutcome::TimedOut`]. Because every construct in this crate
+    /// takes the pool by reference, this threads deadlines through
+    /// DOALL/strip/window/speculation with no signature changes.
+    pub fn with_deadline(&self, d: Deadline) -> Pool {
+        Pool {
+            deadline: Some(d),
+            ..self.clone()
+        }
+    }
+
+    /// The watchdog deadline guarding this handle's regions, if any.
+    #[inline]
+    pub fn deadline(&self) -> Option<Deadline> {
+        self.deadline
     }
 
     /// Number of workers (the paper's `nproc`).
@@ -381,7 +490,16 @@ impl Pool {
     where
         F: Fn(usize) + Sync,
     {
-        let panics = if self.workers == 1 {
+        match self.deadline {
+            None => Self::outcome(self.dispatch(cancel, &f), None, cancel),
+            Some(d) => self.run_watched(d, cancel, &f),
+        }
+    }
+
+    /// Routes one region to the right execution mode (inline, resident,
+    /// or spawn-per-region) and returns the contained panics.
+    fn dispatch(&self, cancel: &CancelFlag, f: &(dyn Fn(usize) + Sync)) -> Vec<WorkerPanic> {
+        if self.workers == 1 {
             let mut panics = Vec::new();
             if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(0))) {
                 cancel.cancel();
@@ -397,20 +515,153 @@ impl Pool {
                 .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
         }) {
-            let panics = self.run_resident(res, cancel, &f);
+            let panics = self.run_resident(res, cancel, f);
             res.in_region.store(false, Ordering::Release);
             panics
         } else {
             // spawn-per-region: explicit mode, nested region, or a racing
             // leader on the same resident pool
-            self.run_spawned(cancel, &f)
+            self.run_spawned(cancel, f)
+        }
+    }
+
+    /// One region under a watchdog: a monitor thread raises the cancel
+    /// flag when the deadline expires with any lane unfinished, recording
+    /// the lowest overdue vpn. Cancellation stays cooperative — the
+    /// leader still waits for every lane to drain (a body that never
+    /// polls the flag cannot be reaped, only reported) — so the resident
+    /// workers stay reusable after a timeout exactly as after a panic.
+    fn run_watched(
+        &self,
+        d: Deadline,
+        cancel: &CancelFlag,
+        f: &(dyn Fn(usize) + Sync),
+    ) -> PoolOutcome {
+        struct Watch {
+            /// Per-lane completion flags, set by a drop guard so a
+            /// panicking lane still counts as finished.
+            lanes: Vec<AtomicBool>,
+            /// The watchdog's verdict, if it fired.
+            victim: std::sync::Mutex<Option<WorkerTimeout>>,
+            /// Region-finished handshake (std sync: the monitor needs a
+            /// timed condvar wait).
+            done: std::sync::Mutex<bool>,
+            cv: std::sync::Condvar,
+        }
+        let watch = Arc::new(Watch {
+            lanes: (0..self.workers).map(|_| AtomicBool::new(false)).collect(),
+            victim: std::sync::Mutex::new(None),
+            done: std::sync::Mutex::new(false),
+            cv: std::sync::Condvar::new(),
+        });
+        let start = Instant::now();
+        // SAFETY: lifetime-erased only. The monitor thread is joined
+        // below, before this function returns, so it can never observe
+        // the flag after the caller's borrow ends.
+        let cancel_static =
+            unsafe { std::mem::transmute::<&CancelFlag, &'static CancelFlag>(cancel) };
+        let monitor = {
+            let watch = Arc::clone(&watch);
+            let expiry = start + d.duration();
+            std::thread::Builder::new()
+                .name("wlp-watchdog".into())
+                .spawn(move || {
+                    let mut done = watch.done.lock().unwrap_or_else(|e| e.into_inner());
+                    loop {
+                        if *done {
+                            return;
+                        }
+                        let remaining = expiry.saturating_duration_since(Instant::now());
+                        let (g, res) = watch
+                            .cv
+                            .wait_timeout(done, remaining)
+                            .unwrap_or_else(|e| e.into_inner());
+                        done = g;
+                        if *done {
+                            return;
+                        }
+                        if res.timed_out() {
+                            let overdue =
+                                watch.lanes.iter().position(|l| !l.load(Ordering::Acquire));
+                            let Some(overdue) = overdue else {
+                                // Every lane finished right at the expiry;
+                                // the region beat the deadline after all.
+                                return;
+                            };
+                            let elapsed = start.elapsed();
+                            cancel_static.cancel();
+                            // Grace re-scan: cooperative lanes drain within
+                            // moments of the cancel, so whoever is still
+                            // unfinished afterwards is the actual stall —
+                            // not merely the lowest lane that happened to be
+                            // mid-iteration when the deadline expired.
+                            let grace_expiry =
+                                Instant::now() + (d.duration() / 4).min(Duration::from_millis(5));
+                            while !*done {
+                                let rem = grace_expiry.saturating_duration_since(Instant::now());
+                                if rem.is_zero() {
+                                    break;
+                                }
+                                let (g, _) = watch
+                                    .cv
+                                    .wait_timeout(done, rem)
+                                    .unwrap_or_else(|e| e.into_inner());
+                                done = g;
+                            }
+                            let vpn = watch
+                                .lanes
+                                .iter()
+                                .position(|l| !l.load(Ordering::Acquire))
+                                .unwrap_or(overdue);
+                            *watch.victim.lock().unwrap_or_else(|e| e.into_inner()) =
+                                Some(WorkerTimeout {
+                                    vpn,
+                                    iter: None,
+                                    elapsed,
+                                });
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn watchdog thread")
         };
-        if !panics.is_empty() {
-            PoolOutcome::Panicked(panics)
-        } else if cancel.is_cancelled() {
-            PoolOutcome::Cancelled
-        } else {
-            PoolOutcome::Clean
+        let lanes = &watch.lanes;
+        let panics = self.dispatch(cancel, &|vpn: usize| {
+            struct LaneGuard<'a>(&'a AtomicBool);
+            impl Drop for LaneGuard<'_> {
+                fn drop(&mut self) {
+                    self.0.store(true, Ordering::Release);
+                }
+            }
+            let _finished = LaneGuard(&lanes[vpn]);
+            f(vpn);
+        });
+        {
+            let mut done = watch.done.lock().unwrap_or_else(|e| e.into_inner());
+            *done = true;
+            watch.cv.notify_all();
+        }
+        let _ = monitor.join();
+        let timeout = watch
+            .victim
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        Self::outcome(panics, timeout, cancel)
+    }
+
+    /// Classifies a drained region: a watchdog verdict trumps panics,
+    /// panics trump cooperative cancellation.
+    fn outcome(
+        panics: Vec<WorkerPanic>,
+        timeout: Option<WorkerTimeout>,
+        cancel: &CancelFlag,
+    ) -> PoolOutcome {
+        match timeout {
+            Some(timeout) => PoolOutcome::TimedOut { timeout, panics },
+            None if !panics.is_empty() => PoolOutcome::Panicked(panics),
+            None if cancel.is_cancelled() => PoolOutcome::Cancelled,
+            None => PoolOutcome::Clean,
         }
     }
 
@@ -796,6 +1047,77 @@ mod tests {
         let out = pool.run_with(&cancel, |_| cancel.cancel());
         assert_eq!(out, PoolOutcome::Cancelled);
         assert!(!out.is_clean());
+    }
+
+    #[test]
+    fn watchdog_times_out_a_stalling_lane_and_reports_the_vpn() {
+        let pool = Pool::new(4);
+        let guarded = pool.with_deadline(Deadline::from_millis(20));
+        assert!(guarded.is_resident(), "deadline handle shares the workers");
+        let cancel = CancelFlag::new();
+        let out = guarded.run_with(&cancel, |vpn| {
+            if vpn == 2 {
+                // cooperative stall: spin until the watchdog raises QUIT
+                while !cancel.is_cancelled() {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let to = out.timeout().expect("watchdog must fire").clone();
+        assert_eq!(to.vpn, 2, "lowest unfinished lane");
+        assert!(to.elapsed >= Duration::from_millis(20));
+        assert!(out.panics().is_empty());
+        assert!(!out.is_clean());
+        assert!(cancel.is_cancelled());
+
+        // the same resident workers keep serving regions afterwards
+        let clean = pool.run_with(&CancelFlag::new(), |_| {});
+        assert_eq!(clean, PoolOutcome::Clean);
+        let watched_clean = guarded.run_with(&CancelFlag::new(), |_| {});
+        assert_eq!(watched_clean, PoolOutcome::Clean);
+    }
+
+    #[test]
+    fn fast_region_under_deadline_stays_clean() {
+        let pool = Pool::new(3).with_deadline(Deadline::from_millis(5_000));
+        let hits = AtomicUsize::new(0);
+        let out = pool.run_with(&CancelFlag::new(), |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(out, PoolOutcome::Clean);
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn watchdog_timeout_carries_concurrent_panics() {
+        let pool = Pool::new(4).with_deadline(Deadline::from_millis(20));
+        let cancel = CancelFlag::new();
+        let out = pool.run_with(&cancel, |vpn| {
+            if vpn == 1 {
+                while !cancel.is_cancelled() {
+                    std::hint::spin_loop();
+                }
+                panic!("stalled lane gives up");
+            }
+        });
+        assert!(out.timeout().is_some(), "timeout classification wins");
+        assert_eq!(out.panics().len(), 1);
+        assert_eq!(out.panics()[0].vpn, 1);
+        let wp = out.into_first_panic().expect("panic still retrievable");
+        assert_eq!(wp.message, "stalled lane gives up");
+    }
+
+    #[test]
+    fn single_worker_deadline_cancels_inline_run() {
+        let pool = Pool::new(1).with_deadline(Deadline::from_millis(20));
+        let cancel = CancelFlag::new();
+        let out = pool.run_with(&cancel, |_| {
+            while !cancel.is_cancelled() {
+                std::hint::spin_loop();
+            }
+        });
+        let to = out.timeout().expect("inline lane is watched too");
+        assert_eq!(to.vpn, 0);
     }
 
     #[test]

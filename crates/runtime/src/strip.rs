@@ -149,6 +149,7 @@ where
     let mut quit: Option<usize> = None;
     let mut strips_run = 0usize;
     let mut panic = None;
+    let mut timeout = None;
 
     let mut lo = 0usize;
     while lo < upper {
@@ -167,6 +168,14 @@ where
             // re-base the per-strip iteration index, like ShiftedRecorder
             wp.iter = wp.iter.map(|i| lo + i);
             panic = Some(wp);
+        }
+        if let Some(mut to) = out.timeout {
+            to.iter = to.iter.map(|i| lo + i);
+            timeout = Some(to);
+        }
+        if panic.is_some() || timeout.is_some() {
+            // A faulted or overdue strip ends the run — like a panic, the
+            // executed prefix is no longer trustworthy.
             break;
         }
         if let Some(q) = out.quit {
@@ -182,6 +191,7 @@ where
             executed,
             max_started,
             panic,
+            timeout,
         },
         strips_run,
     }

@@ -78,8 +78,27 @@ impl WindowScheduler {
     /// Returns `None` when the iteration space or the quit bound is
     /// exhausted.
     pub fn claim(&self) -> Option<usize> {
+        self.claim_inner(None)
+    }
+
+    /// [`claim`](WindowScheduler::claim) that also honours an external
+    /// [`CancelFlag`]: a lane blocked on window admission wakes
+    /// periodically to poll the flag, so a watchdog cancel (which only
+    /// raises the flag — it cannot reach this condvar) still drains the
+    /// region instead of stranding peers behind a stalled low watermark.
+    pub fn claim_watched(&self, cancel: &CancelFlag) -> Option<usize> {
+        self.claim_inner(Some(cancel))
+    }
+
+    fn claim_inner(&self, cancel: Option<&CancelFlag>) -> Option<usize> {
         let mut st = self.state.lock();
         loop {
+            if let Some(c) = cancel {
+                if c.is_cancelled() && !st.cancelled {
+                    st.cancelled = true;
+                    self.cv.notify_all();
+                }
+            }
             if st.cancelled || st.next >= self.upper || st.next > st.quit {
                 // Wake any peers blocked on the window so they can also see
                 // the end condition.
@@ -94,7 +113,14 @@ impl WindowScheduler {
                 st.max_span = st.max_span.max(span);
                 return Some(i);
             }
-            self.cv.wait(&mut st);
+            match cancel {
+                None => self.cv.wait(&mut st),
+                Some(_) => {
+                    // Timed wait: bounded staleness for the cancel poll.
+                    self.cv
+                        .wait_for(&mut st, std::time::Duration::from_millis(1));
+                }
+            }
         }
     }
 
@@ -251,6 +277,10 @@ where
     let max_started = std::sync::atomic::AtomicUsize::new(0);
     let cancel = CancelFlag::new();
     let fault = FaultCell::new();
+    let watched = pool.deadline().is_some();
+    let cursor: Vec<std::sync::atomic::AtomicUsize> = (0..pool.size())
+        .map(|_| std::sync::atomic::AtomicUsize::new(usize::MAX))
+        .collect();
     if R::ENABLED {
         rec.record(
             0,
@@ -264,7 +294,11 @@ where
         let mut local_max = 0usize;
         loop {
             let t0 = R::ENABLED.then(Instant::now);
-            let claimed = sched.claim();
+            let claimed = if watched {
+                sched.claim_watched(&cancel)
+            } else {
+                sched.claim()
+            };
             if R::ENABLED {
                 let dur = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 rec.record(vpn, Event::LockWait { dur });
@@ -280,6 +314,7 @@ where
             }
             let Some(i) = claimed else { break };
             local_max = local_max.max(i + 1);
+            cursor[vpn].store(i, std::sync::atomic::Ordering::Relaxed);
             let t1 = R::ENABLED.then(Instant::now);
             let step = match catch_unwind(AssertUnwindSafe(|| body(i, vpn))) {
                 Ok(step) => step,
@@ -318,12 +353,24 @@ where
         executed.fetch_add(local_exec, std::sync::atomic::Ordering::Relaxed);
         max_started.fetch_max(local_max, std::sync::atomic::Ordering::Relaxed);
     });
+    let timeout = pool_out.timeout().cloned().map(|mut t| {
+        if let Some(i) = cursor
+            .get(t.vpn)
+            .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+        {
+            if i != usize::MAX {
+                t.iter = Some(i);
+            }
+        }
+        t
+    });
     (
         DoallOutcome {
             quit: sched.quit(),
             executed: executed.load(std::sync::atomic::Ordering::Relaxed),
             max_started: max_started.load(std::sync::atomic::Ordering::Relaxed),
             panic: fault.take().or_else(|| pool_out.into_first_panic()),
+            timeout,
         },
         sched.max_span(),
     )

@@ -209,6 +209,17 @@ pub struct ExecConfig {
     pub max_engine_steps: Option<u64>,
     /// Self-scheduling grant size for dynamic DOALL loops.
     pub chunk: ChunkPolicy,
+    /// Watchdog deadline in engine cycles — the simulator's mirror of the
+    /// runtime's `Deadline`: an iteration whose body would run longer than
+    /// this wedges its lane, the region is cancelled and the attempt
+    /// aborts with a timeout instead of stretching the makespan without
+    /// bound. `None` = no watchdog.
+    pub deadline_ticks: Option<u64>,
+    /// Undo-log budget in stamped writes — the mirror of
+    /// `SpeculativeArray::with_budget`: a speculative attempt whose
+    /// stamped-write total exceeds this aborts with a budget trip instead
+    /// of growing speculation state without bound. `None` = unbounded.
+    pub budget_writes: Option<u64>,
 }
 
 impl ExecConfig {
@@ -223,22 +234,16 @@ impl ExecConfig {
         ExecConfig {
             backup_elems,
             stamp_writes: true,
-            pd_shadow: false,
             undo_overshoot: true,
-            max_engine_steps: None,
-            chunk: ChunkPolicy::One,
+            ..ExecConfig::default()
         }
     }
 
     /// Full speculation: undo machinery plus the PD test.
     pub fn with_pd(backup_elems: u64) -> Self {
         ExecConfig {
-            backup_elems,
-            stamp_writes: true,
             pd_shadow: true,
-            undo_overshoot: true,
-            max_engine_steps: None,
-            chunk: ChunkPolicy::One,
+            ..ExecConfig::with_undo(backup_elems)
         }
     }
 
@@ -251,6 +256,20 @@ impl ExecConfig {
     /// Selects the self-scheduling grant size for dynamic DOALLs.
     pub fn with_chunk(mut self, chunk: ChunkPolicy) -> Self {
         self.chunk = chunk;
+        self
+    }
+
+    /// Arms the simulated watchdog: lanes wedged longer than `ticks`
+    /// cancel the region.
+    pub fn with_deadline_ticks(mut self, ticks: u64) -> Self {
+        self.deadline_ticks = Some(ticks);
+        self
+    }
+
+    /// Bounds the undo log: speculative attempts stamping more than
+    /// `writes` abort with a budget trip.
+    pub fn with_write_budget(mut self, writes: u64) -> Self {
+        self.budget_writes = Some(writes);
         self
     }
 }
@@ -302,6 +321,14 @@ mod tests {
             ExecConfig::bare().with_chunk(ChunkPolicy::Fixed(8)).chunk,
             ChunkPolicy::Fixed(8)
         );
+        assert_eq!(ExecConfig::bare().deadline_ticks, None);
+        assert_eq!(ExecConfig::bare().budget_writes, None);
+        let governed = ExecConfig::with_pd(64)
+            .with_deadline_ticks(500)
+            .with_write_budget(32);
+        assert_eq!(governed.deadline_ticks, Some(500));
+        assert_eq!(governed.budget_writes, Some(32));
+        assert!(governed.pd_shadow && governed.stamp_writes);
     }
 
     #[test]

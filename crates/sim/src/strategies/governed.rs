@@ -1,0 +1,400 @@
+//! The adaptive-governor mirror: a sequence of governed loop instances
+//! replayed on the simulated machine.
+//!
+//! [`sim_governed`] drives the *same* [`Governor`] the threaded runtime
+//! uses (`wlp-runtime` is a dependency precisely so the demotion ladder,
+//! backoff arithmetic and failure attribution cannot drift between the
+//! two worlds). Each round executes one loop instance on the governor's
+//! current rung:
+//!
+//! * `Speculative` — full speculation (stamps + PD) over the whole range;
+//! * `Windowed` — the same through the degraded sliding window
+//!   (announced with an [`Event::WindowResize`]);
+//! * `Distribution` — the run-twice scheme: a parallel terminator pass,
+//!   a barrier, then the known-range body DOALL;
+//! * `Sequential` — one processor, no speculation events, never fails.
+//!
+//! Failures come from the [`LoopSpec`] and [`ExecConfig`], exactly as in
+//! the threaded runtime: an iteration whose body cost exceeds
+//! `cfg.deadline_ticks` wedges its lane (the watchdog cancels the region,
+//! charging the victim the deadline and emitting [`Event::TimeoutAbort`]),
+//! and a round whose stamped writes exceed `cfg.budget_writes` trips the
+//! undo-log budget at the next iteration boundary. An aborted round
+//! restores the checkpoint ([`Event::UndoRestore`] + [`Event::SpecAbort`]
+//! with the actual reason) and charges the sequential re-execution —
+//! which, like the threaded `run_sequential`, records no per-iteration
+//! events, so the trace's conservation laws
+//! ([`ProfileReport::check_conservation`]) hold by construction.
+//!
+//! [`ProfileReport::check_conservation`]: wlp_obs::ProfileReport::check_conservation
+
+use crate::engine::{Engine, Report, TimedMin};
+use crate::spec::{ExecConfig, LoopSpec, Overheads};
+use wlp_obs::{AbortReason, Event, StrategyChoice, Trace};
+use wlp_runtime::{Governor, GovernorPolicy};
+
+use super::common::td_cost;
+
+/// What a governed simulation run produced, beyond the engine report.
+#[derive(Debug)]
+pub struct GovernedSimOutcome {
+    /// Makespan/busy/executed aggregates across all rounds.
+    pub report: Report,
+    /// The rung each round ran on, in order.
+    pub rungs: Vec<StrategyChoice>,
+    /// Each round's abort reason (`None` = the round's result was kept).
+    pub aborts: Vec<Option<AbortReason>>,
+    /// Demotions the governor decided across the run.
+    pub demotions: u64,
+    /// Re-promotion probes the governor decided across the run.
+    pub repromotions: u64,
+    /// The rung the governor ended on.
+    pub final_rung: StrategyChoice,
+    /// Whether the governor can no longer move up the ladder.
+    pub terminal: bool,
+}
+
+/// [`sim_governed_traced`] without keeping the trace.
+pub fn sim_governed(
+    p: usize,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+    policy: GovernorPolicy,
+    rounds: usize,
+) -> GovernedSimOutcome {
+    let mut eng = Engine::new(p);
+    run_governed(&mut eng, spec, oh, cfg, policy, rounds)
+}
+
+/// Replays `rounds` instances of `spec` under a [`Governor`] with
+/// `policy`, returning the outcome and the recorded [`Trace`] (same event
+/// schema as the threaded runtime — `ProfileReport::from_trace` applies).
+pub fn sim_governed_traced(
+    p: usize,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+    policy: GovernorPolicy,
+    rounds: usize,
+) -> (GovernedSimOutcome, Trace) {
+    let mut eng = Engine::new_observed(p);
+    let out = run_governed(&mut eng, spec, oh, cfg, policy, rounds);
+    let trace = eng.finish_obs_trace();
+    (out, trace)
+}
+
+fn run_governed(
+    eng: &mut Engine,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+    policy: GovernorPolicy,
+    rounds: usize,
+) -> GovernedSimOutcome {
+    eng.set_step_budget(cfg.max_engine_steps);
+    let mut gov = Governor::new(policy);
+    let mut rungs = Vec::with_capacity(rounds);
+    let mut aborts = Vec::with_capacity(rounds);
+    let mut executed_total = 0u64;
+    let quit = TimedMin::new();
+
+    for _ in 0..rounds {
+        let rung = gov.current();
+        rungs.push(rung);
+        let abort = match rung {
+            StrategyChoice::Speculative => governed_round(eng, spec, oh, cfg, &mut executed_total),
+            StrategyChoice::Windowed => {
+                eng.emit(
+                    0,
+                    Event::WindowResize {
+                        window: gov.degraded_window() as u64,
+                    },
+                );
+                governed_round(eng, spec, oh, cfg, &mut executed_total)
+            }
+            StrategyChoice::Distribution => {
+                // run-twice pass 1: the terminator over the whole range,
+                // distributed — one claim + one test per iteration
+                let scan = spec.upper as u64 * (oh.t_dispatch + oh.t_term);
+                eng.parallel_phase(scan);
+                eng.barrier(oh.t_barrier);
+                governed_round(eng, spec, oh, cfg, &mut executed_total)
+            }
+            StrategyChoice::Sequential => {
+                // the caller's thread, direct access: no speculation
+                // machinery, no per-iteration events — mirrors the
+                // threaded sequential rung
+                let total: u64 = (0..spec.work_end())
+                    .map(|i| oh.t_next + oh.t_term + (spec.work)(i))
+                    .sum();
+                eng.work(0, total);
+                None
+            }
+        };
+        aborts.push(abort);
+        let transition = match abort {
+            Some(reason) => gov.record_failure(reason),
+            None => gov.record_success(),
+        };
+        if let Some(t) = transition {
+            let ev = if t.is_demotion() {
+                Event::Demote {
+                    from: t.from,
+                    to: t.to,
+                }
+            } else {
+                Event::Repromote {
+                    from: t.from,
+                    to: t.to,
+                }
+            };
+            eng.emit(0, ev);
+        }
+        eng.barrier(oh.t_barrier);
+    }
+
+    let report = Report {
+        p: eng.p(),
+        makespan: eng.makespan(),
+        busy: eng.busy().to_vec(),
+        executed: executed_total,
+        last_valid: quit
+            .final_min()
+            .or(spec.exit_at.filter(|&e| e < spec.upper)),
+        overshoot: 0,
+        hops: 0,
+        diverged: eng.budget_exhausted(),
+    };
+    GovernedSimOutcome {
+        report,
+        rungs,
+        aborts,
+        demotions: gov.demotions(),
+        repromotions: gov.repromotions(),
+        final_rung: gov.current(),
+        terminal: gov.is_terminal(),
+    }
+}
+
+/// One parallel speculative attempt: a dynamic one-at-a-time DOALL over
+/// `0..work_end()` with watchdog and budget checks at the same points the
+/// threaded runtime polls them. Returns the abort reason, `None` on
+/// commit. Charges the restore + sequential re-execution itself when the
+/// attempt aborts.
+fn governed_round(
+    eng: &mut Engine,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    cfg: &ExecConfig,
+    executed_total: &mut u64,
+) -> Option<AbortReason> {
+    let p = eng.p();
+    let end = spec.work_end();
+    if cfg.backup_elems > 0 {
+        eng.parallel_phase_with(cfg.backup_elems * oh.t_backup, |proc, share| {
+            Event::Backup {
+                elems: if proc == 0 { cfg.backup_elems } else { 0 },
+                cost: share,
+            }
+        });
+        eng.barrier(oh.t_barrier);
+    }
+
+    let mut claim = 0usize;
+    let mut stamped = 0u64;
+    let mut stamped_elems = 0u64;
+    let mut executed = 0u64;
+    let mut accesses = 0u64;
+    let mut abort: Option<AbortReason> = None;
+    let mut runnable = vec![true; p];
+    while let Some(proc) = eng.next_proc(&runnable) {
+        // iteration-boundary polls: a tripped budget (or a cancelled
+        // region) stops further claims, exactly like `Step::Quit`
+        if claim >= end || abort.is_some() {
+            runnable[proc] = false;
+            continue;
+        }
+        let i = claim;
+        claim += 1;
+        eng.charge(proc, oh.t_dispatch, |c| Event::IterClaimed {
+            iter: i as u64,
+            cost: c,
+        });
+        let body = oh.t_term + (spec.work)(i) + td_cost(spec, oh, cfg, i);
+        if let Some(dl) = cfg.deadline_ticks {
+            if body > dl {
+                // the lane wedges: the watchdog fires after `dl` ticks,
+                // cancels the region, and blames this lane
+                eng.work(proc, dl);
+                eng.emit(
+                    proc,
+                    Event::TimeoutAbort {
+                        vpn: proc as u64,
+                        elapsed: dl,
+                    },
+                );
+                abort = Some(AbortReason::Timeout);
+                continue;
+            }
+        }
+        eng.charge(proc, body, |c| Event::IterExecuted {
+            iter: i as u64,
+            cost: c,
+        });
+        executed += 1;
+        let w = (spec.writes)(i);
+        accesses += w + (spec.reads)(i);
+        if cfg.stamp_writes {
+            stamped += w;
+            stamped_elems += w;
+            if let Some(b) = cfg.budget_writes {
+                if stamped > b {
+                    abort = Some(AbortReason::Budget);
+                }
+            }
+        }
+    }
+    eng.barrier(oh.t_barrier);
+    *executed_total += executed;
+
+    match abort {
+        Some(reason) => {
+            // Section 5: restore the checkpoint, attribute the abort,
+            // re-execute sequentially (direct access: no events, exactly
+            // like the threaded `run_sequential`)
+            eng.parallel_phase_with(stamped_elems * oh.t_restore, |proc, share| {
+                Event::UndoRestore {
+                    elems: if proc == 0 { stamped_elems } else { 0 },
+                    cost: share,
+                }
+            });
+            eng.emit(
+                0,
+                Event::SpecAbort {
+                    reason,
+                    discarded: executed,
+                },
+            );
+            let seq: u64 = (0..end)
+                .map(|i| oh.t_next + oh.t_term + (spec.work)(i))
+                .sum();
+            eng.work(0, seq);
+            Some(reason)
+        }
+        None => {
+            if cfg.pd_shadow {
+                eng.parallel_phase_with(accesses * oh.t_analysis, |proc, share| Event::PdAnalyze {
+                    accesses: if proc == 0 { accesses } else { 0 },
+                    cost: share,
+                });
+            }
+            eng.emit(
+                0,
+                Event::SpecCommit {
+                    committed: executed,
+                    undone: 0,
+                },
+            );
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlp_obs::ProfileReport;
+
+    fn policy() -> GovernorPolicy {
+        GovernorPolicy {
+            demote_threshold: 2,
+            initial_backoff: 2,
+            max_backoff: 8,
+            ..GovernorPolicy::default()
+        }
+    }
+
+    #[test]
+    fn clean_rounds_stay_on_the_top_rung() {
+        let spec = LoopSpec::uniform(64, 10);
+        let (out, trace) = sim_governed_traced(
+            4,
+            &spec,
+            &Overheads::default(),
+            &ExecConfig::with_pd(64),
+            policy(),
+            10,
+        );
+        assert!(out.rungs.iter().all(|&r| r == StrategyChoice::Speculative));
+        assert!(out.aborts.iter().all(|a| a.is_none()));
+        assert_eq!(out.demotions, 0);
+        let report = ProfileReport::from_trace(&trace);
+        report.check_conservation().expect("laws hold");
+        assert_eq!(report.spec_commits, 10);
+        assert_eq!(report.spec_aborts, 0);
+    }
+
+    #[test]
+    fn a_wedged_iteration_times_out_and_demotes_the_ladder() {
+        // iteration 5 costs 10_000 cycles against a 500-tick deadline:
+        // every parallel rung times out; the sequential rung just pays it
+        let spec = LoopSpec::uniform(64, 10).with_work(|i| if i == 5 { 10_000 } else { 10 });
+        let cfg = ExecConfig::with_pd(64).with_deadline_ticks(500);
+        let (out, trace) = sim_governed_traced(4, &spec, &Overheads::default(), &cfg, policy(), 40);
+        assert_eq!(out.final_rung, StrategyChoice::Sequential);
+        assert!(out.terminal, "backoff cap must end probing");
+        for rung in [
+            StrategyChoice::Speculative,
+            StrategyChoice::Windowed,
+            StrategyChoice::Distribution,
+            StrategyChoice::Sequential,
+        ] {
+            assert!(out.rungs.contains(&rung), "ladder skipped {rung:?}");
+        }
+        let report = ProfileReport::from_trace(&trace);
+        report.check_conservation().expect("laws hold");
+        assert!(report.timeouts > 0);
+        assert_eq!(report.aborts_timeout, report.timeouts);
+        assert_eq!(report.demotions, out.demotions);
+        assert!(report.demotions >= 3, "one per rung walked");
+    }
+
+    #[test]
+    fn a_write_storm_trips_the_budget_and_repromotion_probes_fire() {
+        let spec = LoopSpec::uniform(64, 10);
+        let cfg = ExecConfig::with_pd(64).with_write_budget(8);
+        let pol = GovernorPolicy {
+            demote_threshold: 1,
+            initial_backoff: 1,
+            max_backoff: 64,
+            ..GovernorPolicy::default()
+        };
+        let (out, trace) = sim_governed_traced(4, &spec, &Overheads::default(), &cfg, pol, 30);
+        let report = ProfileReport::from_trace(&trace);
+        report.check_conservation().expect("laws hold");
+        assert!(report.aborts_budget >= 3, "each parallel rung tripped");
+        assert!(
+            report.repromotions >= 1,
+            "sequential successes probe back up before the cap"
+        );
+        assert_eq!(report.demotions, out.demotions);
+        assert_eq!(report.repromotions, out.repromotions);
+    }
+
+    #[test]
+    fn governed_runs_are_deterministic() {
+        let mk = || {
+            let spec = LoopSpec::uniform(64, 10).with_work(|i| if i == 5 { 10_000 } else { 10 });
+            let cfg = ExecConfig::with_pd(64)
+                .with_deadline_ticks(500)
+                .with_write_budget(100);
+            sim_governed(4, &spec, &Overheads::default(), &cfg, policy(), 25)
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.report.makespan, b.report.makespan);
+        assert_eq!(a.rungs, b.rungs);
+        assert_eq!(a.aborts, b.aborts);
+        assert_eq!((a.demotions, a.repromotions), (b.demotions, b.repromotions));
+    }
+}

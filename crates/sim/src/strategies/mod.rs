@@ -16,10 +16,12 @@
 //! | [`sim_windowed`] | 8.2 | any |
 //! | [`sim_doacross`] | 6 / Wu & Lewis | any (dependent remainder) |
 //! | [`sim_doany`] | 9 (WHILE-DOANY) | induction |
+//! | [`sim_governed`] | robustness extension | any (governed ladder) |
 
 mod common;
 mod doany;
 mod general;
+mod governed;
 mod induction;
 mod pipeline;
 mod window;
@@ -29,6 +31,7 @@ pub use general::{
     sim_distribution, sim_general1, sim_general1_traced, sim_general2, sim_general3,
     sim_general3_traced,
 };
+pub use governed::{sim_governed, sim_governed_traced, GovernedSimOutcome};
 pub use induction::{
     sim_induction_doall, sim_induction_doall_traced, sim_prefix_doall, sim_sequential,
     sim_strip_mined, sim_strip_mined_traced, Schedule,

@@ -136,7 +136,7 @@ pub fn load_parallel_recovering<R: Recorder>(
         .map(|_| AtomicCell::new(Stamp { geq: 0.0, ieq: 0.0 }))
         .collect();
     let outcome = general3_recovering_rec(pool, list, GeneralConfig::default(), rec, |i, node| {
-        plan.inject(i, 0);
+        let _ = plan.inject(i, 0);
         let dev = &list[node];
         out[dev.id].store(evaluate(dev, dt));
         Step::Continue

@@ -74,7 +74,7 @@ fn check_recovery(
 fn doall_panic_restores_and_reexecutes() {
     check_recovery("doall", 100, |plan, arr, pool| {
         doall_dynamic(pool, N, |i, vpn| {
-            plan.inject(i, vpn);
+            let _ = plan.inject(i, vpn);
             arr.write(i, i as i64 * 3 + 1, i);
             Step::Continue
         })
@@ -86,7 +86,7 @@ fn doall_panic_restores_and_reexecutes() {
 fn strip_panic_restores_and_reexecutes() {
     check_recovery("strip", 130, |plan, arr, pool| {
         strip_mined(pool, N, 32, |i, vpn| {
-            plan.inject(i, vpn);
+            let _ = plan.inject(i, vpn);
             arr.write(i, i as i64 * 3 + 1, i);
             Step::Continue
         })
@@ -98,7 +98,7 @@ fn strip_panic_restores_and_reexecutes() {
 fn window_panic_restores_and_reexecutes() {
     check_recovery("window", 70, |plan, arr, pool| {
         doall_windowed(pool, N, 16, |i, vpn| {
-            plan.inject(i, vpn);
+            let _ = plan.inject(i, vpn);
             arr.write(i, i as i64 * 3 + 1, i);
             Step::Continue
         })
@@ -112,7 +112,7 @@ fn doacross_panic_restores_and_reexecutes() {
     check_recovery("doacross", 200, |plan, arr, pool| {
         doacross(pool, N, 2, |i, s| {
             if s == 1 {
-                plan.inject(i, 0);
+                let _ = plan.inject(i, 0);
             } else {
                 arr.write(i, i as i64 * 3 + 1, i);
             }
@@ -161,7 +161,7 @@ fn speculative_driver_contains_panic_and_falls_back() {
         &rec,
         |_, _| false,
         |i, a| {
-            plan.inject(i, 0);
+            let _ = plan.inject(i, 0);
             let v = a.read(i);
             a.write(i, v * 2);
         },
@@ -188,7 +188,7 @@ proptest! {
         let pool = Pool::new(4);
         let out = run_with_recovery(&arr, &NoopRecorder, || {
             doall_dynamic(&pool, N, |i, vpn| {
-                plan.inject(i, vpn);
+                let _ = plan.inject(i, vpn);
                 arr.write(i, i as i64 * 3 + 1, i);
                 Step::Continue
             })
@@ -206,7 +206,7 @@ proptest! {
         let pool = Pool::new(4);
         let out = run_with_recovery(&arr, &NoopRecorder, || {
             strip_mined(&pool, N, strip, |i, vpn| {
-                plan.inject(i, vpn);
+                let _ = plan.inject(i, vpn);
                 arr.write(i, i as i64 * 3 + 1, i);
                 Step::Continue
             })
@@ -224,7 +224,7 @@ proptest! {
         let pool = Pool::new(4);
         let out = run_with_recovery(&arr, &NoopRecorder, || {
             doall_windowed(&pool, N, window, |i, vpn| {
-                plan.inject(i, vpn);
+                let _ = plan.inject(i, vpn);
                 arr.write(i, i as i64 * 3 + 1, i);
                 Step::Continue
             })
@@ -244,7 +244,7 @@ proptest! {
         let out = run_with_recovery(&arr, &NoopRecorder, || {
             doacross(&pool, N, 3, |i, s| {
                 if s == stage {
-                    plan.inject(i, 0);
+                    let _ = plan.inject(i, 0);
                 }
                 if s == 0 {
                     arr.write(i, i as i64 * 3 + 1, i);
@@ -266,7 +266,7 @@ proptest! {
         let plan = FaultPlan::panic_at(k);
         let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         let out = general3_recovering(&Pool::new(4), &list, GeneralConfig::default(), |i, node| {
-            plan.inject(i, 0);
+            let _ = plan.inject(i, 0);
             // idempotent body: each logical position owns one slot
             slots[list[node] as usize].store(i as u64 + 1, Ordering::Relaxed);
             Step::Continue

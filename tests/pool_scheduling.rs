@@ -8,8 +8,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 use std::thread::ThreadId;
+use std::time::Duration;
 use wlp::runtime::{
-    doall_dynamic, doall_dynamic_chunked, strip_mined_chunked, CancelFlag, ChunkPolicy, Pool, Step,
+    doall_dynamic, doall_dynamic_chunked, strip_mined_chunked, CancelFlag, ChunkPolicy, Deadline,
+    Pool, Step,
 };
 
 /// Runs one pool region and returns each vpn's host thread id.
@@ -91,6 +93,49 @@ fn resident_worker_panic_leaves_the_pool_reusable() {
             "vpn {vpn} never panicked and must still be its original thread"
         );
     }
+}
+
+#[test]
+fn timed_out_region_leaves_the_resident_pool_reusable() {
+    let pool = Pool::new(4);
+    let before = thread_ids(&pool);
+
+    // A deadline-armed handle on the same resident workers; lane 1 wedges
+    // past the deadline without ever polling the cancel flag — the worst
+    // case for the watchdog (cancellation is cooperative, so the lane can
+    // only be reported, not reaped).
+    let armed = pool.with_deadline(Deadline::from_millis(4));
+    let cancel = CancelFlag::new();
+    let out = armed.run_with(&cancel, |vpn| {
+        if vpn == 1 {
+            std::thread::sleep(Duration::from_millis(40));
+        }
+    });
+    let to = out
+        .timeout()
+        .expect("watchdog must fire on the wedged lane");
+    assert_eq!(to.vpn, 1, "grace re-scan must blame the stalled lane");
+    assert!(to.elapsed >= Duration::from_millis(4));
+    assert!(cancel.is_cancelled(), "expiry must raise the cancel flag");
+
+    // The pool must keep serving regions on its original resident
+    // threads — a deadline expiry parks the workers exactly like a clean
+    // region end, it never wedges or restaffs them.
+    let after = thread_ids(&pool);
+    for vpn in 0..4 {
+        assert_eq!(
+            before[&vpn], after[&vpn],
+            "vpn {vpn} must still be its original resident thread after the timeout"
+        );
+    }
+    let n = 500;
+    let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let out = doall_dynamic(&pool, n, |i, _| {
+        hits[i].fetch_add(1, Ordering::Relaxed);
+        Step::Continue
+    });
+    assert_eq!(out.executed, n as u64);
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
 }
 
 proptest! {
