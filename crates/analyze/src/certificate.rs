@@ -1,0 +1,220 @@
+//! Speculation-safety certificates: the static contract the runtime
+//! consumes.
+//!
+//! A certificate summarizes what the analysis *proved* about one loop: how
+//! many writes an iteration can perform at most (the may-write bound),
+//! which of those writes are **certified-uncertain** (only they need
+//! shadow instrumentation), and the refined verdict. It plugs into the
+//! executors at three points:
+//!
+//! * [`SafetyCertificate::write_budget`] bounds the undo log —
+//!   `SpeculativeArray::with_budget` / `GovernorPolicy::with_budget` get
+//!   the certified bound instead of the naive every-write one;
+//! * [`SafetyCertificate::cost_model`] feeds only the *uncertain* accesses
+//!   into the Section 7 overhead terms (certified accesses are not
+//!   shadowed, so they cost nothing extra);
+//! * [`SafetyCertificate::starting_rung`] picks the governor's initial
+//!   ladder rung: certified-sequential loops start at the bottom,
+//!   certified-DOALL loops at the top, and uncertain remainder-variant
+//!   loops start windowed so overshoot stays bounded while the PD test
+//!   earns trust.
+
+use crate::privatize::Privatization;
+use crate::reduction::Recurrence;
+use wlp_core::cost::CostModel;
+use wlp_core::taxonomy::{Parallelism, TerminatorClass};
+use wlp_ir::{ArrayId, LoopIr, Subscript, WRef};
+use wlp_obs::StrategyChoice;
+use wlp_runtime::GovernorPolicy;
+
+/// The analysis verdict a certificate carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertVerdict {
+    /// No run-time test needed: every surviving access is provably
+    /// independent. Execute as a DOALL.
+    CertifiedDoall,
+    /// A loop-carried dependence is provable: speculation would abort
+    /// deterministically. Execute sequentially.
+    CertifiedSequential,
+    /// Some accesses stay uncertain: speculate, but only the certified
+    /// write bound needs shadowing/undo.
+    SpeculateBounded,
+}
+
+/// The static safety contract for one loop.
+#[derive(Debug, Clone)]
+pub struct SafetyCertificate {
+    /// Refined verdict.
+    pub verdict: CertVerdict,
+    /// Dataflow-classified terminator.
+    pub terminator: TerminatorClass,
+    /// Dispatcher parallelism of the refined plan.
+    pub parallelism: Parallelism,
+    /// Statically bounded may-write set size per iteration: every write
+    /// the remainder can perform (dispatcher updates are materialized up
+    /// front and excluded).
+    pub writes_per_iter: u64,
+    /// Of those, the writes the analysis could **not** certify — only
+    /// these need shadow marks and undo entries.
+    pub uncertain_writes_per_iter: u64,
+    /// The arrays the uncertainty lives in (the shadow structures to
+    /// allocate). Empty for certified verdicts.
+    pub uncertain_arrays: Vec<ArrayId>,
+    /// The statements whose accesses must go through the shadow (the
+    /// uncertain partition of the remainder). Everything else is the
+    /// *certified* partition: provably conflict-free, left uninstrumented.
+    /// Empty for certified verdicts.
+    pub uncertain_stmts: Vec<usize>,
+}
+
+impl SafetyCertificate {
+    /// Whether the run-time PD test is still required.
+    pub fn needs_pd(&self) -> bool {
+        self.uncertain_writes_per_iter > 0
+    }
+
+    /// The certified undo-log budget for `iters` iterations: only
+    /// uncertain writes are stamped. A valid execution can never trip it.
+    pub fn write_budget(&self, iters: u64) -> u64 {
+        self.uncertain_writes_per_iter * iters
+    }
+
+    /// The budget a certificate-less runtime must assume: every write
+    /// shadowed. The gap to [`write_budget`](Self::write_budget) is the
+    /// memory and `T_d` the certificate saves.
+    pub fn naive_write_budget(&self, iters: u64) -> u64 {
+        self.writes_per_iter * iters
+    }
+
+    /// Applies the certificate to a governor policy: the undo budget
+    /// becomes the certified bound (plus slack 1 so a fully-certified loop
+    /// keeps a non-zero, immediately-tripping guard against its own
+    /// certificate being wrong).
+    pub fn apply_to_policy(&self, policy: GovernorPolicy, iters: u64) -> GovernorPolicy {
+        policy.with_budget(self.write_budget(iters).max(1))
+    }
+
+    /// Wraps shared data in a [`SpeculativeArray`] whose undo budget is
+    /// the certified bound for `iters` iterations — the `with_budget`
+    /// handoff the runtime uses instead of the naive every-write cap.
+    pub fn speculative_array<T: Copy + Send + Sync>(
+        &self,
+        init: Vec<T>,
+        iters: u64,
+    ) -> wlp_core::SpeculativeArray<T> {
+        wlp_core::SpeculativeArray::new(init).with_budget(self.write_budget(iters).max(1))
+    }
+
+    /// The Section 7 cost model under this certificate: only uncertain
+    /// accesses pay the shadowing overhead terms, and the PD test is
+    /// applied only when uncertainty remains.
+    pub fn cost_model(&self, t_rem: f64, t_rec: f64, p: usize, iters: u64) -> CostModel {
+        CostModel {
+            t_rem,
+            t_rec,
+            p,
+            parallelism: self.parallelism,
+            accesses: (self.uncertain_writes_per_iter * iters) as f64,
+            uses_pd: self.needs_pd(),
+        }
+    }
+
+    /// The governor's starting rung under this certificate.
+    pub fn starting_rung(
+        &self,
+        t_rem: f64,
+        t_rec: f64,
+        p: usize,
+        iters: u64,
+        min_speedup: f64,
+    ) -> StrategyChoice {
+        match self.verdict {
+            CertVerdict::CertifiedSequential => StrategyChoice::Sequential,
+            CertVerdict::CertifiedDoall => self
+                .cost_model(t_rem, t_rec, p, iters)
+                .recommended_strategy(min_speedup),
+            CertVerdict::SpeculateBounded => {
+                let rec = self
+                    .cost_model(t_rem, t_rec, p, iters)
+                    .recommended_strategy(min_speedup);
+                if rec == StrategyChoice::Speculative
+                    && self.terminator == TerminatorClass::RemainderVariant
+                {
+                    // uncertain writes + possible overshoot: bound the
+                    // in-flight span instead of starting fully speculative
+                    StrategyChoice::Windowed
+                } else {
+                    rec
+                }
+            }
+        }
+    }
+}
+
+/// Counts the body's write bound and the uncertain subset.
+///
+/// `refined` is the body after privatization censoring; `priv_info` tells
+/// which original writes were privatized (they still execute, so they
+/// count toward the may-write bound, but touch private memory — no shadow,
+/// no undo). A surviving write is *uncertain* iff its array also carries
+/// `Unknown`-subscript accesses in the refined body, or its statement is
+/// incident to a loop-carried edge in the dispatcher-censored remainder
+/// (`carried_stmts`) — the accesses the PD shadow must instrument.
+pub fn count_writes(
+    body: &LoopIr,
+    refined: &LoopIr,
+    priv_info: &Privatization,
+    _recs: &[Recurrence],
+    carried_stmts: &std::collections::BTreeSet<usize>,
+) -> (u64, u64, Vec<ArrayId>, Vec<usize>) {
+    // dispatcher updates are materialized up front (closed form / prefix),
+    // so only remainder statements contribute to the may-write bound
+    let writes_per_iter: u64 = body
+        .stmts
+        .iter()
+        .filter(|s| !matches!(s.kind, wlp_ir::StmtKind::Update(_)))
+        .map(|s| s.writes.len() as u64)
+        .sum();
+
+    let mut uncertain_arrays: Vec<ArrayId> = refined
+        .stmts
+        .iter()
+        .flat_map(|s| s.writes.iter().chain(s.reads.iter()))
+        .filter_map(|r| match r {
+            WRef::Element(a, Subscript::Unknown) => Some(*a),
+            _ => None,
+        })
+        .collect();
+    uncertain_arrays.sort();
+    uncertain_arrays.dedup();
+
+    // recurrence updates are evaluated by closed form / parallel prefix,
+    // not through the shadowed store — their writes are never uncertain
+    let flagged: Vec<(usize, &WRef)> = refined
+        .stmts
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !matches!(s.kind, wlp_ir::StmtKind::Update(_)))
+        .flat_map(|(si, s)| s.writes.iter().map(move |w| (si, w)))
+        .filter(|(si, w)| {
+            carried_stmts.contains(si)
+                || match w {
+                    WRef::Element(a, _) => {
+                        uncertain_arrays.contains(a) && !priv_info.arrays.contains(a)
+                    }
+                    WRef::Scalar(v) => !priv_info.scalars.contains(v),
+                }
+        })
+        .collect();
+    let uncertain = flagged.len() as u64;
+    let mut uncertain_stmts: Vec<usize> = flagged.iter().map(|(si, _)| *si).collect();
+    uncertain_stmts.sort_unstable();
+    uncertain_stmts.dedup();
+
+    (
+        writes_per_iter,
+        uncertain,
+        uncertain_arrays,
+        uncertain_stmts,
+    )
+}

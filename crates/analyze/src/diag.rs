@@ -1,0 +1,166 @@
+//! Structured, span-carrying diagnostics.
+//!
+//! Every analysis finding is a [`Diagnostic`]: a stable code, a severity,
+//! an optional source span (IR built programmatically has none), a
+//! message, and an optional fix-it hint. Rendering against the original
+//! source produces rustc-style output:
+//!
+//! ```text
+//! warning[W-SPEC01] at 3:5: unanalyzable subscript: ...
+//!     A[idx[i]] = A[idx[i]] + w[i]
+//!     ^^^^^^^^^^^^^^^^^^^^^^^^^^^^
+//!     hint: the run-time PD test will shadow this access
+//! ```
+
+use wlp_ir::span::{render_pos, snippet};
+use wlp_ir::Span;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: an optimization opportunity the analysis proved.
+    Note,
+    /// The loop is parallelizable only with run-time machinery (cost).
+    Warning,
+    /// Parallel execution as requested would be unsound or futile.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`W-PRIV01`, `W-TERM02`, …).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Source span, when the IR was lowered from text.
+    pub span: Option<Span>,
+    /// The finding.
+    pub message: String,
+    /// What the programmer (or the planner) can do about it.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic without span or hint.
+    pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            span: None,
+            message: message.into(),
+            hint: None,
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Option<Span>) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Attaches a fix-it hint.
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+
+    /// Renders against the source text as a rustc-style block. Without a
+    /// span (or without `src`) the location and snippet lines are omitted.
+    pub fn render(&self, src: Option<&str>) -> String {
+        let mut out = String::new();
+        match (self.span, src) {
+            (Some(span), Some(src)) => {
+                out.push_str(&format!(
+                    "{}[{}] at {}: {}\n",
+                    self.severity,
+                    self.code,
+                    render_pos(src, span.start),
+                    self.message
+                ));
+                let (line, caret) = snippet(src, span);
+                out.push_str(&format!("    {line}\n    {caret}\n"));
+            }
+            _ => out.push_str(&format!(
+                "{}[{}]: {}\n",
+                self.severity, self.code, self.message
+            )),
+        }
+        if let Some(h) = &self.hint {
+            out.push_str(&format!("    hint: {h}\n"));
+        }
+        out
+    }
+
+    /// Renders as one line of JSON (all fields; `line`/`col` resolved when
+    /// `src` is given). Written by hand — the workspace has no serde JSON
+    /// backend — and escaped for the two characters our messages can
+    /// contain.
+    pub fn render_json(&self, src: Option<&str>) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut fields = vec![
+            format!("\"code\":\"{}\"", self.code),
+            format!("\"severity\":\"{}\"", self.severity),
+            format!("\"message\":\"{}\"", esc(&self.message)),
+        ];
+        if let Some(span) = self.span {
+            fields.push(format!("\"start\":{},\"end\":{}", span.start, span.end));
+            if let Some(src) = src {
+                let (l, c) = wlp_ir::line_col(src, span.start);
+                fields.push(format!("\"line\":{l},\"col\":{c}"));
+            }
+        }
+        if let Some(h) = &self.hint {
+            fields.push(format!("\"hint\":\"{}\"", esc(h)));
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_with_span_points_at_the_source() {
+        let src = "x = 1\ny = A[k]\n";
+        let start = src.find("A[k]").unwrap();
+        let d = Diagnostic::new("W-TEST", Severity::Warning, "unanalyzable subscript")
+            .with_span(Some(Span::new(start, start + 4)))
+            .with_hint("the PD test will shadow this access");
+        let r = d.render(Some(src));
+        assert!(r.starts_with("warning[W-TEST] at 2:5:"), "{r}");
+        assert!(r.contains("y = A[k]"), "{r}");
+        assert!(r.contains("    hint:"), "{r}");
+    }
+
+    #[test]
+    fn rendering_without_span_degrades_gracefully() {
+        let d = Diagnostic::new("W-TEST", Severity::Note, "finding");
+        assert_eq!(d.render(None), "note[W-TEST]: finding\n");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let d = Diagnostic::new("W-TEST", Severity::Error, "a \"quoted\" thing");
+        let j = d.render_json(None);
+        assert!(j.contains("\\\"quoted\\\""), "{j}");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn severity_orders_by_badness() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+}

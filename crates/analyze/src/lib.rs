@@ -1,0 +1,40 @@
+//! Static safety certification for WHILE-loop parallelization.
+//!
+//! The paper's transformations are sound only under properties the
+//! compiler must *prove*: which locations are privatizable, which updates
+//! are associative recurrences, whether the terminator can observe the
+//! remainder (Table 1's RI/RV split). This crate proves them over
+//! [`wlp_ir::LoopIr`] and packages the result two ways:
+//!
+//! * **diagnostics** — structured, span-carrying findings
+//!   ([`diag::Diagnostic`]) rendered by the `wlp-lint` CLI;
+//! * **certificates** — [`certificate::SafetyCertificate`], the static
+//!   may-write bound and verdict the runtime consumes: the undo budget
+//!   shrinks to the certified-uncertain writes, the cost model charges
+//!   only those, and the governor starts on the right ladder rung.
+//!
+//! Every certificate is falsifiable: [`concrete`] replays the loop into
+//! access logs and [`wlp_pd::crosscheck`] drives them through the dynamic
+//! oracle — the static-vs-dynamic agreement property the test suite pins.
+//!
+//! Pipeline: [`privatize`] (def-before-use ⇒ drop carried edges) →
+//! [`reduction`] (accumulator non-interference) → [`terminator`] (RI/RV by
+//! subscript dataflow) → [`analyze()`] (refined plan + certificate).
+
+pub mod analyze;
+pub mod certificate;
+pub mod concrete;
+pub mod diag;
+pub mod lint;
+pub mod privatize;
+pub mod reduction;
+pub mod terminator;
+
+pub use analyze::{analyze, Analysis};
+pub use certificate::{CertVerdict, SafetyCertificate};
+pub use concrete::{array_log, concretize, remainder_log, scalar_log, ConcreteLog, Owner};
+pub use diag::{Diagnostic, Severity};
+pub use lint::{lint_source, LintOutcome};
+pub use privatize::{privatization, privatized_body, Privatization};
+pub use reduction::{recurrences, Recurrence, RecurrenceRole};
+pub use terminator::{classify_terminator, RvWitness};

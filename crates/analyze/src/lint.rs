@@ -1,0 +1,117 @@
+//! Linting source text: parse → lower → analyze → diagnostics.
+
+use crate::analyze::{analyze, Analysis};
+use crate::diag::{Diagnostic, Severity};
+use wlp_ir::frontend::{parse_loop, FrontendError};
+
+/// What linting one source produced.
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// The full analysis, when the source parsed and lowered.
+    pub analysis: Option<Analysis>,
+    /// All diagnostics, including parse/lower errors.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintOutcome {
+    /// Worst severity across all diagnostics.
+    pub fn max_severity(&self) -> Severity {
+        self.diagnostics
+            .iter()
+            .map(|d| d.severity)
+            .max()
+            .unwrap_or(Severity::Note)
+    }
+
+    /// Renders every diagnostic against the source (human format).
+    pub fn render(&self, src: &str) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| d.render(Some(src)))
+            .collect()
+    }
+
+    /// Renders every diagnostic as one JSON object per line.
+    pub fn render_json(&self, src: &str) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| format!("{}\n", d.render_json(Some(src))))
+            .collect()
+    }
+}
+
+/// Lints one WHILE-loop source text.
+pub fn lint_source(src: &str) -> LintOutcome {
+    match parse_loop(src) {
+        Ok(ir) => {
+            let analysis = analyze(&ir);
+            let diagnostics = analysis.diagnostics.clone();
+            LintOutcome {
+                analysis: Some(analysis),
+                diagnostics,
+            }
+        }
+        Err(e) => {
+            let code = match &e {
+                FrontendError::Parse(_) => "E-PARSE",
+                FrontendError::Lower(_) => "E-LOWER",
+            };
+            let d = Diagnostic::new(code, Severity::Error, e.to_string())
+                .with_span(Some(e.span()))
+                .with_hint("fix the source before analysis can run");
+            LintOutcome {
+                analysis: None,
+                diagnostics: vec![d],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SWAP: &str = "integer i = 1\n\
+                        integer tmp = 0\n\
+                        while (i < n) {\n\
+                        \x20   tmp = A[2 * i]\n\
+                        \x20   A[2 * i] = A[2 * i - 1]\n\
+                        \x20   A[2 * i - 1] = tmp\n\
+                        \x20   i = i + 1\n\
+                        }";
+
+    #[test]
+    fn swap_loop_lints_to_privatization_note_with_spans() {
+        let out = lint_source(SWAP);
+        let a = out.analysis.as_ref().expect("parses");
+        assert!(!a.privatization.scalars.is_empty(), "{a:?}");
+        let privd = out
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "W-PRIV01")
+            .expect("privatization note");
+        let span = privd.span.expect("lowered IR carries spans");
+        assert_eq!(&SWAP[span.start..span.end], "tmp = A[2 * i]");
+        let rendered = out.render(SWAP);
+        assert!(rendered.contains("at 4:"), "{rendered}");
+    }
+
+    #[test]
+    fn parse_errors_become_error_diagnostics() {
+        let out = lint_source("while (x { }");
+        assert!(out.analysis.is_none());
+        assert_eq!(out.max_severity(), Severity::Error);
+        assert_eq!(out.diagnostics[0].code, "E-PARSE");
+        assert!(out.diagnostics[0].span.is_some());
+    }
+
+    #[test]
+    fn json_rendering_is_one_object_per_line() {
+        let out = lint_source(SWAP);
+        let json = out.render_json(SWAP);
+        for line in json.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert_eq!(json.lines().count(), out.diagnostics.len());
+    }
+}

@@ -1,0 +1,248 @@
+//! Privatization analysis: def-before-use per iteration.
+//!
+//! A location is **privatizable** when every read of it inside one
+//! iteration is preceded (in program order, within that same iteration) by
+//! a write of the very same location. Each worker can then keep a private
+//! copy: the cross-iteration output (and covered flow/anti) dependences on
+//! the shared cell vanish, and the dependence edges it contributed can be
+//! dropped before planning — the paper's Figure 5(b) `tmp` is the
+//! canonical case.
+//!
+//! Scalars written by recurrence updates (`x = x + c`, …) are *never*
+//! candidates: an update reads its accumulator before writing it, which is
+//! exactly an exposed read. Arrays qualify only when every subscript on
+//! them is analyzable and every read is covered by an earlier write with
+//! the *identical* subscript expression — `Unknown` neither covers nor is
+//! covered.
+
+use std::collections::{BTreeMap, BTreeSet};
+use wlp_ir::{ArrayId, LoopIr, StmtKind, Subscript, VarId, WRef};
+
+/// Where an exposed (not def-before-use) read was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExposedRead {
+    /// Statement index of the read.
+    pub stmt: usize,
+    /// The location read before any same-iteration definition.
+    pub loc: WRef,
+}
+
+/// Result of the privatization analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Privatization {
+    /// Scalars proved def-before-use in every iteration.
+    pub scalars: BTreeSet<VarId>,
+    /// Arrays proved def-before-use (per element, by identical subscript).
+    pub arrays: BTreeSet<ArrayId>,
+    /// Witnesses for candidates that failed: the first exposed read per
+    /// location (for diagnostics).
+    pub exposed: Vec<ExposedRead>,
+}
+
+impl Privatization {
+    /// Whether `r` refers to a privatizable location.
+    pub fn covers(&self, r: &WRef) -> bool {
+        match r {
+            WRef::Scalar(v) => self.scalars.contains(v),
+            WRef::Element(a, _) => self.arrays.contains(a),
+        }
+    }
+}
+
+/// Runs the analysis over one loop body.
+pub fn privatization(body: &LoopIr) -> Privatization {
+    let mut out = Privatization::default();
+
+    // locations a recurrence update owns: excluded from privatization
+    let update_vars: BTreeSet<VarId> = body
+        .stmts
+        .iter()
+        .filter(|s| matches!(s.kind, StmtKind::Update(_)))
+        .flat_map(|s| s.writes.iter())
+        .filter_map(|w| match w {
+            WRef::Scalar(v) => Some(*v),
+            WRef::Element(..) => None,
+        })
+        .collect();
+
+    // ---- scalars ------------------------------------------------------
+    let mut scalar_writes: BTreeMap<VarId, usize> = BTreeMap::new(); // first writer
+    for (si, s) in body.stmts.iter().enumerate() {
+        for w in &s.writes {
+            if let WRef::Scalar(v) = w {
+                scalar_writes.entry(*v).or_insert(si);
+            }
+        }
+    }
+    'scalar: for (&v, &first_write) in &scalar_writes {
+        if update_vars.contains(&v) {
+            continue;
+        }
+        for (si, s) in body.stmts.iter().enumerate() {
+            // a read at statement si is covered iff some statement strictly
+            // earlier in the iteration writes v (a same-statement write
+            // happens after the statement's reads: `v = v + …` reads first)
+            if s.reads.contains(&WRef::Scalar(v)) && si <= first_write {
+                out.exposed.push(ExposedRead {
+                    stmt: si,
+                    loc: WRef::Scalar(v),
+                });
+                continue 'scalar;
+            }
+        }
+        out.scalars.insert(v);
+    }
+
+    // ---- arrays -------------------------------------------------------
+    let mut arrays: BTreeSet<ArrayId> = BTreeSet::new();
+    let mut unknown_tainted: BTreeSet<ArrayId> = BTreeSet::new();
+    for s in &body.stmts {
+        for r in s.writes.iter().chain(s.reads.iter()) {
+            if let WRef::Element(a, sub) = r {
+                arrays.insert(*a);
+                if *sub == Subscript::Unknown {
+                    unknown_tainted.insert(*a);
+                }
+            }
+        }
+    }
+    'array: for &a in &arrays {
+        if unknown_tainted.contains(&a) {
+            continue;
+        }
+        let mut wrote_any = false;
+        for (si, s) in body.stmts.iter().enumerate() {
+            for r in &s.reads {
+                if let WRef::Element(ra, rsub) = r {
+                    if *ra != a {
+                        continue;
+                    }
+                    // covered iff an earlier statement writes a[rsub]
+                    // with the identical subscript expression
+                    let covered = body.stmts[..si].iter().any(|w| {
+                        w.writes.iter().any(
+                            |wr| matches!(wr, WRef::Element(wa, wsub) if wa == ra && wsub == rsub),
+                        )
+                    });
+                    if !covered {
+                        out.exposed.push(ExposedRead { stmt: si, loc: *r });
+                        continue 'array;
+                    }
+                }
+            }
+            wrote_any |= s
+                .writes
+                .iter()
+                .any(|w| matches!(w, WRef::Element(wa, _) if *wa == a));
+        }
+        if wrote_any {
+            out.arrays.insert(a);
+        }
+    }
+
+    out
+}
+
+/// `body` with every reference to a privatizable location removed: the
+/// planner then sees only the dependences that survive privatization.
+pub fn privatized_body(body: &LoopIr, p: &Privatization) -> LoopIr {
+    let mut out = LoopIr::new();
+    for s in &body.stmts {
+        let mut c = s.clone();
+        c.writes.retain(|r| !p.covers(r));
+        c.reads.retain(|r| !p.covers(r));
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlp_ir::ir::examples;
+    use wlp_ir::{Stmt, UpdateOp};
+
+    #[test]
+    fn figure5b_tmp_is_privatizable() {
+        let p = privatization(&examples::figure5b_swap());
+        assert!(p.scalars.contains(&VarId(0)), "{p:?}");
+        assert!(p.arrays.is_empty(), "A's reads are not covered");
+    }
+
+    #[test]
+    fn exposed_scalar_read_blocks_privatization() {
+        // y read (stmt 0) before its write (stmt 1)
+        let mut l = LoopIr::new();
+        let y = VarId(0);
+        l.push(Stmt::assign(vec![], vec![WRef::Scalar(y)]));
+        l.push(Stmt::assign(vec![WRef::Scalar(y)], vec![]));
+        let p = privatization(&l);
+        assert!(!p.scalars.contains(&y));
+        assert_eq!(
+            p.exposed,
+            vec![ExposedRead {
+                stmt: 0,
+                loc: WRef::Scalar(y)
+            }]
+        );
+    }
+
+    #[test]
+    fn update_accumulators_are_never_candidates() {
+        let mut l = LoopIr::new();
+        l.push(Stmt::update(VarId(0), UpdateOp::AddConst, vec![]));
+        let p = privatization(&l);
+        assert!(p.scalars.is_empty());
+    }
+
+    #[test]
+    fn workspace_array_is_privatizable() {
+        // T[i] = f(...); use = T[i]  — a per-iteration workspace array
+        let t = ArrayId(0);
+        let i = Subscript::Affine {
+            coeff: 1,
+            offset: 0,
+        };
+        let mut l = LoopIr::new();
+        l.push(Stmt::assign(vec![WRef::Element(t, i)], vec![]));
+        l.push(Stmt::assign(vec![], vec![WRef::Element(t, i)]));
+        let p = privatization(&l);
+        assert!(p.arrays.contains(&t), "{p:?}");
+    }
+
+    #[test]
+    fn unknown_subscripts_taint_the_whole_array() {
+        let t = ArrayId(0);
+        let mut l = LoopIr::new();
+        l.push(Stmt::assign(
+            vec![WRef::Element(t, Subscript::Unknown)],
+            vec![],
+        ));
+        l.push(Stmt::assign(
+            vec![],
+            vec![WRef::Element(t, Subscript::Unknown)],
+        ));
+        let p = privatization(&l);
+        assert!(p.arrays.is_empty());
+    }
+
+    #[test]
+    fn privatized_body_drops_only_private_refs() {
+        let body = examples::figure5b_swap();
+        let p = privatization(&body);
+        let refined = privatized_body(&body, &p);
+        assert_eq!(refined.len(), body.len());
+        for s in &refined.stmts {
+            assert!(s
+                .writes
+                .iter()
+                .chain(s.reads.iter())
+                .all(|r| !matches!(r, WRef::Scalar(_))));
+        }
+        // the array accesses survive
+        assert!(refined
+            .stmts
+            .iter()
+            .any(|s| s.writes.iter().any(|r| matches!(r, WRef::Element(..)))));
+    }
+}

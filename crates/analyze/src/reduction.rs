@@ -1,0 +1,130 @@
+//! Reduction and recurrence recognition over `UpdateOp` chains.
+//!
+//! The front-end marks statements that read and write the same scalar as
+//! updates; this pass decides which of them are **parallelizable
+//! recurrences**: the operator must be associative (`x = x + c` or
+//! `x = a·x + b`), and the accumulator must not *interfere* with the rest
+//! of the loop — no other statement may read or write it. A non-interfering
+//! associative accumulator can be evaluated by parallel prefix (or, for a
+//! pure induction, in closed form), so its carried self-dependence is
+//! benign. A pointer chase or an `Other` update stays a general
+//! recurrence; an accumulator the remainder reads is a *dispatcher*, not a
+//! reduction — its value pattern must be produced before the remainder
+//! runs, which is exactly the distinction the planner's dispatcher
+//! selection needs.
+
+use wlp_ir::{LoopIr, StmtKind, UpdateOp, VarId, WRef};
+
+/// Why an update statement is, or is not, a parallelizable reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecurrenceRole {
+    /// Associative, non-interfering accumulator: parallel-prefix safe,
+    /// carried dependence benign.
+    Reduction,
+    /// Associative or induction update whose value other statements read:
+    /// a dispatcher candidate (closed form / prefix still applies, but the
+    /// remainder consumes the values).
+    Dispatcher,
+    /// Not provably associative (`PointerChase`, `Other`): a general
+    /// recurrence, sequential by nature.
+    General,
+}
+
+/// One recognized recurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recurrence {
+    /// Statement index of the update.
+    pub stmt: usize,
+    /// The accumulator.
+    pub var: VarId,
+    /// The update operator.
+    pub op: UpdateOp,
+    /// Its role in the loop.
+    pub role: RecurrenceRole,
+}
+
+/// Classifies every update statement in `body`.
+pub fn recurrences(body: &LoopIr) -> Vec<Recurrence> {
+    let mut out = Vec::new();
+    for (si, s) in body.stmts.iter().enumerate() {
+        let StmtKind::Update(op) = s.kind else {
+            continue;
+        };
+        let Some(WRef::Scalar(var)) = s.writes.first().copied() else {
+            continue;
+        };
+        let interferes = body.stmts.iter().enumerate().any(|(sj, t)| {
+            sj != si
+                && t.reads
+                    .iter()
+                    .chain(t.writes.iter())
+                    .any(|r| *r == WRef::Scalar(var))
+        });
+        let role = match op {
+            UpdateOp::AddConst | UpdateOp::MulAddConst => {
+                if interferes {
+                    RecurrenceRole::Dispatcher
+                } else {
+                    RecurrenceRole::Reduction
+                }
+            }
+            UpdateOp::PointerChase | UpdateOp::Other => RecurrenceRole::General,
+        };
+        out.push(Recurrence {
+            stmt: si,
+            var,
+            op,
+            role,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlp_ir::ir::examples;
+    use wlp_ir::{ArrayId, Stmt, Subscript};
+
+    #[test]
+    fn lone_accumulator_is_a_reduction() {
+        // sum = sum + c, nothing reads sum
+        let mut l = LoopIr::new();
+        l.push(Stmt::exit_test(vec![]));
+        l.push(Stmt::update(VarId(0), UpdateOp::AddConst, vec![]));
+        let r = recurrences(&l);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].role, RecurrenceRole::Reduction);
+    }
+
+    #[test]
+    fn consumed_induction_is_a_dispatcher() {
+        // i = i + 1 consumed by A[?] = f(i)
+        let mut l = LoopIr::new();
+        l.push(Stmt::assign(
+            vec![WRef::Element(ArrayId(0), Subscript::Unknown)],
+            vec![WRef::Scalar(VarId(0))],
+        ));
+        l.push(Stmt::update(VarId(0), UpdateOp::AddConst, vec![]));
+        let r = recurrences(&l);
+        assert_eq!(r[0].role, RecurrenceRole::Dispatcher);
+    }
+
+    #[test]
+    fn pointer_chase_is_general() {
+        let r = recurrences(&examples::figure1b_list_traversal());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].op, UpdateOp::PointerChase);
+        assert_eq!(r[0].role, RecurrenceRole::General);
+    }
+
+    #[test]
+    fn exit_test_reading_the_accumulator_interferes() {
+        // while (x < n) { x = a*x + b }: the terminator consumes x
+        let mut l = LoopIr::new();
+        l.push(Stmt::exit_test(vec![WRef::Scalar(VarId(0))]));
+        l.push(Stmt::update(VarId(0), UpdateOp::MulAddConst, vec![]));
+        let r = recurrences(&l);
+        assert_eq!(r[0].role, RecurrenceRole::Dispatcher);
+    }
+}

@@ -1,0 +1,115 @@
+//! RI/RV terminator classification by dataflow.
+//!
+//! The planner's coarse rule calls a terminator remainder-variant whenever
+//! an exit test reads *any element of an array* the remainder writes. This
+//! pass asks the precise question — can the exit predicate read a
+//! **location** the remainder writes? — using the same subscript-level
+//! conflict test the dependence graph is built from. `A[0]` read by the
+//! terminator and `A[i+1]` written by the remainder never meet: the loop
+//! is remainder-invariant, needs no backups and cannot overshoot into
+//! user-visible state (Table 1's RI column).
+
+use wlp_core::taxonomy::TerminatorClass;
+use wlp_ir::dependence::refs_may_conflict;
+use wlp_ir::{LoopIr, StmtKind, WRef};
+
+/// Evidence that the terminator is remainder-variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RvWitness {
+    /// The exit-test statement.
+    pub exit_stmt: usize,
+    /// What it reads.
+    pub read: WRef,
+    /// The remainder statement whose write can alias that read.
+    pub write_stmt: usize,
+    /// The conflicting write.
+    pub write: WRef,
+}
+
+/// Classifies the terminator of `body` by dataflow; the witness names the
+/// first read/write pair that makes it remainder-variant.
+pub fn classify_terminator(body: &LoopIr) -> (TerminatorClass, Option<RvWitness>) {
+    for t in body.exit_tests() {
+        for read in &body.stmts[t].reads {
+            for (sj, s) in body.stmts.iter().enumerate() {
+                if matches!(s.kind, StmtKind::Update(_)) {
+                    continue; // dispatcher values are produced up front
+                }
+                for write in &s.writes {
+                    if refs_may_conflict(read, write) {
+                        return (
+                            TerminatorClass::RemainderVariant,
+                            Some(RvWitness {
+                                exit_stmt: t,
+                                read: *read,
+                                write_stmt: sj,
+                                write: *write,
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    (TerminatorClass::RemainderInvariant, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlp_ir::ir::examples;
+    use wlp_ir::{ArrayId, Stmt, Subscript};
+
+    #[test]
+    fn list_traversal_is_ri() {
+        let (c, w) = classify_terminator(&examples::figure1b_list_traversal());
+        assert_eq!(c, TerminatorClass::RemainderInvariant);
+        assert!(w.is_none());
+    }
+
+    #[test]
+    fn track_style_is_rv() {
+        let (c, w) = classify_terminator(&examples::track_style_unknown());
+        assert_eq!(c, TerminatorClass::RemainderVariant);
+        assert!(w.is_some());
+    }
+
+    #[test]
+    fn disjoint_subscripts_downgrade_rv_to_ri() {
+        // exit reads A[0]; remainder writes A[i+1] — never element 0
+        let a = ArrayId(0);
+        let mut l = LoopIr::new();
+        l.push(Stmt::exit_test(vec![WRef::Element(a, Subscript::Const(0))]));
+        l.push(Stmt::assign(
+            vec![WRef::Element(
+                a,
+                Subscript::Affine {
+                    coeff: 1,
+                    offset: 1,
+                },
+            )],
+            vec![],
+        ));
+        let (c, _) = classify_terminator(&l);
+        assert_eq!(
+            c,
+            TerminatorClass::RemainderInvariant,
+            "array-level coarseness must not survive subscript dataflow"
+        );
+    }
+
+    #[test]
+    fn same_location_stays_rv() {
+        let a = ArrayId(0);
+        let i = Subscript::Affine {
+            coeff: 1,
+            offset: 0,
+        };
+        let mut l = LoopIr::new();
+        l.push(Stmt::exit_test(vec![WRef::Element(a, i)]));
+        l.push(Stmt::assign(vec![WRef::Element(a, i)], vec![]));
+        let (c, w) = classify_terminator(&l);
+        assert_eq!(c, TerminatorClass::RemainderVariant);
+        assert_eq!(w.unwrap().write_stmt, 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! Static-vs-dynamic agreement: every verdict `wlp-analyze` certifies must
+//! survive contact with the dynamic PD machinery on concrete executions.
+//!
+//! Random loop bodies are generated, concretized for a handful of
+//! iterations with a seed-derived adversarial resolver for `Unknown`
+//! subscripts, and each static claim is cross-validated against the
+//! oracle + shadow via [`wlp_pd::crosscheck`]:
+//!
+//! * a **privatizable** scalar/array must pass the privatized-DOALL check
+//!   on its own access log;
+//! * a **reduction** accumulator must be touched by its own statement
+//!   only;
+//! * a **remainder-invariant** terminator's exit reads must never hit an
+//!   address the remainder writes;
+//! * a **CertifiedDoall** loop's remainder log must pass the DOALL check
+//!   outright — no resolver may be able to break it;
+//! * a **SpeculateBounded** loop's *certified* partition (everything
+//!   outside `uncertain_stmts`) must be conflict-free, since the runtime
+//!   leaves exactly that partition uninstrumented, and its dynamic write
+//!   counts must respect the certified per-iteration bound.
+//!
+//! A falsified certificate is a hard test failure.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use wlp_analyze::{
+    analyze, array_log, remainder_log, scalar_log, CertVerdict, Owner, RecurrenceRole,
+};
+use wlp_core::taxonomy::TerminatorClass;
+use wlp_ir::ir::examples;
+use wlp_ir::{ArrayId, LoopIr, Stmt, Subscript, UpdateOp, VarId, WRef};
+use wlp_pd::{crosscheck, Access, Claims};
+
+const INDUCTION: VarId = VarId(7);
+
+fn subscript_strategy() -> impl Strategy<Value = Subscript> {
+    prop_oneof![
+        (0i64..3).prop_map(Subscript::Const),
+        ((1i64..3), (-1i64..3)).prop_map(|(coeff, offset)| Subscript::Affine { coeff, offset }),
+        Just(Subscript::Unknown),
+    ]
+}
+
+fn wref_strategy() -> impl Strategy<Value = WRef> {
+    prop_oneof![
+        (0u32..3).prop_map(|v| WRef::Scalar(VarId(v))),
+        ((0u32..2), subscript_strategy()).prop_map(|(a, s)| WRef::Element(ArrayId(a), s)),
+    ]
+}
+
+/// Arbitrary small bodies: one exit test, 1–3 assignments, and (usually)
+/// the canonical `i = i + 1` dispatcher the exit predicate reads.
+fn body_strategy() -> impl Strategy<Value = LoopIr> {
+    (
+        prop::collection::vec(wref_strategy(), 0..2),
+        prop::collection::vec(
+            (
+                prop::collection::vec(wref_strategy(), 1..3),
+                prop::collection::vec(wref_strategy(), 0..3),
+            ),
+            1..4,
+        ),
+        any::<bool>(),
+    )
+        .prop_map(|(mut exit_reads, assigns, with_induction)| {
+            let mut l = LoopIr::new();
+            if with_induction {
+                exit_reads.push(WRef::Scalar(INDUCTION));
+            }
+            l.push(Stmt::exit_test(exit_reads));
+            for (writes, reads) in assigns {
+                l.push(Stmt::assign(writes, reads));
+            }
+            if with_induction {
+                l.push(Stmt::update(INDUCTION, UpdateOp::AddConst, vec![]));
+            }
+            l
+        })
+}
+
+/// Deterministic `Unknown` resolver: a small address space (0..5) derived
+/// from the seed, so collisions — the adversarial case — are common.
+fn resolver(seed: u64) -> impl FnMut(usize, usize, ArrayId) -> i64 {
+    move |stmt, iter, a| {
+        let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+        for x in [stmt as u64, iter as u64, a.0 as u64 + 1] {
+            h = (h ^ x).wrapping_mul(0x100_0000_01b3).rotate_left(17);
+        }
+        (h % 5) as i64
+    }
+}
+
+fn addr_of(acc: &Access) -> usize {
+    match *acc {
+        Access::Read(e) | Access::Write(e) => e,
+    }
+}
+
+/// Runs one body under one resolver and checks every static claim.
+fn check_agreement(body: &LoopIr, seed: u64, iters: usize) -> Result<(), String> {
+    let a = analyze(body);
+    let log = wlp_analyze::concretize(body, iters, resolver(seed));
+    let private = |o: Owner| match o {
+        Owner::Scalar(v) => a.privatization.scalars.contains(&v),
+        Owner::Array(ar) => a.privatization.arrays.contains(&ar),
+    };
+
+    // privatization claims, one location at a time
+    for v in &a.privatization.scalars {
+        crosscheck(
+            &scalar_log(&log, *v),
+            None,
+            Claims {
+                doall: false,
+                privatized_doall: true,
+            },
+        )
+        .map_err(|f| format!("scalar v{} privatization falsified: {f}", v.0))?;
+    }
+    for arr in &a.privatization.arrays {
+        crosscheck(
+            &array_log(&log, *arr),
+            None,
+            Claims {
+                doall: false,
+                privatized_doall: true,
+            },
+        )
+        .map_err(|f| format!("array A{} privatization falsified: {f}", arr.0))?;
+    }
+
+    // a reduction accumulator belongs to its statement alone
+    for r in a
+        .recurrences
+        .iter()
+        .filter(|r| r.role == RecurrenceRole::Reduction)
+    {
+        for (i, iter_log) in log.tagged.iter().enumerate() {
+            for (stmt, acc) in iter_log {
+                if log.owners[addr_of(acc)] == Owner::Scalar(r.var) && *stmt != r.stmt {
+                    return Err(format!(
+                        "iteration {i}: reduction accumulator v{} touched by stmt {stmt}",
+                        r.var.0
+                    ));
+                }
+            }
+        }
+    }
+
+    // remainder-invariant: the exit predicate never reads a remainder-written address
+    if a.terminator == TerminatorClass::RemainderInvariant {
+        let exit_stmts: BTreeSet<usize> = body.exit_tests().collect();
+        let update_stmts: BTreeSet<usize> = body.updates().collect();
+        let mut exit_reads = BTreeSet::new();
+        let mut rem_writes = BTreeSet::new();
+        for iter_log in &log.tagged {
+            for (stmt, acc) in iter_log {
+                match acc {
+                    Access::Read(e) if exit_stmts.contains(stmt) => {
+                        exit_reads.insert(*e);
+                    }
+                    Access::Write(e)
+                        if !update_stmts.contains(stmt) && !exit_stmts.contains(stmt) =>
+                    {
+                        rem_writes.insert(*e);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !exit_reads.is_disjoint(&rem_writes) {
+            return Err(format!(
+                "RI falsified: exit reads {exit_reads:?} intersect remainder writes {rem_writes:?}"
+            ));
+        }
+    }
+
+    match a.certificate.verdict {
+        CertVerdict::CertifiedDoall => {
+            let rem = remainder_log(body, &log, private);
+            crosscheck(
+                &rem,
+                None,
+                Claims {
+                    doall: true,
+                    privatized_doall: false,
+                },
+            )
+            .map_err(|f| format!("CertifiedDoall falsified: {f}"))?;
+        }
+        CertVerdict::SpeculateBounded => {
+            // dynamic write counts respect the certified bounds (the
+            // dispatcher's own writes are materialized, not shadowed)
+            let updates: BTreeSet<usize> = body.updates().collect();
+            for (i, iter_log) in log.tagged.iter().enumerate() {
+                let w = iter_log
+                    .iter()
+                    .filter(|(stmt, acc)| {
+                        matches!(acc, Access::Write(_)) && !updates.contains(stmt)
+                    })
+                    .count() as u64;
+                if w > a.certificate.writes_per_iter {
+                    return Err(format!(
+                        "iteration {i} performed {w} writes > certified bound {}",
+                        a.certificate.writes_per_iter
+                    ));
+                }
+            }
+            // the certified (unshadowed) partition must be conflict-free:
+            // the runtime instruments only `uncertain_stmts`
+            let uncertain: BTreeSet<usize> =
+                a.certificate.uncertain_stmts.iter().copied().collect();
+            let update_stmts: BTreeSet<usize> = body.updates().collect();
+            let update_vars: BTreeSet<VarId> = update_stmts
+                .iter()
+                .flat_map(|&s| body.stmts[s].writes.iter())
+                .filter_map(|w| match w {
+                    WRef::Scalar(v) => Some(*v),
+                    WRef::Element(..) => None,
+                })
+                .collect();
+            let certified = log.filter(|stmt, _, owner| {
+                if update_stmts.contains(&stmt) || uncertain.contains(&stmt) {
+                    return false;
+                }
+                if let Owner::Scalar(v) = owner {
+                    if update_vars.contains(&v) {
+                        return false;
+                    }
+                }
+                !private(owner)
+            });
+            crosscheck(
+                &certified,
+                None,
+                Claims {
+                    doall: true,
+                    privatized_doall: false,
+                },
+            )
+            .map_err(|f| format!("certified partition conflicts (must be shadow-free): {f}"))?;
+        }
+        // a provable carried dependence: nothing parallel is claimed
+        CertVerdict::CertifiedSequential => {}
+    }
+
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn random_loops_never_falsify_a_certificate(
+        body in body_strategy(),
+        seed in any::<u64>(),
+        iters in 2usize..7,
+    ) {
+        if let Err(e) = check_agreement(&body, seed, iters) {
+            prop_assert!(false, "{e}\nbody: {body:?}");
+        }
+    }
+
+    #[test]
+    fn paper_examples_never_falsify_a_certificate(seed in any::<u64>()) {
+        for (name, body) in [
+            ("figure1b", examples::figure1b_list_traversal()),
+            ("figure1e", examples::figure1e_affine()),
+            ("figure5a", examples::figure5a_independent()),
+            ("figure5b", examples::figure5b_swap()),
+            ("figure5c", examples::figure5c_recurrence()),
+            ("gather_scatter", examples::gather_scatter_mixed()),
+            ("track", examples::track_style_unknown()),
+        ] {
+            if let Err(e) = check_agreement(&body, seed, 6) {
+                prop_assert!(false, "{name}: {e}");
+            }
+        }
+    }
+}
+
+/// The certificate's coverage claim, stated sharply: removing the
+/// uncertain accesses from any loop's log always leaves a valid DOALL.
+/// (For CertifiedDoall loops the uncertain set is empty, so this is the
+/// full remainder; for SpeculateBounded it is the unshadowed part.)
+#[test]
+fn figure5b_certificate_has_no_uncertainty() {
+    let body = examples::figure5b_swap();
+    let a = analyze(&body);
+    assert_eq!(a.certificate.verdict, CertVerdict::CertifiedDoall);
+    assert!(a.certificate.uncertain_stmts.is_empty());
+    assert_eq!(a.certificate.write_budget(1000), 0);
+}
+
+#[test]
+fn mixed_loop_certificate_bounds_only_the_indirect_array() {
+    let a = analyze(&examples::gather_scatter_mixed());
+    assert_eq!(a.certificate.verdict, CertVerdict::SpeculateBounded);
+    assert_eq!(a.certificate.uncertain_arrays, vec![ArrayId(0)]);
+    assert_eq!(a.certificate.writes_per_iter, 2);
+    assert_eq!(a.certificate.uncertain_writes_per_iter, 1);
+    // the certified dense write halves the undo budget
+    assert!(a.certificate.write_budget(100) < a.certificate.naive_write_budget(100));
+}
+
+#[test]
+fn track_style_certificate_keeps_every_write_shadowed() {
+    // a single indirect write: nothing is certifiable, bound == naive
+    let a = analyze(&examples::track_style_unknown());
+    assert_eq!(a.certificate.verdict, CertVerdict::SpeculateBounded);
+    assert_eq!(
+        a.certificate.write_budget(100),
+        a.certificate.naive_write_budget(100)
+    );
+}

@@ -13,8 +13,8 @@
 use wlp_bench::{
     fig6, fig7, fig_ma28, fig_mcsparse, inputs, render_ablation_balance, render_ablation_chunk,
     render_ablation_doacross, render_ablation_hedge, render_ablation_strip, render_ablation_window,
-    render_costmodel, render_faults, render_gantt_exhibit, render_profile, render_table1,
-    render_table2,
+    render_certifier, render_costmodel, render_faults, render_gantt_exhibit, render_profile,
+    render_table1, render_table2,
 };
 
 fn by_input(make: &dyn Fn(&str, &wlp_sparse::Csr) -> wlp_bench::Figure, which: &str) -> String {
@@ -39,6 +39,7 @@ fn exhibit(name: &str) -> Option<String> {
         "fig13" => by_input(&fig_ma28, "gematt12"),
         "fig14" => by_input(&fig_ma28, "orsreg1"),
         "costmodel" => render_costmodel(),
+        "certifier" => render_certifier(),
         "ablation-strip" => render_ablation_strip(),
         "ablation-window" => render_ablation_window(),
         "ablation-chunk" => render_ablation_chunk(),
@@ -52,7 +53,7 @@ fn exhibit(name: &str) -> Option<String> {
     })
 }
 
-const ALL: [&str; 21] = [
+const ALL: [&str; 22] = [
     "table1",
     "table2",
     "fig6",
@@ -65,6 +66,7 @@ const ALL: [&str; 21] = [
     "fig13",
     "fig14",
     "costmodel",
+    "certifier",
     "ablation-strip",
     "ablation-window",
     "ablation-chunk",

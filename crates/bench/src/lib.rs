@@ -413,6 +413,44 @@ pub fn render_costmodel() -> String {
     out
 }
 
+/// Static safety certification: what `wlp-analyze` proves for each DSL
+/// workload loop and the run-time machinery the certificate removes —
+/// the replanned strategy, the verdict, and the certified undo budget
+/// against the naive every-write one.
+pub fn render_certifier() -> String {
+    use wlp_core::TerminatorClass;
+    use wlp_workloads::sources;
+    let n = 4096u64;
+    let mut out = String::from("## Static safety certification (wlp-analyze)\n\n");
+    out.push_str(&format!(
+        "{:<13} {:<12} -> {:<14} {:<19} {:<3} shadowed writes (n = {n})\n",
+        "loop", "baseline", "refined", "verdict", "ter"
+    ));
+    for (name, src) in [
+        ("swap", sources::SWAP),
+        ("gather", sources::GATHER_SCATTER),
+        ("counted-fill", sources::COUNTED_FILL),
+        ("guarded", sources::GUARDED_UPDATE),
+        ("partial-sums", sources::PARTIAL_SUMS),
+    ] {
+        let a = sources::certify(src);
+        let c = &a.certificate;
+        out.push_str(&format!(
+            "{name:<13} {:<12} -> {:<14} {:<19} {:<3} {} of {}\n",
+            format!("{:?}", a.baseline.strategy),
+            format!("{:?}", a.refined.strategy),
+            format!("{:?}", c.verdict),
+            match a.terminator {
+                TerminatorClass::RemainderInvariant => "RI",
+                TerminatorClass::RemainderVariant => "RV",
+            },
+            c.write_budget(n),
+            c.naive_write_budget(n),
+        ));
+    }
+    out
+}
+
 /// Ablation A (Section 8.1): strip size vs makespan and overshoot on the
 /// TRACK-like loop, plus the statistics-enhanced stamping saving.
 pub fn render_ablation_strip() -> String {

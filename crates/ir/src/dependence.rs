@@ -78,11 +78,13 @@ fn subscript_overlap(s1: Subscript, s2: Subscript) -> Overlap {
                 } else {
                     Overlap::Never
                 }
-            } else if (k - offset) % coeff == 0 {
-                // one iteration touches the constant cell; the constant
-                // reference touches it in every iteration
+            } else if (k - offset) % coeff == 0 && (k - offset) / coeff >= 0 {
+                // one (reachable) iteration touches the constant cell; the
+                // constant reference touches it in every iteration
                 Overlap::CrossIteration
             } else {
+                // no integer solution, or the only solution is a negative
+                // iteration the loop (virtual counter from 0) never runs
                 Overlap::Never
             }
         }
@@ -99,6 +101,21 @@ fn subscript_overlap(s1: Subscript, s2: Subscript) -> Overlap {
             // solve c1·i − c2·j = o2 − o1
             if c1 == 0 && c2 == 0 {
                 return if o1 == o2 {
+                    Overlap::CrossIteration
+                } else {
+                    Overlap::Never
+                };
+            }
+            // exactly one zero stride: the strided reference meets the
+            // loop-invariant cell at a single iteration, which must be
+            // reachable (≥ 0) for any conflict to exist
+            if c1 == 0 || c2 == 0 {
+                let (c, diff) = if c1 == 0 {
+                    (c2, o1 - o2)
+                } else {
+                    (c1, o2 - o1)
+                };
+                return if diff % c == 0 && diff / c >= 0 {
                     Overlap::CrossIteration
                 } else {
                     Overlap::Never
@@ -129,6 +146,20 @@ fn subscript_overlap(s1: Subscript, s2: Subscript) -> Overlap {
             }
         }
     }
+}
+
+/// Whether two references can ever address the same location, in any pair
+/// of iterations — the conservative question downstream analyses (RI/RV
+/// dataflow, certificate construction) need. `Unknown` subscripts conflict
+/// conservatively.
+pub fn refs_may_conflict(r1: &WRef, r2: &WRef) -> bool {
+    refs_overlap(r1, r2).is_some_and(|o| o != Overlap::Never)
+}
+
+/// Whether two references can address the same location in two *different*
+/// iterations (a loop-carried conflict).
+pub fn refs_conflict_cross_iteration(r1: &WRef, r2: &WRef) -> bool {
+    refs_overlap(r1, r2) == Some(Overlap::CrossIteration)
 }
 
 fn refs_overlap(r1: &WRef, r2: &WRef) -> Option<Overlap> {
@@ -317,6 +348,70 @@ mod tests {
                     coeff: 1,
                     offset: 0
                 }
+            ),
+            Overlap::CrossIteration
+        );
+    }
+
+    #[test]
+    fn constant_cell_behind_the_loop_start_never_overlaps() {
+        // A[0] vs A[i+1]: cell 0 is reached only at i = −1, which the
+        // virtual counter (starting at 0) never executes
+        let next = Affine {
+            coeff: 1,
+            offset: 1,
+        };
+        assert_eq!(subscript_overlap(Const(0), next), Overlap::Never);
+        assert_eq!(subscript_overlap(next, Const(0)), Overlap::Never);
+        // A[4] vs A[2i+6] → i = −1: unreachable
+        let stride2 = Affine {
+            coeff: 2,
+            offset: 6,
+        };
+        assert_eq!(subscript_overlap(Const(4), stride2), Overlap::Never);
+        // A[6] vs A[2i+6] → i = 0: a real conflict
+        assert_eq!(
+            subscript_overlap(Const(6), stride2),
+            Overlap::CrossIteration
+        );
+    }
+
+    #[test]
+    fn zero_stride_affine_needs_a_reachable_iteration() {
+        let inv = Affine {
+            coeff: 0,
+            offset: 3,
+        };
+        // i + 5 = 3 → i = −2: unreachable
+        assert_eq!(
+            subscript_overlap(
+                inv,
+                Affine {
+                    coeff: 1,
+                    offset: 5
+                }
+            ),
+            Overlap::Never
+        );
+        // i + 1 = 3 → i = 2: conflict
+        assert_eq!(
+            subscript_overlap(
+                inv,
+                Affine {
+                    coeff: 1,
+                    offset: 1
+                }
+            ),
+            Overlap::CrossIteration
+        );
+        // −i + 3 = 3 → i = 0: conflict at the first iteration
+        assert_eq!(
+            subscript_overlap(
+                Affine {
+                    coeff: -1,
+                    offset: 3
+                },
+                inv
             ),
             Overlap::CrossIteration
         );

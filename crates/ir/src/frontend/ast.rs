@@ -1,6 +1,7 @@
 //! Abstract syntax for the loop DSL.
 
 use super::lexer::CmpOp;
+use crate::span::Span;
 
 /// An expression.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +46,8 @@ pub struct Decl {
     pub name: String,
     /// Optional initializer.
     pub init: Option<Expr>,
+    /// Source span of the whole declaration.
+    pub span: Span,
 }
 
 /// A loop-body statement.
@@ -65,8 +68,22 @@ pub struct Program {
     pub decls: Vec<Decl>,
     /// The `while (…)` continuation condition.
     pub cond: Expr,
+    /// Source span of the WHILE condition.
+    pub cond_span: Span,
     /// Body statements in program order.
     pub body: Vec<Stmt>,
+    /// Source span of each body statement (`stmt_spans[i]` covers
+    /// `body[i]`). Kept parallel to `body` so pattern matches on the
+    /// statements stay untouched; programs built by hand may leave it
+    /// empty and spans degrade to zero-width.
+    pub stmt_spans: Vec<Span>,
+}
+
+impl Program {
+    /// The span of body statement `i` (zero-width when unknown).
+    pub fn stmt_span(&self, i: usize) -> Span {
+        self.stmt_spans.get(i).copied().unwrap_or_default()
+    }
 }
 
 impl Expr {

@@ -1,5 +1,7 @@
 //! Tokenizer for the loop DSL.
 
+use crate::span::Span;
+
 /// A lexical token.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Token {
@@ -63,6 +65,13 @@ pub struct LexError {
     pub msg: String,
 }
 
+impl LexError {
+    /// The source span of the offending character.
+    pub fn span(&self) -> Span {
+        Span::new(self.pos, self.pos + 1)
+    }
+}
+
 impl std::fmt::Display for LexError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{} at byte {}", self.msg, self.pos)
@@ -70,18 +79,26 @@ impl std::fmt::Display for LexError {
 }
 
 /// Tokenizes `src`, skipping whitespace and `//`/`!` line comments (the
-/// latter being the Fortran comment flavor).
-pub fn lex(src: &str) -> Result<Vec<(usize, Token)>, LexError> {
+/// latter being the Fortran comment flavor). Every token carries the byte
+/// [`Span`] of the source text it was read from.
+pub fn lex(src: &str) -> Result<Vec<(Span, Token)>, LexError> {
     let bytes = src.as_bytes();
-    let mut out = Vec::new();
+    let mut out: Vec<(Span, Token)> = Vec::new();
     let mut i = 0usize;
+    // Tokens are pushed with their start offset; the end offset is patched
+    // in as soon as `i` has advanced past the token.
+    macro_rules! tok {
+        ($start:expr, $t:expr, $len:expr) => {{
+            out.push((Span::new($start, $start + $len), $t));
+        }};
+    }
     while i < bytes.len() {
         let c = bytes[i] as char;
         match c {
             ' ' | '\t' | '\r' | '\n' => i += 1,
             // `!=` must win over the Fortran-style `!` comment
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                out.push((i, Token::Cmp(CmpOp::Ne)));
+                tok!(i, Token::Cmp(CmpOp::Ne), 2);
                 i += 2;
             }
             '!' => {
@@ -95,77 +112,77 @@ pub fn lex(src: &str) -> Result<Vec<(usize, Token)>, LexError> {
                 }
             }
             '(' => {
-                out.push((i, Token::LParen));
+                tok!(i, Token::LParen, 1);
                 i += 1;
             }
             ')' => {
-                out.push((i, Token::RParen));
+                tok!(i, Token::RParen, 1);
                 i += 1;
             }
             '[' => {
-                out.push((i, Token::LBracket));
+                tok!(i, Token::LBracket, 1);
                 i += 1;
             }
             ']' => {
-                out.push((i, Token::RBracket));
+                tok!(i, Token::RBracket, 1);
                 i += 1;
             }
             '{' => {
-                out.push((i, Token::LBrace));
+                tok!(i, Token::LBrace, 1);
                 i += 1;
             }
             '}' => {
-                out.push((i, Token::RBrace));
+                tok!(i, Token::RBrace, 1);
                 i += 1;
             }
             '+' => {
-                out.push((i, Token::Plus));
+                tok!(i, Token::Plus, 1);
                 i += 1;
             }
             '-' => {
-                out.push((i, Token::Minus));
+                tok!(i, Token::Minus, 1);
                 i += 1;
             }
             '*' => {
-                out.push((i, Token::Star));
+                tok!(i, Token::Star, 1);
                 i += 1;
             }
             '/' => {
-                out.push((i, Token::Slash));
+                tok!(i, Token::Slash, 1);
                 i += 1;
             }
             ',' => {
-                out.push((i, Token::Comma));
+                tok!(i, Token::Comma, 1);
                 i += 1;
             }
             ';' => {
-                out.push((i, Token::Semi));
+                tok!(i, Token::Semi, 1);
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push((i, Token::Cmp(CmpOp::Le)));
+                    tok!(i, Token::Cmp(CmpOp::Le), 2);
                     i += 2;
                 } else {
-                    out.push((i, Token::Cmp(CmpOp::Lt)));
+                    tok!(i, Token::Cmp(CmpOp::Lt), 1);
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push((i, Token::Cmp(CmpOp::Ge)));
+                    tok!(i, Token::Cmp(CmpOp::Ge), 2);
                     i += 2;
                 } else {
-                    out.push((i, Token::Cmp(CmpOp::Gt)));
+                    tok!(i, Token::Cmp(CmpOp::Gt), 1);
                     i += 1;
                 }
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push((i, Token::Cmp(CmpOp::Eq)));
+                    tok!(i, Token::Cmp(CmpOp::Eq), 2);
                     i += 2;
                 } else {
-                    out.push((i, Token::Assign));
+                    tok!(i, Token::Assign, 1);
                     i += 1;
                 }
             }
@@ -179,7 +196,7 @@ pub fn lex(src: &str) -> Result<Vec<(usize, Token)>, LexError> {
                     pos: start,
                     msg: format!("integer literal `{text}` out of range"),
                 })?;
-                out.push((start, Token::Int(value)));
+                tok!(start, Token::Int(value), i - start);
             }
             _ if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -188,7 +205,7 @@ pub fn lex(src: &str) -> Result<Vec<(usize, Token)>, LexError> {
                 {
                     i += 1;
                 }
-                out.push((start, Token::Ident(src[start..i].to_string())));
+                tok!(start, Token::Ident(src[start..i].to_string()), i - start);
             }
             _ => {
                 return Err(LexError {
@@ -307,7 +324,14 @@ b"
     #[test]
     fn positions_are_byte_offsets() {
         let lexed = lex("ab cd").unwrap();
-        assert_eq!(lexed[0].0, 0);
-        assert_eq!(lexed[1].0, 3);
+        assert_eq!(lexed[0].0, Span::new(0, 2));
+        assert_eq!(lexed[1].0, Span::new(3, 5));
+    }
+
+    #[test]
+    fn spans_cover_multibyte_tokens() {
+        let lexed = lex("x <= 1234").unwrap();
+        assert_eq!(lexed[1].0, Span::new(2, 4));
+        assert_eq!(lexed[2].0, Span::new(5, 9));
     }
 }

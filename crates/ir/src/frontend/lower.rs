@@ -6,6 +6,7 @@
 
 use super::ast::{BinOp, Decl, Expr, Program, Stmt};
 use crate::ir::{ArrayId, LoopIr, Stmt as IrStmt, Subscript, UpdateOp, VarId, WRef};
+use crate::span::Span;
 use std::collections::HashMap;
 
 /// A lowering failure.
@@ -13,6 +14,8 @@ use std::collections::HashMap;
 pub struct LowerError {
     /// Description.
     pub msg: String,
+    /// Source span the failure points at (zero-width when unknown).
+    pub span: Span,
 }
 
 impl std::fmt::Display for LowerError {
@@ -232,14 +235,15 @@ pub fn lower(p: &Program) -> Result<LoopIr, LowerError> {
     // the WHILE condition is the loop's first exit test
     let mut cond_reads = Vec::new();
     lw.reads_of(&p.cond, &mut cond_reads);
-    ir.push(IrStmt::exit_test(cond_reads));
+    ir.push(IrStmt::exit_test(cond_reads).with_span(p.cond_span));
 
-    for st in &p.body {
+    for (si, st) in p.body.iter().enumerate() {
+        let span = p.stmt_span(si);
         match st {
             Stmt::ExitIf(c) => {
                 let mut reads = Vec::new();
                 lw.reads_of(c, &mut reads);
-                ir.push(IrStmt::exit_test(reads));
+                ir.push(IrStmt::exit_test(reads).with_span(span));
             }
             Stmt::AssignVar(name, rhs) => {
                 let mut reads = Vec::new();
@@ -251,11 +255,11 @@ pub fn lower(p: &Program) -> Result<LoopIr, LowerError> {
                             .into_iter()
                             .filter(|r| *r != WRef::Scalar(v))
                             .collect();
-                        ir.push(IrStmt::update(v, op, extra));
+                        ir.push(IrStmt::update(v, op, extra).with_span(span));
                     }
                     None => {
                         let v = lw.var(name);
-                        ir.push(IrStmt::assign(vec![WRef::Scalar(v)], reads));
+                        ir.push(IrStmt::assign(vec![WRef::Scalar(v)], reads).with_span(span));
                     }
                 }
             }
@@ -265,7 +269,7 @@ pub fn lower(p: &Program) -> Result<LoopIr, LowerError> {
                 lw.reads_of(rhs, &mut reads);
                 let s = lw.subscript(sub);
                 let a = lw.array(arr);
-                ir.push(IrStmt::assign(vec![WRef::Element(a, s)], reads));
+                ir.push(IrStmt::assign(vec![WRef::Element(a, s)], reads).with_span(span));
             }
         }
     }
@@ -273,6 +277,7 @@ pub fn lower(p: &Program) -> Result<LoopIr, LowerError> {
     if ir.is_empty() {
         return Err(LowerError {
             msg: "the loop lowers to no statements".into(),
+            span: p.cond_span,
         });
     }
     Ok(ir)
@@ -430,6 +435,17 @@ mod tests {
             ir.stmts[1].kind,
             StmtKind::Update(UpdateOp::Other)
         ));
+    }
+
+    #[test]
+    fn spans_survive_lowering() {
+        let src = "integer i = 0\nwhile (i < n) {\n    A[i] = 2 * A[i]\n    i = i + 1\n}";
+        let ir = parse_loop(src).unwrap();
+        // stmt 0 is the WHILE condition, stmt 1 the array assignment
+        let cond = ir.stmts[0].span.unwrap();
+        assert_eq!(&src[cond.start..cond.end], "i < n");
+        let body = ir.stmts[1].span.unwrap();
+        assert_eq!(&src[body.start..body.end], "A[i] = 2 * A[i]");
     }
 
     #[test]

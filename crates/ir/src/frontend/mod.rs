@@ -36,6 +36,7 @@ pub use lower::{lower, LowerError};
 pub use parser::{parse_program, ParseError};
 
 use crate::ir::LoopIr;
+use crate::span::{render_pos, snippet, Span};
 
 /// Parses and lowers one WHILE loop from source text.
 pub fn parse_loop(src: &str) -> Result<LoopIr, FrontendError> {
@@ -63,6 +64,30 @@ impl std::fmt::Display for FrontendError {
 
 impl std::error::Error for FrontendError {}
 
+impl FrontendError {
+    /// The source span the failure points at.
+    pub fn span(&self) -> Span {
+        match self {
+            FrontendError::Parse(e) => e.span,
+            FrontendError::Lower(e) => e.span,
+        }
+    }
+
+    /// Renders the error against its source as a rustc-style snippet:
+    /// `line:column`, the offending line, and a caret underline.
+    pub fn render(&self, src: &str) -> String {
+        let span = self.span();
+        let (line, caret) = snippet(src, span);
+        format!(
+            "error at {}: {}\n    {}\n    {}",
+            render_pos(src, span.start),
+            self,
+            line,
+            caret
+        )
+    }
+}
+
 impl From<ParseError> for FrontendError {
     fn from(e: ParseError) -> Self {
         FrontendError::Parse(e)
@@ -72,5 +97,20 @@ impl From<ParseError> for FrontendError {
 impl From<LowerError> for FrontendError {
     fn from(e: LowerError) -> Self {
         FrontendError::Lower(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_errors_report_line_and_column() {
+        let src = "integer i = 0\nwhile (i < n) {\n    i = i $ 1\n}";
+        let err = parse_loop(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(rendered.starts_with("error at 3:11:"), "{rendered}");
+        assert!(rendered.contains("i = i $ 1"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
     }
 }

@@ -16,12 +16,15 @@
 
 use super::ast::{BinOp, Decl, Expr, Program, Stmt};
 use super::lexer::{lex, Token};
+use crate::span::Span;
 
 /// A syntax error with the byte offset of the offending token.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset (or source length at end-of-input).
     pub pos: usize,
+    /// Source span of the offending token (zero-width at end-of-input).
+    pub span: Span,
     /// Description.
     pub msg: String,
 }
@@ -33,7 +36,7 @@ impl std::fmt::Display for ParseError {
 }
 
 struct Parser {
-    toks: Vec<(usize, Token)>,
+    toks: Vec<(Span, Token)>,
     at: usize,
     end: usize,
 }
@@ -44,7 +47,21 @@ impl Parser {
     }
 
     fn pos(&self) -> usize {
-        self.toks.get(self.at).map_or(self.end, |(p, _)| *p)
+        self.toks.get(self.at).map_or(self.end, |(s, _)| s.start)
+    }
+
+    /// Span of the token about to be consumed (zero-width at EOF).
+    fn span(&self) -> Span {
+        self.toks
+            .get(self.at)
+            .map_or(Span::point(self.end), |(s, _)| *s)
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        self.toks
+            .get(self.at.wrapping_sub(1))
+            .map_or(Span::point(self.end), |(s, _)| *s)
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -56,6 +73,7 @@ impl Parser {
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
         Err(ParseError {
             pos: self.pos(),
+            span: self.span(),
             msg: msg.into(),
         })
     }
@@ -91,6 +109,7 @@ impl Parser {
         loop {
             match self.peek() {
                 Some(Token::Ident(kw)) if matches!(kw.as_str(), "integer" | "real" | "pointer") => {
+                    let start = self.span();
                     let ty = self.eat_ident("type keyword")?;
                     let name = self.eat_ident("variable name")?;
                     let init = if self.peek() == Some(&Token::Assign) {
@@ -99,8 +118,14 @@ impl Parser {
                     } else {
                         None
                     };
+                    let span = start.to(self.prev_span());
                     self.eat_semi();
-                    decls.push(Decl { ty, name, init });
+                    decls.push(Decl {
+                        ty,
+                        name,
+                        init,
+                        span,
+                    });
                 }
                 _ => break,
             }
@@ -112,22 +137,33 @@ impl Parser {
             _ => return self.err("expected `while`"),
         }
         self.expect(&Token::LParen, "`(`")?;
+        let cond_start = self.span();
         let cond = self.cond()?;
+        let cond_span = cond_start.to(self.prev_span());
         self.expect(&Token::RParen, "`)`")?;
         self.expect(&Token::LBrace, "`{`")?;
         let mut body = Vec::new();
+        let mut stmt_spans = Vec::new();
         while self.peek() != Some(&Token::RBrace) {
             if self.peek().is_none() {
                 return self.err("unterminated loop body (missing `}`)");
             }
+            let start = self.span();
             body.push(self.stmt()?);
+            stmt_spans.push(start.to(self.prev_span()));
             self.eat_semi();
         }
         self.expect(&Token::RBrace, "`}`")?;
         if let Some(t) = self.peek() {
             return self.err(format!("trailing input after loop: {t:?}"));
         }
-        Ok(Program { decls, cond, body })
+        Ok(Program {
+            decls,
+            cond,
+            cond_span,
+            body,
+            stmt_spans,
+        })
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -258,6 +294,7 @@ impl Parser {
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     let toks = lex(src).map_err(|e| ParseError {
         pos: e.pos,
+        span: e.span(),
         msg: e.msg,
     })?;
     let mut p = Parser {
@@ -353,6 +390,29 @@ mod tests {
     fn trailing_garbage_is_an_error() {
         let e = parse_program("while (x < 1) { x = x + 1 } garbage").unwrap_err();
         assert!(e.msg.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn statement_spans_cover_their_source() {
+        let src = "integer i = 0\nwhile (i < n) {\n    A[i] = 2 * A[i]\n    i = i + 1\n}";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.decls[0].span, Span::new(0, 13));
+        assert_eq!(&src[p.cond_span.start..p.cond_span.end], "i < n");
+        assert_eq!(
+            &src[p.stmt_spans[0].start..p.stmt_spans[0].end],
+            "A[i] = 2 * A[i]"
+        );
+        assert_eq!(
+            &src[p.stmt_spans[1].start..p.stmt_spans[1].end],
+            "i = i + 1"
+        );
+    }
+
+    #[test]
+    fn errors_carry_the_offending_token_span() {
+        let e = parse_program("while (x < 1) { x = x + 1 } garbage").unwrap_err();
+        assert_eq!(e.span, Span::new(28, 35));
+        assert_eq!(e.pos, 28);
     }
 
     #[test]

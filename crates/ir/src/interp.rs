@@ -328,7 +328,9 @@ fn parallel_induction(p: &Program) -> Option<(String, i64, i64)> {
                 let tmp = Program {
                     decls: vec![],
                     cond: Expr::Int(1),
+                    cond_span: crate::span::Span::default(),
                     body: vec![Stmt::AssignVar(name.clone(), rhs.clone())],
+                    stmt_spans: vec![],
                 };
                 let ir = crate::frontend::lower(&tmp).ok()?;
                 match ir.stmts.last()?.kind {

@@ -6,6 +6,8 @@
 //! "very complex subscript expressions … and, most frequently, subscripted
 //! subscripts" for which only the run-time PD test can help.
 
+use crate::span::Span;
+
 /// Identifies an array in the loop's environment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ArrayId(pub u32);
@@ -75,6 +77,9 @@ pub struct Stmt {
     pub writes: Vec<WRef>,
     /// Memory locations read.
     pub reads: Vec<WRef>,
+    /// Source span of the statement, when lowered from text (`None` for
+    /// IR built programmatically). Analysis diagnostics anchor here.
+    pub span: Option<Span>,
 }
 
 impl Stmt {
@@ -84,6 +89,7 @@ impl Stmt {
             kind: StmtKind::Assign,
             writes,
             reads,
+            span: None,
         }
     }
 
@@ -95,6 +101,7 @@ impl Stmt {
             kind: StmtKind::Update(op),
             writes: vec![WRef::Scalar(var)],
             reads,
+            span: None,
         }
     }
 
@@ -104,7 +111,14 @@ impl Stmt {
             kind: StmtKind::ExitTest,
             writes: vec![],
             reads,
+            span: None,
         }
+    }
+
+    /// Attaches a source span (builder style).
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
     }
 }
 
@@ -205,6 +219,39 @@ pub mod examples {
         l
     }
 
+    /// Figure 5(b): `tmp = A[2i]; A[2i] = A[2i−1]; A[2i−1] = tmp` — the
+    /// element swap. The scalar `tmp` carries output dependences across
+    /// iterations, but it is defined before use in every iteration:
+    /// privatizing it leaves only disjoint even/odd affine accesses to
+    /// `A`, a valid DOALL. Scalar 0 is `tmp`; array 0 is `A`.
+    pub fn figure5b_swap() -> LoopIr {
+        let tmp = VarId(0);
+        let a = ArrayId(0);
+        let even = Subscript::Affine {
+            coeff: 2,
+            offset: 0,
+        };
+        let odd = Subscript::Affine {
+            coeff: 2,
+            offset: -1,
+        };
+        let mut l = LoopIr::new();
+        l.push(Stmt::exit_test(vec![]));
+        l.push(Stmt::assign(
+            vec![WRef::Scalar(tmp)],
+            vec![WRef::Element(a, even)],
+        ));
+        l.push(Stmt::assign(
+            vec![WRef::Element(a, even)],
+            vec![WRef::Element(a, odd)],
+        ));
+        l.push(Stmt::assign(
+            vec![WRef::Element(a, odd)],
+            vec![WRef::Scalar(tmp)],
+        ));
+        l
+    }
+
     /// Figure 5(c): `A[i] = A[i] + A[i−1]` — a true recurrence.
     pub fn figure5c_recurrence() -> LoopIr {
         let a = ArrayId(0);
@@ -233,6 +280,34 @@ pub mod examples {
                         offset: -1,
                     },
                 ),
+            ],
+        ));
+        l
+    }
+
+    /// Mixed-certainty gather/scatter: a dense affine write (`B[i] = W[i]`)
+    /// feeding an indirect accumulate (`A[idx[i]] += B[i]`). Only the
+    /// indirect array needs run-time shadowing; the dense half is
+    /// statically certified.
+    pub fn gather_scatter_mixed() -> LoopIr {
+        let a = ArrayId(0);
+        let b = ArrayId(1);
+        let w = ArrayId(2);
+        let i_affine = Subscript::Affine {
+            coeff: 1,
+            offset: 0,
+        };
+        let mut l = LoopIr::new();
+        l.push(Stmt::exit_test(vec![]));
+        l.push(Stmt::assign(
+            vec![WRef::Element(b, i_affine)],
+            vec![WRef::Element(w, i_affine)],
+        ));
+        l.push(Stmt::assign(
+            vec![WRef::Element(a, Subscript::Unknown)],
+            vec![
+                WRef::Element(b, i_affine),
+                WRef::Element(a, Subscript::Unknown),
             ],
         ));
         l

@@ -32,11 +32,15 @@ pub mod interp;
 pub mod ir;
 pub mod plan;
 pub mod scc;
+pub mod span;
 
-pub use dependence::{DepEdge, DepGraph, DepKind};
+pub use dependence::{
+    refs_conflict_cross_iteration, refs_may_conflict, DepEdge, DepGraph, DepKind,
+};
 pub use distribute::{distribute, fuse, DistributedLoop, FusedBlock, LoopNature};
 pub use frontend::parse_loop;
 pub use interp::{run_parallel, run_sequential, ExecOutcome, Machine};
 pub use ir::{ArrayId, LoopIr, Stmt, StmtKind, Subscript, UpdateOp, VarId, WRef};
 pub use plan::{plan, Plan, StrategyKind};
 pub use scc::condense;
+pub use span::{line_col, Span};

@@ -55,6 +55,22 @@ fn dispatcher_class(op: UpdateOp) -> DispatcherClass {
     }
 }
 
+/// `body` with every unanalyzable array reference removed. Dependences
+/// provable on the censored body hold no matter what the `Unknown`
+/// accesses turn out to touch — removing references can only remove
+/// conflicts, never create them.
+fn censor_unknown(body: &LoopIr) -> LoopIr {
+    let unknown = |r: &WRef| matches!(r, WRef::Element(_, Subscript::Unknown));
+    let mut out = LoopIr::new();
+    for s in &body.stmts {
+        let mut c = s.clone();
+        c.writes.retain(|r| !unknown(r));
+        c.reads.retain(|r| !unknown(r));
+        out.push(c);
+    }
+    out
+}
+
 fn has_unknown_access(body: &LoopIr, stmts: &[usize]) -> bool {
     stmts.iter().any(|&s| {
         body.stmts[s]
@@ -112,11 +128,21 @@ pub fn plan(body: &LoopIr) -> Plan {
     let needs_pd_test = has_unknown_access(body, &remainder);
 
     // a remainder with a loop-carried cycle among analyzable accesses is
-    // provably sequential — no point speculating on a known dependence
+    // provably sequential — no point speculating on a known dependence.
+    // The cycle is just as provable when the offending statements *also*
+    // touch Unknown locations: censor those references and re-test, so a
+    // guaranteed-to-abort speculation is never planned.
     let remainder_sequential = loops
         .iter()
         .filter(|l| l.recurrence.is_none())
-        .any(|l| l.nature == LoopNature::Sequential && !has_unknown_access(body, &l.stmts));
+        .any(|l| l.nature == LoopNature::Sequential && !has_unknown_access(body, &l.stmts))
+        || {
+            let censored = censor_unknown(body);
+            let cg = dep_graph(&censored);
+            distribute_with(&censored, &cg)
+                .iter()
+                .any(|l| l.recurrence.is_none() && l.nature == LoopNature::Sequential)
+        };
 
     let strategy = if remainder_sequential {
         StrategyKind::Sequential
@@ -184,6 +210,42 @@ mod tests {
             p.strategy,
             StrategyKind::Sequential,
             "a provable flow recurrence must not be speculated on"
+        );
+    }
+
+    #[test]
+    fn provable_cycle_with_unknown_access_plans_sequential() {
+        // B[i+1] = B[i] + A[idx[i]]: the carried flow dependence on B is
+        // provable from the affine subscripts alone; the Unknown read of A
+        // must not launder it into a speculation that always aborts
+        use crate::ir::{ArrayId, Stmt, Subscript, WRef};
+        let a = ArrayId(0);
+        let b = ArrayId(1);
+        let mut l = crate::ir::LoopIr::new();
+        l.push(Stmt::assign(
+            vec![WRef::Element(
+                b,
+                Subscript::Affine {
+                    coeff: 1,
+                    offset: 1,
+                },
+            )],
+            vec![
+                WRef::Element(
+                    b,
+                    Subscript::Affine {
+                        coeff: 1,
+                        offset: 0,
+                    },
+                ),
+                WRef::Element(a, Subscript::Unknown),
+            ],
+        ));
+        let p = plan(&l);
+        assert_eq!(
+            p.strategy,
+            StrategyKind::Sequential,
+            "a provable carried cycle must win over the Unknown access: {p:?}"
         );
     }
 

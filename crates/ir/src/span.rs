@@ -1,0 +1,139 @@
+//! Byte-offset source spans and line:column rendering.
+//!
+//! The front-end records, for every token, statement and declaration, the
+//! half-open byte range `[start, end)` of the source text it came from.
+//! Spans flow from the lexer through the parser into the AST, survive
+//! lowering onto [`crate::ir::Stmt`], and let every downstream error or
+//! diagnostic point at `line:column` instead of a bare byte offset.
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// A zero-width span at `pos` (end-of-input markers, synthesized
+    /// statements).
+    pub fn point(pos: usize) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Whether the span is zero-width.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// 1-based line and column of a byte offset within `src`.
+///
+/// Columns count bytes from the start of the line (the DSL is ASCII), and
+/// offsets past the end of `src` map to one past the last column — the
+/// conventional location for "unexpected end of input".
+pub fn line_col(src: &str, pos: usize) -> (usize, usize) {
+    let pos = pos.min(src.len());
+    let before = &src.as_bytes()[..pos];
+    let line = 1 + before.iter().filter(|&&b| b == b'\n').count();
+    let col = 1 + before
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(pos, |nl| pos - nl - 1);
+    (line, col)
+}
+
+/// Renders `pos` within `src` as `line:column`.
+pub fn render_pos(src: &str, pos: usize) -> String {
+    let (l, c) = line_col(src, pos);
+    format!("{l}:{c}")
+}
+
+/// Extracts the source line containing `pos` together with a caret line
+/// underlining `span` (clamped to that line) — the body of a rustc-style
+/// diagnostic snippet. Returns `(line_text, caret_line)`.
+pub fn snippet(src: &str, span: Span) -> (String, String) {
+    let pos = span.start.min(src.len());
+    let line_start = src[..pos].rfind('\n').map_or(0, |i| i + 1);
+    let line_end = src[pos..].find('\n').map_or(src.len(), |i| pos + i);
+    let line = &src[line_start..line_end];
+    let col = pos - line_start;
+    let width = span
+        .end
+        .min(line_end)
+        .saturating_sub(span.start)
+        .clamp(1, line.len().saturating_sub(col).max(1));
+    let caret = format!("{}{}", " ".repeat(col), "^".repeat(width));
+    (line.to_string(), caret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 7), (3, 2));
+    }
+
+    #[test]
+    fn past_the_end_maps_to_final_column() {
+        let src = "ab\ncd";
+        assert_eq!(line_col(src, 99), (2, 3));
+        assert_eq!(render_pos(src, 99), "2:3");
+    }
+
+    #[test]
+    fn empty_source() {
+        assert_eq!(line_col("", 0), (1, 1));
+    }
+
+    #[test]
+    fn span_union_covers_both() {
+        let a = Span::new(3, 5);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn snippet_underlines_the_span() {
+        let src = "x = 1\ny = oops + 2\n";
+        let start = src.find("oops").unwrap();
+        let (line, caret) = snippet(src, Span::new(start, start + 4));
+        assert_eq!(line, "y = oops + 2");
+        assert_eq!(caret, "    ^^^^");
+    }
+
+    #[test]
+    fn snippet_clamps_zero_width_spans() {
+        let src = "abc";
+        let (line, caret) = snippet(src, Span::point(3));
+        assert_eq!(line, "abc");
+        assert_eq!(caret, "   ^");
+    }
+}

@@ -1,0 +1,200 @@
+//! Cross-validation of *static* safety claims against the dynamic PD
+//! machinery.
+//!
+//! A static certifier (e.g. `wlp-analyze`) may claim that a loop is a
+//! DOALL, or a DOALL after privatization, without running it. This module
+//! replays a concrete per-iteration access log through **both** dynamic
+//! checkers — the brute-force [`oracle`](crate::oracle) and the production
+//! [`Shadow`] analysis — and falsifies any claim the execution contradicts.
+//! A falsified certificate is a hard failure: it means the static analysis
+//! would have licensed an unsound parallel execution.
+
+use crate::oracle::{oracle_verdict, Access};
+use crate::shadow::Shadow;
+use wlp_runtime::Pool;
+
+/// The statically certified properties to validate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Claims {
+    /// The loop was certified a valid DOALL as-is.
+    pub doall: bool,
+    /// The loop was certified a valid DOALL after privatization.
+    pub privatized_doall: bool,
+}
+
+/// A claim the dynamic execution contradicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Falsified {
+    /// Which claim failed (`"doall"`, `"privatized_doall"`, or
+    /// `"shadow_agreement"` when the two dynamic checkers disagree —
+    /// a bug in this crate rather than in the certifier).
+    pub claim: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Falsified {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "falsified static claim `{}`: {}",
+            self.claim, self.detail
+        )
+    }
+}
+
+impl std::error::Error for Falsified {}
+
+/// Replays `iterations` (per-iteration access logs, program order) into a
+/// [`Shadow`] sized to the touched elements.
+pub fn replay(iterations: &[Vec<Access>]) -> Shadow {
+    let m = iterations
+        .iter()
+        .flatten()
+        .map(|a| match *a {
+            Access::Read(e) | Access::Write(e) => e + 1,
+        })
+        .max()
+        .unwrap_or(0);
+    let sh = Shadow::new(m);
+    for (i, accs) in iterations.iter().enumerate() {
+        let mut marker = sh.iteration(i);
+        for acc in accs {
+            match *acc {
+                Access::Read(e) => marker.mark_read(e),
+                Access::Write(e) => marker.mark_write(e),
+            }
+        }
+    }
+    sh
+}
+
+/// Validates `claims` against one concrete execution.
+///
+/// `last_valid` restricts the oracle and the shadow analysis to iterations
+/// `0..=last_valid` (the overshoot cut), exactly as at run time. The log is
+/// driven through the oracle *and* through [`Shadow::analyze`]; the two
+/// must agree with each other, and both must confirm every claim.
+pub fn crosscheck(
+    iterations: &[Vec<Access>],
+    last_valid: Option<usize>,
+    claims: Claims,
+) -> Result<(), Falsified> {
+    let (doall, privatized) = oracle_verdict(iterations, last_valid);
+
+    let sh = replay(iterations);
+    let v = sh.analyze(&Pool::new(2), last_valid, 16);
+    if v.doall != doall || v.privatized_doall != privatized {
+        return Err(Falsified {
+            claim: "shadow_agreement",
+            detail: format!(
+                "oracle says (doall={doall}, privatized={privatized}) but shadow says \
+                 (doall={}, privatized={}) over {} iterations",
+                v.doall,
+                v.privatized_doall,
+                iterations.len()
+            ),
+        });
+    }
+
+    if claims.doall && !doall {
+        return Err(Falsified {
+            claim: "doall",
+            detail: format!(
+                "certified DOALL, but the execution carries a cross-iteration \
+                 dependence (conflicts: {:?})",
+                v.conflicts
+            ),
+        });
+    }
+    if claims.privatized_doall && !privatized {
+        return Err(Falsified {
+            claim: "privatized_doall",
+            detail: format!(
+                "certified privatizable, but a read is exposed across iterations \
+                 (conflicts: {:?})",
+                v.conflicts
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Access::{Read, Write};
+
+    #[test]
+    fn honest_doall_claim_passes() {
+        let iters = vec![vec![Write(0)], vec![Write(1)], vec![Write(2)]];
+        let claims = Claims {
+            doall: true,
+            privatized_doall: true,
+        };
+        assert!(crosscheck(&iters, None, claims).is_ok());
+    }
+
+    #[test]
+    fn false_doall_claim_is_falsified() {
+        let iters = vec![vec![Write(0)], vec![Read(0)]];
+        let err = crosscheck(
+            &iters,
+            None,
+            Claims {
+                doall: true,
+                privatized_doall: false,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.claim, "doall");
+    }
+
+    #[test]
+    fn privatization_claim_checks_exposed_reads() {
+        // tmp written-then-read per iteration: output deps only
+        let ok = vec![vec![Write(9), Read(9)], vec![Write(9), Read(9)]];
+        assert!(crosscheck(
+            &ok,
+            None,
+            Claims {
+                doall: false,
+                privatized_doall: true
+            }
+        )
+        .is_ok());
+        // exposed first read: privatization is unsound
+        let bad = vec![vec![Read(9), Write(9)], vec![Write(9)]];
+        let err = crosscheck(
+            &bad,
+            None,
+            Claims {
+                doall: false,
+                privatized_doall: true,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.claim, "privatized_doall");
+    }
+
+    #[test]
+    fn overshoot_cut_is_honored() {
+        let iters = vec![vec![Write(0)], vec![Read(0)]];
+        // iteration 1 overshot: the dependence never happened
+        assert!(crosscheck(
+            &iters,
+            Some(0),
+            Claims {
+                doall: true,
+                privatized_doall: true
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn no_claims_still_verifies_shadow_agreement() {
+        let iters = vec![vec![Write(3), Read(3)], vec![Read(3)]];
+        assert!(crosscheck(&iters, None, Claims::default()).is_ok());
+    }
+}

@@ -18,6 +18,9 @@
 //!   mark keeps the two smallest distinct marking iterations, which makes
 //!   the filtered analysis *exact* (see `shadow` module docs), not merely
 //!   conservative.
+//! * [`crosscheck`] — replays concrete access logs through the oracle
+//!   *and* the shadow to falsify static safety certificates (the
+//!   `wlp-analyze` agreement harness).
 //! * [`oracle`] — a sequential, brute-force dependence checker over explicit
 //!   access logs. It defines the ground truth the shadow analysis is
 //!   property-tested against, and doubles as a reference implementation of
@@ -34,11 +37,13 @@
 //!   which the value with the largest stamp `≤` the last valid iteration is
 //!   selected.
 
+pub mod crosscheck;
 pub mod oracle;
 pub mod shadow;
 pub mod sparse_shadow;
 pub mod trail;
 
+pub use crosscheck::{crosscheck, Claims, Falsified};
 pub use oracle::{oracle_verdict, Access};
 pub use shadow::{Conflict, ConflictKind, IterMarker, PdVerdict, Shadow};
 pub use sparse_shadow::{SparseMarker, SparseShadow};

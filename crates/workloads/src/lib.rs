@@ -15,5 +15,6 @@
 
 pub mod ma28;
 pub mod mcsparse;
+pub mod sources;
 pub mod spice;
 pub mod track;
