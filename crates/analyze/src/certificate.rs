@@ -28,7 +28,7 @@ use wlp_obs::StrategyChoice;
 use wlp_runtime::GovernorPolicy;
 
 /// The analysis verdict a certificate carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CertVerdict {
     /// No run-time test needed: every surviving access is provably
     /// independent. Execute as a DOALL.
@@ -41,8 +41,28 @@ pub enum CertVerdict {
     SpeculateBounded,
 }
 
+impl CertVerdict {
+    /// Short stable name (cache lines, JSON responses).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CertVerdict::CertifiedDoall => "certified_doall",
+            CertVerdict::CertifiedSequential => "certified_sequential",
+            CertVerdict::SpeculateBounded => "speculate_bounded",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "certified_doall" => CertVerdict::CertifiedDoall,
+            "certified_sequential" => CertVerdict::CertifiedSequential,
+            "speculate_bounded" => CertVerdict::SpeculateBounded,
+            _ => return None,
+        })
+    }
+}
+
 /// The static safety contract for one loop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SafetyCertificate {
     /// Refined verdict.
     pub verdict: CertVerdict,
@@ -148,6 +168,198 @@ impl SafetyCertificate {
                 }
             }
         }
+    }
+}
+
+/// A failure decoding a compact certificate line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertDecodeError {
+    /// What was malformed.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CertDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "certificate decode error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for CertDecodeError {}
+
+fn decode_err<T>(msg: impl Into<String>) -> Result<T, CertDecodeError> {
+    Err(CertDecodeError { msg: msg.into() })
+}
+
+impl SafetyCertificate {
+    /// Encodes the certificate as one stable, newline-free text line —
+    /// the cache-friendly representation `wlp-serve`'s certificate cache
+    /// stores and ships. The format is versioned (`cert-v1;…`) and
+    /// round-trips exactly: [`decode_compact`](Self::decode_compact) of
+    /// the result equals `self` (property-tested in
+    /// `tests/cert_roundtrip.rs`).
+    pub fn encode_compact(&self) -> String {
+        let term = match self.terminator {
+            TerminatorClass::RemainderInvariant => "ri",
+            TerminatorClass::RemainderVariant => "rv",
+        };
+        let par = match self.parallelism {
+            Parallelism::Full => "full",
+            Parallelism::ParallelPrefix => "prefix",
+            Parallelism::Sequential => "seq",
+        };
+        let join = |xs: &[String]| xs.join(",");
+        format!(
+            "cert-v1;verdict={};term={};par={};w={};u={};ua={};us={}",
+            self.verdict.name(),
+            term,
+            par,
+            self.writes_per_iter,
+            self.uncertain_writes_per_iter,
+            join(
+                &self
+                    .uncertain_arrays
+                    .iter()
+                    .map(|a| a.0.to_string())
+                    .collect::<Vec<_>>()
+            ),
+            join(
+                &self
+                    .uncertain_stmts
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+            ),
+        )
+    }
+
+    /// Decodes a [`encode_compact`](Self::encode_compact) line.
+    pub fn decode_compact(line: &str) -> Result<Self, CertDecodeError> {
+        let mut fields = line.trim().split(';');
+        if fields.next() != Some("cert-v1") {
+            return decode_err("missing `cert-v1` version tag");
+        }
+        let mut verdict = None;
+        let mut term = None;
+        let mut par = None;
+        let mut w = None;
+        let mut u = None;
+        let mut ua = None;
+        let mut us = None;
+        for field in fields {
+            let Some((key, val)) = field.split_once('=') else {
+                return decode_err(format!("field `{field}` has no `=`"));
+            };
+            match key {
+                "verdict" => {
+                    verdict = Some(CertVerdict::from_name(val).ok_or_else(|| CertDecodeError {
+                        msg: format!("unknown verdict `{val}`"),
+                    })?);
+                }
+                "term" => {
+                    term = Some(match val {
+                        "ri" => TerminatorClass::RemainderInvariant,
+                        "rv" => TerminatorClass::RemainderVariant,
+                        _ => return decode_err(format!("unknown terminator `{val}`")),
+                    });
+                }
+                "par" => {
+                    par = Some(match val {
+                        "full" => Parallelism::Full,
+                        "prefix" => Parallelism::ParallelPrefix,
+                        "seq" => Parallelism::Sequential,
+                        _ => return decode_err(format!("unknown parallelism `{val}`")),
+                    });
+                }
+                "w" => w = Some(parse_u64(val)?),
+                "u" => u = Some(parse_u64(val)?),
+                "ua" => {
+                    ua = Some(
+                        parse_list(val)?
+                            .into_iter()
+                            .map(|n| ArrayId(n as u32))
+                            .collect(),
+                    );
+                }
+                "us" => {
+                    us = Some(parse_list(val)?.into_iter().map(|n| n as usize).collect());
+                }
+                _ => return decode_err(format!("unknown field `{key}`")),
+            }
+        }
+        Ok(SafetyCertificate {
+            verdict: verdict.ok_or_else(|| CertDecodeError {
+                msg: "missing `verdict`".into(),
+            })?,
+            terminator: term.ok_or_else(|| CertDecodeError {
+                msg: "missing `term`".into(),
+            })?,
+            parallelism: par.ok_or_else(|| CertDecodeError {
+                msg: "missing `par`".into(),
+            })?,
+            writes_per_iter: w.ok_or_else(|| CertDecodeError {
+                msg: "missing `w`".into(),
+            })?,
+            uncertain_writes_per_iter: u.ok_or_else(|| CertDecodeError {
+                msg: "missing `u`".into(),
+            })?,
+            uncertain_arrays: ua.ok_or_else(|| CertDecodeError {
+                msg: "missing `ua`".into(),
+            })?,
+            uncertain_stmts: us.ok_or_else(|| CertDecodeError {
+                msg: "missing `us`".into(),
+            })?,
+        })
+    }
+}
+
+fn parse_u64(val: &str) -> Result<u64, CertDecodeError> {
+    val.parse::<u64>().map_err(|_| CertDecodeError {
+        msg: format!("`{val}` is not an unsigned integer"),
+    })
+}
+
+fn parse_list(val: &str) -> Result<Vec<u64>, CertDecodeError> {
+    if val.is_empty() {
+        return Ok(Vec::new());
+    }
+    val.split(',').map(parse_u64).collect()
+}
+
+impl serde::Serialize for SafetyCertificate {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "verdict".into(),
+                serde::Value::Str(self.verdict.name().into()),
+            ),
+            (
+                "terminator".into(),
+                serde::Value::Str(
+                    match self.terminator {
+                        TerminatorClass::RemainderInvariant => "remainder_invariant",
+                        TerminatorClass::RemainderVariant => "remainder_variant",
+                    }
+                    .into(),
+                ),
+            ),
+            (
+                "writes_per_iter".into(),
+                serde::Value::UInt(self.writes_per_iter),
+            ),
+            (
+                "uncertain_writes_per_iter".into(),
+                serde::Value::UInt(self.uncertain_writes_per_iter),
+            ),
+            (
+                "uncertain_arrays".into(),
+                serde::Value::Array(
+                    self.uncertain_arrays
+                        .iter()
+                        .map(|a| serde::Value::UInt(u64::from(a.0)))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 

@@ -31,7 +31,7 @@ pub mod reduction;
 pub mod terminator;
 
 pub use analyze::{analyze, Analysis};
-pub use certificate::{CertVerdict, SafetyCertificate};
+pub use certificate::{CertDecodeError, CertVerdict, SafetyCertificate};
 pub use concrete::{array_log, concretize, remainder_log, scalar_log, ConcreteLog, Owner};
 pub use diag::{Diagnostic, Severity};
 pub use lint::{lint_source, LintOutcome};

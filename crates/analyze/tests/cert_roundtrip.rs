@@ -1,0 +1,92 @@
+//! The compact certificate encoding round-trips exactly — the property
+//! `wlp-serve`'s certificate cache relies on: a certificate that went
+//! through `encode_compact` → `decode_compact` is indistinguishable from
+//! the one the analysis produced.
+
+use proptest::prelude::*;
+use wlp_analyze::{analyze, CertVerdict, SafetyCertificate};
+use wlp_core::taxonomy::{Parallelism, TerminatorClass};
+use wlp_ir::frontend::parse_loop;
+use wlp_ir::ArrayId;
+
+const VERDICTS: [CertVerdict; 3] = [
+    CertVerdict::CertifiedDoall,
+    CertVerdict::CertifiedSequential,
+    CertVerdict::SpeculateBounded,
+];
+const TERMS: [TerminatorClass; 2] = [
+    TerminatorClass::RemainderInvariant,
+    TerminatorClass::RemainderVariant,
+];
+const PARS: [Parallelism; 3] = [
+    Parallelism::Full,
+    Parallelism::ParallelPrefix,
+    Parallelism::Sequential,
+];
+
+proptest! {
+    #[test]
+    fn compact_encoding_round_trips(
+        verdict in 0usize..3,
+        term in 0usize..2,
+        par in 0usize..3,
+        w in 0u64..10_000,
+        u in 0u64..10_000,
+        ua in prop::collection::vec(0u32..64, 0..6),
+        us in prop::collection::vec(0usize..48, 0..6),
+    ) {
+        let cert = SafetyCertificate {
+            verdict: VERDICTS[verdict],
+            terminator: TERMS[term],
+            parallelism: PARS[par],
+            writes_per_iter: w,
+            uncertain_writes_per_iter: u,
+            uncertain_arrays: ua.iter().copied().map(ArrayId).collect(),
+            uncertain_stmts: us.clone(),
+        };
+        let line = cert.encode_compact();
+        prop_assert!(line.starts_with("cert-v1;"), "{line}");
+        prop_assert!(!line.contains('\n'), "{line}");
+        let back = SafetyCertificate::decode_compact(&line)
+            .map_err(|e| TestCaseError::fail(format!("{e} in `{line}`")))?;
+        prop_assert_eq!(back, cert);
+    }
+}
+
+/// Real analysis outputs (not just synthetic field combinations) survive
+/// the round trip.
+#[test]
+fn analysis_certificates_round_trip() {
+    let sources = [
+        // certified DOALL after privatization
+        "integer i = 1\ninteger tmp = 0\nwhile (i < n) {\n    tmp = A[2 * i]\n    A[2 * i] = A[2 * i - 1]\n    A[2 * i - 1] = tmp\n    i = i + 1\n}",
+        // speculate-bounded: indirect update
+        "integer i = 0\nwhile (i < n) {\n    B[i] = 2 * w[i]\n    A[idx[i]] = A[idx[i]] + B[i]\n    i = i + 1\n}",
+        // certified sequential: first-order recurrence
+        "integer i = 1\nwhile (i < n) {\n    A[i] = A[i] + A[i - 1]\n    i = i + 1\n}",
+    ];
+    for src in sources {
+        let cert = analyze(&parse_loop(src).expect("parses")).certificate;
+        let back = SafetyCertificate::decode_compact(&cert.encode_compact()).expect("decodes");
+        assert_eq!(back, cert, "round trip changed the certificate for:\n{src}");
+    }
+}
+
+#[test]
+fn decode_rejects_malformed_lines() {
+    for bad in [
+        "",
+        "cert-v2;verdict=certified_doall",
+        "verdict=certified_doall;term=ri",
+        "cert-v1;verdict=bogus;term=ri;par=full;w=1;u=0;ua=;us=",
+        "cert-v1;verdict=certified_doall;term=ri;par=full;w=x;u=0;ua=;us=",
+        "cert-v1;verdict=certified_doall;term=ri;par=full;w=1;u=0;ua=",
+        "cert-v1;verdict=certified_doall;noequals",
+        "cert-v1;verdict=certified_doall;term=ri;par=full;w=1;u=0;ua=;us=;extra=1",
+    ] {
+        assert!(
+            SafetyCertificate::decode_compact(bad).is_err(),
+            "accepted malformed line `{bad}`"
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Traffic replay against an in-process `wlp-serve` [`Service`]: the
+//! latency/cache exhibit for the multi-tenant daemon.
+//!
+//! ```text
+//! cargo run -p wlp-bench --release --bin serve-replay                # full run
+//! cargo run -p wlp-bench --release --bin serve-replay -- --smoke    # CI-sized
+//! cargo run -p wlp-bench --release --bin serve-replay -- --smoke --gate
+//! cargo run -p wlp-bench --release --bin serve-replay -- --out /tmp/s.json
+//! ```
+//!
+//! Two arrival disciplines over the `wlp-workloads::sources` corpus
+//! (5 distinct programs — a serve working set small enough that the
+//! certificate cache should absorb nearly every request):
+//!
+//! * **closed-loop** — `clients` tenant threads, each issuing its next
+//!   request the moment the previous response lands: measures service
+//!   capacity under sustained pressure.
+//! * **open-loop** — one dispatcher issuing at a fixed arrival interval
+//!   regardless of completions: measures latency at a target offered
+//!   load, queueing included.
+//!
+//! The artifact (`BENCH_serve.json`) records per-phase request counts,
+//! p50/p99/mean latency, throughput, and the cache hit/miss counters.
+//! With `--gate`, the run fails (exit 1) if any response is not `ok`,
+//! or if the end-to-end cache-hit ratio falls below
+//! [`GATE_HIT_RATIO`] — the acceptance bar for a working set this hot.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wlp_serve::{ServeConfig, Service};
+use wlp_workloads::sources::{corpus, machine_inputs};
+
+/// Minimum cache-hit ratio `--gate` accepts: ≥100 requests over ≤10
+/// distinct programs must land at least 80% hits.
+const GATE_HIT_RATIO: f64 = 0.8;
+
+#[derive(Serialize)]
+struct Machine {
+    os: String,
+    arch: String,
+    cpus: usize,
+}
+
+#[derive(Serialize)]
+struct RunConfig {
+    smoke: bool,
+    programs: usize,
+    problem_n: usize,
+    closed_clients: usize,
+    closed_requests: usize,
+    open_requests: usize,
+    open_interarrival_us: u64,
+}
+
+#[derive(Serialize)]
+struct Phase {
+    /// `closed` or `open`.
+    name: String,
+    requests: usize,
+    ok: usize,
+    errors: usize,
+    p50_us: u64,
+    p99_us: u64,
+    mean_us: u64,
+    /// Requests per second over the phase's wall time.
+    throughput_rps: f64,
+}
+
+#[derive(Serialize)]
+struct CacheCounters {
+    hits: u64,
+    misses: u64,
+    hit_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct BenchFile {
+    schema: &'static str,
+    machine: Machine,
+    config: RunConfig,
+    phases: Vec<Phase>,
+    cache: CacheCounters,
+}
+
+/// One request line for `program` under `tenant`, digest-reply to keep
+/// response assembly out of the measurement.
+fn request_line(tenant: &str, name: &str, src: &str, n: usize) -> String {
+    let (arrays, scalars) = machine_inputs(name, n);
+    let arrays_json: Vec<String> = arrays
+        .iter()
+        .map(|(k, v)| {
+            let items: Vec<String> = v.iter().map(i64::to_string).collect();
+            format!("{}:[{}]", serde::json::to_string(k), items.join(","))
+        })
+        .collect();
+    let scalars_json: Vec<String> = scalars
+        .iter()
+        .map(|(k, v)| format!("{}:{v}", serde::json::to_string(k)))
+        .collect();
+    format!(
+        r#"{{"op":"run","tenant":{},"program":{},"arrays":{{{}}},"scalars":{{{}}},"max_iters":{},"reply":"digest"}}"#,
+        serde::json::to_string(tenant),
+        serde::json::to_string(src),
+        arrays_json.join(","),
+        scalars_json.join(","),
+        2 * n + 4,
+    )
+}
+
+fn percentile(sorted_us: &[u64], pct: usize) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = (sorted_us.len() * pct / 100).min(sorted_us.len() - 1);
+    sorted_us[idx]
+}
+
+fn phase_from(
+    name: &str,
+    latencies_us: &mut [u64],
+    ok: usize,
+    errors: usize,
+    wall: Duration,
+) -> Phase {
+    latencies_us.sort_unstable();
+    let mean = if latencies_us.is_empty() {
+        0
+    } else {
+        latencies_us.iter().sum::<u64>() / latencies_us.len() as u64
+    };
+    Phase {
+        name: name.to_string(),
+        requests: latencies_us.len(),
+        ok,
+        errors,
+        p50_us: percentile(latencies_us, 50),
+        p99_us: percentile(latencies_us, 99),
+        mean_us: mean,
+        throughput_rps: latencies_us.len() as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Closed loop: `clients` tenants, back-to-back requests, round-robin
+/// over the corpus (offset per tenant so misses spread out).
+fn closed_loop(service: &Service, clients: usize, total: usize, n: usize) -> Phase {
+    let programs = corpus();
+    let ok = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let start = Instant::now();
+    let mut all: Vec<u64> = Vec::with_capacity(total);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let programs = &programs;
+                let ok = &ok;
+                let errors = &errors;
+                scope.spawn(move || {
+                    let tenant = format!("client{c}");
+                    let share = total / clients + usize::from(c < total % clients);
+                    let mut lat = Vec::with_capacity(share);
+                    for r in 0..share {
+                        let (name, src) = programs[(c + r) % programs.len()];
+                        let line = request_line(&tenant, name, src, n);
+                        let t0 = Instant::now();
+                        let resp = service.handle_line(&line);
+                        lat.push(t0.elapsed().as_micros() as u64);
+                        if resp.contains("\"ok\":true") {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            all.extend(h.join().expect("client thread"));
+        }
+    });
+    phase_from(
+        "closed",
+        &mut all,
+        ok.load(Ordering::Relaxed) as usize,
+        errors.load(Ordering::Relaxed) as usize,
+        start.elapsed(),
+    )
+}
+
+/// Open loop: fixed interarrival, one tenant per corpus program, latency
+/// measured per request (the issuing thread absorbs queueing delay —
+/// by the time the corpus is warm every request is a cache hit, so the
+/// service keeps up with any sane interval).
+fn open_loop(service: &Service, total: usize, interarrival: Duration, n: usize) -> Phase {
+    let programs = corpus();
+    let mut lat = Vec::with_capacity(total);
+    let mut ok = 0usize;
+    let mut errors = 0usize;
+    let start = Instant::now();
+    for r in 0..total {
+        let next_arrival = start + interarrival * r as u32;
+        if let Some(wait) = next_arrival.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let (name, src) = programs[r % programs.len()];
+        let line = request_line(&format!("open-{name}"), name, src, n);
+        let t0 = Instant::now();
+        let resp = service.handle_line(&line);
+        lat.push(t0.elapsed().as_micros() as u64);
+        if resp.contains("\"ok\":true") {
+            ok += 1;
+        } else {
+            errors += 1;
+        }
+    }
+    phase_from("open", &mut lat, ok, errors, start.elapsed())
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut apply_gate = false;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--gate" => apply_gate = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: serve-replay [--smoke] [--gate] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let (problem_n, closed_clients, closed_requests, open_requests, interarrival) = if smoke {
+        (64, 2, 120, 60, Duration::from_micros(400))
+    } else {
+        (512, 4, 1000, 400, Duration::from_micros(250))
+    };
+    let config = ServeConfig {
+        workers: cpus.clamp(2, 8),
+        lane_width: 2,
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(Service::new(config));
+
+    let phases = vec![
+        closed_loop(&service, closed_clients, closed_requests, problem_n),
+        open_loop(&service, open_requests, interarrival, problem_n),
+    ];
+
+    let cache = CacheCounters {
+        hits: service.cache_hits(),
+        misses: service.cache_misses(),
+        hit_ratio: service.cache_hit_ratio(),
+    };
+    let file = BenchFile {
+        schema: "wlp-bench-serve-v1",
+        machine: Machine {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus,
+        },
+        config: RunConfig {
+            smoke,
+            programs: corpus().len(),
+            problem_n,
+            closed_clients,
+            closed_requests,
+            open_requests,
+            open_interarrival_us: interarrival.as_micros() as u64,
+        },
+        phases,
+        cache,
+    };
+    std::fs::write(&out, serde::json::to_string(&file)).expect("write bench file");
+    for p in &file.phases {
+        eprintln!(
+            "serve-replay {}: {} requests, {} ok, p50 {}us p99 {}us, {:.0} req/s",
+            p.name, p.requests, p.ok, p.p50_us, p.p99_us, p.throughput_rps
+        );
+    }
+    eprintln!(
+        "serve-replay cache: {} hits / {} misses (ratio {:.3}) -> {}",
+        file.cache.hits, file.cache.misses, file.cache.hit_ratio, out
+    );
+
+    if apply_gate {
+        let mut failures = Vec::new();
+        for p in &file.phases {
+            if p.errors > 0 {
+                failures.push(format!(
+                    "{}: {} of {} requests failed",
+                    p.name, p.errors, p.requests
+                ));
+            }
+            if p.p99_us == 0 {
+                failures.push(format!("{}: no latency recorded", p.name));
+            }
+        }
+        let total: usize = file.phases.iter().map(|p| p.requests).sum();
+        if total < 100 {
+            failures.push(format!("only {total} requests replayed (need >= 100)"));
+        }
+        if file.cache.hit_ratio < GATE_HIT_RATIO {
+            failures.push(format!(
+                "cache-hit ratio {:.3} below gate {GATE_HIT_RATIO}",
+                file.cache.hit_ratio
+            ));
+        }
+        if !failures.is_empty() {
+            eprintln!("gate FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("gate passed");
+    }
+}

@@ -229,6 +229,31 @@ pub enum Event {
         /// Busy time charged for the barrier.
         cost: u64,
     },
+    /// A certificate-cache lookup found a cached analysis for the program
+    /// hash `key` — parse and static analysis were skipped entirely.
+    CertCacheHit {
+        /// Content hash of the program the lookup was keyed by.
+        key: u64,
+    },
+    /// A certificate-cache lookup missed: the program had to be parsed
+    /// and analyzed (and the result was inserted for the next request).
+    CertCacheMiss {
+        /// Content hash of the program the lookup was keyed by.
+        key: u64,
+    },
+    /// A loop region was admitted by the region scheduler and dispatched
+    /// onto a worker lane.
+    RegionAdmit {
+        /// The scheduler lane the region ran on.
+        lane: u64,
+    },
+    /// A region submission was rejected by admission control
+    /// (backpressure); the client is told to retry later.
+    RegionReject {
+        /// Whether the rejection is retriable (tenant cap / hot budget /
+        /// queue depth) as opposed to a permanent refusal.
+        retriable: bool,
+    },
 }
 
 impl Event {
@@ -256,6 +281,10 @@ impl Event {
             Event::Quit { .. } => "quit",
             Event::WindowResize { .. } => "window_resize",
             Event::Barrier { .. } => "barrier",
+            Event::CertCacheHit { .. } => "cert_cache_hit",
+            Event::CertCacheMiss { .. } => "cert_cache_miss",
+            Event::RegionAdmit { .. } => "region_admit",
+            Event::RegionReject { .. } => "region_reject",
         }
     }
 

@@ -86,6 +86,14 @@ pub struct ProfileReport {
     pub barriers: u64,
     /// Window resize decisions observed.
     pub window_resizes: u64,
+    /// Certificate-cache lookups that skipped parse + analysis.
+    pub cache_hits: u64,
+    /// Certificate-cache lookups that had to run the full front-end.
+    pub cache_misses: u64,
+    /// Regions admitted by the region scheduler.
+    pub regions_admitted: u64,
+    /// Region submissions rejected by admission control (backpressure).
+    pub regions_rejected: u64,
     /// Total samples aggregated.
     pub samples: u64,
 }
@@ -129,6 +137,10 @@ impl ProfileReport {
             quits: 0,
             barriers: 0,
             window_resizes: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            regions_admitted: 0,
+            regions_rejected: 0,
             samples: trace.samples.len() as u64,
         };
         let mut iter_undone = 0u64;
@@ -169,6 +181,10 @@ impl ProfileReport {
                 Event::Quit { .. } => r.quits += 1,
                 Event::Barrier { .. } => r.barriers += 1,
                 Event::WindowResize { .. } => r.window_resizes += 1,
+                Event::CertCacheHit { .. } => r.cache_hits += 1,
+                Event::CertCacheMiss { .. } => r.cache_misses += 1,
+                Event::RegionAdmit { .. } => r.regions_admitted += 1,
+                Event::RegionReject { .. } => r.regions_rejected += 1,
                 Event::TermTest { .. } | Event::LockWait { .. } | Event::LockAcquire { .. } => {}
             }
         }

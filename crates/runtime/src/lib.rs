@@ -24,6 +24,10 @@
 //!   dependences (the Section 6 schedule for sequential distributed
 //!   loops, and the Wu & Lewis pipelining baseline).
 //! * [`barrier`] — a reusable centralized barrier.
+//! * [`scheduler`] — the multi-region layer: fixed-width resident worker
+//!   lanes multiplexing many concurrent loop regions onto one shared
+//!   worker budget, with FIFO queuing and queue-pressure reporting for
+//!   admission control (the substrate of the `wlp-serve` daemon).
 //!
 //! Fault containment (the paper's Section 5 exception rule): every
 //! construct catches body panics at iteration boundaries, broadcasts a
@@ -45,6 +49,7 @@ pub mod governor;
 pub mod pool;
 pub mod reduce;
 pub mod scan;
+pub mod scheduler;
 pub mod strip;
 pub mod window;
 
@@ -61,6 +66,7 @@ pub use pool::{
 };
 pub use reduce::{parallel_fold, parallel_min, parallel_min_index};
 pub use scan::{geometric_recurrence_terms, linear_recurrence_terms, parallel_scan_inclusive};
+pub use scheduler::{Lane, RegionScheduler, SchedulerConfig};
 pub use strip::{
     strip_mined, strip_mined_chunked, strip_mined_chunked_rec, strip_mined_rec, StripOutcome,
 };

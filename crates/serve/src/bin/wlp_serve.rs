@@ -1,0 +1,159 @@
+//! The `wlp-serve` daemon binary.
+//!
+//! Two transports over the same [`wlp_serve::Service`]:
+//!
+//! * `wlp-serve --stdin` — read NDJSON requests from standard input,
+//!   write one response line per request to standard output, exit 0 at
+//!   EOF. The mode scripts and the CI smoke job use.
+//! * `wlp-serve --listen ADDR` — accept TCP connections on `ADDR`
+//!   (e.g. `127.0.0.1:7070`), one thread per connection, same NDJSON
+//!   framing per connection. Runs until killed.
+//!
+//! Tunables (see `docs/OPERATIONS.md` for sizing guidance):
+//! `--workers N`, `--lane-width N`, `--cache N`, `--max-inflight N`,
+//! `--max-queue N`, `--max-iters N`, `--credits N`, `--quiet`.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+use wlp_serve::{ServeConfig, Service};
+
+struct Args {
+    listen: Option<String>,
+    cfg: ServeConfig,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wlp-serve [--stdin | --listen ADDR] [--workers N] [--lane-width N]\n\
+         \x20                [--cache N] [--max-inflight N] [--max-queue N]\n\
+         \x20                [--max-iters N] [--credits N] [--quiet]\n\
+         \n\
+         Serves the wlp NDJSON protocol (docs/PROTOCOL.md): one JSON request\n\
+         per line, one response line per request. Default mode is --stdin."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: None,
+        cfg: ServeConfig::default(),
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> usize {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("wlp-serve: {name} needs a positive integer");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--stdin" => args.listen = None,
+            "--listen" => match it.next() {
+                Some(addr) => args.listen = Some(addr),
+                None => usage(),
+            },
+            "--workers" => args.cfg.workers = num("--workers").max(1),
+            "--lane-width" => args.cfg.lane_width = num("--lane-width").max(1),
+            "--cache" => args.cfg.cache_capacity = num("--cache").max(1),
+            "--max-inflight" => args.cfg.max_inflight_per_tenant = num("--max-inflight").max(1),
+            "--max-queue" => args.cfg.max_queue_depth = num("--max-queue"),
+            "--max-iters" => args.cfg.default_max_iters = num("--max-iters"),
+            "--credits" => args.cfg.tenant_spec_credits = num("--credits") as u64,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("wlp-serve: unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let service = Arc::new(Service::new(args.cfg.clone()));
+    if !args.quiet {
+        eprintln!(
+            "wlp-serve: {} workers in {}-wide lanes, cache capacity {}, protocol v{}",
+            args.cfg.workers,
+            args.cfg.lane_width,
+            args.cfg.cache_capacity,
+            wlp_serve::PROTOCOL_VERSION,
+        );
+    }
+    match args.listen {
+        None => serve_stdin(&service),
+        Some(addr) => serve_tcp(&service, &addr, args.quiet),
+    }
+}
+
+fn serve_stdin(service: &Service) -> ExitCode {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("wlp-serve: stdin read failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = service.handle_line(&line);
+        if writeln!(out, "{resp}").and_then(|()| out.flush()).is_err() {
+            // downstream closed the pipe: nothing left to serve
+            return ExitCode::SUCCESS;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn serve_tcp(service: &Arc<Service>, addr: &str, quiet: bool) -> ExitCode {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("wlp-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !quiet {
+        eprintln!("wlp-serve: listening on {addr}");
+    }
+    for conn in listener.incoming() {
+        match conn {
+            Ok(stream) => {
+                let svc = Arc::clone(service);
+                std::thread::spawn(move || serve_conn(&svc, stream));
+            }
+            Err(e) => eprintln!("wlp-serve: accept failed: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn serve_conn(service: &Service, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(stream);
+    let mut out = BufWriter::new(write_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = service.handle_line(&line);
+        if writeln!(out, "{resp}").and_then(|()| out.flush()).is_err() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The certificate cache: content-addressed memoization of the front-end
+//! and the static analysis.
+//!
+//! A service replaying the same handful of loops over and over (the
+//! expected shape of multi-tenant traffic) should pay for parsing,
+//! lowering, privatization, reduction recognition and terminator
+//! classification **once per distinct program**, not once per request.
+//! [`CertCache`] keys entries by the FNV-1a hash of the program source —
+//! a hit skips the whole `wlp-ir` front end and `wlp-analyze` pipeline
+//! and hands back the parsed [`Program`] plus the finished [`Analysis`]
+//! behind an `Arc`, so concurrent requests share one copy.
+//!
+//! Eviction is LRU over a bounded capacity: the cache is sized for the
+//! working set of distinct programs, not the request volume, and a cold
+//! program pays exactly one miss before its certificate is resident.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wlp_analyze::{analyze, Analysis};
+use wlp_ir::frontend::{lower, parse_program, FrontendError, Program};
+
+/// 64-bit FNV-1a over a byte string — the content hash the cache keys on
+/// (and the digest [`crate::Service`] reports for result arrays).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One resident program: everything a request needs that depends only on
+/// the source text.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// FNV-1a hash of the source (the cache key).
+    pub key: u64,
+    /// The parsed AST the interpreter executes.
+    pub program: Program,
+    /// The full static analysis, certificate included.
+    pub analysis: Analysis,
+}
+
+/// Whether a lookup was served from the cache or had to run the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Entry was resident: no parse, no analysis.
+    Hit,
+    /// Entry was built on this call (or rebuilt after eviction).
+    Miss,
+}
+
+struct LruState {
+    map: HashMap<u64, Arc<CacheEntry>>,
+    /// Keys ordered least- to most-recently used. Capacity is small
+    /// (a working set of programs), so the O(len) touch is irrelevant
+    /// next to the analysis it memoizes.
+    order: VecDeque<u64>,
+}
+
+/// A bounded, thread-safe LRU cache of [`CacheEntry`]s keyed by source
+/// content hash.
+pub struct CertCache {
+    capacity: usize,
+    state: Mutex<LruState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CertCache {
+    /// A cache holding at most `capacity` distinct programs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        CertCache {
+            capacity: capacity.max(1),
+            state: Mutex::new(LruState {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `source`, running parse → lower → analyze on a miss.
+    ///
+    /// Front-end failures are returned without being cached: a malformed
+    /// program pays its (cheap) parse error on every submission rather
+    /// than occupying a slot.
+    pub fn lookup(&self, source: &str) -> Result<(Arc<CacheEntry>, CacheOutcome), FrontendError> {
+        let key = fnv1a64(source.as_bytes());
+        {
+            let mut st = self.state.lock();
+            if let Some(entry) = st.map.get(&key).cloned() {
+                touch(&mut st.order, key);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((entry, CacheOutcome::Hit));
+            }
+        }
+        // Build outside the lock: a slow analysis must not serialize
+        // unrelated hits. Two racing misses both build; last insert wins
+        // and both results are identical (the pipeline is deterministic).
+        let program = parse_program(source)?;
+        let body = lower(&program)?;
+        let analysis = analyze(&body);
+        let entry = Arc::new(CacheEntry {
+            key,
+            program,
+            analysis,
+        });
+        let mut st = self.state.lock();
+        if !st.map.contains_key(&key) {
+            if st.map.len() >= self.capacity {
+                if let Some(evict) = st.order.pop_front() {
+                    st.map.remove(&evict);
+                }
+            }
+            st.map.insert(key, entry.clone());
+            st.order.push_back(key);
+        } else {
+            touch(&mut st.order, key);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok((entry, CacheOutcome::Miss))
+    }
+
+    /// Lookups served without running the pipeline.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran parse + analysis.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits over total lookups (0.0 when empty).
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+fn touch(order: &mut VecDeque<u64>, key: u64) {
+    if let Some(pos) = order.iter().position(|&k| k == key) {
+        order.remove(pos);
+    }
+    order.push_back(key);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOOP_A: &str = "integer i = 0\nwhile (i < n) {\n    A[i] = 2 * A[i]\n    i = i + 1\n}";
+    const LOOP_B: &str = "integer i = 0\nwhile (i < n) {\n    B[i] = B[i] + 1\n    i = i + 1\n}";
+    const LOOP_C: &str = "integer i = 1\nwhile (i < n) {\n    C[i] = C[i - 1]\n    i = i + 1\n}";
+
+    #[test]
+    fn fnv_is_stable_and_distinguishes() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+        assert_eq!(fnv1a64(LOOP_A.as_bytes()), fnv1a64(LOOP_A.as_bytes()));
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_entry() {
+        let cache = CertCache::new(8);
+        let (e1, o1) = cache.lookup(LOOP_A).unwrap();
+        let (e2, o2) = cache.lookup(LOOP_A).unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&e1, &e2));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = CertCache::new(2);
+        cache.lookup(LOOP_A).unwrap();
+        cache.lookup(LOOP_B).unwrap();
+        cache.lookup(LOOP_A).unwrap(); // A is now warmer than B
+        cache.lookup(LOOP_C).unwrap(); // evicts B
+        assert_eq!(cache.len(), 2);
+        let (_, a) = cache.lookup(LOOP_A).unwrap();
+        let (_, b) = cache.lookup(LOOP_B).unwrap();
+        assert_eq!(a, CacheOutcome::Hit);
+        assert_eq!(b, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn parse_failures_are_not_cached() {
+        let cache = CertCache::new(2);
+        assert!(cache.lookup("while (").is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn hit_and_miss_certificates_are_identical() {
+        let cache = CertCache::new(1);
+        let (miss, _) = cache.lookup(LOOP_A).unwrap();
+        let (hit, o) = cache.lookup(LOOP_A).unwrap();
+        assert_eq!(o, CacheOutcome::Hit);
+        assert_eq!(miss.analysis.certificate, hit.analysis.certificate);
+        // and both equal a from-scratch analysis
+        cache.lookup(LOOP_B).unwrap(); // evict A
+        let (fresh, o) = cache.lookup(LOOP_A).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        assert_eq!(fresh.analysis.certificate, hit.analysis.certificate);
+    }
+}

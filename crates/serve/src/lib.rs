@@ -1,0 +1,790 @@
+//! `wlp-serve`: a multi-tenant loop-parallelization service.
+//!
+//! The preceding layers of this repository certify and execute one WHILE
+//! loop at a time. This crate turns them into a **resident daemon**: many
+//! tenants submit programs over a newline-delimited JSON protocol (see
+//! `docs/PROTOCOL.md`), and the service multiplexes their loop regions
+//! onto one shared worker budget. Three mechanisms make that safe and
+//! fast:
+//!
+//! * **Certificate cache** ([`cache::CertCache`]) — parse, lowering, and
+//!   the full `wlp-analyze` pipeline are memoized by source content hash;
+//!   a hot program pays zero front-end cost per request, and the hit/miss
+//!   counters surface through `wlp-obs` events and the `stats` op.
+//! * **Region scheduler** ([`wlp_runtime::RegionScheduler`]) — resident
+//!   worker lanes checked out per region in FIFO order, so concurrent
+//!   tenants never cold-start threads and never oversubscribe the host
+//!   (the paper's Section 8 resource-controlled self-scheduling, lifted
+//!   from iterations-within-a-loop to loops-within-a-service).
+//! * **Admission control** ([`TenantState`]) — each tenant holds a
+//!   bounded number of regions in flight, a [`wlp_runtime::Governor`]
+//!   whose abort history demotes it down the strategy ladder, and a
+//!   speculation write-budget credit pool; requests past any bound are
+//!   rejected with a `retry_after_ms` hint instead of queuing unbounded.
+//!
+//! [`Service::handle_line`] is the whole contract: one request line in,
+//! one response line out, callable concurrently from any number of
+//! transport threads (the `wlp-serve` binary wires it to stdin or a TCP
+//! listener).
+
+pub mod cache;
+pub mod proto;
+
+use cache::{CacheEntry, CacheOutcome, CertCache};
+use parking_lot::Mutex;
+use proto::{codes, ProtoError, ReplyMode, Request, RunRequest};
+use serde::{json, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use wlp_analyze::CertVerdict;
+use wlp_ir::interp::{run_parallel, run_sequential, ExecOutcome, Machine};
+use wlp_obs::{AbortReason, Event, ProfileReport, Sample, StrategyChoice, Trace};
+use wlp_runtime::{Governor, GovernorPolicy, RegionScheduler, SchedulerConfig};
+
+pub use cache::fnv1a64;
+pub use proto::PROTOCOL_VERSION;
+
+/// Tunables for a [`Service`] instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Total resident workers shared by all regions.
+    pub workers: usize,
+    /// Workers per region lane (`workers / lane_width` concurrent
+    /// regions; see [`SchedulerConfig`]).
+    pub lane_width: usize,
+    /// Distinct programs the certificate cache holds.
+    pub cache_capacity: usize,
+    /// Regions one tenant may have admitted at once; more are rejected
+    /// `tenant_busy`.
+    pub max_inflight_per_tenant: usize,
+    /// Shared-queue depth past which *all* runs are rejected
+    /// `overloaded`.
+    pub max_queue_depth: usize,
+    /// Iteration bound when a request does not set `max_iters`.
+    pub default_max_iters: usize,
+    /// The hint attached to retriable rejections.
+    pub retry_after_ms: u64,
+    /// Speculation write-budget credits per tenant: a speculative run
+    /// reserves its certified write budget up front and returns it on
+    /// completion; reservation failure is rejected `budget_exhausted`.
+    pub tenant_spec_credits: u64,
+    /// Governor policy each tenant's ladder starts from.
+    pub governor: GovernorPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            lane_width: 2,
+            cache_capacity: 128,
+            max_inflight_per_tenant: 2,
+            max_queue_depth: 8,
+            default_max_iters: 10_000,
+            retry_after_ms: 25,
+            tenant_spec_credits: 1 << 20,
+            governor: GovernorPolicy::default(),
+        }
+    }
+}
+
+/// Per-tenant admission and adaptation state.
+struct TenantState {
+    /// Regions currently admitted (between admission and completion).
+    in_flight: AtomicUsize,
+    /// Strategy ladder driven by this tenant's abort history.
+    governor: Mutex<Governor>,
+    /// Remaining speculation write-budget credits.
+    credits: AtomicU64,
+    /// Requests accounted to this tenant.
+    requests: AtomicU64,
+    /// Requests rejected at admission.
+    rejected: AtomicU64,
+}
+
+impl TenantState {
+    fn new(cfg: &ServeConfig) -> Self {
+        TenantState {
+            in_flight: AtomicUsize::new(0),
+            governor: Mutex::new(Governor::new(cfg.governor)),
+            credits: AtomicU64::new(cfg.tenant_spec_credits),
+            requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Tries to reserve `amount` credits; false if the pool is too low.
+    fn reserve_credits(&self, amount: u64) -> bool {
+        let mut cur = self.credits.load(Ordering::Relaxed);
+        loop {
+            if cur < amount {
+                return false;
+            }
+            match self.credits.compare_exchange_weak(
+                cur,
+                cur - amount,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn return_credits(&self, amount: u64) {
+        self.credits.fetch_add(amount, Ordering::AcqRel);
+    }
+}
+
+/// The resident service: shared scheduler, certificate cache, tenant
+/// table, and observability counters. All methods take `&self` — wrap in
+/// an [`Arc`] and call [`handle_line`](Self::handle_line) from as many
+/// transport threads as you like.
+pub struct Service {
+    cfg: ServeConfig,
+    scheduler: RegionScheduler,
+    cache: CertCache,
+    tenants: Mutex<HashMap<String, Arc<TenantState>>>,
+    samples: Mutex<Vec<Sample>>,
+    epoch: Instant,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Service {
+    /// Builds a service (workers spawn immediately and stay resident).
+    pub fn new(cfg: ServeConfig) -> Self {
+        let scheduler = RegionScheduler::new(SchedulerConfig {
+            total_workers: cfg.workers,
+            lane_width: cfg.lane_width,
+        });
+        let cache = CertCache::new(cfg.cache_capacity);
+        Service {
+            cfg,
+            scheduler,
+            cache,
+            tenants: Mutex::new(HashMap::new()),
+            samples: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// A service with default tunables.
+    pub fn with_defaults() -> Self {
+        Service::new(ServeConfig::default())
+    }
+
+    /// The configuration this service runs under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Handles one NDJSON request line, returning the response line
+    /// (without trailing newline). Never panics on malformed input —
+    /// every failure is a well-formed error response.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let req = match proto::parse_request(line) {
+            Ok(req) => req,
+            Err(err) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return proto::error_line(&err, None);
+            }
+        };
+        match req {
+            Request::Ping { id } => json::to_string(&ok_response(
+                id.as_deref(),
+                "ping",
+                vec![("pong".into(), Value::Bool(true))],
+            )),
+            Request::Stats { id } => json::to_string(&ok_response(
+                id.as_deref(),
+                "stats",
+                vec![("stats".into(), self.stats_value())],
+            )),
+            Request::Certify { id, tenant, source } => self.certify(id, &tenant, &source),
+            Request::Run(run) => self.run(run),
+        }
+    }
+
+    /// The `certify` op: cache lookup + certificate, no execution, no
+    /// admission control (analysis shares the cache, so a hot program
+    /// costs a hash lookup).
+    fn certify(&self, id: Option<String>, tenant: &str, source: &str) -> String {
+        self.tenant(tenant).requests.fetch_add(1, Ordering::Relaxed);
+        let (entry, outcome) = match self.lookup(source) {
+            Ok(pair) => pair,
+            Err(err) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return proto::error_line(
+                    &ProtoError {
+                        code: codes::PARSE_ERROR,
+                        detail: err,
+                        id,
+                    },
+                    None,
+                );
+            }
+        };
+        let cert = &entry.analysis.certificate;
+        let fields = vec![
+            ("cache".into(), cache_value(outcome)),
+            ("program_key".into(), Value::UInt(entry.key)),
+            ("verdict".into(), Value::Str(cert.verdict.name().into())),
+            ("certificate".into(), serde::Serialize::serialize(cert)),
+            ("cert_line".into(), Value::Str(cert.encode_compact())),
+            (
+                "diagnostics".into(),
+                Value::UInt(entry.analysis.diagnostics.len() as u64),
+            ),
+        ];
+        json::to_string(&ok_response(id.as_deref(), "certify", fields))
+    }
+
+    /// The `run` op: cache lookup, admission, lane checkout, execution
+    /// under the tenant's governor rung, response assembly.
+    fn run(&self, req: RunRequest) -> String {
+        let started = Instant::now();
+        let tenant = self.tenant(&req.tenant);
+        tenant.requests.fetch_add(1, Ordering::Relaxed);
+
+        let (entry, outcome) = match self.lookup(&req.source) {
+            Ok(pair) => pair,
+            Err(err) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return proto::error_line(
+                    &ProtoError {
+                        code: codes::PARSE_ERROR,
+                        detail: err,
+                        id: req.id,
+                    },
+                    None,
+                );
+            }
+        };
+        let cert = entry.analysis.certificate.clone();
+        let max_iters = req.max_iters.unwrap_or(self.cfg.default_max_iters);
+
+        // ---- admission ----
+        if let Err(err) = self.admit(&tenant, &req) {
+            return proto::error_line(&err, Some(self.cfg.retry_after_ms));
+        }
+        // From here on the tenant holds an in-flight slot; every exit
+        // path must release it.
+        let release = InflightGuard { tenant: &tenant };
+
+        // Speculative runs reserve their certified write budget from the
+        // tenant's credit pool — the backpressure valve for tenants whose
+        // speculation keeps the undo machinery hot.
+        let cost = if cert.verdict == CertVerdict::SpeculateBounded {
+            cert.write_budget(max_iters as u64).max(1)
+        } else {
+            0
+        };
+        if cost > 0 && !tenant.reserve_credits(cost) {
+            drop(release);
+            tenant.rejected.fetch_add(1, Ordering::Relaxed);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.record(Event::RegionReject { retriable: true });
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            return proto::error_line(
+                &ProtoError {
+                    code: codes::BUDGET_EXHAUSTED,
+                    detail: format!(
+                        "needs {cost} speculation write-budget credits; tenant pool is hot"
+                    ),
+                    id: req.id,
+                },
+                Some(self.cfg.retry_after_ms),
+            );
+        }
+
+        // ---- machine assembly ----
+        let mut machine = Machine::default();
+        for (name, data) in &req.arrays {
+            machine.arrays.insert(name.clone(), data.clone());
+        }
+        for (name, v) in &req.scalars {
+            machine.scalars.insert(name.clone(), *v);
+        }
+        register_builtins(&mut machine);
+
+        // ---- execution on a checked-out lane ----
+        let rung = tenant.governor.lock().current();
+        let attempt_parallel =
+            cert.verdict != CertVerdict::CertifiedSequential && rung != StrategyChoice::Sequential;
+        let lane = self.scheduler.acquire();
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.record(Event::RegionAdmit {
+            lane: lane.index() as u64,
+        });
+        let result: Result<ExecOutcome, _> = if attempt_parallel {
+            run_parallel(&entry.program, &mut machine, &lane, max_iters)
+        } else {
+            run_sequential(&entry.program, &mut machine, max_iters)
+        };
+        drop(lane);
+        if cost > 0 {
+            tenant.return_credits(cost);
+        }
+        drop(release);
+
+        let out = match result {
+            Ok(out) => out,
+            Err(e) => {
+                if attempt_parallel {
+                    tenant
+                        .governor
+                        .lock()
+                        .record_failure(AbortReason::Exception);
+                }
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return proto::error_line(
+                    &ProtoError {
+                        code: codes::EXEC_ERROR,
+                        detail: e.msg,
+                        id: req.id,
+                    },
+                    None,
+                );
+            }
+        };
+        if attempt_parallel {
+            let mut gov = tenant.governor.lock();
+            if out.ran_parallel {
+                gov.record_success();
+            } else {
+                // the speculative path fell back (abort or planner
+                // conservatism): count it against the tenant's ladder
+                gov.record_failure(AbortReason::Dependence);
+            }
+        }
+
+        // ---- response ----
+        let mut fields = vec![
+            ("tenant".into(), Value::Str(req.tenant.clone())),
+            ("cache".into(), cache_value(outcome)),
+            ("program_key".into(), Value::UInt(entry.key)),
+            ("verdict".into(), Value::Str(cert.verdict.name().into())),
+            ("rung".into(), Value::Str(rung_name(rung).into())),
+            ("iterations".into(), Value::UInt(out.iterations as u64)),
+            (
+                "exited_at".into(),
+                match out.exited_at {
+                    Some(i) => Value::UInt(i as u64),
+                    None => Value::Null,
+                },
+            ),
+            ("ran_parallel".into(), Value::Bool(out.ran_parallel)),
+        ];
+        let digests: Vec<(String, Value)> = {
+            let mut names: Vec<&String> = machine.arrays.keys().collect();
+            names.sort();
+            names
+                .iter()
+                .map(|name| {
+                    let data = &machine.arrays[*name];
+                    let mut bytes = Vec::with_capacity(data.len() * 8);
+                    for x in data {
+                        bytes.extend_from_slice(&x.to_le_bytes());
+                    }
+                    ((*name).clone(), Value::UInt(fnv1a64(&bytes)))
+                })
+                .collect()
+        };
+        fields.push(("digests".into(), Value::Object(digests)));
+        if req.reply != ReplyMode::Digest {
+            let mut names: Vec<&String> = machine.scalars.keys().collect();
+            names.sort();
+            let scalars: Vec<(String, Value)> = names
+                .iter()
+                .map(|name| ((*name).clone(), Value::Int(machine.scalars[*name])))
+                .collect();
+            fields.push(("scalars".into(), Value::Object(scalars)));
+        }
+        if req.reply == ReplyMode::Full {
+            let mut names: Vec<&String> = machine.arrays.keys().collect();
+            names.sort();
+            let arrays: Vec<(String, Value)> = names
+                .iter()
+                .map(|name| {
+                    (
+                        (*name).clone(),
+                        Value::Array(
+                            machine.arrays[*name]
+                                .iter()
+                                .map(|&x| Value::Int(x))
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect();
+            fields.push(("arrays".into(), Value::Object(arrays)));
+        }
+        fields.push((
+            "latency_us".into(),
+            Value::UInt(started.elapsed().as_micros() as u64),
+        ));
+        json::to_string(&ok_response(req.id.as_deref(), "run", fields))
+    }
+
+    /// Cache lookup + obs accounting; errors are pre-rendered.
+    fn lookup(&self, source: &str) -> Result<(Arc<CacheEntry>, CacheOutcome), String> {
+        match self.cache.lookup(source) {
+            Ok((entry, outcome)) => {
+                self.record(match outcome {
+                    CacheOutcome::Hit => Event::CertCacheHit { key: entry.key },
+                    CacheOutcome::Miss => Event::CertCacheMiss { key: entry.key },
+                });
+                Ok((entry, outcome))
+            }
+            Err(e) => Err(e.render(source)),
+        }
+    }
+
+    /// Admission control: per-tenant in-flight bound, then shared queue
+    /// depth. On rejection the counters and obs events are recorded.
+    fn admit(&self, tenant: &Arc<TenantState>, req: &RunRequest) -> Result<(), ProtoError> {
+        let mut cur = tenant.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.cfg.max_inflight_per_tenant {
+                tenant.rejected.fetch_add(1, Ordering::Relaxed);
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.record(Event::RegionReject { retriable: true });
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return Err(ProtoError {
+                    code: codes::TENANT_BUSY,
+                    detail: format!("{cur} regions already in flight for `{}`", req.tenant),
+                    id: req.id.clone(),
+                });
+            }
+            match tenant.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        if self.scheduler.waiting() >= self.cfg.max_queue_depth {
+            tenant.in_flight.fetch_sub(1, Ordering::AcqRel);
+            tenant.rejected.fetch_add(1, Ordering::Relaxed);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.record(Event::RegionReject { retriable: true });
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(ProtoError {
+                code: codes::OVERLOADED,
+                detail: format!(
+                    "{} regions queued for {} lanes",
+                    self.scheduler.waiting(),
+                    self.scheduler.lanes()
+                ),
+                id: req.id.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    fn tenant(&self, name: &str) -> Arc<TenantState> {
+        let mut tenants = self.tenants.lock();
+        tenants
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(TenantState::new(&self.cfg)))
+            .clone()
+    }
+
+    fn record(&self, event: Event) {
+        self.samples.lock().push(Sample {
+            t: self.epoch.elapsed().as_nanos() as u64,
+            proc: 0,
+            event,
+        });
+    }
+
+    /// Cache hits so far (also in the `stats` op and [`profile`](Self::profile)).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Hits over total cache lookups.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        self.cache.hit_ratio()
+    }
+
+    /// A snapshot of the service's event stream as a `wlp-obs`
+    /// [`Trace`] (single logical proc; region/cache events only).
+    pub fn trace(&self) -> Trace {
+        Trace {
+            p: 1,
+            makespan: self.epoch.elapsed().as_nanos() as u64,
+            samples: self.samples.lock().clone(),
+        }
+    }
+
+    /// The [`ProfileReport`] over [`trace`](Self::trace): the same
+    /// aggregation path every other executor in the repo reports
+    /// through, so `cache_hits`/`cache_misses`/`regions_admitted`/
+    /// `regions_rejected` land in the standard report.
+    pub fn profile(&self) -> ProfileReport {
+        ProfileReport::from_trace(&self.trace())
+    }
+
+    /// The `stats` payload (also available without a request round-trip).
+    pub fn stats_value(&self) -> Value {
+        let tenants = self.tenants.lock();
+        let mut names: Vec<&String> = tenants.keys().collect();
+        names.sort();
+        let per_tenant: Vec<(String, Value)> = names
+            .iter()
+            .map(|name| {
+                let t = &tenants[*name];
+                (
+                    (*name).clone(),
+                    Value::Object(vec![
+                        (
+                            "requests".into(),
+                            Value::UInt(t.requests.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "rejected".into(),
+                            Value::UInt(t.rejected.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "in_flight".into(),
+                            Value::UInt(t.in_flight.load(Ordering::Relaxed) as u64),
+                        ),
+                        (
+                            "credits".into(),
+                            Value::UInt(t.credits.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "rung".into(),
+                            Value::Str(rung_name(t.governor.lock().current()).into()),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            (
+                "requests".into(),
+                Value::UInt(self.requests.load(Ordering::Relaxed)),
+            ),
+            (
+                "errors".into(),
+                Value::UInt(self.errors.load(Ordering::Relaxed)),
+            ),
+            ("cache_hits".into(), Value::UInt(self.cache.hits())),
+            ("cache_misses".into(), Value::UInt(self.cache.misses())),
+            (
+                "cache_hit_ratio".into(),
+                Value::Float(self.cache.hit_ratio()),
+            ),
+            ("cache_len".into(), Value::UInt(self.cache.len() as u64)),
+            (
+                "cache_capacity".into(),
+                Value::UInt(self.cache.capacity() as u64),
+            ),
+            (
+                "regions_admitted".into(),
+                Value::UInt(self.admitted.load(Ordering::Relaxed)),
+            ),
+            (
+                "regions_rejected".into(),
+                Value::UInt(self.rejected.load(Ordering::Relaxed)),
+            ),
+            (
+                "regions_run".into(),
+                Value::UInt(self.scheduler.regions_run()),
+            ),
+            ("lanes".into(), Value::UInt(self.scheduler.lanes() as u64)),
+            (
+                "queue_waiting".into(),
+                Value::UInt(self.scheduler.waiting() as u64),
+            ),
+            ("tenants".into(), Value::Object(per_tenant)),
+        ])
+    }
+}
+
+/// Releases the tenant's in-flight slot on every exit path.
+struct InflightGuard<'a> {
+    tenant: &'a Arc<TenantState>,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.tenant.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn ok_response(id: Option<&str>, op: &str, rest: Vec<(String, Value)>) -> Value {
+    let mut fields = vec![
+        ("v".to_string(), Value::UInt(PROTOCOL_VERSION)),
+        ("ok".to_string(), Value::Bool(true)),
+    ];
+    if let Some(id) = id {
+        fields.push(("id".to_string(), Value::Str(id.to_string())));
+    }
+    fields.push(("op".to_string(), Value::Str(op.to_string())));
+    fields.extend(rest);
+    Value::Object(fields)
+}
+
+fn cache_value(outcome: CacheOutcome) -> Value {
+    Value::Str(
+        match outcome {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+        }
+        .into(),
+    )
+}
+
+fn rung_name(s: StrategyChoice) -> &'static str {
+    match s {
+        StrategyChoice::Speculative => "speculative",
+        StrategyChoice::Windowed => "windowed",
+        StrategyChoice::Distribution => "distribution",
+        StrategyChoice::Sequential => "sequential",
+    }
+}
+
+/// The deterministic host functions every served [`Machine`] provides
+/// (WHILE programs may call uninterpreted functions like `g(x)`; a
+/// service has no way to ship closures over JSON, so these are fixed and
+/// documented in `docs/PROTOCOL.md`). All arithmetic wraps.
+pub fn register_builtins(machine: &mut Machine) {
+    machine.define_fn("f", |args: &[i64]| {
+        args.first()
+            .copied()
+            .unwrap_or(0)
+            .wrapping_mul(3)
+            .wrapping_add(1)
+    });
+    machine.define_fn("g", |args: &[i64]| {
+        args.first().copied().unwrap_or(0).wrapping_add(7)
+    });
+    machine.define_fn("h", |args: &[i64]| args.first().copied().unwrap_or(0) >> 1);
+    machine.define_fn("abs", |args: &[i64]| {
+        args.first().copied().unwrap_or(0).wrapping_abs()
+    });
+    machine.define_fn("min", |args: &[i64]| {
+        args.iter().copied().min().unwrap_or(0)
+    });
+    machine.define_fn("max", |args: &[i64]| {
+        args.iter().copied().max().unwrap_or(0)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOUBLE: &str = "integer i = 0\nwhile (i < n) {\n    A[i] = 2 * A[i]\n    i = i + 1\n}";
+
+    fn run_line(tenant: &str, n: i64, a: &[i64]) -> String {
+        let items: Vec<String> = a.iter().map(i64::to_string).collect();
+        format!(
+            r#"{{"op":"run","tenant":"{tenant}","program":{},"arrays":{{"A":[{}]}},"scalars":{{"n":{n}}},"reply":"full"}}"#,
+            json::to_string(DOUBLE),
+            items.join(",")
+        )
+    }
+
+    #[test]
+    fn ping_and_stats_round_trip() {
+        let svc = Service::with_defaults();
+        let pong = svc.handle_line(r#"{"op":"ping","id":"p1"}"#);
+        assert!(
+            pong.contains("\"ok\":true") && pong.contains("\"pong\":true"),
+            "{pong}"
+        );
+        assert!(pong.contains("\"id\":\"p1\""));
+        let stats = svc.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.contains("\"cache_hits\":0"), "{stats}");
+    }
+
+    #[test]
+    fn run_executes_and_second_submission_hits_the_cache() {
+        let svc = Service::with_defaults();
+        let r1 = svc.handle_line(&run_line("t0", 3, &[1, 2, 3]));
+        assert!(r1.contains("\"cache\":\"miss\""), "{r1}");
+        assert!(r1.contains("\"arrays\":{\"A\":[2,4,6]}"), "{r1}");
+        let r2 = svc.handle_line(&run_line("t0", 3, &[5, 5, 5]));
+        assert!(r2.contains("\"cache\":\"hit\""), "{r2}");
+        assert!(r2.contains("\"arrays\":{\"A\":[10,10,10]}"), "{r2}");
+        assert_eq!((svc.cache_hits(), svc.cache_misses()), (1, 1));
+        let report = svc.profile();
+        assert_eq!((report.cache_hits, report.cache_misses), (1, 1));
+        assert_eq!(report.regions_admitted, 2);
+    }
+
+    #[test]
+    fn malformed_program_is_a_parse_error_with_a_span() {
+        let svc = Service::with_defaults();
+        let resp = svc.handle_line(r#"{"op":"run","program":"while (","id":"x"}"#);
+        assert!(resp.contains("\"code\":\"parse_error\""), "{resp}");
+        assert!(resp.contains("\"id\":\"x\""));
+        assert!(resp.contains("error at "), "{resp}");
+    }
+
+    #[test]
+    fn exec_errors_are_reported_not_panicked() {
+        let svc = Service::with_defaults();
+        // array A is never supplied
+        let resp = svc.handle_line(&format!(
+            r#"{{"op":"run","program":{},"scalars":{{"n":3}}}}"#,
+            json::to_string(DOUBLE)
+        ));
+        assert!(resp.contains("\"code\":\"exec_error\""), "{resp}");
+    }
+
+    #[test]
+    fn budget_exhaustion_rejects_with_retry_hint() {
+        let svc = Service::new(ServeConfig {
+            tenant_spec_credits: 4,
+            ..ServeConfig::default()
+        });
+        // GATHER_SCATTER-shaped: one uncertain write per iteration, so a
+        // 100-iteration bound needs 100 credits against a pool of 4.
+        let src = "integer i = 0\nwhile (i < n) {\n    A[idx[i]] = A[idx[i]] + 1\n    i = i + 1\n}";
+        let resp = svc.handle_line(&format!(
+            r#"{{"op":"run","program":{},"arrays":{{"A":[0,0],"idx":[0,1]}},"scalars":{{"n":2}},"max_iters":100}}"#,
+            json::to_string(src)
+        ));
+        assert!(resp.contains("\"code\":\"budget_exhausted\""), "{resp}");
+        assert!(resp.contains("\"retry_after_ms\":25"), "{resp}");
+        // the slot was released: a cheap certified program still runs
+        let ok = svc.handle_line(&run_line("anon", 2, &[1, 1]));
+        assert!(ok.contains("\"ok\":true"), "{ok}");
+    }
+
+    #[test]
+    fn certify_returns_the_certificate_without_running() {
+        let svc = Service::with_defaults();
+        let resp = svc.handle_line(&format!(
+            r#"{{"op":"certify","program":{}}}"#,
+            json::to_string(DOUBLE)
+        ));
+        assert!(resp.contains("\"verdict\":\"certified_doall\""), "{resp}");
+        assert!(resp.contains("cert-v1;"), "{resp}");
+        assert_eq!(svc.cache_misses(), 1);
+    }
+}

@@ -1,0 +1,362 @@
+//! The `wlp-serve` wire protocol: newline-delimited JSON requests and
+//! responses.
+//!
+//! One request per line, one response line per request, in order. The
+//! schema is documented (with the exact examples the CI smoke job
+//! replays) in `docs/PROTOCOL.md`; this module is the executable side of
+//! that contract: [`parse_request`] validates an incoming line into a
+//! typed [`Request`], and the error vocabulary ([`codes`]) is the single
+//! source of truth for the `error.code` field.
+
+use serde::{json, Value};
+
+/// The protocol version this build speaks. Requests may carry a `"v"`
+/// field; omitted means current, anything else is rejected with
+/// [`codes::UNSUPPORTED_VERSION`].
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Error codes a response's `error.code` field can carry.
+///
+/// Codes marked *retriable* come with a `retry_after_ms` hint: the
+/// request was well-formed but the service is momentarily unwilling;
+/// resubmitting after the hint is the expected client behavior.
+pub mod codes {
+    /// Malformed JSON, missing/mistyped fields, unknown `op`.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The request's `"v"` is not a version this build speaks.
+    pub const UNSUPPORTED_VERSION: &str = "unsupported_version";
+    /// The WHILE program failed to parse or lower; `error.detail`
+    /// carries the rendered span.
+    pub const PARSE_ERROR: &str = "parse_error";
+    /// The program parsed but execution failed (out-of-bounds access,
+    /// unbound name, division by zero).
+    pub const EXEC_ERROR: &str = "exec_error";
+    /// Retriable: the tenant already has its maximum admitted regions
+    /// in flight.
+    pub const TENANT_BUSY: &str = "tenant_busy";
+    /// Retriable: the shared region queue is too deep to admit more
+    /// work from anyone.
+    pub const OVERLOADED: &str = "overloaded";
+    /// Retriable: the tenant's speculation write-budget credits are
+    /// exhausted — its speculative regions are running hot.
+    pub const BUDGET_EXHAUSTED: &str = "budget_exhausted";
+}
+
+/// How much state a `run` response carries back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplyMode {
+    /// Array digests only (cheapest; for replay gating).
+    Digest,
+    /// Final scalars plus array digests (the default).
+    #[default]
+    Scalars,
+    /// Scalars, digests, and full array contents.
+    Full,
+}
+
+impl ReplyMode {
+    fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "digest" => ReplyMode::Digest,
+            "scalars" => ReplyMode::Scalars,
+            "full" => ReplyMode::Full,
+            _ => return None,
+        })
+    }
+}
+
+/// A `run` request: execute a WHILE program against supplied state.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Client-chosen correlation id, echoed verbatim.
+    pub id: Option<String>,
+    /// Tenant the request is accounted to.
+    pub tenant: String,
+    /// WHILE source text.
+    pub source: String,
+    /// Initial arrays, name → contents.
+    pub arrays: Vec<(String, Vec<i64>)>,
+    /// Initial scalars, name → value.
+    pub scalars: Vec<(String, i64)>,
+    /// Iteration bound override (service default when absent).
+    pub max_iters: Option<usize>,
+    /// Response verbosity.
+    pub reply: ReplyMode,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Execute a program.
+    Run(RunRequest),
+    /// Analyze only: return the certificate without executing.
+    Certify {
+        /// Correlation id.
+        id: Option<String>,
+        /// Tenant (accounting only; certify is not admission-controlled).
+        tenant: String,
+        /// WHILE source text.
+        source: String,
+    },
+    /// Service counters snapshot.
+    Stats {
+        /// Correlation id.
+        id: Option<String>,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Correlation id.
+        id: Option<String>,
+    },
+}
+
+/// A request rejection: the error code plus a human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// One of the [`codes`] constants.
+    pub code: &'static str,
+    /// What went wrong, for humans.
+    pub detail: String,
+    /// Correlation id if one was recovered before the failure.
+    pub id: Option<String>,
+}
+
+fn bad<T>(id: Option<String>, detail: impl Into<String>) -> Result<T, ProtoError> {
+    Err(ProtoError {
+        code: codes::BAD_REQUEST,
+        detail: detail.into(),
+        id,
+    })
+}
+
+/// The tenant name used when a request does not name one.
+pub const DEFAULT_TENANT: &str = "anon";
+
+/// Parses one NDJSON request line into a typed [`Request`].
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let v = json::parse(line).map_err(|e| ProtoError {
+        code: codes::BAD_REQUEST,
+        detail: format!("invalid JSON at byte {}: {}", e.at, e.msg),
+        id: None,
+    })?;
+    if v.as_object().is_none() {
+        return bad(None, "request must be a JSON object");
+    }
+    let id = v.get("id").and_then(Value::as_str).map(str::to_string);
+    if let Some(ver) = v.get("v") {
+        match ver.as_u64() {
+            Some(PROTOCOL_VERSION) => {}
+            _ => {
+                return Err(ProtoError {
+                    code: codes::UNSUPPORTED_VERSION,
+                    detail: format!(
+                        "this build speaks protocol v{PROTOCOL_VERSION}; got {}",
+                        json::to_string(ver)
+                    ),
+                    id,
+                })
+            }
+        }
+    }
+    let Some(op) = v.get("op").and_then(Value::as_str) else {
+        return bad(id, "missing string field `op`");
+    };
+    let tenant = v
+        .get("tenant")
+        .and_then(Value::as_str)
+        .unwrap_or(DEFAULT_TENANT)
+        .to_string();
+    match op {
+        "ping" => Ok(Request::Ping { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "certify" => {
+            let Some(source) = v.get("program").and_then(Value::as_str) else {
+                return bad(id, "`certify` needs a string field `program`");
+            };
+            Ok(Request::Certify {
+                id,
+                tenant,
+                source: source.to_string(),
+            })
+        }
+        "run" => {
+            let Some(source) = v.get("program").and_then(Value::as_str) else {
+                return bad(id, "`run` needs a string field `program`");
+            };
+            let arrays = match v.get("arrays") {
+                None => Vec::new(),
+                Some(a) => parse_arrays(a).map_err(|detail| ProtoError {
+                    code: codes::BAD_REQUEST,
+                    detail,
+                    id: id.clone(),
+                })?,
+            };
+            let scalars = match v.get("scalars") {
+                None => Vec::new(),
+                Some(s) => parse_scalars(s).map_err(|detail| ProtoError {
+                    code: codes::BAD_REQUEST,
+                    detail,
+                    id: id.clone(),
+                })?,
+            };
+            let max_iters = match v.get("max_iters") {
+                None => None,
+                Some(m) => match m.as_u64() {
+                    Some(n) => Some(n as usize),
+                    None => return bad(id, "`max_iters` must be a non-negative integer"),
+                },
+            };
+            let reply = match v.get("reply") {
+                None => ReplyMode::default(),
+                Some(r) => match r.as_str().and_then(ReplyMode::from_name) {
+                    Some(m) => m,
+                    None => {
+                        return bad(
+                            id,
+                            "`reply` must be one of \"digest\", \"scalars\", \"full\"",
+                        )
+                    }
+                },
+            };
+            Ok(Request::Run(RunRequest {
+                id,
+                tenant,
+                source: source.to_string(),
+                arrays,
+                scalars,
+                max_iters,
+                reply,
+            }))
+        }
+        other => bad(
+            id,
+            format!("unknown op `{other}` (expected run, certify, stats, or ping)"),
+        ),
+    }
+}
+
+fn parse_arrays(v: &Value) -> Result<Vec<(String, Vec<i64>)>, String> {
+    let Some(obj) = v.as_object() else {
+        return Err("`arrays` must be an object of name → [integers]".into());
+    };
+    let mut out = Vec::with_capacity(obj.len());
+    for (name, val) in obj {
+        let Some(items) = val.as_array() else {
+            return Err(format!("array `{name}` must be a JSON array"));
+        };
+        let mut data = Vec::with_capacity(items.len());
+        for item in items {
+            match item.as_i64() {
+                Some(x) => data.push(x),
+                None => return Err(format!("array `{name}` holds a non-integer element")),
+            }
+        }
+        out.push((name.clone(), data));
+    }
+    Ok(out)
+}
+
+fn parse_scalars(v: &Value) -> Result<Vec<(String, i64)>, String> {
+    let Some(obj) = v.as_object() else {
+        return Err("`scalars` must be an object of name → integer".into());
+    };
+    let mut out = Vec::with_capacity(obj.len());
+    for (name, val) in obj {
+        match val.as_i64() {
+            Some(x) => out.push((name.clone(), x)),
+            None => return Err(format!("scalar `{name}` must be an integer")),
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the error-response line for a rejection (shared by the service
+/// and the binary so every error has the same shape).
+pub fn error_line(err: &ProtoError, retry_after_ms: Option<u64>) -> String {
+    let mut error = vec![
+        ("code".to_string(), Value::Str(err.code.to_string())),
+        ("detail".to_string(), Value::Str(err.detail.clone())),
+    ];
+    if let Some(ms) = retry_after_ms {
+        error.push(("retry_after_ms".to_string(), Value::UInt(ms)));
+    }
+    let mut fields = vec![
+        ("v".to_string(), Value::UInt(PROTOCOL_VERSION)),
+        ("ok".to_string(), Value::Bool(false)),
+    ];
+    if let Some(id) = &err.id {
+        fields.push(("id".to_string(), Value::Str(id.clone())));
+    }
+    fields.push(("error".to_string(), Value::Object(error)));
+    json::to_string(&Value::Object(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_run_request() {
+        let line = r#"{"v":1,"op":"run","id":"r-1","tenant":"acme","program":"integer i = 0\nwhile (i < n) { A[i] = 2 * A[i]\n i = i + 1 }","arrays":{"A":[1,2,3]},"scalars":{"n":3},"max_iters":100,"reply":"full"}"#;
+        let Request::Run(r) = parse_request(line).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(r.id.as_deref(), Some("r-1"));
+        assert_eq!(r.tenant, "acme");
+        assert_eq!(r.arrays, vec![("A".to_string(), vec![1, 2, 3])]);
+        assert_eq!(r.scalars, vec![("n".to_string(), 3)]);
+        assert_eq!(r.max_iters, Some(100));
+        assert_eq!(r.reply, ReplyMode::Full);
+    }
+
+    #[test]
+    fn defaults_are_applied() {
+        let Request::Run(r) =
+            parse_request(r#"{"op":"run","program":"integer i = 0\nwhile (i < n) { i = i + 1 }"}"#)
+                .unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(r.tenant, DEFAULT_TENANT);
+        assert!(r.arrays.is_empty() && r.scalars.is_empty());
+        assert_eq!(r.max_iters, None);
+        assert_eq!(r.reply, ReplyMode::Scalars);
+    }
+
+    #[test]
+    fn rejects_garbage_and_unknown_ops() {
+        assert_eq!(
+            parse_request("not json").unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(parse_request("[1,2]").unwrap_err().code, codes::BAD_REQUEST);
+        assert_eq!(
+            parse_request(r#"{"op":"teleport"}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"run"}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+    }
+
+    #[test]
+    fn rejects_future_versions_but_echoes_the_id() {
+        let err = parse_request(r#"{"v":2,"op":"ping","id":"p-9"}"#).unwrap_err();
+        assert_eq!(err.code, codes::UNSUPPORTED_VERSION);
+        assert_eq!(err.id.as_deref(), Some("p-9"));
+        let line = error_line(&err, None);
+        assert!(line.contains("\"ok\":false") && line.contains("p-9"));
+    }
+
+    #[test]
+    fn retriable_errors_carry_the_hint() {
+        let err = ProtoError {
+            code: codes::TENANT_BUSY,
+            detail: "2 regions in flight".into(),
+            id: None,
+        };
+        let line = error_line(&err, Some(25));
+        assert!(line.contains("\"retry_after_ms\":25"), "{line}");
+    }
+}

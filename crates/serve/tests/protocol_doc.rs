@@ -1,0 +1,96 @@
+//! The protocol documentation is executable: every example request line
+//! in `docs/examples/smoke_requests.jsonl` must appear verbatim in
+//! `docs/PROTOCOL.md`, and every one must succeed against a real
+//! [`Service`] — including the cache-hit the examples are arranged to
+//! produce and the documented parse-error example.
+
+use serde::{json, Value};
+use wlp_serve::Service;
+
+const PROTOCOL_MD: &str = include_str!("../../../docs/PROTOCOL.md");
+const SMOKE_REQUESTS: &str = include_str!("../../../docs/examples/smoke_requests.jsonl");
+
+fn example_lines() -> Vec<&'static str> {
+    SMOKE_REQUESTS
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect()
+}
+
+#[test]
+fn every_smoke_request_appears_verbatim_in_protocol_md() {
+    let lines = example_lines();
+    assert!(lines.len() >= 5, "expected at least 5 example requests");
+    for line in lines {
+        assert!(
+            PROTOCOL_MD.contains(line),
+            "smoke request not documented verbatim in PROTOCOL.md:\n{line}"
+        );
+    }
+}
+
+#[test]
+fn smoke_requests_succeed_with_a_cache_hit() {
+    let service = Service::with_defaults();
+    let mut responses = Vec::new();
+    for line in example_lines() {
+        let resp = service.handle_line(line);
+        let v = json::parse(&resp).expect("response is valid JSON");
+        assert_eq!(
+            v.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "documented example failed: {line}\n-> {resp}"
+        );
+        responses.push((line, resp));
+    }
+    // ids echo in order
+    for (i, (_, resp)) in responses.iter().enumerate() {
+        assert!(
+            resp.contains(&format!("\"id\":\"example-{}\"", i + 1)),
+            "{resp}"
+        );
+    }
+    // example-3 runs the program example-2 certified, and example-4 runs
+    // it again: both are cache hits, which the final stats line reports
+    assert!(
+        responses[2].1.contains("\"cache\":\"hit\""),
+        "{}",
+        responses[2].1
+    );
+    assert!(
+        responses[3].1.contains("\"cache\":\"hit\""),
+        "{}",
+        responses[3].1
+    );
+    let stats = json::parse(&responses[4].1).unwrap();
+    let hits = stats
+        .get("stats")
+        .and_then(|s| s.get("cache_hits"))
+        .and_then(Value::as_u64)
+        .expect("stats.cache_hits");
+    assert!(hits >= 2, "expected nonzero cache hits, got {hits}");
+    // the run example's documented result is exact
+    assert!(
+        responses[2].1.contains("\"arrays\":{\"A\":[2,4,6,8]}"),
+        "{}",
+        responses[2].1
+    );
+}
+
+#[test]
+fn the_documented_error_example_is_accurate() {
+    let request = r#"{"op":"run","id":"bad-1","program":"while ("}"#;
+    assert!(
+        PROTOCOL_MD.contains(request),
+        "PROTOCOL.md no longer documents the parse-error example request"
+    );
+    let service = Service::with_defaults();
+    let resp = service.handle_line(request);
+    assert!(resp.contains("\"ok\":false") && resp.contains("\"code\":\"parse_error\""));
+    // the exact response line is quoted in the doc
+    assert!(
+        PROTOCOL_MD.contains(&resp),
+        "PROTOCOL.md's error example drifted from the implementation.\nactual: {resp}"
+    );
+}

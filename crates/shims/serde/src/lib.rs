@@ -1,11 +1,16 @@
 //! Workspace-local stand-in for the slice of `serde` this repository uses:
-//! `#[derive(Serialize)]` plus JSON emission.
+//! `#[derive(Serialize)]` plus JSON emission and parsing.
 //!
 //! The build environment has no network access, so external dependencies
 //! are replaced by path crates with the same names. Real serde serializes
 //! through a visitor; this shim serializes into an owned [`Value`] tree
 //! and renders it as JSON via [`json::to_string`] — ample for the profile
-//! reports and simulator outputs this workspace emits.
+//! reports and simulator outputs this workspace emits. The inverse
+//! direction ([`json::parse`], the `serde_json::from_str` role) produces
+//! the same [`Value`] tree; consumers destructure it through the typed
+//! accessors (`as_str`, `as_i64`, `get`, …) instead of `Deserialize`
+//! impls — ample for the newline-delimited request protocol `wlp-serve`
+//! speaks.
 
 use std::fmt;
 
@@ -51,6 +56,75 @@ fn escape_into(out: &mut String, s: &str) {
 }
 
 impl Value {
+    /// The string payload, if this is [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer (integral floats included).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::UInt(n) => i64::try_from(*n).ok(),
+            Value::Float(x) if x.fract() == 0.0 && x.abs() < 9.0e18 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            Value::Float(x) if x.fract() == 0.0 && *x >= 0.0 && *x < 1.9e19 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(n) => Some(*n as f64),
+            Value::UInt(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is [`Value::Array`].
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is [`Value::Object`].
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object by name (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
     fn render(&self, out: &mut String) {
         match self {
             Value::Null => out.push_str("null"),
@@ -168,13 +242,249 @@ impl Serialize for Value {
     }
 }
 
-/// JSON rendering of [`Serialize`] values (the `serde_json` role).
+/// JSON rendering and parsing of [`Serialize`] values (the `serde_json`
+/// role).
 pub mod json {
-    use super::Serialize;
+    use super::{Serialize, Value};
 
     /// Renders `value` as a compact JSON string.
     pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
         value.serialize().to_string()
+    }
+
+    /// A JSON parse failure: byte offset and description.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ParseError {
+        /// Byte offset of the failure in the input.
+        pub at: usize,
+        /// What went wrong.
+        pub msg: String,
+    }
+
+    impl std::fmt::Display for ParseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+        }
+    }
+
+    impl std::error::Error for ParseError {}
+
+    /// Parses one JSON document into a [`Value`] tree, rejecting trailing
+    /// non-whitespace (the `serde_json::from_str` role).
+    pub fn parse(src: &str) -> Result<Value, ParseError> {
+        let bytes = src.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn err(&self, msg: impl Into<String>) -> ParseError {
+            ParseError {
+                at: self.pos,
+                msg: msg.into(),
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+            if self.peek() == Some(c) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(format!("expected `{}`", c as char)))
+            }
+        }
+
+        fn lit(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(self.err(format!("expected `{word}`")))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, ParseError> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.lit("true", Value::Bool(true)),
+                Some(b'f') => self.lit("false", Value::Bool(false)),
+                Some(b'n') => self.lit("null", Value::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+                None => Err(self.err("unexpected end of input")),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, ParseError> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let v = self.value()?;
+                fields.push((key, v));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(self.err("expected `,` or `}` in object")),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, ParseError> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(self.err("expected `,` or `]` in array")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, ParseError> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(self.err("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{0008}'),
+                            b'f' => out.push('\u{000c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or_else(|| self.err("bad \\u escape"))?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                                self.pos += 4;
+                                // Surrogate pairs are not needed by this
+                                // workspace's protocol; map lone
+                                // surrogates to the replacement character.
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            c => {
+                                return Err(self.err(format!("bad escape `\\{}`", c as char)));
+                            }
+                        }
+                    }
+                    Some(_) => {
+                        // consume one UTF-8 scalar, however many bytes
+                        let rest = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(rest)
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                        let c = s.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, ParseError> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            let mut float = false;
+            if self.peek() == Some(b'.') {
+                float = true;
+                self.pos += 1;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                float = true;
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+            if float {
+                text.parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| self.err("malformed number"))
+            } else if text.starts_with('-') {
+                text.parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| self.err("integer out of range"))
+            } else {
+                text.parse::<u64>()
+                    .map(Value::UInt)
+                    .map_err(|_| self.err("integer out of range"))
+            }
+        }
     }
 }
 
@@ -190,6 +500,45 @@ mod tests {
             ("ok".into(), Value::Bool(true)),
         ]);
         assert_eq!(v.to_string(), r#"{"name":"a\"b","xs":[1,null],"ok":true}"#);
+    }
+
+    #[test]
+    fn parses_what_it_renders() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("a\"b\nc".into())),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::UInt(1), Value::Null, Value::Int(-3)]),
+            ),
+            ("ok".into(), Value::Bool(true)),
+            ("f".into(), Value::Float(1.5)),
+        ]);
+        assert_eq!(json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_accessors_destructure() {
+        let v = json::parse(r#" {"id":"r1","n":42,"neg":-7,"xs":[1,2],"b":false} "#).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("r1"));
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(42));
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(42));
+        assert_eq!(v.get("neg").and_then(Value::as_i64), Some(-7));
+        assert_eq!(v.get("xs").and_then(Value::as_array).map(<[_]>::len), Some(2));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "{} x", "\"unterminated"] {
+            assert!(json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let v = json::parse(r#""tab\t nl\n quote\" uA é""#).unwrap();
+        assert_eq!(v.as_str(), Some("tab\t nl\n quote\" uA é"));
     }
 
     #[test]

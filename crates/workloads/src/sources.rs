@@ -68,7 +68,70 @@ while (i < n) {\n\
     i = i + 1\n\
 }";
 
-/// Parses and analyzes one of the source constants.
+/// The named corpus the `wlp-serve` replay harness, smoke tests, and CI
+/// draw from: every source constant in this module under a stable name.
+pub fn corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("swap", SWAP),
+        ("gather_scatter", GATHER_SCATTER),
+        ("counted_fill", COUNTED_FILL),
+        ("guarded_update", GUARDED_UPDATE),
+        ("partial_sums", PARTIAL_SUMS),
+    ]
+}
+
+/// The `(arrays, scalars)` initial state a serve request supplies:
+/// named integer arrays and named scalars.
+pub type MachineInputs = (Vec<(String, Vec<i64>)>, Vec<(String, i64)>);
+
+/// Canonical machine inputs for one corpus program at problem size `n`:
+/// the `(arrays, scalars)` a serve request must supply for the loop to
+/// run to completion. Deterministic in `(name, n)` so replayed traffic
+/// is reproducible.
+///
+/// # Panics
+/// On an unknown corpus name — callers enumerate [`corpus`].
+pub fn machine_inputs(name: &str, n: usize) -> MachineInputs {
+    let ni = n as i64;
+    let fill = |len: usize, f: fn(usize) -> i64| (0..len).map(f).collect::<Vec<i64>>();
+    match name {
+        "swap" => (
+            vec![("A".into(), fill(2 * n + 1, |i| (i as i64 * 3) % 17))],
+            vec![("n".into(), ni)],
+        ),
+        "gather_scatter" => {
+            let len = n.max(1);
+            // a permutation keeps the indirect updates conflict-free, so
+            // the speculative path commits
+            let idx = (0..len).map(|i| ((i * 7 + 3) % len) as i64).collect();
+            (
+                vec![
+                    ("A".into(), fill(len, |i| i as i64 % 11)),
+                    ("B".into(), vec![0; len]),
+                    ("w".into(), fill(len, |i| i as i64 % 7)),
+                    ("idx".into(), idx),
+                ],
+                vec![("n".into(), ni)],
+            )
+        }
+        "counted_fill" => (
+            vec![
+                ("A".into(), vec![0; n.max(1)]),
+                ("w".into(), fill(n.max(1), |i| i as i64 % 13)),
+            ],
+            vec![("n".into(), ni)],
+        ),
+        "guarded_update" => (
+            vec![("A".into(), fill(n.max(1), |i| i as i64 % 5))],
+            vec![("n".into(), ni), ("limit".into(), 9)],
+        ),
+        "partial_sums" => (
+            vec![("A".into(), vec![1; n.max(1)])],
+            vec![("n".into(), ni)],
+        ),
+        other => panic!("unknown corpus program `{other}`"),
+    }
+}
 ///
 /// # Panics
 /// On parse errors — the sources are compile-time constants, so failure

@@ -25,6 +25,8 @@
 //!   the runtime and the simulator, profile aggregation, Chrome traces.
 //! * [`fault`] — deterministic fault injection exercising the recovery
 //!   paths: seeded panic plans and linked-list corruption.
+//! * [`serve`] — the `wlp-serve` daemon: multi-tenant NDJSON service
+//!   with a certificate cache and per-tenant admission control.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
@@ -64,6 +66,7 @@ pub use wlp_list as list;
 pub use wlp_obs as obs;
 pub use wlp_pd as pd;
 pub use wlp_runtime as runtime;
+pub use wlp_serve as serve;
 pub use wlp_sim as sim;
 pub use wlp_sparse as sparse;
 pub use wlp_workloads as workloads;

@@ -1,0 +1,92 @@
+//! Intra-repository markdown links must resolve: every `[text](path)`
+//! in the top-level and `docs/` markdown files that points inside the
+//! repository names a file (or directory) that exists. External links
+//! (`http…`, `mailto:`) and pure anchors are skipped; a `#fragment`
+//! suffix on a file link is stripped before the existence check.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn markdown_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files: Vec<PathBuf> = Vec::new();
+    for dir in [root.clone(), root.join("docs"), root.join("docs/examples")] {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    assert!(
+        files.iter().any(|p| p.ends_with("docs/PROTOCOL.md")),
+        "docs/PROTOCOL.md missing from the scan set"
+    );
+    files
+}
+
+/// Extracts `](target)` link targets from one markdown source, skipping
+/// fenced code blocks (they hold literal `](…)` sequences in examples).
+fn link_targets(src: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in src.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let tail = &rest[open + 2..];
+            let Some(close) = tail.find(')') else { break };
+            targets.push(tail[..close].trim().to_string());
+            rest = &tail[close + 1..];
+        }
+    }
+    targets
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let mut broken: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for file in markdown_files() {
+        let src = std::fs::read_to_string(&file).expect("markdown file is readable");
+        let dir = file.parent().unwrap_or_else(|| Path::new("."));
+        for target in link_targets(&src) {
+            if target.is_empty()
+                || target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            let path_part = target.split('#').next().unwrap_or(&target);
+            let resolved = dir.join(path_part);
+            checked += 1;
+            if !resolved.exists() {
+                broken.push(format!("{}: ({target})", file.display()));
+            }
+        }
+    }
+    assert!(
+        checked >= 5,
+        "only {checked} links checked — scan is broken"
+    );
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo markdown links:\n  {}",
+        broken.join("\n  ")
+    );
+}
