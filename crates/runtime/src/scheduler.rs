@@ -195,6 +195,9 @@ impl RegionScheduler {
         // an immediate grant consumes and serves its ticket in one step
         st.next_ticket += 1;
         st.now_serving += 1;
+        if !st.free.is_empty() {
+            shared.available.notify_all();
+        }
         Some(Lane { sched: self, idx })
     }
 
@@ -207,6 +210,15 @@ impl RegionScheduler {
         if ticket == st.now_serving {
             if let Some(idx) = st.free.pop() {
                 st.now_serving += 1;
+                // Taking a lane advances now_serving, which may make the
+                // next ticket eligible for a lane that is *already* free.
+                // Its holder saw `now_serving != ticket` when it last
+                // woke and went back to sleep; without a fresh notify it
+                // would only wake on some future lane release, stalling
+                // while capacity sits idle.
+                if !st.free.is_empty() {
+                    shared.available.notify_all();
+                }
                 return Lane { sched: self, idx };
             }
         }
@@ -217,6 +229,11 @@ impl RegionScheduler {
                 if let Some(idx) = st.free.pop() {
                     st.now_serving += 1;
                     shared.waiting.fetch_sub(1, Ordering::Relaxed);
+                    // same hand-off as the fast path: wake the successor
+                    // ticket if another lane is still free
+                    if !st.free.is_empty() {
+                        shared.available.notify_all();
+                    }
                     return Lane { sched: self, idx };
                 }
             }
@@ -375,6 +392,56 @@ mod tests {
             gate.wait(); // second waiter got the lane
         });
         assert_eq!(*order.lock(), vec![1, 2], "arrival order preserved");
+    }
+
+    #[test]
+    fn burst_release_wakes_every_eligible_waiter() {
+        // Regression: two lanes released back-to-back while tickets T and
+        // T+1 wait. If T+1 re-checks first (not its turn yet, re-waits)
+        // and T then takes a lane without re-notifying, T+1 used to stay
+        // blocked on the condvar with a lane free until some unrelated
+        // future release. The acquire path now notifies whenever it
+        // leaves a free lane behind, so both waiters must finish without
+        // any third region running.
+        for _ in 0..200 {
+            let s = RegionScheduler::new(SchedulerConfig {
+                total_workers: 4,
+                lane_width: 2,
+            });
+            assert_eq!(s.lanes(), 2);
+            let a = s.acquire();
+            let b = s.acquire();
+            let served = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        let lane = s.acquire();
+                        if served.fetch_add(1, Ordering::SeqCst) == 0 {
+                            // first waiter served: model the long-running
+                            // region by holding the lane until the other
+                            // waiter gets the remaining free one — under
+                            // the old code that wakeup never came
+                            let t0 = std::time::Instant::now();
+                            while served.load(Ordering::SeqCst) < 2 {
+                                assert!(
+                                    t0.elapsed() < std::time::Duration::from_secs(10),
+                                    "waiter stalled on the condvar with a lane free"
+                                );
+                                std::thread::yield_now();
+                            }
+                        }
+                        drop(lane);
+                    });
+                }
+                while s.waiting() < 2 {
+                    std::thread::yield_now();
+                }
+                // burst: both lanes free before either waiter re-checks
+                drop(a);
+                drop(b);
+            });
+            assert_eq!(served.load(Ordering::SeqCst), 2);
+        }
     }
 
     impl RegionScheduler {

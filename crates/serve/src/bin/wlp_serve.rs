@@ -17,7 +17,61 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::Arc;
+use wlp_serve::proto::{self, codes, ProtoError};
 use wlp_serve::{ServeConfig, Service};
+
+/// Longest request line either transport accepts (docs/PROTOCOL.md).
+/// `BufRead::lines` would buffer an arbitrarily long line whole, letting
+/// one client exhaust the daemon's memory; past this bound the line is
+/// drained, answered with a `bad_request` error, and the stream resumes
+/// at the next newline.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One bounded read: `Line` up to the cap, `TooLong` past it (already
+/// drained to the next newline), `Eof` at end of stream.
+enum BoundedLine {
+    Line(String),
+    TooLong,
+    Eof,
+}
+
+fn read_bounded_line<R: BufRead>(reader: &mut R) -> std::io::Result<BoundedLine> {
+    let mut buf = Vec::new();
+    let n =
+        std::io::Read::take(&mut *reader, MAX_LINE_BYTES as u64 + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(BoundedLine::Eof);
+    }
+    if buf.last() != Some(&b'\n') && n > MAX_LINE_BYTES {
+        // skip the remainder of the oversized line so the connection
+        // can keep serving subsequent requests
+        loop {
+            buf.clear();
+            let m = std::io::Read::take(&mut *reader, MAX_LINE_BYTES as u64)
+                .read_until(b'\n', &mut buf)?;
+            if m == 0 || buf.last() == Some(&b'\n') {
+                return Ok(BoundedLine::TooLong);
+            }
+        }
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+    }
+    Ok(BoundedLine::Line(
+        String::from_utf8_lossy(&buf).into_owned(),
+    ))
+}
+
+fn line_too_long_response() -> String {
+    proto::error_line(
+        &ProtoError {
+            code: codes::BAD_REQUEST,
+            detail: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            id: None,
+        },
+        None,
+    )
+}
 
 struct Args {
     listen: Option<String>,
@@ -61,7 +115,8 @@ fn parse_args() -> Args {
             "--lane-width" => args.cfg.lane_width = num("--lane-width").max(1),
             "--cache" => args.cfg.cache_capacity = num("--cache").max(1),
             "--max-inflight" => args.cfg.max_inflight_per_tenant = num("--max-inflight").max(1),
-            "--max-queue" => args.cfg.max_queue_depth = num("--max-queue"),
+            // clamped: 0 would make admit() reject every run outright
+            "--max-queue" => args.cfg.max_queue_depth = num("--max-queue").max(1),
             "--max-iters" => args.cfg.default_max_iters = num("--max-iters"),
             "--credits" => args.cfg.tenant_spec_credits = num("--credits") as u64,
             "--quiet" => args.quiet = true,
@@ -96,25 +151,28 @@ fn main() -> ExitCode {
 fn serve_stdin(service: &Service) -> ExitCode {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
+    let mut reader = stdin.lock();
     let mut out = BufWriter::new(stdout.lock());
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
+    loop {
+        let resp = match read_bounded_line(&mut reader) {
+            Ok(BoundedLine::Eof) => return ExitCode::SUCCESS,
+            Ok(BoundedLine::TooLong) => line_too_long_response(),
+            Ok(BoundedLine::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                service.handle_line(&line)
+            }
             Err(e) => {
                 eprintln!("wlp-serve: stdin read failed: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let resp = service.handle_line(&line);
         if writeln!(out, "{resp}").and_then(|()| out.flush()).is_err() {
             // downstream closed the pipe: nothing left to serve
             return ExitCode::SUCCESS;
         }
     }
-    ExitCode::SUCCESS
 }
 
 fn serve_tcp(service: &Arc<Service>, addr: &str, quiet: bool) -> ExitCode {
@@ -144,14 +202,19 @@ fn serve_conn(service: &Service, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(stream);
+    let mut reader = BufReader::new(stream);
     let mut out = BufWriter::new(write_half);
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let resp = service.handle_line(&line);
+    loop {
+        let resp = match read_bounded_line(&mut reader) {
+            Ok(BoundedLine::Eof) | Err(_) => return,
+            Ok(BoundedLine::TooLong) => line_too_long_response(),
+            Ok(BoundedLine::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                service.handle_line(&line)
+            }
+        };
         if writeln!(out, "{resp}").and_then(|()| out.flush()).is_err() {
             return;
         }

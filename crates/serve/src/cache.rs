@@ -5,8 +5,10 @@
 //! expected shape of multi-tenant traffic) should pay for parsing,
 //! lowering, privatization, reduction recognition and terminator
 //! classification **once per distinct program**, not once per request.
-//! [`CertCache`] keys entries by the FNV-1a hash of the program source —
-//! a hit skips the whole `wlp-ir` front end and `wlp-analyze` pipeline
+//! [`CertCache`] keys entries by the FNV-1a hash of the program source
+//! (verifying the stored source byte-for-byte on hit, since FNV-1a is
+//! not collision-resistant) — a hit skips the whole `wlp-ir` front end
+//! and `wlp-analyze` pipeline
 //! and hands back the parsed [`Program`] plus the finished [`Analysis`]
 //! behind an `Arc`, so concurrent requests share one copy.
 //!
@@ -38,6 +40,12 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 pub struct CacheEntry {
     /// FNV-1a hash of the source (the cache key).
     pub key: u64,
+    /// The exact source text this entry was built from. FNV-1a is not
+    /// collision-resistant (colliding inputs are computable), so a hit
+    /// is only served after this matches the request byte-for-byte —
+    /// otherwise a crafted program could poison the shared cache and
+    /// other tenants would silently run the wrong program.
+    pub source: String,
     /// The parsed AST the interpreter executes.
     pub program: Program,
     /// The full static analysis, certificate included.
@@ -90,13 +98,27 @@ impl CertCache {
     /// program pays its (cheap) parse error on every submission rather
     /// than occupying a slot.
     pub fn lookup(&self, source: &str) -> Result<(Arc<CacheEntry>, CacheOutcome), FrontendError> {
-        let key = fnv1a64(source.as_bytes());
+        self.lookup_keyed(fnv1a64(source.as_bytes()), source)
+    }
+
+    /// [`lookup`](Self::lookup) with the key precomputed — split out so
+    /// tests can force two sources onto one key and exercise the
+    /// collision path.
+    fn lookup_keyed(
+        &self,
+        key: u64,
+        source: &str,
+    ) -> Result<(Arc<CacheEntry>, CacheOutcome), FrontendError> {
         {
             let mut st = self.state.lock();
             if let Some(entry) = st.map.get(&key).cloned() {
-                touch(&mut st.order, key);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok((entry, CacheOutcome::Hit));
+                // a 64-bit hash match is not proof of identity: serve
+                // the hit only if the resident source is this source
+                if entry.source == source {
+                    touch(&mut st.order, key);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((entry, CacheOutcome::Hit));
+                }
             }
         }
         // Build outside the lock: a slow analysis must not serialize
@@ -107,20 +129,30 @@ impl CertCache {
         let analysis = analyze(&body);
         let entry = Arc::new(CacheEntry {
             key,
+            source: source.to_string(),
             program,
             analysis,
         });
         let mut st = self.state.lock();
-        if !st.map.contains_key(&key) {
-            if st.map.len() >= self.capacity {
-                if let Some(evict) = st.order.pop_front() {
-                    st.map.remove(&evict);
+        match st.map.get(&key) {
+            None => {
+                if st.map.len() >= self.capacity {
+                    if let Some(evict) = st.order.pop_front() {
+                        st.map.remove(&evict);
+                    }
                 }
+                st.map.insert(key, entry.clone());
+                st.order.push_back(key);
             }
-            st.map.insert(key, entry.clone());
-            st.order.push_back(key);
-        } else {
-            touch(&mut st.order, key);
+            Some(resident) if resident.source == source => {
+                // a racing miss for the same source beat us to the insert
+                touch(&mut st.order, key);
+            }
+            Some(_) => {
+                // hash collision with a different resident program: hand
+                // back the fresh build uncached rather than evicting the
+                // (presumably hot) resident or thrashing the slot
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         Ok((entry, CacheOutcome::Miss))
@@ -216,6 +248,30 @@ mod tests {
         assert!(cache.lookup("while (").is_err());
         assert!(cache.is_empty());
         assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn colliding_keys_never_serve_another_programs_entry() {
+        // Force LOOP_A and LOOP_B (different programs, thus different
+        // DOALL/reduction shapes) onto one cache key — the situation an
+        // attacker computing an FNV-1a collision engineers.
+        let cache = CertCache::new(8);
+        let (a, o) = cache.lookup_keyed(42, LOOP_A).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        // the colliding lookup must NOT get A's entry back
+        let (b, o) = cache.lookup_keyed(42, LOOP_B).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(b.source, LOOP_B);
+        assert_eq!(b.analysis.certificate, {
+            let fresh = CertCache::new(1);
+            fresh.lookup(LOOP_B).unwrap().0.analysis.certificate.clone()
+        });
+        // the resident (first-come) entry keeps its slot and still hits
+        let (a2, o) = cache.lookup_keyed(42, LOOP_A).unwrap();
+        assert_eq!(o, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

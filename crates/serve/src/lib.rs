@@ -34,7 +34,7 @@ use cache::{CacheEntry, CacheOutcome, CertCache};
 use parking_lot::Mutex;
 use proto::{codes, ProtoError, ReplyMode, Request, RunRequest};
 use serde::{json, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -72,6 +72,14 @@ pub struct ServeConfig {
     pub tenant_spec_credits: u64,
     /// Governor policy each tenant's ladder starts from.
     pub governor: GovernorPolicy,
+    /// Most obs [`Sample`]s the service retains (a ring: oldest are
+    /// dropped past the cap, counted in `samples_dropped`). Without a
+    /// bound a resident daemon's event buffer grows with request volume.
+    pub max_samples: usize,
+    /// Most distinct tenants the table holds; past the cap an idle
+    /// tenant is evicted to admit a new name (tenant strings are
+    /// client-chosen, so the table must not grow with attacker input).
+    pub max_tenants: usize,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +94,8 @@ impl Default for ServeConfig {
             retry_after_ms: 25,
             tenant_spec_credits: 1 << 20,
             governor: GovernorPolicy::default(),
+            max_samples: 65_536,
+            max_tenants: 1_024,
         }
     }
 }
@@ -148,7 +158,8 @@ pub struct Service {
     scheduler: RegionScheduler,
     cache: CertCache,
     tenants: Mutex<HashMap<String, Arc<TenantState>>>,
-    samples: Mutex<Vec<Sample>>,
+    samples: Mutex<VecDeque<Sample>>,
+    samples_dropped: AtomicU64,
     epoch: Instant,
     requests: AtomicU64,
     errors: AtomicU64,
@@ -169,7 +180,8 @@ impl Service {
             scheduler,
             cache,
             tenants: Mutex::new(HashMap::new()),
-            samples: Mutex::new(Vec::new()),
+            samples: Mutex::new(VecDeque::new()),
+            samples_dropped: AtomicU64::new(0),
             epoch: Instant::now(),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
@@ -498,6 +510,23 @@ impl Service {
 
     fn tenant(&self, name: &str) -> Arc<TenantState> {
         let mut tenants = self.tenants.lock();
+        if let Some(t) = tenants.get(name) {
+            return t.clone();
+        }
+        if tenants.len() >= self.cfg.max_tenants.max(1) {
+            // Tenant names are client-chosen, so the table must stay
+            // bounded. Evict an arbitrary idle tenant (its counters,
+            // credits, and governor rung reset if it ever returns);
+            // tenants with regions in flight are never evicted, so at
+            // worst the table holds max_tenants idle + every busy one.
+            let idle = tenants
+                .iter()
+                .find(|(_, t)| t.in_flight.load(Ordering::Acquire) == 0)
+                .map(|(name, _)| name.clone());
+            if let Some(evict) = idle {
+                tenants.remove(&evict);
+            }
+        }
         tenants
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(TenantState::new(&self.cfg)))
@@ -505,7 +534,12 @@ impl Service {
     }
 
     fn record(&self, event: Event) {
-        self.samples.lock().push(Sample {
+        let mut samples = self.samples.lock();
+        while samples.len() >= self.cfg.max_samples.max(1) {
+            samples.pop_front();
+            self.samples_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        samples.push_back(Sample {
             t: self.epoch.elapsed().as_nanos() as u64,
             proc: 0,
             event,
@@ -533,7 +567,7 @@ impl Service {
         Trace {
             p: 1,
             makespan: self.epoch.elapsed().as_nanos() as u64,
-            samples: self.samples.lock().clone(),
+            samples: self.samples.lock().iter().cloned().collect(),
         }
     }
 
@@ -617,6 +651,10 @@ impl Service {
             (
                 "queue_waiting".into(),
                 Value::UInt(self.scheduler.waiting() as u64),
+            ),
+            (
+                "samples_dropped".into(),
+                Value::UInt(self.samples_dropped.load(Ordering::Relaxed)),
             ),
             ("tenants".into(), Value::Object(per_tenant)),
         ])
@@ -774,6 +812,31 @@ mod tests {
         // the slot was released: a cheap certified program still runs
         let ok = svc.handle_line(&run_line("anon", 2, &[1, 1]));
         assert!(ok.contains("\"ok\":true"), "{ok}");
+    }
+
+    #[test]
+    fn sample_buffer_and_tenant_table_stay_bounded() {
+        let svc = Service::new(ServeConfig {
+            max_samples: 4,
+            max_tenants: 2,
+            ..ServeConfig::default()
+        });
+        for i in 0..16 {
+            // 16 distinct client-chosen tenant names, each a real run
+            // (every run records admit + cache events)
+            let ok = svc.handle_line(&run_line(&format!("t{i}"), 2, &[1, 1]));
+            assert!(ok.contains("\"ok\":true"), "{ok}");
+        }
+        assert!(
+            svc.trace().samples.len() <= 4,
+            "sample ring overran its cap"
+        );
+        assert!(
+            svc.tenants.lock().len() <= 2,
+            "tenant table overran its cap"
+        );
+        let stats = svc.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.contains("\"samples_dropped\":"), "{stats}");
     }
 
     #[test]

@@ -268,7 +268,10 @@ fn run_one(
             format!("  ({:.1} Melem/s)", e as f64 / mean.as_secs_f64() / 1e6)
         }
         Some(Throughput::Bytes(by)) if mean.as_nanos() > 0 => {
-            format!("  ({:.1} MiB/s)", by as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+            format!(
+                "  ({:.1} MiB/s)",
+                by as f64 / mean.as_secs_f64() / (1 << 20) as f64
+            )
         }
         _ => String::new(),
     };

@@ -72,7 +72,9 @@ pub mod atomic {
 
     impl<T: Copy + fmt::Debug> fmt::Debug for AtomicCell<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            f.debug_struct("AtomicCell").field("value", &self.load()).finish()
+            f.debug_struct("AtomicCell")
+                .field("value", &self.load())
+                .finish()
         }
     }
 

@@ -38,7 +38,9 @@ impl<T> Mutex<T> {
 
     /// Consumes the mutex and returns the protected value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 

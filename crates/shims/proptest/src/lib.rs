@@ -125,8 +125,7 @@ pub mod strategy {
                 .map(|_| {
                     // Mostly ASCII printable, occasionally wider unicode.
                     match rng.gen_range(0..10usize) {
-                        0 => char::from_u32(rng.gen_range(0xA1u32..0x2FF))
-                            .unwrap_or('\u{FFFD}'),
+                        0 => char::from_u32(rng.gen_range(0xA1u32..0x2FF)).unwrap_or('\u{FFFD}'),
                         _ => char::from_u32(rng.gen_range(0x20u32..0x7F)).expect("printable"),
                     }
                 })
@@ -232,7 +231,10 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 

@@ -273,7 +273,11 @@ pub mod json {
     /// non-whitespace (the `serde_json::from_str` role).
     pub fn parse(src: &str) -> Result<Value, ParseError> {
         let bytes = src.as_bytes();
-        let mut p = Parser { bytes, pos: 0 };
+        let mut p = Parser {
+            bytes,
+            pos: 0,
+            depth: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -283,9 +287,16 @@ pub mod json {
         Ok(v)
     }
 
+    /// Maximum container nesting [`parse`] accepts. The parser recurses
+    /// once per nesting level, so without a bound a line of a few tens
+    /// of KB of `[` overflows the stack and aborts the process — fatal
+    /// for a resident daemon parsing untrusted request lines.
+    pub const MAX_PARSE_DEPTH: usize = 128;
+
     struct Parser<'a> {
         bytes: &'a [u8],
         pos: usize,
+        depth: usize,
     }
 
     impl Parser<'_> {
@@ -326,8 +337,8 @@ pub mod json {
 
         fn value(&mut self) -> Result<Value, ParseError> {
             match self.peek() {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
+                Some(b'{') => self.nested(Self::object),
+                Some(b'[') => self.nested(Self::array),
                 Some(b'"') => Ok(Value::Str(self.string()?)),
                 Some(b't') => self.lit("true", Value::Bool(true)),
                 Some(b'f') => self.lit("false", Value::Bool(false)),
@@ -336,6 +347,19 @@ pub mod json {
                 Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
                 None => Err(self.err("unexpected end of input")),
             }
+        }
+
+        fn nested(
+            &mut self,
+            inner: fn(&mut Self) -> Result<Value, ParseError>,
+        ) -> Result<Value, ParseError> {
+            if self.depth >= MAX_PARSE_DEPTH {
+                return Err(self.err(format!("nesting deeper than {MAX_PARSE_DEPTH} levels")));
+            }
+            self.depth += 1;
+            let v = inner(self);
+            self.depth -= 1;
+            v
         }
 
         fn object(&mut self) -> Result<Value, ParseError> {
@@ -523,7 +547,10 @@ mod tests {
         assert_eq!(v.get("n").and_then(Value::as_u64), Some(42));
         assert_eq!(v.get("n").and_then(Value::as_i64), Some(42));
         assert_eq!(v.get("neg").and_then(Value::as_i64), Some(-7));
-        assert_eq!(v.get("xs").and_then(Value::as_array).map(<[_]>::len), Some(2));
+        assert_eq!(
+            v.get("xs").and_then(Value::as_array).map(<[_]>::len),
+            Some(2)
+        );
         assert_eq!(v.get("b").and_then(Value::as_bool), Some(false));
         assert_eq!(v.get("missing"), None);
     }
@@ -533,6 +560,20 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "{} x", "\"unterminated"] {
             assert!(json::parse(bad).is_err(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn parse_rejects_hostile_nesting_instead_of_overflowing() {
+        // Well past any honest request, far past the recursion budget: a
+        // pre-fix parser blows the stack here and aborts the process.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let deep = format!("{}0{}", open.repeat(100_000), close.repeat(100_000));
+            let err = json::parse(&deep).unwrap_err();
+            assert!(err.msg.contains("nesting"), "{err}");
+        }
+        // ...while the bound leaves generous headroom for real payloads
+        let fine = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+        assert!(json::parse(&fine).is_ok());
     }
 
     #[test]

@@ -27,17 +27,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let arms: String = enum_variants(&body)
                 .into_iter()
                 .map(|(variant, fields)| match fields {
-                    None => format!(
-                        "Self::{variant} => serde::Value::Str(\"{variant}\".to_string()),"
-                    ),
+                    None => {
+                        format!("Self::{variant} => serde::Value::Str(\"{variant}\".to_string()),")
+                    }
                     Some(fields) => {
                         let pat = fields.join(", ");
                         let entries: String = fields
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "(\"{f}\".to_string(), serde::Serialize::serialize({f})),"
-                                )
+                                format!("(\"{f}\".to_string(), serde::Serialize::serialize({f})),")
                             })
                             .collect();
                         format!(
@@ -87,7 +85,9 @@ fn parse_item(tokens: &[TokenTree]) -> (Kind, String, Vec<TokenTree>) {
             }
             _ => None,
         })
-        .unwrap_or_else(|| panic!("derive(Serialize): {name} has no braced body (named fields required)"));
+        .unwrap_or_else(|| {
+            panic!("derive(Serialize): {name} has no braced body (named fields required)")
+        });
     (kind, name, body)
 }
 
