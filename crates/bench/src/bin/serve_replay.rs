@@ -60,7 +60,16 @@ struct Phase {
     name: String,
     requests: usize,
     ok: usize,
+    /// Total failed responses (`retriable + fatal`, kept for dashboards
+    /// built against the old schema).
     errors: usize,
+    /// Rejections that carry `retry_after_ms` — admission pushback
+    /// (tenant_busy, overloaded, budget_exhausted, timeout, draining,
+    /// tenant_circuit_open). Expected under deliberate overload.
+    retriable: usize,
+    /// Errors with no retry hint (parse_error, exec_error, bad_request)
+    /// — a correctness problem at any load.
+    fatal: usize,
     p50_us: u64,
     p99_us: u64,
     mean_us: u64,
@@ -117,11 +126,30 @@ fn percentile(sorted_us: &[u64], pct: usize) -> u64 {
     sorted_us[idx]
 }
 
+/// Classifies one response line: `Ok`, or failed retriably (the
+/// response carries a `retry_after_ms` hint), or failed fatally.
+enum Outcome {
+    Ok,
+    Retriable,
+    Fatal,
+}
+
+fn classify(resp: &str) -> Outcome {
+    if resp.contains("\"ok\":true") {
+        Outcome::Ok
+    } else if resp.contains("\"retry_after_ms\":") {
+        Outcome::Retriable
+    } else {
+        Outcome::Fatal
+    }
+}
+
 fn phase_from(
     name: &str,
     latencies_us: &mut [u64],
     ok: usize,
-    errors: usize,
+    retriable: usize,
+    fatal: usize,
     wall: Duration,
 ) -> Phase {
     latencies_us.sort_unstable();
@@ -134,7 +162,9 @@ fn phase_from(
         name: name.to_string(),
         requests: latencies_us.len(),
         ok,
-        errors,
+        errors: retriable + fatal,
+        retriable,
+        fatal,
         p50_us: percentile(latencies_us, 50),
         p99_us: percentile(latencies_us, 99),
         mean_us: mean,
@@ -147,7 +177,8 @@ fn phase_from(
 fn closed_loop(service: &Service, clients: usize, total: usize, n: usize) -> Phase {
     let programs = corpus();
     let ok = AtomicU64::new(0);
-    let errors = AtomicU64::new(0);
+    let retriable = AtomicU64::new(0);
+    let fatal = AtomicU64::new(0);
     let start = Instant::now();
     let mut all: Vec<u64> = Vec::with_capacity(total);
     std::thread::scope(|scope| {
@@ -155,7 +186,8 @@ fn closed_loop(service: &Service, clients: usize, total: usize, n: usize) -> Pha
             .map(|c| {
                 let programs = &programs;
                 let ok = &ok;
-                let errors = &errors;
+                let retriable = &retriable;
+                let fatal = &fatal;
                 scope.spawn(move || {
                     let tenant = format!("client{c}");
                     let share = total / clients + usize::from(c < total % clients);
@@ -166,11 +198,11 @@ fn closed_loop(service: &Service, clients: usize, total: usize, n: usize) -> Pha
                         let t0 = Instant::now();
                         let resp = service.handle_line(&line);
                         lat.push(t0.elapsed().as_micros() as u64);
-                        if resp.contains("\"ok\":true") {
-                            ok.fetch_add(1, Ordering::Relaxed);
-                        } else {
-                            errors.fetch_add(1, Ordering::Relaxed);
-                        }
+                        match classify(&resp) {
+                            Outcome::Ok => ok.fetch_add(1, Ordering::Relaxed),
+                            Outcome::Retriable => retriable.fetch_add(1, Ordering::Relaxed),
+                            Outcome::Fatal => fatal.fetch_add(1, Ordering::Relaxed),
+                        };
                     }
                     lat
                 })
@@ -184,7 +216,8 @@ fn closed_loop(service: &Service, clients: usize, total: usize, n: usize) -> Pha
         "closed",
         &mut all,
         ok.load(Ordering::Relaxed) as usize,
-        errors.load(Ordering::Relaxed) as usize,
+        retriable.load(Ordering::Relaxed) as usize,
+        fatal.load(Ordering::Relaxed) as usize,
         start.elapsed(),
     )
 }
@@ -197,7 +230,8 @@ fn open_loop(service: &Service, total: usize, interarrival: Duration, n: usize) 
     let programs = corpus();
     let mut lat = Vec::with_capacity(total);
     let mut ok = 0usize;
-    let mut errors = 0usize;
+    let mut retriable = 0usize;
+    let mut fatal = 0usize;
     let start = Instant::now();
     for r in 0..total {
         let next_arrival = start + interarrival * r as u32;
@@ -209,13 +243,13 @@ fn open_loop(service: &Service, total: usize, interarrival: Duration, n: usize) 
         let t0 = Instant::now();
         let resp = service.handle_line(&line);
         lat.push(t0.elapsed().as_micros() as u64);
-        if resp.contains("\"ok\":true") {
-            ok += 1;
-        } else {
-            errors += 1;
+        match classify(&resp) {
+            Outcome::Ok => ok += 1,
+            Outcome::Retriable => retriable += 1,
+            Outcome::Fatal => fatal += 1,
         }
     }
-    phase_from("open", &mut lat, ok, errors, start.elapsed())
+    phase_from("open", &mut lat, ok, retriable, fatal, start.elapsed())
 }
 
 fn main() {
@@ -281,8 +315,8 @@ fn main() {
     std::fs::write(&out, serde::json::to_string(&file)).expect("write bench file");
     for p in &file.phases {
         eprintln!(
-            "serve-replay {}: {} requests, {} ok, p50 {}us p99 {}us, {:.0} req/s",
-            p.name, p.requests, p.ok, p.p50_us, p.p99_us, p.throughput_rps
+            "serve-replay {}: {} requests, {} ok ({} retriable, {} fatal), p50 {}us p99 {}us, {:.0} req/s",
+            p.name, p.requests, p.ok, p.retriable, p.fatal, p.p50_us, p.p99_us, p.throughput_rps
         );
     }
     eprintln!(
@@ -293,11 +327,19 @@ fn main() {
     if apply_gate {
         let mut failures = Vec::new();
         for p in &file.phases {
-            if p.errors > 0 {
+            // fatal errors gate; retriable pushback is the admission
+            // valves doing their job and only warns
+            if p.fatal > 0 {
                 failures.push(format!(
-                    "{}: {} of {} requests failed",
-                    p.name, p.errors, p.requests
+                    "{}: {} of {} requests failed fatally",
+                    p.name, p.fatal, p.requests
                 ));
+            }
+            if p.retriable > 0 {
+                eprintln!(
+                    "gate note: {} retriable rejection(s) in phase {}",
+                    p.retriable, p.name
+                );
             }
             if p.p99_us == 0 {
                 failures.push(format!("{}: no latency recorded", p.name));

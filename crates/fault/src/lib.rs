@@ -272,6 +272,82 @@ impl FaultPlan {
     }
 }
 
+/// The service-level chaos scenarios the `serve-chaos` harness runs
+/// against a live `wlp-serve` [`Service`]. Where [`FaultMode`] names
+/// faults *inside one loop region*, these name faults at the service
+/// boundary: a worker misbehaving mid-region while other tenants keep
+/// submitting, a client vanishing mid-request, a client that reads its
+/// responses too slowly to matter, and the process itself being told to
+/// die under load. Every scenario must end with the same invariant —
+/// zero leaked lanes, zero leaked credits, an empty queue — asserted
+/// from the service's own `stats` op.
+///
+/// [`Service`]: ../wlp_serve/struct.Service.html
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosScenario {
+    /// A worker panics mid-region (the service's `chaos_panic` builtin);
+    /// the request must answer and later requests must run clean.
+    WorkerPanic,
+    /// A worker stalls mid-region past the request deadline (the
+    /// `chaos_stall` builtin); the request must answer retriable
+    /// `timeout` and the lane must come back.
+    WorkerStall,
+    /// The client abandons its request mid-flight (cancel flag raised);
+    /// the region must abort and free its lane and credits.
+    ClientDisconnect,
+    /// A client consumes responses far slower than it submits; the
+    /// service must stay bounded and other tenants unaffected.
+    SlowReader,
+    /// SIGTERM arrives while a closed loop of clients is running; the
+    /// drain must answer every in-flight request and exit clean. Needs a
+    /// real `wlp-serve` subprocess (see
+    /// [`needs_subprocess`](ChaosScenario::needs_subprocess)).
+    SigtermBurst,
+}
+
+impl ChaosScenario {
+    /// Every scenario, in the order the harness runs them.
+    pub const ALL: [ChaosScenario; 5] = [
+        ChaosScenario::WorkerPanic,
+        ChaosScenario::WorkerStall,
+        ChaosScenario::ClientDisconnect,
+        ChaosScenario::SlowReader,
+        ChaosScenario::SigtermBurst,
+    ];
+
+    /// Parses a scenario name as used on harness command lines.
+    pub fn parse(s: &str) -> Option<ChaosScenario> {
+        match s {
+            "worker-panic" => Some(ChaosScenario::WorkerPanic),
+            "worker-stall" => Some(ChaosScenario::WorkerStall),
+            "client-disconnect" => Some(ChaosScenario::ClientDisconnect),
+            "slow-reader" => Some(ChaosScenario::SlowReader),
+            "sigterm-burst" => Some(ChaosScenario::SigtermBurst),
+            _ => None,
+        }
+    }
+
+    /// Stable kebab-case name (inverse of [`parse`](ChaosScenario::parse);
+    /// the key under which `BENCH_chaos.json` reports the scenario).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosScenario::WorkerPanic => "worker-panic",
+            ChaosScenario::WorkerStall => "worker-stall",
+            ChaosScenario::ClientDisconnect => "client-disconnect",
+            ChaosScenario::SlowReader => "slow-reader",
+            ChaosScenario::SigtermBurst => "sigterm-burst",
+        }
+    }
+
+    /// Whether the scenario needs a real `wlp-serve` subprocess (signal
+    /// delivery cannot be injected into an in-process [`Service`]).
+    ///
+    /// [`Service`]: ../wlp_serve/struct.Service.html
+    pub fn needs_subprocess(&self) -> bool {
+        matches!(self, ChaosScenario::SigtermBurst)
+    }
+}
+
 /// The splitmix64 mixer — the standard seed expander, inlined here so the
 /// crate needs no RNG dependency.
 fn splitmix64(mut x: u64) -> u64 {
@@ -406,6 +482,20 @@ mod tests {
         assert_eq!(FaultMode::parse("stall"), Some(FaultMode::Stall));
         assert_eq!(FaultMode::parse("bogus"), None);
         assert_eq!(FaultMode::Hog.name(), "hog");
+    }
+
+    #[test]
+    fn chaos_scenarios_round_trip_their_names() {
+        for s in ChaosScenario::ALL {
+            assert_eq!(ChaosScenario::parse(s.name()), Some(s), "{}", s.name());
+        }
+        assert_eq!(ChaosScenario::parse("coffee-spill"), None);
+        // exactly one scenario escapes the in-process harness
+        let subprocess: Vec<_> = ChaosScenario::ALL
+            .iter()
+            .filter(|s| s.needs_subprocess())
+            .collect();
+        assert_eq!(subprocess, vec![&ChaosScenario::SigtermBurst]);
     }
 
     #[test]

@@ -254,6 +254,26 @@ pub enum Event {
         /// queue depth) as opposed to a permanent refusal.
         retriable: bool,
     },
+    /// A service request missed its end-to-end deadline (or its client
+    /// vanished) and was aborted: lane returned, credits refunded, and a
+    /// retriable `timeout` error answered.
+    RequestTimeout {
+        /// Whether the request expired while still queued for a lane
+        /// (`true`) or after execution had started (`false`).
+        queued: bool,
+    },
+    /// The service entered its drain phase: no new work is admitted,
+    /// in-flight requests run to completion under the drain deadline.
+    Drain {
+        /// Requests still in flight when the drain began.
+        in_flight: u64,
+    },
+    /// A per-tenant circuit breaker changed state.
+    CircuitTrip {
+        /// `true` when the breaker opened (trip), `false` when a
+        /// half-open probe closed it again (recovery).
+        open: bool,
+    },
 }
 
 impl Event {
@@ -285,6 +305,9 @@ impl Event {
             Event::CertCacheMiss { .. } => "cert_cache_miss",
             Event::RegionAdmit { .. } => "region_admit",
             Event::RegionReject { .. } => "region_reject",
+            Event::RequestTimeout { .. } => "request_timeout",
+            Event::Drain { .. } => "drain",
+            Event::CircuitTrip { .. } => "circuit_trip",
         }
     }
 

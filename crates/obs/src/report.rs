@@ -94,6 +94,14 @@ pub struct ProfileReport {
     pub regions_admitted: u64,
     /// Region submissions rejected by admission control (backpressure).
     pub regions_rejected: u64,
+    /// Service requests that missed their end-to-end deadline (or whose
+    /// client vanished) and were aborted with a retriable `timeout`.
+    pub request_timeouts: u64,
+    /// Service drain phases entered (graceful shutdown).
+    pub drains: u64,
+    /// Per-tenant circuit-breaker trips (openings only; half-open
+    /// recoveries emit a `circuit_trip` event but are not counted here).
+    pub circuit_trips: u64,
     /// Total samples aggregated.
     pub samples: u64,
 }
@@ -141,6 +149,9 @@ impl ProfileReport {
             cache_misses: 0,
             regions_admitted: 0,
             regions_rejected: 0,
+            request_timeouts: 0,
+            drains: 0,
+            circuit_trips: 0,
             samples: trace.samples.len() as u64,
         };
         let mut iter_undone = 0u64;
@@ -185,6 +196,9 @@ impl ProfileReport {
                 Event::CertCacheMiss { .. } => r.cache_misses += 1,
                 Event::RegionAdmit { .. } => r.regions_admitted += 1,
                 Event::RegionReject { .. } => r.regions_rejected += 1,
+                Event::RequestTimeout { .. } => r.request_timeouts += 1,
+                Event::Drain { .. } => r.drains += 1,
+                Event::CircuitTrip { open } => r.circuit_trips += u64::from(open),
                 Event::TermTest { .. } | Event::LockWait { .. } | Event::LockAcquire { .. } => {}
             }
         }
@@ -436,6 +450,28 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"timeouts\":1"), "{json}");
         assert!(json.contains("\"demotions\":1"), "{json}");
+    }
+
+    #[test]
+    fn service_lifecycle_events_aggregate() {
+        let trace = Trace {
+            p: 1,
+            makespan: 20,
+            samples: vec![
+                sample(2, 0, Event::RequestTimeout { queued: true }),
+                sample(4, 0, Event::RequestTimeout { queued: false }),
+                sample(6, 0, Event::CircuitTrip { open: true }),
+                sample(8, 0, Event::CircuitTrip { open: false }),
+                sample(10, 0, Event::Drain { in_flight: 3 }),
+            ],
+        };
+        let r = ProfileReport::from_trace(&trace);
+        assert_eq!(r.request_timeouts, 2);
+        assert_eq!(r.circuit_trips, 1, "only openings count as trips");
+        assert_eq!(r.drains, 1);
+        r.check_conservation().expect("laws hold");
+        let json = r.to_json();
+        assert!(json.contains("\"request_timeouts\":2"), "{json}");
     }
 
     #[test]

@@ -413,6 +413,10 @@ pub struct Pool {
     workers: usize,
     resident: Option<Arc<Resident>>,
     deadline: Option<Deadline>,
+    /// An external abort switch (a client disconnect, a service drain):
+    /// when raised mid-region, the watchdog relays it onto the region's
+    /// own cancel flag so every construct's cooperative polling sees it.
+    abort: Option<Arc<CancelFlag>>,
 }
 
 impl Pool {
@@ -428,6 +432,7 @@ impl Pool {
             workers: p,
             resident,
             deadline: None,
+            abort: None,
         }
     }
 
@@ -440,6 +445,7 @@ impl Pool {
             workers: p,
             resident: None,
             deadline: None,
+            abort: None,
         }
     }
 
@@ -460,6 +466,26 @@ impl Pool {
     #[inline]
     pub fn deadline(&self) -> Option<Deadline> {
         self.deadline
+    }
+
+    /// A handle to the same pool whose regions are additionally guarded
+    /// by an external abort switch: when `abort` is raised mid-region
+    /// (a client disconnect, a service drain), the watchdog relays it
+    /// onto the region's cancel flag and the region ends
+    /// [`PoolOutcome::Cancelled`] once its lanes drain cooperatively.
+    /// Composes with [`Pool::with_deadline`] — whichever fires first
+    /// stops the region.
+    pub fn with_abort(&self, abort: Arc<CancelFlag>) -> Pool {
+        Pool {
+            abort: Some(abort),
+            ..self.clone()
+        }
+    }
+
+    /// The external abort switch guarding this handle's regions, if any.
+    #[inline]
+    pub fn abort_flag(&self) -> Option<&Arc<CancelFlag>> {
+        self.abort.as_ref()
     }
 
     /// Number of workers (the paper's `nproc`).
@@ -490,9 +516,10 @@ impl Pool {
     where
         F: Fn(usize) + Sync,
     {
-        match self.deadline {
-            None => Self::outcome(self.dispatch(cancel, &f), None, cancel),
-            Some(d) => self.run_watched(d, cancel, &f),
+        if self.deadline.is_none() && self.abort.is_none() {
+            Self::outcome(self.dispatch(cancel, &f), None, cancel)
+        } else {
+            self.run_watched(self.deadline, cancel, &f)
         }
     }
 
@@ -527,13 +554,15 @@ impl Pool {
 
     /// One region under a watchdog: a monitor thread raises the cancel
     /// flag when the deadline expires with any lane unfinished, recording
-    /// the lowest overdue vpn. Cancellation stays cooperative — the
-    /// leader still waits for every lane to drain (a body that never
-    /// polls the flag cannot be reaped, only reported) — so the resident
-    /// workers stay reusable after a timeout exactly as after a panic.
+    /// the lowest overdue vpn — and relays an external abort switch (see
+    /// [`Pool::with_abort`]) onto the same cancel flag. Cancellation
+    /// stays cooperative — the leader still waits for every lane to
+    /// drain (a body that never polls the flag cannot be reaped, only
+    /// reported) — so the resident workers stay reusable after a timeout
+    /// exactly as after a panic.
     fn run_watched(
         &self,
-        d: Deadline,
+        d: Option<Deadline>,
         cancel: &CancelFlag,
         f: &(dyn Fn(usize) + Sync),
     ) -> PoolOutcome {
@@ -562,7 +591,8 @@ impl Pool {
             unsafe { std::mem::transmute::<&CancelFlag, &'static CancelFlag>(cancel) };
         let monitor = {
             let watch = Arc::clone(&watch);
-            let expiry = start + d.duration();
+            let abort = self.abort.clone();
+            let expiry = d.map(|d| start + d.duration());
             std::thread::Builder::new()
                 .name("wlp-watchdog".into())
                 .spawn(move || {
@@ -571,16 +601,37 @@ impl Pool {
                         if *done {
                             return;
                         }
-                        let remaining = expiry.saturating_duration_since(Instant::now());
+                        if abort.as_ref().is_some_and(|a| a.is_cancelled()) {
+                            // external abort: relay onto the region's QUIT
+                            // flag; no timeout victim — the region drains
+                            // cooperatively and classifies as Cancelled
+                            cancel_static.cancel();
+                            return;
+                        }
+                        // with an abort switch the wait is sliced so a
+                        // raised switch is noticed promptly; a pure
+                        // deadline sleeps out its full remainder
+                        let remaining = match expiry {
+                            Some(e) => e.saturating_duration_since(Instant::now()),
+                            None => Duration::from_millis(2),
+                        };
+                        let slice = if abort.is_some() {
+                            remaining.min(Duration::from_millis(2))
+                        } else {
+                            remaining
+                        };
                         let (g, res) = watch
                             .cv
-                            .wait_timeout(done, remaining)
+                            .wait_timeout(done, slice)
                             .unwrap_or_else(|e| e.into_inner());
                         done = g;
                         if *done {
                             return;
                         }
-                        if res.timed_out() {
+                        let expired =
+                            res.timed_out() && expiry.is_some_and(|e| Instant::now() >= e);
+                        if expired {
+                            let d = d.expect("expiry implies a deadline");
                             let overdue =
                                 watch.lanes.iter().position(|l| !l.load(Ordering::Acquire));
                             let Some(overdue) = overdue else {
@@ -1118,6 +1169,69 @@ mod tests {
         });
         let to = out.timeout().expect("inline lane is watched too");
         assert_eq!(to.vpn, 0);
+    }
+
+    #[test]
+    fn abort_switch_cancels_a_running_region() {
+        let pool = Pool::new(3);
+        let abort = Arc::new(CancelFlag::new());
+        let guarded = pool.with_abort(Arc::clone(&abort));
+        assert!(guarded.deadline().is_none());
+        let cancel = CancelFlag::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(20));
+                abort.cancel();
+            });
+            let out = guarded.run_with(&cancel, |_| {
+                // cooperative stall until the abort is relayed as QUIT
+                while !cancel.is_cancelled() {
+                    std::hint::spin_loop();
+                }
+            });
+            assert_eq!(out, PoolOutcome::Cancelled);
+        });
+        // the same resident workers keep serving regions afterwards
+        let clean = pool.run_with(&CancelFlag::new(), |_| {});
+        assert_eq!(clean, PoolOutcome::Clean);
+    }
+
+    #[test]
+    fn pre_raised_abort_cancels_promptly() {
+        let abort = Arc::new(CancelFlag::new());
+        abort.cancel();
+        let pool = Pool::new(2).with_abort(Arc::clone(&abort));
+        let cancel = CancelFlag::new();
+        let out = pool.run_with(&cancel, |_| {
+            while !cancel.is_cancelled() {
+                std::hint::spin_loop();
+            }
+        });
+        assert_eq!(out, PoolOutcome::Cancelled);
+    }
+
+    #[test]
+    fn abort_composes_with_deadline_and_clean_runs_stay_clean() {
+        let abort = Arc::new(CancelFlag::new());
+        let pool = Pool::new(2)
+            .with_deadline(Deadline::from_millis(5_000))
+            .with_abort(Arc::clone(&abort));
+        let out = pool.run_with(&CancelFlag::new(), |_| {});
+        assert_eq!(out, PoolOutcome::Clean);
+        // deadline still wins when the abort switch stays down
+        let fast = Pool::new(2)
+            .with_deadline(Deadline::from_millis(20))
+            .with_abort(abort);
+        let cancel = CancelFlag::new();
+        let out = fast.run_with(&cancel, |_| {
+            while !cancel.is_cancelled() {
+                std::hint::spin_loop();
+            }
+        });
+        assert!(
+            out.timeout().is_some(),
+            "deadline expiry classified: {out:?}"
+        );
     }
 
     #[test]

@@ -33,10 +33,12 @@
 //! so callers (the `wlp-serve` admission controller) can reject instead
 //! of queue when the backlog crosses a bound.
 
-use crate::pool::Pool;
+use crate::pool::{CancelFlag, Pool};
 use parking_lot::{Condvar, Mutex};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Sizing for a [`RegionScheduler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +70,21 @@ struct LaneState {
     /// earlier long submission.
     next_ticket: u64,
     now_serving: u64,
+    /// Tickets whose holders gave up (deadline expiry / cancellation)
+    /// before being served. A grant that advances `now_serving` onto an
+    /// abandoned ticket skips past it, so a departed waiter can never
+    /// stall the queue behind a ticket nobody holds.
+    abandoned: HashSet<u64>,
+}
+
+impl LaneState {
+    /// Skips `now_serving` past tickets whose holders abandoned the
+    /// queue. Called after every `now_serving` advance.
+    fn skip_abandoned(&mut self) {
+        while self.abandoned.remove(&self.now_serving) {
+            self.now_serving += 1;
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -153,6 +170,7 @@ impl RegionScheduler {
                     free,
                     next_ticket: 0,
                     now_serving: 0,
+                    abandoned: HashSet::new(),
                 }),
                 available: Condvar::new(),
                 waiting: AtomicUsize::new(0),
@@ -182,6 +200,13 @@ impl RegionScheduler {
         self.shared.regions_run.load(Ordering::Relaxed)
     }
 
+    /// Lanes currently free (checked in). When no region is in flight
+    /// this equals [`RegionScheduler::lanes`] — the no-leaked-lane
+    /// invariant the chaos harness asserts after every scenario.
+    pub fn free_lanes(&self) -> usize {
+        self.shared.state.lock().free.len()
+    }
+
     /// Checks out a free lane without blocking; `None` when every lane is
     /// busy **or** earlier submissions are already queued (a try must not
     /// jump the FIFO).
@@ -195,6 +220,7 @@ impl RegionScheduler {
         // an immediate grant consumes and serves its ticket in one step
         st.next_ticket += 1;
         st.now_serving += 1;
+        st.skip_abandoned();
         if !st.free.is_empty() {
             shared.available.notify_all();
         }
@@ -203,6 +229,24 @@ impl RegionScheduler {
 
     /// Checks out a lane, blocking in FIFO order until one frees up.
     pub fn acquire(&self) -> Lane<'_> {
+        self.acquire_until(None, None)
+            .expect("unbounded acquire always succeeds")
+    }
+
+    /// Checks out a lane in FIFO order, giving up at `expiry` or when
+    /// `cancel` is raised (the request's client vanished). `None` for
+    /// both bounds is an unbounded [`RegionScheduler::acquire`].
+    ///
+    /// A waiter that gives up **abandons its ticket**: the FIFO skips
+    /// past it, so a departed request can neither hold a queue slot nor
+    /// stall the tickets behind it. Returns `None` on expiry or
+    /// cancellation, with the queue left exactly as if the waiter had
+    /// never arrived.
+    pub fn acquire_until(
+        &self,
+        expiry: Option<Instant>,
+        cancel: Option<&CancelFlag>,
+    ) -> Option<Lane<'_>> {
         let shared = &self.shared;
         let mut st = shared.state.lock();
         let ticket = st.next_ticket;
@@ -210,6 +254,7 @@ impl RegionScheduler {
         if ticket == st.now_serving {
             if let Some(idx) = st.free.pop() {
                 st.now_serving += 1;
+                st.skip_abandoned();
                 // Taking a lane advances now_serving, which may make the
                 // next ticket eligible for a lane that is *already* free.
                 // Its holder saw `now_serving != ticket` when it last
@@ -219,23 +264,70 @@ impl RegionScheduler {
                 if !st.free.is_empty() {
                     shared.available.notify_all();
                 }
-                return Lane { sched: self, idx };
+                return Some(Lane { sched: self, idx });
             }
         }
         shared.waiting.fetch_add(1, Ordering::Relaxed);
         loop {
-            shared.available.wait(&mut st);
+            let gave_up = 'wait: {
+                if cancel.is_some_and(|c| c.is_cancelled()) {
+                    break 'wait true;
+                }
+                match (expiry, cancel) {
+                    (None, None) => {
+                        shared.available.wait(&mut st);
+                        false
+                    }
+                    (bound, cancel) => {
+                        // Slice the wait so a raised cancel flag is
+                        // noticed promptly even with no deadline; a pure
+                        // deadline waits out its full remainder.
+                        let remaining = match bound {
+                            Some(e) => {
+                                let r = e.saturating_duration_since(Instant::now());
+                                if r.is_zero() {
+                                    break 'wait true;
+                                }
+                                r
+                            }
+                            None => Duration::MAX,
+                        };
+                        let slice = if cancel.is_some() {
+                            remaining.min(Duration::from_millis(5))
+                        } else {
+                            remaining
+                        };
+                        let timed_out = shared.available.wait_for(&mut st, slice);
+                        timed_out && bound.is_some_and(|e| Instant::now() >= e)
+                    }
+                }
+            };
             if ticket == st.now_serving {
                 if let Some(idx) = st.free.pop() {
                     st.now_serving += 1;
+                    st.skip_abandoned();
                     shared.waiting.fetch_sub(1, Ordering::Relaxed);
                     // same hand-off as the fast path: wake the successor
                     // ticket if another lane is still free
                     if !st.free.is_empty() {
                         shared.available.notify_all();
                     }
-                    return Lane { sched: self, idx };
+                    return Some(Lane { sched: self, idx });
                 }
+            }
+            if gave_up || cancel.is_some_and(|c| c.is_cancelled()) {
+                shared.waiting.fetch_sub(1, Ordering::Relaxed);
+                if ticket == st.now_serving {
+                    // Head of the queue: advance past our own ticket so
+                    // the successor becomes eligible, and re-notify in
+                    // case its lane is already free.
+                    st.now_serving += 1;
+                    st.skip_abandoned();
+                    shared.available.notify_all();
+                } else {
+                    st.abandoned.insert(ticket);
+                }
+                return None;
             }
         }
     }
@@ -453,5 +545,125 @@ mod tests {
             drop(lane);
             gate.wait();
         }
+    }
+
+    #[test]
+    fn acquire_until_expires_instead_of_blocking_forever() {
+        let s = RegionScheduler::new(SchedulerConfig {
+            total_workers: 2,
+            lane_width: 2,
+        });
+        let held = s.acquire();
+        let expiry = std::time::Instant::now() + std::time::Duration::from_millis(30);
+        let t0 = std::time::Instant::now();
+        assert!(s.acquire_until(Some(expiry), None).is_none());
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
+        assert_eq!(s.waiting(), 0, "expired waiter left the queue");
+        drop(held);
+        assert_eq!(s.free_lanes(), 1);
+        // the abandoned ticket must not stall a later submission
+        let lane = s.acquire();
+        drop(lane);
+    }
+
+    #[test]
+    fn acquire_until_observes_cancellation() {
+        use crate::pool::CancelFlag;
+        let s = RegionScheduler::new(SchedulerConfig {
+            total_workers: 2,
+            lane_width: 2,
+        });
+        let held = s.acquire();
+        let cancel = CancelFlag::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                assert!(s.acquire_until(None, Some(&cancel)).is_none());
+            });
+            while s.waiting() < 1 {
+                std::thread::yield_now();
+            }
+            cancel.cancel();
+        });
+        assert_eq!(s.waiting(), 0);
+        drop(held);
+        assert!(s.acquire_until(None, None).is_some());
+    }
+
+    #[test]
+    fn abandoned_ticket_does_not_stall_successors() {
+        // waiter A (head of queue) times out while waiter B queues behind
+        // it; when the lane frees, B must be served even though A's ticket
+        // was never granted.
+        let s = RegionScheduler::new(SchedulerConfig {
+            total_workers: 2,
+            lane_width: 2,
+        });
+        let held = s.acquire();
+        let served_b = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let expiry = std::time::Instant::now() + std::time::Duration::from_millis(20);
+                assert!(s.acquire_until(Some(expiry), None).is_none());
+            });
+            while s.waiting() < 1 {
+                std::thread::yield_now();
+            }
+            scope.spawn(|| {
+                let lane = s.acquire();
+                served_b.fetch_add(1, Ordering::SeqCst);
+                drop(lane);
+            });
+            while s.waiting() < 2 {
+                std::thread::yield_now();
+            }
+            // hold the lane past A's expiry so A abandons from the head
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            drop(held);
+        });
+        assert_eq!(served_b.load(Ordering::SeqCst), 1);
+        assert_eq!(s.waiting(), 0);
+        assert_eq!(s.free_lanes(), s.lanes(), "no lane leaked");
+    }
+
+    #[test]
+    fn mid_queue_abandonment_is_skipped_at_grant_time() {
+        // A queues, B queues behind it with a deadline, B expires while A
+        // still waits; serving A must skip B's abandoned ticket so a
+        // third submission C is served next.
+        let s = RegionScheduler::new(SchedulerConfig {
+            total_workers: 2,
+            lane_width: 2,
+        });
+        let held = s.acquire();
+        let order: Mutex<Vec<char>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let lane = s.acquire();
+                order.lock().push('A');
+                drop(lane);
+            });
+            while s.waiting() < 1 {
+                std::thread::yield_now();
+            }
+            scope.spawn(|| {
+                let expiry = std::time::Instant::now() + std::time::Duration::from_millis(15);
+                assert!(s.acquire_until(Some(expiry), None).is_none());
+            });
+            while s.waiting() < 2 {
+                std::thread::yield_now();
+            }
+            // wait until B has expired and left the queue
+            while s.waiting() > 1 {
+                std::thread::yield_now();
+            }
+            drop(held);
+            scope.spawn(|| {
+                let lane = s.acquire();
+                order.lock().push('C');
+                drop(lane);
+            });
+        });
+        assert_eq!(*order.lock(), vec!['A', 'C']);
+        assert_eq!(s.free_lanes(), s.lanes());
     }
 }

@@ -4,21 +4,36 @@
 //!
 //! * `wlp-serve --stdin` — read NDJSON requests from standard input,
 //!   write one response line per request to standard output, exit 0 at
-//!   EOF. The mode scripts and the CI smoke job use.
+//!   EOF (or after a `shutdown` request drains). The mode scripts and
+//!   the CI smoke job use.
 //! * `wlp-serve --listen ADDR` — accept TCP connections on `ADDR`
 //!   (e.g. `127.0.0.1:7070`), one thread per connection, same NDJSON
-//!   framing per connection. Runs until killed.
+//!   framing per connection. Runs until a `shutdown` request or
+//!   SIGTERM/SIGINT begins a graceful drain: the listener closes,
+//!   in-flight requests finish under `--drain-ms`, final stats go to
+//!   stderr, and the exit code says whether the drain completed clean.
+//!
+//! Each TCP connection gets a cancellation flag. A dedicated reader
+//! thread notices connection resets while a request is still executing
+//! and raises the flag, which aborts the request's region and returns
+//! its lane and credits — a client that disconnects stops costing the
+//! other tenants capacity.
 //!
 //! Tunables (see `docs/OPERATIONS.md` for sizing guidance):
 //! `--workers N`, `--lane-width N`, `--cache N`, `--max-inflight N`,
-//! `--max-queue N`, `--max-iters N`, `--credits N`, `--quiet`.
+//! `--max-queue N`, `--max-iters N`, `--credits N`, `--max-deadline MS`,
+//! `--drain-ms MS`, `--circuit-trip N`, `--circuit-open-ms MS`,
+//! `--chaos`, `--quiet`.
 
+use serde::json;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
+use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Duration;
 use wlp_serve::proto::{self, codes, ProtoError};
-use wlp_serve::{ServeConfig, Service};
+use wlp_serve::{CancelFlag, ServeConfig, Service};
 
 /// Longest request line either transport accepts (docs/PROTOCOL.md).
 /// `BufRead::lines` would buffer an arbitrarily long line whole, letting
@@ -73,6 +88,45 @@ fn line_too_long_response() -> String {
     )
 }
 
+/// SIGTERM/SIGINT → a flag the accept loop polls. The handler only
+/// stores to an atomic, which is async-signal-safe; everything else
+/// (drain, stats flush) happens on the main thread.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn termed() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn termed() -> bool {
+        false
+    }
+}
+
 struct Args {
     listen: Option<String>,
     cfg: ServeConfig,
@@ -83,10 +137,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: wlp-serve [--stdin | --listen ADDR] [--workers N] [--lane-width N]\n\
          \x20                [--cache N] [--max-inflight N] [--max-queue N]\n\
-         \x20                [--max-iters N] [--credits N] [--quiet]\n\
+         \x20                [--max-iters N] [--credits N] [--max-deadline MS]\n\
+         \x20                [--drain-ms MS] [--circuit-trip N] [--circuit-open-ms MS]\n\
+         \x20                [--chaos] [--quiet]\n\
          \n\
          Serves the wlp NDJSON protocol (docs/PROTOCOL.md): one JSON request\n\
-         per line, one response line per request. Default mode is --stdin."
+         per line, one response line per request. Default mode is --stdin.\n\
+         SIGTERM (or a `shutdown` request) begins a graceful drain."
     );
     std::process::exit(2);
 }
@@ -101,7 +158,7 @@ fn parse_args() -> Args {
     while let Some(arg) = it.next() {
         let mut num = |name: &str| -> usize {
             it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("wlp-serve: {name} needs a positive integer");
+                eprintln!("wlp-serve: {name} needs a non-negative integer");
                 usage()
             })
         };
@@ -119,6 +176,14 @@ fn parse_args() -> Args {
             "--max-queue" => args.cfg.max_queue_depth = num("--max-queue").max(1),
             "--max-iters" => args.cfg.default_max_iters = num("--max-iters"),
             "--credits" => args.cfg.tenant_spec_credits = num("--credits") as u64,
+            "--max-deadline" => args.cfg.max_deadline_ms = num("--max-deadline").max(1) as u64,
+            "--drain-ms" => args.cfg.drain_deadline_ms = num("--drain-ms") as u64,
+            // 0 disables the breaker
+            "--circuit-trip" => args.cfg.circuit.trip_threshold = num("--circuit-trip") as u32,
+            "--circuit-open-ms" => {
+                args.cfg.circuit.open_ms = num("--circuit-open-ms").max(1) as u64
+            }
+            "--chaos" => args.cfg.chaos_builtins = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => usage(),
             other => {
@@ -132,6 +197,7 @@ fn parse_args() -> Args {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    sig::install();
     let service = Arc::new(Service::new(args.cfg.clone()));
     if !args.quiet {
         eprintln!(
@@ -143,12 +209,35 @@ fn main() -> ExitCode {
         );
     }
     match args.listen {
-        None => serve_stdin(&service),
+        None => serve_stdin(&service, args.quiet),
         Some(addr) => serve_tcp(&service, &addr, args.quiet),
     }
 }
 
-fn serve_stdin(service: &Service) -> ExitCode {
+/// Waits out in-flight requests, flushes final stats, and reports
+/// whether the drain beat `drain_deadline_ms`. The short settle sleep
+/// lets connection threads write responses whose `run` just finished —
+/// the active counter drops when the response string is assembled,
+/// a moment before it reaches the socket.
+fn finish_drain(service: &Service, quiet: bool) -> ExitCode {
+    let clean = service.await_drain(Duration::from_millis(service.config().drain_deadline_ms));
+    std::thread::sleep(Duration::from_millis(50));
+    if !quiet {
+        eprintln!(
+            "wlp-serve: drain {} ({} run(s) in flight), final stats: {}",
+            if clean { "complete" } else { "timed out" },
+            service.active_runs(),
+            json::to_string(&service.stats_value()),
+        );
+    }
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn serve_stdin(service: &Service, quiet: bool) -> ExitCode {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut reader = stdin.lock();
@@ -172,6 +261,11 @@ fn serve_stdin(service: &Service) -> ExitCode {
             // downstream closed the pipe: nothing left to serve
             return ExitCode::SUCCESS;
         }
+        if service.is_draining() {
+            // a `shutdown` request: requests are serial here, so the
+            // response above was the drain's last word
+            return finish_drain(service, quiet);
+        }
     }
 }
 
@@ -183,40 +277,102 @@ fn serve_tcp(service: &Arc<Service>, addr: &str, quiet: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if !quiet {
-        eprintln!("wlp-serve: listening on {addr}");
+    if listener.set_nonblocking(true).is_err() {
+        eprintln!("wlp-serve: cannot poll the listener");
+        return ExitCode::FAILURE;
     }
-    for conn in listener.incoming() {
-        match conn {
-            Ok(stream) => {
+    if !quiet {
+        // the resolved address, so `--listen 127.0.0.1:0` callers (the
+        // chaos harness) can learn the kernel-assigned port
+        let local = listener
+            .local_addr()
+            .map_or_else(|_| addr.to_string(), |a| a.to_string());
+        eprintln!("wlp-serve: listening on {local}");
+    }
+    loop {
+        if sig::termed() {
+            service.begin_drain();
+        }
+        if service.is_draining() {
+            // stop accepting; connections already established keep
+            // answering (new runs retriable `draining`) until exit
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // some platforms hand the listener's nonblocking mode
+                // down to accepted sockets; connection I/O must block
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
                 let svc = Arc::clone(service);
                 std::thread::spawn(move || serve_conn(&svc, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
             }
             Err(e) => eprintln!("wlp-serve: accept failed: {e}"),
         }
     }
-    ExitCode::SUCCESS
+    drop(listener);
+    if !quiet {
+        eprintln!(
+            "wlp-serve: draining, {} run(s) in flight",
+            service.active_runs()
+        );
+    }
+    finish_drain(service, quiet)
 }
 
+/// One TCP connection. The reader runs on its own thread so a
+/// connection reset is noticed *while* a request executes: the reset
+/// raises `cancel`, the service aborts the region, and the lane goes
+/// back to the pool. A clean half-close (EOF) does **not** cancel —
+/// clients may legitimately shut down their write half and wait for the
+/// final response.
 fn serve_conn(service: &Service, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(stream);
+    let cancel = Arc::new(CancelFlag::new());
+    let (tx, rx) = mpsc::channel();
+    let reader_cancel = Arc::clone(&cancel);
+    let reader = std::thread::spawn(move || {
+        let mut reader = BufReader::new(stream);
+        loop {
+            match read_bounded_line(&mut reader) {
+                Ok(BoundedLine::Eof) => return,
+                Err(_) => {
+                    // reset mid-stream: the client is gone for real
+                    reader_cancel.cancel();
+                    return;
+                }
+                Ok(item) => {
+                    if tx.send(item).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    });
     let mut out = BufWriter::new(write_half);
-    loop {
-        let resp = match read_bounded_line(&mut reader) {
-            Ok(BoundedLine::Eof) | Err(_) => return,
-            Ok(BoundedLine::TooLong) => line_too_long_response(),
-            Ok(BoundedLine::Line(line)) => {
+    while let Ok(item) = rx.recv() {
+        let resp = match item {
+            BoundedLine::Eof => break,
+            BoundedLine::TooLong => line_too_long_response(),
+            BoundedLine::Line(line) => {
                 if line.trim().is_empty() {
                     continue;
                 }
-                service.handle_line(&line)
+                service.handle_line_with(&line, Some(&cancel))
             }
         };
         if writeln!(out, "{resp}").and_then(|()| out.flush()).is_err() {
-            return;
+            // the client stopped reading; abort its remaining work
+            cancel.cancel();
+            break;
         }
     }
+    drop(rx);
+    let _ = reader.join();
 }

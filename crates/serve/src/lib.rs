@@ -28,23 +28,30 @@
 //! listener).
 
 pub mod cache;
+pub mod circuit;
 pub mod proto;
 
 use cache::{CacheEntry, CacheOutcome, CertCache};
+use circuit::{Admission, CircuitBreaker, CircuitPolicy};
 use parking_lot::Mutex;
 use proto::{codes, ProtoError, ReplyMode, Request, RunRequest};
 use serde::{json, Value};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use wlp_analyze::CertVerdict;
-use wlp_ir::interp::{run_parallel, run_sequential, ExecOutcome, Machine};
+use wlp_ir::interp::{run_parallel, run_sequential, Machine};
 use wlp_obs::{AbortReason, Event, ProfileReport, Sample, StrategyChoice, Trace};
-use wlp_runtime::{Governor, GovernorPolicy, RegionScheduler, SchedulerConfig};
+use wlp_runtime::{
+    payload_message, Deadline, Governor, GovernorPolicy, Pool, RegionScheduler, SchedulerConfig,
+};
 
 pub use cache::fnv1a64;
+pub use circuit::CircuitState;
 pub use proto::PROTOCOL_VERSION;
+pub use wlp_runtime::CancelFlag;
 
 /// Tunables for a [`Service`] instance.
 #[derive(Debug, Clone)]
@@ -80,6 +87,19 @@ pub struct ServeConfig {
     /// tenant is evicted to admit a new name (tenant strings are
     /// client-chosen, so the table must not grow with attacker input).
     pub max_tenants: usize,
+    /// Upper clamp on a request's client-supplied `deadline_ms` — a
+    /// client cannot buy more wall-clock than the operator allows.
+    pub max_deadline_ms: u64,
+    /// How long a graceful drain waits for in-flight requests before
+    /// the process gives up and exits anyway.
+    pub drain_deadline_ms: u64,
+    /// Per-tenant circuit-breaker tuning (consecutive hard failures →
+    /// open → half-open probes). `trip_threshold: 0` disables it.
+    pub circuit: CircuitPolicy,
+    /// Register the one-shot `chaos_stall`/`chaos_panic` host functions
+    /// on every served machine — **test harnesses only** (the
+    /// `serve-chaos` bench bin injects worker faults through them).
+    pub chaos_builtins: bool,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +116,10 @@ impl Default for ServeConfig {
             governor: GovernorPolicy::default(),
             max_samples: 65_536,
             max_tenants: 1_024,
+            max_deadline_ms: 60_000,
+            drain_deadline_ms: 5_000,
+            circuit: CircuitPolicy::default(),
+            chaos_builtins: false,
         }
     }
 }
@@ -112,6 +136,12 @@ struct TenantState {
     requests: AtomicU64,
     /// Requests rejected at admission.
     rejected: AtomicU64,
+    /// Requests that missed their deadline or lost their client.
+    timeouts: AtomicU64,
+    /// Consecutive-hard-failure circuit breaker, layered above the
+    /// governor: an open circuit rejects at admission, before any lane
+    /// or credit is touched.
+    breaker: Mutex<CircuitBreaker>,
 }
 
 impl TenantState {
@@ -122,6 +152,8 @@ impl TenantState {
             credits: AtomicU64::new(cfg.tenant_spec_credits),
             requests: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            breaker: Mutex::new(CircuitBreaker::new(cfg.circuit)),
         }
     }
 
@@ -165,6 +197,13 @@ pub struct Service {
     errors: AtomicU64,
     admitted: AtomicU64,
     rejected: AtomicU64,
+    timeouts: AtomicU64,
+    /// Raised by [`Service::begin_drain`]; while up, new `run` requests
+    /// are rejected `draining` and ping reports `"draining":true`.
+    draining: AtomicBool,
+    /// `run` requests currently between admission and response — what a
+    /// graceful drain waits on.
+    active: AtomicUsize,
 }
 
 impl Service {
@@ -187,6 +226,9 @@ impl Service {
             errors: AtomicU64::new(0),
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
         }
     }
 
@@ -204,6 +246,16 @@ impl Service {
     /// (without trailing newline). Never panics on malformed input —
     /// every failure is a well-formed error response.
     pub fn handle_line(&self, line: &str) -> String {
+        self.handle_line_with(line, None)
+    }
+
+    /// [`handle_line`](Self::handle_line) with a per-connection cancel
+    /// flag. Transports raise the flag when the client goes away (write
+    /// error, socket reset); a `run` observing it stops waiting for a
+    /// lane, aborts its region, and answers `timeout` — the lane and
+    /// speculation credits go back to their pools instead of finishing
+    /// work nobody will read.
+    pub fn handle_line_with(&self, line: &str, cancel: Option<&Arc<CancelFlag>>) -> String {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let req = match proto::parse_request(line) {
             Ok(req) => req,
@@ -216,7 +268,15 @@ impl Service {
             Request::Ping { id } => json::to_string(&ok_response(
                 id.as_deref(),
                 "ping",
-                vec![("pong".into(), Value::Bool(true))],
+                vec![
+                    ("pong".into(), Value::Bool(true)),
+                    ("version".into(), Value::UInt(PROTOCOL_VERSION)),
+                    (
+                        "uptime_ms".into(),
+                        Value::UInt(self.epoch.elapsed().as_millis() as u64),
+                    ),
+                    ("draining".into(), Value::Bool(self.is_draining())),
+                ],
             )),
             Request::Stats { id } => json::to_string(&ok_response(
                 id.as_deref(),
@@ -224,8 +284,63 @@ impl Service {
                 vec![("stats".into(), self.stats_value())],
             )),
             Request::Certify { id, tenant, source } => self.certify(id, &tenant, &source),
-            Request::Run(run) => self.run(run),
+            Request::Run(run) => self.run(run, cancel),
+            Request::Shutdown { id } => {
+                self.begin_drain();
+                json::to_string(&ok_response(
+                    id.as_deref(),
+                    "shutdown",
+                    vec![
+                        ("draining".into(), Value::Bool(true)),
+                        (
+                            "in_flight".into(),
+                            Value::UInt(self.active.load(Ordering::Acquire) as u64),
+                        ),
+                    ],
+                ))
+            }
         }
+    }
+
+    /// Flips the service into drain mode: new `run` requests are
+    /// rejected retriable `draining`, everything already admitted keeps
+    /// running. Idempotent; the first call records a [`Event::Drain`].
+    pub fn begin_drain(&self) {
+        if !self.draining.swap(true, Ordering::AcqRel) {
+            self.record(Event::Drain {
+                in_flight: self.active.load(Ordering::Acquire) as u64,
+            });
+        }
+    }
+
+    /// Whether [`begin_drain`](Self::begin_drain) has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// `run` requests currently between admission and response — what a
+    /// graceful drain waits on.
+    pub fn active_runs(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Requests that missed their deadline or lost their client.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until every admitted `run` has answered or `patience`
+    /// elapses; `true` means the drain completed clean. Call after
+    /// [`begin_drain`](Self::begin_drain).
+    pub fn await_drain(&self, patience: Duration) -> bool {
+        let give_up = Instant::now() + patience;
+        while self.active.load(Ordering::Acquire) > 0 {
+            if Instant::now() >= give_up {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
     }
 
     /// The `certify` op: cache lookup + certificate, no execution, no
@@ -262,9 +377,12 @@ impl Service {
         json::to_string(&ok_response(id.as_deref(), "certify", fields))
     }
 
-    /// The `run` op: cache lookup, admission, lane checkout, execution
-    /// under the tenant's governor rung, response assembly.
-    fn run(&self, req: RunRequest) -> String {
+    /// The `run` op: cache lookup, deadline clamp, admission (drain
+    /// state, circuit breaker, in-flight bound, queue depth), lane
+    /// checkout bounded by the deadline, execution under the tenant's
+    /// governor rung with cancellation threaded into the pool, response
+    /// assembly.
+    fn run(&self, req: RunRequest, cancel: Option<&Arc<CancelFlag>>) -> String {
         let started = Instant::now();
         let tenant = self.tenant(&req.tenant);
         tenant.requests.fetch_add(1, Ordering::Relaxed);
@@ -285,14 +403,42 @@ impl Service {
         };
         let cert = entry.analysis.certificate.clone();
         let max_iters = req.max_iters.unwrap_or(self.cfg.default_max_iters);
+        // The deadline is measured from request parse and clamped so a
+        // client cannot buy more wall-clock than the operator allows.
+        let expiry = req
+            .deadline_ms
+            .map(|ms| started + Duration::from_millis(ms.min(self.cfg.max_deadline_ms.max(1))));
 
         // ---- admission ----
+        if self.is_draining() {
+            return self.reject(
+                &tenant,
+                codes::DRAINING,
+                "service is draining; retry against another instance".into(),
+                req.id,
+                Some(self.cfg.retry_after_ms),
+            );
+        }
+        let admission = tenant.breaker.lock().admit();
+        if let Admission::Reject { retry_after_ms } = admission {
+            return self.reject(
+                &tenant,
+                codes::TENANT_CIRCUIT_OPEN,
+                format!(
+                    "circuit open for `{}` after consecutive hard failures",
+                    req.tenant
+                ),
+                req.id,
+                Some(retry_after_ms),
+            );
+        }
         if let Err(err) = self.admit(&tenant, &req) {
             return proto::error_line(&err, Some(self.cfg.retry_after_ms));
         }
-        // From here on the tenant holds an in-flight slot; every exit
-        // path must release it.
+        // From here on the tenant holds an in-flight slot and the drain
+        // logic counts this request; every exit path must release both.
         let release = InflightGuard { tenant: &tenant };
+        let active = ActiveGuard::enter(self);
 
         // Speculative runs reserve their certified write budget from the
         // tenant's credit pool — the backpressure valve for tenants whose
@@ -303,6 +449,7 @@ impl Service {
             0
         };
         if cost > 0 && !tenant.reserve_credits(cost) {
+            drop(active);
             drop(release);
             tenant.rejected.fetch_add(1, Ordering::Relaxed);
             self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -329,27 +476,82 @@ impl Service {
             machine.scalars.insert(name.clone(), *v);
         }
         register_builtins(&mut machine);
+        if self.cfg.chaos_builtins {
+            register_chaos_builtins(&mut machine);
+        }
 
         // ---- execution on a checked-out lane ----
         let rung = tenant.governor.lock().current();
         let attempt_parallel =
             cert.verdict != CertVerdict::CertifiedSequential && rung != StrategyChoice::Sequential;
-        let lane = self.scheduler.acquire();
+        let Some(lane) = self.scheduler.acquire_until(expiry, cancel.map(|c| &**c)) else {
+            // Gave up in the lane queue: the deadline expired or the
+            // client went away before any work started. The ticket was
+            // already handed back to the scheduler; credits and slots
+            // follow it here.
+            if cost > 0 {
+                tenant.return_credits(cost);
+            }
+            drop(active);
+            drop(release);
+            let abandoned = cancel.is_some_and(|c| c.is_cancelled());
+            return self.timed_out(&tenant, req.id, started, abandoned, true);
+        };
         self.admitted.fetch_add(1, Ordering::Relaxed);
         self.record(Event::RegionAdmit {
             lane: lane.index() as u64,
         });
-        let result: Result<ExecOutcome, _> = if attempt_parallel {
-            run_parallel(&entry.program, &mut machine, &lane, max_iters)
-        } else {
-            run_sequential(&entry.program, &mut machine, max_iters)
-        };
+        // Compose the lane's pool with this request's deadline and the
+        // connection's cancel flag: the pool watchdog converts either
+        // into a cooperative region abort, and the speculative executor
+        // drains an aborted region through its bounded sequential rerun.
+        let mut pool: Pool = (*lane).clone();
+        if let Some(e) = expiry {
+            pool = pool.with_deadline(Deadline::new(e.saturating_duration_since(Instant::now())));
+        }
+        if let Some(c) = cancel {
+            pool = pool.with_abort(c.clone());
+        }
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if attempt_parallel {
+                run_parallel(&entry.program, &mut machine, &pool, max_iters)
+            } else {
+                run_sequential(&entry.program, &mut machine, max_iters)
+            }
+        }));
         drop(lane);
         if cost > 0 {
             tenant.return_credits(cost);
         }
+        drop(active);
         drop(release);
 
+        let result = match caught {
+            Ok(result) => result,
+            Err(payload) => {
+                // A panic escaped the executor (the pool contains worker
+                // panics, so in practice this is the sequential path —
+                // e.g. a chaos builtin). Lane, credits, and slots are
+                // already back; report the hard failure and let the
+                // breaker see it.
+                if attempt_parallel {
+                    tenant
+                        .governor
+                        .lock()
+                        .record_failure(AbortReason::Exception);
+                }
+                self.breaker_failure(&tenant);
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return proto::error_line(
+                    &ProtoError {
+                        code: codes::EXEC_ERROR,
+                        detail: format!("worker panic: {}", payload_message(&payload)),
+                        id: req.id,
+                    },
+                    None,
+                );
+            }
+        };
         let out = match result {
             Ok(out) => out,
             Err(e) => {
@@ -370,6 +572,17 @@ impl Service {
                 );
             }
         };
+        // A result produced after the deadline (or after the client hung
+        // up) is still a timeout: nobody is waiting for the answer, and
+        // the contract says expiry ⇒ retriable error.
+        let expired = expiry.is_some_and(|e| Instant::now() >= e);
+        let abandoned = cancel.is_some_and(|c| c.is_cancelled());
+        if expired || abandoned {
+            if attempt_parallel {
+                tenant.governor.lock().record_failure(AbortReason::Timeout);
+            }
+            return self.timed_out(&tenant, req.id, started, abandoned, false);
+        }
         if attempt_parallel {
             let mut gov = tenant.governor.lock();
             if out.ran_parallel {
@@ -379,6 +592,9 @@ impl Service {
                 // conservatism): count it against the tenant's ladder
                 gov.record_failure(AbortReason::Dependence);
             }
+        }
+        if tenant.breaker.lock().record_success() {
+            self.record(Event::CircuitTrip { open: false });
         }
 
         // ---- response ----
@@ -447,6 +663,67 @@ impl Service {
             Value::UInt(started.elapsed().as_micros() as u64),
         ));
         json::to_string(&ok_response(req.id.as_deref(), "run", fields))
+    }
+
+    /// Shared pre-admission rejection path: counters, obs event, error
+    /// line.
+    fn reject(
+        &self,
+        tenant: &TenantState,
+        code: &'static str,
+        detail: String,
+        id: Option<String>,
+        retry_after_ms: Option<u64>,
+    ) -> String {
+        tenant.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.record(Event::RegionReject { retriable: true });
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        proto::error_line(&ProtoError { code, detail, id }, retry_after_ms)
+    }
+
+    /// Shared deadline/abandon exit: counters, obs event, breaker
+    /// bookkeeping, retriable `timeout` line. `queued` distinguishes
+    /// giving up in the lane queue from expiring mid-execution.
+    fn timed_out(
+        &self,
+        tenant: &TenantState,
+        id: Option<String>,
+        started: Instant,
+        abandoned: bool,
+        queued: bool,
+    ) -> String {
+        tenant.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.record(Event::RequestTimeout { queued });
+        self.breaker_failure(tenant);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        let what = if abandoned {
+            "client abandoned the request"
+        } else {
+            "deadline expired"
+        };
+        let stage = if queued {
+            "waiting for a lane"
+        } else {
+            "during execution"
+        };
+        proto::error_line(
+            &ProtoError {
+                code: codes::TIMEOUT,
+                detail: format!("{what} {stage} after {}ms", started.elapsed().as_millis()),
+                id,
+            },
+            Some(self.cfg.retry_after_ms),
+        )
+    }
+
+    /// Counts a hard failure against the tenant's breaker, recording the
+    /// trip event when this one opened the circuit.
+    fn breaker_failure(&self, tenant: &TenantState) {
+        if tenant.breaker.lock().record_failure() {
+            self.record(Event::CircuitTrip { open: true });
+        }
     }
 
     /// Cache lookup + obs accounting; errors are pre-rendered.
@@ -588,6 +865,7 @@ impl Service {
             .iter()
             .map(|name| {
                 let t = &tenants[*name];
+                let breaker = t.breaker.lock();
                 (
                     (*name).clone(),
                     Value::Object(vec![
@@ -611,6 +889,12 @@ impl Service {
                             "rung".into(),
                             Value::Str(rung_name(t.governor.lock().current()).into()),
                         ),
+                        (
+                            "timeouts".into(),
+                            Value::UInt(t.timeouts.load(Ordering::Relaxed)),
+                        ),
+                        ("circuit".into(), Value::Str(breaker.state().name().into())),
+                        ("circuit_trips".into(), Value::UInt(breaker.trips())),
                     ]),
                 )
             })
@@ -649,9 +933,22 @@ impl Service {
             ),
             ("lanes".into(), Value::UInt(self.scheduler.lanes() as u64)),
             (
+                "lanes_free".into(),
+                Value::UInt(self.scheduler.free_lanes() as u64),
+            ),
+            (
                 "queue_waiting".into(),
                 Value::UInt(self.scheduler.waiting() as u64),
             ),
+            (
+                "timeouts".into(),
+                Value::UInt(self.timeouts.load(Ordering::Relaxed)),
+            ),
+            (
+                "active_runs".into(),
+                Value::UInt(self.active.load(Ordering::Acquire) as u64),
+            ),
+            ("draining".into(), Value::Bool(self.is_draining())),
             (
                 "samples_dropped".into(),
                 Value::UInt(self.samples_dropped.load(Ordering::Relaxed)),
@@ -669,6 +966,25 @@ struct InflightGuard<'a> {
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
         self.tenant.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Counts one `run` in the service's drain-relevant active set between
+/// admission and response.
+struct ActiveGuard<'a> {
+    svc: &'a Service,
+}
+
+impl<'a> ActiveGuard<'a> {
+    fn enter(svc: &'a Service) -> Self {
+        svc.active.fetch_add(1, Ordering::AcqRel);
+        ActiveGuard { svc }
+    }
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.svc.active.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -728,6 +1044,30 @@ pub fn register_builtins(machine: &mut Machine) {
     });
     machine.define_fn("max", |args: &[i64]| {
         args.iter().copied().max().unwrap_or(0)
+    });
+}
+
+/// One-shot fault injectors for the chaos harness, registered only when
+/// [`ServeConfig::chaos_builtins`] is on. Each fires exactly once per
+/// request even across a speculative attempt plus its sequential
+/// re-execution (both share the captured flag), so an aborted region's
+/// rerun completes and what the harness measures is the service's
+/// recovery, not a fault loop.
+pub fn register_chaos_builtins(machine: &mut Machine) {
+    let stalled = Arc::new(AtomicBool::new(false));
+    machine.define_fn("chaos_stall", move |args: &[i64]| {
+        if !stalled.swap(true, Ordering::AcqRel) {
+            let ms = args.first().copied().unwrap_or(0).clamp(0, 5_000) as u64;
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        0
+    });
+    let panicked = Arc::new(AtomicBool::new(false));
+    machine.define_fn("chaos_panic", move |args: &[i64]| {
+        if !panicked.swap(true, Ordering::AcqRel) {
+            panic!("chaos_panic builtin fired");
+        }
+        args.first().copied().unwrap_or(0)
     });
 }
 
@@ -837,6 +1177,150 @@ mod tests {
         );
         let stats = svc.handle_line(r#"{"op":"stats"}"#);
         assert!(stats.contains("\"samples_dropped\":"), "{stats}");
+    }
+
+    fn chaos_config() -> ServeConfig {
+        ServeConfig {
+            chaos_builtins: true,
+            circuit: circuit::CircuitPolicy {
+                trip_threshold: 2,
+                open_ms: 60,
+                half_open_probes: 1,
+            },
+            ..ServeConfig::default()
+        }
+    }
+
+    /// A stall program: the one-shot `chaos_stall` sleeps `stall` ms on
+    /// its first call, so any deadline below that expires mid-execution.
+    fn stall_line(tenant: &str, stall: u64, deadline_ms: u64) -> String {
+        let src = format!(
+            "integer i = 0\nwhile (i < n) {{\n    A[i] = chaos_stall({stall})\n    i = i + 1\n}}"
+        );
+        format!(
+            r#"{{"op":"run","tenant":"{tenant}","program":{},"arrays":{{"A":[0,0]}},"scalars":{{"n":2}},"deadline_ms":{deadline_ms}}}"#,
+            json::to_string(&src)
+        )
+    }
+
+    fn assert_no_leaks(svc: &Service) {
+        let stats = svc.handle_line(r#"{"op":"stats"}"#);
+        let lanes = svc.scheduler.lanes();
+        assert!(
+            stats.contains(&format!("\"lanes_free\":{lanes}")),
+            "leaked a lane: {stats}"
+        );
+        assert!(stats.contains("\"queue_waiting\":0"), "{stats}");
+        assert!(stats.contains("\"active_runs\":0"), "{stats}");
+    }
+
+    #[test]
+    fn deadline_expiry_is_a_retriable_timeout_and_leaks_nothing() {
+        let svc = Service::new(chaos_config());
+        let resp = svc.handle_line(&stall_line("slow", 80, 20));
+        assert!(resp.contains("\"code\":\"timeout\""), "{resp}");
+        assert!(resp.contains("\"retry_after_ms\":"), "{resp}");
+        assert!(resp.contains("deadline expired"), "{resp}");
+        assert_eq!(svc.timeouts(), 1);
+        assert_no_leaks(&svc);
+        // credits and slots are back: the same tenant runs again at once
+        let ok = svc.handle_line(&run_line("slow", 2, &[1, 1]));
+        assert!(ok.contains("\"ok\":true"), "{ok}");
+        let report = svc.profile();
+        assert_eq!(report.request_timeouts, 1);
+    }
+
+    #[test]
+    fn abandoned_client_gets_timeout_and_lane_returns() {
+        let svc = Service::new(chaos_config());
+        let cancel = Arc::new(CancelFlag::new());
+        cancel.cancel(); // the client is already gone
+        let resp = svc.handle_line_with(&run_line("gone", 2, &[1, 1]), Some(&cancel));
+        assert!(resp.contains("\"code\":\"timeout\""), "{resp}");
+        assert!(resp.contains("client abandoned"), "{resp}");
+        assert_no_leaks(&svc);
+    }
+
+    #[test]
+    fn consecutive_timeouts_trip_the_tenant_circuit_then_it_recovers() {
+        let svc = Service::new(chaos_config());
+        for _ in 0..2 {
+            let resp = svc.handle_line(&stall_line("flappy", 50, 10));
+            assert!(resp.contains("\"code\":\"timeout\""), "{resp}");
+        }
+        // circuit is open: rejected before any lane or credit is touched
+        let resp = svc.handle_line(&run_line("flappy", 2, &[1, 1]));
+        assert!(resp.contains("\"code\":\"tenant_circuit_open\""), "{resp}");
+        assert!(resp.contains("\"retry_after_ms\":"), "{resp}");
+        let stats = svc.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.contains("\"circuit\":\"open\""), "{stats}");
+        assert!(stats.contains("\"circuit_trips\":1"), "{stats}");
+        // other tenants are unaffected
+        let ok = svc.handle_line(&run_line("steady", 2, &[1, 1]));
+        assert!(ok.contains("\"ok\":true"), "{ok}");
+        // after the open interval a probe closes the circuit again
+        std::thread::sleep(Duration::from_millis(70));
+        let ok = svc.handle_line(&run_line("flappy", 2, &[1, 1]));
+        assert!(ok.contains("\"ok\":true"), "{ok}");
+        let stats = svc.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.contains("\"circuit\":\"closed\""), "{stats}");
+        let report = svc.profile();
+        assert_eq!(report.circuit_trips, 1);
+        assert_no_leaks(&svc);
+    }
+
+    #[test]
+    fn chaos_panic_is_contained_and_counts_as_a_hard_failure() {
+        let svc = Service::new(chaos_config());
+        // x is loop-carried, so the verdict is sequential and the panic
+        // fires on the inline path — catch_unwind must contain it.
+        let src = "integer i = 0\nwhile (i < n) {\n    x = chaos_panic(x)\n    i = i + 1\n}";
+        let resp = svc.handle_line(&format!(
+            r#"{{"op":"run","tenant":"boom","program":{},"scalars":{{"n":3,"x":1}}}}"#,
+            json::to_string(src)
+        ));
+        assert!(resp.contains("\"code\":\"exec_error\""), "{resp}");
+        assert!(resp.contains("panic"), "{resp}");
+        assert_no_leaks(&svc);
+        // the service survives and still answers
+        let ok = svc.handle_line(&run_line("boom", 2, &[1, 1]));
+        assert!(ok.contains("\"ok\":true"), "{ok}");
+    }
+
+    #[test]
+    fn shutdown_drains_gracefully_and_ping_reports_it() {
+        let svc = Service::with_defaults();
+        let pong = svc.handle_line(r#"{"op":"ping"}"#);
+        assert!(pong.contains("\"draining\":false"), "{pong}");
+        assert!(pong.contains("\"uptime_ms\":"), "{pong}");
+        assert!(pong.contains("\"version\":1"), "{pong}");
+        let resp = svc.handle_line(r#"{"op":"shutdown","id":"bye"}"#);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(resp.contains("\"draining\":true"), "{resp}");
+        // new runs are rejected retriable while draining
+        let rej = svc.handle_line(&run_line("late", 2, &[1, 1]));
+        assert!(rej.contains("\"code\":\"draining\""), "{rej}");
+        assert!(rej.contains("\"retry_after_ms\":"), "{rej}");
+        // ping and stats still work so probes can watch the drain
+        let pong = svc.handle_line(r#"{"op":"ping"}"#);
+        assert!(pong.contains("\"draining\":true"), "{pong}");
+        assert!(svc.await_drain(Duration::from_millis(100)), "idle drain");
+        let report = svc.profile();
+        assert_eq!(report.drains, 1);
+    }
+
+    #[test]
+    fn deadline_clamp_keeps_the_operator_in_charge() {
+        let svc = Service::new(ServeConfig {
+            max_deadline_ms: 30,
+            chaos_builtins: true,
+            ..ServeConfig::default()
+        });
+        // the client asks for 10 s but the operator caps at 30 ms; the
+        // 80 ms stall therefore still times out
+        let resp = svc.handle_line(&stall_line("greedy", 80, 10_000));
+        assert!(resp.contains("\"code\":\"timeout\""), "{resp}");
+        assert_no_leaks(&svc);
     }
 
     #[test]

@@ -40,6 +40,17 @@ pub mod codes {
     /// Retriable: the tenant's speculation write-budget credits are
     /// exhausted — its speculative regions are running hot.
     pub const BUDGET_EXHAUSTED: &str = "budget_exhausted";
+    /// Retriable: the request missed its end-to-end deadline
+    /// (`deadline_ms`) — while queued for a lane, during execution, or
+    /// because its client vanished — and its region was aborted.
+    pub const TIMEOUT: &str = "timeout";
+    /// Retriable: the tenant's circuit breaker is open after a run of
+    /// consecutive timeouts/aborts; `retry_after_ms` is the remaining
+    /// open interval.
+    pub const TENANT_CIRCUIT_OPEN: &str = "tenant_circuit_open";
+    /// Retriable (against a peer, not this process): the service is
+    /// draining for shutdown and admits no new work.
+    pub const DRAINING: &str = "draining";
 }
 
 /// How much state a `run` response carries back.
@@ -80,6 +91,11 @@ pub struct RunRequest {
     pub scalars: Vec<(String, i64)>,
     /// Iteration bound override (service default when absent).
     pub max_iters: Option<usize>,
+    /// End-to-end deadline in milliseconds, measured from parse: the
+    /// request must be granted a lane *and* finish executing before it
+    /// expires, or it is aborted with a retriable [`codes::TIMEOUT`].
+    /// Clamped by the service's configured maximum.
+    pub deadline_ms: Option<u64>,
     /// Response verbosity.
     pub reply: ReplyMode,
 }
@@ -105,6 +121,13 @@ pub enum Request {
     },
     /// Liveness probe.
     Ping {
+        /// Correlation id.
+        id: Option<String>,
+    },
+    /// Graceful drain: stop admitting new work, finish what is in
+    /// flight, then exit (the SIGTERM handler issues the same
+    /// transition).
+    Shutdown {
         /// Correlation id.
         id: Option<String>,
     },
@@ -169,6 +192,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     match op {
         "ping" => Ok(Request::Ping { id }),
         "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
         "certify" => {
             let Some(source) = v.get("program").and_then(Value::as_str) else {
                 return bad(id, "`certify` needs a string field `program`");
@@ -206,6 +230,13 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                     None => return bad(id, "`max_iters` must be a non-negative integer"),
                 },
             };
+            let deadline_ms = match v.get("deadline_ms") {
+                None => None,
+                Some(d) => match d.as_u64() {
+                    Some(ms) if ms > 0 => Some(ms),
+                    _ => return bad(id, "`deadline_ms` must be a positive integer"),
+                },
+            };
             let reply = match v.get("reply") {
                 None => ReplyMode::default(),
                 Some(r) => match r.as_str().and_then(ReplyMode::from_name) {
@@ -225,12 +256,13 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 arrays,
                 scalars,
                 max_iters,
+                deadline_ms,
                 reply,
             }))
         }
         other => bad(
             id,
-            format!("unknown op `{other}` (expected run, certify, stats, or ping)"),
+            format!("unknown op `{other}` (expected run, certify, stats, ping, or shutdown)"),
         ),
     }
 }
@@ -347,6 +379,34 @@ mod tests {
         assert_eq!(err.id.as_deref(), Some("p-9"));
         let line = error_line(&err, None);
         assert!(line.contains("\"ok\":false") && line.contains("p-9"));
+    }
+
+    #[test]
+    fn parses_deadline_and_shutdown() {
+        let Request::Run(r) = parse_request(
+            r#"{"op":"run","program":"integer i = 0\nwhile (i < n) { i = i + 1 }","deadline_ms":250}"#,
+        )
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(r.deadline_ms, Some(250));
+
+        let Request::Shutdown { id } = parse_request(r#"{"op":"shutdown","id":"s-1"}"#).unwrap()
+        else {
+            panic!("expected shutdown");
+        };
+        assert_eq!(id.as_deref(), Some("s-1"));
+    }
+
+    #[test]
+    fn rejects_nonpositive_deadlines() {
+        for line in [
+            r#"{"op":"run","program":"x","deadline_ms":0}"#,
+            r#"{"op":"run","program":"x","deadline_ms":-5}"#,
+            r#"{"op":"run","program":"x","deadline_ms":"soon"}"#,
+        ] {
+            assert_eq!(parse_request(line).unwrap_err().code, codes::BAD_REQUEST);
+        }
     }
 
     #[test]

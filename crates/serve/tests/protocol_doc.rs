@@ -76,6 +76,25 @@ fn smoke_requests_succeed_with_a_cache_hit() {
         "{}",
         responses[2].1
     );
+    // example-6's generous deadline is met — it is a normal success, not
+    // a timeout — and example-7 leaves the service draining with nothing
+    // in flight, exactly as documented
+    assert!(
+        responses[5].1.contains("\"iterations\":2"),
+        "{}",
+        responses[5].1
+    );
+    assert!(
+        responses[6].1.contains("\"draining\":true") && responses[6].1.contains("\"in_flight\":0"),
+        "{}",
+        responses[6].1
+    );
+    assert!(service.is_draining(), "shutdown example must start a drain");
+    let late = service.handle_line(example_lines()[2]);
+    assert!(
+        late.contains("\"code\":\"draining\""),
+        "a run after the documented shutdown must be rejected retriable: {late}"
+    );
 }
 
 #[test]
