@@ -33,11 +33,25 @@
 //!   resident pool: the cost of the per-region watchdog monitor. The
 //!   deadline is generous (never trips), so the delta is pure
 //!   monitoring overhead; `--gate` bounds it at 5%.
+//! * `contention` — tiny bodies at full pool width, the pure claim-path
+//!   exhibit: one-at-a-time and chunked self-scheduling, the
+//!   work-stealing DOALL, and a stamp-dense speculative loop whose cost
+//!   is dominated by shadow marking and undo stamping. Reported but not
+//!   gated: these cells *are* the dispatcher/marking overhead under
+//!   study, and their absolute cost is what `--trajectory` tracks
+//!   across commits.
 //!
 //! With `--gate`, the run fails (exit 1) if any gated parallel exhibit at
 //! the largest pool size is more than 1.5× slower than its sequential
-//! baseline, if the resident pool loses to spawn-per-region, or if the
-//! deadline-armed pool is more than 5% slower than the ungoverned one.
+//! baseline, if a compute `one`-policy cell at `p ≥ 2` falls below 0.9×
+//! of sequential on a multi-CPU machine, if the resident pool loses to
+//! spawn-per-region, or if the deadline-armed pool is more than 5%
+//! slower than the ungoverned one.
+//!
+//! With `--trajectory PATH`, one JSON line per run — git sha, date,
+//! machine, and every exhibit's median — is *appended* to `PATH`
+//! (`BENCH_trajectory.jsonl` by convention), building a bench history
+//! across commits that CI archives as an artifact.
 //!
 //! The artifact also carries a `governor` block: counters from a
 //! deterministic budget-storm ladder walk (demotions, re-promotion
@@ -47,9 +61,10 @@
 use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
-use wlp_core::governed_while;
+use wlp_core::{governed_while, speculative_while, SpeculativeArray};
 use wlp_runtime::{
-    doall_dynamic_chunked, ChunkPolicy, Deadline, Governor, GovernorPolicy, Pool, Step,
+    doall_dynamic_chunked, doall_worksteal, ChunkPolicy, Deadline, Governor, GovernorPolicy, Pool,
+    Step,
 };
 use wlp_workloads::{spice, track};
 
@@ -61,7 +76,14 @@ const GATE_SLOWDOWN: f64 = 1.5;
 /// this much slower than the ungoverned resident pool on the same work.
 const WATCHDOG_GATE: f64 = 1.05;
 
-#[derive(Serialize)]
+/// Claim-path bound for `--gate`: on a multi-CPU machine, a compute
+/// `one`-policy cell at `p >= 2` must retain at least this fraction of
+/// sequential throughput — one-at-a-time self-scheduling may not turn a
+/// compute loop into a slowdown. Skipped when the machine has a single
+/// CPU, where every parallel cell oversubscribes by construction.
+const ONE_POLICY_GATE: f64 = 0.9;
+
+#[derive(Serialize, Clone)]
 struct Machine {
     os: String,
     arch: String,
@@ -129,6 +151,101 @@ struct BenchFile {
     exhibits: Vec<Exhibit>,
 }
 
+/// One exhibit's footprint in a trajectory record: just the identity and
+/// the medians — enough to plot a bench history across commits without
+/// dragging the whole [`Exhibit`] row along.
+#[derive(Serialize)]
+struct TrajectoryExhibit {
+    name: String,
+    median_ns: u64,
+    speedup_vs_baseline: Option<f64>,
+}
+
+/// One line of `BENCH_trajectory.jsonl`: a machine-keyed snapshot of a
+/// bench run at a commit. Consumers group by `(machine.os, machine.arch,
+/// machine.cpus)` before comparing medians — cross-machine nanoseconds
+/// are not comparable.
+#[derive(Serialize)]
+struct TrajectoryRecord {
+    schema: String,
+    git_sha: String,
+    /// UTC calendar date, `YYYY-MM-DD`.
+    date: String,
+    /// Seconds since the Unix epoch, for exact ordering within a day.
+    unix_time: u64,
+    machine: Machine,
+    smoke: bool,
+    exhibits: Vec<TrajectoryExhibit>,
+}
+
+/// The commit under test: `GITHUB_SHA` in CI, `git rev-parse HEAD`
+/// locally, `unknown` outside a checkout.
+fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Civil-from-days (Howard Hinnant's algorithm): epoch seconds to a UTC
+/// `YYYY-MM-DD` string, without pulling in a date crate.
+fn utc_date(unix: u64) -> String {
+    let days = (unix / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Appends one [`TrajectoryRecord`] line to `path`, creating the file on
+/// first use. Append-only by design: the file is a history, and a run
+/// must never rewrite the runs before it.
+fn append_trajectory(path: &str, file: &BenchFile) -> std::io::Result<()> {
+    use std::io::Write;
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let record = TrajectoryRecord {
+        schema: "wlp-bench-trajectory/v1".to_string(),
+        git_sha: git_sha(),
+        date: utc_date(unix),
+        unix_time: unix,
+        machine: file.machine.clone(),
+        smoke: file.config.smoke,
+        exhibits: file
+            .exhibits
+            .iter()
+            .map(|e| TrajectoryExhibit {
+                name: e.name.clone(),
+                median_ns: e.median_ns,
+                speedup_vs_baseline: e.speedup_vs_baseline,
+            })
+            .collect(),
+    };
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", serde::json::to_string(&record))
+}
+
 struct Stats {
     median_ns: u64,
     q1_ns: u64,
@@ -179,6 +296,7 @@ struct Sizes {
     track_exit: usize,
     dispatch_n: usize,
     dispatch_regions: usize,
+    contention_n: usize,
 }
 
 impl Sizes {
@@ -190,6 +308,7 @@ impl Sizes {
             track_exit: 15_000,
             dispatch_n: 256,
             dispatch_regions: 200,
+            contention_n: 100_000,
         }
     }
 
@@ -201,6 +320,7 @@ impl Sizes {
             track_exit: 3_000,
             dispatch_n: 256,
             dispatch_regions: 50,
+            contention_n: 20_000,
         }
     }
 }
@@ -424,6 +544,85 @@ fn run_all(h: &mut Harness, sizes: &Sizes) {
             },
         );
     }
+
+    // -- contention: tiny bodies at full width — the claim-path exhibit --
+    // The body is a single black_box, so every cell measures the cost of
+    // *getting* an iteration, not running it: the shared-cursor claim
+    // (`one`), the amortized claim (`fixed32`), the per-worker deque with
+    // stealing (`worksteal`), and the shadow-marking + undo-stamping
+    // fast path (`spec`). Full pool width maximizes claim collisions.
+    let p = pool_sizes().into_iter().max().unwrap_or(1).max(4);
+    let n = sizes.contention_n;
+    println!("contention (n = {n}, p = {p}):");
+    h.run("contention", "seq", "-", 1, n, None, false, || {
+        let mut acc = 0usize;
+        for i in 0..n {
+            acc = acc.wrapping_add(black_box(i));
+        }
+        black_box(acc);
+    });
+    let pool = Pool::new(p);
+    for policy in [ChunkPolicy::One, ChunkPolicy::Fixed(32)] {
+        h.run(
+            "contention",
+            "resident",
+            &policy.label(),
+            p,
+            n,
+            Some("contention/seq/-/p1"),
+            false, // pure dispatcher overhead: tracked, not gated
+            || {
+                doall_dynamic_chunked(&pool, n, policy, |i, _| {
+                    black_box(i);
+                    Step::Continue
+                });
+            },
+        );
+    }
+    h.run(
+        "contention",
+        "worksteal",
+        "fixed32",
+        p,
+        n,
+        Some("contention/seq/-/p1"),
+        false,
+        || {
+            doall_worksteal(&pool, n, 32, |i, _| {
+                black_box(i);
+                Step::Continue
+            });
+        },
+    );
+    // Stamp-dense speculation: every iteration reads and writes its own
+    // element, so the run commits in parallel while every single body
+    // exercises the relaxed shadow CAS, the undo fetch_min fast path and
+    // the batched charge flush — the lock-free marking protocol end to
+    // end, with nothing else to hide behind.
+    let mut arr = SpeculativeArray::new(vec![0u64; n]);
+    h.run(
+        "contention",
+        "spec",
+        "one",
+        p,
+        n,
+        Some("contention/seq/-/p1"),
+        false,
+        || {
+            let out = speculative_while(
+                &pool,
+                n,
+                &arr,
+                |_, _| false,
+                |i, a| {
+                    let v = a.read(i);
+                    a.write(i, v.wrapping_add(1));
+                },
+            );
+            black_box(out.committed_parallel);
+            arr.commit();
+        },
+    );
 }
 
 /// Runs a deterministic budget-storm ladder walk: a tiny write budget
@@ -473,10 +672,12 @@ fn governed_storm() -> GovernorCounters {
 }
 
 /// `--gate`: every gated exhibit at the largest pool size must be within
-/// [`GATE_SLOWDOWN`] of its baseline, and every resident dispatch exhibit
-/// must beat its spawn counterpart. Gated cells wider than the machine
-/// (`p > cpus`) are skipped: oversubscription contention is not a
-/// regression in the construct.
+/// [`GATE_SLOWDOWN`] of its baseline, compute `one`-policy cells at
+/// `p >= 2` must hold [`ONE_POLICY_GATE`] of sequential, and every
+/// resident dispatch exhibit must beat its spawn counterpart. Gated
+/// cells wider than the machine (`p > cpus`) are skipped, and the
+/// `one`-policy bound is skipped entirely on single-CPU machines:
+/// oversubscription contention is not a regression in the construct.
 fn gate(exhibits: &[Exhibit], cpus: usize) -> Vec<String> {
     let max_p = pool_sizes().into_iter().max().unwrap_or(1);
     let mut failures = Vec::new();
@@ -490,6 +691,18 @@ fn gate(exhibits: &[Exhibit], cpus: usize) -> Vec<String> {
                         s,
                         e.baseline.as_deref().unwrap_or("?"),
                         GATE_SLOWDOWN
+                    ));
+                }
+            }
+        }
+        if cpus > 1 && e.family == "compute" && e.policy == "one" && e.p >= 2 && e.p <= cpus {
+            if let Some(s) = e.speedup_vs_baseline {
+                if s < ONE_POLICY_GATE {
+                    failures.push(format!(
+                        "{}: {s:.2}x vs {} (one-at-a-time claims must hold {ONE_POLICY_GATE}x \
+                         of sequential on a {cpus}-cpu machine)",
+                        e.name,
+                        e.baseline.as_deref().unwrap_or("?"),
                     ));
                 }
             }
@@ -525,15 +738,17 @@ fn main() {
     let mut smoke = false;
     let mut apply_gate = false;
     let mut out = String::from("BENCH_runtime.json");
+    let mut trajectory: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--gate" => apply_gate = true,
             "--out" => out = args.next().expect("--out needs a path"),
+            "--trajectory" => trajectory = Some(args.next().expect("--trajectory needs a path")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: wlp-bench [--smoke] [--gate] [--out PATH]");
+                eprintln!("usage: wlp-bench [--smoke] [--gate] [--out PATH] [--trajectory PATH]");
                 std::process::exit(2);
             }
         }
@@ -577,6 +792,11 @@ fn main() {
     };
     std::fs::write(&out, serde::json::to_string(&file)).expect("write bench file");
     println!("wrote {out}");
+
+    if let Some(path) = &trajectory {
+        append_trajectory(path, &file).expect("append trajectory record");
+        println!("appended trajectory record to {path}");
+    }
 
     if apply_gate {
         let failures = gate(&file.exhibits, file.machine.cpus);

@@ -68,18 +68,31 @@ impl<T: Copy> VersionedArray<T> {
     /// the earliest writing iteration as the element's time-stamp. (In a
     /// valid independent loop each location is written during at most one
     /// iteration, so "earliest" is simply "the" writer.)
+    ///
+    /// The stamped-write hot path is two `Relaxed` operations: a load of
+    /// the current stamp, then — only when this iteration is earlier — a
+    /// `fetch_min` RMW. The skip branch is the common case in a valid
+    /// loop, where each location has exactly one writer and later strips
+    /// reuse the same stamp. `Relaxed` is sound because a stamp is plain
+    /// data: nothing is published through it, and every reader of the
+    /// stamps (`undo_past`, `restore_all`, the PD analysis) runs after
+    /// the region join, which is the happens-before edge that flushes all
+    /// in-flight RMWs.
     #[inline]
     pub fn write(&self, e: usize, v: T, iter: usize) {
         let it = u32::try_from(iter).expect("iteration fits in u32");
         assert!(it < UNWRITTEN, "iteration stamp space exhausted");
         self.data[e].store(v);
-        self.stamp[e].fetch_min(it, Ordering::AcqRel);
+        if self.stamp[e].load(Ordering::Relaxed) > it {
+            self.stamp[e].fetch_min(it, Ordering::Relaxed);
+        }
     }
 
     /// Time-stamp of element `e`: the earliest iteration that wrote it, if
-    /// any.
+    /// any. (`Relaxed`: stamps are self-contained data, ordered by the
+    /// region join — see [`write`](Self::write).)
     pub fn stamp(&self, e: usize) -> Option<usize> {
-        let s = self.stamp[e].load(Ordering::Acquire);
+        let s = self.stamp[e].load(Ordering::Relaxed);
         (s != UNWRITTEN).then_some(s as usize)
     }
 
@@ -90,10 +103,10 @@ impl<T: Copy> VersionedArray<T> {
         let li = u32::try_from(last_valid).unwrap_or(UNWRITTEN - 1);
         let mut restored = 0;
         for e in 0..self.data.len() {
-            let s = self.stamp[e].load(Ordering::Acquire);
+            let s = self.stamp[e].load(Ordering::Relaxed);
             if s != UNWRITTEN && s > li {
                 self.data[e].store(self.checkpoint[e]);
-                self.stamp[e].store(UNWRITTEN, Ordering::Release);
+                self.stamp[e].store(UNWRITTEN, Ordering::Relaxed);
                 restored += 1;
             }
         }
@@ -106,7 +119,7 @@ impl<T: Copy> VersionedArray<T> {
     pub fn restore_all(&self) -> usize {
         let mut restored = 0;
         for e in 0..self.data.len() {
-            if self.stamp[e].swap(UNWRITTEN, Ordering::AcqRel) != UNWRITTEN {
+            if self.stamp[e].swap(UNWRITTEN, Ordering::Relaxed) != UNWRITTEN {
                 self.data[e].store(self.checkpoint[e]);
                 restored += 1;
             }

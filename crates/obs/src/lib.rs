@@ -24,10 +24,12 @@
 
 pub mod chrome;
 pub mod event;
+pub mod pad;
 pub mod recorder;
 pub mod report;
 
 pub use chrome::chrome_trace;
 pub use event::{AbortReason, Event, Sample, StrategyChoice, Trace};
+pub use pad::CachePadded;
 pub use recorder::{BufferRecorder, NoopRecorder, Recorder};
 pub use report::{ProcProfile, ProfileReport};

@@ -2,6 +2,7 @@
 //! [`BufferRecorder`].
 
 use crate::event::{Event, Sample, Trace};
+use crate::pad::CachePadded;
 use parking_lot::Mutex;
 use std::time::Instant;
 
@@ -38,12 +39,19 @@ impl Recorder for NoopRecorder {
 /// Each worker appends to its own buffer, so the per-buffer mutex is
 /// uncontended on the hot path (workers never touch each other's
 /// buffers; the lock only matters at [`BufferRecorder::finish`] time).
+/// The buffers are cache-line-padded: without padding the adjacent
+/// mutex words false-share a line, and the per-sample lock/unlock on
+/// worker A invalidates worker B's line even though they never touch
+/// the same buffer — the counters feeding [`ProfileReport`] would then
+/// measure coherence traffic of the instrument itself.
 /// Timestamps are nanoseconds since the recorder's creation, which makes
 /// `finish()`'s makespan and the sample times share one epoch.
+///
+/// [`ProfileReport`]: crate::report::ProfileReport
 #[derive(Debug)]
 pub struct BufferRecorder {
     epoch: Instant,
-    buffers: Vec<Mutex<Vec<Sample>>>,
+    buffers: Vec<CachePadded<Mutex<Vec<Sample>>>>,
 }
 
 impl BufferRecorder {
@@ -55,7 +63,9 @@ impl BufferRecorder {
         assert!(p > 0, "need at least one worker");
         BufferRecorder {
             epoch: Instant::now(),
-            buffers: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
+            buffers: (0..p)
+                .map(|_| CachePadded::new(Mutex::new(Vec::new())))
+                .collect(),
         }
     }
 
@@ -78,7 +88,7 @@ impl BufferRecorder {
         let p = self.buffers.len();
         let mut samples: Vec<Sample> = Vec::new();
         for buf in self.buffers {
-            samples.extend(buf.into_inner());
+            samples.extend(buf.into_inner().into_inner());
         }
         samples.sort_by_key(|s| s.t);
         Trace {

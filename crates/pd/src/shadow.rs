@@ -49,11 +49,24 @@
 //! time-stamped copy-out already filters them.
 //!
 //! Marking is contention-free in the common path: each worker marks through
-//! its own [`IterMarker`], whose covered-write set is thread-local; only the
-//! per-element atomics are shared, updated with a CAS loop.
+//! its own [`IterMarker`], whose covered-write set lives inline on the
+//! marker (spilling to a heap set only for iterations that write more than
+//! a handful of distinct elements) and whose access totals are buffered
+//! locally, flushed with one `fetch_add` per counter when the marker drops.
+//! Only the per-element stamp atomics are shared, updated with a `Relaxed`
+//! CAS loop — the stamps carry plain data (iteration numbers), not
+//! publication of other memory, so no acquire/release edges are needed on
+//! the marking path; the region join of the executing [`Pool`] is the one
+//! happens-before edge that orders *all* marking before the analysis reads
+//! the cells.
 //!
 //! The post-execution analysis is **fully parallel** (a parallel fold over
-//! elements), matching the paper's `O(a/p + log p)` bound.
+//! 64-element bitset words), matching the paper's `O(a/p + log p)` bound.
+//! Each word's sweep computes the per-element predicates branchlessly into
+//! three masks (output dependence, exposed cross-iteration read, overshoot
+//! hazard) and only falls into the conflict-recording slow path for words
+//! with at least one bit set — on the common all-clear array the sweep is
+//! a straight-line load/compare/or loop per element.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,6 +85,13 @@ fn unpack(v: u64) -> (u32, u32) {
 }
 
 /// Inserts iteration `t` into a packed (min, second-distinct-min) pair.
+///
+/// All orderings are `Relaxed`: the cell is self-contained data (two
+/// iteration numbers updated in one 64-bit RMW), so the CAS needs no
+/// acquire/release semantics — it never publishes or consumes other
+/// memory. The analysis only reads the cells after the executing pool's
+/// region join, which is the happens-before edge making every marker's
+/// final stamp visible.
 #[inline]
 fn insert_stamp(cell: &AtomicU64, t: u32) {
     let mut cur = cell.load(Ordering::Relaxed);
@@ -84,7 +104,7 @@ fn insert_stamp(cell: &AtomicU64, t: u32) {
         } else {
             pack(m, t) // m < t < s
         };
-        match cell.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed) {
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(actual) => cur = actual,
         }
@@ -92,9 +112,11 @@ fn insert_stamp(cell: &AtomicU64, t: u32) {
 }
 
 /// Reads a packed stamp pair as `(min, second)` iteration numbers.
+/// `Relaxed` is sound for the same reason as [`insert_stamp`]: the region
+/// join already ordered all marking before any analysis read.
 #[inline]
 fn stamps(cell: &AtomicU64) -> (u32, u32) {
-    unpack(cell.load(Ordering::Acquire))
+    unpack(cell.load(Ordering::Relaxed))
 }
 
 /// The kind of cross-iteration dependence a conflict represents.
@@ -193,46 +215,53 @@ impl Shadow {
         IterMarker {
             shadow: self,
             iter: iter32,
-            written: HashSet::new(),
+            written: WriteSet::new(),
+            pending_writes: 0,
+            pending_reads: 0,
         }
     }
 
-    /// Per-element filtered predicates for `LI = last_valid` (`None` = no
-    /// overshoot, all marks count). Returns `(has_valid_write,
-    /// multi_valid_write, exposed_outside_write, overshoot_hazard)`.
-    fn element_state(&self, e: usize, li: u32) -> (bool, bool, bool, bool) {
-        let (w1, w2) = stamps(&self.w[e]);
-        let (r1, r2) = stamps(&self.r[e]);
-        let has_write = w1 <= li;
-        let multi_write = w2 <= li;
-        // ∃ r ∈ ER_f, w ∈ W_f with r ≠ w: a write and an exposed read in
-        // different iterations (cross-iteration flow/anti dependence, and a
-        // violation of the privatization criterion).
-        let exposed_outside_write = if r1 > li || !has_write {
-            false // no exposed reads, or element never written → harmless
-        } else if multi_write {
-            true // ≥2 distinct writers, ≥1 exposed reader: some pair differs
-        } else {
-            // W_f = {w1}: conflict unless ER_f = {w1}
-            r1 != w1 || r2 <= li
-        };
-        // Overshoot hazard (in-place speculation only): an element written
-        // by an *overshot* iteration while also touched by a *valid* one.
-        // The valid read may have observed the doomed value, or the valid
-        // write may have been clobbered after its stamp was recorded — the
-        // undo pass restores neither. (With ≥3 writers straddling LI the
-        // two-stamp pair cannot see the overshot one, but then `w2 ≤ li`
-        // already fails the DOALL via the output dependence, so the
-        // verdict stays exact.)
-        let overshot_write = (w1 != UNMARKED && w1 > li) || (w2 != UNMARKED && w2 > li);
-        let valid_access = w1 <= li || r1 <= li;
-        let overshoot_hazard = overshot_write && valid_access;
-        (
-            has_write,
-            multi_write,
-            exposed_outside_write,
-            overshoot_hazard,
-        )
+    /// Filtered predicates for the 64-element word starting at `base`,
+    /// for `LI = li`. Returns three bitmasks over the word's elements:
+    /// `(multi_valid_write, exposed_outside_write, overshoot_hazard)` —
+    /// bit `k` describes element `base + k`.
+    ///
+    /// The predicate evaluation is branch-free: every element costs two
+    /// relaxed 64-bit loads and a fixed handful of compares/shifts, so
+    /// the sweep over a clean (conflict-free) shadow never mispredicts.
+    fn word_state(&self, base: usize, li: u32) -> (u64, u64, u64) {
+        let lanes = (self.len() - base).min(64);
+        let mut m_multi = 0u64;
+        let mut m_exposed = 0u64;
+        let mut m_hazard = 0u64;
+        for k in 0..lanes {
+            let (w1, w2) = stamps(&self.w[base + k]);
+            let (r1, r2) = stamps(&self.r[base + k]);
+            let has_write = w1 <= li;
+            let multi_write = w2 <= li;
+            // ∃ r ∈ ER_f, w ∈ W_f with r ≠ w: a write and an exposed read
+            // in different iterations (cross-iteration flow/anti
+            // dependence, and a violation of the privatization
+            // criterion). With a single filtered writer `w1`, the only
+            // harmless shape is ER_f = {w1}.
+            let exposed_outside_write =
+                has_write && r1 <= li && (multi_write || r1 != w1 || r2 <= li);
+            // Overshoot hazard (in-place speculation only): an element
+            // written by an *overshot* iteration while also touched by a
+            // *valid* one. The valid read may have observed the doomed
+            // value, or the valid write may have been clobbered after its
+            // stamp was recorded — the undo pass restores neither. (With
+            // ≥3 writers straddling LI the two-stamp pair cannot see the
+            // overshot one, but then `w2 ≤ li` already fails the DOALL
+            // via the output dependence, so the verdict stays exact.)
+            let overshot_write = (w1 != UNMARKED && w1 > li) || (w2 != UNMARKED && w2 > li);
+            let valid_access = has_write || r1 <= li;
+            let overshoot_hazard = overshot_write && valid_access;
+            m_multi |= (multi_write as u64) << k;
+            m_exposed |= (exposed_outside_write as u64) << k;
+            m_hazard |= (overshoot_hazard as u64) << k;
+        }
+        (m_multi, m_exposed, m_hazard)
     }
 
     /// Runs the post-execution analysis in parallel on `pool`.
@@ -295,46 +324,52 @@ impl Shadow {
         }
 
         let max_c = max_conflicts;
+        // Fold over 64-element words, not elements: the clean-word case
+        // (no dependence anywhere in the word) reduces to three mask ORs
+        // and one zero test, and conflict enumeration touches only the
+        // set bits via trailing_zeros.
+        let words = self.len().div_ceil(64);
         let acc = parallel_fold(
             pool,
-            self.len(),
+            words,
             Acc {
                 doall: true,
                 privatized: true,
                 conflicts: Vec::new(),
             },
-            |mut acc, e| {
-                let (has_write, multi_write, exposed_outside, overshoot_hazard) =
-                    self.element_state(e, li);
-                if overshoot_hazard {
-                    // unsound to keep the in-place parallel result; the
-                    // privatized execution is unaffected (overshot writes
-                    // landed in private overlays and are filtered at
-                    // copy-out)
-                    acc.doall = false;
-                    if acc.conflicts.len() < max_c {
+            |mut acc, wi| {
+                let base = wi * 64;
+                let (m_multi, m_exposed, m_hazard) = self.word_state(base, li);
+                let mut any = m_multi | m_exposed | m_hazard;
+                if any == 0 {
+                    return acc;
+                }
+                acc.doall = false;
+                acc.privatized &= m_exposed == 0;
+                // Per element, report in the fixed order the sequential
+                // analysis used: overshoot hazard (unsound to keep the
+                // in-place result; privatized execution is unaffected
+                // because overshot writes landed in private overlays and
+                // are filtered at copy-out), then output dependence, then
+                // exposed cross-iteration read.
+                while any != 0 && acc.conflicts.len() < max_c {
+                    let k = any.trailing_zeros() as usize;
+                    any &= any - 1;
+                    let bit = 1u64 << k;
+                    let e = base + k;
+                    if m_hazard & bit != 0 && acc.conflicts.len() < max_c {
                         acc.conflicts.push(Conflict {
                             element: e,
                             kind: ConflictKind::FlowOrAnti,
                         });
                     }
-                }
-                if !has_write {
-                    return acc;
-                }
-                if multi_write {
-                    acc.doall = false;
-                    if acc.conflicts.len() < max_c {
+                    if m_multi & bit != 0 && acc.conflicts.len() < max_c {
                         acc.conflicts.push(Conflict {
                             element: e,
                             kind: ConflictKind::Output,
                         });
                     }
-                }
-                if exposed_outside {
-                    acc.doall = false;
-                    acc.privatized = false;
-                    if acc.conflicts.len() < max_c {
+                    if m_exposed & bit != 0 && acc.conflicts.len() < max_c {
                         acc.conflicts.push(Conflict {
                             element: e,
                             kind: ConflictKind::FlowOrAnti,
@@ -373,29 +408,97 @@ impl Shadow {
     }
 }
 
+/// How many distinct written elements an [`IterMarker`] tracks inline
+/// before spilling to a heap set. Loop bodies in the paper's workloads
+/// write one or two shared elements per iteration; eight covers them with
+/// no allocation and no hashing.
+const INLINE_WRITES: usize = 8;
+
+/// The covered-write set of one iteration: a tiny inline array scanned
+/// linearly, spilling to a [`HashSet`] only past [`INLINE_WRITES`]
+/// distinct elements. The inline scan beats hashing at these sizes and
+/// keeps `Shadow::iteration` allocation-free.
+#[derive(Debug)]
+enum WriteSet {
+    Inline {
+        buf: [usize; INLINE_WRITES],
+        len: usize,
+    },
+    Spilled(HashSet<usize>),
+}
+
+impl WriteSet {
+    #[inline]
+    fn new() -> Self {
+        WriteSet::Inline {
+            buf: [0; INLINE_WRITES],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, e: usize) -> bool {
+        match self {
+            WriteSet::Inline { buf, len } => buf[..*len].contains(&e),
+            WriteSet::Spilled(set) => set.contains(&e),
+        }
+    }
+
+    /// Inserts `e`; returns `true` when it was not already present.
+    #[inline]
+    fn insert(&mut self, e: usize) -> bool {
+        match self {
+            WriteSet::Inline { buf, len } => {
+                if buf[..*len].contains(&e) {
+                    return false;
+                }
+                if *len < INLINE_WRITES {
+                    buf[*len] = e;
+                    *len += 1;
+                } else {
+                    let mut set: HashSet<usize> = buf.iter().copied().collect();
+                    set.insert(e);
+                    *self = WriteSet::Spilled(set);
+                }
+                true
+            }
+            WriteSet::Spilled(set) => set.insert(e),
+        }
+    }
+}
+
 /// Marks accesses for one iteration. Create with [`Shadow::iteration`].
 ///
 /// Call order matters within an iteration: a read is *exposed* unless this
 /// marker has already seen a write to the same element.
+///
+/// Access totals are buffered on the marker and flushed to the shared
+/// [`Shadow`] counters in one `fetch_add` per counter when the marker
+/// drops, so a dense loop body costs two shared RMWs per *iteration*
+/// instead of one per *access*. [`Shadow::total_accesses`] is therefore
+/// only meaningful once the iteration's marker has been dropped — which
+/// the region join guarantees before any post-pass reads it.
 #[derive(Debug)]
 pub struct IterMarker<'a> {
     shadow: &'a Shadow,
     iter: u32,
-    written: HashSet<usize>,
+    written: WriteSet,
+    pending_writes: u64,
+    pending_reads: u64,
 }
 
 impl IterMarker<'_> {
     /// Records a read of element `e`.
     pub fn mark_read(&mut self, e: usize) {
-        self.shadow.total_reads.fetch_add(1, Ordering::Relaxed);
-        if !self.written.contains(&e) {
+        self.pending_reads += 1;
+        if !self.written.contains(e) {
             insert_stamp(&self.shadow.r[e], self.iter);
         }
     }
 
     /// Records a write of element `e`.
     pub fn mark_write(&mut self, e: usize) {
-        self.shadow.total_writes.fetch_add(1, Ordering::Relaxed);
+        self.pending_writes += 1;
         if self.written.insert(e) {
             insert_stamp(&self.shadow.w[e], self.iter);
         }
@@ -405,6 +508,21 @@ impl IterMarker<'_> {
     #[inline]
     pub fn iter(&self) -> usize {
         self.iter as usize
+    }
+}
+
+impl Drop for IterMarker<'_> {
+    fn drop(&mut self) {
+        if self.pending_writes != 0 {
+            self.shadow
+                .total_writes
+                .fetch_add(self.pending_writes, Ordering::Relaxed);
+        }
+        if self.pending_reads != 0 {
+            self.shadow
+                .total_reads
+                .fetch_add(self.pending_reads, Ordering::Relaxed);
+        }
     }
 }
 
@@ -586,6 +704,52 @@ mod tests {
             v.privatized_doall,
             "covered read must not block privatization"
         );
+    }
+
+    #[test]
+    fn covered_reads_stay_covered_past_the_inline_spill() {
+        // One iteration writes more distinct elements than the inline
+        // write-set holds, then reads every one of them: all reads are
+        // covered, so a second writer per element must still leave the
+        // loop privatizable.
+        let n = INLINE_WRITES * 3;
+        let sh = Shadow::new(n);
+        {
+            let mut m = sh.iteration(0);
+            for e in 0..n {
+                m.mark_write(e);
+            }
+            for e in 0..n {
+                m.mark_read(e); // covered, before AND after the spill
+            }
+        }
+        for e in 0..n {
+            sh.iteration(4).mark_write(e);
+        }
+        let v = sh.analyze(&pool(), None, n);
+        assert!(!v.doall, "double writes are an output dependence");
+        assert!(
+            v.privatized_doall,
+            "spilled write-set must keep classifying reads as covered"
+        );
+        assert_eq!(sh.total_accesses(), (3 * n) as u64);
+    }
+
+    #[test]
+    fn conflicts_report_in_element_order_across_words() {
+        // Elements straddling several 64-bit sweep words, each with an
+        // output dependence: the report must stay in ascending element
+        // order exactly like the elementwise analysis produced.
+        let picks = [3usize, 63, 64, 65, 130, 200];
+        let sh = Shadow::new(256);
+        for &e in &picks {
+            sh.iteration(0).mark_write(e);
+            sh.iteration(1).mark_write(e);
+        }
+        let v = sh.analyze(&pool(), None, 16);
+        let got: Vec<usize> = v.conflicts.iter().map(|c| c.element).collect();
+        assert_eq!(got, picks.to_vec());
+        assert!(v.conflicts.iter().all(|c| c.kind == ConflictKind::Output));
     }
 
     #[test]

@@ -37,12 +37,13 @@
 //! their checkpoint and fall back to sequential re-execution.
 
 use crate::chunk::ChunkPolicy;
+use crate::deque::{Steal, StealDeque};
 use crate::pool::{payload_message, CancelFlag, Pool, PoolOutcome, WorkerPanic, WorkerTimeout};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
-use wlp_obs::{Event, NoopRecorder, Recorder};
+use wlp_obs::{CachePadded, Event, NoopRecorder, Recorder};
 
 /// What the loop body tells the scheduler after an iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +109,7 @@ impl DoallOutcome {
 fn split_outcome(
     pool_out: PoolOutcome,
     fault: &FaultCell,
-    cursor: &[AtomicUsize],
+    cursor: &[CachePadded<AtomicUsize>],
 ) -> (Option<WorkerPanic>, Option<WorkerTimeout>) {
     let timeout = pool_out.timeout().cloned().map(|mut t| {
         if let Some(i) = cursor.get(t.vpn).map(|c| c.load(Ordering::Relaxed)) {
@@ -122,13 +123,16 @@ fn split_outcome(
     (panic, timeout)
 }
 
-/// Shared QUIT state: the minimum quitting iteration.
+/// Shared QUIT state: the minimum quitting iteration. Cache-line-padded —
+/// every worker polls the bound once per iteration, and without padding
+/// the poll would false-share a line with the claim counter every worker
+/// *writes* once per grant.
 #[derive(Debug)]
-struct QuitCell(AtomicUsize);
+struct QuitCell(CachePadded<AtomicUsize>);
 
 impl QuitCell {
     fn new() -> Self {
-        QuitCell(AtomicUsize::new(usize::MAX))
+        QuitCell(CachePadded::new(AtomicUsize::new(usize::MAX)))
     }
     #[inline]
     fn bound(&self) -> usize {
@@ -151,11 +155,23 @@ impl FaultCell {
     }
 
     pub(crate) fn record(&self, vpn: usize, iter: usize, payload: &(dyn std::any::Any + Send)) {
+        self.record_at(vpn, Some(iter), payload);
+    }
+
+    /// Like [`FaultCell::record`], for callers that may not know the loop
+    /// counter (a panic caught at the worker boundary whose cursor was
+    /// never written).
+    pub(crate) fn record_at(
+        &self,
+        vpn: usize,
+        iter: Option<usize>,
+        payload: &(dyn std::any::Any + Send),
+    ) {
         let mut slot = self.0.lock();
         if slot.is_none() {
             *slot = Some(WorkerPanic {
                 vpn,
-                iter: Some(iter),
+                iter,
                 message: payload_message(payload),
             });
         }
@@ -231,83 +247,98 @@ where
     R: Recorder,
     F: Fn(usize, usize) -> Step + Sync,
 {
-    let claim = AtomicUsize::new(0);
+    // Every shared word on the claim path gets its own cache line: the
+    // claim counter is RMW-hot from all workers, the quit bound is
+    // polled per iteration, the executed/max_started accumulators are
+    // flushed once per worker, and each lane's cursor is written per
+    // iteration but read only by the watchdog — none of them may share a
+    // line with another, or the fetch_add traffic invalidates the poll
+    // lines (measured as the `Td` dispatch term of the cost model).
+    let claim = CachePadded::new(AtomicUsize::new(0));
     let quit = QuitCell::new();
-    let max_started = AtomicUsize::new(0);
-    let executed = AtomicU64::new(0);
+    let max_started = CachePadded::new(AtomicUsize::new(0));
+    let executed = CachePadded::new(AtomicU64::new(0));
     let cancel = CancelFlag::new();
     let fault = FaultCell::new();
     let p = pool.size();
-    let cursor: Vec<AtomicUsize> = (0..p).map(|_| AtomicUsize::new(usize::MAX)).collect();
+    let cursor: Vec<CachePadded<AtomicUsize>> = (0..p)
+        .map(|_| CachePadded::new(AtomicUsize::new(usize::MAX)))
+        .collect();
 
     let pool_out = pool.run_with(&cancel, |vpn| {
         let mut local_exec = 0u64;
         let mut local_max = 0usize;
-        'claiming: loop {
-            if cancel.is_cancelled() {
-                break;
-            }
-            // Advisory read of the unclaimed remainder — only the grant
-            // *size* depends on it, so a stale value is harmless.
-            let seen = claim.load(Ordering::Relaxed).min(upper);
-            let want = policy.grant(upper - seen, p);
-            let lo = claim.fetch_add(want, Ordering::Relaxed);
-            if lo >= upper || lo > quit.bound() {
-                break;
-            }
-            let hi = (lo + want).min(upper);
-            if R::ENABLED && hi - lo > 1 {
-                rec.record(
-                    vpn,
-                    Event::ChunkClaimed {
-                        lo: lo as u64,
-                        len: (hi - lo) as u64,
-                        cost: 0,
-                    },
-                );
-            }
-            for i in lo..hi {
-                if cancel.is_cancelled() || i > quit.bound() {
-                    break 'claiming;
+        // One catch_unwind per *worker*, not per body call: the unwind
+        // guard is hoisted out of the claiming loop so the hot path has
+        // no per-iteration landing-pad setup. A panicking body is
+        // attributed to the iteration its lane cursor recorded just
+        // before the call.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            'claiming: loop {
+                if cancel.is_cancelled() {
+                    break;
                 }
-                if R::ENABLED {
+                // Advisory read of the unclaimed remainder — only the
+                // grant *size* depends on it, so a stale value is
+                // harmless.
+                let seen = claim.load(Ordering::Relaxed).min(upper);
+                let want = policy.grant(upper - seen, p);
+                let lo = claim.fetch_add(want, Ordering::Relaxed);
+                if lo >= upper || lo > quit.bound() {
+                    break;
+                }
+                let hi = (lo + want).min(upper);
+                if R::ENABLED && hi - lo > 1 {
                     rec.record(
                         vpn,
-                        Event::IterClaimed {
-                            iter: i as u64,
+                        Event::ChunkClaimed {
+                            lo: lo as u64,
+                            len: (hi - lo) as u64,
                             cost: 0,
                         },
                     );
                 }
-                local_max = i + 1;
-                cursor[vpn].store(i, Ordering::Relaxed);
-                let t0 = R::ENABLED.then(Instant::now);
-                let step = match catch_unwind(AssertUnwindSafe(|| body(i, vpn))) {
-                    Ok(step) => step,
-                    Err(p) => {
-                        cancel.cancel();
-                        fault.record(vpn, i, p.as_ref());
+                for i in lo..hi {
+                    if cancel.is_cancelled() || i > quit.bound() {
                         break 'claiming;
                     }
-                };
-                local_exec += 1;
-                if R::ENABLED {
-                    let cost = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                    rec.record(
-                        vpn,
-                        Event::IterExecuted {
-                            iter: i as u64,
-                            cost,
-                        },
-                    );
-                }
-                if let Step::Quit = step {
-                    quit.quit_at(i);
                     if R::ENABLED {
-                        rec.record(vpn, Event::Quit { iter: i as u64 });
+                        rec.record(
+                            vpn,
+                            Event::IterClaimed {
+                                iter: i as u64,
+                                cost: 0,
+                            },
+                        );
+                    }
+                    local_max = i + 1;
+                    cursor[vpn].store(i, Ordering::Relaxed);
+                    let t0 = R::ENABLED.then(Instant::now);
+                    let step = body(i, vpn);
+                    local_exec += 1;
+                    if R::ENABLED {
+                        let cost = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                        rec.record(
+                            vpn,
+                            Event::IterExecuted {
+                                iter: i as u64,
+                                cost,
+                            },
+                        );
+                    }
+                    if let Step::Quit = step {
+                        quit.quit_at(i);
+                        if R::ENABLED {
+                            rec.record(vpn, Event::Quit { iter: i as u64 });
+                        }
                     }
                 }
             }
+        }));
+        if let Err(payload) = caught {
+            cancel.cancel();
+            let at = cursor[vpn].load(Ordering::Relaxed);
+            fault.record_at(vpn, (at != usize::MAX).then_some(at), payload.as_ref());
         }
         if R::ENABLED {
             // each worker leaves the loop through the closing join
@@ -338,33 +369,35 @@ where
     F: Fn(usize, usize) -> Step + Sync,
 {
     let quit = QuitCell::new();
-    let max_started = AtomicUsize::new(0);
-    let executed = AtomicU64::new(0);
+    let max_started = CachePadded::new(AtomicUsize::new(0));
+    let executed = CachePadded::new(AtomicU64::new(0));
     let cancel = CancelFlag::new();
     let fault = FaultCell::new();
     let p = pool.size();
-    let cursor: Vec<AtomicUsize> = (0..p).map(|_| AtomicUsize::new(usize::MAX)).collect();
+    let cursor: Vec<CachePadded<AtomicUsize>> = (0..p)
+        .map(|_| CachePadded::new(AtomicUsize::new(usize::MAX)))
+        .collect();
 
     let pool_out = pool.run_with(&cancel, |vpn| {
         let mut local_exec = 0u64;
         let mut local_max = 0usize;
-        let mut i = vpn;
-        while i < upper && i <= quit.bound() && !cancel.is_cancelled() {
-            local_max = i + 1;
-            cursor[vpn].store(i, Ordering::Relaxed);
-            match catch_unwind(AssertUnwindSafe(|| body(i, vpn))) {
-                Ok(Step::Quit) => {
-                    local_exec += 1;
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let mut i = vpn;
+            while i < upper && i <= quit.bound() && !cancel.is_cancelled() {
+                local_max = i + 1;
+                cursor[vpn].store(i, Ordering::Relaxed);
+                let step = body(i, vpn);
+                local_exec += 1;
+                if let Step::Quit = step {
                     quit.quit_at(i);
                 }
-                Ok(Step::Continue) => local_exec += 1,
-                Err(p) => {
-                    cancel.cancel();
-                    fault.record(vpn, i, p.as_ref());
-                    break;
-                }
+                i += p;
             }
-            i += p;
+        }));
+        if let Err(payload) = caught {
+            cancel.cancel();
+            let at = cursor[vpn].load(Ordering::Relaxed);
+            fault.record_at(vpn, (at != usize::MAX).then_some(at), payload.as_ref());
         }
         executed.fetch_add(local_exec, Ordering::Relaxed);
         max_started.fetch_max(local_max, Ordering::Relaxed);
@@ -387,36 +420,161 @@ where
     F: Fn(usize, usize) -> Step + Sync,
 {
     let quit = QuitCell::new();
-    let max_started = AtomicUsize::new(0);
-    let executed = AtomicU64::new(0);
+    let max_started = CachePadded::new(AtomicUsize::new(0));
+    let executed = CachePadded::new(AtomicU64::new(0));
     let cancel = CancelFlag::new();
     let fault = FaultCell::new();
-    let cursor: Vec<AtomicUsize> = (0..pool.size())
-        .map(|_| AtomicUsize::new(usize::MAX))
+    let cursor: Vec<CachePadded<AtomicUsize>> = (0..pool.size())
+        .map(|_| CachePadded::new(AtomicUsize::new(usize::MAX)))
         .collect();
 
     let pool_out = pool.run_with(&cancel, |vpn| {
         let (lo, hi) = pool.block(vpn, upper);
         let mut local_exec = 0u64;
         let mut local_max = 0usize;
-        for i in lo..hi {
-            if i > quit.bound() || cancel.is_cancelled() {
-                break;
-            }
-            local_max = i + 1;
-            cursor[vpn].store(i, Ordering::Relaxed);
-            match catch_unwind(AssertUnwindSafe(|| body(i, vpn))) {
-                Ok(Step::Quit) => {
-                    local_exec += 1;
-                    quit.quit_at(i);
-                }
-                Ok(Step::Continue) => local_exec += 1,
-                Err(p) => {
-                    cancel.cancel();
-                    fault.record(vpn, i, p.as_ref());
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            for i in lo..hi {
+                if i > quit.bound() || cancel.is_cancelled() {
                     break;
                 }
+                local_max = i + 1;
+                cursor[vpn].store(i, Ordering::Relaxed);
+                let step = body(i, vpn);
+                local_exec += 1;
+                if let Step::Quit = step {
+                    quit.quit_at(i);
+                }
             }
+        }));
+        if let Err(payload) = caught {
+            cancel.cancel();
+            let at = cursor[vpn].load(Ordering::Relaxed);
+            fault.record_at(vpn, (at != usize::MAX).then_some(at), payload.as_ref());
+        }
+        executed.fetch_add(local_exec, Ordering::Relaxed);
+        max_started.fetch_max(local_max, Ordering::Relaxed);
+    });
+
+    let (panic, timeout) = split_outcome(pool_out, &fault, &cursor);
+    DoallOutcome::from_parts(
+        quit.bound(),
+        executed.load(Ordering::Relaxed),
+        max_started.load(Ordering::Relaxed),
+        panic,
+        timeout,
+    )
+}
+
+/// Work-stealing DOALL: chunks of `chunk` consecutive iterations are
+/// pre-distributed into one Chase–Lev [`StealDeque`] per worker; each
+/// worker drains its own deque with relaxed owner pops and steals from
+/// peers (one CAS per steal) only when dry. There is **no shared claim
+/// counter at all** — under claim-dense workloads (tiny bodies at high
+/// `p`) this removes the last contended RMW from the issue path.
+///
+/// Semantics versus [`doall_dynamic_chunked`]:
+///
+/// * The QUIT bound is honoured identically — every granted iteration
+///   re-tests the bound before its body, all iterations ≤ the smallest
+///   quitting iteration run exactly once, and none above it begins once
+///   the quit is visible.
+/// * Issue order is **not** globally ascending (chunks run in
+///   owner-LIFO/steal-FIFO order), like the static schedulers and unlike
+///   the dynamic ones. Do not drive *privatized* speculation with this
+///   scheduler: the privatization overshoot exemption in `wlp-core`
+///   leans on the claim counter's ordered issue.
+/// * `max_started` can therefore exceed the dynamic scheduler's span —
+///   the static-vs-dynamic trade-off of the paper, §4.
+pub fn doall_worksteal<F>(pool: &Pool, upper: usize, chunk: usize, body: F) -> DoallOutcome
+where
+    F: Fn(usize, usize) -> Step + Sync,
+{
+    let p = pool.size();
+    let chunk = chunk.max(1);
+    let nchunks = upper.div_ceil(chunk);
+    let share = nchunks.div_ceil(p).max(1);
+    // Pre-seed: worker v owns the contiguous chunk block
+    // [v*share, (v+1)*share). Seeding happens on the caller's thread,
+    // which is sound because the pool's region publication edge orders
+    // these pushes before any worker's first steal/pop.
+    let deques: Vec<StealDeque> = (0..p).map(|_| StealDeque::new(share)).collect();
+    for c in 0..nchunks {
+        let pushed = deques[c / share].push(c);
+        debug_assert!(pushed, "each deque holds at most `share` chunks");
+    }
+
+    let quit = QuitCell::new();
+    let max_started = CachePadded::new(AtomicUsize::new(0));
+    let executed = CachePadded::new(AtomicU64::new(0));
+    let cancel = CancelFlag::new();
+    let fault = FaultCell::new();
+    let cursor: Vec<CachePadded<AtomicUsize>> = (0..p)
+        .map(|_| CachePadded::new(AtomicUsize::new(usize::MAX)))
+        .collect();
+
+    let pool_out = pool.run_with(&cancel, |vpn| {
+        let mut local_exec = 0u64;
+        let mut local_max = 0usize;
+        let own = &deques[vpn];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            'running: loop {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                // Own deque first (relaxed fast path), then one sweep
+                // over the peers. A Retry anywhere means contention, not
+                // exhaustion — sweep again rather than exiting early.
+                let c = match own.pop() {
+                    Some(c) => c,
+                    None => {
+                        let mut found = None;
+                        let mut contended = false;
+                        for off in 1..p {
+                            match deques[(vpn + off) % p].steal() {
+                                Steal::Success(c) => {
+                                    found = Some(c);
+                                    break;
+                                }
+                                Steal::Retry => contended = true,
+                                Steal::Empty => {}
+                            }
+                        }
+                        match found {
+                            Some(c) => c,
+                            None if contended => {
+                                std::hint::spin_loop();
+                                continue;
+                            }
+                            None => break,
+                        }
+                    }
+                };
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(upper);
+                for i in lo..hi {
+                    if cancel.is_cancelled() {
+                        break 'running;
+                    }
+                    if i > quit.bound() {
+                        // The rest of this chunk is above the bound, but
+                        // chunks with smaller indices may still be
+                        // queued elsewhere — keep claiming.
+                        continue 'running;
+                    }
+                    local_max = local_max.max(i + 1);
+                    cursor[vpn].store(i, Ordering::Relaxed);
+                    let step = body(i, vpn);
+                    local_exec += 1;
+                    if let Step::Quit = step {
+                        quit.quit_at(i);
+                    }
+                }
+            }
+        }));
+        if let Err(payload) = caught {
+            cancel.cancel();
+            let at = cursor[vpn].load(Ordering::Relaxed);
+            fault.record_at(vpn, (at != usize::MAX).then_some(at), payload.as_ref());
         }
         executed.fetch_add(local_exec, Ordering::Relaxed);
         max_started.fetch_max(local_max, Ordering::Relaxed);
@@ -744,6 +902,60 @@ mod tests {
                 .any(|s| matches!(s.event, Event::ChunkClaimed { .. })),
             "single-iteration grants are plain claims"
         );
+    }
+
+    #[test]
+    fn worksteal_covers_all_iterations_exactly_once() {
+        for (p, chunk) in [(1, 4), (4, 1), (4, 7), (8, 16)] {
+            let pool = Pool::new(p);
+            let hits: Vec<AtomicU32> = (0..500).map(|_| AtomicU32::new(0)).collect();
+            let out = doall_worksteal(&pool, 500, chunk, |i, _| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                Step::Continue
+            });
+            assert_eq!(out.quit, None, "p={p} chunk={chunk}");
+            assert_eq!(out.executed, 500, "p={p} chunk={chunk}");
+            assert_eq!(out.max_started, 500, "p={p} chunk={chunk}");
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn worksteal_quit_contract_holds() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicU32> = (0..2000).map(|_| AtomicU32::new(0)).collect();
+        let out = doall_worksteal(&pool, 2000, 8, |i, _| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            if i >= 300 {
+                Step::Quit
+            } else {
+                Step::Continue
+            }
+        });
+        let q = out.quit.expect("loop must quit");
+        assert!(q >= 300, "quit below the terminator");
+        for i in 0..=q {
+            assert_eq!(
+                hits[i].load(Ordering::Relaxed),
+                1,
+                "iteration {i} at or below the quit must run exactly once"
+            );
+        }
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) <= 1));
+    }
+
+    #[test]
+    fn worksteal_contains_body_panic() {
+        assert_panic_contained(|p, u, b| doall_worksteal(p, u, 8, b));
+    }
+
+    #[test]
+    fn worksteal_empty_range_runs_nothing() {
+        let pool = Pool::new(4);
+        let out = doall_worksteal(&pool, 0, 16, |_, _| Step::Quit);
+        assert_eq!(out.executed, 0);
+        assert_eq!(out.quit, None);
+        assert_eq!(out.max_started, 0);
     }
 
     #[test]

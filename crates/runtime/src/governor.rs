@@ -28,7 +28,7 @@
 
 use crate::pool::Deadline;
 use std::collections::VecDeque;
-use wlp_obs::{AbortReason, StrategyChoice};
+use wlp_obs::{AbortReason, CachePadded, StrategyChoice};
 
 /// Tuning knobs for one [`Governor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +142,17 @@ pub struct Governor {
     /// While `true`, the governor may still probe upward; cleared forever
     /// once the backoff requirement exceeds `policy.max_backoff`.
     probing: bool,
+    /// The frequently-written counter tail, padded onto its own cache
+    /// line: `wlp-serve` keeps one governor per tenant (each behind its
+    /// own mutex, adjacent in the tenant table), and without the padding
+    /// every attempt recorded for one tenant invalidates the line holding
+    /// its neighbours' counters.
+    counters: CachePadded<GovernorCounters>,
+}
+
+/// See [`Governor::counters`].
+#[derive(Debug, Clone, Copy, Default)]
+struct GovernorCounters {
     demotions: u64,
     repromotions: u64,
     failures: FailureCounts,
@@ -163,9 +174,7 @@ impl Governor {
             streak: 0,
             backoff: policy.initial_backoff.max(1),
             probing: true,
-            demotions: 0,
-            repromotions: 0,
-            failures: FailureCounts::default(),
+            counters: CachePadded::new(GovernorCounters::default()),
         }
     }
 
@@ -193,17 +202,17 @@ impl Governor {
 
     /// Demotions decided so far.
     pub fn demotions(&self) -> u64 {
-        self.demotions
+        self.counters.demotions
     }
 
     /// Re-promotion probes decided so far.
     pub fn repromotions(&self) -> u64 {
-        self.repromotions
+        self.counters.repromotions
     }
 
     /// Cumulative failures by cause.
     pub fn failures(&self) -> FailureCounts {
-        self.failures
+        self.counters.failures
     }
 
     fn push(&mut self, failed: bool) {
@@ -236,7 +245,7 @@ impl Governor {
             to: self.current.promoted(),
         };
         self.current = t.to;
-        self.repromotions += 1;
+        self.counters.repromotions += 1;
         self.streak = 0;
         // A probe resets the evidence: the new rung is judged on its own
         // attempts, not on the rung that earned the probe.
@@ -249,10 +258,10 @@ impl Governor {
     /// count crosses the policy threshold and a lower rung exists.
     pub fn record_failure(&mut self, reason: AbortReason) -> Option<Transition> {
         match reason {
-            AbortReason::Dependence => self.failures.dependence += 1,
-            AbortReason::Exception => self.failures.exception += 1,
-            AbortReason::Timeout => self.failures.timeout += 1,
-            AbortReason::Budget => self.failures.budget += 1,
+            AbortReason::Dependence => self.counters.failures.dependence += 1,
+            AbortReason::Exception => self.counters.failures.exception += 1,
+            AbortReason::Timeout => self.counters.failures.timeout += 1,
+            AbortReason::Budget => self.counters.failures.budget += 1,
         }
         self.push(true);
         self.streak = 0;
@@ -269,7 +278,7 @@ impl Governor {
             to,
         };
         self.current = to;
-        self.demotions += 1;
+        self.counters.demotions += 1;
         self.recent.clear();
         // Exponential backoff before the next upward probe; once the
         // requirement overflows the cap, never probe again — this is what

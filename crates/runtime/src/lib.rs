@@ -43,6 +43,7 @@
 
 pub mod barrier;
 pub mod chunk;
+pub mod deque;
 pub mod doacross;
 pub mod doall;
 pub mod governor;
@@ -55,10 +56,11 @@ pub mod window;
 
 pub use barrier::CentralBarrier;
 pub use chunk::ChunkPolicy;
+pub use deque::{Steal, StealDeque};
 pub use doacross::{doacross, doacross_rec, DoacrossOutcome};
 pub use doall::{
     doall_dynamic, doall_dynamic_chunked, doall_dynamic_chunked_rec, doall_dynamic_rec,
-    doall_static_blocked, doall_static_cyclic, DoallOutcome, Step,
+    doall_static_blocked, doall_static_cyclic, doall_worksteal, DoallOutcome, Step,
 };
 pub use governor::{FailureCounts, Governor, GovernorPolicy, Transition};
 pub use pool::{

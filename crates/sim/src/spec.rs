@@ -220,6 +220,12 @@ pub struct ExecConfig {
     /// stamped-write total exceeds this aborts with a budget trip instead
     /// of growing speculation state without bound. `None` = unbounded.
     pub budget_writes: Option<u64>,
+    /// Per-claim dispatcher cost override for dynamic self-scheduling —
+    /// the mirror of the runtime's lock-free claim path (a relaxed
+    /// `fetch_add` or a deque pop instead of a locked counter). `None`
+    /// charges the historical [`Overheads::t_dispatch`], keeping existing
+    /// traces and makespans bit-identical.
+    pub claim_cost: Option<u64>,
 }
 
 impl ExecConfig {
@@ -270,6 +276,14 @@ impl ExecConfig {
     /// `writes` abort with a budget trip.
     pub fn with_write_budget(mut self, writes: u64) -> Self {
         self.budget_writes = Some(writes);
+        self
+    }
+
+    /// Overrides the per-claim dispatcher charge for dynamic
+    /// self-scheduling (models the lock-free claim fast path). Without
+    /// this, claims cost [`Overheads::t_dispatch`].
+    pub fn with_claim_cost(mut self, cycles: u64) -> Self {
+        self.claim_cost = Some(cycles);
         self
     }
 }
@@ -329,6 +343,8 @@ mod tests {
         assert_eq!(governed.deadline_ticks, Some(500));
         assert_eq!(governed.budget_writes, Some(32));
         assert!(governed.pd_shadow && governed.stamp_writes);
+        assert_eq!(ExecConfig::bare().claim_cost, None);
+        assert_eq!(ExecConfig::bare().with_claim_cost(1).claim_cost, Some(1));
     }
 
     #[test]

@@ -102,14 +102,17 @@ fn run_dynamic_range(
         let c_lo = claim;
         let c_hi = (c_lo + want).min(hi);
         claim = c_hi;
+        // the config may model a cheaper (lock-free) claim path; the
+        // default stays the historical t_dispatch charge
+        let t_claim = cfg.claim_cost.unwrap_or(oh.t_dispatch);
         if c_hi - c_lo == 1 {
-            eng.charge(proc, oh.t_dispatch, |c| Event::IterClaimed {
+            eng.charge(proc, t_claim, |c| Event::IterClaimed {
                 iter: c_lo as u64,
                 cost: c,
             });
             run_body(eng, quit, spec, oh, cfg, proc, c_lo, stats);
         } else {
-            eng.charge(proc, oh.t_dispatch, |c| Event::ChunkClaimed {
+            eng.charge(proc, t_claim, |c| Event::ChunkClaimed {
                 lo: c_lo as u64,
                 len: (c_hi - c_lo) as u64,
                 cost: c,
@@ -321,6 +324,39 @@ mod tests {
         let r = sim_induction_doall(8, &spec, &oh(), &ExecConfig::bare(), Schedule::Dynamic);
         let s = r.speedup(&seq);
         assert!(s > 7.0, "expected near-ideal speedup, got {s}");
+    }
+
+    #[test]
+    fn claim_cost_override_models_the_lock_free_dispatcher() {
+        // A dispatch-bound loop (tiny bodies): cheaper claims must shorten
+        // the makespan, and no override must charge exactly t_dispatch.
+        let spec = LoopSpec::uniform(2000, 1);
+        let base = sim_induction_doall(4, &spec, &oh(), &ExecConfig::bare(), Schedule::Dynamic);
+        let same = sim_induction_doall(
+            4,
+            &spec,
+            &oh(),
+            &ExecConfig::bare().with_claim_cost(oh().t_dispatch),
+            Schedule::Dynamic,
+        );
+        assert_eq!(
+            base.makespan, same.makespan,
+            "an explicit t_dispatch override is the identity"
+        );
+        let cheap = sim_induction_doall(
+            4,
+            &spec,
+            &oh(),
+            &ExecConfig::bare().with_claim_cost(1),
+            Schedule::Dynamic,
+        );
+        assert!(
+            cheap.makespan < base.makespan,
+            "cheaper claims must shorten a dispatch-bound loop: {} !< {}",
+            cheap.makespan,
+            base.makespan
+        );
+        assert_eq!(cheap.executed, base.executed);
     }
 
     #[test]

@@ -27,20 +27,25 @@ fn thread_ids(pool: &Pool) -> HashMap<usize, ThreadId> {
 
 #[test]
 fn resident_pool_reuses_the_same_threads_across_regions() {
+    // Lane tickets are work-stolen, so the thread serving a given vpn may
+    // change from region to region; residency means the *set* of serving
+    // threads is fixed. std guarantees ThreadId values are never reused
+    // while the process lives, so a bounded union across many regions
+    // proves the very same threads served them all — no respawns.
     let pool = Pool::new(4);
     assert!(pool.is_resident());
-    let first = thread_ids(&pool);
-    let second = thread_ids(&pool);
-    assert_eq!(first.len(), 4);
-    // std guarantees ThreadId values are never reused while the process
-    // lives, so id equality proves the very same threads served both
-    // regions — no respawn in between.
-    for vpn in 0..4 {
-        assert_eq!(
-            first[&vpn], second[&vpn],
-            "vpn {vpn} must be served by its resident worker in both regions"
-        );
+    let mut union: std::collections::HashSet<ThreadId> = std::collections::HashSet::new();
+    for _ in 0..10 {
+        let ids = thread_ids(&pool);
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[&0], std::thread::current().id(), "vpn 0 is the leader");
+        union.extend(ids.into_values());
     }
+    assert!(
+        union.len() <= 4,
+        "ten regions drew on more than p threads: {}",
+        union.len()
+    );
 }
 
 #[test]
@@ -63,7 +68,7 @@ fn spawning_pool_uses_fresh_threads_per_region() {
 #[test]
 fn resident_worker_panic_leaves_the_pool_reusable() {
     let pool = Pool::new(4);
-    let before = thread_ids(&pool);
+    let mut union: std::collections::HashSet<ThreadId> = thread_ids(&pool).into_values().collect();
 
     let cancel = CancelFlag::new();
     let out = pool.run_with(&cancel, |vpn| {
@@ -85,20 +90,20 @@ fn resident_worker_panic_leaves_the_pool_reusable() {
     assert_eq!(out.executed, n as u64);
     assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
 
-    // Clean vpns keep their original resident threads.
-    let after = thread_ids(&pool);
-    for vpn in [1, 3] {
-        assert_eq!(
-            before[&vpn], after[&vpn],
-            "vpn {vpn} never panicked and must still be its original thread"
-        );
-    }
+    // The fault restaffed nothing: later regions still draw on the
+    // original resident threads only.
+    union.extend(thread_ids(&pool).into_values());
+    assert!(
+        union.len() <= 4,
+        "a panic must park the worker, not replace it (got {} threads)",
+        union.len()
+    );
 }
 
 #[test]
 fn timed_out_region_leaves_the_resident_pool_reusable() {
     let pool = Pool::new(4);
-    let before = thread_ids(&pool);
+    let mut union: std::collections::HashSet<ThreadId> = thread_ids(&pool).into_values().collect();
 
     // A deadline-armed handle on the same resident workers; lane 1 wedges
     // past the deadline without ever polling the cancel flag — the worst
@@ -121,13 +126,12 @@ fn timed_out_region_leaves_the_resident_pool_reusable() {
     // The pool must keep serving regions on its original resident
     // threads — a deadline expiry parks the workers exactly like a clean
     // region end, it never wedges or restaffs them.
-    let after = thread_ids(&pool);
-    for vpn in 0..4 {
-        assert_eq!(
-            before[&vpn], after[&vpn],
-            "vpn {vpn} must still be its original resident thread after the timeout"
-        );
-    }
+    union.extend(thread_ids(&pool).into_values());
+    assert!(
+        union.len() <= 4,
+        "a timeout must park the workers, not replace them (got {} threads)",
+        union.len()
+    );
     let n = 500;
     let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
     let out = doall_dynamic(&pool, n, |i, _| {
