@@ -31,6 +31,31 @@ pub mod reduction;
 pub mod terminator;
 
 pub use analyze::{analyze, Analysis};
+
+use wlp_ir::frontend::{lower, parse_program, FrontendError, Program};
+
+/// One-stop pipeline entry: parse → lower → [`analyze()`] in a single
+/// call, returning the parsed [`Program`] (what an interpreter executes)
+/// together with the finished [`Analysis`] (certificate included).
+///
+/// This is the exact sequence the serve-layer certificate cache runs on
+/// a miss and warm-restart recovery runs per persisted record; keeping
+/// it here guarantees every consumer derives certificates the same way.
+pub fn analyze_source(source: &str) -> Result<(Program, Analysis), FrontendError> {
+    let program = parse_program(source)?;
+    let body = lower(&program)?;
+    let analysis = analyze(&body);
+    Ok((program, analysis))
+}
+
+/// Certifies `source` end-to-end and returns the compact one-line
+/// certificate encoding ([`SafetyCertificate::encode_compact`]) — the
+/// canonical durable form: what the serve layer journals to disk and
+/// what recovery cross-checks a persisted record against.
+pub fn certify_compact(source: &str) -> Result<String, FrontendError> {
+    analyze_source(source).map(|(_, a)| a.certificate.encode_compact())
+}
+
 pub use certificate::{CertDecodeError, CertVerdict, SafetyCertificate};
 pub use concrete::{array_log, concretize, remainder_log, scalar_log, ConcreteLog, Owner};
 pub use diag::{Diagnostic, Severity};
@@ -38,3 +63,29 @@ pub use lint::{lint_source, LintOutcome};
 pub use privatize::{privatization, privatized_body, Privatization};
 pub use reduction::{recurrences, Recurrence, RecurrenceRole};
 pub use terminator::{classify_terminator, RvWitness};
+
+#[cfg(test)]
+mod pipeline_tests {
+    use super::*;
+
+    const DOALL: &str = "integer i = 0\nwhile (i < n) {\n    A[i] = 2 * A[i]\n    i = i + 1\n}";
+
+    #[test]
+    fn analyze_source_matches_the_staged_pipeline() {
+        let (program, analysis) = analyze_source(DOALL).expect("valid source");
+        let body = lower(&program).expect("lower");
+        assert_eq!(analysis.certificate, analyze(&body).certificate);
+    }
+
+    #[test]
+    fn certify_compact_round_trips_through_decode() {
+        let line = certify_compact(DOALL).expect("valid source");
+        let cert = SafetyCertificate::decode_compact(&line).expect("decodes");
+        assert_eq!(cert.encode_compact(), line);
+    }
+
+    #[test]
+    fn certify_compact_propagates_frontend_errors() {
+        assert!(certify_compact("while (").is_err());
+    }
+}

@@ -20,10 +20,16 @@
 //!   load, queueing included.
 //!
 //! The artifact (`BENCH_serve.json`) records per-phase request counts,
-//! p50/p99/mean latency, throughput, and the cache hit/miss counters.
+//! p50/p99/mean latency, throughput, and the cache hit/miss counters —
+//! plus a **cold-vs-warm start comparison**: the corpus replayed against
+//! a fresh persistent service (every request a miss) and again against a
+//! service warm-restarted from the first one's `--state-dir` (every
+//! request should hit recovered certificates without a single analysis).
 //! With `--gate`, the run fails (exit 1) if any response is not `ok`,
 //! or if the end-to-end cache-hit ratio falls below
 //! [`GATE_HIT_RATIO`] — the acceptance bar for a working set this hot.
+//! With `--trajectory PATH`, the headline numbers are appended to the
+//! shared bench-trajectory scoreboard.
 
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -84,6 +90,32 @@ struct CacheCounters {
     hit_ratio: f64,
 }
 
+/// The cold-vs-warm exhibit: what a `--state-dir` buys a restarting
+/// daemon. Cold pays one full analysis per distinct program; warm serves
+/// the same corpus from certificates recovered off disk.
+#[derive(Serialize)]
+struct StartComparison {
+    /// Corpus size replayed in each pass.
+    programs: usize,
+    /// First-pass wall time against the fresh (cold) service, µs.
+    cold_first_pass_us: u64,
+    /// Cache misses the cold first pass paid (equals `programs`).
+    cold_misses: u64,
+    /// The cold service's hit ratio on its second (post-warmup) pass —
+    /// the bar the warm restart must meet.
+    cold_warm_ratio: f64,
+    /// First-pass wall time against the warm-restarted service, µs.
+    warm_first_pass_us: u64,
+    /// Cache hits on the warm service's FIRST pass (recovered state).
+    warm_hits: u64,
+    /// `warm_hits / programs`.
+    warm_hit_ratio: f64,
+    /// Certificates the warm service recovered at startup.
+    recovered_entries: u64,
+    /// Records recovery refused (must be 0 on an undamaged state dir).
+    skipped_corrupt: u64,
+}
+
 #[derive(Serialize)]
 struct BenchFile {
     schema: &'static str,
@@ -91,6 +123,7 @@ struct BenchFile {
     config: RunConfig,
     phases: Vec<Phase>,
     cache: CacheCounters,
+    start_comparison: Option<StartComparison>,
 }
 
 /// One request line for `program` under `tenant`, digest-reply to keep
@@ -252,19 +285,80 @@ fn open_loop(service: &Service, total: usize, interarrival: Duration, n: usize) 
     phase_from("open", &mut lat, ok, retriable, fatal, start.elapsed())
 }
 
+/// Replays the corpus once, sequentially; returns wall µs and ok count.
+fn one_pass(service: &Service, tenant: &str, n: usize) -> (u64, usize) {
+    let start = Instant::now();
+    let mut ok = 0usize;
+    for (name, src) in corpus() {
+        let resp = service.handle_line(&request_line(tenant, name, src, n));
+        if resp.contains("\"ok\":true") {
+            ok += 1;
+        }
+    }
+    (start.elapsed().as_micros() as u64, ok)
+}
+
+/// The cold-vs-warm start exhibit: build a persistent service, pay the
+/// cold misses, restart from its state dir, and measure what recovery
+/// saves. In-process, so the numbers exclude process spawn — this
+/// isolates exactly the cost the certificate store eliminates.
+fn start_comparison(n: usize) -> StartComparison {
+    let state_dir = std::env::temp_dir().join(format!("wlp-replay-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let pcfg = wlp_serve::persist::PersistConfig::at(&state_dir);
+    let persist_config = |pcfg: wlp_serve::persist::PersistConfig| ServeConfig {
+        persist: Some(pcfg),
+        ..ServeConfig::default()
+    };
+
+    let cold = Service::new(persist_config(pcfg.clone()));
+    let (cold_us, _) = one_pass(&cold, "cold", n);
+    let cold_misses = cold.cache_misses();
+    let (_, _) = one_pass(&cold, "cold", n); // post-warmup pass
+    let cold_warm_ratio = cold.cache_hit_ratio();
+    drop(cold); // release the state-dir LOCK, as a graceful shutdown would
+
+    let warm = Service::new(persist_config(pcfg));
+    let store_stats = {
+        let store = warm.persist_store().expect("persistence configured");
+        (store.loaded(), store.skipped_corrupt())
+    };
+    let (warm_us, _) = one_pass(&warm, "warm", n);
+    let warm_hits = warm.cache_hits();
+    drop(warm);
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    let programs = corpus().len();
+    StartComparison {
+        programs,
+        cold_first_pass_us: cold_us,
+        cold_misses,
+        cold_warm_ratio,
+        warm_first_pass_us: warm_us,
+        warm_hits,
+        warm_hit_ratio: warm_hits as f64 / programs as f64,
+        recovered_entries: store_stats.0,
+        skipped_corrupt: store_stats.1,
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut apply_gate = false;
     let mut out = "BENCH_serve.json".to_string();
+    let mut trajectory: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--gate" => apply_gate = true,
             "--out" => out = args.next().expect("--out needs a path"),
+            "--trajectory" => trajectory = Some(args.next().expect("--trajectory needs a path")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: serve-replay [--smoke] [--gate] [--out PATH]");
+                eprintln!(
+                    "usage: serve-replay [--smoke] [--gate] [--out PATH] [--trajectory PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -293,6 +387,7 @@ fn main() {
         misses: service.cache_misses(),
         hit_ratio: service.cache_hit_ratio(),
     };
+    let comparison = start_comparison(problem_n);
     let file = BenchFile {
         schema: "wlp-bench-serve-v1",
         machine: Machine {
@@ -311,6 +406,7 @@ fn main() {
         },
         phases,
         cache,
+        start_comparison: Some(comparison),
     };
     std::fs::write(&out, serde::json::to_string(&file)).expect("write bench file");
     for p in &file.phases {
@@ -323,6 +419,51 @@ fn main() {
         "serve-replay cache: {} hits / {} misses (ratio {:.3}) -> {}",
         file.cache.hits, file.cache.misses, file.cache.hit_ratio, out
     );
+    if let Some(c) = &file.start_comparison {
+        eprintln!(
+            "serve-replay start: cold {}us ({} misses) vs warm {}us ({} of {} hits, {} recovered)",
+            c.cold_first_pass_us,
+            c.cold_misses,
+            c.warm_first_pass_us,
+            c.warm_hits,
+            c.programs,
+            c.recovered_entries,
+        );
+    }
+
+    if let Some(path) = &trajectory {
+        use wlp_bench::trajectory::{TrajectoryExhibit, TrajectoryRecord};
+        let mut exhibits: Vec<TrajectoryExhibit> = file
+            .phases
+            .iter()
+            .map(|p| TrajectoryExhibit {
+                name: format!("serve_{}_p50", p.name),
+                median_ns: p.p50_us * 1_000,
+                value: None,
+                speedup_vs_baseline: None,
+            })
+            .collect();
+        exhibits.push(TrajectoryExhibit {
+            name: "serve_cache_hit_ratio".into(),
+            median_ns: 0,
+            value: Some(file.cache.hit_ratio),
+            speedup_vs_baseline: None,
+        });
+        if let Some(c) = &file.start_comparison {
+            exhibits.push(TrajectoryExhibit {
+                name: "serve_warm_start_first_pass".into(),
+                median_ns: c.warm_first_pass_us * 1_000,
+                value: Some(c.warm_hit_ratio),
+                speedup_vs_baseline: Some(
+                    c.cold_first_pass_us as f64 / c.warm_first_pass_us.max(1) as f64,
+                ),
+            });
+        }
+        TrajectoryRecord::now("serve-replay", smoke, exhibits)
+            .append_to(path)
+            .expect("append trajectory record");
+        eprintln!("serve-replay: appended trajectory record to {path}");
+    }
 
     if apply_gate {
         let mut failures = Vec::new();
@@ -354,6 +495,25 @@ fn main() {
                 "cache-hit ratio {:.3} below gate {GATE_HIT_RATIO}",
                 file.cache.hit_ratio
             ));
+        }
+        if let Some(c) = &file.start_comparison {
+            // the warm restart must serve the corpus at least as hot as
+            // the cold daemon after its warmup, off recovered state alone
+            if c.warm_hit_ratio < c.cold_warm_ratio {
+                failures.push(format!(
+                    "warm-start hit ratio {:.3} below cold post-warmup ratio {:.3}",
+                    c.warm_hit_ratio, c.cold_warm_ratio
+                ));
+            }
+            if c.recovered_entries == 0 {
+                failures.push("warm start recovered zero certificates".into());
+            }
+            if c.skipped_corrupt != 0 {
+                failures.push(format!(
+                    "{} records skipped on an undamaged state dir",
+                    c.skipped_corrupt
+                ));
+            }
         }
         if !failures.is_empty() {
             eprintln!("gate FAILED:");

@@ -151,99 +151,22 @@ struct BenchFile {
     exhibits: Vec<Exhibit>,
 }
 
-/// One exhibit's footprint in a trajectory record: just the identity and
-/// the medians — enough to plot a bench history across commits without
-/// dragging the whole [`Exhibit`] row along.
-#[derive(Serialize)]
-struct TrajectoryExhibit {
-    name: String,
-    median_ns: u64,
-    speedup_vs_baseline: Option<f64>,
-}
-
-/// One line of `BENCH_trajectory.jsonl`: a machine-keyed snapshot of a
-/// bench run at a commit. Consumers group by `(machine.os, machine.arch,
-/// machine.cpus)` before comparing medians — cross-machine nanoseconds
-/// are not comparable.
-#[derive(Serialize)]
-struct TrajectoryRecord {
-    schema: String,
-    git_sha: String,
-    /// UTC calendar date, `YYYY-MM-DD`.
-    date: String,
-    /// Seconds since the Unix epoch, for exact ordering within a day.
-    unix_time: u64,
-    machine: Machine,
-    smoke: bool,
-    exhibits: Vec<TrajectoryExhibit>,
-}
-
-/// The commit under test: `GITHUB_SHA` in CI, `git rev-parse HEAD`
-/// locally, `unknown` outside a checkout.
-fn git_sha() -> String {
-    if let Ok(sha) = std::env::var("GITHUB_SHA") {
-        if !sha.is_empty() {
-            return sha;
-        }
-    }
-    std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
-/// Civil-from-days (Howard Hinnant's algorithm): epoch seconds to a UTC
-/// `YYYY-MM-DD` string, without pulling in a date crate.
-fn utc_date(unix: u64) -> String {
-    let days = (unix / 86_400) as i64;
-    let z = days + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!("{y:04}-{m:02}-{d:02}")
-}
-
-/// Appends one [`TrajectoryRecord`] line to `path`, creating the file on
-/// first use. Append-only by design: the file is a history, and a run
-/// must never rewrite the runs before it.
+/// Appends one trajectory line to `path` via the shared
+/// [`wlp_bench::trajectory`] scoreboard (the same file `serve-replay`
+/// and `serve-chaos` fold their headline numbers into).
 fn append_trajectory(path: &str, file: &BenchFile) -> std::io::Result<()> {
-    use std::io::Write;
-    let unix = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map_or(0, |d| d.as_secs());
-    let record = TrajectoryRecord {
-        schema: "wlp-bench-trajectory/v1".to_string(),
-        git_sha: git_sha(),
-        date: utc_date(unix),
-        unix_time: unix,
-        machine: file.machine.clone(),
-        smoke: file.config.smoke,
-        exhibits: file
-            .exhibits
-            .iter()
-            .map(|e| TrajectoryExhibit {
-                name: e.name.clone(),
-                median_ns: e.median_ns,
-                speedup_vs_baseline: e.speedup_vs_baseline,
-            })
-            .collect(),
-    };
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)?;
-    writeln!(f, "{}", serde::json::to_string(&record))
+    use wlp_bench::trajectory::{TrajectoryExhibit, TrajectoryRecord};
+    let exhibits = file
+        .exhibits
+        .iter()
+        .map(|e| TrajectoryExhibit {
+            name: e.name.clone(),
+            median_ns: e.median_ns,
+            value: None,
+            speedup_vs_baseline: e.speedup_vs_baseline,
+        })
+        .collect();
+    TrajectoryRecord::now("wlp-bench", file.config.smoke, exhibits).append_to(path)
 }
 
 struct Stats {

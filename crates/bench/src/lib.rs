@@ -20,6 +20,8 @@ use wlp_sparse::gen::{gemat11_like, gemat12_like, orsreg_like, saylr_like};
 use wlp_sparse::{Csr, EliminationWork};
 use wlp_workloads::{ma28, mcsparse, spice, track};
 
+pub mod trajectory;
+
 /// Processor counts every figure sweeps (the Alliant FX/80 had 8).
 pub const PROCS: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
 

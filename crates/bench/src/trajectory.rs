@@ -1,0 +1,202 @@
+//! The bench-trajectory scoreboard: one JSONL history shared by every
+//! bench binary.
+//!
+//! `BENCH_trajectory.jsonl` is the repo's performance memory — one line
+//! per bench run, keyed by commit and machine, so a regression shows up
+//! as a *trend* across commits instead of a single noisy number. The
+//! runtime suite (`wlp-bench`), the service replay (`serve-replay`), and
+//! the chaos harness (`serve-chaos`) all fold their headline medians
+//! into the same file through this module; the `source` field says which
+//! harness wrote the line.
+//!
+//! The file is **append-only by design**: it is a history, and a run
+//! must never rewrite the runs before it. Consumers group lines by
+//! `(machine.os, machine.arch, machine.cpus)` before comparing medians —
+//! cross-machine nanoseconds are not comparable — and may compare
+//! dimensionless `value` exhibits (hit ratios, recovery counts) across
+//! machines freely.
+
+use serde::Serialize;
+
+/// The trajectory schema tag. Additive JSON: `source` and per-exhibit
+/// `value` joined after v1 shipped, and absent fields stay absent rather
+/// than bumping the version.
+pub const TRAJECTORY_SCHEMA: &str = "wlp-bench-trajectory/v1";
+
+/// The host fingerprint consumers group trajectory lines by.
+#[derive(Serialize, Clone, Debug)]
+pub struct Machine {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Logical CPUs at run time.
+    pub cpus: usize,
+}
+
+impl Machine {
+    /// The current host.
+    pub fn detect() -> Machine {
+        Machine {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism().map_or(1, |c| c.get()),
+        }
+    }
+}
+
+/// One exhibit's footprint in a trajectory record: just the identity and
+/// the headline numbers — enough to plot a bench history across commits
+/// without dragging a whole result row along.
+#[derive(Serialize, Clone, Debug)]
+pub struct TrajectoryExhibit {
+    /// Exhibit name, unique within its `source`.
+    pub name: String,
+    /// Median wall time (0 for exhibits that are not timings).
+    pub median_ns: u64,
+    /// Dimensionless headline (hit ratio, recovered count, …) for
+    /// exhibits whose story is not a duration.
+    pub value: Option<f64>,
+    /// Speedup against the exhibit's own baseline, when it has one.
+    pub speedup_vs_baseline: Option<f64>,
+}
+
+/// One line of `BENCH_trajectory.jsonl`: a machine-keyed snapshot of one
+/// harness's headline numbers at a commit.
+#[derive(Serialize, Clone, Debug)]
+pub struct TrajectoryRecord {
+    /// [`TRAJECTORY_SCHEMA`].
+    pub schema: String,
+    /// Which harness wrote the line: `wlp-bench`, `serve-replay`,
+    /// `serve-chaos`.
+    pub source: String,
+    /// The commit under test.
+    pub git_sha: String,
+    /// UTC calendar date, `YYYY-MM-DD`.
+    pub date: String,
+    /// Seconds since the Unix epoch, for exact ordering within a day.
+    pub unix_time: u64,
+    /// The host that produced the numbers.
+    pub machine: Machine,
+    /// Whether this was a reduced `--smoke` run (smoke medians are not
+    /// comparable to full-run medians).
+    pub smoke: bool,
+    /// The headline numbers.
+    pub exhibits: Vec<TrajectoryExhibit>,
+}
+
+impl TrajectoryRecord {
+    /// A record for `source`'s `exhibits` on this host at this commit,
+    /// stamped with the current time.
+    pub fn now(source: &str, smoke: bool, exhibits: Vec<TrajectoryExhibit>) -> TrajectoryRecord {
+        let unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        TrajectoryRecord {
+            schema: TRAJECTORY_SCHEMA.to_string(),
+            source: source.to_string(),
+            git_sha: git_sha(),
+            date: utc_date(unix),
+            unix_time: unix,
+            machine: Machine::detect(),
+            smoke,
+            exhibits,
+        }
+    }
+
+    /// Appends this record as one JSON line to `path`, creating the file
+    /// on first use. Append-only by design (see the module docs).
+    pub fn append_to(&self, path: &str) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{}", serde::json::to_string(self))
+    }
+}
+
+/// The commit under test: `GITHUB_SHA` in CI, `git rev-parse HEAD`
+/// locally, `unknown` outside a checkout.
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Civil-from-days (Howard Hinnant's algorithm): epoch seconds to a UTC
+/// `YYYY-MM-DD` string, without pulling in a date crate.
+pub fn utc_date(unix: u64) -> String {
+    let days = (unix / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utc_date_matches_known_days() {
+        assert_eq!(utc_date(0), "1970-01-01");
+        assert_eq!(utc_date(86_400), "1970-01-02");
+        assert_eq!(utc_date(951_868_800), "2000-03-01"); // leap-year pivot
+        assert_eq!(utc_date(1_754_006_400), "2025-08-01");
+    }
+
+    #[test]
+    fn records_serialize_with_schema_source_and_optionals() {
+        let rec = TrajectoryRecord::now(
+            "serve-chaos",
+            true,
+            vec![TrajectoryExhibit {
+                name: "crash_restart_warm_hit_ratio".into(),
+                median_ns: 0,
+                value: Some(0.97),
+                speedup_vs_baseline: None,
+            }],
+        );
+        let line = serde::json::to_string(&rec);
+        assert!(
+            line.contains("\"schema\":\"wlp-bench-trajectory/v1\""),
+            "{line}"
+        );
+        assert!(line.contains("\"source\":\"serve-chaos\""), "{line}");
+        assert!(line.contains("\"value\":0.97"), "{line}");
+        assert!(line.contains("\"smoke\":true"), "{line}");
+        assert!(!rec.git_sha.is_empty());
+    }
+
+    #[test]
+    fn append_to_is_append_only() {
+        let path =
+            std::env::temp_dir().join(format!("wlp-trajectory-test-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let rec = TrajectoryRecord::now("wlp-bench", false, Vec::new());
+        rec.append_to(path.to_str().unwrap()).unwrap();
+        rec.append_to(path.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "each run adds exactly one line");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,870 @@
+//! Crash-safe persistence for the certificate cache.
+//!
+//! A `wlp-serve` restart — deploy, crash, OOM-kill — must be a planned
+//! fast path, not a latency cliff: without durable state every restart
+//! re-certifies the whole corpus under live traffic. This module gives
+//! the cache a `--state-dir` with exactly two files plus a lock:
+//!
+//! * `snapshot.bin` — the resident working set at the last compaction,
+//!   written to a temp file, fsynced, and atomically renamed into place
+//!   (a snapshot is either the old one or the new one, never a blend);
+//! * `journal.bin` — an append-only log of every certificate minted
+//!   since that snapshot, fsynced in batches and compacted back into a
+//!   snapshot once it outgrows a threshold;
+//! * `LOCK` — a pidfile refusing two live daemons the same state dir.
+//!
+//! Both files are sequences of CRC32-framed, length-prefixed records of
+//! `(source_hash, source_len, source, compact-encoded certificate)`.
+//! Recovery is **corruption-tolerant by construction**: a torn tail, a
+//! bit-flipped record, or a truncated snapshot is *skipped with a
+//! counter, never a panic* — the CRC gates every record, the FNV-1a
+//! content hash is re-verified against the source bytes, the certificate
+//! must decode, and the loader re-analyzes the source and refuses the
+//! record unless the persisted certificate matches byte-for-byte
+//! ([`crate::cache::CertCache::load_recovered`]). A corrupt record
+//! therefore costs one cold miss; it can never be *served*.
+//!
+//! All disk writes go through the [`StateIo`] seam from `wlp-fault`, so
+//! the chaos harness can inject torn writes, short writes, bit flips,
+//! and fsync errors between the framing logic and the filesystem.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wlp_analyze::SafetyCertificate;
+
+pub use wlp_fault::{DirectIo, StateIo};
+
+use crate::cache::fnv1a64;
+
+/// Journal file name inside the state dir.
+pub const JOURNAL_FILE: &str = "journal.bin";
+/// Snapshot file name inside the state dir.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// Temp name a snapshot is staged under before its atomic rename.
+pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
+/// Pidfile name inside the state dir.
+pub const LOCK_FILE: &str = "LOCK";
+
+/// Hard upper bound on one framed record's payload. Request lines are
+/// capped at 1 MiB by the transports, so any length prefix beyond this
+/// is framing garbage, not a real record — recovery stops trusting the
+/// file there instead of attempting a multi-gigabyte allocation.
+pub const MAX_RECORD_BYTES: u32 = 2 << 20;
+
+/// Tunables for the persistent store.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// Directory holding `snapshot.bin`, `journal.bin`, and `LOCK`.
+    /// Created if missing (its parent must exist).
+    pub state_dir: PathBuf,
+    /// fsync the journal every N appends: `1` syncs every record (an
+    /// acknowledged certificate survives any crash), larger values batch
+    /// (a crash can lose up to N−1 tail records — each costs one cold
+    /// miss after restart, nothing more), `0` leaves flushing to the OS.
+    pub journal_fsync_every: u64,
+    /// Journal size in bytes past which an append triggers compaction of
+    /// the resident working set into a fresh snapshot.
+    pub compact_bytes: u64,
+}
+
+impl PersistConfig {
+    /// Defaults at `dir`: fsync every append, compact past 1 MiB.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        PersistConfig {
+            state_dir: dir.into(),
+            journal_fsync_every: 1,
+            compact_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Why a state dir could not be opened. Every variant renders as the
+/// one-line startup error the daemon prints before exiting — the
+/// fail-fast contract: an unusable `--state-dir` refuses to boot instead
+/// of erroring mid-request.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The state dir does not exist and neither does its parent.
+    MissingParent(PathBuf),
+    /// The state-dir path exists but is not a directory.
+    NotADirectory(PathBuf),
+    /// The state dir cannot be written (probe file creation failed).
+    NotWritable(PathBuf, io::Error),
+    /// Another live process holds the state dir's `LOCK` pidfile.
+    Locked {
+        /// The pidfile path.
+        path: PathBuf,
+        /// The live owner's pid.
+        pid: u32,
+    },
+    /// Any other I/O failure during open/recovery.
+    Io(io::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::MissingParent(dir) => write!(
+                f,
+                "state dir `{}` unusable: parent directory does not exist",
+                dir.display()
+            ),
+            PersistError::NotADirectory(dir) => write!(
+                f,
+                "state dir `{}` unusable: path exists but is not a directory",
+                dir.display()
+            ),
+            PersistError::NotWritable(dir, e) => write!(
+                f,
+                "state dir `{}` unusable: not writable ({e})",
+                dir.display()
+            ),
+            PersistError::Locked { path, pid } => write!(
+                f,
+                "state dir locked: `{}` names live pid {pid} (is another wlp-serve running?)",
+                path.display()
+            ),
+            PersistError::Io(e) => write!(f, "state dir I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// One recovered `(source_hash, source, certificate)` record. The hash
+/// and CRC have already been verified against the bytes; whether the
+/// certificate still matches re-analysis is decided at load time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistRecord {
+    /// FNV-1a hash of `source` (re-verified during the scan).
+    pub source_hash: u64,
+    /// The exact program source the certificate was minted for.
+    pub source: String,
+    /// The compact certificate line (`cert-v1;…`), decode-checked.
+    pub cert_line: String,
+}
+
+/// What [`PersistentStore::append`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Whether the record was (as far as the I/O layer admits) written.
+    pub persisted: bool,
+    /// Framed bytes appended when `persisted`.
+    pub bytes: u64,
+    /// Whether the journal has outgrown `compact_bytes` — the caller
+    /// should gather the resident working set and call
+    /// [`PersistentStore::compact`].
+    pub needs_compact: bool,
+}
+
+/// CRC-32 (IEEE, reflected) — the per-record integrity gate. Bitwise,
+/// table-free: records are small and recovery is a startup path.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Frames one record: `[payload_len u32][crc32 u32]` then the payload
+/// `[source_hash u64][source_len u32][source bytes][cert_line bytes]`,
+/// all little-endian. Public so the corruption-matrix tests can build
+/// byte-exact journals.
+pub fn frame_record(source: &str, cert_line: &str) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(12 + source.len() + cert_line.len());
+    payload.extend_from_slice(&fnv1a64(source.as_bytes()).to_le_bytes());
+    payload.extend_from_slice(&(source.len() as u32).to_le_bytes());
+    payload.extend_from_slice(source.as_bytes());
+    payload.extend_from_slice(cert_line.as_bytes());
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn read_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Decodes one CRC-verified payload into a record, or `None` when its
+/// internal structure is inconsistent (bad lengths, invalid UTF-8, hash
+/// mismatch, undecodable certificate).
+fn decode_payload(payload: &[u8]) -> Option<PersistRecord> {
+    if payload.len() < 12 {
+        return None;
+    }
+    let source_hash = read_u64(payload, 0);
+    let source_len = read_u32(payload, 8) as usize;
+    if 12 + source_len > payload.len() {
+        return None;
+    }
+    let source = std::str::from_utf8(&payload[12..12 + source_len]).ok()?;
+    let cert_line = std::str::from_utf8(&payload[12 + source_len..]).ok()?;
+    if fnv1a64(source.as_bytes()) != source_hash {
+        return None;
+    }
+    SafetyCertificate::decode_compact(cert_line).ok()?;
+    Some(PersistRecord {
+        source_hash,
+        source: source.to_string(),
+        cert_line: cert_line.to_string(),
+    })
+}
+
+/// Scans one framed file, returning every trustworthy record in order
+/// plus the number skipped. Never panics, whatever the bytes:
+///
+/// * an incomplete header or a length that overruns the file (or
+///   [`MAX_RECORD_BYTES`]) is a torn/garbage tail — count one skip and
+///   stop, since framing past that point cannot be trusted;
+/// * a record whose CRC fails is skipped and the scan re-syncs at the
+///   length the (CRC-covered-but-unverifiable) header claimed; if that
+///   length was itself the corruption, the following pseudo-records fail
+///   their CRCs too and the scan degrades to a bounded skip cascade —
+///   every record *before* the damage has already been kept;
+/// * a CRC-valid record with inconsistent internals (hash mismatch,
+///   invalid UTF-8, undecodable certificate) is skipped individually.
+///
+/// A missing file is an empty store, not an error.
+pub fn read_records(path: &Path) -> io::Result<(Vec<PersistRecord>, u64)> {
+    let buf = match std::fs::read(path) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(e),
+    };
+    let mut records = Vec::new();
+    let mut skipped = 0u64;
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        if pos + 8 > buf.len() {
+            skipped += 1; // torn tail: header itself is incomplete
+            break;
+        }
+        let len = read_u32(&buf, pos) as usize;
+        let crc = read_u32(&buf, pos + 4);
+        if len > MAX_RECORD_BYTES as usize || pos + 8 + len > buf.len() {
+            skipped += 1; // torn tail or garbage length: framing untrustworthy
+            break;
+        }
+        let payload = &buf[pos + 8..pos + 8 + len];
+        if crc32(payload) == crc {
+            match decode_payload(payload) {
+                Some(rec) => records.push(rec),
+                None => skipped += 1,
+            }
+        } else {
+            skipped += 1;
+        }
+        pos += 8 + len;
+    }
+    Ok((records, skipped))
+}
+
+struct Journal {
+    file: File,
+    /// Bytes this process believes the journal holds (used for the
+    /// compaction trigger and post-failure truncation; a torn write can
+    /// make it optimistic, which recovery tolerates).
+    len: u64,
+    appends_since_sync: u64,
+}
+
+/// The crash-safe store: one open journal, counters, and the pidfile
+/// lock, shared behind the service.
+///
+/// Dropping the store releases the `LOCK` pidfile; a SIGKILLed daemon
+/// leaves it behind, and the next [`open`](PersistentStore::open)
+/// detects the dead pid and takes the dir over.
+pub struct PersistentStore {
+    cfg: PersistConfig,
+    io: Arc<dyn StateIo>,
+    journal: Mutex<Journal>,
+    lock_path: PathBuf,
+    loaded: AtomicU64,
+    appended: AtomicU64,
+    snapshots: AtomicU64,
+    skipped_corrupt: AtomicU64,
+    io_errors: AtomicU64,
+}
+
+impl PersistentStore {
+    /// Opens (creating if needed) the state dir, fail-fast-validating it,
+    /// and recovers every trustworthy record from snapshot + journal —
+    /// journal records win over snapshot records with the same hash.
+    /// Returns the store plus the recovered records for the caller to
+    /// load into its cache (via `CertCache::load_recovered`, which
+    /// re-analyzes and cross-checks each one).
+    pub fn open(
+        cfg: PersistConfig,
+        io: Arc<dyn StateIo>,
+    ) -> Result<(PersistentStore, Vec<PersistRecord>), PersistError> {
+        let dir = &cfg.state_dir;
+        if dir.exists() {
+            if !dir.is_dir() {
+                return Err(PersistError::NotADirectory(dir.clone()));
+            }
+        } else {
+            // Create exactly one level: a missing parent is a config
+            // typo the operator must see, not silently mkdir -p away.
+            let parent = match dir.parent() {
+                Some(p) if !p.as_os_str().is_empty() => p,
+                _ => Path::new("."),
+            };
+            if !parent.is_dir() {
+                return Err(PersistError::MissingParent(dir.clone()));
+            }
+            std::fs::create_dir(dir).map_err(|e| PersistError::NotWritable(dir.clone(), e))?;
+        }
+
+        // Writability probe: the pidfile doubles as it.
+        let lock_path = dir.join(LOCK_FILE);
+        if let Ok(existing) = std::fs::read_to_string(&lock_path) {
+            let pid: u32 = existing.trim().parse().unwrap_or(0);
+            if pid != 0 && pid_alive(pid) {
+                return Err(PersistError::Locked {
+                    path: lock_path,
+                    pid,
+                });
+            }
+            // dead owner (SIGKILL leaves its pidfile): take the dir over
+        }
+        std::fs::write(&lock_path, format!("{}\n", std::process::id()))
+            .map_err(|e| PersistError::NotWritable(dir.clone(), e))?;
+
+        let (mut records, mut skipped) = read_records(&dir.join(SNAPSHOT_FILE))?;
+        let (journal_records, journal_skipped) = read_records(&dir.join(JOURNAL_FILE))?;
+        skipped += journal_skipped;
+        // Journal entries postdate the snapshot: same hash, journal wins.
+        let mut by_hash: HashMap<u64, usize> = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.source_hash, i))
+            .collect();
+        for rec in journal_records {
+            match by_hash.get(&rec.source_hash) {
+                Some(&i) => records[i] = rec,
+                None => {
+                    by_hash.insert(rec.source_hash, records.len());
+                    records.push(rec);
+                }
+            }
+        }
+
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(JOURNAL_FILE))?;
+        let len = file.metadata()?.len();
+        let store = PersistentStore {
+            cfg,
+            io,
+            journal: Mutex::new(Journal {
+                file,
+                len,
+                appends_since_sync: 0,
+            }),
+            lock_path,
+            loaded: AtomicU64::new(0),
+            appended: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            skipped_corrupt: AtomicU64::new(skipped),
+            io_errors: AtomicU64::new(0),
+        };
+        Ok((store, records))
+    }
+
+    /// Appends one record to the journal, honoring the fsync batch
+    /// policy. A failed or short write truncates the journal back to the
+    /// record boundary (keeping the framing clean) and reports
+    /// `persisted: false` — the entry stays resident in the cache, it
+    /// just won't survive a restart.
+    pub fn append(&self, source: &str, cert_line: &str) -> AppendOutcome {
+        let frame = frame_record(source, cert_line);
+        let mut j = self.journal.lock();
+        let wrote = match self.io.append(&mut j.file, &frame) {
+            Ok(n) => n,
+            Err(_) => {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = j.file.set_len(j.len);
+                return AppendOutcome {
+                    persisted: false,
+                    bytes: 0,
+                    needs_compact: false,
+                };
+            }
+        };
+        if wrote < frame.len() {
+            // Honest short write: roll the partial frame back so the next
+            // append starts at a record boundary.
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = j.file.set_len(j.len);
+            return AppendOutcome {
+                persisted: false,
+                bytes: 0,
+                needs_compact: false,
+            };
+        }
+        j.len += frame.len() as u64;
+        j.appends_since_sync += 1;
+        if self.cfg.journal_fsync_every > 0 && j.appends_since_sync >= self.cfg.journal_fsync_every
+        {
+            if self.io.sync(&j.file).is_err() {
+                // The record is written but its durability is now
+                // best-effort; count the failure, keep serving.
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            j.appends_since_sync = 0;
+        }
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        AppendOutcome {
+            persisted: true,
+            bytes: frame.len() as u64,
+            needs_compact: j.len > self.cfg.compact_bytes,
+        }
+    }
+
+    /// Compacts the journal into a fresh snapshot of `records` (the
+    /// caller's resident working set): temp file → fsync → atomic rename
+    /// → directory fsync → journal truncate. `records_fn` is invoked
+    /// *after* the journal lock is held, so any append that could land
+    /// before the truncate is already visible to the collection — no
+    /// record can fall between snapshot and journal.
+    ///
+    /// Returns the snapshot's record count, or the I/O error (counted;
+    /// the old snapshot + journal stay authoritative on failure).
+    pub fn compact<F>(&self, records_fn: F) -> io::Result<u64>
+    where
+        F: FnOnce() -> Vec<(String, String)>,
+    {
+        let mut j = self.journal.lock();
+        let records = records_fn();
+        let result = (|| -> io::Result<()> {
+            let tmp_path = self.cfg.state_dir.join(SNAPSHOT_TMP);
+            let mut tmp = File::create(&tmp_path)?;
+            for (source, cert_line) in &records {
+                let frame = frame_record(source, cert_line);
+                let n = self.io.append(&mut tmp, &frame)?;
+                if n < frame.len() {
+                    return Err(io::Error::other("short write staging snapshot"));
+                }
+            }
+            self.io.sync(&tmp)?;
+            drop(tmp);
+            std::fs::rename(&tmp_path, self.cfg.state_dir.join(SNAPSHOT_FILE))?;
+            // The rename must itself be durable before the journal is
+            // truncated, or a crash could leave neither snapshot nor
+            // journal; directory fsync is how POSIX spells that.
+            if let Ok(d) = File::open(&self.cfg.state_dir) {
+                let _ = d.sync_all();
+            }
+            j.file.set_len(0)?;
+            j.len = 0;
+            j.appends_since_sync = 0;
+            self.io.sync(&j.file)?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.snapshots.fetch_add(1, Ordering::Relaxed);
+                Ok(records.len() as u64)
+            }
+            Err(e) => {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Forces an fsync of any batched journal tail (drain/shutdown path).
+    pub fn sync(&self) {
+        let mut j = self.journal.lock();
+        if j.appends_since_sync > 0 {
+            if self.io.sync(&j.file).is_err() {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            j.appends_since_sync = 0;
+        }
+    }
+
+    /// Counts one recovered record successfully loaded into the cache.
+    pub fn note_loaded(&self) {
+        self.loaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one recovered record the loader refused (re-analysis
+    /// mismatch, collision, no-longer-parsing source).
+    pub fn note_skipped(&self) {
+        self.skipped_corrupt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records loaded into the cache at recovery.
+    pub fn loaded(&self) -> u64 {
+        self.loaded.load(Ordering::Relaxed)
+    }
+
+    /// Records appended to the journal since open.
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots written since open.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots.load(Ordering::Relaxed)
+    }
+
+    /// Records recovery refused to trust (scan skips + load refusals).
+    pub fn skipped_corrupt(&self) -> u64 {
+        self.skipped_corrupt.load(Ordering::Relaxed)
+    }
+
+    /// Append/sync failures observed (each also left the record
+    /// unpersisted or un-fsynced; none ever corrupts what is served).
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently in the journal (by this process's accounting).
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal.lock().len
+    }
+
+    /// The state dir this store owns.
+    pub fn state_dir(&self) -> &Path {
+        &self.cfg.state_dir
+    }
+}
+
+impl Drop for PersistentStore {
+    fn drop(&mut self) {
+        // Best-effort: flush any batched tail and release the pidfile. A
+        // SIGKILL skips this — which is exactly what the stale-pid
+        // takeover in `open` exists for.
+        self.sync();
+        let _ = std::fs::remove_file(&self.lock_path);
+    }
+}
+
+/// Whether `pid` names a live process. Signal 0 probes without
+/// delivering; off Unix there is no cheap probe, so locks are treated as
+/// stale (single-daemon discipline is on the operator there).
+#[cfg(unix)]
+fn pid_alive(pid: u32) -> bool {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    pid != 0 && unsafe { kill(pid as i32, 0) } == 0
+}
+
+#[cfg(not(unix))]
+fn pid_alive(_pid: u32) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlp_fault::{FsFaultKind, FsFaultPlan};
+
+    const DOALL: &str = "integer i = 0\nwhile (i < n) {\n    A[i] = 2 * A[i]\n    i = i + 1\n}";
+    const SUM: &str = "integer i = 0\nwhile (i < n) {\n    s = s + A[i]\n    i = i + 1\n}";
+
+    /// A unique scratch state dir, removed on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir =
+                std::env::temp_dir().join(format!("wlp-persist-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn cert_line(source: &str) -> String {
+        wlp_analyze::certify_compact(source).expect("valid source")
+    }
+
+    fn open(dir: &Path) -> (PersistentStore, Vec<PersistRecord>) {
+        PersistentStore::open(PersistConfig::at(dir), Arc::new(DirectIo)).expect("open")
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check values
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn append_then_reopen_recovers_the_records() {
+        let t = TempDir::new("roundtrip");
+        {
+            let (store, recovered) = open(t.path());
+            assert!(recovered.is_empty());
+            assert!(store.append(DOALL, &cert_line(DOALL)).persisted);
+            assert!(store.append(SUM, &cert_line(SUM)).persisted);
+            assert_eq!(store.appended(), 2);
+        }
+        let (store, recovered) = open(t.path());
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0].source, DOALL);
+        assert_eq!(recovered[1].source, SUM);
+        assert_eq!(recovered[1].cert_line, cert_line(SUM));
+        assert_eq!(store.skipped_corrupt(), 0);
+    }
+
+    #[test]
+    fn duplicate_appends_dedup_at_recovery() {
+        let t = TempDir::new("dedup");
+        {
+            let (store, _) = open(t.path());
+            for _ in 0..5 {
+                store.append(DOALL, &cert_line(DOALL));
+            }
+        }
+        let (_, recovered) = open(t.path());
+        assert_eq!(recovered.len(), 1);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_not_panicked() {
+        let t = TempDir::new("torn");
+        {
+            let (store, _) = open(t.path());
+            store.append(DOALL, &cert_line(DOALL));
+            store.append(SUM, &cert_line(SUM));
+        }
+        // tear the last record: chop 5 bytes off the journal
+        let journal = t.path().join(JOURNAL_FILE);
+        let bytes = std::fs::read(&journal).unwrap();
+        std::fs::write(&journal, &bytes[..bytes.len() - 5]).unwrap();
+        let (store, recovered) = open(t.path());
+        assert_eq!(recovered.len(), 1, "the record before the tear survives");
+        assert_eq!(recovered[0].source, DOALL);
+        assert_eq!(store.skipped_corrupt(), 1);
+    }
+
+    #[test]
+    fn bit_flip_fails_crc_and_later_records_survive() {
+        let t = TempDir::new("flip");
+        {
+            let (store, _) = open(t.path());
+            store.append(DOALL, &cert_line(DOALL));
+            store.append(SUM, &cert_line(SUM));
+        }
+        let journal = t.path().join(JOURNAL_FILE);
+        let mut bytes = std::fs::read(&journal).unwrap();
+        // flip a payload bit in the FIRST record (past its 8-byte header)
+        bytes[20] ^= 0x10;
+        std::fs::write(&journal, &bytes).unwrap();
+        let (store, recovered) = open(t.path());
+        assert_eq!(recovered.len(), 1, "framing re-syncs past the bad record");
+        assert_eq!(recovered[0].source, SUM);
+        assert_eq!(store.skipped_corrupt(), 1);
+    }
+
+    #[test]
+    fn injected_torn_write_loses_only_the_torn_record() {
+        let t = TempDir::new("injected-torn");
+        {
+            let io = Arc::new(FsFaultPlan::at(FsFaultKind::TornWrite, 1, 9));
+            let (store, _) = PersistentStore::open(PersistConfig::at(t.path()), io).expect("open");
+            assert!(store.append(DOALL, &cert_line(DOALL)).persisted);
+            // the lie: reported persisted, actually torn on disk
+            assert!(store.append(SUM, &cert_line(SUM)).persisted);
+        }
+        let (store, recovered) = open(t.path());
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].source, DOALL);
+        assert_eq!(store.skipped_corrupt(), 1);
+    }
+
+    #[test]
+    fn injected_short_write_rolls_back_and_keeps_framing_clean() {
+        let t = TempDir::new("injected-short");
+        {
+            let io = Arc::new(FsFaultPlan::at(FsFaultKind::ShortWrite, 0, 13));
+            let (store, _) = PersistentStore::open(PersistConfig::at(t.path()), io).expect("open");
+            let out = store.append(DOALL, &cert_line(DOALL));
+            assert!(!out.persisted, "short write must be reported");
+            assert_eq!(store.io_errors(), 1);
+            // the journal was truncated back: the next append is whole
+            assert!(store.append(SUM, &cert_line(SUM)).persisted);
+        }
+        let (store, recovered) = open(t.path());
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].source, SUM);
+        assert_eq!(store.skipped_corrupt(), 0, "rollback left no garbage");
+    }
+
+    #[test]
+    fn injected_fsync_error_is_counted_not_fatal() {
+        let t = TempDir::new("injected-sync");
+        let io = Arc::new(FsFaultPlan::at(FsFaultKind::SyncError, 0, 0));
+        let (store, _) = PersistentStore::open(PersistConfig::at(t.path()), io).expect("open");
+        assert!(store.append(DOALL, &cert_line(DOALL)).persisted);
+        assert_eq!(store.io_errors(), 1);
+        assert!(store.append(SUM, &cert_line(SUM)).persisted);
+        assert_eq!(store.io_errors(), 1, "one-shot fault");
+    }
+
+    #[test]
+    fn compaction_snapshots_and_truncates_the_journal() {
+        let t = TempDir::new("compact");
+        let mut cfg = PersistConfig::at(t.path());
+        cfg.compact_bytes = 1; // every append overflows
+        {
+            let (store, _) = PersistentStore::open(cfg.clone(), Arc::new(DirectIo)).expect("open");
+            let out = store.append(DOALL, &cert_line(DOALL));
+            assert!(out.needs_compact);
+            let n = store
+                .compact(|| {
+                    vec![
+                        (DOALL.to_string(), cert_line(DOALL)),
+                        (SUM.to_string(), cert_line(SUM)),
+                    ]
+                })
+                .expect("compact");
+            assert_eq!(n, 2);
+            assert_eq!(store.snapshots(), 1);
+            assert_eq!(store.journal_bytes(), 0);
+        }
+        assert!(t.path().join(SNAPSHOT_FILE).exists());
+        assert!(!t.path().join(SNAPSHOT_TMP).exists());
+        let (_, recovered) = open(t.path());
+        assert_eq!(recovered.len(), 2);
+    }
+
+    #[test]
+    fn journal_records_win_over_snapshot_records() {
+        let t = TempDir::new("precedence");
+        {
+            let (store, _) = open(t.path());
+            store
+                .compact(|| vec![(DOALL.to_string(), cert_line(DOALL))])
+                .expect("seed snapshot");
+            // journal a record for the same source after the snapshot
+            store.append(DOALL, &cert_line(DOALL));
+            store.append(SUM, &cert_line(SUM));
+        }
+        let (_, recovered) = open(t.path());
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0].source, DOALL);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_tolerated() {
+        let t = TempDir::new("snap-trunc");
+        {
+            let (store, _) = open(t.path());
+            store
+                .compact(|| {
+                    vec![
+                        (DOALL.to_string(), cert_line(DOALL)),
+                        (SUM.to_string(), cert_line(SUM)),
+                    ]
+                })
+                .expect("snapshot");
+        }
+        let snap = t.path().join(SNAPSHOT_FILE);
+        let bytes = std::fs::read(&snap).unwrap();
+        std::fs::write(&snap, &bytes[..bytes.len() / 2]).unwrap();
+        let (store, recovered) = open(t.path());
+        assert!(recovered.len() < 2);
+        assert!(store.skipped_corrupt() >= 1);
+    }
+
+    #[test]
+    fn missing_parent_fails_fast() {
+        let t = TempDir::new("missing-parent");
+        let bogus = t.path().join("no-such").join("state");
+        let err = PersistentStore::open(PersistConfig::at(&bogus), Arc::new(DirectIo))
+            .err()
+            .expect("must refuse");
+        assert!(matches!(err, PersistError::MissingParent(_)), "{err}");
+        assert!(err.to_string().contains("parent directory"), "{err}");
+    }
+
+    #[test]
+    fn state_dir_path_must_be_a_directory() {
+        let t = TempDir::new("not-a-dir");
+        let file_path = t.path().join("occupied");
+        std::fs::write(&file_path, b"x").unwrap();
+        let err = PersistentStore::open(PersistConfig::at(&file_path), Arc::new(DirectIo))
+            .err()
+            .expect("must refuse");
+        assert!(matches!(err, PersistError::NotADirectory(_)), "{err}");
+    }
+
+    #[test]
+    fn live_lock_refuses_dead_lock_takes_over() {
+        let t = TempDir::new("lock");
+        // live: our own pid holds the dir
+        std::fs::write(
+            t.path().join(LOCK_FILE),
+            format!("{}\n", std::process::id()),
+        )
+        .unwrap();
+        let err = PersistentStore::open(PersistConfig::at(t.path()), Arc::new(DirectIo))
+            .err()
+            .expect("live pid must refuse");
+        assert!(matches!(err, PersistError::Locked { .. }), "{err}");
+        assert!(err.to_string().contains("locked"), "{err}");
+        // dead: pid 4000000 is beyond linux's default pid_max
+        std::fs::write(t.path().join(LOCK_FILE), "4000000\n").unwrap();
+        let (store, _) = open(t.path());
+        let own: String = std::fs::read_to_string(t.path().join(LOCK_FILE)).unwrap();
+        assert_eq!(own.trim(), std::process::id().to_string());
+        drop(store);
+        assert!(
+            !t.path().join(LOCK_FILE).exists(),
+            "drop releases the pidfile"
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_stops_the_scan() {
+        let t = TempDir::new("oversize");
+        let journal = t.path().join(JOURNAL_FILE);
+        let mut bytes = frame_record(DOALL, &cert_line(DOALL));
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd length
+        bytes.extend_from_slice(&[0u8; 64]);
+        std::fs::write(&journal, &bytes).unwrap();
+        let (records, skipped) = read_records(&journal).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(skipped, 1);
+    }
+}
