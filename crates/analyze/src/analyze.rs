@@ -2,9 +2,10 @@
 
 use crate::certificate::{count_writes, CertVerdict, SafetyCertificate};
 use crate::diag::{Diagnostic, Severity};
+use crate::fission::{fission_plan, FissionPlan};
 use crate::privatize::{privatization, privatized_body, Privatization};
 use crate::reduction::{recurrences, Recurrence, RecurrenceRole};
-use crate::terminator::classify_terminator;
+use crate::terminator::{classify_terminator, RvWitness};
 use std::collections::BTreeSet;
 use wlp_core::taxonomy::TerminatorClass;
 use wlp_ir::dependence::dep_graph;
@@ -26,6 +27,9 @@ pub struct Analysis {
     pub terminator: TerminatorClass,
     /// The speculation-safety certificate.
     pub certificate: SafetyCertificate,
+    /// The Section 6 fission plan: fused work blocks, each with its own
+    /// certificate, plus the cross-block DOACROSS edges.
+    pub fission: FissionPlan,
     /// Structured findings, in statement order.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -39,6 +43,25 @@ impl Analysis {
             .map(|d| d.severity)
             .max()
             .unwrap_or(Severity::Note)
+    }
+
+    /// The one-or-two-line plan summary `wlp-lint` (and the golden corpus)
+    /// prints after the findings: the whole-loop plan/verdict line, plus
+    /// the fission line when distribution actually split the remainder.
+    pub fn plan_summary(&self) -> String {
+        let mut out = format!(
+            "plan: {:?} → {:?}; verdict {:?}; write bound {}/iter ({} uncertain)",
+            self.baseline.strategy,
+            self.refined.strategy,
+            self.certificate.verdict,
+            self.certificate.writes_per_iter,
+            self.certificate.uncertain_writes_per_iter,
+        );
+        if let Some(f) = self.fission.summary() {
+            out.push('\n');
+            out.push_str(&f);
+        }
+        out
     }
 }
 
@@ -58,7 +81,7 @@ fn describe(r: &WRef) -> String {
 /// front — closed form or parallel prefix), and accesses to the scalars
 /// they own are likewise dropped everywhere. What is left is exactly the
 /// memory traffic a parallel execution of the remainder performs.
-fn remainder_view(body: &LoopIr) -> LoopIr {
+pub(crate) fn remainder_view(body: &LoopIr) -> LoopIr {
     let update_vars: BTreeSet<_> = body
         .stmts
         .iter()
@@ -85,14 +108,93 @@ fn remainder_view(body: &LoopIr) -> LoopIr {
     out
 }
 
-/// Runs the full analysis over one loop body.
-pub fn analyze(body: &LoopIr) -> Analysis {
+/// The certificate pipeline shared by the whole-loop analysis and the
+/// per-block fission certifier: plan → privatize → refined plan →
+/// recurrences → terminator → carried-edge census → verdict. Keeping it
+/// in one place guarantees a fused block masked down to its own
+/// statements is judged by exactly the rules the whole loop is.
+pub(crate) struct CertCore {
+    pub baseline: Plan,
+    pub refined: Plan,
+    pub priv_info: Privatization,
+    pub refined_body: LoopIr,
+    pub recs: Vec<Recurrence>,
+    pub terminator: TerminatorClass,
+    pub rv_witness: Option<RvWitness>,
+    pub certificate: SafetyCertificate,
+}
+
+pub(crate) fn certify_core(body: &LoopIr) -> CertCore {
     let baseline = plan(body);
     let priv_info = privatization(body);
     let refined_body = privatized_body(body, &priv_info);
     let refined = plan(&refined_body);
     let recs = recurrences(body);
     let (terminator, rv_witness) = classify_terminator(body);
+
+    // The planner reasons per fused block (fission sequencing), but the
+    // executors run the remainder as one fused DOALL under the PD test —
+    // so a budget-0 certificate additionally requires that *no*
+    // loop-carried edge survives anywhere in the dispatcher-censored
+    // remainder, SCC boundaries notwithstanding.
+    let rem_view = remainder_view(&refined_body);
+    let rem_graph = dep_graph(&rem_view);
+    let carried_stmts: BTreeSet<usize> = rem_graph
+        .edges
+        .iter()
+        .filter(|e| e.loop_carried)
+        .flat_map(|e| [e.from, e.to])
+        .collect();
+    let (writes_per_iter, uncertain, uncertain_arrays, uncertain_stmts) =
+        count_writes(body, &refined_body, &priv_info, &recs, &carried_stmts);
+    let verdict = if refined.strategy == StrategyKind::Sequential {
+        CertVerdict::CertifiedSequential
+    } else if !refined.needs_pd_test && carried_stmts.is_empty() {
+        CertVerdict::CertifiedDoall
+    } else {
+        CertVerdict::SpeculateBounded
+    };
+    let (uncertain, uncertain_stmts) = match verdict {
+        CertVerdict::SpeculateBounded => (uncertain, uncertain_stmts),
+        // certified loops shadow nothing
+        CertVerdict::CertifiedDoall | CertVerdict::CertifiedSequential => (0, Vec::new()),
+    };
+
+    let certificate = SafetyCertificate {
+        verdict,
+        terminator,
+        parallelism: refined.cell.parallelism,
+        writes_per_iter,
+        uncertain_writes_per_iter: uncertain,
+        uncertain_arrays,
+        uncertain_stmts,
+    };
+
+    CertCore {
+        baseline,
+        refined,
+        priv_info,
+        refined_body,
+        recs,
+        terminator,
+        rv_witness,
+        certificate,
+    }
+}
+
+/// Runs the full analysis over one loop body.
+pub fn analyze(body: &LoopIr) -> Analysis {
+    let CertCore {
+        baseline,
+        refined,
+        priv_info,
+        refined_body,
+        recs,
+        terminator,
+        rv_witness,
+        certificate,
+    } = certify_core(body);
+    let fission = fission_plan(body);
 
     let mut diagnostics = Vec::new();
     let span_of = |stmt: usize| body.stmts.get(stmt).and_then(|s| s.span);
@@ -229,43 +331,102 @@ pub fn analyze(body: &LoopIr) -> Analysis {
         }
     }
 
-    // the verdict. The planner reasons per fused block (fission
-    // sequencing), but the executors run the remainder as one fused
-    // DOALL under the PD test — so a budget-0 certificate additionally
-    // requires that *no* loop-carried edge survives anywhere in the
-    // dispatcher-censored remainder, SCC boundaries notwithstanding.
-    let rem_view = remainder_view(&refined_body);
-    let rem_graph = dep_graph(&rem_view);
-    let carried_stmts: BTreeSet<usize> = rem_graph
-        .edges
-        .iter()
-        .filter(|e| e.loop_carried)
-        .flat_map(|e| [e.from, e.to])
-        .collect();
-    let (writes_per_iter, uncertain, uncertain_arrays, uncertain_stmts) =
-        count_writes(body, &refined_body, &priv_info, &recs, &carried_stmts);
-    let verdict = if refined.strategy == StrategyKind::Sequential {
-        CertVerdict::CertifiedSequential
-    } else if !refined.needs_pd_test && carried_stmts.is_empty() {
-        CertVerdict::CertifiedDoall
-    } else {
-        CertVerdict::SpeculateBounded
-    };
-    let (uncertain, uncertain_stmts) = match verdict {
-        CertVerdict::SpeculateBounded => (uncertain, uncertain_stmts),
-        // certified loops shadow nothing
-        CertVerdict::CertifiedDoall | CertVerdict::CertifiedSequential => (0, Vec::new()),
-    };
+    // fission findings: when distribution actually split the remainder
+    // into several work blocks, report each block's verdict at its span,
+    // and each cross-block DOACROSS edge with its synchronization
+    // distance.
+    if fission.is_fissioned() {
+        for b in &fission.blocks {
+            diagnostics.push(
+                Diagnostic::new(
+                    "W-FIS01",
+                    Severity::Note,
+                    format!(
+                        "fused block {} ({}): {}",
+                        b.index,
+                        b.describe_stmts(),
+                        b.certificate.verdict.name()
+                    ),
+                )
+                .with_span(b.span)
+                .with_hint(match b.certificate.verdict {
+                    CertVerdict::CertifiedDoall => {
+                        "this block runs fully parallel as one DOACROSS stage"
+                    }
+                    CertVerdict::CertifiedSequential => {
+                        "this block pipelines sequentially as one DOACROSS stage"
+                    }
+                    CertVerdict::SpeculateBounded => {
+                        "this block's stage keeps the PD shadow; siblings run unshadowed"
+                    }
+                }),
+            );
+        }
+        for e in &fission.edges {
+            diagnostics.push(
+                Diagnostic::new(
+                    "W-FIS02",
+                    Severity::Note,
+                    format!(
+                        "doacross: block {} → block {} carries a {:?} dependence at distance {}",
+                        e.from_block, e.to_block, e.kind, e.distance
+                    ),
+                )
+                .with_span(fission.blocks.get(e.to_block).and_then(|b| b.span))
+                .with_hint(
+                    "stage order synchronizes: the sink stage of iteration i waits for the \
+                     source stage of iteration i−distance",
+                ),
+            );
+        }
+    }
+
+    let verdict = certificate.verdict;
+    let writes_per_iter = certificate.writes_per_iter;
+    let uncertain = certificate.uncertain_writes_per_iter;
 
     match verdict {
-        CertVerdict::CertifiedSequential => diagnostics.push(
-            Diagnostic::new(
-                "W-SEQ01",
-                Severity::Error,
-                "a loop-carried dependence is provable even after privatization: parallel execution would abort deterministically",
-            )
-            .with_hint("run sequentially (or distribute the independent statements out)"),
-        ),
+        CertVerdict::CertifiedSequential => {
+            // a provable recurrence forces the *whole-loop* plan
+            // sequential, but when fission confines it to its own
+            // block(s) with parallel sibling work, the block plan still
+            // extracts parallelism — that must not read as a hard error.
+            let recovered = fission.is_fissioned()
+                && fission
+                    .blocks
+                    .iter()
+                    .any(|b| b.certificate.verdict != CertVerdict::CertifiedSequential);
+            if recovered {
+                diagnostics.push(
+                    Diagnostic::new(
+                        "W-SEQ02",
+                        Severity::Warning,
+                        format!(
+                            "a provable loop-carried recurrence confines {} of {} fused blocks: \
+                             fission + DOACROSS recovers the parallel siblings",
+                            fission
+                                .blocks
+                                .iter()
+                                .filter(|b| {
+                                    b.certificate.verdict == CertVerdict::CertifiedSequential
+                                })
+                                .count(),
+                            fission.blocks.len(),
+                        ),
+                    )
+                    .with_hint("schedule the block plan DOACROSS instead of running sequentially"),
+                );
+            } else {
+                diagnostics.push(
+                    Diagnostic::new(
+                        "W-SEQ01",
+                        Severity::Error,
+                        "a loop-carried dependence is provable even after privatization: parallel execution would abort deterministically",
+                    )
+                    .with_hint("run sequentially (or distribute the independent statements out)"),
+                );
+            }
+        }
         CertVerdict::CertifiedDoall => {
             let upgraded = baseline.strategy == StrategyKind::Sequential
                 || baseline.needs_pd_test;
@@ -296,16 +457,6 @@ pub fn analyze(body: &LoopIr) -> Analysis {
 
     diagnostics.sort_by_key(|d| (d.span.map(|s| s.start), d.code));
 
-    let certificate = SafetyCertificate {
-        verdict,
-        terminator,
-        parallelism: refined.cell.parallelism,
-        writes_per_iter,
-        uncertain_writes_per_iter: uncertain,
-        uncertain_arrays,
-        uncertain_stmts,
-    };
-
     Analysis {
         baseline,
         refined,
@@ -313,6 +464,7 @@ pub fn analyze(body: &LoopIr) -> Analysis {
         recurrences: recs,
         terminator,
         certificate,
+        fission,
         diagnostics,
     }
 }

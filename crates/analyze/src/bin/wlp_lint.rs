@@ -5,9 +5,17 @@
 //! wlp-lint [--json] -        # read one loop from stdin
 //! ```
 //!
+//! Multi-block loops get one `W-FIS01` note per fused block (block index,
+//! span, certificate kind) plus a `W-FIS02` note per cross-block DOACROSS
+//! edge, in `--json` as in human output.
+//!
 //! Exit status: 0 when no diagnostic is an error, 1 when any source has an
-//! error-severity finding (provably sequential loop, parse failure), 2 on
-//! usage or I/O problems.
+//! error-severity finding, 2 on usage or I/O problems. Mixed verdicts do
+//! **not** exit 1: a provably-sequential fused block alongside parallel
+//! sibling blocks downgrades `W-SEQ01` (error) to `W-SEQ02` (warning),
+//! because the fission plan still extracts parallelism — only a loop whose
+//! entire remainder is provably sequential (or a parse failure) is an
+//! error.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -68,14 +76,7 @@ fn main() -> ExitCode {
                 println!("{header}");
                 print!("{}", out.render(&src));
                 if let Some(a) = &out.analysis {
-                    println!(
-                        "plan: {:?} → {:?}; verdict {:?}; write bound {}/iter ({} uncertain)",
-                        a.baseline.strategy,
-                        a.refined.strategy,
-                        a.certificate.verdict,
-                        a.certificate.writes_per_iter,
-                        a.certificate.uncertain_writes_per_iter,
-                    );
+                    println!("{}", a.plan_summary());
                 }
             }
         }

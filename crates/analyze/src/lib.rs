@@ -25,9 +25,11 @@ pub mod analyze;
 pub mod certificate;
 pub mod concrete;
 pub mod diag;
+pub mod fission;
 pub mod lint;
 pub mod privatize;
 pub mod reduction;
+pub mod schedule;
 pub mod terminator;
 
 pub use analyze::{analyze, Analysis};
@@ -59,9 +61,11 @@ pub fn certify_compact(source: &str) -> Result<String, FrontendError> {
 pub use certificate::{CertDecodeError, CertVerdict, SafetyCertificate};
 pub use concrete::{array_log, concretize, remainder_log, scalar_log, ConcreteLog, Owner};
 pub use diag::{Diagnostic, Severity};
+pub use fission::{fission_plan, masked_body, BlockCertificate, DoacrossEdge, FissionPlan};
 pub use lint::{lint_source, LintOutcome};
 pub use privatize::{privatization, privatized_body, Privatization};
 pub use reduction::{recurrences, Recurrence, RecurrenceRole};
+pub use schedule::run_certified_blocks;
 pub use terminator::{classify_terminator, RvWitness};
 
 #[cfg(test)]

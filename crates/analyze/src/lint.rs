@@ -105,6 +105,50 @@ mod tests {
         assert!(out.diagnostics[0].span.is_some());
     }
 
+    const WAVEFRONT: &str = "integer i = 1\n\
+                             while (i < n) {\n\
+                             \x20   B[i] = B[i - 1] + w[i]\n\
+                             \x20   C[i] = B[i - 1] + 3\n\
+                             \x20   i = i + 1\n\
+                             }";
+
+    const PARTIAL_SUMS: &str = "integer i = 1\n\
+                                while (i < n) {\n\
+                                \x20   A[i] = A[i] + A[i - 1]\n\
+                                \x20   i = i + 1\n\
+                                }";
+
+    #[test]
+    fn mixed_block_verdicts_are_a_warning_not_an_error() {
+        // wavefront: the B recurrence confines the whole-loop verdict to
+        // CertifiedSequential, but fission recovers a DOALL sibling — so
+        // W-SEQ01 (error) downgrades to W-SEQ02 (warning) and wlp-lint
+        // exits 0 on the file.
+        let out = lint_source(WAVEFRONT);
+        assert!(out.diagnostics.iter().any(|d| d.code == "W-SEQ02"));
+        assert!(out.diagnostics.iter().all(|d| d.code != "W-SEQ01"));
+        assert!(out.max_severity() < Severity::Error, "{out:?}");
+
+        // each fused block gets its own diagnostic with a span
+        let blocks: Vec<_> = out
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "W-FIS01")
+            .collect();
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks.iter().all(|d| d.span.is_some()));
+        assert!(out.diagnostics.iter().any(|d| d.code == "W-FIS02"));
+    }
+
+    #[test]
+    fn fully_sequential_loops_still_error() {
+        // partial_sums has a single work block: no fission escape hatch,
+        // the W-SEQ01 error (exit 1) stands.
+        let out = lint_source(PARTIAL_SUMS);
+        assert!(out.diagnostics.iter().any(|d| d.code == "W-SEQ01"));
+        assert_eq!(out.max_severity(), Severity::Error);
+    }
+
     #[test]
     fn json_rendering_is_one_object_per_line() {
         let out = lint_source(SWAP);

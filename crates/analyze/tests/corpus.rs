@@ -23,14 +23,8 @@ fn render(src: &str) -> String {
     let out = lint_source(src);
     let mut s = out.render(src);
     if let Some(a) = &out.analysis {
-        s.push_str(&format!(
-            "plan: {:?} → {:?}; verdict {:?}; write bound {}/iter ({} uncertain)\n",
-            a.baseline.strategy,
-            a.refined.strategy,
-            a.certificate.verdict,
-            a.certificate.writes_per_iter,
-            a.certificate.uncertain_writes_per_iter,
-        ));
+        s.push_str(&a.plan_summary());
+        s.push('\n');
     }
     s
 }

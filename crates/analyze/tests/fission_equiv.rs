@@ -1,0 +1,203 @@
+//! Property: executing a loop block-by-block along its fission plan is
+//! observation-equivalent to interpreting the whole loop sequentially.
+//!
+//! For generated multi-recurrence bodies (independent array recurrences,
+//! cross-array consumers at distances 1–3, same-iteration consumers and
+//! pure DOALL statements), the fission plan's work blocks are turned
+//! back into per-block source programs — each keeping the full
+//! dispatcher and every exit test, i.e. the dispatcher-censored
+//! remainder re-driven per block — and run to completion in stage order
+//! on one shared machine. The final machine must equal the one the
+//! whole-program sequential interpretation produces: distribution
+//! (`distribute` → `fuse` → split) loses no writes and reorders none
+//! that matter.
+
+use proptest::prelude::*;
+use wlp_analyze::fission_plan;
+use wlp_ir::frontend::{lower, parse_program, Program, Stmt};
+use wlp_ir::interp::{run_sequential, Machine};
+
+/// One generated body statement writing its own array `X{j}`.
+#[derive(Debug, Clone)]
+enum Kind {
+    /// `Xj[i] = Xj[i - 1] + w[i] + c` — a provable recurrence.
+    Recurrence,
+    /// `Xj[i] = Xof[i - dist] + w[i] + c` — a cross-array carried read.
+    Consumer { of: usize, dist: usize },
+    /// `Xj[i] = Xof[i] + c` — a loop-independent cross-array read.
+    SameIter { of: usize },
+    /// `Xj[i] = c * w[i]` — fully independent.
+    Independent,
+}
+
+#[derive(Debug, Clone)]
+struct Params {
+    n: usize,
+    stmts: Vec<(Kind, i64)>,
+}
+
+/// Raw per-statement choice; `of` targets are resolved modulo the
+/// statement's position so consumers always read an *earlier* array.
+fn stmt_strategy() -> impl Strategy<Value = (u8, usize, usize, i64)> {
+    (0u8..4, 0usize..8, 1usize..4, -3i64..4)
+}
+
+fn params_strategy() -> impl Strategy<Value = Params> {
+    (6usize..40, prop::collection::vec(stmt_strategy(), 2..5)).prop_map(|(n, raw)| {
+        let stmts = raw
+            .into_iter()
+            .enumerate()
+            .map(|(j, (sel, of_raw, dist, c))| {
+                let kind = match sel {
+                    0 => Kind::Recurrence,
+                    1 if j > 0 => Kind::Consumer {
+                        of: of_raw % j,
+                        dist,
+                    },
+                    2 if j > 0 => Kind::SameIter { of: of_raw % j },
+                    3 => Kind::Independent,
+                    _ => Kind::Recurrence, // first statement has no earlier array
+                };
+                (kind, c)
+            })
+            .collect();
+        Params { n, stmts }
+    })
+}
+
+fn source_of(p: &Params) -> String {
+    let mut body = String::new();
+    for (j, (kind, c)) in p.stmts.iter().enumerate() {
+        let line = match kind {
+            Kind::Recurrence => format!("X{j}[i] = X{j}[i - 1] + w[i] + {c}"),
+            Kind::Consumer { of, dist } => format!("X{j}[i] = X{of}[i - {dist}] + w[i] + {c}"),
+            Kind::SameIter { of } => format!("X{j}[i] = X{of}[i] + {c}"),
+            Kind::Independent => format!("X{j}[i] = {c} * w[i]"),
+        };
+        body.push_str(&format!("    {line}\n"));
+    }
+    body.push_str("    i = i + 1\n");
+    // i starts at 3 so every distance-1..3 read stays in bounds
+    format!("integer i = 3\nwhile (i < {}) {{\n{body}}}", p.n)
+}
+
+fn machine_of(p: &Params) -> Machine {
+    let mut m = Machine::default();
+    let len = p.n + 4;
+    for j in 0..p.stmts.len() {
+        m.arrays
+            .insert(format!("X{j}"), (0..len as i64).map(|v| v % 5).collect());
+    }
+    m.arrays
+        .insert("w".into(), (0..len as i64).map(|v| v * 5 % 11).collect());
+    m
+}
+
+/// The per-block source program: the block's assignment statements plus
+/// the full dispatcher (every scalar update) and every exit test, so the
+/// block re-drives the censored remainder exactly as a DOACROSS stage
+/// owns its slice of the work but shares the loop control.
+fn block_program(whole: &Program, block_stmts: &[usize]) -> Program {
+    let mut out = whole.clone();
+    let keep: Vec<bool> = whole
+        .body
+        .iter()
+        .enumerate()
+        .map(|(j, st)| {
+            // lowered statement j+1 corresponds to body statement j
+            // (lowered statement 0 is the WHILE condition's exit test)
+            matches!(st, Stmt::AssignVar(..) | Stmt::ExitIf(..)) || block_stmts.contains(&(j + 1))
+        })
+        .collect();
+    let mut it = keep.iter();
+    out.body.retain(|_| *it.next().unwrap());
+    let mut it = keep.iter();
+    out.stmt_spans.retain(|_| *it.next().unwrap());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn block_by_block_execution_matches_whole_program(params in params_strategy()) {
+        let src = source_of(&params);
+        let prog = parse_program(&src).unwrap_or_else(|e| panic!("{src}\n{e}"));
+        let body = lower(&prog).unwrap_or_else(|e| panic!("{src}\n{e:?}"));
+        let plan = fission_plan(&body);
+
+        // completeness: every array assignment lands in exactly one block
+        let mut covered: Vec<usize> = plan.blocks.iter().flat_map(|b| b.stmts.clone()).collect();
+        covered.sort_unstable();
+        let before = covered.len();
+        covered.dedup();
+        prop_assert_eq!(before, covered.len(), "a statement landed in two blocks\n{}", src);
+        for (j, st) in prog.body.iter().enumerate() {
+            if matches!(st, Stmt::AssignElem(..)) {
+                prop_assert!(
+                    covered.contains(&(j + 1)),
+                    "assignment {} missing from every work block\n{}",
+                    j + 1,
+                    src
+                );
+            }
+        }
+
+        let bound = params.n + 10;
+        let mut whole = machine_of(&params);
+        run_sequential(&prog, &mut whole, bound).unwrap_or_else(|e| panic!("{src}\n{e}"));
+
+        // per-block execution in stage order on one shared machine
+        let mut staged = machine_of(&params);
+        for b in &plan.blocks {
+            let bp = block_program(&prog, &b.stmts);
+            run_sequential(&bp, &mut staged, bound).unwrap_or_else(|e| panic!("{src}\n{e}"));
+        }
+
+        if staged.arrays != whole.arrays {
+            let diff: Vec<String> = whole.arrays.keys().filter(|k| staged.arrays[*k] != whole.arrays[*k]).map(|k| format!("{k}: staged {:?} vs whole {:?}", staged.arrays[k], whole.arrays[k])).collect();
+            panic!("arrays diverged\n{src}\nplan: {:?}\n{}", plan, diff.join("\n"));
+        }
+        prop_assert_eq!(&staged.scalars, &whole.scalars, "scalars diverged\n{}", src);
+    }
+}
+
+/// The same equivalence, deterministically, on the two corpus loops the
+/// fission exhibit is built around.
+#[test]
+fn corpus_fission_plans_execute_equivalently() {
+    for (name, src, arrays) in [
+        (
+            "wavefront",
+            "integer i = 1\nwhile (i < 64) {\n    B[i] = B[i - 1] + w[i]\n    C[i] = B[i - 1] + 3\n    i = i + 1\n}",
+            vec!["B", "C", "w"],
+        ),
+        (
+            "mcsparse_pair",
+            "integer i = 1\nwhile (i < 64) {\n    A[i] = A[i - 1] + w[i]\n    B[i] = B[i - 1] * 2\n    C[i] = A[i - 1] + w[i]\n    i = i + 1\n}",
+            vec!["A", "B", "C", "w"],
+        ),
+    ] {
+        let prog = parse_program(src).expect(name);
+        let plan = fission_plan(&lower(&prog).expect(name));
+        assert!(plan.is_fissioned(), "{name}: {plan:?}");
+
+        let build = || {
+            let mut m = Machine::default();
+            for a in &arrays {
+                m.arrays
+                    .insert(a.to_string(), (0..70).map(|v| v % 7 + 1).collect());
+            }
+            m
+        };
+        let mut whole = build();
+        run_sequential(&prog, &mut whole, 100).expect(name);
+        let mut staged = build();
+        for b in &plan.blocks {
+            let bp = block_program(&prog, &b.stmts);
+            run_sequential(&bp, &mut staged, 100).expect(name);
+        }
+        assert_eq!(staged.arrays, whole.arrays, "{name}");
+        assert_eq!(staged.scalars, whole.scalars, "{name}");
+    }
+}

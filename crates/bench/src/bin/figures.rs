@@ -7,14 +7,15 @@
 //! ```
 //!
 //! Exhibits: `table1 table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//! fig14 costmodel ablation-strip ablation-window ablation-chunk
-//! ablation-hedge`.
+//! fig14 costmodel certifier fission ablation-strip ablation-window
+//! ablation-chunk ablation-hedge ablation-doacross ablation-balance
+//! gantt profile faults`.
 
 use wlp_bench::{
     fig6, fig7, fig_ma28, fig_mcsparse, inputs, render_ablation_balance, render_ablation_chunk,
     render_ablation_doacross, render_ablation_hedge, render_ablation_strip, render_ablation_window,
-    render_certifier, render_costmodel, render_faults, render_gantt_exhibit, render_profile,
-    render_table1, render_table2,
+    render_certifier, render_costmodel, render_faults, render_fission, render_gantt_exhibit,
+    render_profile, render_table1, render_table2,
 };
 
 fn by_input(make: &dyn Fn(&str, &wlp_sparse::Csr) -> wlp_bench::Figure, which: &str) -> String {
@@ -40,6 +41,7 @@ fn exhibit(name: &str) -> Option<String> {
         "fig14" => by_input(&fig_ma28, "orsreg1"),
         "costmodel" => render_costmodel(),
         "certifier" => render_certifier(),
+        "fission" => render_fission(),
         "ablation-strip" => render_ablation_strip(),
         "ablation-window" => render_ablation_window(),
         "ablation-chunk" => render_ablation_chunk(),
@@ -53,7 +55,7 @@ fn exhibit(name: &str) -> Option<String> {
     })
 }
 
-const ALL: [&str; 22] = [
+const ALL: [&str; 23] = [
     "table1",
     "table2",
     "fig6",
@@ -67,6 +69,7 @@ const ALL: [&str; 22] = [
     "fig14",
     "costmodel",
     "certifier",
+    "fission",
     "ablation-strip",
     "ablation-window",
     "ablation-chunk",

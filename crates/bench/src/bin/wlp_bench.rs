@@ -151,6 +151,11 @@ struct BenchFile {
     exhibits: Vec<Exhibit>,
 }
 
+/// The headline exhibit every run must record: the sequential compute
+/// baseline every other compute cell is normalized against. A trajectory
+/// line without it cannot anchor cross-commit comparisons.
+const HEADLINE_EXHIBIT: &str = "compute/seq/-/p1";
+
 /// Appends one trajectory line to `path` via the shared
 /// [`wlp_bench::trajectory`] scoreboard (the same file `serve-replay`
 /// and `serve-chaos` fold their headline numbers into).
@@ -167,6 +172,37 @@ fn append_trajectory(path: &str, file: &BenchFile) -> std::io::Result<()> {
         })
         .collect();
     TrajectoryRecord::now("wlp-bench", file.config.smoke, exhibits).append_to(path)
+}
+
+/// Post-append self-check: the last line of `path` must parse back
+/// through [`TrajectoryRecord::parse`] as this run's record and carry
+/// the headline exhibit with a real timing. Returns the error text
+/// instead of a record so the caller can fail the gate with it.
+fn verify_trajectory(path: &str) -> Result<(), String> {
+    use wlp_bench::trajectory::TrajectoryRecord;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let last = text
+        .lines()
+        .last()
+        .ok_or_else(|| format!("{path}: no trajectory lines after append"))?;
+    let rec = TrajectoryRecord::parse(last).map_err(|e| format!("{path}: last line: {e}"))?;
+    if rec.source != "wlp-bench" {
+        return Err(format!(
+            "{path}: last line has source `{}`, expected `wlp-bench`",
+            rec.source
+        ));
+    }
+    let headline = rec
+        .exhibits
+        .iter()
+        .find(|e| e.name == HEADLINE_EXHIBIT)
+        .ok_or_else(|| format!("{path}: record carries no `{HEADLINE_EXHIBIT}` exhibit"))?;
+    if headline.median_ns == 0 {
+        return Err(format!(
+            "{path}: headline exhibit `{HEADLINE_EXHIBIT}` recorded a zero median"
+        ));
+    }
+    Ok(())
 }
 
 struct Stats {
@@ -718,7 +754,11 @@ fn main() {
 
     if let Some(path) = &trajectory {
         append_trajectory(path, &file).expect("append trajectory record");
-        println!("appended trajectory record to {path}");
+        if let Err(e) = verify_trajectory(path) {
+            eprintln!("trajectory verification FAILED: {e}");
+            std::process::exit(1);
+        }
+        println!("appended trajectory record to {path} (headline `{HEADLINE_EXHIBIT}` verified)");
     }
 
     if apply_gate {

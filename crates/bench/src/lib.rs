@@ -13,8 +13,8 @@ use wlp_list::ChunkedList;
 use wlp_sim::engine::Engine;
 use wlp_sim::strategies::sim_doany_sequential;
 use wlp_sim::{
-    sim_doany, sim_general1, sim_general2, sim_general3, sim_induction_doall, sim_sequential,
-    sim_strip_mined, sim_windowed, ExecConfig, LoopSpec, Overheads, Schedule,
+    sim_doacross_grained, sim_doany, sim_general1, sim_general2, sim_general3, sim_induction_doall,
+    sim_sequential, sim_strip_mined, sim_windowed, ExecConfig, LoopSpec, Overheads, Schedule,
 };
 use wlp_sparse::gen::{gemat11_like, gemat12_like, orsreg_like, saylr_like};
 use wlp_sparse::{Csr, EliminationWork};
@@ -434,6 +434,8 @@ pub fn render_certifier() -> String {
         ("counted-fill", sources::COUNTED_FILL),
         ("guarded", sources::GUARDED_UPDATE),
         ("partial-sums", sources::PARTIAL_SUMS),
+        ("wavefront", sources::WAVEFRONT),
+        ("mcsparse-pair", sources::MCSPARSE_PAIR),
     ] {
         let a = sources::certify(src);
         let c = &a.certificate;
@@ -450,6 +452,75 @@ pub fn render_certifier() -> String {
             c.naive_write_budget(n),
         ));
     }
+    out
+}
+
+/// The `fission` exhibit: per-block certification (Section 6) versus
+/// monolithic speculation on the MCSPARSE-style recurrence pair, driven
+/// by the *real* fission plan `wlp-analyze` certifies from the WHILE
+/// source.
+///
+/// The whole loop is `CertifiedSequential` (the `A`/`B` recurrences), so
+/// a monolithic speculative attempt is guaranteed to abort: its cost is
+/// the parallel attempt with full PD machinery *plus* the sequential
+/// re-execution. The fission plan instead schedules the certified blocks
+/// as a DOACROSS pipeline — the sequential recurrence block feeds the
+/// DOALL consumer block across a distance-1 edge — with the grain
+/// (iterations per sync cell) swept over the governor's ladder rungs.
+pub fn render_fission() -> String {
+    use wlp_workloads::sources;
+    let a = sources::certify(sources::MCSPARSE_PAIR);
+    let plan = &a.fission;
+    let stages = plan.stages().max(1);
+
+    let n = 4096usize;
+    let spec = LoopSpec::uniform(n, 24);
+    let oh = Overheads::default();
+    let seq = sim_sequential(&spec, &oh);
+    let grains: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+    let mut out = String::from(
+        "## Fission — per-block certificates vs monolithic speculation (mcsparse_pair)\n\n",
+    );
+    out.push_str(&format!("{}\n", a.plan_summary()));
+    out.push_str(&format!(
+        "{} DOACROSS stage(s) from the certified plan; n = {n}, uniform body\n\n",
+        stages
+    ));
+    out.push_str("  p |         monolithic |");
+    for g in grains {
+        out.push_str(&format!(" fission g={g:<2} |"));
+    }
+    out.push_str(" best\n");
+
+    for &p in &PROCS {
+        // monolithic: speculative attempt (full PD shadow + stamps over
+        // every write) that deterministically aborts, then the rerun
+        let attempt = sim_induction_doall(
+            p,
+            &spec,
+            &oh,
+            &ExecConfig::with_pd(n as u64),
+            Schedule::Dynamic,
+        );
+        let mono = seq.makespan as f64 / (attempt.makespan + seq.makespan) as f64;
+
+        let mut best = (grains[0], 0.0f64);
+        out.push_str(&format!("{p:>3} | {mono:>18.2} |"));
+        for g in grains {
+            let r = sim_doacross_grained(p, &spec, &oh, stages, g);
+            let s = r.speedup(&seq);
+            if s > best.1 {
+                best = (g, s);
+            }
+            out.push_str(&format!(" {s:>12.2} |"));
+        }
+        out.push_str(&format!(" g={} ({:.2}x)\n", best.0, best.1));
+    }
+    out.push_str(
+        "\nmonolithic = certified-to-abort speculative attempt + sequential rerun;\n\
+         fission = certified blocks pipelined DOACROSS at grain g (iterations per sync cell)\n",
+    );
     out
 }
 
@@ -1082,5 +1153,52 @@ mod tests {
         let r = render_costmodel();
         assert!(r.contains("0.25"));
         assert!(r.contains("0.2"));
+    }
+
+    #[test]
+    fn fission_exhibit_certifies_two_blocks_from_while_source() {
+        use wlp_workloads::sources;
+        // the acceptance workload: ≥2 fissioned blocks certified from
+        // WHILE source, scheduled DOACROSS across a certified edge
+        let a = sources::certify(sources::MCSPARSE_PAIR);
+        assert!(a.fission.is_fissioned());
+        assert!(a.fission.blocks.len() >= 2);
+        assert!(!a.fission.edges.is_empty());
+        let r = render_fission();
+        assert!(r.contains("fission:"), "{r}");
+        assert!(r.contains("doacross edge"), "{r}");
+    }
+
+    #[test]
+    fn fissioned_plan_beats_monolithic_speculation_at_p4_and_p8() {
+        // the exhibit's hard gate: on the MCSPARSE-style pair, the
+        // certified block pipeline must beat the speculate-then-rerun
+        // monolithic plan at p >= 4 for every swept grain
+        use wlp_workloads::sources;
+        let a = sources::certify(sources::MCSPARSE_PAIR);
+        let stages = a.fission.stages().max(1);
+        assert!(stages >= 2, "plan must pipeline: {:?}", a.fission);
+
+        let n = 4096usize;
+        let spec = LoopSpec::uniform(n, 24);
+        let oh = Overheads::default();
+        let seq = sim_sequential(&spec, &oh);
+        for p in [4usize, 8] {
+            let attempt = sim_induction_doall(
+                p,
+                &spec,
+                &oh,
+                &ExecConfig::with_pd(n as u64),
+                Schedule::Dynamic,
+            );
+            let mono = seq.makespan as f64 / (attempt.makespan + seq.makespan) as f64;
+            for g in [1usize, 2, 4, 8, 16, 32] {
+                let fis = sim_doacross_grained(p, &spec, &oh, stages, g).speedup(&seq);
+                assert!(
+                    fis > mono,
+                    "p={p} grain={g}: fission {fis:.2}x vs monolithic {mono:.2}x"
+                );
+            }
+        }
     }
 }

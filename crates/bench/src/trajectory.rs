@@ -114,6 +114,67 @@ impl TrajectoryRecord {
             .open(path)?;
         writeln!(f, "{}", serde::json::to_string(self))
     }
+
+    /// Parses one JSONL line back into a record — the read side of
+    /// [`append_to`], used by scoreboard consumers and by the bench
+    /// gate's post-append self-check. Unknown fields are ignored
+    /// (additive schema); a missing or mistyped required field is an
+    /// error naming the field.
+    pub fn parse(line: &str) -> Result<TrajectoryRecord, String> {
+        let v = serde::json::parse(line).map_err(|e| format!("trajectory line: {e}"))?;
+        let text = |node: &serde::Value, key: &str| -> Result<String, String> {
+            node.get(key)
+                .and_then(|x| x.as_str().map(str::to_string))
+                .ok_or_else(|| format!("missing or non-string `{key}`"))
+        };
+        let schema = text(&v, "schema")?;
+        if schema != TRAJECTORY_SCHEMA {
+            return Err(format!("unknown schema `{schema}`"));
+        }
+        let m = v.get("machine").ok_or("missing `machine`")?;
+        let machine = Machine {
+            os: text(m, "os")?,
+            arch: text(m, "arch")?,
+            cpus: m
+                .get("cpus")
+                .and_then(|x| x.as_u64())
+                .ok_or("missing or non-integer `machine.cpus`")? as usize,
+        };
+        let mut exhibits = Vec::new();
+        for (k, e) in v
+            .get("exhibits")
+            .and_then(|x| x.as_array())
+            .ok_or("missing or non-array `exhibits`")?
+            .iter()
+            .enumerate()
+        {
+            exhibits.push(TrajectoryExhibit {
+                name: text(e, "name").map_err(|err| format!("exhibits[{k}]: {err}"))?,
+                median_ns: e
+                    .get("median_ns")
+                    .and_then(|x| x.as_u64())
+                    .ok_or_else(|| format!("exhibits[{k}]: missing `median_ns`"))?,
+                value: e.get("value").and_then(|x| x.as_f64()),
+                speedup_vs_baseline: e.get("speedup_vs_baseline").and_then(|x| x.as_f64()),
+            });
+        }
+        Ok(TrajectoryRecord {
+            schema,
+            source: text(&v, "source")?,
+            git_sha: text(&v, "git_sha")?,
+            date: text(&v, "date")?,
+            unix_time: v
+                .get("unix_time")
+                .and_then(|x| x.as_u64())
+                .ok_or("missing or non-integer `unix_time`")?,
+            machine,
+            smoke: v
+                .get("smoke")
+                .and_then(|x| x.as_bool())
+                .ok_or("missing or non-bool `smoke`")?,
+            exhibits,
+        })
+    }
 }
 
 /// The commit under test: `GITHUB_SHA` in CI, `git rev-parse HEAD`
@@ -185,6 +246,61 @@ mod tests {
         assert!(line.contains("\"value\":0.97"), "{line}");
         assert!(line.contains("\"smoke\":true"), "{line}");
         assert!(!rec.git_sha.is_empty());
+    }
+
+    #[test]
+    fn parse_round_trips_append_to() {
+        let path = std::env::temp_dir().join(format!(
+            "wlp-trajectory-roundtrip-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let rec = TrajectoryRecord::now(
+            "wlp-bench",
+            true,
+            vec![
+                TrajectoryExhibit {
+                    name: "resident_pool".into(),
+                    median_ns: 123_456,
+                    value: None,
+                    speedup_vs_baseline: Some(3.25),
+                },
+                TrajectoryExhibit {
+                    name: "cache_hit_ratio".into(),
+                    median_ns: 0,
+                    value: Some(0.5),
+                    speedup_vs_baseline: None,
+                },
+            ],
+        );
+        rec.append_to(path.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back = TrajectoryRecord::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(back.schema, TRAJECTORY_SCHEMA);
+        assert_eq!(back.source, rec.source);
+        assert_eq!(back.git_sha, rec.git_sha);
+        assert_eq!(back.date, rec.date);
+        assert_eq!(back.unix_time, rec.unix_time);
+        assert_eq!(back.machine.os, rec.machine.os);
+        assert_eq!(back.machine.arch, rec.machine.arch);
+        assert_eq!(back.machine.cpus, rec.machine.cpus);
+        assert!(back.smoke);
+        assert_eq!(back.exhibits.len(), 2);
+        assert_eq!(back.exhibits[0].name, "resident_pool");
+        assert_eq!(back.exhibits[0].median_ns, 123_456);
+        assert_eq!(back.exhibits[0].value, None);
+        assert_eq!(back.exhibits[0].speedup_vs_baseline, Some(3.25));
+        assert_eq!(back.exhibits[1].value, Some(0.5));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_wrong_schema() {
+        assert!(TrajectoryRecord::parse("not json").is_err());
+        assert!(TrajectoryRecord::parse("{}").is_err());
+        let wrong = r#"{"schema":"other/v9","source":"x"}"#;
+        let err = TrajectoryRecord::parse(wrong).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
     }
 
     #[test]

@@ -7,10 +7,14 @@
 
 use crate::dependence::DepGraph;
 
-/// Computes SCCs of `g`. Returns the components in **reverse topological
-/// order of discovery inverted to topological order**: component `k` only
-/// depends on components `< k`. Each component lists statement indices in
-/// ascending order.
+/// Computes SCCs of `g`. Returns the components in the
+/// **lexicographically smallest topological order** of the condensation:
+/// component `k` only depends on components `< k`, and among all legal
+/// orders the one closest to original statement order is chosen — so
+/// mutually independent statements keep their program order, which is
+/// what distribution (and the fission certifier's block/stage order)
+/// relies on for loop-independent dependences. Each component lists
+/// statement indices in ascending order.
 pub fn condense(g: &DepGraph) -> Vec<Vec<usize>> {
     let n = g.n;
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -83,9 +87,47 @@ pub fn condense(g: &DepGraph) -> Vec<Vec<usize>> {
         }
     }
 
-    // Tarjan emits components in reverse topological order; flip it.
-    comps.reverse();
-    comps
+    // Tarjan emits components in reverse topological order, but that
+    // order is only *a* topological order: components with no path
+    // between them come out in whatever order the DFS roots reached
+    // them, which can invert original statement order. Canonicalize by
+    // running Kahn's algorithm over the condensation, always taking the
+    // ready component whose smallest member statement is lowest — the
+    // lexicographically smallest topological order.
+    let mut comp_of = vec![usize::MAX; n];
+    for (k, comp) in comps.iter().enumerate() {
+        for &s in comp {
+            comp_of[s] = k;
+        }
+    }
+    let m = comps.len();
+    let mut dag: Vec<std::collections::BTreeSet<usize>> =
+        vec![std::collections::BTreeSet::new(); m];
+    let mut indeg = vec![0usize; m];
+    for e in &g.edges {
+        let (cf, ct) = (comp_of[e.from], comp_of[e.to]);
+        if cf != ct && dag[cf].insert(ct) {
+            indeg[ct] += 1;
+        }
+    }
+    let mut ready = std::collections::BinaryHeap::new();
+    for (k, comp) in comps.iter().enumerate() {
+        if indeg[k] == 0 {
+            ready.push(std::cmp::Reverse((comp[0], k)));
+        }
+    }
+    let mut ordered = Vec::with_capacity(m);
+    while let Some(std::cmp::Reverse((_, k))) = ready.pop() {
+        ordered.push(std::mem::take(&mut comps[k]));
+        for &next in &dag[k] {
+            indeg[next] -= 1;
+            if indeg[next] == 0 {
+                ready.push(std::cmp::Reverse((comps[next][0], next)));
+            }
+        }
+    }
+    debug_assert_eq!(ordered.len(), m, "condensation must be acyclic");
+    ordered
 }
 
 #[cfg(test)]
@@ -135,6 +177,19 @@ mod tests {
         for e in &g.edges {
             assert!(pos[e.from] <= pos[e.to], "edge {} → {}", e.from, e.to);
         }
+    }
+
+    #[test]
+    fn independent_components_keep_statement_order() {
+        // 1 → 2 → 4 is a chain; 0, 3, 5 are isolated. Every legal
+        // topological order is acceptable graph-wise, but the canonical
+        // one must be plain statement order — a later consumer must
+        // never be scheduled ahead of an unrelated earlier producer.
+        let g = graph(6, &[(1, 2), (2, 4)]);
+        assert_eq!(
+            condense(&g),
+            vec![vec![0], vec![1], vec![2], vec![3], vec![4], vec![5]]
+        );
     }
 
     #[test]

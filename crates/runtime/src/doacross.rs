@@ -149,6 +149,57 @@ where
     doacross_rec(pool, upper, stages, &wlp_obs::NoopRecorder, body)
 }
 
+/// [`doacross`] with a tunable grain: iterations are grouped into chunks
+/// of `grain` consecutive iterations, and the wavefront synchronizes per
+/// *chunk* instead of per iteration — stage `s` of chunk `c` waits on
+/// stage `s` of chunk `c−1`. A coarser grain divides the sync posts (and
+/// their lock traffic) by `grain`, at the price of `grain−1` iterations
+/// of lost pipeline overlap at each stage boundary; the `Governor`'s
+/// grain ladder walks this trade-off at run time
+/// ([`Governor::current_grain`](crate::governor::Governor::current_grain)).
+///
+/// Correctness: chunked synchronization is strictly *stronger* than
+/// per-iteration synchronization for forward cross-iteration dependences
+/// of any distance ≥ 1, so any dependence safe under [`doacross`] stays
+/// safe at every grain. Memory ordering: `body`'s writes are published to
+/// the waiting stage through the wavefront's mutex (release on post,
+/// acquire on wait) — stage bodies need no fences of their own.
+///
+/// `executed` is reported in iterations; when `panic`/`timeout` are set
+/// the executed prefix is invalid (as with [`doacross`]) and callers
+/// should restore their checkpoint.
+///
+/// # Panics
+/// Panics if `stages == 0`.
+pub fn doacross_grained<F>(
+    pool: &Pool,
+    upper: usize,
+    stages: usize,
+    grain: usize,
+    body: F,
+) -> DoacrossOutcome
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let g = grain.max(1);
+    if g == 1 {
+        return doacross(pool, upper, stages, body);
+    }
+    let chunks = upper.div_ceil(g);
+    let out = doacross(pool, chunks, stages, |c, s| {
+        let lo = c * g;
+        let hi = (lo + g).min(upper);
+        for i in lo..hi {
+            body(i, s);
+        }
+    });
+    DoacrossOutcome {
+        executed: (out.executed * g as u64).min(upper as u64),
+        panic: out.panic,
+        timeout: out.timeout,
+    }
+}
+
 /// [`doacross`] with observability: each claim, wavefront stall (recorded
 /// as a `LockWait`) and completed iteration is reported to `rec`. With
 /// [`wlp_obs::NoopRecorder`] — which is what [`doacross`] passes — every
@@ -265,6 +316,43 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn grained_pipeline_computes_the_same_recurrence_at_every_grain() {
+        // x[i] = x[i-1] + i at grains 1, 3, 8, 64 (64 > n/chunks edge) —
+        // chunked sync is strictly stronger, so every grain must agree
+        let n = 300usize;
+        let pool = Pool::new(4);
+        for grain in [1usize, 3, 8, 64] {
+            let xs: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            let out = doacross_grained(&pool, n, 1, grain, |i, _| {
+                let prev = if i == 0 {
+                    0
+                } else {
+                    xs[i - 1].load(Ordering::Acquire)
+                };
+                xs[i].store(prev + i as u64, Ordering::Release);
+            });
+            assert_eq!(out.executed, n as u64, "grain {grain}");
+            assert_eq!(out.panic, None, "grain {grain}");
+            let mut expect = 0u64;
+            for (i, x) in xs.iter().enumerate() {
+                expect += i as u64;
+                assert_eq!(x.load(Ordering::Relaxed), expect, "grain {grain} iter {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn grain_zero_is_clamped_to_one() {
+        let pool = Pool::new(2);
+        let hits = AtomicU64::new(0);
+        let out = doacross_grained(&pool, 10, 1, 0, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(out.executed, 10);
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
 
     #[test]
     fn recurrence_computes_correctly_through_the_pipeline() {

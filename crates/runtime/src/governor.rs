@@ -55,6 +55,14 @@ pub struct GovernorPolicy {
     /// [`StrategyChoice::Windowed`]; the governor runs that rung at half
     /// this value (never below 1), the "halved window" degraded mode.
     pub spec_window: usize,
+    /// Starting DOACROSS grain: iterations executed per pipeline sync
+    /// cell. Grain 1 synchronizes every iteration (maximum overlap,
+    /// maximum sync cost); larger grains amortize the wavefront posts.
+    pub initial_grain: usize,
+    /// Largest grain the tuner may grow to.
+    pub max_grain: usize,
+    /// Consecutive committed attempts required per grain doubling.
+    pub grain_streak: u64,
 }
 
 impl Default for GovernorPolicy {
@@ -67,6 +75,9 @@ impl Default for GovernorPolicy {
             deadline: None,
             budget_writes: None,
             spec_window: 64,
+            initial_grain: 1,
+            max_grain: 64,
+            grain_streak: 4,
         }
     }
 }
@@ -81,6 +92,14 @@ impl GovernorPolicy {
     /// This policy with an undo-log budget on every speculative attempt.
     pub fn with_budget(mut self, writes: u64) -> Self {
         self.budget_writes = Some(writes);
+        self
+    }
+
+    /// This policy starting DOACROSS pipelines at `grain` iterations per
+    /// sync cell, growing up to `max` on sustained success.
+    pub fn with_grain(mut self, grain: usize, max: usize) -> Self {
+        self.initial_grain = grain.max(1);
+        self.max_grain = max.max(self.initial_grain);
         self
     }
 }
@@ -142,6 +161,10 @@ pub struct Governor {
     /// While `true`, the governor may still probe upward; cleared forever
     /// once the backoff requirement exceeds `policy.max_backoff`.
     probing: bool,
+    /// Current DOACROSS grain (iterations per pipeline sync cell).
+    grain: usize,
+    /// Committed attempts since the grain last changed.
+    grain_run: u64,
     /// The frequently-written counter tail, padded onto its own cache
     /// line: `wlp-serve` keeps one governor per tenant (each behind its
     /// own mutex, adjacent in the tenant table), and without the padding
@@ -174,8 +197,22 @@ impl Governor {
             streak: 0,
             backoff: policy.initial_backoff.max(1),
             probing: true,
+            grain: policy.initial_grain.max(1),
+            grain_run: 0,
             counters: CachePadded::new(GovernorCounters::default()),
         }
+    }
+
+    /// The DOACROSS grain the next pipelined attempt should run with:
+    /// iterations per wavefront sync cell. Starts at
+    /// [`GovernorPolicy::initial_grain`], doubles after every
+    /// [`GovernorPolicy::grain_streak`] consecutive commits (amortizing
+    /// sync posts once the schedule proves stable) up to
+    /// [`GovernorPolicy::max_grain`], and collapses back to the initial
+    /// grain on any failure — a coarse grain multiplies the work exposed
+    /// to one fault or timeout, so trust must be re-earned.
+    pub fn current_grain(&self) -> usize {
+        self.grain
     }
 
     /// The rung the next attempt should run on.
@@ -234,6 +271,11 @@ impl Governor {
     pub fn record_success(&mut self) -> Option<Transition> {
         self.push(false);
         self.streak += 1;
+        self.grain_run += 1;
+        if self.grain_run >= self.policy.grain_streak.max(1) && self.grain < self.policy.max_grain {
+            self.grain = (self.grain * 2).min(self.policy.max_grain.max(1));
+            self.grain_run = 0;
+        }
         if !self.probing || self.current == StrategyChoice::Speculative {
             return None;
         }
@@ -265,6 +307,8 @@ impl Governor {
         }
         self.push(true);
         self.streak = 0;
+        self.grain = self.policy.initial_grain.max(1);
+        self.grain_run = 0;
         if self.window_failures() < self.policy.demote_threshold.max(1) {
             return None;
         }
@@ -429,5 +473,37 @@ mod tests {
             ..policy()
         });
         assert_eq!(g.degraded_window(), 1);
+    }
+
+    #[test]
+    fn grain_doubles_on_sustained_success_and_caps_at_max() {
+        let mut g = Governor::new(GovernorPolicy::default().with_grain(1, 8));
+        assert_eq!(g.current_grain(), 1);
+        let mut seen = vec![1];
+        for _ in 0..40 {
+            g.record_success();
+            if *seen.last().unwrap() != g.current_grain() {
+                seen.push(g.current_grain());
+            }
+        }
+        assert_eq!(seen, vec![1, 2, 4, 8], "doubling ladder up to the cap");
+        assert_eq!(g.current_grain(), 8, "stays at max_grain");
+    }
+
+    #[test]
+    fn any_failure_collapses_the_grain_back_to_initial() {
+        let mut g = Governor::new(GovernorPolicy::default().with_grain(2, 64));
+        for _ in 0..16 {
+            g.record_success();
+        }
+        assert!(g.current_grain() > 2);
+        g.record_failure(AbortReason::Timeout);
+        assert_eq!(g.current_grain(), 2, "coarse grain must re-earn trust");
+    }
+
+    #[test]
+    fn with_grain_clamps_degenerate_requests() {
+        let g = Governor::new(GovernorPolicy::default().with_grain(0, 0));
+        assert_eq!(g.current_grain(), 1);
     }
 }

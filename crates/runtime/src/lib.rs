@@ -57,7 +57,7 @@ pub mod window;
 pub use barrier::CentralBarrier;
 pub use chunk::ChunkPolicy;
 pub use deque::{Steal, StealDeque};
-pub use doacross::{doacross, doacross_rec, DoacrossOutcome};
+pub use doacross::{doacross, doacross_grained, doacross_rec, DoacrossOutcome};
 pub use doall::{
     doall_dynamic, doall_dynamic_chunked, doall_dynamic_chunked_rec, doall_dynamic_rec,
     doall_static_blocked, doall_static_cyclic, doall_worksteal, DoallOutcome, Step,

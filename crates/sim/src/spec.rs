@@ -226,6 +226,12 @@ pub struct ExecConfig {
     /// charges the historical [`Overheads::t_dispatch`], keeping existing
     /// traces and makespans bit-identical.
     pub claim_cost: Option<u64>,
+    /// DOACROSS grain: iterations per wavefront sync cell — the mirror of
+    /// the runtime's `doacross_grained` and the governor's grain ladder.
+    /// Coarser grain amortizes one dispatch + one sync per `grain`
+    /// iterations at the cost of pipeline fill latency. `0` is treated as
+    /// `1` (per-iteration sync, the historical behavior).
+    pub doacross_grain: usize,
 }
 
 impl ExecConfig {
@@ -284,6 +290,12 @@ impl ExecConfig {
     /// this, claims cost [`Overheads::t_dispatch`].
     pub fn with_claim_cost(mut self, cycles: u64) -> Self {
         self.claim_cost = Some(cycles);
+        self
+    }
+
+    /// Sets the DOACROSS grain (iterations per wavefront sync cell).
+    pub fn with_doacross_grain(mut self, grain: usize) -> Self {
+        self.doacross_grain = grain;
         self
     }
 }

@@ -36,5 +36,5 @@ pub use induction::{
     sim_induction_doall, sim_induction_doall_traced, sim_prefix_doall, sim_sequential,
     sim_strip_mined, sim_strip_mined_traced, Schedule,
 };
-pub use pipeline::sim_doacross;
+pub use pipeline::{sim_doacross, sim_doacross_grained};
 pub use window::{sim_windowed, sim_windowed_traced};

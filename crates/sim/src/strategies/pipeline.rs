@@ -60,6 +60,74 @@ pub fn sim_doacross(p: usize, spec: &LoopSpec, oh: &Overheads, stages: usize) ->
     report(&eng, spec, &quit, stats)
 }
 
+/// Replays a grained DOACROSS pipeline: `grain` consecutive iterations
+/// share one wavefront cell, so one dispatch claim and one sync per
+/// stage cover `grain` iterations — the simulator mirror of the
+/// runtime's `doacross_grained` and of the governor's grain ladder.
+///
+/// Coarser grain amortizes dispatch/sync overhead but lengthens pipeline
+/// fill (the first chunk of a stage waits for a whole predecessor chunk,
+/// not one iteration), so the sweet spot depends on the body-cost /
+/// sync-cost ratio — exactly the trade-off the `fission` exhibit sweeps.
+/// `grain <= 1` is the per-iteration pipeline of [`sim_doacross`].
+///
+/// # Panics
+/// Panics if `stages == 0`.
+pub fn sim_doacross_grained(
+    p: usize,
+    spec: &LoopSpec,
+    oh: &Overheads,
+    stages: usize,
+    grain: usize,
+) -> Report {
+    assert!(stages > 0, "need at least one stage");
+    let g = grain.max(1);
+    if g == 1 {
+        return sim_doacross(p, spec, oh, stages);
+    }
+    let mut eng = Engine::new(p);
+    let mut stats = Stats::default();
+    let quit = TimedMin::new();
+    let n = spec.work_end();
+    let chunks = n.div_ceil(g);
+
+    // completion time of each (chunk, stage)
+    let mut done: Vec<Vec<u64>> = Vec::with_capacity(chunks);
+    let mut claim = 0usize;
+    let mut runnable = vec![true; p];
+    while let Some(proc) = eng.next_proc(&runnable) {
+        if claim >= chunks {
+            runnable[proc] = false;
+            continue;
+        }
+        let c = claim;
+        claim += 1;
+        eng.work(proc, oh.t_dispatch);
+        let lo = c * g;
+        let hi = ((c + 1) * g).min(n);
+        let total: u64 = (lo..hi).map(|i| (spec.work)(i) + oh.t_term).sum();
+        let share = total / stages as u64;
+        let mut finish = Vec::with_capacity(stages);
+        #[allow(clippy::needless_range_loop)] // `s` is the stage number, not just an index
+        for s in 0..stages {
+            if c > 0 {
+                eng.wait_until(proc, done[c - 1][s]);
+            }
+            let cost = if s + 1 == stages {
+                total - share * (stages as u64 - 1)
+            } else {
+                share
+            };
+            eng.work(proc, cost);
+            finish.push(eng.now(proc));
+        }
+        done.push(finish);
+        stats.executed += (hi - lo) as u64;
+    }
+
+    report(&eng, spec, &quit, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +178,39 @@ mod tests {
         let spec = LoopSpec::uniform(333, 21);
         let r = sim_doacross(4, &spec, &Overheads::default(), 3);
         assert_eq!(r.executed, 333);
+    }
+
+    #[test]
+    fn grain_one_is_the_per_iteration_pipeline() {
+        let spec = LoopSpec::uniform(500, 40);
+        let oh = Overheads::default();
+        let a = sim_doacross(4, &spec, &oh, 2);
+        let b = sim_doacross_grained(4, &spec, &oh, 2, 1);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.executed, b.executed);
+    }
+
+    #[test]
+    fn grained_pipeline_executes_everything_including_the_ragged_tail() {
+        // 333 is not a multiple of 8: the last chunk is partial
+        let spec = LoopSpec::uniform(333, 21);
+        let r = sim_doacross_grained(4, &spec, &Overheads::default(), 3, 8);
+        assert_eq!(r.executed, 333);
+    }
+
+    #[test]
+    fn coarser_grain_amortizes_dispatch_on_cheap_bodies() {
+        // body cost comparable to dispatch: per-iteration sync drowns in
+        // overhead, chunking pays for itself
+        let spec = LoopSpec::uniform(4000, 4);
+        let oh = Overheads::default();
+        let fine = sim_doacross_grained(4, &spec, &oh, 2, 1);
+        let coarse = sim_doacross_grained(4, &spec, &oh, 2, 16);
+        assert!(
+            coarse.makespan < fine.makespan,
+            "grain 16 ({}) should beat grain 1 ({}) on cheap bodies",
+            coarse.makespan,
+            fine.makespan
+        );
     }
 }

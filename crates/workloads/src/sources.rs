@@ -68,6 +68,29 @@ while (i < n) {\n\
     i = i + 1\n\
 }";
 
+/// A producer/consumer wavefront: the `B` recurrence is provably
+/// sequential, but the `C` statement only reads `B[i-1]` — fission cuts
+/// the loop into a sequential stage feeding a DOALL stage across one
+/// distance-1 DOACROSS edge.
+pub const WAVEFRONT: &str = "integer i = 1\n\
+while (i < n) {\n\
+    B[i] = B[i - 1] + w[i]\n\
+    C[i] = B[i - 1] + 3\n\
+    i = i + 1\n\
+}";
+
+/// MCSPARSE-shaped recurrence pair: two independent first-order
+/// recurrences (`A`, `B`) plus a consumer of `A[i-1]` — the fission plan
+/// fuses the recurrences into one sequential block and recovers the
+/// consumer as a parallel sibling behind a DOACROSS edge.
+pub const MCSPARSE_PAIR: &str = "integer i = 1\n\
+while (i < n) {\n\
+    A[i] = A[i - 1] + w[i]\n\
+    B[i] = B[i - 1] * 2\n\
+    C[i] = A[i - 1] + w[i]\n\
+    i = i + 1\n\
+}";
+
 /// The named corpus the `wlp-serve` replay harness, smoke tests, and CI
 /// draw from: every source constant in this module under a stable name.
 pub fn corpus() -> Vec<(&'static str, &'static str)> {
@@ -77,6 +100,8 @@ pub fn corpus() -> Vec<(&'static str, &'static str)> {
         ("counted_fill", COUNTED_FILL),
         ("guarded_update", GUARDED_UPDATE),
         ("partial_sums", PARTIAL_SUMS),
+        ("wavefront", WAVEFRONT),
+        ("mcsparse_pair", MCSPARSE_PAIR),
     ]
 }
 
@@ -127,6 +152,23 @@ pub fn machine_inputs(name: &str, n: usize) -> MachineInputs {
         ),
         "partial_sums" => (
             vec![("A".into(), vec![1; n.max(1)])],
+            vec![("n".into(), ni)],
+        ),
+        "wavefront" => (
+            vec![
+                ("B".into(), vec![0; n.max(1)]),
+                ("C".into(), vec![0; n.max(1)]),
+                ("w".into(), fill(n.max(1), |i| i as i64 % 7)),
+            ],
+            vec![("n".into(), ni)],
+        ),
+        "mcsparse_pair" => (
+            vec![
+                ("A".into(), vec![0; n.max(1)]),
+                ("B".into(), vec![1; n.max(1)]),
+                ("C".into(), vec![0; n.max(1)]),
+                ("w".into(), fill(n.max(1), |i| i as i64 % 7)),
+            ],
             vec![("n".into(), ni)],
         ),
         other => panic!("unknown corpus program `{other}`"),
@@ -243,6 +285,33 @@ mod tests {
         let cfg = certified_config(&a.certificate, 64);
         assert!(cfg.stamp_writes && cfg.undo_overshoot);
         assert!(!cfg.pd_shadow, "certified loops drop the run-time test");
+    }
+
+    #[test]
+    fn wavefront_fissions_into_a_doacross_pipeline() {
+        let a = certify(WAVEFRONT);
+        // the whole loop is confined by the B recurrence…
+        assert_eq!(a.certificate.verdict, CertVerdict::CertifiedSequential);
+        // …but the fission plan recovers the consumer as a DOALL sibling
+        assert!(a.fission.is_fissioned());
+        assert_eq!(a.fission.blocks.len(), 2);
+        assert_eq!(a.fission.parallel_blocks(), 1);
+        assert_eq!(a.fission.edges.len(), 1);
+        assert_eq!(a.fission.min_sync_distance(), Some(1));
+    }
+
+    #[test]
+    fn mcsparse_pair_certifies_two_blocks_with_a_doacross_edge() {
+        let a = certify(MCSPARSE_PAIR);
+        assert_eq!(a.certificate.verdict, CertVerdict::CertifiedSequential);
+        assert!(a.fission.is_fissioned());
+        assert!(a.fission.blocks.len() >= 2, "{:?}", a.fission);
+        assert!(a.fission.parallel_blocks() >= 1);
+        assert!(!a.fission.edges.is_empty(), "needs a DOACROSS edge");
+        // mixed verdict: W-SEQ01 downgrades to a warning, so wlp-lint
+        // exits 0 on this source
+        assert!(a.diagnostics.iter().any(|d| d.code == "W-SEQ02"));
+        assert!(a.diagnostics.iter().all(|d| d.code != "W-SEQ01"));
     }
 
     #[test]
